@@ -1,0 +1,45 @@
+//! **Ablation — migration penalty sweep.**
+//!
+//! §2 of the paper: "a certain percentage of performance loss in the next
+//! time interval would be caused by the migration of a core", without
+//! giving the percentage. This harness sweeps the penalty from 0 % to 100 %
+//! of one core-interval and measures its effect on the two training-free
+//! policies: migration becomes progressively less attractive, squeezing the
+//! reactive handcrafted rule's advantage over the static default.
+//!
+//! Run: `cargo bench -p lahd-bench --bench ablation_migration_penalty`
+
+use lahd_bench::{banner, configure, experiments_dir};
+use lahd_core::{Args, Comparison, Table};
+use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy};
+use lahd_workload::real_trace_set;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = configure(&args);
+    banner("Ablation — migration penalty", &cfg);
+    let traces = real_trace_set(10, cfg.trace_len, cfg.seed);
+
+    let mut table = Table::new(
+        "migration-penalty sweep",
+        &["penalty", "default", "handcrafted", "handcrafted_reduction"],
+    );
+    for penalty in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut sim_cfg = cfg.sim.clone();
+        sim_cfg.migration_penalty = penalty;
+        let mut default_policy = DefaultPolicy;
+        let mut handcrafted = HandcraftedFsm::tuned();
+        let mut policies: Vec<&mut dyn Policy> = vec![&mut default_policy, &mut handcrafted];
+        let c = Comparison::run(&mut policies, &sim_cfg, &traces, 999);
+        table.push_row(vec![
+            format!("{penalty:.2}"),
+            format!("{:.1}", c.mean_makespan(0)),
+            format!("{:.1}", c.mean_makespan(1)),
+            format!("{:.1}%", c.reduction_vs(1, 0) * 100.0),
+        ]);
+    }
+    print!("{}", table.render());
+    let csv = experiments_dir().join("ablation_migration_penalty.csv");
+    table.save_csv(&csv).expect("csv written");
+    println!("rows written to {}", csv.display());
+}

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmark: per-decision inference latency.
+//!
+//! The paper's core motivation for extraction is that the deployed
+//! controller must be a "lightweight white-box approach": the storage array
+//! cannot afford a neural network in its per-interval control path. This
+//! benchmark quantifies the claim at paper scale — one GRU-128 forward pass
+//! versus one extracted-FSM step (quantize + table lookup) versus the
+//! handcrafted rule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lahd_fsm::{Fsm, FsmPolicy, FsmState, HandcraftedFsm, Metric, ObsSymbol, Policy};
+use lahd_qbn::{Code, Qbn, QbnConfig};
+use lahd_rl::RecurrentActorCritic;
+use lahd_sim::{
+    canonical_io_classes, Action, IntervalWorkload, Observation, SimConfig, NUM_IO_CLASSES,
+};
+
+fn observation() -> Observation {
+    let mut mix = [0.0; NUM_IO_CLASSES];
+    mix[1] = 0.5;
+    mix[9] = 0.5;
+    Observation::new(
+        [18, 7, 7],
+        [0.8, 0.95, 0.6],
+        &canonical_io_classes(),
+        &IntervalWorkload::new(mix, 2500.0),
+    )
+}
+
+/// A synthetic machine with realistic size (12 states, 64 symbols): FSM
+/// latency depends on structure, not on learned weights.
+fn synthetic_fsm(obs_qbn: &Qbn, cfg: &SimConfig) -> FsmPolicy {
+    let num_states = 12;
+    let num_symbols = 64;
+    let obs_dim = Observation::DIM;
+    let states = (0..num_states)
+        .map(|i| FsmState {
+            code: Code(vec![if i % 2 == 0 { 1 } else { -1 }; 4]),
+            action: i % Action::COUNT,
+            support: 10,
+        })
+        .collect();
+    let base = observation().to_vector(cfg);
+    let symbols = (0..num_symbols)
+        .map(|i| {
+            let mut centroid = base.clone();
+            centroid[0] += i as f32 * 0.01;
+            ObsSymbol { code: Code(vec![(i % 3) as i8 - 1; 8]), centroid, support: 5 }
+        })
+        .collect();
+    let mut transitions = std::collections::HashMap::new();
+    for s in 0..num_states {
+        for o in 0..num_symbols {
+            if (s + o) % 3 != 0 {
+                transitions.insert((s, o), ((s + o) % num_states, 3));
+            }
+        }
+    }
+    let fsm = Fsm { states, symbols, transitions, initial_state: 0 };
+    let _ = obs_dim;
+    FsmPolicy::new(fsm, obs_qbn.clone(), cfg.clone(), Metric::Euclidean, true)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let obs = observation();
+    let obs_vec = obs.to_vector(&cfg);
+
+    let mut group = c.benchmark_group("inference_latency");
+
+    // GRU at the paper's width.
+    let agent = RecurrentActorCritic::new(Observation::DIM, 128, Action::COUNT, 0);
+    let h0 = agent.initial_state();
+    group.bench_function("gru128_forward", |b| {
+        b.iter(|| std::hint::black_box(agent.infer(&obs_vec, &h0)))
+    });
+
+    // Demo-scale GRU for reference.
+    let small = RecurrentActorCritic::new(Observation::DIM, 48, Action::COUNT, 0);
+    let hs = small.initial_state();
+    group.bench_function("gru48_forward", |b| {
+        b.iter(|| std::hint::black_box(small.infer(&obs_vec, &hs)))
+    });
+
+    // Extracted FSM: QBN encode + table lookup.
+    let obs_qbn = Qbn::new(QbnConfig::with_dims(Observation::DIM, 8), 1);
+    let mut fsm_policy = synthetic_fsm(&obs_qbn, &cfg);
+    group.bench_function("extracted_fsm_step", |b| {
+        b.iter(|| {
+            let a = fsm_policy.act(std::hint::black_box(&obs));
+            std::hint::black_box(a)
+        })
+    });
+
+    // QBN encode alone (the dominant FSM-step cost).
+    group.bench_function("obs_qbn_encode", |b| {
+        b.iter(|| std::hint::black_box(obs_qbn.encode(&obs_vec)))
+    });
+
+    // Handcrafted rule: a handful of comparisons.
+    let mut handcrafted = HandcraftedFsm::tuned();
+    group.bench_function("handcrafted_rule", |b| {
+        b.iter(|| std::hint::black_box(handcrafted.act(std::hint::black_box(&obs))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark: QBN encode/decode/train throughput.
+//!
+//! Extraction quantizes every dataset row through both QBNs and the
+//! fine-tuning loop re-encodes hidden states at every simulated interval,
+//! so encode throughput bounds the pipeline's post-training stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lahd_qbn::{Qbn, QbnConfig, QbnTrainConfig};
+
+fn bench_qbn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qbn");
+
+    // Observation-sized QBN (35 → 8 ternary dims).
+    let obs_qbn = Qbn::new(QbnConfig::with_dims(35, 8), 0);
+    let obs = vec![0.3f32; 35];
+    group.bench_function("encode_obs_35_to_8", |b| {
+        b.iter(|| std::hint::black_box(obs_qbn.encode(&obs)))
+    });
+
+    // Paper-scale hidden QBN (128 → 64 ternary dims).
+    let hid_qbn = Qbn::new(QbnConfig::with_dims(128, 64), 1);
+    let hidden = vec![0.1f32; 128];
+    group.bench_function("encode_hidden_128_to_64", |b| {
+        b.iter(|| std::hint::black_box(hid_qbn.encode(&hidden)))
+    });
+
+    let code = hid_qbn.encode(&hidden);
+    group.bench_function("decode_hidden_64_to_128", |b| {
+        b.iter(|| std::hint::black_box(hid_qbn.decode(&code)))
+    });
+
+    group.bench_function("reconstruct_roundtrip_128", |b| {
+        b.iter(|| std::hint::black_box(hid_qbn.reconstruct(&hidden)))
+    });
+
+    // Supervised training epoch over a small batch set.
+    group.sample_size(10);
+    group.bench_function("train_epoch_256x35", |b| {
+        let data: Vec<Vec<f32>> =
+            (0..256).map(|i| vec![(i % 7) as f32 / 7.0; 35]).collect();
+        b.iter(|| {
+            let mut qbn = Qbn::new(QbnConfig::with_dims(35, 8), 2);
+            qbn.train(
+                &data,
+                &QbnTrainConfig { epochs: 1, batch_size: 32, ..Default::default() },
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_qbn);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmark: simulator step throughput.
+//!
+//! The RL training loop executes millions of simulator intervals, so the
+//! per-step cost bounds experiment turnaround. Measured: one interval under
+//! load (arrivals + three-level FIFO service + stage hand-over) for light
+//! and heavy backlogs, and a full drained episode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lahd_sim::{Action, IntervalWorkload, SimConfig, StorageSim, WorkloadTrace, NUM_IO_CLASSES};
+
+fn trace(requests: f64, len: usize) -> WorkloadTrace {
+    let mut mix = [0.0; NUM_IO_CLASSES];
+    mix[1] = 0.3; // 8 KiB read
+    mix[4] = 0.3; // 64 KiB read
+    mix[9] = 0.2; // 8 KiB write
+    mix[12] = 0.2; // 128 KiB write
+    WorkloadTrace::new("bench", vec![IntervalWorkload::new(mix, requests); len])
+}
+
+fn quiet() -> SimConfig {
+    SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    for (name, requests) in [("light_load", 500.0), ("heavy_load", 4000.0)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || StorageSim::new(quiet(), trace(requests, 512), 0),
+                |mut sim| {
+                    for _ in 0..64 {
+                        if sim.is_done() {
+                            break;
+                        }
+                        sim.step(Action::Noop);
+                    }
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("full_episode_96", |b| {
+        b.iter_batched(
+            || StorageSim::new(quiet(), trace(1500.0, 96), 0),
+            |mut sim| {
+                sim.run_with(|_| Action::Noop);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("step_with_idle_sampling", |b| {
+        b.iter_batched(
+            || StorageSim::new(SimConfig::default(), trace(1500.0, 512), 7),
+            |mut sim| {
+                for _ in 0..64 {
+                    if sim.is_done() {
+                        break;
+                    }
+                    sim.step(Action::Noop);
+                }
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark: workload-trace synthesis throughput.
+//!
+//! Every training epoch replays pre-generated traces, but experiment
+//! harnesses regenerate trace sets per configuration; synthesis must stay
+//! negligible next to simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lahd_workload::{
+    real_trace_set, spliced_real_trace, standard_profiles, standard_trace_set, summarize,
+    synthesize_trace,
+};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_gen");
+
+    let profiles = standard_profiles();
+    group.bench_function("synthesize_one_96", |b| {
+        b.iter(|| std::hint::black_box(synthesize_trace(&profiles[0], 96, 7)))
+    });
+
+    group.bench_function("standard_set_96", |b| {
+        b.iter(|| std::hint::black_box(standard_trace_set(96, 7)))
+    });
+
+    let standard = standard_trace_set(96, 7);
+    group.bench_function("splice_real_96", |b| {
+        b.iter(|| std::hint::black_box(spliced_real_trace(&standard, 96, 11)))
+    });
+
+    group.sample_size(20);
+    group.bench_function("real_set_50x192", |b| {
+        b.iter(|| std::hint::black_box(real_trace_set(50, 192, 7)))
+    });
+
+    let trace = spliced_real_trace(&standard, 96, 11);
+    group.bench_function("summarize_96", |b| {
+        b.iter(|| std::hint::black_box(summarize(&trace)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

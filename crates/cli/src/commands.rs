@@ -1,0 +1,423 @@
+//! Subcommand dispatch and implementations.
+
+use std::fs;
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use lahd_core::{
+    best_static_allocation, explain_fsm, load_artifacts, save_artifacts, Args, Comparison,
+    Pipeline, PipelineArtifacts, PipelineConfig, Table,
+};
+use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy};
+use lahd_sim::{SimConfig, StorageSim, WorkloadTrace};
+use lahd_workload::{read_trace, real_trace_set, standard_trace_set, summarize, write_trace};
+
+/// CLI failure: message already formatted for the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Entry point: dispatches on the first positional argument.
+pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("pipeline") => cmd_pipeline(args, out),
+        Some("evaluate") => cmd_evaluate(args, out),
+        Some("explain") => cmd_explain(args, out),
+        Some("traces") => cmd_traces(args, out),
+        Some("simulate") => cmd_simulate(args, out),
+        Some("help") | None => {
+            write!(out, "{}", usage())?;
+            Ok(())
+        }
+        Some(other) => Err(err(format!("unknown subcommand {other:?}\n\n{}", usage()))),
+    }
+}
+
+fn usage() -> String {
+    "lahd — learning-aided heuristics design for storage systems\n\
+     \n\
+     USAGE: lahd <SUBCOMMAND> [OPTIONS]\n\
+     \n\
+     SUBCOMMANDS\n\
+     \x20 pipeline   train the DRL agent, extract the FSM, save artifacts\n\
+     \x20            --scale tiny|demo|paper   (default demo)\n\
+     \x20            --out DIR                 (default lahd-artifacts)\n\
+     \x20            --seed N, --hidden N, --std-epochs N, --real-epochs N\n\
+     \x20 evaluate   Figure-4 comparison over saved artifacts\n\
+     \x20            --artifacts DIR [--scale …] [--oracle] [--heldout]\n\
+     \x20 explain    Markdown interpretation report for a saved machine\n\
+     \x20            --artifacts DIR [--out FILE] [--scale …]\n\
+     \x20 traces     summarise the synthetic workloads\n\
+     \x20            [--len N] [--seed N] [--export DIR]\n\
+     \x20 simulate   run default|handcrafted over a trace file\n\
+     \x20            --trace FILE [--policy default|handcrafted] [--seed N]\n\
+     \x20 help       this message\n"
+        .to_string()
+}
+
+fn scale_config(args: &Args) -> Result<PipelineConfig, CliError> {
+    let mut cfg = match args.get("scale").unwrap_or("demo") {
+        "tiny" => PipelineConfig::tiny(),
+        "demo" => PipelineConfig::demo(),
+        "paper" => PipelineConfig::paper(),
+        other => return Err(err(format!("unknown --scale {other:?} (tiny|demo|paper)"))),
+    };
+    cfg.hidden_dim = args.get_usize("hidden", cfg.hidden_dim);
+    cfg.std_epochs = args.get_usize("std-epochs", cfg.std_epochs);
+    cfg.real_epochs = args.get_usize("real-epochs", cfg.real_epochs);
+    cfg.seed = args.get_u64("seed", cfg.seed);
+    Ok(cfg)
+}
+
+fn artifacts_dir(args: &Args) -> PathBuf {
+    PathBuf::from(args.get("artifacts").or(args.get("out")).unwrap_or("lahd-artifacts"))
+}
+
+fn load(args: &Args) -> Result<(PipelineConfig, PipelineArtifacts), CliError> {
+    let cfg = scale_config(args)?;
+    let dir = artifacts_dir(args);
+    let artifacts = load_artifacts(&cfg, &dir).ok_or_else(|| {
+        err(format!(
+            "no artifacts for this configuration in {} — run `lahd pipeline` first \
+             (the --scale/--hidden/--seed options must match)",
+            dir.display()
+        ))
+    })?;
+    Ok((cfg, artifacts))
+}
+
+fn cmd_pipeline(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let cfg = scale_config(args)?;
+    let dir = artifacts_dir(args);
+    writeln!(
+        out,
+        "training (hidden={}, epochs={}+{}, traces={}×{})…",
+        cfg.hidden_dim, cfg.std_epochs, cfg.real_epochs, cfg.num_real_traces, cfg.trace_len
+    )?;
+    let started = std::time::Instant::now();
+    let artifacts = Pipeline::new(cfg).run();
+    save_artifacts(&artifacts, &dir)?;
+    writeln!(
+        out,
+        "done in {:.1}s: {} raw states → FSM with {} states / {} symbols / {} transitions",
+        started.elapsed().as_secs_f64(),
+        artifacts.raw_states,
+        artifacts.fsm.num_states(),
+        artifacts.fsm.num_symbols(),
+        artifacts.fsm.num_transitions()
+    )?;
+    writeln!(out, "artifacts saved to {}", dir.display())?;
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let (cfg, artifacts) = load(args)?;
+    let traces = if args.has_flag("heldout") {
+        real_trace_set(10, cfg.trace_len, cfg.seed.wrapping_add(777_000))
+    } else {
+        artifacts.real_traces.clone()
+    };
+
+    let mut default_policy = DefaultPolicy;
+    let mut handcrafted = HandcraftedFsm::tuned();
+    let mut gru = artifacts.gru_policy(cfg.sim.clone());
+    let mut fsm = artifacts.fsm_policy(cfg.sim.clone(), cfg.metric, cfg.nn_matching);
+    let mut policies: Vec<&mut dyn Policy> =
+        vec![&mut default_policy, &mut handcrafted, &mut gru, &mut fsm];
+    let c = Comparison::run(&mut policies, &cfg.sim, &traces, 999);
+
+    let with_oracle = args.has_flag("oracle");
+    let mut headers =
+        vec!["workload", "default", "handcrafted", "gru-drl", "extracted-fsm"];
+    if with_oracle {
+        headers.push("static-oracle");
+    }
+    let mut table = Table::new("makespan comparison", &headers);
+    let mut oracle_sum = 0.0;
+    for (row, trace) in traces.iter().enumerate() {
+        let mut cells = vec![
+            c.trace_names[row].clone(),
+            c.makespans[row][0].to_string(),
+            c.makespans[row][1].to_string(),
+            c.makespans[row][2].to_string(),
+            c.makespans[row][3].to_string(),
+        ];
+        if with_oracle {
+            let oracle = best_static_allocation(&cfg.sim, trace, 999 + row as u64);
+            oracle_sum += oracle.makespan as f64;
+            cells.push(format!("{} {:?}", oracle.makespan, oracle.allocation));
+        }
+        table.push_row(cells);
+    }
+    let mut mean_cells = vec![
+        "MEAN".to_string(),
+        format!("{:.1}", c.mean_makespan(0)),
+        format!("{:.1}", c.mean_makespan(1)),
+        format!("{:.1}", c.mean_makespan(2)),
+        format!("{:.1}", c.mean_makespan(3)),
+    ];
+    if with_oracle {
+        mean_cells.push(format!("{:.1}", oracle_sum / traces.len() as f64));
+    }
+    table.push_row(mean_cells);
+    write!(out, "{}", table.render())?;
+    writeln!(
+        out,
+        "reductions: handcrafted {:.1}% vs default; gru {:.1}% vs handcrafted; \
+         fsm {:+.1}% vs gru",
+        c.reduction_vs(1, 0) * 100.0,
+        c.reduction_vs(2, 1) * 100.0,
+        -c.reduction_vs(3, 2) * 100.0
+    )?;
+    Ok(())
+}
+
+fn cmd_explain(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let (cfg, artifacts) = load(args)?;
+    let mut policy = artifacts.fsm_policy(cfg.sim.clone(), cfg.metric, cfg.nn_matching);
+    policy.record_trajectory(true);
+    let mut trajectory = lahd_fsm::Trajectory::default();
+    for (i, trace) in artifacts.real_traces.iter().enumerate() {
+        policy.reset();
+        let mut sim = StorageSim::new(cfg.sim.clone(), trace.clone(), 6000 + i as u64);
+        sim.run_with(|obs| policy.act(obs));
+        trajectory.steps.extend(policy.take_trajectory().steps);
+    }
+    let report = explain_fsm(&artifacts.fsm, &trajectory, &cfg.sim);
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, &report)?;
+            writeln!(out, "report written to {path}")?;
+        }
+        None => write!(out, "{report}")?,
+    }
+    Ok(())
+}
+
+fn cmd_traces(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let len = args.get_usize("len", 96);
+    let seed = args.get_u64("seed", 2021);
+    let standard = standard_trace_set(len, seed);
+    let real = real_trace_set(10, len, seed);
+
+    let mut table = Table::new(
+        format!("synthetic traces ({len} intervals, seed {seed})"),
+        &["trace", "mean Q", "volume MiB/interval", "write %", "rate cv"],
+    );
+    for trace in standard.iter().chain(&real) {
+        let s = summarize(trace);
+        table.push_row(vec![
+            s.name.clone(),
+            format!("{:.0}", s.mean_requests),
+            format!("{:.0}", s.mean_volume_mib),
+            format!("{:.0}%", s.write_volume_share * 100.0),
+            format!("{:.2}", s.rate_cv),
+        ]);
+    }
+    write!(out, "{}", table.render())?;
+
+    if let Some(dir) = args.get("export") {
+        let dir = Path::new(dir);
+        fs::create_dir_all(dir)?;
+        let mut count = 0;
+        for trace in standard.iter().chain(&real) {
+            let file_name = format!("{}.trace", trace.name.replace('/', "_"));
+            let mut buf = Vec::new();
+            write_trace(trace, &mut buf)?;
+            fs::write(dir.join(&file_name), buf)?;
+            count += 1;
+        }
+        writeln!(out, "exported {count} traces to {}", dir.display())?;
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.get("trace").ok_or_else(|| err("--trace FILE is required"))?;
+    let file = fs::File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
+    let trace: WorkloadTrace = read_trace(&mut BufReader::new(file))
+        .map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+    let seed = args.get_u64("seed", 0);
+    let cfg = SimConfig { record_history: true, ..SimConfig::default() };
+
+    let policy_name = args.get("policy").unwrap_or("handcrafted");
+    let mut default_policy = DefaultPolicy;
+    let mut handcrafted = HandcraftedFsm::tuned();
+    let policy: &mut dyn Policy = match policy_name {
+        "default" => &mut default_policy,
+        "handcrafted" => &mut handcrafted,
+        other => return Err(err(format!("unknown --policy {other:?} (default|handcrafted)"))),
+    };
+
+    policy.reset();
+    let mut sim = StorageSim::new(cfg, trace.clone(), seed);
+    let metrics = sim.run_with(|obs| policy.act(obs));
+    let u = metrics.mean_utilization();
+    writeln!(out, "trace {} ({} intervals)", trace.name, trace.len())?;
+    writeln!(
+        out,
+        "policy {policy_name}: makespan {} (slowdown {:.2}), migrations {}, \
+         mean utilisation N/K/R = {:.2}/{:.2}/{:.2}",
+        metrics.makespan,
+        metrics.slowdown().unwrap_or(0.0),
+        metrics.migrations,
+        u[0],
+        u[1],
+        u[2]
+    )?;
+    if metrics.truncated {
+        writeln!(out, "warning: episode truncated at the interval cap")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(tokens: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(tokens.iter().map(|s| s.to_string()));
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lahd-cli-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn help_lists_all_subcommands() {
+        let text = run_cli(&["help"]).unwrap();
+        for sub in ["pipeline", "evaluate", "explain", "traces", "simulate"] {
+            assert!(text.contains(sub), "usage missing {sub}");
+        }
+        // No arguments behaves like help.
+        assert_eq!(run_cli(&[]).unwrap(), text);
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        let e = run_cli(&["frobnicate"]).unwrap_err();
+        assert!(e.0.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn traces_summary_and_export() {
+        let dir = temp_dir("traces");
+        let text = run_cli(&[
+            "traces",
+            "--len",
+            "16",
+            "--export",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("std/oltp-database"));
+        assert!(text.contains("exported 22 traces"));
+        assert!(dir.join("std_video-streaming.trace").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_runs_an_exported_trace() {
+        let dir = temp_dir("simulate");
+        run_cli(&["traces", "--len", "16", "--export", dir.to_str().unwrap()]).unwrap();
+        let trace_path = dir.join("std_web-server.trace");
+        let text = run_cli(&[
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--policy",
+            "default",
+        ])
+        .unwrap();
+        assert!(text.contains("policy default: makespan"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_policy() {
+        let dir = temp_dir("simulate-bad");
+        run_cli(&["traces", "--len", "8", "--export", dir.to_str().unwrap()]).unwrap();
+        let trace_path = dir.join("std_vdi.trace");
+        let e = run_cli(&[
+            "simulate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--policy",
+            "wizard",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("unknown --policy"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipeline_then_evaluate_then_explain_at_tiny_scale() {
+        let dir = temp_dir("full");
+        let out_flag = dir.to_str().unwrap();
+        let text =
+            run_cli(&["pipeline", "--scale", "tiny", "--out", out_flag]).unwrap();
+        assert!(text.contains("artifacts saved"));
+
+        let text = run_cli(&[
+            "evaluate",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+        ])
+        .unwrap();
+        assert!(text.contains("MEAN"));
+        assert!(text.contains("reductions:"));
+
+        let report_path = dir.join("report.md");
+        let text = run_cli(&[
+            "explain",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--out",
+            report_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("report written"));
+        let report = fs::read_to_string(&report_path).unwrap();
+        assert!(report.starts_with("# Extracted storage-tuning strategy"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evaluate_without_artifacts_fails_clearly() {
+        let e = run_cli(&[
+            "evaluate",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            "/nonexistent/lahd-artifacts",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("run `lahd pipeline` first"));
+    }
+}

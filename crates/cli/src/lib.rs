@@ -1,0 +1,18 @@
+//! Implementation of the `lahd` command-line tool.
+//!
+//! Subcommands (see [`run`]):
+//!
+//! * `pipeline` — train the DRL agent and extract the FSM, saving artifacts;
+//! * `evaluate` — the Figure-4 comparison over saved artifacts, optionally
+//!   with the static-allocation oracle;
+//! * `explain`  — generate the Markdown interpretation report for a saved
+//!   machine;
+//! * `traces`   — summarise or export the synthetic workload traces;
+//! * `simulate` — run a training-free policy over a trace file.
+//!
+//! The binary in `src/main.rs` is a thin wrapper so that everything here is
+//! testable as a library.
+
+mod commands;
+
+pub use commands::{run, CliError};

@@ -1,0 +1,12 @@
+//! The `lahd` binary: learning-aided heuristics design for storage systems.
+
+fn main() {
+    let args = lahd_core::Args::from_env();
+    match lahd_cli::run(&args, &mut std::io::stdout()) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

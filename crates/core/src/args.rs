@@ -1,0 +1,143 @@
+//! A tiny `--key value` argument parser for the experiment harnesses.
+//!
+//! The workspace avoids a CLI-framework dependency; the bench binaries only
+//! need `--key value` pairs and boolean flags, and must tolerate the
+//! arguments Cargo's bench runner injects (`--bench`, test filters).
+
+use std::collections::HashMap;
+
+/// Parsed arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parses from an iterator of tokens (excluding the program name).
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut positionals = Vec::new();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                // Positional tokens: subcommands for the CLI, ignorable
+                // filters when invoked through the cargo bench runner.
+                positionals.push(tok);
+                continue;
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                values.insert(k.to_string(), v.to_string());
+                continue;
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key.to_string(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Self { values, flags, positionals }
+    }
+
+    /// The `i`-th positional token (e.g. a CLI subcommand).
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Whether a bare `--flag` was present.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String value for `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// `usize` value with a default.
+    ///
+    /// # Panics
+    /// Panics with a clear message on unparseable input.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.parse_or(name, default)
+    }
+
+    /// `u64` value with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.parse_or(name, default)
+    }
+
+    /// `f64` value with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.parse_or(name, default)
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.values.get(name) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name}: cannot parse {raw:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse(&["--epochs", "50", "--seed", "9"]);
+        assert_eq!(a.get_usize("epochs", 0), 50);
+        assert_eq!(a.get_u64("seed", 0), 9);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse(&["--lr=0.003"]);
+        assert_eq!(a.get_f64("lr", 0.0), 0.003);
+    }
+
+    #[test]
+    fn flags_and_defaults() {
+        let a = parse(&["--paper", "--bench"]);
+        assert!(a.has_flag("paper"));
+        assert!(a.has_flag("bench"));
+        assert_eq!(a.get_usize("epochs", 42), 42);
+    }
+
+    #[test]
+    fn positionals_are_captured_in_order() {
+        let a = parse(&["evaluate", "--epochs", "3", "extra"]);
+        assert_eq!(a.get_usize("epochs", 0), 3);
+        assert_eq!(a.positional(0), Some("evaluate"));
+        assert_eq!(a.positional(1), Some("extra"));
+        assert_eq!(a.positional(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--epochs: cannot parse")]
+    fn bad_value_panics_with_context() {
+        let a = parse(&["--epochs", "many"]);
+        let _ = a.get_usize("epochs", 0);
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = parse(&["--delta", "-0.5"]);
+        assert_eq!(a.get_f64("delta", 0.0), -0.5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Saving and loading trained pipeline artifacts.
+//!
+//! A trained pipeline is four files in a directory — the agent's parameters,
+//! the two QBNs' parameters and the extracted machine — plus the convergence
+//! log and a small metadata file. All formats are the line-oriented text
+//! formats of `lahd-nn` and `lahd-fsm`, so a deployed artifact remains
+//! human-reviewable (the paper's white-box requirement).
+
+use std::fs;
+use std::io::BufReader;
+use std::path::Path;
+
+use lahd_fsm::{read_fsm, write_fsm};
+use lahd_nn::{read_params, write_params, ParamStore};
+use lahd_qbn::{Qbn, QbnConfig};
+use lahd_rl::{EpochLog, RecurrentActorCritic};
+use lahd_sim::{Action, Observation};
+
+use crate::pipeline::{Pipeline, PipelineArtifacts, PipelineConfig};
+
+/// Writes all artifacts into `dir` (created if missing).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_artifacts(artifacts: &PipelineArtifacts, dir: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let write_store = |name: &str, store: &ParamStore| -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        write_params(store, &mut buf)?;
+        fs::write(dir.join(name), buf)
+    };
+    write_store("agent.params", &artifacts.agent.store)?;
+    write_store("obs_qbn.params", &artifacts.obs_qbn.store)?;
+    write_store("hidden_qbn.params", &artifacts.hidden_qbn.store)?;
+
+    let mut fsm = Vec::new();
+    write_fsm(&artifacts.fsm, &mut fsm)?;
+    fs::write(dir.join("fsm.txt"), fsm)?;
+
+    let mut log = String::from("epoch,phase,total_steps,total_reward,mean_loss\n");
+    for l in &artifacts.convergence {
+        log.push_str(&format!(
+            "{},{},{},{},{}\n",
+            l.epoch, l.phase, l.total_steps, l.total_reward, l.mean_loss
+        ));
+    }
+    fs::write(dir.join("convergence.csv"), log)?;
+    fs::write(
+        dir.join("meta.txt"),
+        format!("raw_states {}\ndataset_len {}\n", artifacts.raw_states, artifacts.dataset_len),
+    )?;
+    Ok(())
+}
+
+/// Loads artifacts saved by [`save_artifacts`]. Returns `None` when the
+/// directory is missing, incomplete, corrupt, or shaped for a different
+/// configuration (the config supplies model dimensions and regenerates the
+/// trace sets).
+pub fn load_artifacts(cfg: &PipelineConfig, dir: &Path) -> Option<PipelineArtifacts> {
+    let read_store = |name: &str| -> Option<ParamStore> {
+        let file = fs::File::open(dir.join(name)).ok()?;
+        read_params(&mut BufReader::new(file)).ok()
+    };
+
+    let agent_store = read_store("agent.params")?;
+    let obs_store = read_store("obs_qbn.params")?;
+    let hid_store = read_store("hidden_qbn.params")?;
+    let fsm_file = fs::File::open(dir.join("fsm.txt")).ok()?;
+    let fsm = read_fsm(&mut BufReader::new(fsm_file)).ok()?;
+    let meta = fs::read_to_string(dir.join("meta.txt")).ok()?;
+    let convergence = load_convergence(&dir.join("convergence.csv"))?;
+
+    let mut agent =
+        RecurrentActorCritic::new(Observation::DIM, cfg.hidden_dim, Action::COUNT, cfg.seed);
+    if !layouts_match(&agent.store, &agent_store) {
+        return None;
+    }
+    agent.store.copy_values_from(&agent_store);
+
+    let mut obs_qbn = Qbn::new(QbnConfig::with_dims(Observation::DIM, cfg.obs_latent), 0);
+    if !layouts_match(&obs_qbn.store, &obs_store) {
+        return None;
+    }
+    obs_qbn.store.copy_values_from(&obs_store);
+
+    let mut hidden_qbn = Qbn::new(QbnConfig::with_dims(cfg.hidden_dim, cfg.hidden_latent), 0);
+    if !layouts_match(&hidden_qbn.store, &hid_store) {
+        return None;
+    }
+    hidden_qbn.store.copy_values_from(&hid_store);
+
+    let mut raw_states = 0;
+    let mut dataset_len = 0;
+    for line in meta.lines() {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some("raw_states"), Some(v)) => raw_states = v.parse().ok()?,
+            (Some("dataset_len"), Some(v)) => dataset_len = v.parse().ok()?,
+            _ => {}
+        }
+    }
+
+    let (std_traces, real_traces) = Pipeline::new(cfg.clone()).make_traces();
+    Some(PipelineArtifacts {
+        agent,
+        convergence,
+        obs_qbn,
+        hidden_qbn,
+        fsm,
+        raw_states,
+        dataset_len,
+        std_traces,
+        real_traces,
+    })
+}
+
+/// Whether two stores have pairwise identical parameter names and shapes
+/// (a non-panicking precondition of `ParamStore::copy_values_from`).
+fn layouts_match(expected: &ParamStore, loaded: &ParamStore) -> bool {
+    expected.len() == loaded.len()
+        && expected.iter().zip(loaded.iter()).all(|((_, a), (_, b))| {
+            a.name == b.name && a.value.shape() == b.value.shape()
+        })
+}
+
+fn load_convergence(path: &Path) -> Option<Vec<EpochLog>> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    for line in text.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != 5 {
+            return None;
+        }
+        out.push(EpochLog {
+            epoch: cells[0].parse().ok()?,
+            phase: cells[1].to_string(),
+            total_steps: cells[2].parse().ok()?,
+            total_reward: cells[3].parse().ok()?,
+            mean_loss: cells[4].parse().ok()?,
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lahd-artifacts-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_machine_and_agent() {
+        let cfg = PipelineConfig::tiny();
+        let artifacts = Pipeline::new(cfg.clone()).run();
+        let dir = temp_dir("roundtrip");
+        save_artifacts(&artifacts, &dir).unwrap();
+        let loaded = load_artifacts(&cfg, &dir).expect("loads");
+        assert_eq!(loaded.fsm.num_states(), artifacts.fsm.num_states());
+        assert_eq!(loaded.raw_states, artifacts.raw_states);
+        assert_eq!(loaded.convergence.len(), artifacts.convergence.len());
+        let obs = vec![0.25f32; Observation::DIM];
+        let a = artifacts.agent.infer(&obs, &artifacts.agent.initial_state());
+        let b = loaded.agent.infer(&obs, &loaded.agent.initial_state());
+        assert_eq!(a.logits, b.logits);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_loads_none() {
+        let cfg = PipelineConfig::tiny();
+        assert!(load_artifacts(&cfg, Path::new("/nonexistent/lahd")).is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_loads_none() {
+        let cfg = PipelineConfig::tiny();
+        let artifacts = Pipeline::new(cfg.clone()).run();
+        let dir = temp_dir("mismatch");
+        save_artifacts(&artifacts, &dir).unwrap();
+        let mut other = cfg.clone();
+        other.hidden_dim += 4;
+        assert!(load_artifacts(&other, &dir).is_none(), "wrong dims must be rejected");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_fsm_loads_none() {
+        let cfg = PipelineConfig::tiny();
+        let artifacts = Pipeline::new(cfg.clone()).run();
+        let dir = temp_dir("corrupt");
+        save_artifacts(&artifacts, &dir).unwrap();
+        fs::write(dir.join("fsm.txt"), "garbage").unwrap();
+        assert!(load_artifacts(&cfg, &dir).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

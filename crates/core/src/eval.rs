@@ -1,0 +1,270 @@
+//! Policy evaluation harness (the machinery behind Figure 4).
+
+use lahd_fsm::Policy;
+use lahd_rl::RecurrentActorCritic;
+use lahd_sim::{Action, EpisodeMetrics, Observation, SimConfig, StorageSim, WorkloadTrace};
+use lahd_tensor::Matrix;
+
+/// Wraps the trained GRU agent as a greedy simulator [`Policy`].
+pub struct GruPolicy {
+    agent: RecurrentActorCritic,
+    sim_cfg: SimConfig,
+    hidden: Matrix,
+    name: String,
+}
+
+impl GruPolicy {
+    /// Creates the policy; `sim_cfg` must match the training normalisation.
+    pub fn new(agent: RecurrentActorCritic, sim_cfg: SimConfig) -> Self {
+        let hidden = agent.initial_state();
+        Self { agent, sim_cfg, hidden, name: "gru-drl".to_string() }
+    }
+
+    /// Access to the wrapped agent.
+    pub fn agent(&self) -> &RecurrentActorCritic {
+        &self.agent
+    }
+}
+
+impl Policy for GruPolicy {
+    fn reset(&mut self) {
+        self.hidden = self.agent.initial_state();
+    }
+
+    fn act(&mut self, obs: &Observation) -> Action {
+        let v = obs.to_vector(&self.sim_cfg);
+        let step = self.agent.infer(&v, &self.hidden);
+        self.hidden = step.hidden;
+        Action::from_index(lahd_tensor::argmax(&step.logits))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Evaluates `policy` on every trace; trace `i` uses seed `base_seed + i` so
+/// all policies face identical idle-noise realisations.
+pub fn evaluate_policy(
+    policy: &mut dyn Policy,
+    cfg: &SimConfig,
+    traces: &[WorkloadTrace],
+    base_seed: u64,
+) -> Vec<EpisodeMetrics> {
+    traces
+        .iter()
+        .enumerate()
+        .map(|(i, trace)| {
+            policy.reset();
+            let mut sim =
+                StorageSim::new(cfg.clone(), trace.clone(), base_seed.wrapping_add(i as u64));
+            sim.run_with(|obs| policy.act(obs))
+        })
+        .collect()
+}
+
+/// Parallel variant of [`evaluate_policy`] for large trace sets (e.g. the
+/// paper-scale 50 real traces): `factory` builds one fresh policy instance
+/// per worker thread, and traces are split across up to 8 threads. Results
+/// come back in trace order, with the same per-trace seeds as the
+/// sequential version, so the two are interchangeable.
+pub fn evaluate_policy_parallel<P, F>(
+    factory: F,
+    cfg: &SimConfig,
+    traces: &[WorkloadTrace],
+    base_seed: u64,
+) -> Vec<EpisodeMetrics>
+where
+    P: Policy,
+    F: Fn() -> P + Sync,
+{
+    if traces.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8)
+        .min(traces.len());
+    let chunk_size = traces.len().div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in traces.chunks(chunk_size).enumerate() {
+            let factory = &factory;
+            handles.push(scope.spawn(move || {
+                let mut policy = factory();
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, trace)| {
+                        let trace_idx = chunk_idx * chunk_size + i;
+                        policy.reset();
+                        let mut sim = StorageSim::new(
+                            cfg.clone(),
+                            trace.clone(),
+                            base_seed.wrapping_add(trace_idx as u64),
+                        );
+                        sim.run_with(|obs| policy.act(obs))
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    })
+}
+
+/// The Figure 4 comparison: per-trace makespans for a set of policies.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Policy names, in column order.
+    pub policy_names: Vec<String>,
+    /// Trace names, in row order.
+    pub trace_names: Vec<String>,
+    /// `makespans[row][col]` = makespan of policy `col` on trace `row`.
+    pub makespans: Vec<Vec<usize>>,
+}
+
+impl Comparison {
+    /// Runs every policy over every trace with matched noise seeds.
+    pub fn run(
+        policies: &mut [&mut dyn Policy],
+        cfg: &SimConfig,
+        traces: &[WorkloadTrace],
+        base_seed: u64,
+    ) -> Self {
+        let mut makespans = vec![vec![0usize; policies.len()]; traces.len()];
+        for (col, policy) in policies.iter_mut().enumerate() {
+            let metrics = evaluate_policy(*policy, cfg, traces, base_seed);
+            for (row, m) in metrics.iter().enumerate() {
+                makespans[row][col] = m.makespan;
+            }
+        }
+        Self {
+            policy_names: policies.iter().map(|p| p.name().to_string()).collect(),
+            trace_names: traces.iter().map(|t| t.name.clone()).collect(),
+            makespans,
+        }
+    }
+
+    /// Mean makespan of policy column `col`.
+    pub fn mean_makespan(&self, col: usize) -> f64 {
+        if self.makespans.is_empty() {
+            return 0.0;
+        }
+        self.makespans.iter().map(|row| row[col] as f64).sum::<f64>()
+            / self.makespans.len() as f64
+    }
+
+    /// Relative makespan reduction of policy `a` versus policy `b`
+    /// (positive = `a` is faster), as a fraction.
+    pub fn reduction_vs(&self, a: usize, b: usize) -> f64 {
+        let (ma, mb) = (self.mean_makespan(a), self.mean_makespan(b));
+        if mb == 0.0 {
+            0.0
+        } else {
+            (mb - ma) / mb
+        }
+    }
+
+    /// Column index of a policy by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.policy_names.iter().position(|n| n == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_fsm::{DefaultPolicy, HandcraftedFsm};
+    use lahd_sim::{IntervalWorkload, NUM_IO_CLASSES};
+
+    fn traces() -> Vec<WorkloadTrace> {
+        // Two phases: read-heavy then write-heavy; gives the handcrafted
+        // policy something to rebalance.
+        let mut read_mix = [0.0; NUM_IO_CLASSES];
+        read_mix[4] = 1.0;
+        let mut write_mix = [0.0; NUM_IO_CLASSES];
+        write_mix[11] = 1.0;
+        let mut intervals = vec![IntervalWorkload::new(read_mix, 2600.0); 10];
+        intervals.extend(vec![IntervalWorkload::new(write_mix, 1500.0); 10]);
+        vec![WorkloadTrace::new("phased", intervals)]
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn gru_policy_is_deterministic_after_reset() {
+        let agent = RecurrentActorCritic::new(Observation::DIM, 8, Action::COUNT, 0);
+        let mut p = GruPolicy::new(agent, cfg());
+        let m1 = evaluate_policy(&mut p, &cfg(), &traces(), 0);
+        let m2 = evaluate_policy(&mut p, &cfg(), &traces(), 0);
+        assert_eq!(m1[0].makespan, m2[0].makespan);
+    }
+
+    #[test]
+    fn comparison_matrix_has_expected_shape() {
+        let mut d = DefaultPolicy;
+        let mut h = HandcraftedFsm::tuned();
+        let mut policies: Vec<&mut dyn Policy> = vec![&mut d, &mut h];
+        let c = Comparison::run(&mut policies, &cfg(), &traces(), 0);
+        assert_eq!(c.policy_names, vec!["default", "handcrafted"]);
+        assert_eq!(c.makespans.len(), 1);
+        assert_eq!(c.makespans[0].len(), 2);
+        assert!(c.makespans[0][0] >= 20);
+    }
+
+    #[test]
+    fn handcrafted_beats_default_on_phased_load() {
+        let mut d = DefaultPolicy;
+        let mut h = HandcraftedFsm::tuned();
+        let mut policies: Vec<&mut dyn Policy> = vec![&mut d, &mut h];
+        let c = Comparison::run(&mut policies, &cfg(), &traces(), 0);
+        let dd = c.column("default").unwrap();
+        let hh = c.column("handcrafted").unwrap();
+        assert!(
+            c.mean_makespan(hh) <= c.mean_makespan(dd),
+            "handcrafted {} should not lose to default {}",
+            c.mean_makespan(hh),
+            c.mean_makespan(dd)
+        );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let cfg = cfg();
+        let mut traces = traces();
+        // A couple more traces so the split actually exercises chunking.
+        traces.extend(traces.clone());
+        traces.extend(traces.clone());
+        let mut sequential_policy = HandcraftedFsm::tuned();
+        let sequential = evaluate_policy(&mut sequential_policy, &cfg, &traces, 42);
+        let parallel =
+            evaluate_policy_parallel(HandcraftedFsm::tuned, &cfg, &traces, 42);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.makespan, p.makespan);
+            assert_eq!(s.migrations, p.migrations);
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_of_empty_set_is_empty() {
+        assert!(evaluate_policy_parallel(HandcraftedFsm::tuned, &cfg(), &[], 0).is_empty());
+    }
+
+    #[test]
+    fn reduction_vs_is_signed_fraction() {
+        let c = Comparison {
+            policy_names: vec!["a".into(), "b".into()],
+            trace_names: vec!["t".into()],
+            makespans: vec![vec![80, 100]],
+        };
+        assert!((c.reduction_vs(0, 1) - 0.2).abs() < 1e-12);
+        assert!((c.reduction_vs(1, 0) + 0.25).abs() < 1e-12);
+    }
+}

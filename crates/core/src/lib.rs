@@ -1,0 +1,44 @@
+//! The LAHD pipeline — *Learning-Aided Heuristics Design for Storage
+//! System* (SIGMOD 2021) — end to end:
+//!
+//! 1. model the Dorado V6 core-allocation problem as an MDP over the
+//!    [`lahd_sim`] simulator ([`StorageEnv`], [`RewardMode`]);
+//! 2. train a GRU-based A2C agent with curriculum learning
+//!    ([`Pipeline::train_with_curriculum`]);
+//! 3. roll the trained agent out to collect the `⟨h, h′, o, a⟩` transition
+//!    dataset ([`Pipeline::collect_dataset`]);
+//! 4. fit quantized bottleneck networks over observations and hidden states
+//!    ([`Pipeline::fit_qbns`]);
+//! 5. extract and minimise the finite state machine
+//!    ([`Pipeline::extract`]);
+//! 6. evaluate the white-box FSM against the DRL teacher and the paper's
+//!    baselines ([`Comparison`]), and interpret its states (via
+//!    [`lahd_fsm::interpret_states`]).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use lahd_core::{Pipeline, PipelineConfig};
+//!
+//! let pipeline = Pipeline::new(PipelineConfig::demo());
+//! let artifacts = pipeline.run();
+//! println!("extracted FSM with {} states", artifacts.fsm.num_states());
+//! ```
+
+mod args;
+mod artifacts;
+mod env;
+mod eval;
+mod explain;
+mod oracle;
+mod pipeline;
+mod report;
+
+pub use args::Args;
+pub use artifacts::{load_artifacts, save_artifacts};
+pub use env::{RewardMode, StorageEnv};
+pub use eval::{evaluate_policy, evaluate_policy_parallel, Comparison, GruPolicy};
+pub use explain::explain_fsm;
+pub use oracle::{best_static_allocation, OracleResult};
+pub use pipeline::{action_names, Pipeline, PipelineArtifacts, PipelineConfig};
+pub use report::{fmt_f, fmt_pct, Table};

@@ -1,0 +1,154 @@
+//! Oracle reference: the best *static* core allocation, found by exhaustive
+//! search.
+//!
+//! The paper's baselines are dynamic-vs-static only in one direction (the
+//! default is a fixed allocation). The static oracle answers a sharper
+//! question for EXPERIMENTS.md: how much of the learned policies' advantage
+//! comes from picking a better *operating point*, and how much from moving
+//! between operating points over time? A dynamic policy that loses to the
+//! static oracle on some trace has not yet learned to anticipate.
+
+use lahd_sim::{Action, SimConfig, StorageSim, WorkloadTrace};
+
+/// Outcome of the static-allocation search for one trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleResult {
+    /// Best-found allocation `[NORMAL, KV, RV]`.
+    pub allocation: [usize; 3],
+    /// Its makespan.
+    pub makespan: usize,
+}
+
+/// Exhaustively evaluates every allocation `(n_N, n_K, n_R)` with
+/// `n_i ≥ min_cores_per_level` and `Σ n_i = total_cores`, running the trace
+/// under a no-migration policy, and returns the best (ties: first found in
+/// lexicographic order).
+///
+/// For 32 cores and a minimum of 1 per level this is 465 simulator runs;
+/// threads split the candidate list.
+pub fn best_static_allocation(
+    cfg: &SimConfig,
+    trace: &WorkloadTrace,
+    seed: u64,
+) -> OracleResult {
+    let candidates = enumerate_allocations(cfg.total_cores, cfg.min_cores_per_level);
+    assert!(!candidates.is_empty(), "no feasible allocation");
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let chunk_size = candidates.len().div_ceil(threads);
+    let results = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in candidates.chunks(chunk_size) {
+            handles.push(scope.spawn(move || {
+                let mut best: Option<OracleResult> = None;
+                for &allocation in chunk {
+                    let run_cfg = SimConfig {
+                        initial_allocation: allocation,
+                        record_history: false,
+                        ..cfg.clone()
+                    };
+                    let mut sim = StorageSim::new(run_cfg, trace.clone(), seed);
+                    let metrics = sim.run_with(|_| Action::Noop);
+                    let candidate = OracleResult { allocation, makespan: metrics.makespan };
+                    best = Some(match best {
+                        None => candidate,
+                        Some(b) if candidate.makespan < b.makespan => candidate,
+                        Some(b) => b,
+                    });
+                }
+                best.expect("non-empty chunk")
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("oracle worker")).collect::<Vec<_>>()
+    });
+
+    results
+        .into_iter()
+        .min_by_key(|r| (r.makespan, r.allocation))
+        .expect("at least one chunk")
+}
+
+/// All feasible `[n_N, n_K, n_R]` splits.
+fn enumerate_allocations(total: usize, min_per_level: usize) -> Vec<[usize; 3]> {
+    let mut out = Vec::new();
+    if total < 3 * min_per_level {
+        return out;
+    }
+    for n in min_per_level..=total - 2 * min_per_level {
+        for k in min_per_level..=total - n - min_per_level {
+            let r = total - n - k;
+            if r >= min_per_level {
+                out.push([n, k, r]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_sim::{IntervalWorkload, NUM_IO_CLASSES};
+
+    fn quiet_cfg() -> SimConfig {
+        SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+    }
+
+    fn write_trace(n: usize, q: f64) -> WorkloadTrace {
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[11] = 1.0; // 64 KiB writes
+        WorkloadTrace::new("writes", vec![IntervalWorkload::new(mix, q); n])
+    }
+
+    #[test]
+    fn enumeration_counts_match_stars_and_bars() {
+        // total=32, min=1 → C(29+2, 2) compositions of 29 into 3 parts
+        // shifted: C(31,2) = 465.
+        assert_eq!(enumerate_allocations(32, 1).len(), 465);
+        assert_eq!(enumerate_allocations(6, 2).len(), 1); // only [2,2,2]
+        assert!(enumerate_allocations(5, 2).is_empty());
+    }
+
+    #[test]
+    fn every_enumerated_allocation_is_feasible() {
+        for alloc in enumerate_allocations(16, 2) {
+            assert_eq!(alloc.iter().sum::<usize>(), 16);
+            assert!(alloc.iter().all(|&c| c >= 2));
+        }
+    }
+
+    #[test]
+    fn oracle_beats_default_on_mismatched_load() {
+        // Sustained writes make the default [18,7,7] KV-starved; the oracle
+        // must find a KV-heavier split with a smaller makespan.
+        let cfg = quiet_cfg();
+        let trace = write_trace(24, 1400.0);
+        let mut default_sim = SimConfig { record_history: false, ..cfg.clone() };
+        default_sim.initial_allocation = cfg.initial_allocation;
+        let mut sim = StorageSim::new(default_sim, trace.clone(), 0);
+        let default_k = sim.run_with(|_| Action::Noop).makespan;
+
+        let oracle = best_static_allocation(&cfg, &trace, 0);
+        assert!(
+            oracle.makespan < default_k,
+            "oracle {:?} (K={}) should beat default (K={default_k})",
+            oracle.allocation,
+            oracle.makespan
+        );
+        assert!(
+            oracle.allocation[1] > cfg.initial_allocation[1],
+            "write load should pull cores toward KV, got {:?}",
+            oracle.allocation
+        );
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let cfg = quiet_cfg();
+        let trace = write_trace(12, 900.0);
+        assert_eq!(
+            best_static_allocation(&cfg, &trace, 3),
+            best_static_allocation(&cfg, &trace, 3)
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Baseline policies from the paper's evaluation (§4.3.2).
+
+use lahd_sim::{Action, Level, Observation};
+
+use crate::policy::Policy;
+
+/// The production default: "no CPU migration during testing".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DefaultPolicy;
+
+impl Policy for DefaultPolicy {
+    fn reset(&mut self) {}
+
+    fn act(&mut self, _obs: &Observation) -> Action {
+        Action::Noop
+    }
+
+    fn name(&self) -> &str {
+        "default"
+    }
+}
+
+/// The expert-handcrafted FSM: "migrating CPU cores from the level with the
+/// lowest CPU utilization rate to the one with the highest CPU utilization
+/// rate".
+///
+/// Implemented as the two-state machine an expert would actually ship:
+///
+/// * **Watch** — if the busiest level is *saturated* (utilisation at least
+///   `saturation_threshold`, i.e. it is burning its whole capacity and
+///   likely backlogged) and the gap to the idlest level exceeds
+///   `gap_threshold`, migrate one core from the idlest to the busiest level
+///   and enter **Cooldown**;
+/// * **Cooldown(n)** — hold for `cooldown` intervals so the migrated core's
+///   penalty interval and the next utilisation sample are not acted upon
+///   (prevents oscillation).
+///
+/// The saturation guard is what stops the rule from strip-mining the quiet
+/// levels during a long one-sided phase and then paying double when the
+/// workload flips — the failure mode a pure min→max rule exhibits.
+#[derive(Clone, Copy, Debug)]
+pub struct HandcraftedFsm {
+    /// Minimum utilisation gap before migrating.
+    pub gap_threshold: f64,
+    /// Minimum utilisation of the busiest level before it may receive a
+    /// core.
+    pub saturation_threshold: f64,
+    /// Intervals to hold after each migration.
+    pub cooldown: usize,
+    remaining_cooldown: usize,
+}
+
+impl HandcraftedFsm {
+    /// Creates the policy with explicit thresholds.
+    pub fn new(gap_threshold: f64, saturation_threshold: f64, cooldown: usize) -> Self {
+        assert!((0.0..=1.0).contains(&gap_threshold), "gap threshold must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&saturation_threshold),
+            "saturation threshold must be in [0, 1]"
+        );
+        Self { gap_threshold, saturation_threshold, cooldown, remaining_cooldown: 0 }
+    }
+
+    /// The tuning the expert settled on in user-acceptance testing.
+    pub fn tuned() -> Self {
+        Self::new(0.15, 0.9, 1)
+    }
+}
+
+impl Default for HandcraftedFsm {
+    fn default() -> Self {
+        Self::tuned()
+    }
+}
+
+impl Policy for HandcraftedFsm {
+    fn reset(&mut self) {
+        self.remaining_cooldown = 0;
+    }
+
+    fn act(&mut self, obs: &Observation) -> Action {
+        if self.remaining_cooldown > 0 {
+            self.remaining_cooldown -= 1;
+            return Action::Noop;
+        }
+        let u = &obs.utilization;
+        let mut hi = 0;
+        let mut lo = 0;
+        for i in 1..3 {
+            if u[i] > u[hi] {
+                hi = i;
+            }
+            if u[i] < u[lo] {
+                lo = i;
+            }
+        }
+        if hi == lo
+            || u[hi] < self.saturation_threshold
+            || u[hi] - u[lo] < self.gap_threshold
+        {
+            return Action::Noop;
+        }
+        self.remaining_cooldown = self.cooldown;
+        Action::Migrate { from: Level::from_index(lo), to: Level::from_index(hi) }
+    }
+
+    fn name(&self) -> &str {
+        "handcrafted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_sim::{canonical_io_classes, IntervalWorkload, NUM_IO_CLASSES};
+
+    fn obs_with_util(u: [f64; 3]) -> Observation {
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[0] = 1.0;
+        Observation::new([16, 8, 8], u, &canonical_io_classes(), &IntervalWorkload::new(mix, 10.0))
+    }
+
+    #[test]
+    fn default_policy_never_migrates() {
+        let mut p = DefaultPolicy;
+        for u in [[0.0, 1.0, 0.5], [1.0, 0.0, 0.0]] {
+            assert_eq!(p.act(&obs_with_util(u)), Action::Noop);
+        }
+    }
+
+    #[test]
+    fn handcrafted_moves_from_idle_to_saturated() {
+        let mut p = HandcraftedFsm::new(0.1, 0.95, 0);
+        let a = p.act(&obs_with_util([0.98, 0.2, 0.5]));
+        assert_eq!(a, Action::Migrate { from: Level::Kv, to: Level::Normal });
+    }
+
+    #[test]
+    fn handcrafted_holds_when_balanced() {
+        let mut p = HandcraftedFsm::new(0.1, 0.95, 0);
+        assert_eq!(p.act(&obs_with_util([0.5, 0.55, 0.52])), Action::Noop);
+    }
+
+    #[test]
+    fn handcrafted_holds_when_busy_level_not_saturated() {
+        // Big gap but the busiest level is not backlogged: migrating cannot
+        // shorten the makespan, so the expert rule holds.
+        let mut p = HandcraftedFsm::new(0.1, 0.95, 0);
+        assert_eq!(p.act(&obs_with_util([0.7, 0.1, 0.3])), Action::Noop);
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_migrations() {
+        let mut p = HandcraftedFsm::new(0.1, 0.95, 2);
+        let busy = obs_with_util([0.99, 0.1, 0.5]);
+        assert!(p.act(&busy).is_migration());
+        assert_eq!(p.act(&busy), Action::Noop);
+        assert_eq!(p.act(&busy), Action::Noop);
+        assert!(p.act(&busy).is_migration());
+    }
+
+    #[test]
+    fn reset_clears_cooldown() {
+        let mut p = HandcraftedFsm::new(0.1, 0.95, 5);
+        let busy = obs_with_util([0.99, 0.1, 0.5]);
+        assert!(p.act(&busy).is_migration());
+        p.reset();
+        assert!(p.act(&busy).is_migration());
+    }
+
+    #[test]
+    #[should_panic(expected = "gap threshold")]
+    fn invalid_threshold_rejected() {
+        let _ = HandcraftedFsm::new(1.5, 0.95, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Graphviz DOT export of extracted machines (the paper's Figure 5 artwork).
+
+use std::fmt::Write as _;
+
+use crate::machine::Fsm;
+
+/// Renders the machine as a Graphviz digraph.
+///
+/// * node label: `S<i>\n<action name>`;
+/// * node pen width scales with the state's share of transitions (the
+///   paper's "thickness of circle denotes how many transitions are
+///   associated with the state");
+/// * edge label: observed transition count; parallel symbol edges between
+///   the same state pair are merged and their counts summed.
+///
+/// `action_names[i]` names action index `i` (e.g. `Noop`, `N=>R`).
+pub fn to_dot(fsm: &Fsm, action_names: &[String]) -> String {
+    let total: usize = fsm.states.iter().map(|s| s.support).sum();
+    let mut out = String::new();
+    out.push_str("digraph extracted_fsm {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n");
+
+    for (i, s) in fsm.states.iter().enumerate() {
+        let share = if total > 0 { s.support as f64 / total as f64 } else { 0.0 };
+        let penwidth = 1.0 + 6.0 * share;
+        let action = action_names
+            .get(s.action)
+            .map(String::as_str)
+            .unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "  s{i} [label=\"S{i}\\n{action}\", penwidth={penwidth:.2}];"
+        );
+    }
+
+    // Merge parallel edges (many symbols may drive the same state pair).
+    let mut merged: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
+    for (&(src, _), &(dst, count)) in &fsm.transitions {
+        *merged.entry((src, dst)).or_insert(0) += count;
+    }
+    for ((src, dst), count) in merged {
+        let _ = writeln!(out, "  s{src} -> s{dst} [label=\"{count}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::testutil::two_state_fsm;
+
+    fn names() -> Vec<String> {
+        vec!["Noop".into(), "N=>K".into()]
+    }
+
+    #[test]
+    fn dot_contains_all_states_and_actions() {
+        let dot = to_dot(&two_state_fsm(), &names());
+        assert!(dot.contains("s0 [label=\"S0\\nNoop\""));
+        assert!(dot.contains("s1 [label=\"S1\\nN=>K\""));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn parallel_edges_are_merged_with_summed_counts() {
+        let dot = to_dot(&two_state_fsm(), &names());
+        // (0,1)→0 count 5 and (1,1)→1 count 3 are self-loops; (0,0)→1
+        // count 10 and (1,0)→0 count 8 are the cross edges.
+        assert!(dot.contains("s0 -> s1 [label=\"10\"]"));
+        assert!(dot.contains("s1 -> s0 [label=\"8\"]"));
+        assert!(dot.contains("s0 -> s0 [label=\"5\"]"));
+    }
+
+    #[test]
+    fn busier_states_draw_thicker() {
+        let dot = to_dot(&two_state_fsm(), &names());
+        let pw = |state: &str| -> f64 {
+            let line = dot.lines().find(|l| l.contains(state)).unwrap();
+            let idx = line.find("penwidth=").unwrap() + "penwidth=".len();
+            line[idx..].trim_end_matches("];").parse().unwrap()
+        };
+        assert!(pw("s0 [") > pw("s1 ["));
+    }
+
+    #[test]
+    fn unknown_action_index_renders_placeholder() {
+        let dot = to_dot(&two_state_fsm(), &[]);
+        assert!(dot.contains("\\n?\""));
+    }
+}

@@ -1,0 +1,292 @@
+//! Interpretation of extracted states (paper §3.3).
+//!
+//! Two complementary analyses explain what each FSM state *means*:
+//!
+//! 1. **Fan-in / fan-out statistics** — the average continuous observation
+//!    on transitions *into* and *out of* each state (self-transitions are
+//!    excluded, per the paper). The action the state emits is what causes
+//!    the shift between its fan-in and fan-out averages.
+//! 2. **History windows** — the average of the last `W` observations before
+//!    each entry into a state, explaining what drives the transition
+//!    (Figure 6 plots this for S2).
+
+use crate::policy::Trajectory;
+
+/// Fan-in/fan-out interpretation of one FSM state.
+#[derive(Clone, Debug)]
+pub struct StateInterpretation {
+    /// State id.
+    pub state: usize,
+    /// Action the state emits.
+    pub action: usize,
+    /// Steps that ended in this state (including self-transitions) — the
+    /// "thickness" of the circle in the paper's Figure 5.
+    pub visits: usize,
+    /// Entries from a *different* state.
+    pub entries: usize,
+    /// Exits to a *different* state.
+    pub exits: usize,
+    /// Mean observation over entry transitions (empty if none).
+    pub fan_in_mean: Vec<f32>,
+    /// Mean observation over exit transitions (empty if none).
+    pub fan_out_mean: Vec<f32>,
+}
+
+impl StateInterpretation {
+    /// Per-dimension difference fan-out − fan-in: how the environment moved
+    /// while the state's action was applied. Empty when either side has no
+    /// samples.
+    pub fn reaction(&self) -> Vec<f32> {
+        if self.fan_in_mean.is_empty() || self.fan_out_mean.is_empty() {
+            return Vec::new();
+        }
+        self.fan_out_mean
+            .iter()
+            .zip(&self.fan_in_mean)
+            .map(|(o, i)| o - i)
+            .collect()
+    }
+}
+
+/// Computes fan-in/fan-out statistics for every state in `0..num_states`.
+///
+/// `state_actions[s]` is the action emitted by state `s` (from the FSM).
+pub fn interpret_states(
+    traj: &Trajectory,
+    num_states: usize,
+    state_actions: &[usize],
+) -> Vec<StateInterpretation> {
+    assert_eq!(state_actions.len(), num_states, "one action per state required");
+    let obs_dim = traj.steps.first().map_or(0, |s| s.obs.len());
+    let mut fan_in_sum = vec![vec![0.0f64; obs_dim]; num_states];
+    let mut fan_out_sum = vec![vec![0.0f64; obs_dim]; num_states];
+    let mut entries = vec![0usize; num_states];
+    let mut exits = vec![0usize; num_states];
+    let mut visits = vec![0usize; num_states];
+
+    for step in &traj.steps {
+        visits[step.to_state] += 1;
+        if step.from_state != step.to_state {
+            // The observation triggering the entry is the fan-in of the
+            // target state and the fan-out of the source state.
+            entries[step.to_state] += 1;
+            exits[step.from_state] += 1;
+            for (acc, &v) in fan_in_sum[step.to_state].iter_mut().zip(&step.obs) {
+                *acc += f64::from(v);
+            }
+            for (acc, &v) in fan_out_sum[step.from_state].iter_mut().zip(&step.obs) {
+                *acc += f64::from(v);
+            }
+        }
+    }
+
+    (0..num_states)
+        .map(|s| StateInterpretation {
+            state: s,
+            action: state_actions[s],
+            visits: visits[s],
+            entries: entries[s],
+            exits: exits[s],
+            fan_in_mean: mean_or_empty(&fan_in_sum[s], entries[s]),
+            fan_out_mean: mean_or_empty(&fan_out_sum[s], exits[s]),
+        })
+        .collect()
+}
+
+fn mean_or_empty(sum: &[f64], count: usize) -> Vec<f32> {
+    if count == 0 {
+        Vec::new()
+    } else {
+        sum.iter().map(|&s| (s / count as f64) as f32).collect()
+    }
+}
+
+/// Average history window before entries into `state`: element `w` of the
+/// result is the mean observation `window − w` steps *before* the entry
+/// (so the last element is the observation immediately before entry).
+///
+/// Entries closer than `window` steps to the episode start are skipped, as
+/// are self-transitions. Returns an empty vector if no qualifying entry
+/// exists.
+pub fn history_window(traj: &Trajectory, state: usize, window: usize) -> Vec<Vec<f32>> {
+    assert!(window > 0, "window must be positive");
+    let obs_dim = traj.steps.first().map_or(0, |s| s.obs.len());
+    let mut sums = vec![vec![0.0f64; obs_dim]; window];
+    let mut count = 0usize;
+
+    for (i, step) in traj.steps.iter().enumerate() {
+        if step.to_state != state || step.from_state == state || i < window {
+            continue;
+        }
+        count += 1;
+        for (sum_row, step) in sums.iter_mut().zip(&traj.steps[i - window..i]) {
+            for (acc, &v) in sum_row.iter_mut().zip(&step.obs) {
+                *acc += f64::from(v);
+            }
+        }
+    }
+
+    if count == 0 {
+        return Vec::new();
+    }
+    sums.into_iter()
+        .map(|row| row.into_iter().map(|s| (s / count as f64) as f32).collect())
+        .collect()
+}
+
+/// Profile of one directed edge of the executed machine — the labelled
+/// arrows of the paper's Figure 5.
+#[derive(Clone, Debug)]
+pub struct EdgeProfile {
+    /// Source state.
+    pub from: usize,
+    /// Target state.
+    pub to: usize,
+    /// Times the edge fired.
+    pub count: usize,
+    /// Mean continuous observation over the firings.
+    pub mean_obs: Vec<f32>,
+}
+
+/// Aggregates every `(from, to)` pair that fired in the trajectory
+/// (self-loops included), with the average observation that triggered it.
+/// Sorted by firing count, descending — the thickest arrows first.
+pub fn edge_profiles(traj: &Trajectory) -> Vec<EdgeProfile> {
+    use std::collections::HashMap;
+    let obs_dim = traj.steps.first().map_or(0, |s| s.obs.len());
+    let mut acc: HashMap<(usize, usize), (usize, Vec<f64>)> = HashMap::new();
+    for step in &traj.steps {
+        let entry = acc
+            .entry((step.from_state, step.to_state))
+            .or_insert_with(|| (0, vec![0.0; obs_dim]));
+        entry.0 += 1;
+        for (a, &v) in entry.1.iter_mut().zip(&step.obs) {
+            *a += f64::from(v);
+        }
+    }
+    let mut edges: Vec<EdgeProfile> = acc
+        .into_iter()
+        .map(|((from, to), (count, sums))| EdgeProfile {
+            from,
+            to,
+            count,
+            mean_obs: sums.iter().map(|&s| (s / count as f64) as f32).collect(),
+        })
+        .collect();
+    edges.sort_by_key(|e| (std::cmp::Reverse(e.count), e.from, e.to));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TrajStep;
+
+    fn step(t: usize, from: usize, to: usize, obs: Vec<f32>) -> TrajStep {
+        TrajStep { t, from_state: from, symbol: Some(0), to_state: to, obs, action: 0 }
+    }
+
+    fn sample_traj() -> Trajectory {
+        // 0→0 (self), 0→1 (entry obs [1,0]), 1→1 (self), 1→0 (entry [0,1]).
+        Trajectory {
+            steps: vec![
+                step(0, 0, 0, vec![0.5, 0.5]),
+                step(1, 0, 1, vec![1.0, 0.0]),
+                step(2, 1, 1, vec![0.9, 0.1]),
+                step(3, 1, 0, vec![0.0, 1.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn fan_in_excludes_self_transitions() {
+        let interp = interpret_states(&sample_traj(), 2, &[0, 1]);
+        // State 1 entered once with obs [1, 0].
+        assert_eq!(interp[1].entries, 1);
+        assert_eq!(interp[1].fan_in_mean, vec![1.0, 0.0]);
+        // Its only exit carried [0, 1].
+        assert_eq!(interp[1].exits, 1);
+        assert_eq!(interp[1].fan_out_mean, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn visits_count_all_arrivals() {
+        let interp = interpret_states(&sample_traj(), 2, &[0, 1]);
+        assert_eq!(interp[0].visits, 2); // self-loop + re-entry
+        assert_eq!(interp[1].visits, 2);
+    }
+
+    #[test]
+    fn reaction_is_fan_out_minus_fan_in() {
+        let interp = interpret_states(&sample_traj(), 2, &[0, 1]);
+        assert_eq!(interp[1].reaction(), vec![-1.0, 1.0]);
+    }
+
+    #[test]
+    fn reaction_empty_without_entries() {
+        let traj = Trajectory { steps: vec![step(0, 0, 0, vec![1.0])] };
+        let interp = interpret_states(&traj, 1, &[0]);
+        assert!(interp[0].reaction().is_empty());
+    }
+
+    #[test]
+    fn history_window_averages_preceding_steps() {
+        // Build: [a, b, entry into 1], window 2 → rows = obs of steps 0,1.
+        let traj = Trajectory {
+            steps: vec![
+                step(0, 0, 0, vec![1.0, 0.0]),
+                step(1, 0, 0, vec![0.0, 1.0]),
+                step(2, 0, 1, vec![0.5, 0.5]),
+            ],
+        };
+        let h = history_window(&traj, 1, 2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0], vec![1.0, 0.0]);
+        assert_eq!(h[1], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn history_skips_entries_too_close_to_start() {
+        let traj = Trajectory { steps: vec![step(0, 0, 1, vec![1.0])] };
+        assert!(history_window(&traj, 1, 3).is_empty());
+    }
+
+    #[test]
+    fn edge_profiles_aggregate_and_sort() {
+        let traj = Trajectory {
+            steps: vec![
+                step(0, 0, 1, vec![1.0, 0.0]),
+                step(1, 1, 0, vec![0.0, 1.0]),
+                step(2, 0, 1, vec![3.0, 0.0]),
+                step(3, 1, 1, vec![9.0, 9.0]),
+            ],
+        };
+        let edges = edge_profiles(&traj);
+        assert_eq!(edges.len(), 3);
+        // The 0→1 edge fired twice and sorts first.
+        assert_eq!((edges[0].from, edges[0].to, edges[0].count), (0, 1, 2));
+        assert_eq!(edges[0].mean_obs, vec![2.0, 0.0]);
+        // Self-loops are included.
+        assert!(edges.iter().any(|e| e.from == 1 && e.to == 1));
+    }
+
+    #[test]
+    fn edge_profiles_of_empty_trajectory_is_empty() {
+        assert!(edge_profiles(&Trajectory::default()).is_empty());
+    }
+
+    #[test]
+    fn history_averages_across_multiple_entries() {
+        let traj = Trajectory {
+            steps: vec![
+                step(0, 0, 0, vec![2.0]),
+                step(1, 0, 1, vec![0.0]), // entry 1, history = [2.0]
+                step(2, 1, 0, vec![4.0]),
+                step(3, 0, 1, vec![0.0]), // entry 2, history = [4.0]
+            ],
+        };
+        let h = history_window(&traj, 1, 1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0], vec![3.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! The extracted finite state machine (a Moore machine over quantized
+//! observation symbols).
+
+use std::collections::HashMap;
+
+use lahd_qbn::Code;
+
+/// One FSM state: a quantized hidden-state code with the action it emits.
+#[derive(Clone, Debug)]
+pub struct FsmState {
+    /// The quantized hidden code this state was built from (representative
+    /// code after minimisation).
+    pub code: Code,
+    /// Index of the action this state emits (every state corresponds to one
+    /// unique action, paper §3.3).
+    pub action: usize,
+    /// Number of dataset transitions that land in this state.
+    pub support: usize,
+}
+
+/// One observation symbol: a quantized observation code plus the centroid of
+/// the continuous observations that produced it (used for nearest-neighbour
+/// generalisation, paper §3.2.2).
+#[derive(Clone, Debug)]
+pub struct ObsSymbol {
+    /// Quantized observation code.
+    pub code: Code,
+    /// Mean continuous observation vector over all occurrences.
+    pub centroid: Vec<f32>,
+    /// Number of dataset occurrences.
+    pub support: usize,
+}
+
+/// A Moore machine extracted from a recurrent policy.
+#[derive(Clone, Debug, Default)]
+pub struct Fsm {
+    /// States in id order.
+    pub states: Vec<FsmState>,
+    /// Observation symbols in id order.
+    pub symbols: Vec<ObsSymbol>,
+    /// `(state, symbol) → (next_state, observed_count)`.
+    pub transitions: HashMap<(usize, usize), (usize, usize)>,
+    /// Start state (the quantized initial hidden state).
+    pub initial_state: usize,
+}
+
+impl Fsm {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of observation symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Number of distinct transition entries.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The successor of `(state, symbol)` if the pair was observed.
+    pub fn next_state(&self, state: usize, symbol: usize) -> Option<usize> {
+        self.transitions.get(&(state, symbol)).map(|&(s, _)| s)
+    }
+
+    /// Action emitted by `state`.
+    pub fn action_of(&self, state: usize) -> usize {
+        self.states[state].action
+    }
+
+    /// Looks up a symbol id by its quantized code.
+    pub fn symbol_by_code(&self, code: &Code) -> Option<usize> {
+        self.symbols.iter().position(|s| &s.code == code)
+    }
+
+    /// Symbols that have an outgoing transition from `state`.
+    pub fn symbols_from(&self, state: usize) -> Vec<usize> {
+        self.transitions
+            .keys()
+            .filter(|&&(s, _)| s == state)
+            .map(|&(_, sym)| sym)
+            .collect()
+    }
+
+    /// Total observed transition count (dataset size it was built from).
+    pub fn total_transition_count(&self) -> usize {
+        self.transitions.values().map(|&(_, c)| c).sum()
+    }
+
+    /// Validates internal consistency (ids in range, non-empty).
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.states.is_empty() {
+            return Err("FSM has no states".into());
+        }
+        if self.initial_state >= self.states.len() {
+            return Err("initial state out of range".into());
+        }
+        for (&(s, o), &(n, _)) in &self.transitions {
+            if s >= self.states.len() || n >= self.states.len() {
+                return Err(format!("transition ({s},{o})→{n} references missing state"));
+            }
+            if o >= self.symbols.len() {
+                return Err(format!("transition ({s},{o}) references missing symbol"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Builds a small hand-rolled FSM used by several test modules:
+    ///
+    /// ```text
+    /// s0(action 0) --sym0--> s1(action 1) --sym0--> s0
+    /// s0           --sym1--> s0
+    /// s1           --sym1--> s1
+    /// ```
+    pub fn two_state_fsm() -> Fsm {
+        let mut transitions = HashMap::new();
+        transitions.insert((0, 0), (1, 10));
+        transitions.insert((0, 1), (0, 5));
+        transitions.insert((1, 0), (0, 8));
+        transitions.insert((1, 1), (1, 3));
+        Fsm {
+            states: vec![
+                FsmState { code: Code(vec![0, 0]), action: 0, support: 15 },
+                FsmState { code: Code(vec![1, 0]), action: 1, support: 11 },
+            ],
+            symbols: vec![
+                ObsSymbol { code: Code(vec![1]), centroid: vec![1.0, 0.0], support: 18 },
+                ObsSymbol { code: Code(vec![-1]), centroid: vec![0.0, 1.0], support: 8 },
+            ],
+            transitions,
+            initial_state: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::two_state_fsm;
+    use super::*;
+
+    #[test]
+    fn lookup_and_counts() {
+        let fsm = two_state_fsm();
+        assert_eq!(fsm.num_states(), 2);
+        assert_eq!(fsm.num_symbols(), 2);
+        assert_eq!(fsm.num_transitions(), 4);
+        assert_eq!(fsm.next_state(0, 0), Some(1));
+        assert_eq!(fsm.next_state(1, 1), Some(1));
+        assert_eq!(fsm.action_of(1), 1);
+        assert_eq!(fsm.total_transition_count(), 26);
+    }
+
+    #[test]
+    fn missing_transition_is_none() {
+        let mut fsm = two_state_fsm();
+        fsm.transitions.remove(&(1, 1));
+        assert_eq!(fsm.next_state(1, 1), None);
+    }
+
+    #[test]
+    fn symbol_lookup_by_code() {
+        let fsm = two_state_fsm();
+        assert_eq!(fsm.symbol_by_code(&Code(vec![-1])), Some(1));
+        assert_eq!(fsm.symbol_by_code(&Code(vec![0])), None);
+    }
+
+    #[test]
+    fn symbols_from_state() {
+        let fsm = two_state_fsm();
+        let mut syms = fsm.symbols_from(0);
+        syms.sort_unstable();
+        assert_eq!(syms, vec![0, 1]);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_machine() {
+        two_state_fsm().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_dangling_transition() {
+        let mut fsm = two_state_fsm();
+        fsm.transitions.insert((0, 9), (1, 1));
+        assert!(fsm.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_machine() {
+        assert!(Fsm::default().validate().is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Nearest-neighbour matching of unseen observations (paper §3.2.2).
+//!
+//! "The second one is to classify an unseen observation as its closest known
+//! observation. … The similarity measures such as Euclidean distance and
+//! cosine similarity can be applied."
+
+/// Similarity metric used to resolve unseen observations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Squared Euclidean distance (smaller = closer).
+    Euclidean,
+    /// Cosine distance `1 − cos(a, b)` (smaller = closer).
+    Cosine,
+}
+
+impl Metric {
+    /// Distance between two equally sized vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "metric on vectors of different lengths");
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum(),
+            Metric::Cosine => {
+                let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+                let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
+                let nb: f32 = b.iter().map(|&x| x * x).sum::<f32>().sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    // Degenerate vectors are maximally distant unless both
+                    // are zero.
+                    return if na == nb { 0.0 } else { 2.0 };
+                }
+                1.0 - dot / (na * nb)
+            }
+        }
+    }
+
+    /// Index of the candidate closest to `query` among `candidates`
+    /// (ties break toward the lower index). `None` if `candidates` is empty.
+    pub fn closest<'a>(
+        self,
+        query: &[f32],
+        candidates: impl IntoIterator<Item = (usize, &'a [f32])>,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (idx, cand) in candidates {
+            let d = self.distance(query, cand);
+            match best {
+                None => best = Some((idx, d)),
+                Some((_, bd)) if d < bd => best = Some((idx, d)),
+                _ => {}
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_prefers_nearby_point() {
+        let cands = [vec![0.0, 0.0], vec![1.0, 1.0], vec![0.4, 0.4]];
+        let idx = Metric::Euclidean
+            .closest(&[0.5, 0.5], cands.iter().enumerate().map(|(i, v)| (i, v.as_slice())));
+        assert_eq!(idx, Some(2));
+    }
+
+    #[test]
+    fn cosine_ignores_magnitude() {
+        let cands = [vec![10.0, 0.0], vec![0.0, 0.1]];
+        let idx = Metric::Cosine
+            .closest(&[0.0, 5.0], cands.iter().enumerate().map(|(i, v)| (i, v.as_slice())));
+        assert_eq!(idx, Some(1));
+    }
+
+    #[test]
+    fn euclidean_is_magnitude_sensitive() {
+        assert!(
+            Metric::Euclidean.distance(&[1.0, 0.0], &[10.0, 0.0])
+                > Metric::Euclidean.distance(&[1.0, 0.0], &[0.0, 1.0])
+        );
+    }
+
+    #[test]
+    fn identical_vectors_have_zero_distance() {
+        for m in [Metric::Euclidean, Metric::Cosine] {
+            assert!(m.distance(&[0.3, -0.7], &[0.3, -0.7]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        assert_eq!(Metric::Euclidean.closest(&[1.0], std::iter::empty()), None);
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_well_defined() {
+        assert_eq!(Metric::Cosine.distance(&[0.0, 0.0], &[1.0, 0.0]), 2.0);
+        assert_eq!(Metric::Cosine.distance(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+}

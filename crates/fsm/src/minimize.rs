@@ -1,0 +1,408 @@
+//! Moore-machine minimisation by partition refinement.
+//!
+//! Koul et al. minimise the raw extracted machine by repeatedly merging
+//! states that emit the same action and transition to the same partitions on
+//! every symbol. This is Hopcroft-style partition refinement specialised to
+//! Moore machines with a partial transition function (unobserved
+//! `(state, symbol)` pairs are treated as a distinguished ⊥ target: two
+//! states only merge if they are undefined on exactly the same symbols).
+
+use std::collections::HashMap;
+
+use crate::machine::{Fsm, FsmState};
+
+/// Minimises `fsm`, returning the quotient machine.
+///
+/// State support counts and transition counts are summed across merged
+/// states. Symbol ids are preserved. The representative code of a merged
+/// state is the code of its highest-support member.
+pub fn minimize(fsm: &Fsm) -> Fsm {
+    let n = fsm.num_states();
+    if n == 0 {
+        return fsm.clone();
+    }
+
+    // Initial partition: by emitted action.
+    let mut class: Vec<usize> = fsm.states.iter().map(|s| s.action).collect();
+    normalize_classes(&mut class);
+
+    // Refine until stable: signature = (class, [(symbol, target class)…]).
+    loop {
+        let mut signatures: HashMap<(usize, Vec<(usize, usize)>), usize> = HashMap::new();
+        let mut next_class = vec![0usize; n];
+        for s in 0..n {
+            let mut sig: Vec<(usize, usize)> = fsm
+                .transitions
+                .iter()
+                .filter(|&(&(src, _), _)| src == s)
+                .map(|(&(_, sym), &(dst, _))| (sym, class[dst]))
+                .collect();
+            sig.sort_unstable();
+            let key = (class[s], sig);
+            let fresh = signatures.len();
+            next_class[s] = *signatures.entry(key).or_insert(fresh);
+        }
+        if next_class == class {
+            break;
+        }
+        class = next_class;
+    }
+
+    build_quotient(fsm, &class)
+}
+
+/// Renumbers class labels to 0..k in first-appearance order.
+fn normalize_classes(class: &mut [usize]) {
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    for c in class.iter_mut() {
+        let fresh = remap.len();
+        *c = *remap.entry(*c).or_insert(fresh);
+    }
+}
+
+/// Builds the quotient machine for a state→class assignment.
+fn build_quotient(fsm: &Fsm, class: &[usize]) -> Fsm {
+    let num_classes = class.iter().copied().max().map_or(0, |m| m + 1);
+    let mut states: Vec<Option<FsmState>> = vec![None; num_classes];
+    for (s, st) in fsm.states.iter().enumerate() {
+        let c = class[s];
+        match &mut states[c] {
+            None => {
+                states[c] = Some(FsmState {
+                    code: st.code.clone(),
+                    action: st.action,
+                    support: st.support,
+                })
+            }
+            Some(existing) => {
+                debug_assert_eq!(
+                    existing.action, st.action,
+                    "partition refinement merged states with different actions"
+                );
+                if st.support > existing.support {
+                    existing.code = st.code.clone();
+                }
+                existing.support += st.support;
+            }
+        }
+    }
+
+    let mut transitions: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    for (&(s, o), &(dst, count)) in &fsm.transitions {
+        let entry = transitions.entry((class[s], o)).or_insert((class[dst], 0));
+        debug_assert_eq!(entry.0, class[dst], "merged states disagree on successor class");
+        entry.1 += count;
+    }
+
+    Fsm {
+        states: states.into_iter().map(|s| s.expect("every class has a member")).collect(),
+        symbols: fsm.symbols.clone(),
+        transitions,
+        initial_state: class[fsm.initial_state],
+    }
+}
+
+/// Merges *compatible* states of a partial machine (the second minimisation
+/// stage of Koul et al.).
+///
+/// An FSM extracted from finitely many trajectories has a partial transition
+/// function, and strict refinement ([`minimize`]) treats "undefined" as
+/// distinguishing — so trajectory-chain states never merge. Compatible
+/// merging instead unions two states when they emit the same action and
+/// their transitions agree on every symbol *where both are defined*; the
+/// merged state inherits the union of the transitions. This is what
+/// collapses thousands of raw quantized states into the handful of
+/// action-level modes the paper's Figure 5 shows (one circle per action),
+/// at the cost of no longer being exactly behaviour-preserving on the
+/// extraction dataset.
+pub fn merge_compatible(fsm: &Fsm) -> Fsm {
+    let n = fsm.num_states();
+    if n == 0 {
+        return fsm.clone();
+    }
+
+    // Union-find over states.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+
+    // Per-class transition maps: symbol → (successor state, count).
+    let mut class_trans: Vec<HashMap<usize, (usize, usize)>> = vec![HashMap::new(); n];
+    for (&(s, o), &(dst, count)) in &fsm.transitions {
+        class_trans[s].insert(o, (dst, count));
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri == rj || fsm.states[i].action != fsm.states[j].action {
+                    continue;
+                }
+                // Compatible ⇔ common symbols lead to already-equal classes.
+                let (small, large) = if class_trans[ri].len() <= class_trans[rj].len() {
+                    (ri, rj)
+                } else {
+                    (rj, ri)
+                };
+                let compatible = class_trans[small].iter().all(|(o, &(succ_s, _))| {
+                    match class_trans[large].get(o) {
+                        None => true,
+                        Some(&(succ_l, _)) => {
+                            find(&mut parent, succ_s) == find(&mut parent, succ_l)
+                        }
+                    }
+                });
+                if !compatible {
+                    continue;
+                }
+                // Union: larger map absorbs the smaller.
+                let absorbed = std::mem::take(&mut class_trans[small]);
+                for (o, (dst, count)) in absorbed {
+                    class_trans[large]
+                        .entry(o)
+                        .and_modify(|e| e.1 += count)
+                        .or_insert((dst, count));
+                }
+                parent[small] = large;
+                changed = true;
+            }
+        }
+    }
+
+    // Final class labels.
+    let mut class = vec![0usize; n];
+    for (s, c) in class.iter_mut().enumerate() {
+        *c = find(&mut parent, s);
+    }
+    normalize_classes(&mut class);
+    build_quotient_union(fsm, &class)
+}
+
+/// Quotient construction that unions transitions of merged states (used by
+/// compatible merging, where states may define different symbols).
+fn build_quotient_union(fsm: &Fsm, class: &[usize]) -> Fsm {
+    let num_classes = class.iter().copied().max().map_or(0, |m| m + 1);
+    let mut states: Vec<Option<FsmState>> = vec![None; num_classes];
+    for (s, st) in fsm.states.iter().enumerate() {
+        let c = class[s];
+        match &mut states[c] {
+            None => {
+                states[c] = Some(FsmState {
+                    code: st.code.clone(),
+                    action: st.action,
+                    support: st.support,
+                })
+            }
+            Some(existing) => {
+                debug_assert_eq!(existing.action, st.action);
+                if st.support > existing.support {
+                    existing.code = st.code.clone();
+                }
+                existing.support += st.support;
+            }
+        }
+    }
+
+    let mut transitions: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    for (&(s, o), &(dst, count)) in &fsm.transitions {
+        let entry = transitions.entry((class[s], o)).or_insert((class[dst], 0));
+        // Compatibility guarantees merged states agree where both defined.
+        debug_assert_eq!(entry.0, class[dst], "incompatible states were merged");
+        entry.1 += count;
+    }
+
+    Fsm {
+        states: states.into_iter().map(|s| s.expect("every class has a member")).collect(),
+        symbols: fsm.symbols.clone(),
+        transitions,
+        initial_state: class[fsm.initial_state],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ObsSymbol;
+    use lahd_qbn::Code;
+
+    /// A machine with two behaviourally identical states (1 and 2).
+    fn redundant_fsm() -> Fsm {
+        let mut transitions = HashMap::new();
+        // 0 -sym0-> 1, 0 -sym1-> 2; 1 and 2 both: -sym0-> 0, -sym1-> 1/2.
+        transitions.insert((0, 0), (1, 4));
+        transitions.insert((0, 1), (2, 4));
+        transitions.insert((1, 0), (0, 4));
+        transitions.insert((2, 0), (0, 4));
+        transitions.insert((1, 1), (1, 2));
+        transitions.insert((2, 1), (2, 2));
+        Fsm {
+            states: vec![
+                FsmState { code: Code(vec![0]), action: 0, support: 8 },
+                FsmState { code: Code(vec![1]), action: 1, support: 6 },
+                FsmState { code: Code(vec![-1]), action: 1, support: 6 },
+            ],
+            symbols: vec![
+                ObsSymbol { code: Code(vec![1]), centroid: vec![1.0], support: 12 },
+                ObsSymbol { code: Code(vec![-1]), centroid: vec![-1.0], support: 8 },
+            ],
+            transitions,
+            initial_state: 0,
+        }
+    }
+
+    #[test]
+    fn merges_equivalent_states() {
+        let fsm = redundant_fsm();
+        let min = minimize(&fsm);
+        min.validate().unwrap();
+        assert_eq!(min.num_states(), 2, "states 1 and 2 should merge");
+        // Supports accumulate.
+        let merged = min.states.iter().find(|s| s.action == 1).unwrap();
+        assert_eq!(merged.support, 12);
+    }
+
+    #[test]
+    fn preserves_behaviour_on_symbol_sequences() {
+        let fsm = redundant_fsm();
+        let min = minimize(&fsm);
+        // Replay all symbol strings up to length 5 and compare emitted
+        // action sequences.
+        let mut stack = vec![(fsm.initial_state, min.initial_state, 0usize)];
+        while let Some((s_orig, s_min, depth)) = stack.pop() {
+            assert_eq!(fsm.action_of(s_orig), min.action_of(s_min));
+            if depth == 5 {
+                continue;
+            }
+            for sym in 0..fsm.num_symbols() {
+                match (fsm.next_state(s_orig, sym), min.next_state(s_min, sym)) {
+                    (Some(a), Some(b)) => stack.push((a, b, depth + 1)),
+                    (None, None) => {}
+                    (a, b) => panic!("definedness mismatch on symbol {sym}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn does_not_merge_states_with_different_actions() {
+        let mut fsm = redundant_fsm();
+        fsm.states[2].action = 2;
+        // Make state 2's transitions self-consistent after the change.
+        let min = minimize(&fsm);
+        assert_eq!(min.num_states(), 3);
+    }
+
+    #[test]
+    fn does_not_merge_states_with_different_definedness() {
+        let mut fsm = redundant_fsm();
+        fsm.transitions.remove(&(2, 1));
+        let min = minimize(&fsm);
+        // State 2 is now undefined on sym1 while state 1 is defined: no merge.
+        assert_eq!(min.num_states(), 3);
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let min1 = minimize(&redundant_fsm());
+        let min2 = minimize(&min1);
+        assert_eq!(min1.num_states(), min2.num_states());
+        assert_eq!(min1.num_transitions(), min2.num_transitions());
+    }
+
+    #[test]
+    fn initial_state_follows_its_class() {
+        let fsm = redundant_fsm();
+        let min = minimize(&fsm);
+        assert_eq!(min.action_of(min.initial_state), fsm.action_of(fsm.initial_state));
+    }
+}
+
+#[cfg(test)]
+mod compatible_tests {
+    use super::*;
+    use crate::machine::{FsmState, ObsSymbol};
+    use lahd_qbn::Code;
+    use std::collections::HashMap;
+
+    /// A trajectory-chain machine: s0 -a-> s1 -b-> s2 -c-> s0, all Noop
+    /// except s2.
+    fn chain_fsm() -> Fsm {
+        let mut transitions = HashMap::new();
+        transitions.insert((0, 0), (1, 1));
+        transitions.insert((1, 1), (2, 1));
+        transitions.insert((2, 2), (0, 1));
+        Fsm {
+            states: vec![
+                FsmState { code: Code(vec![0]), action: 0, support: 1 },
+                FsmState { code: Code(vec![1]), action: 0, support: 1 },
+                FsmState { code: Code(vec![-1]), action: 1, support: 1 },
+            ],
+            symbols: (0..3)
+                .map(|i| ObsSymbol {
+                    code: Code(vec![i as i8 - 1]),
+                    centroid: vec![i as f32],
+                    support: 1,
+                })
+                .collect(),
+            transitions,
+            initial_state: 0,
+        }
+    }
+
+    #[test]
+    fn disjoint_definedness_merges_same_action_states() {
+        let fsm = chain_fsm();
+        // Strict refinement cannot merge anything…
+        assert_eq!(minimize(&fsm).num_states(), 3);
+        // …but compatible merging folds the two Noop states together.
+        let merged = merge_compatible(&fsm);
+        merged.validate().unwrap();
+        assert_eq!(merged.num_states(), 2);
+        // The merged Noop state has the union of the transitions.
+        let noop = merged.states.iter().position(|s| s.action == 0).unwrap();
+        assert!(merged.next_state(noop, 0).is_some());
+        assert!(merged.next_state(noop, 1).is_some());
+    }
+
+    #[test]
+    fn conflicting_common_symbols_prevent_merge() {
+        let mut fsm = chain_fsm();
+        // Give s0 and s1 a common symbol with different successors whose
+        // classes cannot merge (different actions).
+        fsm.transitions.insert((0, 1), (0, 1)); // s0 -b-> s0 (Noop class)
+                                                // s1 -b-> s2 (action 1 class) already exists
+        let merged = merge_compatible(&fsm);
+        merged.validate().unwrap();
+        assert_eq!(merged.num_states(), 3, "s0 and s1 must stay apart");
+    }
+
+    #[test]
+    fn merged_counts_and_support_accumulate() {
+        let fsm = chain_fsm();
+        let merged = merge_compatible(&fsm);
+        let noop = merged.states.iter().position(|s| s.action == 0).unwrap();
+        assert_eq!(merged.states[noop].support, 2);
+        assert_eq!(merged.total_transition_count(), fsm.total_transition_count());
+    }
+
+    #[test]
+    fn initial_state_maps_to_its_class() {
+        let merged = merge_compatible(&chain_fsm());
+        assert_eq!(merged.action_of(merged.initial_state), 0);
+    }
+
+    #[test]
+    fn compatible_merge_is_idempotent() {
+        let once = merge_compatible(&chain_fsm());
+        let twice = merge_compatible(&once);
+        assert_eq!(once.num_states(), twice.num_states());
+    }
+}

@@ -1,0 +1,236 @@
+//! Line-oriented text persistence for extracted machines.
+//!
+//! The FSM is the paper's deliverable artifact — the white-box strategy that
+//! ships to the storage product — so it serialises to a format a human (or a
+//! review process) can read:
+//!
+//! ```text
+//! lahd-fsm v1
+//! states <n> initial <id>
+//! state <id> <action> <support> <hidden-code>
+//! symbols <m>
+//! symbol <id> <support> <obs-code> <centroid f32...>
+//! transitions <k>
+//! trans <from> <symbol> <to> <count>
+//! end
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+use lahd_qbn::Code;
+
+use crate::machine::{Fsm, FsmState, ObsSymbol};
+
+const MAGIC: &str = "lahd-fsm v1";
+
+/// Errors from reading an FSM file.
+#[derive(Debug)]
+pub enum FsmPersistError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structural problem with the file.
+    Format(String),
+}
+
+impl std::fmt::Display for FsmPersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsmPersistError::Io(e) => write!(f, "io error: {e}"),
+            FsmPersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FsmPersistError {}
+
+impl From<io::Error> for FsmPersistError {
+    fn from(e: io::Error) -> Self {
+        FsmPersistError::Io(e)
+    }
+}
+
+/// Writes `fsm` in the documented text format.
+pub fn write_fsm(fsm: &Fsm, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "states {} initial {}", fsm.num_states(), fsm.initial_state)?;
+    for (i, s) in fsm.states.iter().enumerate() {
+        writeln!(out, "state {i} {} {} {}", s.action, s.support, s.code.compact())?;
+    }
+    writeln!(out, "symbols {}", fsm.num_symbols())?;
+    for (i, s) in fsm.symbols.iter().enumerate() {
+        write!(out, "symbol {i} {} {}", s.support, s.code.compact())?;
+        for v in &s.centroid {
+            write!(out, " {v:e}")?;
+        }
+        writeln!(out)?;
+    }
+    // Sort transitions for byte-stable output.
+    let mut entries: Vec<_> = fsm.transitions.iter().collect();
+    entries.sort_by_key(|(&k, _)| k);
+    writeln!(out, "transitions {}", entries.len())?;
+    for (&(s, o), &(n, c)) in entries {
+        writeln!(out, "trans {s} {o} {n} {c}")?;
+    }
+    writeln!(out, "end")?;
+    Ok(())
+}
+
+/// Reads a machine written by [`write_fsm`].
+pub fn read_fsm(input: &mut impl BufRead) -> Result<Fsm, FsmPersistError> {
+    let mut lines = input.lines();
+    let mut next_line = move || -> Result<String, FsmPersistError> {
+        lines
+            .next()
+            .ok_or_else(|| FsmPersistError::Format("unexpected end of file".into()))?
+            .map_err(FsmPersistError::Io)
+    };
+
+    if next_line()?.trim() != MAGIC {
+        return Err(FsmPersistError::Format("bad magic line".into()));
+    }
+
+    // states header
+    let header = next_line()?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 4 || parts[0] != "states" || parts[2] != "initial" {
+        return Err(FsmPersistError::Format(format!("bad states header: {header}")));
+    }
+    let num_states: usize = parse(parts[1], "state count")?;
+    let initial_state: usize = parse(parts[3], "initial state")?;
+
+    let mut states = Vec::with_capacity(num_states);
+    for _ in 0..num_states {
+        let line = next_line()?;
+        let p: Vec<&str> = line.split_whitespace().collect();
+        if p.len() != 5 || p[0] != "state" {
+            return Err(FsmPersistError::Format(format!("bad state line: {line}")));
+        }
+        states.push(FsmState {
+            action: parse(p[2], "action")?,
+            support: parse(p[3], "support")?,
+            code: Code::parse_compact(p[4])
+                .map_err(|c| FsmPersistError::Format(format!("bad code char {c:?}")))?,
+        });
+    }
+
+    // symbols
+    let header = next_line()?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 2 || parts[0] != "symbols" {
+        return Err(FsmPersistError::Format(format!("bad symbols header: {header}")));
+    }
+    let num_symbols: usize = parse(parts[1], "symbol count")?;
+    let mut symbols = Vec::with_capacity(num_symbols);
+    for _ in 0..num_symbols {
+        let line = next_line()?;
+        let p: Vec<&str> = line.split_whitespace().collect();
+        if p.len() < 4 || p[0] != "symbol" {
+            return Err(FsmPersistError::Format(format!("bad symbol line: {line}")));
+        }
+        let centroid = p[4..]
+            .iter()
+            .map(|t| t.parse::<f32>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| FsmPersistError::Format(format!("bad centroid in: {line}")))?;
+        symbols.push(ObsSymbol {
+            support: parse(p[2], "support")?,
+            code: Code::parse_compact(p[3])
+                .map_err(|c| FsmPersistError::Format(format!("bad code char {c:?}")))?,
+            centroid,
+        });
+    }
+
+    // transitions
+    let header = next_line()?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 2 || parts[0] != "transitions" {
+        return Err(FsmPersistError::Format(format!("bad transitions header: {header}")));
+    }
+    let num_transitions: usize = parse(parts[1], "transition count")?;
+    let mut transitions = HashMap::with_capacity(num_transitions);
+    for _ in 0..num_transitions {
+        let line = next_line()?;
+        let p: Vec<&str> = line.split_whitespace().collect();
+        if p.len() != 5 || p[0] != "trans" {
+            return Err(FsmPersistError::Format(format!("bad transition line: {line}")));
+        }
+        transitions.insert(
+            (parse(p[1], "from")?, parse(p[2], "symbol")?),
+            (parse(p[3], "to")?, parse(p[4], "count")?),
+        );
+    }
+
+    if next_line()?.trim() != "end" {
+        return Err(FsmPersistError::Format("missing end terminator".into()));
+    }
+
+    let fsm = Fsm { states, symbols, transitions, initial_state };
+    fsm.validate().map_err(FsmPersistError::Format)?;
+    Ok(fsm)
+}
+
+fn parse(tok: &str, what: &str) -> Result<usize, FsmPersistError> {
+    tok.parse()
+        .map_err(|_| FsmPersistError::Format(format!("bad {what}: {tok:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::testutil::two_state_fsm;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let fsm = two_state_fsm();
+        let mut buf = Vec::new();
+        write_fsm(&fsm, &mut buf).unwrap();
+        let restored = read_fsm(&mut buf.as_slice()).unwrap();
+        assert_eq!(restored.num_states(), fsm.num_states());
+        assert_eq!(restored.initial_state, fsm.initial_state);
+        assert_eq!(restored.transitions, fsm.transitions);
+        for (a, b) in fsm.states.iter().zip(&restored.states) {
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.action, b.action);
+            assert_eq!(a.support, b.support);
+        }
+        for (a, b) in fsm.symbols.iter().zip(&restored.symbols) {
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.support, b.support);
+            assert_eq!(a.centroid, b.centroid);
+        }
+    }
+
+    #[test]
+    fn output_is_byte_stable() {
+        let fsm = two_state_fsm();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_fsm(&fsm, &mut a).unwrap();
+        write_fsm(&fsm, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_fsm(&mut "nope\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, FsmPersistError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let fsm = two_state_fsm();
+        let mut buf = Vec::new();
+        write_fsm(&fsm, &mut buf).unwrap();
+        for cut in [10, buf.len() / 2, buf.len() - 5] {
+            assert!(read_fsm(&mut &buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_machine() {
+        // Hand-craft a file with a transition to a missing state.
+        let text = "lahd-fsm v1\nstates 1 initial 0\nstate 0 0 1 +\nsymbols 1\nsymbol 0 1 + 0.5\ntransitions 1\ntrans 0 0 7 1\nend\n";
+        assert!(read_fsm(&mut text.as_bytes()).is_err());
+    }
+}

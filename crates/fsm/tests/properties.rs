@@ -1,0 +1,162 @@
+//! Property-based tests for machines, minimisation and matching.
+
+use std::collections::HashMap;
+
+use lahd_fsm::{merge_compatible, minimize, read_fsm, write_fsm, Fsm, FsmState, Metric, ObsSymbol};
+use lahd_qbn::Code;
+use proptest::prelude::*;
+
+/// Strategy: a random consistent partial Moore machine.
+fn fsm_strategy() -> impl Strategy<Value = Fsm> {
+    (2usize..8, 2usize..6).prop_flat_map(|(num_states, num_symbols)| {
+        let actions = proptest::collection::vec(0usize..4, num_states);
+        // For each (state, symbol): Option<successor>.
+        let transitions = proptest::collection::vec(
+            proptest::option::of(0usize..num_states),
+            num_states * num_symbols,
+        );
+        (actions, transitions, Just(num_states), Just(num_symbols)).prop_map(
+            |(actions, transition_choices, num_states, num_symbols)| {
+                let states = (0..num_states)
+                    .map(|i| FsmState {
+                        code: Code(vec![(i % 3) as i8 - 1, ((i / 3) % 3) as i8 - 1]),
+                        action: actions[i],
+                        support: i + 1,
+                    })
+                    .collect();
+                let symbols = (0..num_symbols)
+                    .map(|o| ObsSymbol {
+                        code: Code(vec![(o % 3) as i8 - 1; 2]),
+                        centroid: vec![o as f32, 1.0 - o as f32],
+                        support: o + 1,
+                    })
+                    .collect();
+                let mut transitions = HashMap::new();
+                for s in 0..num_states {
+                    for o in 0..num_symbols {
+                        if let Some(dst) = transition_choices[s * num_symbols + o] {
+                            transitions.insert((s, o), (dst, 1));
+                        }
+                    }
+                }
+                Fsm { states, symbols, transitions, initial_state: 0 }
+            },
+        )
+    })
+}
+
+/// Runs a symbol string from the initial state, returning the emitted action
+/// sequence; stops at the first undefined transition.
+fn run_machine(fsm: &Fsm, symbols: &[usize]) -> Vec<usize> {
+    let mut state = fsm.initial_state;
+    let mut actions = Vec::new();
+    for &o in symbols {
+        let o = o % fsm.num_symbols().max(1);
+        match fsm.next_state(state, o) {
+            Some(next) => {
+                state = next;
+                actions.push(fsm.action_of(state));
+            }
+            None => break,
+        }
+    }
+    actions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Strict minimisation is exactly behaviour preserving.
+    #[test]
+    fn minimize_preserves_behaviour(
+        fsm in fsm_strategy(),
+        input in proptest::collection::vec(0usize..6, 0..24),
+    ) {
+        let minimized = minimize(&fsm);
+        minimized.validate().expect("minimized machine is consistent");
+        prop_assert!(minimized.num_states() <= fsm.num_states());
+        prop_assert_eq!(run_machine(&fsm, &input), run_machine(&minimized, &input));
+    }
+
+    /// Compatible merging preserves behaviour on every path that is
+    /// *defined* in the original machine (it may define more).
+    #[test]
+    fn merge_compatible_preserves_defined_paths(
+        fsm in fsm_strategy(),
+        input in proptest::collection::vec(0usize..6, 0..24),
+    ) {
+        let merged = merge_compatible(&fsm);
+        merged.validate().expect("merged machine is consistent");
+        prop_assert!(merged.num_states() <= fsm.num_states());
+
+        let original_run = run_machine(&fsm, &input);
+        let merged_run = run_machine(&merged, &input);
+        // The merged machine must reproduce at least the original's prefix.
+        prop_assert!(merged_run.len() >= original_run.len());
+        prop_assert_eq!(&merged_run[..original_run.len()], &original_run[..]);
+    }
+
+    /// Minimisation then compatible merging never increases state count and
+    /// conserves total transition mass.
+    #[test]
+    fn reduction_pipeline_conserves_counts(fsm in fsm_strategy()) {
+        let reduced = merge_compatible(&minimize(&fsm));
+        prop_assert!(reduced.num_states() <= fsm.num_states());
+        prop_assert_eq!(reduced.total_transition_count(), fsm.total_transition_count());
+        let orig_support: usize = fsm.states.iter().map(|s| s.support).sum();
+        let red_support: usize = reduced.states.iter().map(|s| s.support).sum();
+        prop_assert_eq!(orig_support, red_support);
+    }
+
+    /// The persistence format round-trips arbitrary machines exactly.
+    #[test]
+    fn persist_roundtrip(fsm in fsm_strategy()) {
+        let mut buf = Vec::new();
+        write_fsm(&fsm, &mut buf).expect("serialise");
+        let restored = read_fsm(&mut buf.as_slice()).expect("parse");
+        prop_assert_eq!(restored.num_states(), fsm.num_states());
+        prop_assert_eq!(restored.transitions, fsm.transitions);
+        for (a, b) in fsm.symbols.iter().zip(&restored.symbols) {
+            prop_assert_eq!(&a.code, &b.code);
+            prop_assert_eq!(&a.centroid, &b.centroid);
+        }
+    }
+
+    /// Metric axioms that the matching logic relies on.
+    #[test]
+    fn metric_axioms(
+        (a, b) in (1usize..16).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-10.0f32..10.0, n),
+                proptest::collection::vec(-10.0f32..10.0, n),
+            )
+        }),
+    ) {
+        for metric in [Metric::Euclidean, Metric::Cosine] {
+            let d_ab = metric.distance(&a, &b);
+            let d_ba = metric.distance(&b, &a);
+            prop_assert!(d_ab >= -1e-5, "negative distance {d_ab}");
+            prop_assert!((d_ab - d_ba).abs() < 1e-4, "asymmetric: {d_ab} vs {d_ba}");
+            prop_assert!(metric.distance(&a, &a) < 1e-4);
+        }
+    }
+
+    /// `closest` returns an index whose distance is minimal.
+    #[test]
+    fn closest_is_argmin(
+        query in proptest::collection::vec(-5.0f32..5.0, 4),
+        candidates in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 4),
+            1..12,
+        ),
+    ) {
+        let metric = Metric::Euclidean;
+        let winner = metric
+            .closest(&query, candidates.iter().enumerate().map(|(i, v)| (i, v.as_slice())))
+            .expect("non-empty candidates");
+        let winning_distance = metric.distance(&query, &candidates[winner]);
+        for candidate in &candidates {
+            prop_assert!(winning_distance <= metric.distance(&query, candidate) + 1e-5);
+        }
+    }
+}

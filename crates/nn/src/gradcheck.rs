@@ -1,0 +1,96 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of every layer to verify the hand-written backward
+//! rules on the tape against central differences.
+
+use crate::graph::Graph;
+use crate::params::ParamStore;
+
+/// Result of a gradient check for a single parameter.
+#[derive(Clone, Debug)]
+pub struct GradCheckReport {
+    /// Parameter name.
+    pub name: String,
+    /// Largest absolute difference between analytic and numerical entries.
+    pub max_abs_err: f32,
+    /// Largest relative difference (normalised by magnitude, floored at 1).
+    pub max_rel_err: f32,
+}
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `loss_fn` must build a fresh tape over `store` and return the scalar loss
+/// node; it is invoked `2·|θ| + 1` times. Returns one report per parameter.
+///
+/// f32 arithmetic limits attainable precision: with the default
+/// `epsilon = 1e-2`, well-implemented ops land around `1e-3` relative error.
+pub fn grad_check(
+    store: &mut ParamStore,
+    epsilon: f32,
+    mut loss_fn: impl FnMut(&mut Graph, &ParamStore) -> crate::graph::Var,
+) -> Vec<GradCheckReport> {
+    // Analytic pass.
+    store.zero_grads();
+    let mut g = Graph::new();
+    let loss = loss_fn(&mut g, store);
+    g.backward(loss);
+    g.accumulate_param_grads(store);
+    let analytic: Vec<_> = store.ids().iter().map(|&id| store.grad(id).clone()).collect();
+
+    let mut reports = Vec::new();
+    for (pi, id) in store.ids().into_iter().enumerate() {
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        let n = store.value(id).len();
+        for e in 0..n {
+            let orig = store.value(id).as_slice()[e];
+
+            store.value_mut(id).as_mut_slice()[e] = orig + epsilon;
+            let mut gp = Graph::new();
+            let lp = loss_fn(&mut gp, store);
+            let f_plus = gp.scalar(lp);
+
+            store.value_mut(id).as_mut_slice()[e] = orig - epsilon;
+            let mut gm = Graph::new();
+            let lm = loss_fn(&mut gm, store);
+            let f_minus = gm.scalar(lm);
+
+            store.value_mut(id).as_mut_slice()[e] = orig;
+
+            let numeric = (f_plus - f_minus) / (2.0 * epsilon);
+            let exact = analytic[pi].as_slice()[e];
+            let abs = (numeric - exact).abs();
+            let rel = abs / numeric.abs().max(exact.abs()).max(1.0);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+        reports.push(GradCheckReport {
+            name: store.name(id).to_string(),
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+        });
+    }
+    reports
+}
+
+/// Asserts that every parameter passes the gradient check within `tol`
+/// relative error.
+///
+/// # Panics
+/// Panics (with the offending parameter named) if any check fails.
+pub fn assert_grads_close(
+    store: &mut ParamStore,
+    epsilon: f32,
+    tol: f32,
+    loss_fn: impl FnMut(&mut Graph, &ParamStore) -> crate::graph::Var,
+) {
+    for report in grad_check(store, epsilon, loss_fn) {
+        assert!(
+            report.max_rel_err < tol,
+            "gradient check failed for {}: max_rel_err = {} (abs {})",
+            report.name,
+            report.max_rel_err,
+            report.max_abs_err
+        );
+    }
+}

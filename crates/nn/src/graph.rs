@@ -1,0 +1,654 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every forward operation as a node on a tape; calling
+//! [`Graph::backward`] on a scalar node walks the tape in reverse and
+//! accumulates gradients. Parameters are bound once per graph (repeated use —
+//! e.g. the same GRU weights at every timestep of an episode — accumulates
+//! into a single gradient), and [`Graph::accumulate_param_grads`] flushes the
+//! result into the [`ParamStore`].
+
+use std::collections::HashMap;
+
+use lahd_tensor::{softmax_row, Matrix};
+
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Recorded operation; inputs always precede outputs on the tape.
+enum Op {
+    /// Constant or parameter leaf.
+    Leaf,
+    /// `A · B`.
+    MatMul(Var, Var),
+    /// `A + B` (same shape).
+    Add(Var, Var),
+    /// `A - B` (same shape).
+    Sub(Var, Var),
+    /// Element-wise `A ∘ B`.
+    Mul(Var, Var),
+    /// `k·X + c` applied element-wise (only `k` matters for the gradient).
+    Affine(Var, f32),
+    /// `X + 𝟙·b`: adds a `1 × cols` bias to every row of `X`.
+    AddBias(Var, Var),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Koul et al.'s ternary activation `1.5·tanh(x) + 0.5·tanh(-3x)`.
+    TernaryTanh(Var),
+    /// Rounds to the nearest of {-1, 0, 1}; gradient is passed straight
+    /// through (identity), as in quantized bottleneck networks.
+    QuantizeSte(Var),
+    /// Concatenates two matrices with equal row counts along columns.
+    ConcatCols(Var, Var),
+    /// Scalar `-w·log softmax(logits)[target]`; `logits` must be `1 × n`.
+    CrossEntropyLogits { logits: Var, target: usize, weight: f32 },
+    /// Scalar entropy `H(softmax(logits))`; `logits` must be `1 × n`.
+    EntropyFromLogits { logits: Var },
+    /// Scalar `(x₀ - target)²`; input must be `1 × 1`.
+    SquaredError { input: Var, target: f32 },
+    /// Scalar mean of element-wise squared differences against a constant
+    /// target of the same shape.
+    MseAgainst { pred: Var, target: Matrix },
+    /// Scalar sum of all elements.
+    SumAll(Var),
+}
+
+/// The autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    ops: Vec<Op>,
+    values: Vec<Matrix>,
+    grads: Vec<Option<Matrix>>,
+    /// `(store address, id, node)` for every bound parameter. Parameters
+    /// from *different* stores (e.g. a policy net plus two QBNs trained
+    /// jointly) are distinguished by the store's address, so the same
+    /// numeric `ParamId` in two stores cannot collide. The store must not
+    /// move between [`Graph::param`] and [`Graph::accumulate_param_grads`].
+    bound_params: Vec<(usize, ParamId, Var)>,
+    param_cache: HashMap<(usize, ParamId), Var>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.ops.push(op);
+        self.values.push(value);
+        self.grads.push(None);
+        Var(self.ops.len() - 1)
+    }
+
+    /// Adds a constant leaf (gradient is tracked but never read back).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(Op::Leaf, value)
+    }
+
+    /// Binds a parameter as a leaf. Repeated calls with the same store and
+    /// id return the same node, so gradients from every use accumulate
+    /// together.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let key = (store_addr(store), id);
+        if let Some(&v) = self.param_cache.get(&key) {
+            return v;
+        }
+        let v = self.push(Op::Leaf, store.value(id).clone());
+        self.param_cache.insert(key, v);
+        self.bound_params.push((key.0, id, v));
+        v
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.values[v.0]
+    }
+
+    /// Scalar value of a `1 × 1` node.
+    ///
+    /// # Panics
+    /// Panics if the node is not `1 × 1`.
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = &self.values[v.0];
+        assert_eq!(m.shape(), (1, 1), "scalar() called on a {:?} node", m.shape());
+        m[(0, 0)]
+    }
+
+    /// Gradient of a node after [`Graph::backward`]; zero if the node did not
+    /// influence the loss.
+    pub fn grad(&self, v: Var) -> Matrix {
+        match &self.grads[v.0] {
+            Some(g) => g.clone(),
+            None => Matrix::zeros(self.values[v.0].rows(), self.values[v.0].cols()),
+        }
+    }
+
+    // ----- forward ops ------------------------------------------------
+
+    /// `A · B`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.values[a.0].matmul(&self.values[b.0]);
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// `A + B` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.values[a.0].add(&self.values[b.0]);
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// `A - B` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.values[a.0].sub(&self.values[b.0]);
+        self.push(Op::Sub(a, b), value)
+    }
+
+    /// Element-wise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.values[a.0].hadamard(&self.values[b.0]);
+        self.push(Op::Mul(a, b), value)
+    }
+
+    /// `k·X + c`, element-wise.
+    pub fn affine(&mut self, x: Var, k: f32, c: f32) -> Var {
+        let value = self.values[x.0].map(|v| k * v + c);
+        self.push(Op::Affine(x, k), value)
+    }
+
+    /// `k·X`.
+    pub fn scale(&mut self, x: Var, k: f32) -> Var {
+        self.affine(x, k, 0.0)
+    }
+
+    /// `1 - X`, the GRU update-gate complement.
+    pub fn one_minus(&mut self, x: Var) -> Var {
+        self.affine(x, -1.0, 1.0)
+    }
+
+    /// Adds a `1 × cols` bias row-broadcast to `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let mut value = self.values[x.0].clone();
+        value.add_row_broadcast(&self.values[bias.0]);
+        self.push(Op::AddBias(x, bias), value)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let value = self.values[x.0].map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(Op::Sigmoid(x), value)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.values[x.0].map(f32::tanh);
+        self.push(Op::Tanh(x), value)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.values[x.0].map(|v| v.max(0.0));
+        self.push(Op::Relu(x), value)
+    }
+
+    /// Ternary tanh `1.5·tanh(x) + 0.5·tanh(-3x)` (saturates near {-1,0,1}).
+    pub fn ternary_tanh(&mut self, x: Var) -> Var {
+        let value = self.values[x.0].map(ternary_tanh);
+        self.push(Op::TernaryTanh(x), value)
+    }
+
+    /// Rounds to the nearest of {-1, 0, 1} with a straight-through gradient.
+    pub fn quantize_ste(&mut self, x: Var) -> Var {
+        let value = self.values[x.0].map(quantize3);
+        self.push(Op::QuantizeSte(x), value)
+    }
+
+    /// Concatenates along columns (row counts must match).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ma, mb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(ma.rows(), mb.rows(), "concat_cols row mismatch");
+        let rows = ma.rows();
+        let cols = ma.cols() + mb.cols();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            out.row_mut(r)[..ma.cols()].copy_from_slice(ma.row(r));
+            out.row_mut(r)[ma.cols()..].copy_from_slice(mb.row(r));
+        }
+        self.push(Op::ConcatCols(a, b), out)
+    }
+
+    /// Negative log-likelihood `-w·log softmax(logits)[target]` as a scalar.
+    pub fn cross_entropy_logits(&mut self, logits: Var, target: usize, weight: f32) -> Var {
+        let m = &self.values[logits.0];
+        assert_eq!(m.rows(), 1, "cross_entropy_logits expects a 1×n logits row");
+        assert!(target < m.cols(), "target {target} out of range for {} actions", m.cols());
+        let log_probs = lahd_tensor::log_softmax_row(m.row(0));
+        let value = Matrix::row_vector(&[-weight * log_probs[target]]);
+        self.push(Op::CrossEntropyLogits { logits, target, weight }, value)
+    }
+
+    /// Entropy of `softmax(logits)` as a scalar.
+    pub fn entropy_from_logits(&mut self, logits: Var) -> Var {
+        let m = &self.values[logits.0];
+        assert_eq!(m.rows(), 1, "entropy_from_logits expects a 1×n logits row");
+        let p = softmax_row(m.row(0));
+        let h: f32 = -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f32>();
+        let value = Matrix::row_vector(&[h]);
+        self.push(Op::EntropyFromLogits { logits }, value)
+    }
+
+    /// `(x₀ - target)²` for a `1 × 1` input.
+    pub fn squared_error(&mut self, input: Var, target: f32) -> Var {
+        let m = &self.values[input.0];
+        assert_eq!(m.shape(), (1, 1), "squared_error expects a scalar input");
+        let d = m[(0, 0)] - target;
+        let value = Matrix::row_vector(&[d * d]);
+        self.push(Op::SquaredError { input, target }, value)
+    }
+
+    /// Mean squared error of `pred` against a constant `target`.
+    pub fn mse_against(&mut self, pred: Var, target: Matrix) -> Var {
+        let m = &self.values[pred.0];
+        assert_eq!(m.shape(), target.shape(), "mse_against shape mismatch");
+        let n = m.len() as f32;
+        let sum: f32 = m
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        let value = Matrix::row_vector(&[sum / n]);
+        self.push(Op::MseAgainst { pred, target }, value)
+    }
+
+    /// Sum of all elements as a scalar.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let value = Matrix::row_vector(&[self.values[x.0].sum()]);
+        self.push(Op::SumAll(x), value)
+    }
+
+    // ----- backward ---------------------------------------------------
+
+    /// Runs reverse-mode differentiation from the scalar node `root`.
+    ///
+    /// # Panics
+    /// Panics if `root` is not `1 × 1`.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(
+            self.values[root.0].shape(),
+            (1, 1),
+            "backward() must start from a scalar loss"
+        );
+        self.grads[root.0] = Some(Matrix::row_vector(&[1.0]));
+
+        for i in (0..=root.0).rev() {
+            let Some(gy) = self.grads[i].take() else { continue };
+            match &self.ops[i] {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = gy.matmul_nt(&self.values[b.0]);
+                    let db = self.values[a.0].matmul_tn(&gy);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.accumulate(a, gy.clone());
+                    self.accumulate(b, gy.clone());
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.accumulate(a, gy.clone());
+                    self.accumulate(b, gy.scaled(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = gy.hadamard(&self.values[b.0]);
+                    let db = gy.hadamard(&self.values[a.0]);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Affine(x, k) => {
+                    let (x, k) = (*x, *k);
+                    self.accumulate(x, gy.scaled(k));
+                }
+                Op::AddBias(x, bias) => {
+                    let (x, bias) = (*x, *bias);
+                    // Bias gradient is the column-sum of the upstream grad.
+                    let mut db = Matrix::zeros(1, gy.cols());
+                    for r in 0..gy.rows() {
+                        for (d, &g) in db.row_mut(0).iter_mut().zip(gy.row(r)) {
+                            *d += g;
+                        }
+                    }
+                    self.accumulate(x, gy.clone());
+                    self.accumulate(bias, db);
+                }
+                Op::Sigmoid(x) => {
+                    let x = *x;
+                    let y = &self.values[i];
+                    let dx = gy.zip_map(y, |g, s| g * s * (1.0 - s));
+                    self.accumulate(x, dx);
+                }
+                Op::Tanh(x) => {
+                    let x = *x;
+                    let y = &self.values[i];
+                    let dx = gy.zip_map(y, |g, t| g * (1.0 - t * t));
+                    self.accumulate(x, dx);
+                }
+                Op::Relu(x) => {
+                    let x = *x;
+                    let dx = gy.zip_map(&self.values[x.0], |g, v| if v > 0.0 { g } else { 0.0 });
+                    self.accumulate(x, dx);
+                }
+                Op::TernaryTanh(x) => {
+                    let x = *x;
+                    let dx = gy.zip_map(&self.values[x.0], |g, v| {
+                        let t1 = v.tanh();
+                        let t3 = (3.0 * v).tanh();
+                        g * 1.5 * (t3 * t3 - t1 * t1)
+                    });
+                    self.accumulate(x, dx);
+                }
+                Op::QuantizeSte(x) => {
+                    let x = *x;
+                    self.accumulate(x, gy.clone()); // straight-through estimator
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ca = self.values[a.0].cols();
+                    let rows = gy.rows();
+                    let mut da = Matrix::zeros(rows, ca);
+                    let mut db = Matrix::zeros(rows, gy.cols() - ca);
+                    for r in 0..rows {
+                        da.row_mut(r).copy_from_slice(&gy.row(r)[..ca]);
+                        db.row_mut(r).copy_from_slice(&gy.row(r)[ca..]);
+                    }
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::CrossEntropyLogits { logits, target, weight } => {
+                    let (logits, target, weight) = (*logits, *target, *weight);
+                    let g = gy[(0, 0)];
+                    let p = softmax_row(self.values[logits.0].row(0));
+                    let mut dl = Matrix::row_vector(&p);
+                    dl.row_mut(0)[target] -= 1.0;
+                    dl.scale(g * weight);
+                    self.accumulate(logits, dl);
+                }
+                Op::EntropyFromLogits { logits } => {
+                    let logits = *logits;
+                    let g = gy[(0, 0)];
+                    let p = softmax_row(self.values[logits.0].row(0));
+                    let h: f32 =
+                        -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f32>();
+                    let dl: Vec<f32> = p
+                        .iter()
+                        .map(|&pi| if pi > 0.0 { -g * pi * (pi.ln() + h) } else { 0.0 })
+                        .collect();
+                    self.accumulate(logits, Matrix::row_vector(&dl));
+                }
+                Op::SquaredError { input, target } => {
+                    let (input, target) = (*input, *target);
+                    let g = gy[(0, 0)];
+                    let d = self.values[input.0][(0, 0)] - target;
+                    self.accumulate(input, Matrix::row_vector(&[2.0 * g * d]));
+                }
+                Op::MseAgainst { pred, target } => {
+                    let pred = *pred;
+                    let g = gy[(0, 0)];
+                    let n = target.len() as f32;
+                    let dp = self.values[pred.0].zip_map(target, |a, b| 2.0 * g * (a - b) / n);
+                    self.accumulate(pred, dp);
+                }
+                Op::SumAll(x) => {
+                    let x = *x;
+                    let g = gy[(0, 0)];
+                    let shape = self.values[x.0].shape();
+                    self.accumulate(x, Matrix::filled(shape.0, shape.1, g));
+                }
+            }
+            self.grads[i] = Some(gy);
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Matrix) {
+        match &mut self.grads[v.0] {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Flushes the gradients of every parameter bound *from this store*
+    /// into it; returns the number of parameters flushed. Call once per
+    /// participating store after [`Graph::backward`].
+    pub fn accumulate_param_grads(&self, store: &mut ParamStore) -> usize {
+        let addr = store_addr(store);
+        let mut flushed = 0;
+        for &(a, id, var) in &self.bound_params {
+            if a != addr {
+                continue;
+            }
+            flushed += 1;
+            if let Some(g) = &self.grads[var.0] {
+                store.add_grad(id, g);
+            }
+        }
+        flushed
+    }
+}
+
+#[inline]
+fn store_addr(store: &ParamStore) -> usize {
+    store as *const ParamStore as usize
+}
+
+/// Ternary tanh used by QBN encoders: saturates near {-1, 0, 1}.
+pub fn ternary_tanh(x: f32) -> f32 {
+    1.5 * x.tanh() + 0.5 * (-3.0 * x).tanh()
+}
+
+/// Rounds to the nearest of {-1, 0, 1} (thresholds at ±0.5).
+pub fn quantize3(x: f32) -> f32 {
+    if x > 0.5 {
+        1.0
+    } else if x < -0.5 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_tensor::{seeded_rng, Initializer};
+
+    fn store_with(name: &str, value: Matrix) -> (ParamStore, ParamId) {
+        let mut store = ParamStore::new();
+        let id = store.alloc_with_value(name, value);
+        (store, id)
+    }
+
+    #[test]
+    fn matmul_gradients_match_hand_derivation() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1.
+        let (mut store, wa) = store_with("a", Matrix::from_rows(&[&[1.0, 2.0]]));
+        let wb = store.alloc_with_value("b", Matrix::from_rows(&[&[3.0], &[4.0]]));
+        let mut g = Graph::new();
+        let a = g.param(&store, wa);
+        let b = g.param(&store, wb);
+        let y = g.matmul(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        assert_eq!(store.grad(wa).row(0), &[3.0, 4.0]);
+        assert_eq!(store.grad(wb).col(0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_gradient_is_s_times_one_minus_s() {
+        let (mut store, w) = store_with("w", Matrix::row_vector(&[0.0]));
+        let mut g = Graph::new();
+        let x = g.param(&store, w);
+        let s = g.sigmoid(x);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        assert!((store.grad(w)[(0, 0)] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parameter_reuse_accumulates_gradients() {
+        // loss = sum(x + x) → dx = 2.
+        let (mut store, w) = store_with("w", Matrix::row_vector(&[5.0]));
+        let mut g = Graph::new();
+        let x = g.param(&store, w);
+        let y = g.add(x, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        assert_eq!(store.grad(w)[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_p_minus_onehot() {
+        let (mut store, w) = store_with("logits", Matrix::row_vector(&[0.0, 0.0, 0.0]));
+        let mut g = Graph::new();
+        let l = g.param(&store, w);
+        let loss = g.cross_entropy_logits(l, 1, 1.0);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        let grad = store.grad(w);
+        let third = 1.0 / 3.0;
+        assert!((grad[(0, 0)] - third).abs() < 1e-5);
+        assert!((grad[(0, 1)] - (third - 1.0)).abs() < 1e-5);
+        assert!((grad[(0, 2)] - third).abs() < 1e-5);
+    }
+
+    #[test]
+    fn entropy_of_uniform_logits_is_maximal_with_zero_gradient() {
+        let (mut store, w) = store_with("logits", Matrix::row_vector(&[0.3, 0.3, 0.3]));
+        let mut g = Graph::new();
+        let l = g.param(&store, w);
+        let h = g.entropy_from_logits(l);
+        assert!((g.scalar(h) - 3.0_f32.ln()).abs() < 1e-5);
+        g.backward(h);
+        g.accumulate_param_grads(&mut store);
+        // Uniform distribution sits at the entropy maximum → gradient ≈ 0.
+        assert!(store.grad(w).frobenius_norm() < 1e-5);
+    }
+
+    #[test]
+    fn quantize_ste_rounds_but_passes_gradient() {
+        let (mut store, w) = store_with("w", Matrix::row_vector(&[0.9, -0.2, -0.8]));
+        let mut g = Graph::new();
+        let x = g.param(&store, w);
+        let q = g.quantize_ste(x);
+        assert_eq!(g.value(q).row(0), &[1.0, 0.0, -1.0]);
+        let loss = g.sum_all(q);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        assert_eq!(store.grad(w).row(0), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        let (mut store, wa) = store_with("a", Matrix::row_vector(&[1.0, 2.0]));
+        let wb = store.alloc_with_value("b", Matrix::row_vector(&[3.0]));
+        let mut g = Graph::new();
+        let a = g.param(&store, wa);
+        let b = g.param(&store, wb);
+        let c = g.concat_cols(a, b);
+        assert_eq!(g.value(c).row(0), &[1.0, 2.0, 3.0]);
+        let scaled = g.scale(c, 2.0);
+        let loss = g.sum_all(scaled);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        assert_eq!(store.grad(wa).row(0), &[2.0, 2.0]);
+        assert_eq!(store.grad(wb).row(0), &[2.0]);
+    }
+
+    #[test]
+    fn mse_against_gradient_points_toward_target() {
+        let (mut store, w) = store_with("w", Matrix::row_vector(&[1.0, 3.0]));
+        let mut g = Graph::new();
+        let x = g.param(&store, w);
+        let loss = g.mse_against(x, Matrix::row_vector(&[0.0, 0.0]));
+        assert!((g.scalar(loss) - 5.0).abs() < 1e-6);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        // d/dx mean((x-0)²) = 2x/n = x for n=2.
+        assert_eq!(store.grad(w).row(0), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_requires_scalar_root() {
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::zeros(1, 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g2 = Graph::new();
+            let y = g2.constant(Matrix::zeros(1, 2));
+            g2.backward(y);
+            let _ = x;
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn parameters_from_two_stores_do_not_collide() {
+        // Both stores have a ParamId(0); the graph must keep them apart.
+        let mut store_a = ParamStore::new();
+        let mut store_b = ParamStore::new();
+        let wa = store_a.alloc_with_value("a", Matrix::row_vector(&[2.0]));
+        let wb = store_b.alloc_with_value("b", Matrix::row_vector(&[5.0]));
+        let mut g = Graph::new();
+        let a = g.param(&store_a, wa);
+        let b = g.param(&store_b, wb);
+        let prod = g.mul(a, b); // d/da = b = 5, d/db = a = 2
+        let loss = g.sum_all(prod);
+        g.backward(loss);
+        assert_eq!(g.accumulate_param_grads(&mut store_a), 1);
+        assert_eq!(g.accumulate_param_grads(&mut store_b), 1);
+        assert_eq!(store_a.grad(wa)[(0, 0)], 5.0);
+        assert_eq!(store_b.grad(wb)[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn xavier_params_flow_through_deep_chain() {
+        let mut rng = seeded_rng(11);
+        let mut store = ParamStore::new();
+        let w1 = store.alloc("w1", 4, 8, Initializer::XavierUniform, &mut rng);
+        let w2 = store.alloc("w2", 8, 1, Initializer::XavierUniform, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::filled(1, 4, 0.5));
+        let p1 = g.param(&store, w1);
+        let p2 = g.param(&store, w2);
+        let h = g.matmul(x, p1);
+        let h = g.tanh(h);
+        let y = g.matmul(h, p2);
+        let loss = g.squared_error(y, 1.0);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        assert!(store.grad(w1).frobenius_norm() > 0.0);
+        assert!(store.grad(w2).frobenius_norm() > 0.0);
+        assert!(!store.has_non_finite());
+    }
+}

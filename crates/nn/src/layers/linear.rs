@@ -1,0 +1,102 @@
+//! Fully-connected layer.
+
+use lahd_tensor::{Initializer, Matrix, Rng};
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, ParamStore};
+
+/// A dense affine layer `y = x·W + b` with `W: in × out`, `b: 1 × out`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight matrix parameter (`in_dim × out_dim`).
+    pub w: ParamId,
+    /// Bias row parameter (`1 × out_dim`).
+    pub b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Allocates a new layer in `store` with Xavier-uniform weights and zero
+    /// bias. `name` prefixes the parameter names (`{name}.w`, `{name}.b`).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let w = store.alloc(format!("{name}.w"), in_dim, out_dim, Initializer::XavierUniform, rng);
+        let b = store.alloc(format!("{name}.b"), 1, out_dim, Initializer::Zeros, rng);
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Differentiable forward pass on the tape.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let xw = g.matmul(x, w);
+        g.add_bias(xw, b)
+    }
+
+    /// Inference-only forward pass (no tape, no allocator churn beyond the
+    /// output matrix).
+    pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(store.value(self.w));
+        y.add_row_broadcast(store.value(self.b));
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_tensor::seeded_rng;
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut rng = seeded_rng(5);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 2, &mut rng);
+        let x = Matrix::row_vector(&[0.5, -1.0, 2.0]);
+
+        let mut g = Graph::new();
+        let xv = g.constant(x.clone());
+        let y_tape = layer.forward(&mut g, &store, xv);
+        let y_infer = layer.infer(&store, &x);
+        assert!(g.value(y_tape).max_abs_diff(&y_infer) < 1e-6);
+    }
+
+    #[test]
+    fn infer_batches_rows_independently() {
+        let mut rng = seeded_rng(5);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 2, 2, &mut rng);
+        let batch = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let y = layer.infer(&store, &batch);
+        let y0 = layer.infer(&store, &Matrix::row_vector(&[1.0, 0.0]));
+        let y1 = layer.infer(&store, &Matrix::row_vector(&[0.0, 1.0]));
+        assert_eq!(y.row(0), y0.row(0));
+        assert_eq!(y.row(1), y1.row(0));
+    }
+
+    #[test]
+    fn zero_bias_at_init() {
+        let mut rng = seeded_rng(5);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 4, 3, &mut rng);
+        assert!(store.value(layer.b).as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 3);
+    }
+}

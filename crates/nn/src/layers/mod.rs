@@ -1,0 +1,7 @@
+//! Neural-network layers built on the autograd tape.
+
+mod gru;
+mod linear;
+
+pub use gru::GruCell;
+pub use linear::Linear;

@@ -1,0 +1,222 @@
+//! First-order optimisers and gradient clipping.
+
+use lahd_tensor::Matrix;
+
+use crate::params::ParamStore;
+
+/// Clips gradients so their global L2 norm does not exceed `max_norm`.
+///
+/// Returns the pre-clip norm. This matches the paper's training setup, which
+/// clips the gradient norm to 2.
+pub fn clip_global_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = store.grad_global_norm();
+    if norm > max_norm && norm.is_finite() {
+        store.scale_grads(max_norm / norm);
+    }
+    norm
+}
+
+/// Clips the *joint* gradient norm across several parameter stores (used
+/// when a policy network and its QBNs are fine-tuned together). Returns the
+/// pre-clip joint norm.
+pub fn clip_global_norm_multi(stores: &mut [&mut ParamStore], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = stores
+        .iter()
+        .map(|s| {
+            let n = s.grad_global_norm();
+            n * n
+        })
+        .sum::<f32>()
+        .sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let factor = max_norm / norm;
+        for s in stores.iter_mut() {
+            s.scale_grads(factor);
+        }
+    }
+    norm
+}
+
+/// Adam optimiser (Kingma & Ba, 2014) — the paper trains with Adam at an
+/// initial learning rate of 3e-4.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate α.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    step: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the given learning rate and the
+    /// conventional β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one update from the gradients accumulated in `store`.
+    ///
+    /// Moment buffers are allocated lazily on first use; the store layout
+    /// must not change between steps.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        if self.m.is_empty() {
+            for (_, p) in store.iter() {
+                self.m.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+                self.v.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+            }
+        }
+        assert_eq!(self.m.len(), store.len(), "optimiser state does not match store layout");
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+
+        for (idx, id) in store.ids().into_iter().enumerate() {
+            let grad = store.grad(id).clone();
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            for ((m_i, v_i), &g_i) in
+                m.as_mut_slice().iter_mut().zip(v.as_mut_slice()).zip(grad.as_slice())
+            {
+                *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g_i;
+                *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g_i * g_i;
+            }
+            let value = store.value_mut(id);
+            for ((w, &m_i), &v_i) in
+                value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+            {
+                let m_hat = m_i / bias1;
+                let v_hat = v_i / bias2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent, used as a baseline and in tests.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies `w -= lr · g` to every parameter.
+    pub fn step(&self, store: &mut ParamStore) {
+        for id in store.ids() {
+            let grad = store.grad(id).clone();
+            store.value_mut(id).axpy(-self.lr, &grad);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::params::ParamStore;
+    use lahd_tensor::Matrix;
+
+    /// Minimises (x - 3)² and checks convergence.
+    fn converges_to_three(mut update: impl FnMut(&mut ParamStore)) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.alloc_with_value("x", Matrix::row_vector(&[-4.0]));
+        for _ in 0..800 {
+            store.zero_grads();
+            let mut g = Graph::new();
+            let x = g.param(&store, w);
+            let loss = g.squared_error(x, 3.0);
+            g.backward(loss);
+            g.accumulate_param_grads(&mut store);
+            update(&mut store);
+        }
+        store.value(w)[(0, 0)]
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let mut adam = Adam::new(0.05);
+        let x = converges_to_three(|s| adam.step(s));
+        assert!((x - 3.0).abs() < 1e-2, "adam converged to {x}");
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let sgd = Sgd::new(0.05);
+        let x = converges_to_three(|s| sgd.step(s));
+        assert!((x - 3.0).abs() < 1e-2, "sgd converged to {x}");
+    }
+
+    #[test]
+    fn clip_reduces_large_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.alloc_with_value("w", Matrix::row_vector(&[0.0]));
+        store.add_grad(w, &Matrix::row_vector(&[10.0]));
+        let pre = clip_global_norm(&mut store, 2.0);
+        assert!((pre - 10.0).abs() < 1e-6);
+        assert!((store.grad_global_norm() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_untouched() {
+        let mut store = ParamStore::new();
+        let w = store.alloc_with_value("w", Matrix::row_vector(&[0.0]));
+        store.add_grad(w, &Matrix::row_vector(&[0.5]));
+        clip_global_norm(&mut store, 2.0);
+        assert_eq!(store.grad(w)[(0, 0)], 0.5);
+    }
+
+    #[test]
+    fn adam_bias_correction_makes_first_step_lr_sized() {
+        let mut store = ParamStore::new();
+        let w = store.alloc_with_value("w", Matrix::row_vector(&[1.0]));
+        store.add_grad(w, &Matrix::row_vector(&[0.3]));
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut store);
+        // With bias correction the first step is ≈ lr in the gradient
+        // direction regardless of gradient magnitude.
+        let moved = 1.0 - store.value(w)[(0, 0)];
+        assert!((moved - 0.01).abs() < 1e-4, "first Adam step moved {moved}");
+    }
+}
+
+#[cfg(test)]
+mod multi_store_tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use lahd_tensor::Matrix;
+
+    #[test]
+    fn multi_store_clip_scales_jointly() {
+        let mut a = ParamStore::new();
+        let mut b = ParamStore::new();
+        let wa = a.alloc_with_value("a", Matrix::row_vector(&[0.0]));
+        let wb = b.alloc_with_value("b", Matrix::row_vector(&[0.0]));
+        a.add_grad(wa, &Matrix::row_vector(&[3.0]));
+        b.add_grad(wb, &Matrix::row_vector(&[4.0]));
+        let pre = clip_global_norm_multi(&mut [&mut a, &mut b], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        // Both stores scale by the same factor 1/5.
+        assert!((a.grad(wa)[(0, 0)] - 0.6).abs() < 1e-6);
+        assert!((b.grad(wb)[(0, 0)] - 0.8).abs() < 1e-6);
+    }
+}

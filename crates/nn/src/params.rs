@@ -1,0 +1,199 @@
+//! Named parameter storage shared by layers and optimisers.
+
+use lahd_tensor::{Initializer, Matrix, Rng};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+/// A single trainable tensor with its accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Human-readable name, used by persistence and debugging.
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated since the last [`ParamStore::zero_grads`].
+    pub grad: Matrix,
+}
+
+/// Flat registry of every trainable tensor in a model.
+///
+/// Layers allocate their weights here and keep only [`ParamId`] handles, so a
+/// whole model (GRU torso + heads + QBNs) can be optimised, clipped,
+/// serialised and copied through one object.
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a parameter initialised by `init`.
+    pub fn alloc(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        init: Initializer,
+        rng: &mut Rng,
+    ) -> ParamId {
+        let value = init.init(rows, cols, rng);
+        self.alloc_with_value(name, value)
+    }
+
+    /// Allocates a parameter with an explicit initial value.
+    pub fn alloc_with_value(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.params.push(Param { name: name.into(), value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Immutable access to a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter's value.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Immutable access to a parameter's gradient.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].grad
+    }
+
+    /// Accumulates `delta` into the gradient of `id`.
+    pub fn add_grad(&mut self, id: ParamId, delta: &Matrix) {
+        self.params[id.0].grad.add_assign(delta);
+    }
+
+    /// The parameter's registered name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterates over `(id, param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// All parameter ids in allocation order.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.params.len()).map(ParamId).collect()
+    }
+
+    /// Zeroes every gradient, keeping allocations.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill_zero();
+        }
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn grad_global_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                let n = p.grad.frobenius_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient by `factor` (used by norm clipping).
+    pub fn scale_grads(&mut self, factor: f32) {
+        for p in &mut self.params {
+            p.grad.scale(factor);
+        }
+    }
+
+    /// Copies all values from `other` (shapes must match pairwise).
+    ///
+    /// # Panics
+    /// Panics if the stores have different layouts.
+    pub fn copy_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.params.len(), other.params.len(), "param store layout mismatch");
+        for (dst, src) in self.params.iter_mut().zip(&other.params) {
+            assert_eq!(dst.value.shape(), src.value.shape(), "parameter {} shape mismatch", dst.name);
+            dst.value = src.value.clone();
+        }
+    }
+
+    /// True if any value or gradient contains NaN/Inf.
+    pub fn has_non_finite(&self) -> bool {
+        self.params.iter().any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_tensor::seeded_rng;
+
+    #[test]
+    fn alloc_and_access_roundtrip() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(0);
+        let id = store.alloc("w", 2, 3, Initializer::Constant(1.5), &mut rng);
+        assert_eq!(store.value(id).shape(), (2, 3));
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(0);
+        let id = store.alloc("w", 1, 2, Initializer::Zeros, &mut rng);
+        store.add_grad(id, &Matrix::row_vector(&[1.0, 2.0]));
+        store.add_grad(id, &Matrix::row_vector(&[1.0, 2.0]));
+        assert_eq!(store.grad(id).row(0), &[2.0, 4.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(id).row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_norm_combines_parameters() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(0);
+        let a = store.alloc("a", 1, 1, Initializer::Zeros, &mut rng);
+        let b = store.alloc("b", 1, 1, Initializer::Zeros, &mut rng);
+        store.add_grad(a, &Matrix::row_vector(&[3.0]));
+        store.add_grad(b, &Matrix::row_vector(&[4.0]));
+        assert!((store.grad_global_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn copy_values_from_matches_layout() {
+        let mut rng = seeded_rng(3);
+        let mut a = ParamStore::new();
+        let mut b = ParamStore::new();
+        a.alloc("w", 2, 2, Initializer::XavierUniform, &mut rng);
+        b.alloc("w", 2, 2, Initializer::XavierUniform, &mut rng);
+        b.copy_values_from(&a);
+        let ids = a.ids();
+        assert_eq!(a.value(ids[0]), b.value(ids[0]));
+    }
+}

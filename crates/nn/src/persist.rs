@@ -1,0 +1,176 @@
+//! Line-oriented text persistence for parameter stores.
+//!
+//! The workspace deliberately avoids binary/JSON serialisation dependencies;
+//! models here are small (≤ a few hundred thousand scalars), and a
+//! human-inspectable format aids the paper's white-box goals. Format:
+//!
+//! ```text
+//! lahd-params v1
+//! param <name> <rows> <cols>
+//! <row of rows*cols f32 values, space separated>  (one line per row)
+//! ...
+//! end
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use lahd_tensor::Matrix;
+
+use crate::params::ParamStore;
+
+const MAGIC: &str = "lahd-params v1";
+
+/// Errors produced while reading a parameter file.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes every parameter (values only, not gradients) to `out`.
+pub fn write_params(store: &ParamStore, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    for (_, p) in store.iter() {
+        writeln!(out, "param {} {} {}", p.name, p.value.rows(), p.value.cols())?;
+        for r in 0..p.value.rows() {
+            let row: Vec<String> = p.value.row(r).iter().map(|v| format!("{v:e}")).collect();
+            writeln!(out, "{}", row.join(" "))?;
+        }
+    }
+    writeln!(out, "end")?;
+    Ok(())
+}
+
+/// Reads a parameter file produced by [`write_params`] into a fresh store.
+///
+/// Parameter order and names are preserved, so the resulting store is
+/// layout-compatible with the one that was saved.
+pub fn read_params(input: &mut impl BufRead) -> Result<ParamStore, PersistError> {
+    let mut lines = input.lines();
+    let magic = lines
+        .next()
+        .ok_or_else(|| PersistError::Format("empty file".into()))??;
+    if magic.trim() != MAGIC {
+        return Err(PersistError::Format(format!("bad magic line: {magic:?}")));
+    }
+
+    let mut store = ParamStore::new();
+    loop {
+        let header = lines
+            .next()
+            .ok_or_else(|| PersistError::Format("missing 'end' terminator".into()))??;
+        let header = header.trim();
+        if header == "end" {
+            return Ok(store);
+        }
+        let mut parts = header.split_whitespace();
+        match parts.next() {
+            Some("param") => {}
+            other => {
+                return Err(PersistError::Format(format!("expected 'param', found {other:?}")))
+            }
+        }
+        let name = parts
+            .next()
+            .ok_or_else(|| PersistError::Format("param line missing name".into()))?
+            .to_string();
+        let rows: usize = parse_field(parts.next(), "rows")?;
+        let cols: usize = parse_field(parts.next(), "cols")?;
+
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let line = lines.next().ok_or_else(|| {
+                PersistError::Format(format!("param {name}: missing row {r}"))
+            })??;
+            for tok in line.split_whitespace() {
+                let v: f32 = tok.parse().map_err(|_| {
+                    PersistError::Format(format!("param {name}: bad float {tok:?}"))
+                })?;
+                data.push(v);
+            }
+        }
+        if data.len() != rows * cols {
+            return Err(PersistError::Format(format!(
+                "param {name}: expected {} values, found {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        store.alloc_with_value(name, Matrix::from_vec(rows, cols, data));
+    }
+}
+
+fn parse_field(tok: Option<&str>, what: &str) -> Result<usize, PersistError> {
+    tok.ok_or_else(|| PersistError::Format(format!("param line missing {what}")))?
+        .parse()
+        .map_err(|_| PersistError::Format(format!("bad {what} field")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_tensor::{seeded_rng, Initializer};
+
+    fn sample_store() -> ParamStore {
+        let mut rng = seeded_rng(21);
+        let mut store = ParamStore::new();
+        store.alloc("layer.w", 3, 4, Initializer::XavierUniform, &mut rng);
+        store.alloc("layer.b", 1, 4, Initializer::Zeros, &mut rng);
+        store.alloc("head.w", 4, 2, Initializer::XavierNormal, &mut rng);
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_names() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_params(&store, &mut buf).unwrap();
+        let restored = read_params(&mut buf.as_slice()).unwrap();
+        assert_eq!(restored.len(), store.len());
+        for (a, b) in store.iter().zip(restored.iter()) {
+            assert_eq!(a.1.name, b.1.name);
+            assert_eq!(a.1.value.shape(), b.1.value.shape());
+            assert!(a.1.value.max_abs_diff(&b.1.value) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_params(&mut "not a param file\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_params(&store, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(read_params(&mut &truncated[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_float() {
+        let text = "lahd-params v1\nparam w 1 2\n1.0 banana\nend\n";
+        assert!(read_params(&mut text.as_bytes()).is_err());
+    }
+}

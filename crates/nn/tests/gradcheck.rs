@@ -1,0 +1,226 @@
+//! Finite-difference validation of every backward rule on the tape.
+//!
+//! These tests are the ground truth for the autograd engine: each exercises a
+//! distinct op (or composition) through `assert_grads_close`, which compares
+//! the analytic gradient against central differences.
+
+use lahd_nn::{assert_grads_close, GruCell, Linear, ParamStore};
+use lahd_tensor::{seeded_rng, Initializer, Matrix};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn small_store(shapes: &[(&str, usize, usize)], seed: u64) -> ParamStore {
+    let mut rng = seeded_rng(seed);
+    let mut store = ParamStore::new();
+    for &(name, r, c) in shapes {
+        store.alloc(name, r, c, Initializer::Uniform(0.8), &mut rng);
+    }
+    store
+}
+
+#[test]
+fn matmul_chain_gradcheck() {
+    let mut store = small_store(&[("a", 2, 3), ("b", 3, 2)], 1);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let a = g.param(s, ids[0]);
+        let b = g.param(s, ids[1]);
+        let y = g.matmul(a, b);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn sigmoid_tanh_relu_gradcheck() {
+    let mut store = small_store(&[("x", 1, 6)], 2);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let x = g.param(s, ids[0]);
+        let a = g.sigmoid(x);
+        let b = g.tanh(a);
+        let c = g.relu(b);
+        g.sum_all(c)
+    });
+}
+
+#[test]
+fn ternary_tanh_gradcheck() {
+    let mut store = small_store(&[("x", 1, 8)], 3);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let x = g.param(s, ids[0]);
+        let y = g.ternary_tanh(x);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn add_bias_gradcheck() {
+    let mut store = small_store(&[("x", 3, 4), ("b", 1, 4)], 4);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let x = g.param(s, ids[0]);
+        let b = g.param(s, ids[1]);
+        let y = g.add_bias(x, b);
+        let t = g.tanh(y);
+        g.sum_all(t)
+    });
+}
+
+#[test]
+fn hadamard_and_affine_gradcheck() {
+    let mut store = small_store(&[("a", 2, 2), ("b", 2, 2)], 5);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let a = g.param(s, ids[0]);
+        let b = g.param(s, ids[1]);
+        let prod = g.mul(a, b);
+        let shifted = g.affine(prod, 1.5, -0.25);
+        g.sum_all(shifted)
+    });
+}
+
+#[test]
+fn sub_and_one_minus_gradcheck() {
+    let mut store = small_store(&[("a", 1, 5), ("b", 1, 5)], 6);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let a = g.param(s, ids[0]);
+        let b = g.param(s, ids[1]);
+        let d = g.sub(a, b);
+        let om = g.one_minus(d);
+        let sq = g.mul(om, om);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn cross_entropy_gradcheck() {
+    let mut store = small_store(&[("logits", 1, 7)], 7);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let l = g.param(s, ids[0]);
+        g.cross_entropy_logits(l, 3, 1.7)
+    });
+}
+
+#[test]
+fn entropy_gradcheck() {
+    let mut store = small_store(&[("logits", 1, 5)], 8);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let l = g.param(s, ids[0]);
+        g.entropy_from_logits(l)
+    });
+}
+
+#[test]
+fn squared_error_gradcheck() {
+    let mut store = small_store(&[("v", 1, 1)], 9);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let v = g.param(s, ids[0]);
+        g.squared_error(v, 0.37)
+    });
+}
+
+#[test]
+fn mse_against_gradcheck() {
+    let mut store = small_store(&[("pred", 2, 3)], 10);
+    let ids = store.ids();
+    let target = Matrix::from_rows(&[&[0.1, -0.2, 0.3], &[0.0, 0.5, -0.5]]);
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let p = g.param(s, ids[0]);
+        g.mse_against(p, target.clone())
+    });
+}
+
+#[test]
+fn concat_cols_gradcheck() {
+    let mut store = small_store(&[("a", 1, 3), ("b", 1, 2)], 11);
+    let ids = store.ids();
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let a = g.param(s, ids[0]);
+        let b = g.param(s, ids[1]);
+        let c = g.concat_cols(a, b);
+        let t = g.tanh(c);
+        g.sum_all(t)
+    });
+}
+
+#[test]
+fn linear_layer_gradcheck() {
+    let mut rng = seeded_rng(12);
+    let mut store = ParamStore::new();
+    let layer = Linear::new(&mut store, "fc", 4, 3, &mut rng);
+    let x = Matrix::row_vector(&[0.3, -0.6, 0.9, 0.1]);
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let xv = g.constant(x.clone());
+        let y = layer.forward(g, s, xv);
+        let t = g.tanh(y);
+        g.sum_all(t)
+    });
+}
+
+#[test]
+fn gru_single_step_gradcheck() {
+    let mut rng = seeded_rng(13);
+    let mut store = ParamStore::new();
+    let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+    let x = Matrix::row_vector(&[0.5, -0.4, 0.2]);
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let xv = g.constant(x.clone());
+        let h0 = g.constant(cell.initial_state());
+        let h1 = cell.step(g, s, xv, h0);
+        let sq = g.mul(h1, h1);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn gru_bptt_three_steps_gradcheck() {
+    let mut rng = seeded_rng(14);
+    let mut store = ParamStore::new();
+    let cell = GruCell::new(&mut store, "gru", 2, 3, &mut rng);
+    let xs = [
+        Matrix::row_vector(&[0.5, -0.1]),
+        Matrix::row_vector(&[-0.3, 0.8]),
+        Matrix::row_vector(&[0.2, 0.2]),
+    ];
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let mut h = g.constant(cell.initial_state());
+        for x in &xs {
+            let xv = g.constant(x.clone());
+            h = cell.step(g, s, xv, h);
+        }
+        let sq = g.mul(h, h);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn actor_critic_shaped_loss_gradcheck() {
+    // The exact loss structure used by A2C: CE-weighted policy term plus
+    // value regression plus entropy bonus, through a shared GRU torso.
+    let mut rng = seeded_rng(15);
+    let mut store = ParamStore::new();
+    let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+    let policy = Linear::new(&mut store, "pi", 4, 5, &mut rng);
+    let value = Linear::new(&mut store, "v", 4, 1, &mut rng);
+    let x = Matrix::row_vector(&[0.1, 0.7, -0.2]);
+    assert_grads_close(&mut store, EPS, TOL, |g, s| {
+        let xv = g.constant(x.clone());
+        let h0 = g.constant(cell.initial_state());
+        let h1 = cell.step(g, s, xv, h0);
+        let logits = policy.forward(g, s, h1);
+        let v = value.forward(g, s, h1);
+        let pg = g.cross_entropy_logits(logits, 2, 0.8);
+        let vl = g.squared_error(v, 0.4);
+        let ent = g.entropy_from_logits(logits);
+        let ent_term = g.scale(ent, -0.01);
+        let sum = g.add(pg, vl);
+        g.add(sum, ent_term)
+    });
+}

@@ -1,0 +1,330 @@
+//! Quantized bottleneck autoencoders (Koul et al. 2018, as used in §3.2.1).
+//!
+//! A QBN is an autoencoder whose latent layer is quantized to `k` discrete
+//! levels per dimension; training uses a straight-through gradient across
+//! the rounding. Two QBNs are fitted over a trained recurrent policy — one
+//! for observations (`b_o`) and one for hidden states (`b_h`) — and the
+//! discrete codes define the extracted finite state machine.
+
+use lahd_nn::{quantize3, ternary_tanh, Graph, Linear, ParamStore, Var};
+use lahd_tensor::{seeded_rng, Matrix};
+use rand::seq::SliceRandom;
+
+/// Number of quantization levels per latent entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantLevels {
+    /// Binary {−1, 1}.
+    Two,
+    /// Ternary {−1, 0, 1} — the paper's `k = 3`.
+    Three,
+}
+
+impl QuantLevels {
+    /// Number of levels `k`.
+    pub fn k(self) -> usize {
+        match self {
+            QuantLevels::Two => 2,
+            QuantLevels::Three => 3,
+        }
+    }
+
+    /// Quantizes one pre-activation value.
+    fn quantize(self, x: f32) -> i8 {
+        match self {
+            QuantLevels::Two => {
+                if x.tanh() >= 0.0 {
+                    1
+                } else {
+                    -1
+                }
+            }
+            QuantLevels::Three => quantize3(ternary_tanh(x)) as i8,
+        }
+    }
+}
+
+/// QBN architecture description.
+#[derive(Clone, Debug)]
+pub struct QbnConfig {
+    /// Input (reconstruction target) width.
+    pub input_dim: usize,
+    /// Width of the encoder/decoder hidden layer.
+    pub hidden_dim: usize,
+    /// Latent width `L` (paper: 64 for the hidden-state QBN).
+    pub latent_dim: usize,
+    /// Quantization levels `k` (paper: 3).
+    pub levels: QuantLevels,
+}
+
+impl QbnConfig {
+    /// A conventional configuration: hidden layer of `4·L`, ternary levels.
+    pub fn with_dims(input_dim: usize, latent_dim: usize) -> Self {
+        Self { input_dim, hidden_dim: latent_dim * 4, latent_dim, levels: QuantLevels::Three }
+    }
+
+    /// Size of the discrete code space `k^L` (saturates at `usize::MAX`).
+    pub fn code_space(&self) -> usize {
+        (self.levels.k() as u128)
+            .checked_pow(self.latent_dim as u32)
+            .map_or(usize::MAX, |v| v.min(usize::MAX as u128) as usize)
+    }
+}
+
+/// Training hyper-parameters for [`Qbn::train`].
+#[derive(Clone, Debug)]
+pub struct QbnTrainConfig {
+    /// Passes over the dataset.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for QbnTrainConfig {
+    fn default() -> Self {
+        Self { epochs: 40, batch_size: 32, learning_rate: 1e-3, seed: 0 }
+    }
+}
+
+/// A quantized bottleneck autoencoder.
+#[derive(Clone)]
+pub struct Qbn {
+    /// Trainable parameters.
+    pub store: ParamStore,
+    cfg: QbnConfig,
+    enc_in: Linear,
+    enc_lat: Linear,
+    dec_hid: Linear,
+    dec_out: Linear,
+}
+
+impl Qbn {
+    /// Creates a QBN with Xavier-initialised weights.
+    pub fn new(cfg: QbnConfig, seed: u64) -> Self {
+        assert!(cfg.input_dim > 0 && cfg.latent_dim > 0 && cfg.hidden_dim > 0);
+        let mut rng = seeded_rng(seed);
+        let mut store = ParamStore::new();
+        let enc_in = Linear::new(&mut store, "qbn.enc_in", cfg.input_dim, cfg.hidden_dim, &mut rng);
+        let enc_lat =
+            Linear::new(&mut store, "qbn.enc_lat", cfg.hidden_dim, cfg.latent_dim, &mut rng);
+        let dec_hid =
+            Linear::new(&mut store, "qbn.dec_hid", cfg.latent_dim, cfg.hidden_dim, &mut rng);
+        let dec_out =
+            Linear::new(&mut store, "qbn.dec_out", cfg.hidden_dim, cfg.input_dim, &mut rng);
+        Self { store, cfg, enc_in, enc_lat, dec_hid, dec_out }
+    }
+
+    /// The architecture description.
+    pub fn config(&self) -> &QbnConfig {
+        &self.cfg
+    }
+
+    /// Pre-quantization latent activations for a batch (rows = samples).
+    fn latent_preact(&self, x: &Matrix) -> Matrix {
+        let mut h = self.enc_in.infer(&self.store, x);
+        h.map_inplace(f32::tanh);
+        self.enc_lat.infer(&self.store, &h)
+    }
+
+    /// Encodes an input into its discrete latent code.
+    pub fn encode(&self, x: &[f32]) -> crate::codes::Code {
+        assert_eq!(x.len(), self.cfg.input_dim, "QBN input width mismatch");
+        let pre = self.latent_preact(&Matrix::row_vector(x));
+        crate::codes::Code(pre.row(0).iter().map(|&v| self.cfg.levels.quantize(v)).collect())
+    }
+
+    /// Decodes a discrete code back to input space.
+    pub fn decode(&self, code: &crate::codes::Code) -> Vec<f32> {
+        assert_eq!(code.len(), self.cfg.latent_dim, "QBN code width mismatch");
+        let z = Matrix::row_vector(&code.to_f32());
+        let mut h = self.dec_hid.infer(&self.store, &z);
+        h.map_inplace(f32::tanh);
+        self.dec_out.infer(&self.store, &h).row(0).to_vec()
+    }
+
+    /// Encode-then-decode reconstruction (the value the FSM will see).
+    pub fn reconstruct(&self, x: &[f32]) -> Vec<f32> {
+        self.decode(&self.encode(x))
+    }
+
+    /// Differentiable forward pass for a batch; returns the quantized latent
+    /// node and the reconstruction node.
+    pub fn forward_tape(&self, g: &mut Graph, x: Var) -> (Var, Var) {
+        let h = self.enc_in.forward(g, &self.store, x);
+        let h = g.tanh(h);
+        let pre = self.enc_lat.forward(g, &self.store, h);
+        let act = match self.cfg.levels {
+            QuantLevels::Two => g.tanh(pre),
+            QuantLevels::Three => g.ternary_tanh(pre),
+        };
+        let code = g.quantize_ste(act);
+        let dh = self.dec_hid.forward(g, &self.store, code);
+        let dh = g.tanh(dh);
+        let recon = self.dec_out.forward(g, &self.store, dh);
+        (code, recon)
+    }
+
+    /// Trains the autoencoder on `data` (each row `input_dim` wide) by
+    /// minimising reconstruction MSE with Adam; returns the mean loss per
+    /// epoch.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or rows have the wrong width.
+    pub fn train(&mut self, data: &[Vec<f32>], tc: &QbnTrainConfig) -> Vec<f32> {
+        assert!(!data.is_empty(), "cannot train a QBN on an empty dataset");
+        assert!(
+            data.iter().all(|r| r.len() == self.cfg.input_dim),
+            "QBN training rows must match input_dim"
+        );
+        let mut adam = lahd_nn::Adam::new(tc.learning_rate);
+        let mut rng = seeded_rng(tc.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(tc.epochs);
+
+        for _ in 0..tc.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(tc.batch_size.max(1)) {
+                let mut batch = Matrix::zeros(chunk.len(), self.cfg.input_dim);
+                for (r, &idx) in chunk.iter().enumerate() {
+                    batch.row_mut(r).copy_from_slice(&data[idx]);
+                }
+                self.store.zero_grads();
+                let mut g = Graph::new();
+                let x = g.constant(batch.clone());
+                let (_, recon) = self.forward_tape(&mut g, x);
+                let loss = g.mse_against(recon, batch);
+                loss_sum += g.scalar(loss);
+                batches += 1;
+                g.backward(loss);
+                g.accumulate_param_grads(&mut self.store);
+                lahd_nn::clip_global_norm(&mut self.store, 5.0);
+                adam.step(&mut self.store);
+            }
+            epoch_losses.push(loss_sum / batches as f32);
+        }
+        epoch_losses
+    }
+
+    /// Mean reconstruction MSE over a dataset (inference path, i.e. through
+    /// the *rounded* code, which is what the FSM consumes).
+    pub fn reconstruction_error(&self, data: &[Vec<f32>]) -> f32 {
+        assert!(!data.is_empty());
+        let mut total = 0.0;
+        for row in data {
+            let recon = self.reconstruct(row);
+            let mse: f32 = row
+                .iter()
+                .zip(&recon)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / row.len() as f32;
+            total += mse;
+        }
+        total / data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn clustered_data(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        // Four well-separated cluster centres in 6-D with small jitter: a
+        // QBN should compress these to distinct codes and reconstruct well.
+        let centres: [[f32; 6]; 4] = [
+            [1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+        ];
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|i| {
+                let c = centres[i % centres.len()];
+                c.iter().map(|&v| v + rng.gen_range(-0.05..0.05)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_produces_valid_ternary_levels() {
+        let qbn = Qbn::new(QbnConfig::with_dims(6, 8), 0);
+        let code = qbn.encode(&[0.5, -0.5, 1.0, -1.0, 0.0, 0.25]);
+        assert_eq!(code.len(), 8);
+        assert!(code.0.iter().all(|&v| v == -1 || v == 0 || v == 1));
+    }
+
+    #[test]
+    fn binary_levels_exclude_zero() {
+        let cfg = QbnConfig { levels: QuantLevels::Two, ..QbnConfig::with_dims(6, 8) };
+        let qbn = Qbn::new(cfg, 0);
+        let code = qbn.encode(&[0.1; 6]);
+        assert!(code.0.iter().all(|&v| v == -1 || v == 1));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let qbn = Qbn::new(QbnConfig::with_dims(4, 6), 1);
+        let x = [0.3, -0.7, 0.2, 0.9];
+        assert_eq!(qbn.encode(&x), qbn.encode(&x));
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let data = clustered_data(120, 2);
+        let mut qbn = Qbn::new(QbnConfig::with_dims(6, 12), 3);
+        let before = qbn.reconstruction_error(&data);
+        let losses = qbn.train(
+            &data,
+            &QbnTrainConfig { epochs: 60, batch_size: 16, learning_rate: 2e-3, seed: 4 },
+        );
+        let after = qbn.reconstruction_error(&data);
+        assert!(after < before, "training did not help: {before} -> {after}");
+        assert!(
+            losses.last().unwrap() < &0.05,
+            "final training loss too high: {:?}",
+            losses.last()
+        );
+        assert!(after < 0.06, "post-training inference error too high: {after}");
+    }
+
+    #[test]
+    fn distinct_clusters_map_to_distinct_codes_after_training() {
+        let data = clustered_data(120, 5);
+        let mut qbn = Qbn::new(QbnConfig::with_dims(6, 12), 6);
+        qbn.train(
+            &data,
+            &QbnTrainConfig { epochs: 60, batch_size: 16, learning_rate: 2e-3, seed: 7 },
+        );
+        let codes: std::collections::HashSet<_> =
+            data[..4].iter().map(|row| qbn.encode(row)).collect();
+        assert!(codes.len() >= 2, "all clusters collapsed to one code");
+    }
+
+    #[test]
+    fn code_space_is_k_pow_l() {
+        assert_eq!(QbnConfig::with_dims(4, 3).code_space(), 27);
+        let two = QbnConfig { levels: QuantLevels::Two, ..QbnConfig::with_dims(4, 10) };
+        assert_eq!(two.code_space(), 1024);
+    }
+
+    #[test]
+    fn decode_of_encode_has_input_width() {
+        let qbn = Qbn::new(QbnConfig::with_dims(5, 4), 8);
+        let out = qbn.reconstruct(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn encode_rejects_wrong_width() {
+        let qbn = Qbn::new(QbnConfig::with_dims(5, 4), 8);
+        let _ = qbn.encode(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Quantized latent codes and code books.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A quantized latent vector with entries in {−1, 0, 1} (k = 3) or
+/// {−1, 1} (k = 2).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Code(pub Vec<i8>);
+
+impl Code {
+    /// Latent width `L`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the code is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The code as an `f32` vector (for feeding decoders).
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.0.iter().map(|&v| v as f32).collect()
+    }
+
+    /// Compact text form, e.g. `+0-` for `[1, 0, -1]` (used in DOT exports
+    /// and the persistence format).
+    pub fn compact(&self) -> String {
+        self.0
+            .iter()
+            .map(|v| match v {
+                1 => '+',
+                0 => '0',
+                -1 => '-',
+                other => panic!("invalid quantized entry {other}"),
+            })
+            .collect()
+    }
+
+    /// Parses the [`Code::compact`] form.
+    ///
+    /// # Errors
+    /// Returns the offending character on invalid input.
+    pub fn parse_compact(s: &str) -> Result<Self, char> {
+        let mut v = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            v.push(match ch {
+                '+' => 1,
+                '0' => 0,
+                '-' => -1,
+                other => return Err(other),
+            });
+        }
+        Ok(Code(v))
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.compact())
+    }
+}
+
+/// Interns codes to dense ids (states or observation symbols).
+#[derive(Clone, Debug, Default)]
+pub struct CodeBook {
+    by_code: HashMap<Code, usize>,
+    codes: Vec<Code>,
+}
+
+impl CodeBook {
+    /// An empty code book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `code`, interning it if new.
+    pub fn intern(&mut self, code: Code) -> usize {
+        if let Some(&id) = self.by_code.get(&code) {
+            return id;
+        }
+        let id = self.codes.len();
+        self.by_code.insert(code.clone(), id);
+        self.codes.push(code);
+        id
+    }
+
+    /// Looks up an existing code.
+    pub fn get(&self, code: &Code) -> Option<usize> {
+        self.by_code.get(code).copied()
+    }
+
+    /// The code with a given id.
+    pub fn code(&self, id: usize) -> &Code {
+        &self.codes[id]
+    }
+
+    /// Number of distinct codes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Iterates codes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Code)> {
+        self.codes.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let c = Code(vec![1, 0, -1, 0, 1]);
+        assert_eq!(c.compact(), "+0-0+");
+        assert_eq!(Code::parse_compact("+0-0+").unwrap(), c);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Code::parse_compact("+x-"), Err('x'));
+    }
+
+    #[test]
+    fn codebook_interns_stably() {
+        let mut book = CodeBook::new();
+        let a = book.intern(Code(vec![1, 0]));
+        let b = book.intern(Code(vec![0, 1]));
+        let a2 = book.intern(Code(vec![1, 0]));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(book.len(), 2);
+        assert_eq!(book.code(a), &Code(vec![1, 0]));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut book = CodeBook::new();
+        assert_eq!(book.get(&Code(vec![1])), None);
+        book.intern(Code(vec![1]));
+        assert_eq!(book.get(&Code(vec![1])), Some(0));
+    }
+
+    #[test]
+    fn to_f32_maps_levels() {
+        assert_eq!(Code(vec![-1, 0, 1]).to_f32(), vec![-1.0, 0.0, 1.0]);
+    }
+}

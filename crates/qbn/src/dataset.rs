@@ -1,0 +1,162 @@
+//! The transition dataset `⟨h_t, h_{t+1}, o_t, a_t⟩` (paper §3.2.1).
+//!
+//! "A dataset of ⟨h_t, h_{t+1}, o_t, a_t⟩ can be collected via running the
+//! trained DRL model. The QBNs are then trained over the collected dataset
+//! using supervised learning to minimize the reconstruction error."
+//!
+//! Collection itself lives in `lahd-core` (it needs the agent and the
+//! environment); this module is the plain data container plus the views the
+//! QBN trainers and the FSM extractor need.
+
+/// One recorded transition of the trained policy.
+#[derive(Clone, Debug)]
+pub struct TransitionRow {
+    /// Continuous observation `o_t`.
+    pub obs: Vec<f32>,
+    /// Hidden state `h_t` *before* consuming `o_t`.
+    pub hidden: Vec<f32>,
+    /// Hidden state `h_{t+1}` after the GRU step.
+    pub next_hidden: Vec<f32>,
+    /// Action `a_t` emitted from `h_{t+1}`.
+    pub action: usize,
+    /// Which episode the row came from (used to segment trajectories).
+    pub episode: usize,
+    /// Step index within the episode.
+    pub step: usize,
+}
+
+/// A set of recorded transitions.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionDataset {
+    rows: Vec<TransitionRow>,
+}
+
+impl TransitionDataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if widths are inconsistent with already-stored rows.
+    pub fn push(&mut self, row: TransitionRow) {
+        if let Some(first) = self.rows.first() {
+            assert_eq!(first.obs.len(), row.obs.len(), "obs width changed mid-dataset");
+            assert_eq!(first.hidden.len(), row.hidden.len(), "hidden width changed mid-dataset");
+        }
+        assert_eq!(row.hidden.len(), row.next_hidden.len(), "hidden widths differ within row");
+        self.rows.push(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows in insertion (trajectory) order.
+    pub fn rows(&self) -> &[TransitionRow] {
+        &self.rows
+    }
+
+    /// Observation width (0 when empty).
+    pub fn obs_dim(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.obs.len())
+    }
+
+    /// Hidden-state width (0 when empty).
+    pub fn hidden_dim(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.hidden.len())
+    }
+
+    /// Copies of all observations — the OX-QBN training set.
+    pub fn observations(&self) -> Vec<Vec<f32>> {
+        self.rows.iter().map(|r| r.obs.clone()).collect()
+    }
+
+    /// Copies of all hidden states (both `h_t` and the final `h_{t+1}` of
+    /// each episode) — the HX-QBN training set.
+    pub fn hidden_states(&self) -> Vec<Vec<f32>> {
+        let mut out: Vec<Vec<f32>> = self.rows.iter().map(|r| r.hidden.clone()).collect();
+        // Episode-final next_hidden values are states too; include the last
+        // row of each episode so the HX QBN sees terminal states.
+        for (i, r) in self.rows.iter().enumerate() {
+            let is_episode_end =
+                i + 1 == self.rows.len() || self.rows[i + 1].episode != r.episode;
+            if is_episode_end {
+                out.push(r.next_hidden.clone());
+            }
+        }
+        out
+    }
+
+    /// Number of distinct episodes.
+    pub fn num_episodes(&self) -> usize {
+        let mut episodes: Vec<usize> = self.rows.iter().map(|r| r.episode).collect();
+        episodes.sort_unstable();
+        episodes.dedup();
+        episodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(episode: usize, step: usize, action: usize) -> TransitionRow {
+        TransitionRow {
+            obs: vec![step as f32, 0.0],
+            hidden: vec![0.1, 0.2, 0.3],
+            next_hidden: vec![0.2, 0.3, 0.4],
+            action,
+            episode,
+            step,
+        }
+    }
+
+    #[test]
+    fn dims_come_from_first_row() {
+        let mut ds = TransitionDataset::new();
+        ds.push(row(0, 0, 1));
+        assert_eq!(ds.obs_dim(), 2);
+        assert_eq!(ds.hidden_dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "obs width changed")]
+    fn inconsistent_obs_width_rejected() {
+        let mut ds = TransitionDataset::new();
+        ds.push(row(0, 0, 1));
+        let mut bad = row(0, 1, 1);
+        bad.obs = vec![1.0];
+        ds.push(bad);
+    }
+
+    #[test]
+    fn hidden_states_include_episode_finals() {
+        let mut ds = TransitionDataset::new();
+        ds.push(row(0, 0, 1));
+        ds.push(row(0, 1, 2));
+        ds.push(row(1, 0, 3));
+        // 3 rows contribute h_t, plus the final next_hidden of episodes 0
+        // and 1.
+        assert_eq!(ds.hidden_states().len(), 5);
+        assert_eq!(ds.num_episodes(), 2);
+    }
+
+    #[test]
+    fn observations_preserve_order() {
+        let mut ds = TransitionDataset::new();
+        ds.push(row(0, 0, 1));
+        ds.push(row(0, 1, 1));
+        let obs = ds.observations();
+        assert_eq!(obs[0][0], 0.0);
+        assert_eq!(obs[1][0], 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Quantized Bottleneck Networks for FSM extraction (paper §3.2.1, after
+//! Koul, Greydanus & Fern, *Learning Finite State Representations of
+//! Recurrent Policy Networks*, 2018).
+//!
+//! Two QBN autoencoders are inserted into a trained recurrent policy — one
+//! reconstructing observations, one reconstructing GRU hidden states — with
+//! latent layers quantized to `k` levels per dimension (`k = 3`, `L = 64` in
+//! the paper). Running the policy with the QBNs inserted yields a discrete
+//! dataset `⟨b_{h_t}, b_{h_{t+1}}, b_{o_t}, a_t⟩` whose transition table *is*
+//! the extracted finite state machine.
+//!
+//! This crate provides:
+//! * [`Qbn`] — the autoencoder with ternary-tanh quantization and a
+//!   straight-through gradient, plus supervised training;
+//! * [`Code`]/[`CodeBook`] — discrete latent codes and their interning;
+//! * [`TransitionDataset`] — the `⟨h, h′, o, a⟩` container shared with the
+//!   FSM extractor.
+//!
+//! # Example
+//!
+//! ```
+//! use lahd_qbn::{Qbn, QbnConfig, QbnTrainConfig};
+//!
+//! let data: Vec<Vec<f32>> = (0..32)
+//!     .map(|i| vec![(i % 2) as f32, 1.0 - (i % 2) as f32])
+//!     .collect();
+//! let mut qbn = Qbn::new(QbnConfig::with_dims(2, 4), 0);
+//! qbn.train(&data, &QbnTrainConfig { epochs: 20, ..Default::default() });
+//! let code = qbn.encode(&data[0]);
+//! assert_eq!(code.len(), 4);
+//! ```
+
+mod autoencoder;
+mod codes;
+mod dataset;
+
+pub use autoencoder::{Qbn, QbnConfig, QbnTrainConfig, QuantLevels};
+pub use codes::{Code, CodeBook};
+pub use dataset::{TransitionDataset, TransitionRow};

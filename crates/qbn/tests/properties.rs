@@ -1,0 +1,92 @@
+//! Property-based tests for quantization and code handling.
+
+use lahd_nn::{quantize3, ternary_tanh};
+use lahd_qbn::{Code, CodeBook, Qbn, QbnConfig, QuantLevels};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The ternary activation is bounded, odd, and monotone enough to
+    /// saturate toward the three levels.
+    #[test]
+    fn ternary_tanh_is_bounded_and_odd(x in -50.0f32..50.0) {
+        let y = ternary_tanh(x);
+        prop_assert!(y.abs() <= 1.0 + 1e-4, "out of range: {y}");
+        let neg = ternary_tanh(-x);
+        prop_assert!((y + neg).abs() < 1e-4, "not odd: f({x})={y}, f({}) = {neg}", -x);
+    }
+
+    /// Rounding maps into {-1, 0, 1} and is idempotent.
+    #[test]
+    fn quantize3_levels_and_idempotence(x in -100.0f32..100.0) {
+        let q = quantize3(x);
+        prop_assert!(q == -1.0 || q == 0.0 || q == 1.0);
+        prop_assert_eq!(quantize3(q), q);
+    }
+
+    /// Encoding is deterministic and always produces valid levels at the
+    /// configured width, for both k = 2 and k = 3.
+    #[test]
+    fn encode_valid_and_deterministic(
+        input in proptest::collection::vec(-3.0f32..3.0, 6),
+        latent in 2usize..10,
+        ternary in any::<bool>(),
+        seed in 0u64..50,
+    ) {
+        let levels = if ternary { QuantLevels::Three } else { QuantLevels::Two };
+        let cfg = QbnConfig { levels, ..QbnConfig::with_dims(6, latent) };
+        let qbn = Qbn::new(cfg, seed);
+        let code = qbn.encode(&input);
+        prop_assert_eq!(code.len(), latent);
+        for &v in &code.0 {
+            match levels {
+                QuantLevels::Three => prop_assert!(v == -1 || v == 0 || v == 1),
+                QuantLevels::Two => prop_assert!(v == -1 || v == 1),
+            }
+        }
+        prop_assert_eq!(qbn.encode(&input), code);
+    }
+
+    /// Decode always returns a finite vector of the input width.
+    #[test]
+    fn decode_is_finite(
+        code_vals in proptest::collection::vec(-1i8..=1, 5),
+        seed in 0u64..50,
+    ) {
+        let qbn = Qbn::new(QbnConfig::with_dims(7, 5), seed);
+        let out = qbn.decode(&Code(code_vals));
+        prop_assert_eq!(out.len(), 7);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    /// Compact code text form round-trips.
+    #[test]
+    fn code_compact_roundtrip(vals in proptest::collection::vec(-1i8..=1, 0..64)) {
+        let code = Code(vals);
+        let parsed = Code::parse_compact(&code.compact()).expect("roundtrip");
+        prop_assert_eq!(parsed, code);
+    }
+
+    /// CodeBook ids are dense, stable and injective.
+    #[test]
+    fn codebook_interning_is_consistent(
+        codes in proptest::collection::vec(
+            proptest::collection::vec(-1i8..=1, 3),
+            1..40,
+        ),
+    ) {
+        let mut book = CodeBook::new();
+        let ids: Vec<usize> = codes.iter().map(|c| book.intern(Code(c.clone()))).collect();
+        // Dense: max id < number of distinct codes.
+        let distinct: std::collections::HashSet<_> = codes.iter().collect();
+        prop_assert_eq!(book.len(), distinct.len());
+        prop_assert!(ids.iter().all(|&id| id < book.len()));
+        // Stable: re-interning returns the same id; lookup agrees.
+        for (c, &id) in codes.iter().zip(&ids) {
+            prop_assert_eq!(book.intern(Code(c.clone())), id);
+            prop_assert_eq!(book.get(&Code(c.clone())), Some(id));
+            prop_assert_eq!(book.code(id), &Code(c.clone()));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Advantage actor-critic training (paper §4.2).
+//!
+//! "The loss design follows the Advantage Actor-Critic method (A2C). We use
+//! Adam with an initial learning rate 0.0003 and clip the norm of gradients
+//! to be under 2. The RL learning follows the Epsilon greedy exploration
+//! with 0.1 as the probability of random action selection."
+
+use lahd_nn::{clip_global_norm, Adam, Graph};
+use lahd_tensor::{seeded_rng, Rng};
+
+use crate::agent::RecurrentActorCritic;
+use crate::env::Env;
+use crate::rollout::{advantages, discounted_returns, Episode};
+
+/// Hyper-parameters of the A2C trainer. Defaults follow the paper.
+#[derive(Clone, Debug)]
+pub struct A2cConfig {
+    /// Adam learning rate (paper: 3e-4).
+    pub learning_rate: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Weight of the value-regression term.
+    pub value_coef: f32,
+    /// Weight of the entropy bonus.
+    pub entropy_coef: f32,
+    /// Global gradient-norm clip (paper: 2).
+    pub grad_clip: f32,
+    /// ε-greedy exploration probability (paper: 0.1).
+    pub epsilon: f32,
+    /// Whether to normalise advantages per episode.
+    pub normalize_advantages: bool,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 3e-4,
+            gamma: 0.99,
+            value_coef: 0.5,
+            entropy_coef: 0.01,
+            grad_clip: 2.0,
+            epsilon: 0.1,
+            normalize_advantages: true,
+        }
+    }
+}
+
+/// Outcome of one training episode.
+#[derive(Clone, Debug)]
+pub struct EpisodeReport {
+    /// Steps taken.
+    pub steps: usize,
+    /// Undiscounted reward sum.
+    pub total_reward: f32,
+    /// Combined loss value.
+    pub loss: f32,
+    /// Pre-clip global gradient norm.
+    pub grad_norm: f32,
+}
+
+/// A2C trainer owning the model, optimiser and exploration RNG.
+pub struct A2cTrainer {
+    /// The model being trained.
+    pub agent: RecurrentActorCritic,
+    /// Hyper-parameters.
+    pub config: A2cConfig,
+    optimizer: Adam,
+    rng: Rng,
+}
+
+impl A2cTrainer {
+    /// Creates a trainer for `agent`.
+    pub fn new(agent: RecurrentActorCritic, config: A2cConfig, seed: u64) -> Self {
+        let optimizer = Adam::new(config.learning_rate);
+        Self { agent, config, optimizer, rng: seeded_rng(seed) }
+    }
+
+    /// Consumes the trainer, returning the trained agent.
+    pub fn into_agent(self) -> RecurrentActorCritic {
+        self.agent
+    }
+
+    /// Rolls out one episode with ε-greedy sampling (no learning).
+    pub fn collect_episode(&mut self, env: &mut dyn Env) -> Episode {
+        let mut episode = Episode::default();
+        let mut obs = env.reset();
+        let mut hidden = self.agent.initial_state();
+        loop {
+            let step = self.agent.infer(&obs, &hidden);
+            let action =
+                self.agent
+                    .sample_action(&step.logits, self.config.epsilon, &mut self.rng);
+            let tr = env.step(action);
+            episode.push(obs, action, tr.reward, step.value);
+            hidden = step.hidden;
+            if tr.done {
+                break;
+            }
+            obs = tr.obs;
+        }
+        episode
+    }
+
+    /// Runs one episode and applies one A2C update. Returns the report.
+    pub fn train_episode(&mut self, env: &mut dyn Env) -> EpisodeReport {
+        let episode = self.collect_episode(env);
+        self.update_batch(std::slice::from_ref(&episode))
+    }
+
+    /// Collects one episode from every environment and applies a single
+    /// synchronous update — the "A2C" in advantage actor-critic: batching
+    /// across parallel environments is what tames the per-episode gradient
+    /// noise.
+    pub fn train_batch(&mut self, envs: &mut [&mut dyn Env]) -> EpisodeReport {
+        let episodes: Vec<Episode> =
+            envs.iter_mut().map(|env| self.collect_episode(*env)).collect();
+        self.update_batch(&episodes)
+    }
+
+    /// Applies one A2C update from a batch of recorded episodes.
+    ///
+    /// Each trajectory is replayed through the tape (full backpropagation
+    /// through time over the GRU), building
+    /// `Σ_e Σ_t [−log π(a_t|h_t)·A_t + c_v·(V(h_t) − R_t)² − c_e·H(π(·|h_t))]`,
+    /// normalised by the total step count. Advantages are normalised across
+    /// the whole batch when `normalize_advantages` is set.
+    pub fn update_batch(&mut self, episodes: &[Episode]) -> EpisodeReport {
+        assert!(
+            episodes.iter().any(|e| !e.is_empty()),
+            "cannot update from an empty episode batch"
+        );
+        // Per-episode returns; batch-wide advantage normalisation.
+        let returns_per_ep: Vec<Vec<f32>> = episodes
+            .iter()
+            .map(|e| discounted_returns(&e.rewards, self.config.gamma))
+            .collect();
+        let mut flat_returns = Vec::new();
+        let mut flat_values = Vec::new();
+        for (e, r) in episodes.iter().zip(&returns_per_ep) {
+            flat_returns.extend_from_slice(r);
+            flat_values.extend_from_slice(&e.values);
+        }
+        let flat_advs =
+            advantages(&flat_returns, &flat_values, self.config.normalize_advantages);
+
+        self.agent.store.zero_grads();
+        let mut g = Graph::new();
+        let mut loss_acc = None;
+        let mut flat_idx = 0;
+        for (episode, returns) in episodes.iter().zip(&returns_per_ep) {
+            let mut hidden = g.constant(self.agent.initial_state());
+            for (t, &ret) in returns.iter().enumerate() {
+                let (logits, value, h_next) =
+                    self.agent.tape_step(&mut g, &episode.observations[t], hidden);
+                hidden = h_next;
+
+                let policy_term =
+                    g.cross_entropy_logits(logits, episode.actions[t], flat_advs[flat_idx]);
+                let value_term = g.squared_error(value, ret);
+                let value_term = g.scale(value_term, self.config.value_coef);
+                let entropy_term = g.entropy_from_logits(logits);
+                let entropy_term = g.scale(entropy_term, -self.config.entropy_coef);
+
+                let step_loss = g.add(policy_term, value_term);
+                let step_loss = g.add(step_loss, entropy_term);
+                loss_acc = Some(match loss_acc {
+                    None => step_loss,
+                    Some(acc) => g.add(acc, step_loss),
+                });
+                flat_idx += 1;
+            }
+        }
+        let total = loss_acc.expect("batch has at least one non-empty episode");
+        // Mean over steps keeps the update magnitude independent of K.
+        let loss = g.scale(total, 1.0 / flat_idx as f32);
+        let loss_value = g.scalar(loss);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut self.agent.store);
+        let grad_norm = clip_global_norm(&mut self.agent.store, self.config.grad_clip);
+        self.optimizer.step(&mut self.agent.store);
+
+        EpisodeReport {
+            steps: flat_idx,
+            total_reward: episodes.iter().map(Episode::total_reward).sum(),
+            loss: loss_value,
+            grad_norm,
+        }
+    }
+
+    /// Greedy (argmax, ε = 0) evaluation rollout; returns the total reward
+    /// and step count.
+    pub fn evaluate(&self, env: &mut dyn Env) -> (f32, usize) {
+        evaluate_greedy(&self.agent, env)
+    }
+}
+
+/// Greedy rollout of `agent` on `env` without exploration.
+pub fn evaluate_greedy(agent: &RecurrentActorCritic, env: &mut dyn Env) -> (f32, usize) {
+    let mut obs = env.reset();
+    let mut hidden = agent.initial_state();
+    let mut total = 0.0;
+    let mut steps = 0;
+    loop {
+        let step = agent.infer(&obs, &hidden);
+        let action = lahd_tensor::argmax(&step.logits);
+        let tr = env.step(action);
+        total += tr.reward;
+        steps += 1;
+        hidden = step.hidden;
+        if tr.done {
+            return (total, steps);
+        }
+        obs = tr.obs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{BanditEnv, MemoryEnv};
+
+    #[test]
+    fn a2c_solves_a_bandit() {
+        let agent = RecurrentActorCritic::new(1, 8, 3, 7);
+        let mut trainer = A2cTrainer::new(
+            agent,
+            A2cConfig {
+                learning_rate: 0.02,
+                epsilon: 0.2,
+                normalize_advantages: false,
+                ..A2cConfig::default()
+            },
+            1,
+        );
+        let mut env = BanditEnv { rewards: vec![0.0, 1.0, 0.2] };
+        for _ in 0..300 {
+            trainer.train_episode(&mut env);
+        }
+        let step = trainer.agent.infer(&[1.0], &trainer.agent.initial_state());
+        assert_eq!(lahd_tensor::argmax(&step.logits), 1, "logits {:?}", step.logits);
+    }
+
+    #[test]
+    fn a2c_learns_memory_task_through_gru() {
+        let agent = RecurrentActorCritic::new(1, 16, 2, 3);
+        let mut trainer = A2cTrainer::new(
+            agent,
+            A2cConfig {
+                learning_rate: 0.01,
+                epsilon: 0.15,
+                gamma: 0.95,
+                normalize_advantages: false,
+                ..A2cConfig::default()
+            },
+            2,
+        );
+        let mut env = MemoryEnv::new(3);
+        for _ in 0..600 {
+            trainer.train_episode(&mut env);
+        }
+        // Greedy evaluation over both cue values (MemoryEnv alternates).
+        let (r1, _) = evaluate_greedy(&trainer.agent, &mut env);
+        let (r2, _) = evaluate_greedy(&trainer.agent, &mut env);
+        assert!(
+            r1 + r2 > 1.0,
+            "agent failed the recall task: rewards {r1} and {r2}"
+        );
+    }
+
+    #[test]
+    fn update_reports_finite_values() {
+        let agent = RecurrentActorCritic::new(1, 4, 2, 11);
+        let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 3);
+        let mut env = BanditEnv { rewards: vec![0.5, -0.5] };
+        let report = trainer.train_episode(&mut env);
+        assert_eq!(report.steps, 1);
+        assert!(report.loss.is_finite());
+        assert!(report.grad_norm.is_finite());
+        assert!(!trainer.agent.store.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty episode batch")]
+    fn updating_from_empty_batch_panics() {
+        let agent = RecurrentActorCritic::new(1, 4, 2, 11);
+        let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 3);
+        trainer.update_batch(&[Episode::default()]);
+    }
+
+    #[test]
+    fn batched_update_combines_environments() {
+        let agent = RecurrentActorCritic::new(1, 8, 2, 21);
+        let mut trainer = A2cTrainer::new(
+            agent,
+            A2cConfig { learning_rate: 0.02, normalize_advantages: false, ..Default::default() },
+            4,
+        );
+        let mut a = BanditEnv { rewards: vec![0.0, 1.0] };
+        let mut b = BanditEnv { rewards: vec![0.0, 1.0] };
+        for _ in 0..200 {
+            let mut envs: Vec<&mut dyn Env> = vec![&mut a, &mut b];
+            let report = trainer.train_batch(&mut envs);
+            assert_eq!(report.steps, 2);
+        }
+        let step = trainer.agent.infer(&[1.0], &trainer.agent.initial_state());
+        assert_eq!(lahd_tensor::argmax(&step.logits), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! The recurrent actor-critic model (paper §4.2).
+//!
+//! A GRU torso (128 hidden units at paper scale) feeds two linear heads: a
+//! 7-way policy head producing action logits and a scalar value head — "we
+//! forward its hidden state to two linear layers, with output sizes of 7 and
+//! 1 respectively".
+
+use lahd_nn::{Graph, GruCell, Linear, ParamStore, Var};
+use lahd_tensor::{seeded_rng, softmax_row, Matrix};
+use rand::Rng;
+
+/// GRU-based actor-critic with tied torso.
+#[derive(Clone)]
+pub struct RecurrentActorCritic {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    gru: GruCell,
+    policy_head: Linear,
+    value_head: Linear,
+    obs_dim: usize,
+    hidden_dim: usize,
+    num_actions: usize,
+}
+
+/// Output of a single no-tape forward step.
+#[derive(Clone, Debug)]
+pub struct InferStep {
+    /// Action logits (length = number of actions).
+    pub logits: Vec<f32>,
+    /// State-value estimate.
+    pub value: f32,
+    /// Next hidden state.
+    pub hidden: Matrix,
+}
+
+impl RecurrentActorCritic {
+    /// Creates a model with Xavier-initialised weights.
+    pub fn new(obs_dim: usize, hidden_dim: usize, num_actions: usize, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "gru", obs_dim, hidden_dim, &mut rng);
+        let policy_head = Linear::new(&mut store, "policy", hidden_dim, num_actions, &mut rng);
+        let value_head = Linear::new(&mut store, "value", hidden_dim, 1, &mut rng);
+        Self { store, gru, policy_head, value_head, obs_dim, hidden_dim, num_actions }
+    }
+
+    /// Observation dimensionality.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// GRU width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Number of discrete actions.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// The zero initial hidden state.
+    pub fn initial_state(&self) -> Matrix {
+        self.gru.initial_state()
+    }
+
+    /// Direct access to the GRU cell (used by the QBN wrapper).
+    pub fn gru(&self) -> &GruCell {
+        &self.gru
+    }
+
+    /// Policy head (used by FSM extraction to label states with actions).
+    pub fn policy_head(&self) -> &Linear {
+        &self.policy_head
+    }
+
+    /// One inference step without the tape.
+    ///
+    /// # Panics
+    /// Panics if `obs` has the wrong width.
+    pub fn infer(&self, obs: &[f32], hidden: &Matrix) -> InferStep {
+        assert_eq!(obs.len(), self.obs_dim, "observation width mismatch");
+        let x = Matrix::row_vector(obs);
+        let h = self.gru.infer_step(&self.store, &x, hidden);
+        let logits = self.policy_head.infer(&self.store, &h);
+        let value = self.value_head.infer(&self.store, &h)[(0, 0)];
+        InferStep { logits: logits.row(0).to_vec(), value, hidden: h }
+    }
+
+    /// Policy logits for a given hidden state (no GRU step); used when the
+    /// hidden state comes from a QBN reconstruction.
+    pub fn logits_for_hidden(&self, hidden: &Matrix) -> Vec<f32> {
+        self.policy_head.infer(&self.store, hidden).row(0).to_vec()
+    }
+
+    /// Greedy action for a hidden state.
+    pub fn greedy_action_for_hidden(&self, hidden: &Matrix) -> usize {
+        lahd_tensor::argmax(&self.logits_for_hidden(hidden))
+    }
+
+    /// Samples an action from the softmax policy, with ε-greedy uniform
+    /// exploration (the paper uses ε = 0.1).
+    pub fn sample_action(
+        &self,
+        logits: &[f32],
+        epsilon: f32,
+        rng: &mut impl Rng,
+    ) -> usize {
+        if epsilon > 0.0 && rng.gen::<f32>() < epsilon {
+            return rng.gen_range(0..self.num_actions);
+        }
+        let probs = softmax_row(logits);
+        let mut u: f32 = rng.gen();
+        for (i, &p) in probs.iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        self.num_actions - 1
+    }
+
+    /// One tape step used during training; returns `(logits, value, next_h)`.
+    pub fn tape_step(
+        &self,
+        g: &mut Graph,
+        obs: &[f32],
+        hidden: Var,
+    ) -> (Var, Var, Var) {
+        let x = g.constant(Matrix::row_vector(obs));
+        let h = self.gru.step(g, &self.store, x, hidden);
+        let logits = self.policy_head.forward(g, &self.store, h);
+        let value = self.value_head.forward(g, &self.store, h);
+        (logits, value, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_shapes_are_consistent() {
+        let agent = RecurrentActorCritic::new(5, 8, 7, 0);
+        let step = agent.infer(&[0.1, 0.2, 0.3, 0.4, 0.5], &agent.initial_state());
+        assert_eq!(step.logits.len(), 7);
+        assert_eq!(step.hidden.shape(), (1, 8));
+        assert!(step.value.is_finite());
+    }
+
+    #[test]
+    fn tape_and_infer_agree() {
+        let agent = RecurrentActorCritic::new(3, 4, 2, 1);
+        let obs = [0.3, -0.2, 0.9];
+        let infer = agent.infer(&obs, &agent.initial_state());
+
+        let mut g = Graph::new();
+        let h0 = g.constant(agent.initial_state());
+        let (logits, value, h1) = agent.tape_step(&mut g, &obs, h0);
+        assert!(g
+            .value(h1)
+            .max_abs_diff(&infer.hidden)
+            < 1e-6);
+        let tape_logits = g.value(logits).row(0).to_vec();
+        for (a, b) in tape_logits.iter().zip(&infer.logits) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!((g.value(value)[(0, 0)] - infer.value).abs() < 1e-6);
+    }
+
+    #[test]
+    fn epsilon_one_samples_uniformly() {
+        let agent = RecurrentActorCritic::new(2, 4, 4, 2);
+        let mut rng = seeded_rng(3);
+        let logits = [100.0, 0.0, 0.0, 0.0]; // argmax would always pick 0
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[agent.sample_action(&logits, 1.0, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800, "uniform exploration should hit every action: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_respects_strong_preferences() {
+        let agent = RecurrentActorCritic::new(2, 4, 3, 4);
+        let mut rng = seeded_rng(5);
+        let logits = [10.0, -10.0, -10.0];
+        for _ in 0..100 {
+            assert_eq!(agent.sample_action(&logits, 0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn greedy_action_for_hidden_matches_logits() {
+        let agent = RecurrentActorCritic::new(2, 4, 3, 6);
+        let step = agent.infer(&[1.0, -1.0], &agent.initial_state());
+        let greedy = agent.greedy_action_for_hidden(&step.hidden);
+        assert_eq!(greedy, lahd_tensor::argmax(&step.logits));
+    }
+}

@@ -1,0 +1,32 @@
+//! The environment abstraction used by the trainer.
+
+/// One environment transition.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// Observation after the step (meaningless when `done`).
+    pub obs: Vec<f32>,
+    /// Scalar reward for the step.
+    pub reward: f32,
+    /// Whether the episode terminated.
+    pub done: bool,
+}
+
+/// A Markov-decision-process environment with a discrete action space.
+///
+/// The storage-system environment lives in `lahd-core` (it couples the
+/// simulator with a workload trace); this trait keeps the RL machinery
+/// reusable and testable against small synthetic MDPs.
+pub trait Env {
+    /// Dimensionality of observation vectors.
+    fn obs_dim(&self) -> usize;
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize;
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self) -> Vec<f32>;
+    /// Applies an action. Must not be called after `done` until `reset`.
+    fn step(&mut self, action: usize) -> Transition;
+    /// A short name for logs.
+    fn name(&self) -> &str {
+        "env"
+    }
+}

@@ -1,0 +1,26 @@
+//! Recurrent reinforcement learning for LAHD: the GRU-based advantage
+//! actor-critic the paper trains (§3.1, §4.2), with ε-greedy exploration and
+//! curriculum learning over environment pools (§3.2.2).
+//!
+//! The crate is deliberately independent of the storage simulator: it sees
+//! environments only through the [`Env`] trait, which keeps the trainer
+//! reusable and testable against small synthetic MDPs (see the crate tests,
+//! which verify that A2C solves a bandit and a memory task that requires the
+//! GRU).
+//!
+//! Training follows the paper exactly where specified: GRU torso with two
+//! linear heads (7 action logits + 1 value), A2C loss, Adam at 3e-4,
+//! gradient norm clipped to 2, ε = 0.1 exploration.
+
+mod a2c;
+mod agent;
+mod curriculum;
+mod env;
+mod rollout;
+pub mod toy;
+
+pub use a2c::{evaluate_greedy, A2cConfig, A2cTrainer, EpisodeReport};
+pub use agent::{InferStep, RecurrentActorCritic};
+pub use curriculum::{train_curriculum, EpochLog, Phase};
+pub use env::{Env, Transition};
+pub use rollout::{advantages, discounted_returns, Episode};

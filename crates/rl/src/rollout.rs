@@ -1,0 +1,121 @@
+//! Episode rollout storage and return computation.
+
+/// A recorded episode: everything the A2C update needs to replay the
+/// trajectory through the tape.
+#[derive(Clone, Debug, Default)]
+pub struct Episode {
+    /// Observation at each step (before the action).
+    pub observations: Vec<Vec<f32>>,
+    /// Action taken at each step.
+    pub actions: Vec<usize>,
+    /// Reward received after each step.
+    pub rewards: Vec<f32>,
+    /// Value estimate `V(h_t)` recorded at rollout time.
+    pub values: Vec<f32>,
+}
+
+impl Episode {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the episode holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Sum of raw rewards.
+    pub fn total_reward(&self) -> f32 {
+        self.rewards.iter().sum()
+    }
+
+    /// Appends one step.
+    pub fn push(&mut self, obs: Vec<f32>, action: usize, reward: f32, value: f32) {
+        self.observations.push(obs);
+        self.actions.push(action);
+        self.rewards.push(reward);
+        self.values.push(value);
+    }
+}
+
+/// Discounted returns `R_t = r_t + γ·R_{t+1}` (episodic, no bootstrap).
+pub fn discounted_returns(rewards: &[f32], gamma: f32) -> Vec<f32> {
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+    let mut returns = vec![0.0; rewards.len()];
+    let mut acc = 0.0;
+    for (i, &r) in rewards.iter().enumerate().rev() {
+        acc = r + gamma * acc;
+        returns[i] = acc;
+    }
+    returns
+}
+
+/// Advantages `A_t = R_t − V_t`, optionally normalised to zero mean and unit
+/// variance (stabilises small-batch A2C; disabled for single-step episodes).
+pub fn advantages(returns: &[f32], values: &[f32], normalize: bool) -> Vec<f32> {
+    assert_eq!(returns.len(), values.len(), "returns/values length mismatch");
+    let mut adv: Vec<f32> = returns.iter().zip(values).map(|(r, v)| r - v).collect();
+    if normalize && adv.len() > 1 {
+        let mean = lahd_tensor::mean(&adv);
+        let std = lahd_tensor::std_dev(&adv).max(1e-6);
+        for a in &mut adv {
+            *a = (*a - mean) / std;
+        }
+    }
+    adv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_with_gamma_one_are_suffix_sums() {
+        let r = discounted_returns(&[1.0, 2.0, 3.0], 1.0);
+        assert_eq!(r, vec![6.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn returns_with_gamma_zero_are_immediate_rewards() {
+        let r = discounted_returns(&[1.0, 2.0, 3.0], 0.0);
+        assert_eq!(r, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn returns_discount_geometrically() {
+        let r = discounted_returns(&[0.0, 0.0, 1.0], 0.5);
+        assert_eq!(r, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn terminal_only_reward_propagates_to_start() {
+        // The paper's reward (1/K at episode end) must reach early steps.
+        let mut rewards = vec![0.0; 50];
+        rewards[49] = 1.0;
+        let r = discounted_returns(&rewards, 0.99);
+        assert!(r[0] > 0.6, "discounted terminal reward lost: {}", r[0]);
+    }
+
+    #[test]
+    fn advantages_subtract_values() {
+        let adv = advantages(&[2.0, 1.0], &[0.5, 1.0], false);
+        assert_eq!(adv, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn normalised_advantages_have_zero_mean_unit_std() {
+        let adv = advantages(&[5.0, 1.0, 3.0, -2.0], &[0.0; 4], true);
+        assert!(lahd_tensor::mean(&adv).abs() < 1e-5);
+        assert!((lahd_tensor::std_dev(&adv) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn episode_accumulates_steps() {
+        let mut ep = Episode::default();
+        ep.push(vec![0.0], 1, 0.5, 0.1);
+        ep.push(vec![1.0], 0, -0.5, 0.2);
+        assert_eq!(ep.len(), 2);
+        assert_eq!(ep.total_reward(), 0.0);
+    }
+}

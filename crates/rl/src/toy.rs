@@ -1,0 +1,203 @@
+//! Small synthetic MDPs.
+//!
+//! These serve two purposes: the crate's own tests verify that A2C learns
+//! on them, and they let users exercise the *full* LAHD pipeline — training,
+//! QBN fitting, FSM extraction — outside the storage domain (see the
+//! `fsm_from_memory_task` example), demonstrating that the paper's method
+//! is not storage-specific.
+
+use crate::env::{Env, Transition};
+
+/// One-step bandit: action `i` yields reward `rewards[i]` and the episode
+/// ends. The simplest possible policy-gradient sanity check.
+pub struct BanditEnv {
+    /// Per-action payout.
+    pub rewards: Vec<f32>,
+}
+
+impl Env for BanditEnv {
+    fn obs_dim(&self) -> usize {
+        1
+    }
+    fn num_actions(&self) -> usize {
+        self.rewards.len()
+    }
+    fn reset(&mut self) -> Vec<f32> {
+        vec![1.0]
+    }
+    fn step(&mut self, action: usize) -> Transition {
+        Transition { obs: vec![1.0], reward: self.rewards[action], done: true }
+    }
+    fn name(&self) -> &str {
+        "bandit"
+    }
+}
+
+/// Recall task: the first observation carries a cue (±1); after `delay`
+/// blank steps the agent must emit action 1 iff the cue was positive.
+/// Solvable only with memory — the minimal task whose optimal policy *is* a
+/// two-state machine, which makes it the cleanest demonstration of FSM
+/// extraction.
+pub struct MemoryEnv {
+    /// Steps between cue and decision.
+    pub delay: usize,
+    cue_positive: bool,
+    t: usize,
+    episodes: u64,
+}
+
+impl MemoryEnv {
+    /// Creates the task with a fixed delay. Cues alternate per episode, so
+    /// both cases appear equally often.
+    pub fn new(delay: usize) -> Self {
+        Self { delay, cue_positive: false, t: 0, episodes: 0 }
+    }
+
+    /// The cue presented in the current episode.
+    pub fn cue_positive(&self) -> bool {
+        self.cue_positive
+    }
+}
+
+impl Env for MemoryEnv {
+    fn obs_dim(&self) -> usize {
+        1
+    }
+    fn num_actions(&self) -> usize {
+        2
+    }
+    fn reset(&mut self) -> Vec<f32> {
+        self.episodes += 1;
+        self.cue_positive = self.episodes % 2 == 0;
+        self.t = 0;
+        vec![if self.cue_positive { 1.0 } else { -1.0 }]
+    }
+    fn step(&mut self, action: usize) -> Transition {
+        self.t += 1;
+        if self.t <= self.delay {
+            return Transition { obs: vec![0.0], reward: 0.0, done: false };
+        }
+        let correct = (action == 1) == self.cue_positive;
+        Transition { obs: vec![0.0], reward: if correct { 1.0 } else { -1.0 }, done: true }
+    }
+    fn name(&self) -> &str {
+        "memory"
+    }
+}
+
+/// A corridor of `length` cells: action 1 moves right, action 0 moves left
+/// (saturating at 0); reward 1 at the right end, small step penalty
+/// otherwise. Tests credit assignment over longer horizons.
+pub struct ChainEnv {
+    /// Number of cells.
+    pub length: usize,
+    position: usize,
+    steps: usize,
+}
+
+impl ChainEnv {
+    /// Creates a corridor of `length ≥ 2` cells.
+    pub fn new(length: usize) -> Self {
+        assert!(length >= 2, "chain needs at least two cells");
+        Self { length, position: 0, steps: 0 }
+    }
+
+    fn observe(&self) -> Vec<f32> {
+        vec![self.position as f32 / (self.length - 1) as f32]
+    }
+}
+
+impl Env for ChainEnv {
+    fn obs_dim(&self) -> usize {
+        1
+    }
+    fn num_actions(&self) -> usize {
+        2
+    }
+    fn reset(&mut self) -> Vec<f32> {
+        self.position = 0;
+        self.steps = 0;
+        self.observe()
+    }
+    fn step(&mut self, action: usize) -> Transition {
+        self.steps += 1;
+        if action == 1 {
+            self.position = (self.position + 1).min(self.length - 1);
+        } else {
+            self.position = self.position.saturating_sub(1);
+        }
+        let at_goal = self.position == self.length - 1;
+        let timed_out = self.steps >= 4 * self.length;
+        Transition {
+            obs: self.observe(),
+            reward: if at_goal { 1.0 } else { -0.02 },
+            done: at_goal || timed_out,
+        }
+    }
+    fn name(&self) -> &str {
+        "chain"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_env_alternates_cues() {
+        let mut env = MemoryEnv::new(2);
+        let first = env.reset()[0];
+        // Drain the episode.
+        loop {
+            if env.step(0).done {
+                break;
+            }
+        }
+        let second = env.reset()[0];
+        assert_ne!(first, second, "cues must alternate across episodes");
+    }
+
+    #[test]
+    fn memory_env_rewards_correct_recall_only() {
+        let mut env = MemoryEnv::new(1);
+        let cue = env.reset()[0];
+        let correct_action = if cue > 0.0 { 1 } else { 0 };
+        let _ = env.step(0); // blank step
+        let tr = env.step(correct_action);
+        assert!(tr.done);
+        assert_eq!(tr.reward, 1.0);
+    }
+
+    #[test]
+    fn chain_reaches_goal_going_right() {
+        let mut env = ChainEnv::new(5);
+        env.reset();
+        let mut total = 0.0;
+        let mut steps = 0;
+        loop {
+            let tr = env.step(1);
+            total += tr.reward;
+            steps += 1;
+            if tr.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 4, "4 right moves reach the end of a 5-chain");
+        assert!(total > 0.9);
+    }
+
+    #[test]
+    fn chain_times_out_going_left() {
+        let mut env = ChainEnv::new(4);
+        env.reset();
+        let mut steps = 0;
+        loop {
+            let tr = env.step(0);
+            steps += 1;
+            if tr.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 16, "timeout is 4×length");
+    }
+}

@@ -1,0 +1,109 @@
+//! The seven-action migration space (paper §3.1).
+
+use std::fmt;
+
+use crate::level::Level;
+
+/// One agent decision per time interval: do nothing, or migrate exactly one
+/// CPU core between two levels.
+///
+/// The action space has seven members: `Noop` plus the six ordered level
+/// pairs, matching `A = {a_1 … a_7}` in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// No migration this interval (`a_1`).
+    Noop,
+    /// Move one core `from → to`.
+    Migrate {
+        /// Source level (loses one core).
+        from: Level,
+        /// Destination level (gains one core).
+        to: Level,
+    },
+}
+
+impl Action {
+    /// Number of distinct actions.
+    pub const COUNT: usize = 7;
+
+    /// All actions in canonical index order:
+    /// `[Noop, N→K, N→R, K→N, K→R, R→N, R→K]`.
+    pub const ALL: [Action; Action::COUNT] = [
+        Action::Noop,
+        Action::Migrate { from: Level::Normal, to: Level::Kv },
+        Action::Migrate { from: Level::Normal, to: Level::Rv },
+        Action::Migrate { from: Level::Kv, to: Level::Normal },
+        Action::Migrate { from: Level::Kv, to: Level::Rv },
+        Action::Migrate { from: Level::Rv, to: Level::Normal },
+        Action::Migrate { from: Level::Rv, to: Level::Kv },
+    ];
+
+    /// Canonical index in `[0, 7)`.
+    pub fn index(self) -> usize {
+        Action::ALL
+            .iter()
+            .position(|&a| a == self)
+            .expect("every action is in Action::ALL")
+    }
+
+    /// Inverse of [`Action::index`].
+    ///
+    /// # Panics
+    /// Panics if `i >= 7`.
+    pub fn from_index(i: usize) -> Action {
+        Action::ALL[i]
+    }
+
+    /// Whether this action migrates a core.
+    pub fn is_migration(self) -> bool {
+        matches!(self, Action::Migrate { .. })
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Noop => write!(f, "Noop"),
+            Action::Migrate { from, to } => {
+                write!(f, "{}=>{}", from.short_name(), to.short_name())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_seven_actions() {
+        assert_eq!(Action::ALL.len(), 7);
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, a) in Action::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(Action::from_index(i), *a);
+        }
+    }
+
+    #[test]
+    fn all_ordered_pairs_are_present_once() {
+        let mut pairs = std::collections::HashSet::new();
+        for a in Action::ALL {
+            if let Action::Migrate { from, to } = a {
+                assert_ne!(from, to, "self-migration is not a valid action");
+                assert!(pairs.insert((from, to)), "duplicate migration pair");
+            }
+        }
+        assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Action::ALL[1].to_string(), "N=>K");
+        assert_eq!(Action::ALL[5].to_string(), "R=>N");
+        assert_eq!(Action::Noop.to_string(), "Noop");
+    }
+}

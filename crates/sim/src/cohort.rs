@@ -1,0 +1,237 @@
+//! Staged work cohorts: how IO volume flows through the levels.
+//!
+//! All requests arriving in one interval are grouped into up to three
+//! *cohorts* (read-hit, read-miss, write). Each cohort carries the remaining
+//! bytes of its current stage per level and advances through its stage
+//! pipeline with one interval of latency per hand-over, which is what creates
+//! the anticipation structure the paper's S2/S3 analysis describes:
+//!
+//! * read hit:   `NORMAL` → done
+//! * read miss:  `KV ∧ RV` (disk fetch) → `NORMAL` (serve from cache) → done
+//! * write:      `NORMAL` (front-end) → `KV ∧ RV` (write-back) → done
+
+use crate::level::Level;
+
+/// What kind of traffic a cohort carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CohortKind {
+    /// Reads served directly from the NORMAL cache.
+    ReadHit,
+    /// Reads that missed the cache and must be fetched through KV/RV first.
+    ReadMiss,
+    /// Writes: NORMAL front-end, then KV/RV write-back.
+    Write,
+}
+
+/// Pipeline position of a cohort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// KV/RV disk fetch (read-miss only).
+    Fetch,
+    /// NORMAL-level processing.
+    Front,
+    /// KV/RV write-back (write only).
+    WriteBack,
+    /// All work complete.
+    Done,
+}
+
+/// A unit of staged work created from one interval's arrivals.
+#[derive(Clone, Debug)]
+pub struct Cohort {
+    /// Traffic kind.
+    pub kind: CohortKind,
+    /// Interval (0-based) in which the cohort arrived.
+    pub arrived_at: usize,
+    /// First interval in which the current stage may be processed.
+    pub ready_at: usize,
+    /// Current stage.
+    pub stage: Stage,
+    /// Remaining KiB of the current stage, indexed by [`Level::index`].
+    pub remaining: [f64; 3],
+    /// KiB of NORMAL work to perform after the fetch stage (read-miss).
+    next_front: f64,
+    /// KiB of `[KV, RV]` work to perform after the front stage (write).
+    next_back: [f64; 2],
+}
+
+impl Cohort {
+    /// A read-hit cohort with `volume` KiB of NORMAL work.
+    pub fn read_hit(volume: f64, t: usize) -> Self {
+        Self {
+            kind: CohortKind::ReadHit,
+            arrived_at: t,
+            ready_at: t,
+            stage: Stage::Front,
+            remaining: [volume, 0.0, 0.0],
+            next_front: 0.0,
+            next_back: [0.0, 0.0],
+        }
+    }
+
+    /// A read-miss cohort: `kv`/`rv` KiB of fetch work, then `volume` KiB of
+    /// NORMAL work.
+    pub fn read_miss(volume: f64, kv: f64, rv: f64, t: usize) -> Self {
+        Self {
+            kind: CohortKind::ReadMiss,
+            arrived_at: t,
+            ready_at: t,
+            stage: Stage::Fetch,
+            remaining: [0.0, kv, rv],
+            next_front: volume,
+            next_back: [0.0, 0.0],
+        }
+    }
+
+    /// A write cohort: `volume` KiB of NORMAL front-end work, then `kv`/`rv`
+    /// KiB of write-back.
+    pub fn write(volume: f64, kv: f64, rv: f64, t: usize) -> Self {
+        Self {
+            kind: CohortKind::Write,
+            arrived_at: t,
+            ready_at: t,
+            stage: Stage::Front,
+            remaining: [volume, 0.0, 0.0],
+            next_front: 0.0,
+            next_back: [kv, rv],
+        }
+    }
+
+    /// Whether the current stage has any work left at `level`.
+    pub fn wants(&self, level: Level, t: usize) -> bool {
+        self.ready_at <= t && self.remaining[level.index()] > 0.0
+    }
+
+    /// Consumes up to `budget` KiB of this cohort's work at `level`; returns
+    /// the amount actually consumed.
+    pub fn consume(&mut self, level: Level, budget: f64) -> f64 {
+        let rem = &mut self.remaining[level.index()];
+        let take = rem.min(budget);
+        *rem -= take;
+        take
+    }
+
+    /// Total KiB still owed across all current-stage levels.
+    pub fn stage_backlog(&self) -> f64 {
+        self.remaining.iter().sum()
+    }
+
+    /// Total KiB still owed including future stages.
+    pub fn total_backlog(&self) -> f64 {
+        self.stage_backlog() + self.next_front + self.next_back.iter().sum::<f64>()
+    }
+
+    /// Advances the pipeline if the current stage is finished. New-stage work
+    /// becomes processable at interval `t + 1` (one interval of hand-over
+    /// latency). Returns `true` if the cohort reached [`Stage::Done`].
+    pub fn try_advance(&mut self, t: usize) -> bool {
+        if self.stage == Stage::Done {
+            return true;
+        }
+        if self.stage_backlog() > 0.0 {
+            return false;
+        }
+        match self.stage {
+            Stage::Fetch => {
+                self.stage = Stage::Front;
+                self.remaining = [self.next_front, 0.0, 0.0];
+                self.next_front = 0.0;
+                self.ready_at = t + 1;
+            }
+            Stage::Front => {
+                if self.next_back.iter().sum::<f64>() > 0.0 {
+                    self.stage = Stage::WriteBack;
+                    self.remaining = [0.0, self.next_back[0], self.next_back[1]];
+                    self.next_back = [0.0, 0.0];
+                    self.ready_at = t + 1;
+                } else {
+                    self.stage = Stage::Done;
+                }
+            }
+            Stage::WriteBack => {
+                self.stage = Stage::Done;
+            }
+            Stage::Done => {}
+        }
+        // A freshly entered stage with zero work collapses immediately.
+        if self.stage != Stage::Done && self.stage_backlog() == 0.0 {
+            return self.try_advance(t);
+        }
+        self.stage == Stage::Done
+    }
+
+    /// Whether the cohort has completed every stage.
+    pub fn is_done(&self) -> bool {
+        self.stage == Stage::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_hit_completes_after_front_stage() {
+        let mut c = Cohort::read_hit(100.0, 0);
+        assert!(c.wants(Level::Normal, 0));
+        assert!(!c.wants(Level::Kv, 0));
+        assert_eq!(c.consume(Level::Normal, 150.0), 100.0);
+        assert!(c.try_advance(0));
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn read_miss_pipelines_fetch_then_front() {
+        let mut c = Cohort::read_miss(100.0, 60.0, 40.0, 0);
+        assert!(c.wants(Level::Kv, 0) && c.wants(Level::Rv, 0));
+        assert!(!c.wants(Level::Normal, 0));
+        c.consume(Level::Kv, 60.0);
+        // Fetch incomplete until BOTH levels finish.
+        assert!(!c.try_advance(0));
+        c.consume(Level::Rv, 40.0);
+        assert!(!c.try_advance(0)); // advances to Front, not Done
+        assert_eq!(c.stage, Stage::Front);
+        // Front work only processable from the next interval.
+        assert!(!c.wants(Level::Normal, 0));
+        assert!(c.wants(Level::Normal, 1));
+        c.consume(Level::Normal, 100.0);
+        assert!(c.try_advance(1));
+    }
+
+    #[test]
+    fn write_pipelines_front_then_writeback() {
+        let mut c = Cohort::write(100.0, 80.0, 60.0, 2);
+        assert!(c.wants(Level::Normal, 2));
+        c.consume(Level::Normal, 100.0);
+        assert!(!c.try_advance(2));
+        assert_eq!(c.stage, Stage::WriteBack);
+        assert!(c.wants(Level::Kv, 3) && c.wants(Level::Rv, 3));
+        assert!(!c.wants(Level::Kv, 2), "write-back must wait one interval");
+        c.consume(Level::Kv, 80.0);
+        c.consume(Level::Rv, 60.0);
+        assert!(c.try_advance(3));
+    }
+
+    #[test]
+    fn partial_consumption_leaves_backlog() {
+        let mut c = Cohort::read_hit(100.0, 0);
+        assert_eq!(c.consume(Level::Normal, 30.0), 30.0);
+        assert_eq!(c.stage_backlog(), 70.0);
+        assert!(!c.try_advance(0));
+    }
+
+    #[test]
+    fn total_backlog_counts_future_stages() {
+        let c = Cohort::write(100.0, 80.0, 60.0, 0);
+        assert_eq!(c.total_backlog(), 240.0);
+        let c = Cohort::read_miss(100.0, 60.0, 40.0, 0);
+        assert_eq!(c.total_backlog(), 200.0);
+    }
+
+    #[test]
+    fn zero_volume_write_back_skips_stage() {
+        let mut c = Cohort::write(50.0, 0.0, 0.0, 0);
+        c.consume(Level::Normal, 50.0);
+        assert!(c.try_advance(0), "empty write-back stage should collapse to Done");
+    }
+}

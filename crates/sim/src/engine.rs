@@ -1,0 +1,585 @@
+//! The discrete-time storage-system simulator.
+
+use std::collections::VecDeque;
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+use crate::action::Action;
+use crate::cohort::Cohort;
+use crate::config::SimConfig;
+use crate::io::IoKind;
+use crate::level::Level;
+use crate::metrics::{EpisodeMetrics, IntervalStats};
+use crate::observation::Observation;
+use crate::poisson::sample_poisson;
+use crate::workload::WorkloadTrace;
+
+/// Result of advancing the simulator by one interval.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// Whether the episode finished (all IO drained and the trace ended) or
+    /// was truncated at the interval cap.
+    pub done: bool,
+    /// Utilisation per level during the interval just simulated.
+    pub utilization: [f64; 3],
+    /// Total backlog (KiB) remaining after the interval.
+    pub backlog_kib: f64,
+    /// Whether the requested migration was rejected for legality.
+    pub migration_rejected: bool,
+}
+
+/// Discrete-time simulator of CPU-core migration in the Dorado V6 storage
+/// system (paper §2 and §4.1).
+///
+/// One [`StorageSim::step`] simulates one time interval: the action migrates
+/// at most one core, Poisson-sampled cores go idle, the interval's workload
+/// arrives (while the trace lasts), every level serves its staged queue
+/// FIFO up to capacity, and finished stages hand over to their successor
+/// stage with one interval of latency.
+///
+/// The episode ends when the trace is exhausted **and** all queued work has
+/// drained; the number of elapsed intervals is the makespan `K ≥ T`.
+pub struct StorageSim {
+    cfg: SimConfig,
+    trace: WorkloadTrace,
+    rng: SmallRng,
+    t: usize,
+    cores: [usize; 3],
+    /// Level that received a migrated core at the start of the current
+    /// interval; that core runs at reduced capability for this interval.
+    penalized: Option<Level>,
+    cohorts: VecDeque<Cohort>,
+    last_utilization: [f64; 3],
+    migrations: usize,
+    rejected_migrations: usize,
+    completed_kib: f64,
+    history: Vec<IntervalStats>,
+    done: bool,
+    truncated: bool,
+}
+
+impl StorageSim {
+    /// Creates a simulator for `trace` with deterministic seeding.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig, trace: WorkloadTrace, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
+        let done = trace.is_empty();
+        Self {
+            cores: cfg.initial_allocation,
+            cfg,
+            trace,
+            rng: SmallRng::seed_from_u64(seed),
+            t: 0,
+            penalized: None,
+            cohorts: VecDeque::new(),
+            last_utilization: [0.0; 3],
+            migrations: 0,
+            rejected_migrations: 0,
+            completed_kib: 0.0,
+            history: Vec::new(),
+            done,
+            truncated: false,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &WorkloadTrace {
+        &self.trace
+    }
+
+    /// Current interval index (number of completed steps).
+    pub fn interval(&self) -> usize {
+        self.t
+    }
+
+    /// Core count at `level`.
+    pub fn cores_at(&self, level: Level) -> usize {
+        self.cores[level.index()]
+    }
+
+    /// Whether the episode has finished.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Whether the episode hit the interval cap before draining.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Total remaining work (KiB) across all stages.
+    pub fn backlog_kib(&self) -> f64 {
+        self.cohorts.iter().map(Cohort::total_backlog).sum()
+    }
+
+    /// The observation the agent sees before choosing the next action:
+    /// current allocation, previous-interval utilisation, and the workload
+    /// descriptor arriving this interval.
+    pub fn observation(&self) -> Observation {
+        Observation::new(
+            self.cores,
+            self.last_utilization,
+            &self.trace.classes,
+            &self.trace.interval(self.t),
+        )
+    }
+
+    /// Simulates one interval under `action`.
+    ///
+    /// # Panics
+    /// Panics if called after the episode finished.
+    pub fn step(&mut self, action: Action) -> StepResult {
+        assert!(!self.done, "step() called on a finished episode");
+
+        // 1. Core migration.
+        let migration_rejected = self.apply_action(action);
+
+        // 2. Transient idleness.
+        let idle = self.sample_idle_cores();
+
+        // 3. Arrivals.
+        self.enqueue_arrivals();
+
+        // 4. FIFO service at every level.
+        let capacity = self.level_capacities(&idle);
+        let mut processed = [0.0f64; 3];
+        for level in Level::ALL {
+            let li = level.index();
+            let mut budget = capacity[li];
+            if budget <= 0.0 {
+                continue;
+            }
+            for c in self.cohorts.iter_mut() {
+                if !c.wants(level, self.t) {
+                    continue;
+                }
+                let took = c.consume(level, budget);
+                processed[li] += took;
+                budget -= took;
+                if budget <= 1e-9 {
+                    break;
+                }
+            }
+        }
+
+        // 5. Stage hand-over and completion.
+        let t = self.t;
+        for c in self.cohorts.iter_mut() {
+            c.try_advance(t);
+        }
+        self.cohorts.retain(|c| !c.is_done());
+        self.completed_kib += processed.iter().sum::<f64>();
+
+        // 6. Utilisation bookkeeping.
+        let mut utilization = [0.0f64; 3];
+        for i in 0..3 {
+            if capacity[i] > 0.0 {
+                utilization[i] = (processed[i] / capacity[i]).min(1.0);
+            }
+        }
+        self.last_utilization = utilization;
+
+        if self.cfg.record_history {
+            self.history.push(IntervalStats {
+                t: self.t,
+                action,
+                utilization,
+                cores: self.cores,
+                backlog_kib: self.backlog_kib(),
+                idle_cores: idle.iter().sum(),
+                processed_kib: processed,
+            });
+        }
+
+        // 7. Advance the clock and decide termination.
+        self.t += 1;
+        self.penalized = None;
+        if self.t >= self.trace.len() && self.cohorts.is_empty() {
+            self.done = true;
+        } else if self.t >= self.cfg.max_intervals {
+            self.done = true;
+            self.truncated = true;
+        }
+
+        StepResult {
+            done: self.done,
+            utilization,
+            backlog_kib: self.backlog_kib(),
+            migration_rejected,
+        }
+    }
+
+    /// Makespan `K` — the number of intervals simulated so far (final once
+    /// [`StorageSim::is_done`] returns true).
+    pub fn makespan(&self) -> usize {
+        self.t
+    }
+
+    /// Episode summary.
+    pub fn metrics(&self) -> EpisodeMetrics {
+        EpisodeMetrics {
+            makespan: self.t,
+            horizon: self.trace.len(),
+            truncated: self.truncated,
+            migrations: self.migrations,
+            rejected_migrations: self.rejected_migrations,
+            completed_kib: self.completed_kib,
+            history: self.history.clone(),
+        }
+    }
+
+    /// Runs `policy` until the episode ends and returns the summary.
+    pub fn run_with(&mut self, mut policy: impl FnMut(&Observation) -> Action) -> EpisodeMetrics {
+        while !self.done {
+            let obs = self.observation();
+            let action = policy(&obs);
+            self.step(action);
+        }
+        self.metrics()
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    /// Applies a migration action; returns `true` if it was rejected.
+    fn apply_action(&mut self, action: Action) -> bool {
+        let Action::Migrate { from, to } = action else {
+            return false;
+        };
+        let fi = from.index();
+        if self.cores[fi] <= self.cfg.min_cores_per_level {
+            self.rejected_migrations += 1;
+            return true;
+        }
+        if self.cfg.strict_migration && self.level_backlog(from) > 0.0 {
+            // "A core must finish all the IO requests assigned to it before
+            // migration" — in strict mode a backlogged level refuses to give
+            // up a core this interval.
+            self.rejected_migrations += 1;
+            return true;
+        }
+        self.cores[fi] -= 1;
+        self.cores[to.index()] += 1;
+        self.migrations += 1;
+        self.penalized = Some(to);
+        false
+    }
+
+    /// Work currently queued for `level` (current stages only).
+    fn level_backlog(&self, level: Level) -> f64 {
+        self.cohorts.iter().map(|c| c.remaining[level.index()]).sum()
+    }
+
+    /// Samples how many cores of each level are idle this interval.
+    fn sample_idle_cores(&mut self) -> [usize; 3] {
+        let mut idle = [0usize; 3];
+        if self.cfg.idle_lambda == 0.0 {
+            return idle;
+        }
+        let k = sample_poisson(self.cfg.idle_lambda, &mut self.rng).min(self.cfg.total_cores);
+        if k == 0 {
+            return idle;
+        }
+        // Sample k distinct core indices; map each to its level by the
+        // cumulative allocation (cores are interchangeable within a level).
+        let mut indices: Vec<usize> = (0..self.cfg.total_cores).collect();
+        indices.partial_shuffle(&mut self.rng, k);
+        let (n, kv) = (self.cores[0], self.cores[1]);
+        for &idx in indices.iter().take(k) {
+            if idx < n {
+                idle[0] += 1;
+            } else if idx < n + kv {
+                idle[1] += 1;
+            } else {
+                idle[2] += 1;
+            }
+        }
+        // A level cannot have more idle cores than cores (counts drift when
+        // cores migrate mid-episode while indices are re-derived each call).
+        for (idle_count, &cores) in idle.iter_mut().zip(&self.cores) {
+            *idle_count = (*idle_count).min(cores);
+        }
+        idle
+    }
+
+    /// Effective per-level capacity (KiB) after idleness and the migration
+    /// penalty.
+    fn level_capacities(&self, idle: &[usize; 3]) -> [f64; 3] {
+        let m = self.cfg.core_capability_kib;
+        let mut cap = [0.0; 3];
+        for i in 0..3 {
+            let active = self.cores[i].saturating_sub(idle[i]) as f64;
+            cap[i] = active * m;
+        }
+        if let Some(level) = self.penalized {
+            let li = level.index();
+            cap[li] = (cap[li] - self.cfg.migration_penalty * m).max(0.0);
+        }
+        cap
+    }
+
+    /// Splits this interval's arrivals into cohorts and queues them.
+    fn enqueue_arrivals(&mut self) {
+        if self.t >= self.trace.len() {
+            return;
+        }
+        let w = &self.trace.intervals[self.t];
+        if w.requests <= 0.0 {
+            return;
+        }
+        let mut read_volume = 0.0;
+        let mut write_volume = 0.0;
+        for (ratio, class) in w.mix.iter().zip(&self.trace.classes) {
+            let vol = w.requests * ratio * class.size_kib;
+            match class.kind {
+                IoKind::Read => read_volume += vol,
+                IoKind::Write => write_volume += vol,
+            }
+        }
+        let miss = read_volume * self.cfg.cache_miss_rate;
+        let hit = read_volume - miss;
+        if hit > 0.0 {
+            self.cohorts.push_back(Cohort::read_hit(hit, self.t));
+        }
+        if miss > 0.0 {
+            self.cohorts.push_back(Cohort::read_miss(
+                miss,
+                miss * self.cfg.kv_read_cost,
+                miss * self.cfg.rv_read_cost,
+                self.t,
+            ));
+        }
+        if write_volume > 0.0 {
+            self.cohorts.push_back(Cohort::write(
+                write_volume,
+                write_volume * self.cfg.kv_write_cost,
+                write_volume * self.cfg.rv_write_cost,
+                self.t,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::NUM_IO_CLASSES;
+    use crate::workload::IntervalWorkload;
+
+    /// A trace of `n` intervals of pure 64 KiB reads at `q` requests each.
+    fn read_trace(n: usize, q: f64) -> WorkloadTrace {
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[4] = 1.0; // 64 KiB read
+        WorkloadTrace::new("reads", vec![IntervalWorkload::new(mix, q); n])
+    }
+
+    /// A trace of `n` intervals of pure 64 KiB writes at `q` requests each.
+    fn write_trace(n: usize, q: f64) -> WorkloadTrace {
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[11] = 1.0; // 64 KiB write
+        WorkloadTrace::new("writes", vec![IntervalWorkload::new(mix, q); n])
+    }
+
+    fn quiet_cfg() -> SimConfig {
+        SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn empty_trace_is_done_immediately() {
+        let sim = StorageSim::new(quiet_cfg(), WorkloadTrace::new("empty", vec![]), 0);
+        assert!(sim.is_done());
+        assert_eq!(sim.makespan(), 0);
+    }
+
+    #[test]
+    fn light_read_load_finishes_at_horizon() {
+        // 100 reads × 64 KiB = 6.4 MiB per interval against 128 MiB of
+        // NORMAL capacity: every interval drains immediately, but the final
+        // interval's cache-miss fetch needs one extra interval for the
+        // NORMAL stage, so K = T + 1.
+        let mut sim = StorageSim::new(quiet_cfg(), read_trace(10, 100.0), 0);
+        let metrics = sim.run_with(|_| Action::Noop);
+        assert!(!metrics.truncated);
+        assert_eq!(metrics.makespan, 11);
+    }
+
+    #[test]
+    fn zero_miss_rate_read_load_finishes_exactly_at_horizon() {
+        let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet_cfg() };
+        let mut sim = StorageSim::new(cfg, read_trace(10, 100.0), 0);
+        let metrics = sim.run_with(|_| Action::Noop);
+        assert_eq!(metrics.makespan, 10);
+    }
+
+    #[test]
+    fn write_load_needs_one_extra_interval_for_writeback() {
+        let mut sim = StorageSim::new(quiet_cfg(), write_trace(10, 100.0), 0);
+        let metrics = sim.run_with(|_| Action::Noop);
+        assert_eq!(metrics.makespan, 11);
+    }
+
+    #[test]
+    fn makespan_is_at_least_horizon() {
+        let mut sim = StorageSim::new(quiet_cfg(), read_trace(20, 2000.0), 7);
+        let metrics = sim.run_with(|_| Action::Noop);
+        assert!(metrics.makespan >= 20);
+    }
+
+    #[test]
+    fn overload_postpones_work_and_increases_makespan() {
+        // NORMAL capacity is 16 × 8192 KiB = 128 MiB; 3000 × 64 KiB =
+        // 187.5 MiB per interval overloads it, so work must spill past T.
+        let mut sim = StorageSim::new(quiet_cfg(), read_trace(10, 3000.0), 0);
+        let metrics = sim.run_with(|_| Action::Noop);
+        assert!(metrics.makespan > 11, "makespan {} should exceed T+1", metrics.makespan);
+        assert!(!metrics.truncated);
+    }
+
+    #[test]
+    fn byte_conservation_under_noop() {
+        let trace = read_trace(5, 500.0);
+        let (read_kib, _) = trace.total_volume_kib();
+        let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet_cfg() };
+        let mut sim = StorageSim::new(cfg, trace, 0);
+        let metrics = sim.run_with(|_| Action::Noop);
+        assert!(
+            (metrics.completed_kib - read_kib).abs() < 1e-6,
+            "completed {} KiB != arrived {} KiB",
+            metrics.completed_kib,
+            read_kib
+        );
+    }
+
+    #[test]
+    fn migration_moves_exactly_one_core() {
+        let mut sim = StorageSim::new(quiet_cfg(), read_trace(5, 10.0), 0);
+        let before = [sim.cores_at(Level::Normal), sim.cores_at(Level::Kv)];
+        sim.step(Action::Migrate { from: Level::Normal, to: Level::Kv });
+        assert_eq!(sim.cores_at(Level::Normal), before[0] - 1);
+        assert_eq!(sim.cores_at(Level::Kv), before[1] + 1);
+        assert_eq!(sim.metrics().migrations, 1);
+    }
+
+    #[test]
+    fn migration_below_min_cores_is_rejected() {
+        let cfg = SimConfig {
+            initial_allocation: [30, 1, 1],
+            idle_lambda: 0.0,
+            ..SimConfig::default()
+        };
+        let mut sim = StorageSim::new(cfg, read_trace(5, 10.0), 0);
+        let r = sim.step(Action::Migrate { from: Level::Kv, to: Level::Normal });
+        assert!(r.migration_rejected);
+        assert_eq!(sim.cores_at(Level::Kv), 1);
+        assert_eq!(sim.metrics().rejected_migrations, 1);
+    }
+
+    #[test]
+    fn strict_migration_rejects_backlogged_source() {
+        let cfg = SimConfig { strict_migration: true, ..quiet_cfg() };
+        // Overload NORMAL so its queue is non-empty after interval 0.
+        let mut sim = StorageSim::new(cfg, read_trace(5, 5000.0), 0);
+        sim.step(Action::Noop);
+        let r = sim.step(Action::Migrate { from: Level::Normal, to: Level::Kv });
+        assert!(r.migration_rejected, "backlogged NORMAL should refuse migration in strict mode");
+    }
+
+    #[test]
+    fn migration_penalty_slows_destination_level() {
+        // With penalty 1.0 the migrated core contributes nothing in its
+        // first interval at the new level.
+        let run = |penalty: f64| {
+            let cfg = SimConfig {
+                migration_penalty: penalty,
+                cache_miss_rate: 0.0,
+                ..quiet_cfg()
+            };
+            // Saturate NORMAL exactly: 16 cores × 8192 KiB = 2048 reads of 64 KiB.
+            let mut sim = StorageSim::new(cfg, read_trace(3, 2048.0), 0);
+            sim.step(Action::Migrate { from: Level::Kv, to: Level::Normal });
+            sim.observation().utilization[Level::Normal.index()]
+        };
+        let u_no_penalty = run(0.0);
+        let u_full_penalty = run(1.0);
+        // Under full penalty the effective NORMAL capacity is lower, so
+        // utilisation (work/capacity) is at least as high.
+        assert!(u_full_penalty >= u_no_penalty);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut sim = StorageSim::new(SimConfig::default(), read_trace(30, 4000.0), 3);
+        while !sim.is_done() {
+            let r = sim.step(Action::Noop);
+            assert!(r.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn idle_sampling_is_deterministic_per_seed() {
+        let cfg = SimConfig { idle_lambda: 2.0, ..SimConfig::default() };
+        let run = |seed| {
+            let mut sim = StorageSim::new(cfg.clone(), read_trace(20, 1500.0), seed);
+            sim.run_with(|_| Action::Noop).makespan
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn truncation_guards_nontermination() {
+        let cfg = SimConfig { max_intervals: 5, ..quiet_cfg() };
+        let mut sim = StorageSim::new(cfg, read_trace(10, 50_000.0), 0);
+        let metrics = sim.run_with(|_| Action::Noop);
+        assert!(metrics.truncated);
+        assert_eq!(metrics.makespan, 5);
+    }
+
+    #[test]
+    fn history_recorded_when_enabled() {
+        let cfg = SimConfig { record_history: true, ..quiet_cfg() };
+        let mut sim = StorageSim::new(cfg, read_trace(4, 100.0), 0);
+        let metrics = sim.run_with(|_| Action::Noop);
+        assert_eq!(metrics.history.len(), metrics.makespan);
+        assert_eq!(metrics.history[0].cores, [18, 7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished episode")]
+    fn stepping_after_done_panics() {
+        let mut sim = StorageSim::new(quiet_cfg(), read_trace(1, 1.0), 0);
+        while !sim.is_done() {
+            sim.step(Action::Noop);
+        }
+        sim.step(Action::Noop);
+    }
+
+    #[test]
+    fn balanced_allocation_beats_starved_kv_on_write_load()
+    {
+        // Writes need KV/RV capacity; starving those levels must hurt.
+        let run = |alloc: [usize; 3]| {
+            let cfg = SimConfig {
+                initial_allocation: alloc,
+                idle_lambda: 0.0,
+                ..SimConfig::default()
+            };
+            let mut sim = StorageSim::new(cfg, write_trace(20, 1800.0), 0);
+            sim.run_with(|_| Action::Noop).makespan
+        };
+        let starved = run([30, 1, 1]);
+        let balanced = run([16, 8, 8]);
+        assert!(
+            balanced < starved,
+            "balanced ({balanced}) should beat starved ({starved}) on writes"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! IO request classes: the 14-entry type table behind the workload vector
+//! `S_w(t)` of Definition 1.
+
+use std::fmt;
+
+/// Direction of an IO request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Read: served by NORMAL, with a cache-miss fetch through KV/RV.
+    Read,
+    /// Write: NORMAL front-end plus a mandatory KV/RV write-back.
+    Write,
+}
+
+impl fmt::Display for IoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoKind::Read => write!(f, "R"),
+            IoKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One of the 14 IO request types (`S_i` in the paper: "IO size and type").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IoClass {
+    /// Request payload in KiB.
+    pub size_kib: f64,
+    /// Read or write.
+    pub kind: IoKind,
+}
+
+impl IoClass {
+    /// Signed encoding used in observation vectors: `+size` for reads,
+    /// `-size` for writes, normalised by the largest size in the table.
+    pub fn signed_normalized(&self, max_size_kib: f64) -> f32 {
+        let magnitude = (self.size_kib / max_size_kib) as f32;
+        match self.kind {
+            IoKind::Read => magnitude,
+            IoKind::Write => -magnitude,
+        }
+    }
+}
+
+impl fmt::Display for IoClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}KiB-{}", self.size_kib, self.kind)
+    }
+}
+
+/// Number of IO classes in the canonical table (fixed by the paper).
+pub const NUM_IO_CLASSES: usize = 14;
+
+/// The canonical IO-class table: seven sizes (4 KiB … 256 KiB) × two kinds.
+///
+/// The paper fixes the *count* at 14 but not the membership; a power-of-two
+/// size ladder times read/write is the standard Vdbench-style decomposition
+/// and spans the small-random to large-sequential spectrum the paper's
+/// business models (database, heavy computing, …) imply.
+pub fn canonical_io_classes() -> [IoClass; NUM_IO_CLASSES] {
+    const SIZES: [f64; 7] = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+    let mut out = [IoClass { size_kib: 0.0, kind: IoKind::Read }; NUM_IO_CLASSES];
+    for (i, &s) in SIZES.iter().enumerate() {
+        out[i] = IoClass { size_kib: s, kind: IoKind::Read };
+        out[i + 7] = IoClass { size_kib: s, kind: IoKind::Write };
+    }
+    out
+}
+
+/// Largest request size in the canonical table, used for normalisation.
+pub fn max_io_size_kib() -> f64 {
+    canonical_io_classes()
+        .iter()
+        .map(|c| c.size_kib)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_fourteen_classes() {
+        assert_eq!(canonical_io_classes().len(), NUM_IO_CLASSES);
+    }
+
+    #[test]
+    fn first_half_reads_second_half_writes() {
+        let table = canonical_io_classes();
+        assert!(table[..7].iter().all(|c| c.kind == IoKind::Read));
+        assert!(table[7..].iter().all(|c| c.kind == IoKind::Write));
+    }
+
+    #[test]
+    fn sizes_are_doubling() {
+        let table = canonical_io_classes();
+        for i in 1..7 {
+            assert_eq!(table[i].size_kib, 2.0 * table[i - 1].size_kib);
+        }
+    }
+
+    #[test]
+    fn signed_encoding_separates_reads_and_writes() {
+        let max = max_io_size_kib();
+        let table = canonical_io_classes();
+        assert!(table[0].signed_normalized(max) > 0.0);
+        assert!(table[7].signed_normalized(max) < 0.0);
+        assert_eq!(table[6].signed_normalized(max), 1.0);
+        assert_eq!(table[13].signed_normalized(max), -1.0);
+    }
+
+    #[test]
+    fn max_size_is_256_kib() {
+        assert_eq!(max_io_size_kib(), 256.0);
+    }
+}

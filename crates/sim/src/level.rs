@@ -1,0 +1,85 @@
+//! The three processing levels of the Dorado V6 architecture.
+
+use std::fmt;
+
+/// A computation level CPU cores can reside in (paper §2, Figure 1).
+///
+/// * `Normal` — serves IO from the shared cache.
+/// * `Kv` — key-value mapping work (disk fetch on read miss, write-back).
+/// * `Rv` — resource-volume virtualisation work (disk fetch on read miss,
+///   write-back).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Cache-serving front-end level.
+    Normal,
+    /// Key-Value storage level.
+    Kv,
+    /// Resource Volume level.
+    Rv,
+}
+
+impl Level {
+    /// All levels, in canonical order `[Normal, Kv, Rv]`.
+    pub const ALL: [Level; 3] = [Level::Normal, Level::Kv, Level::Rv];
+
+    /// Canonical index: Normal = 0, Kv = 1, Rv = 2.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Level::Normal => 0,
+            Level::Kv => 1,
+            Level::Rv => 2,
+        }
+    }
+
+    /// Inverse of [`Level::index`].
+    ///
+    /// # Panics
+    /// Panics if `i > 2`.
+    pub fn from_index(i: usize) -> Level {
+        Level::ALL[i]
+    }
+
+    /// Short display name used in logs and DOT output.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Level::Normal => "N",
+            Level::Kv => "K",
+            Level::Rv => "R",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Normal => write!(f, "NORMAL"),
+            Level::Kv => write!(f, "KV"),
+            Level::Rv => write!(f, "RV"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips() {
+        for l in Level::ALL {
+            assert_eq!(Level::from_index(l.index()), l);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Level::Normal.to_string(), "NORMAL");
+        assert_eq!(Level::Kv.to_string(), "KV");
+        assert_eq!(Level::Rv.to_string(), "RV");
+    }
+
+    #[test]
+    fn canonical_order_is_stable() {
+        assert_eq!(Level::ALL.map(Level::index), [0, 1, 2]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Discrete-time simulator of the Huawei Dorado V6 storage system's
+//! multi-level CPU-core architecture, as described in §2 of *Learning-Aided
+//! Heuristics Design for Storage System* (SIGMOD 2021).
+//!
+//! The paper's resource-allocation problem: CPU cores live in three levels —
+//! NORMAL (cache front-end), KV (key-value mapping) and RV (resource-volume
+//! virtualisation). Reads are served by NORMAL; on a cache miss KV and RV
+//! must fetch the data first. Writes require all three levels (NORMAL
+//! front-end, then KV/RV write-back). An agent may migrate one core between
+//! levels per time interval, paying a capability penalty on the migrated
+//! core's next interval; the goal is to finish a workload trace in the
+//! fewest intervals (minimum makespan `K`).
+//!
+//! This crate implements the simulator the paper trains and evaluates in
+//! (the paper itself uses a simulator, §4.1), including: per-core capability
+//! `m`, cache-miss rate `C`, FIFO ("polling") service, postponement of
+//! unfinished IO, migration legality and penalty, and Poisson-distributed
+//! transient core idleness.
+//!
+//! # Example
+//!
+//! ```
+//! use lahd_sim::{Action, IntervalWorkload, SimConfig, StorageSim, WorkloadTrace, NUM_IO_CLASSES};
+//!
+//! let mut mix = [0.0; NUM_IO_CLASSES];
+//! mix[4] = 1.0; // 64 KiB reads
+//! let trace = WorkloadTrace::new(
+//!     "demo",
+//!     vec![IntervalWorkload::new(mix, 500.0); 8],
+//! );
+//! let mut sim = StorageSim::new(SimConfig::deterministic(), trace, 42);
+//! let metrics = sim.run_with(|_obs| Action::Noop);
+//! assert!(metrics.makespan >= 8);
+//! ```
+
+mod action;
+mod cohort;
+mod config;
+mod engine;
+mod io;
+mod level;
+mod metrics;
+mod observation;
+mod poisson;
+mod workload;
+
+pub use action::Action;
+pub use cohort::{Cohort, CohortKind, Stage};
+pub use config::SimConfig;
+pub use engine::{StepResult, StorageSim};
+pub use io::{canonical_io_classes, max_io_size_kib, IoClass, IoKind, NUM_IO_CLASSES};
+pub use level::Level;
+pub use metrics::{EpisodeMetrics, IntervalStats};
+pub use observation::Observation;
+pub use poisson::sample_poisson;
+pub use workload::{IntervalWorkload, WorkloadTrace};

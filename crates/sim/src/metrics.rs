@@ -1,0 +1,128 @@
+//! Per-episode metrics and optional interval-level history.
+
+use crate::action::Action;
+
+/// Statistics of one simulated interval (recorded when
+/// `SimConfig::record_history` is on).
+#[derive(Clone, Debug)]
+pub struct IntervalStats {
+    /// Interval index (0-based).
+    pub t: usize,
+    /// Action applied at the start of the interval.
+    pub action: Action,
+    /// Utilisation per level `[NORMAL, KV, RV]`.
+    pub utilization: [f64; 3],
+    /// Core counts per level after the action.
+    pub cores: [usize; 3],
+    /// Total backlog (KiB, all stages) at the end of the interval.
+    pub backlog_kib: f64,
+    /// Number of cores sampled idle this interval.
+    pub idle_cores: usize,
+    /// KiB processed per level this interval.
+    pub processed_kib: [f64; 3],
+}
+
+/// Summary of one completed (or truncated) episode.
+#[derive(Clone, Debug)]
+pub struct EpisodeMetrics {
+    /// Makespan `K`: intervals needed to finish all IO (valid when
+    /// `truncated` is false).
+    pub makespan: usize,
+    /// Arrival horizon `T` of the trace.
+    pub horizon: usize,
+    /// Whether the episode hit the interval cap before draining.
+    pub truncated: bool,
+    /// Migrations actually executed.
+    pub migrations: usize,
+    /// Migration attempts rejected for legality (min-cores or strict mode).
+    pub rejected_migrations: usize,
+    /// Total KiB of IO volume completed.
+    pub completed_kib: f64,
+    /// Interval history (empty unless history recording is enabled).
+    pub history: Vec<IntervalStats>,
+}
+
+impl EpisodeMetrics {
+    /// `K / T`: slowdown relative to the ideal one-interval-per-arrival
+    /// schedule. Returns `None` for empty traces.
+    pub fn slowdown(&self) -> Option<f64> {
+        if self.horizon == 0 {
+            None
+        } else {
+            Some(self.makespan as f64 / self.horizon as f64)
+        }
+    }
+
+    /// Mean utilisation per level over the recorded history.
+    pub fn mean_utilization(&self) -> [f64; 3] {
+        if self.history.is_empty() {
+            return [0.0; 3];
+        }
+        let mut acc = [0.0; 3];
+        for s in &self.history {
+            for (a, u) in acc.iter_mut().zip(&s.utilization) {
+                *a += u;
+            }
+        }
+        acc.map(|a| a / self.history.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(u: [f64; 3]) -> IntervalStats {
+        IntervalStats {
+            t: 0,
+            action: Action::Noop,
+            utilization: u,
+            cores: [16, 8, 8],
+            backlog_kib: 0.0,
+            idle_cores: 0,
+            processed_kib: [0.0; 3],
+        }
+    }
+
+    #[test]
+    fn slowdown_is_k_over_t() {
+        let m = EpisodeMetrics {
+            makespan: 150,
+            horizon: 100,
+            truncated: false,
+            migrations: 0,
+            rejected_migrations: 0,
+            completed_kib: 0.0,
+            history: vec![],
+        };
+        assert_eq!(m.slowdown(), Some(1.5));
+    }
+
+    #[test]
+    fn slowdown_of_empty_trace_is_none() {
+        let m = EpisodeMetrics {
+            makespan: 0,
+            horizon: 0,
+            truncated: false,
+            migrations: 0,
+            rejected_migrations: 0,
+            completed_kib: 0.0,
+            history: vec![],
+        };
+        assert_eq!(m.slowdown(), None);
+    }
+
+    #[test]
+    fn mean_utilization_averages_history() {
+        let m = EpisodeMetrics {
+            makespan: 2,
+            horizon: 2,
+            truncated: false,
+            migrations: 0,
+            rejected_migrations: 0,
+            completed_kib: 0.0,
+            history: vec![stats([1.0, 0.0, 0.5]), stats([0.0, 1.0, 0.5])],
+        };
+        assert_eq!(m.mean_utilization(), [0.5, 0.5, 0.5]);
+    }
+}

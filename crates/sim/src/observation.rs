@@ -1,0 +1,146 @@
+//! The observation vector `o_t` handed to policies (paper §3.1).
+
+use crate::config::SimConfig;
+use crate::io::{max_io_size_kib, IoClass, NUM_IO_CLASSES};
+use crate::workload::IntervalWorkload;
+
+/// Structured observation at a time interval:
+/// `o_t = [c_N, c_K, c_R, u_N, u_K, u_R, w(t), Q_w(t)]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Observation {
+    /// Core counts per level `[NORMAL, KV, RV]`.
+    pub cores: [usize; 3],
+    /// Mean utilisation of each level during the previous interval, in
+    /// `[0, 1]`.
+    pub utilization: [f64; 3],
+    /// The `S` vector: signed normalised size of each IO class (positive =
+    /// read, negative = write). Static over a trace.
+    pub io_sizes: [f64; NUM_IO_CLASSES],
+    /// The `I_w(t)` ratio vector of the incoming workload.
+    pub mix: [f64; NUM_IO_CLASSES],
+    /// `Q_w(t)`: number of requests arriving this interval.
+    pub requests: f64,
+}
+
+impl Observation {
+    /// Dimensionality of [`Observation::to_vector`]:
+    /// 3 core counts + 3 utilisations + 14 sizes + 14 ratios + 1 count.
+    pub const DIM: usize = 3 + 3 + NUM_IO_CLASSES + NUM_IO_CLASSES + 1;
+
+    /// Builds the observation from raw simulator state.
+    pub fn new(
+        cores: [usize; 3],
+        utilization: [f64; 3],
+        classes: &[IoClass; NUM_IO_CLASSES],
+        workload: &IntervalWorkload,
+    ) -> Self {
+        let max = max_io_size_kib();
+        let mut io_sizes = [0.0; NUM_IO_CLASSES];
+        for (s, c) in io_sizes.iter_mut().zip(classes) {
+            *s = f64::from(c.signed_normalized(max));
+        }
+        Self { cores, utilization, io_sizes, mix: workload.mix, requests: workload.requests }
+    }
+
+    /// Flattens into the normalised `f32` vector consumed by neural policies:
+    /// core counts are divided by `cfg.total_cores` and the request count by
+    /// `cfg.requests_norm`; everything else is already in `[-1, 1]`.
+    pub fn to_vector(&self, cfg: &SimConfig) -> Vec<f32> {
+        let mut v = Vec::with_capacity(Self::DIM);
+        for &c in &self.cores {
+            v.push(c as f32 / cfg.total_cores as f32);
+        }
+        for &u in &self.utilization {
+            v.push(u as f32);
+        }
+        for &s in &self.io_sizes {
+            v.push(s as f32);
+        }
+        for &m in &self.mix {
+            v.push(m as f32);
+        }
+        v.push((self.requests / cfg.requests_norm) as f32);
+        v
+    }
+
+    /// Ratio of NORMAL computation capacity to KV+RV capacity — the
+    /// "capacity ratio" plotted in the paper's Figure 6.
+    pub fn capacity_ratio(&self) -> f64 {
+        let back = (self.cores[1] + self.cores[2]) as f64;
+        if back == 0.0 {
+            f64::INFINITY
+        } else {
+            self.cores[0] as f64 / back
+        }
+    }
+
+    /// Fraction of arriving *requests* that are writes (from the signed `S`
+    /// encoding).
+    pub fn write_intensity(&self) -> f64 {
+        self.mix
+            .iter()
+            .zip(&self.io_sizes)
+            .filter(|(_, &s)| s < 0.0)
+            .map(|(m, _)| m)
+            .sum::<f64>()
+            * self.requests
+    }
+
+    /// Fraction of arriving *requests* that are reads, scaled by volume.
+    pub fn read_intensity(&self) -> f64 {
+        self.mix
+            .iter()
+            .zip(&self.io_sizes)
+            .filter(|(_, &s)| s > 0.0)
+            .map(|(m, _)| m)
+            .sum::<f64>()
+            * self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::canonical_io_classes;
+
+    fn sample_obs(requests: f64) -> Observation {
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[0] = 0.5; // 4 KiB read
+        mix[7] = 0.5; // 4 KiB write
+        let w = IntervalWorkload::new(mix, requests);
+        Observation::new([16, 8, 8], [0.5, 0.25, 0.75], &canonical_io_classes(), &w)
+    }
+
+    #[test]
+    fn vector_has_documented_dimension() {
+        let obs = sample_obs(100.0);
+        let cfg = SimConfig::default();
+        assert_eq!(obs.to_vector(&cfg).len(), Observation::DIM);
+        assert_eq!(Observation::DIM, 35);
+    }
+
+    #[test]
+    fn vector_normalisation_bounds() {
+        let obs = sample_obs(100.0);
+        let cfg = SimConfig::default();
+        let v = obs.to_vector(&cfg);
+        // Core fractions sum to 1.
+        assert!((v[0] + v[1] + v[2] - 1.0).abs() < 1e-6);
+        // All entries of a sane observation are within [-1, 1] for a
+        // less-than-norm request count.
+        assert!(v.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn capacity_ratio_matches_core_counts() {
+        let obs = sample_obs(10.0);
+        assert_eq!(obs.capacity_ratio(), 1.0);
+    }
+
+    #[test]
+    fn read_write_intensity_split() {
+        let obs = sample_obs(100.0);
+        assert!((obs.read_intensity() - 50.0).abs() < 1e-9);
+        assert!((obs.write_intensity() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Workload descriptors (Definition 1): per-interval IO mix and volume.
+
+use crate::io::{canonical_io_classes, IoClass, IoKind, NUM_IO_CLASSES};
+
+/// The workload of a single time interval: the ratio vector `I_w(t)` over the
+/// 14 IO classes and the request count `Q_w(t)`.
+///
+/// The size-and-type vector `S_w(t)` is shared by all intervals of a trace
+/// and lives in [`WorkloadTrace`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntervalWorkload {
+    /// `I_w(t)`: fraction of requests belonging to each IO class; sums to 1
+    /// (or is all-zero for an empty interval).
+    pub mix: [f64; NUM_IO_CLASSES],
+    /// `Q_w(t)`: total number of IO requests arriving in this interval.
+    pub requests: f64,
+}
+
+impl IntervalWorkload {
+    /// An interval with no arrivals.
+    pub fn empty() -> Self {
+        Self { mix: [0.0; NUM_IO_CLASSES], requests: 0.0 }
+    }
+
+    /// Builds a workload, normalising `mix` to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if any ratio is negative, all ratios are zero while
+    /// `requests > 0`, or `requests` is negative/non-finite.
+    pub fn new(mix: [f64; NUM_IO_CLASSES], requests: f64) -> Self {
+        assert!(requests.is_finite() && requests >= 0.0, "requests must be ≥ 0");
+        assert!(mix.iter().all(|&r| r >= 0.0), "mix ratios must be non-negative");
+        let sum: f64 = mix.iter().sum();
+        if requests > 0.0 {
+            assert!(sum > 0.0, "non-empty interval needs a non-zero mix");
+        }
+        let mut normalized = mix;
+        if sum > 0.0 {
+            for r in &mut normalized {
+                *r /= sum;
+            }
+        }
+        Self { mix: normalized, requests }
+    }
+
+    /// Total bytes (KiB) arriving this interval, split `(read, write)`.
+    pub fn volume_kib(&self, classes: &[IoClass; NUM_IO_CLASSES]) -> (f64, f64) {
+        let mut read = 0.0;
+        let mut write = 0.0;
+        for (ratio, class) in self.mix.iter().zip(classes) {
+            let vol = self.requests * ratio * class.size_kib;
+            match class.kind {
+                IoKind::Read => read += vol,
+                IoKind::Write => write += vol,
+            }
+        }
+        (read, write)
+    }
+
+    /// Fraction of *requests* that are writes.
+    pub fn write_ratio(&self, classes: &[IoClass; NUM_IO_CLASSES]) -> f64 {
+        self.mix
+            .iter()
+            .zip(classes)
+            .filter(|(_, c)| c.kind == IoKind::Write)
+            .map(|(r, _)| r)
+            .sum()
+    }
+}
+
+/// A full trace: the static IO-class table plus one workload per interval.
+#[derive(Clone, Debug)]
+pub struct WorkloadTrace {
+    /// Human-readable trace name (e.g. `std/oltp-database` or `real/07`).
+    pub name: String,
+    /// The `S` vector: size and kind of each IO class.
+    pub classes: [IoClass; NUM_IO_CLASSES],
+    /// Per-interval workloads `w(1) … w(T)`.
+    pub intervals: Vec<IntervalWorkload>,
+}
+
+impl WorkloadTrace {
+    /// Creates a trace over the canonical IO-class table.
+    pub fn new(name: impl Into<String>, intervals: Vec<IntervalWorkload>) -> Self {
+        Self { name: name.into(), classes: canonical_io_classes(), intervals }
+    }
+
+    /// Number of arrival intervals `T`.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the trace has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Workload of interval `t` (0-based); empty after the trace ends.
+    pub fn interval(&self, t: usize) -> IntervalWorkload {
+        self.intervals.get(t).cloned().unwrap_or_else(IntervalWorkload::empty)
+    }
+
+    /// Total bytes (KiB) over the whole trace, split `(read, write)`.
+    pub fn total_volume_kib(&self) -> (f64, f64) {
+        let mut read = 0.0;
+        let mut write = 0.0;
+        for w in &self.intervals {
+            let (r, wv) = w.volume_kib(&self.classes);
+            read += r;
+            write += wv;
+        }
+        (read, write)
+    }
+
+    /// Mean requests per interval.
+    pub fn mean_requests(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        self.intervals.iter().map(|w| w.requests).sum::<f64>() / self.intervals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_mix() -> [f64; NUM_IO_CLASSES] {
+        [1.0; NUM_IO_CLASSES]
+    }
+
+    #[test]
+    fn new_normalises_mix() {
+        let w = IntervalWorkload::new(uniform_mix(), 100.0);
+        let sum: f64 = w.mix.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_has_no_volume() {
+        let w = IntervalWorkload::empty();
+        let (r, wv) = w.volume_kib(&canonical_io_classes());
+        assert_eq!((r, wv), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ratio_rejected() {
+        let mut mix = uniform_mix();
+        mix[0] = -1.0;
+        let _ = IntervalWorkload::new(mix, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero mix")]
+    fn zero_mix_with_requests_rejected() {
+        let _ = IntervalWorkload::new([0.0; NUM_IO_CLASSES], 10.0);
+    }
+
+    #[test]
+    fn volume_splits_read_write() {
+        // All requests in class 0 (4 KiB read): write volume must be zero.
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[0] = 1.0;
+        let w = IntervalWorkload::new(mix, 10.0);
+        let (r, wv) = w.volume_kib(&canonical_io_classes());
+        assert_eq!(r, 40.0);
+        assert_eq!(wv, 0.0);
+    }
+
+    #[test]
+    fn write_ratio_counts_request_fractions() {
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[0] = 3.0; // read class
+        mix[7] = 1.0; // write class
+        let w = IntervalWorkload::new(mix, 100.0);
+        assert!((w.write_ratio(&canonical_io_classes()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_interval_past_end_is_empty() {
+        let trace = WorkloadTrace::new("t", vec![IntervalWorkload::new(uniform_mix(), 5.0)]);
+        assert_eq!(trace.interval(10), IntervalWorkload::empty());
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn trace_totals_accumulate() {
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[1] = 1.0; // 8 KiB read
+        let w = IntervalWorkload::new(mix, 10.0);
+        let trace = WorkloadTrace::new("t", vec![w.clone(), w]);
+        let (r, wv) = trace.total_volume_kib();
+        assert_eq!(r, 160.0);
+        assert_eq!(wv, 0.0);
+        assert_eq!(trace.mean_requests(), 10.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Behavioural tests of the simulator's scheduling semantics — the details
+//! that make anticipation (the paper's S2 story) possible at all.
+
+use lahd_sim::{
+    Action, IntervalWorkload, Level, SimConfig, StorageSim, WorkloadTrace, NUM_IO_CLASSES,
+};
+
+fn quiet() -> SimConfig {
+    SimConfig { idle_lambda: 0.0, record_history: true, ..SimConfig::default() }
+}
+
+fn mix_single(class: usize) -> [f64; NUM_IO_CLASSES] {
+    let mut mix = [0.0; NUM_IO_CLASSES];
+    mix[class] = 1.0;
+    mix
+}
+
+/// 64 KiB reads.
+fn reads(q: f64) -> IntervalWorkload {
+    IntervalWorkload::new(mix_single(4), q)
+}
+
+/// 64 KiB writes.
+fn writes(q: f64) -> IntervalWorkload {
+    IntervalWorkload::new(mix_single(11), q)
+}
+
+#[test]
+fn observation_shows_the_upcoming_interval_workload() {
+    let trace = WorkloadTrace::new("t", vec![reads(100.0), writes(50.0)]);
+    let mut sim = StorageSim::new(quiet(), trace, 0);
+    // Before the first step: interval 0's workload (reads).
+    let obs = sim.observation();
+    assert_eq!(obs.requests, 100.0);
+    assert!(obs.write_intensity() < 1e-9);
+    sim.step(Action::Noop);
+    // Before the second step: interval 1's workload (writes).
+    let obs = sim.observation();
+    assert_eq!(obs.requests, 50.0);
+    assert!(obs.read_intensity() < 1e-9);
+}
+
+#[test]
+fn observation_after_trace_end_is_empty_workload() {
+    // Heavy load so draining continues past the horizon.
+    let trace = WorkloadTrace::new("t", vec![reads(5000.0)]);
+    let mut sim = StorageSim::new(quiet(), trace, 0);
+    sim.step(Action::Noop);
+    assert!(!sim.is_done());
+    let obs = sim.observation();
+    assert_eq!(obs.requests, 0.0, "no arrivals after the horizon");
+}
+
+#[test]
+fn earlier_arrivals_are_served_first_under_scarcity() {
+    // Two overload intervals; the backlog from interval 0 must clear before
+    // interval 1's work completes (FIFO/"polling" postponement semantics).
+    let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet() };
+    // NORMAL capacity is 18 cores × 8 MiB = 144 MiB; send 200 MiB each
+    // interval (3200 reads × 64 KiB).
+    let trace = WorkloadTrace::new("t", vec![reads(3200.0), reads(3200.0)]);
+    let mut sim = StorageSim::new(cfg, trace, 0);
+    let r1 = sim.step(Action::Noop);
+    // After one interval, backlog = 200 − 144 = 56 MiB from interval 0.
+    assert!((r1.backlog_kib / 1024.0 - 56.0).abs() < 1.0, "backlog {}", r1.backlog_kib);
+    let r2 = sim.step(Action::Noop);
+    // Interval 1: 56 MiB leftovers + 200 MiB new − 144 processed = 112 MiB.
+    assert!((r2.backlog_kib / 1024.0 - 112.0).abs() < 1.0);
+    // Drains at 144 MiB/interval once arrivals stop: exactly 1 more interval.
+    let r3 = sim.step(Action::Noop);
+    assert!(r3.done, "112 MiB drains within one 144 MiB interval");
+    assert_eq!(sim.makespan(), 3);
+}
+
+#[test]
+fn full_cache_miss_routes_all_reads_through_fetch() {
+    // With C = 1 every read needs the KV/RV fetch stage before NORMAL can
+    // serve it, so KV utilisation rises with read volume even with no writes.
+    let cfg = SimConfig { cache_miss_rate: 1.0, ..quiet() };
+    let trace = WorkloadTrace::new("t", vec![reads(1500.0); 6]);
+    let mut sim = StorageSim::new(cfg, trace, 0);
+    let metrics = sim.run_with(|_| Action::Noop);
+    let u = metrics.mean_utilization();
+    assert!(u[1] > 0.3, "KV must work on fetches, got {}", u[1]);
+    assert!(u[2] > 0.2, "RV must work on fetches, got {}", u[2]);
+}
+
+#[test]
+fn zero_cache_miss_leaves_backend_idle_on_reads() {
+    let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet() };
+    let trace = WorkloadTrace::new("t", vec![reads(1500.0); 6]);
+    let mut sim = StorageSim::new(cfg, trace, 0);
+    let metrics = sim.run_with(|_| Action::Noop);
+    let u = metrics.mean_utilization();
+    assert_eq!(u[1], 0.0, "KV idle on pure cache hits");
+    assert_eq!(u[2], 0.0, "RV idle on pure cache hits");
+}
+
+#[test]
+fn write_back_reaches_backend_one_interval_after_frontend() {
+    let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet() };
+    let trace = WorkloadTrace::new("t", vec![writes(500.0)]);
+    let mut sim = StorageSim::new(cfg, trace, 0);
+    let r1 = sim.step(Action::Noop);
+    assert_eq!(r1.utilization[Level::Kv.index()], 0.0, "no KV work in the arrival interval");
+    let r2 = sim.step(Action::Noop);
+    assert!(
+        r2.utilization[Level::Kv.index()] > 0.0,
+        "write-back must hit KV in the following interval"
+    );
+    assert!(r2.done);
+}
+
+#[test]
+fn repeated_migrations_walk_allocation_to_the_floor_and_stop() {
+    let cfg = quiet();
+    let min = cfg.min_cores_per_level;
+    let trace = WorkloadTrace::new("t", vec![reads(10.0); 40]);
+    let mut sim = StorageSim::new(cfg, trace, 0);
+    let mut rejections = 0;
+    while !sim.is_done() {
+        let r = sim.step(Action::Migrate { from: Level::Kv, to: Level::Normal });
+        if r.migration_rejected {
+            rejections += 1;
+        }
+    }
+    assert_eq!(sim.cores_at(Level::Kv), min, "KV pinned at the floor");
+    assert!(rejections > 0, "further attempts must be rejected");
+}
+
+#[test]
+fn slowdown_reflects_overload_severity() {
+    let run = |q: f64| {
+        let trace = WorkloadTrace::new("t", vec![writes(q); 20]);
+        let mut sim = StorageSim::new(quiet(), trace, 0);
+        sim.run_with(|_| Action::Noop).slowdown().expect("non-empty trace")
+    };
+    let light = run(300.0);
+    let heavy = run(1200.0);
+    assert!(light < heavy, "heavier write load must slow down more: {light} vs {heavy}");
+    assert!(light >= 1.0);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests on simulator invariants.
+
+use lahd_sim::{
+    Action, IntervalWorkload, SimConfig, StorageSim, WorkloadTrace, NUM_IO_CLASSES,
+};
+use proptest::prelude::*;
+
+/// Strategy: a plausible workload trace of 1–12 intervals.
+fn trace_strategy() -> impl Strategy<Value = WorkloadTrace> {
+    let interval = (
+        proptest::collection::vec(0.0f64..1.0, NUM_IO_CLASSES),
+        0.0f64..3000.0,
+    )
+        .prop_filter_map("mix must be non-zero when requests > 0", |(mix, q)| {
+            let mut arr = [0.0; NUM_IO_CLASSES];
+            arr.copy_from_slice(&mix);
+            let sum: f64 = arr.iter().sum();
+            if q > 0.0 && sum == 0.0 {
+                None
+            } else {
+                Some(IntervalWorkload::new(arr, q))
+            }
+        });
+    proptest::collection::vec(interval, 1..12)
+        .prop_map(|intervals| WorkloadTrace::new("prop", intervals))
+}
+
+fn quiet_cfg() -> SimConfig {
+    SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All arrived work is eventually processed: completed bytes equal the
+    /// total stage-weighted volume implied by the trace.
+    #[test]
+    fn byte_conservation(trace in trace_strategy()) {
+        let cfg = quiet_cfg();
+        let (read, write) = trace.total_volume_kib();
+        let miss = read * cfg.cache_miss_rate;
+        let expected = read                      // NORMAL serves all reads
+            + miss * (cfg.kv_read_cost + cfg.rv_read_cost)
+            + write * (1.0 + cfg.kv_write_cost + cfg.rv_write_cost);
+        let mut sim = StorageSim::new(cfg, trace, 0);
+        let metrics = sim.run_with(|_| Action::Noop);
+        prop_assert!(!metrics.truncated);
+        prop_assert!(
+            (metrics.completed_kib - expected).abs() < 1e-3 * expected.max(1.0),
+            "completed {} vs expected {}", metrics.completed_kib, expected
+        );
+    }
+
+    /// K ≥ T always (Definition of makespan).
+    #[test]
+    fn makespan_at_least_horizon(trace in trace_strategy(), seed in 0u64..1000) {
+        let horizon = trace.len();
+        let mut sim = StorageSim::new(SimConfig::default(), trace, seed);
+        let metrics = sim.run_with(|_| Action::Noop);
+        prop_assert!(metrics.makespan >= horizon);
+    }
+
+    /// Doubling every interval's request count can never shorten the
+    /// makespan (work monotonicity).
+    #[test]
+    fn makespan_monotone_in_load(trace in trace_strategy()) {
+        let heavier = WorkloadTrace::new(
+            "heavier",
+            trace
+                .intervals
+                .iter()
+                .map(|w| IntervalWorkload::new(w.mix, w.requests * 2.0))
+                .collect(),
+        );
+        let mut sim_a = StorageSim::new(quiet_cfg(), trace, 0);
+        let mut sim_b = StorageSim::new(quiet_cfg(), heavier, 0);
+        let a = sim_a.run_with(|_| Action::Noop).makespan;
+        let b = sim_b.run_with(|_| Action::Noop).makespan;
+        prop_assert!(b >= a, "heavier load finished faster: {b} < {a}");
+    }
+
+    /// The same seed and policy reproduce the same episode exactly.
+    #[test]
+    fn determinism_per_seed(trace in trace_strategy(), seed in 0u64..1000) {
+        let cfg = SimConfig { idle_lambda: 1.0, record_history: true, ..SimConfig::default() };
+        let run = |t: WorkloadTrace| {
+            let mut sim = StorageSim::new(cfg.clone(), t, seed);
+            let m = sim.run_with(|_| Action::Noop);
+            (m.makespan, m.completed_kib)
+        };
+        prop_assert_eq!(run(trace.clone()), run(trace));
+    }
+
+    /// Core count is conserved by arbitrary action sequences.
+    #[test]
+    fn cores_conserved(
+        trace in trace_strategy(),
+        actions in proptest::collection::vec(0usize..7, 1..64),
+    ) {
+        let cfg = SimConfig::default();
+        let total = cfg.total_cores;
+        let mut sim = StorageSim::new(cfg, trace, 1);
+        let mut i = 0;
+        while !sim.is_done() && i < actions.len() {
+            sim.step(Action::from_index(actions[i]));
+            let obs = if sim.is_done() { None } else { Some(sim.observation()) };
+            if let Some(o) = obs {
+                prop_assert_eq!(o.cores.iter().sum::<usize>(), total);
+                prop_assert!(o.cores.iter().all(|&c| c >= 1));
+            }
+            i += 1;
+        }
+    }
+
+    /// Utilisation is always within [0, 1] whatever the policy does.
+    #[test]
+    fn utilization_bounded(
+        trace in trace_strategy(),
+        actions in proptest::collection::vec(0usize..7, 1..64),
+        seed in 0u64..100,
+    ) {
+        let mut sim = StorageSim::new(SimConfig::default(), trace, seed);
+        let mut i = 0;
+        while !sim.is_done() {
+            let a = Action::from_index(actions[i % actions.len()]);
+            let r = sim.step(a);
+            prop_assert!(r.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+            i += 1;
+        }
+    }
+
+    /// Backlog reaches zero exactly when the episode completes untruncated.
+    #[test]
+    fn backlog_drains_on_completion(trace in trace_strategy(), seed in 0u64..100) {
+        let mut sim = StorageSim::new(SimConfig::default(), trace, seed);
+        let _ = sim.run_with(|_| Action::Noop);
+        if !sim.is_truncated() {
+            prop_assert!(sim.backlog_kib() < 1e-9);
+        }
+    }
+}

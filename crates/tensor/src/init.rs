@@ -1,0 +1,116 @@
+//! Weight initialisation schemes.
+
+use rand::Rng as _;
+use rand_distr_shim::sample_standard_normal;
+
+use crate::{Matrix, Rng};
+
+/// Supported weight-initialisation schemes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Initializer {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Constant value.
+    Constant(f32),
+    /// Uniform in `[-limit, limit]`.
+    Uniform(f32),
+    /// Xavier/Glorot uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Xavier/Glorot normal: `std = sqrt(2 / (fan_in + fan_out))`.
+    XavierNormal,
+}
+
+impl Initializer {
+    /// Materialises a `rows × cols` matrix (`fan_in = rows`, `fan_out = cols`).
+    pub fn init(self, rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+        match self {
+            Initializer::Zeros => Matrix::zeros(rows, cols),
+            Initializer::Constant(v) => Matrix::filled(rows, cols, v),
+            Initializer::Uniform(limit) => {
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+            }
+            Initializer::XavierUniform => {
+                let limit = (6.0 / (rows + cols) as f32).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+            }
+            Initializer::XavierNormal => {
+                let std = (2.0 / (rows + cols) as f32).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| std * sample_standard_normal(rng))
+            }
+        }
+    }
+}
+
+/// Xavier/Glorot-uniform initialised `rows × cols` matrix.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    Initializer::XavierUniform.init(rows, cols, rng)
+}
+
+/// Xavier/Glorot-normal initialised `rows × cols` matrix.
+pub fn xavier_normal(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    Initializer::XavierNormal.init(rows, cols, rng)
+}
+
+/// A tiny standard-normal sampler so we do not need the `rand_distr` crate.
+mod rand_distr_shim {
+    use rand::Rng as _;
+
+    /// Samples `N(0, 1)` via the Box–Muller transform.
+    pub fn sample_standard_normal(rng: &mut crate::Rng) -> f32 {
+        // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+        let u1: f32 = 1.0 - rng.gen::<f32>();
+        let u2: f32 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn zeros_and_constant_fill_as_expected() {
+        let mut rng = seeded_rng(0);
+        assert!(Initializer::Zeros.init(2, 2, &mut rng).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Initializer::Constant(0.5)
+            .init(2, 2, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.5));
+    }
+
+    #[test]
+    fn xavier_uniform_respects_limit() {
+        let mut rng = seeded_rng(7);
+        let m = xavier_uniform(64, 64, &mut rng);
+        let limit = (6.0_f32 / 128.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn xavier_normal_has_reasonable_spread() {
+        let mut rng = seeded_rng(42);
+        let m = xavier_normal(128, 128, &mut rng);
+        let std = (2.0_f32 / 256.0).sqrt();
+        let sample_std = crate::std_dev(m.as_slice());
+        assert!(
+            (sample_std - std).abs() < std * 0.2,
+            "sample std {sample_std} far from target {std}"
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_same_weights() {
+        let a = xavier_uniform(4, 4, &mut seeded_rng(1));
+        let b = xavier_uniform(4, 4, &mut seeded_rng(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_weights() {
+        let a = xavier_uniform(4, 4, &mut seeded_rng(1));
+        let b = xavier_uniform(4, 4, &mut seeded_rng(2));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,46 @@
+//! Dense linear algebra for the LAHD neural substrate.
+//!
+//! This crate provides [`Matrix`], a row-major dense `f32` matrix, together
+//! with the small set of kernels the rest of the workspace needs: GEMM in the
+//! three orientations used by reverse-mode autodiff (`A·B`, `Aᵀ·B`, `A·Bᵀ`),
+//! element-wise maps, row-broadcast operations, stable softmax, reductions,
+//! and seeded random initialisation.
+//!
+//! The models trained in this workspace are small (a GRU torso of at most a
+//! few hundred hidden units plus linear heads), so clarity and testability are
+//! favoured over SIMD heroics; the GEMM kernels use the cache-friendly `ikj`
+//! loop order, which is enough to keep full paper-scale training runs in the
+//! minutes range.
+//!
+//! # Example
+//!
+//! ```
+//! use lahd_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+mod init;
+mod matrix;
+mod ops;
+mod stats;
+
+pub use init::{xavier_normal, xavier_uniform, Initializer};
+pub use matrix::Matrix;
+pub use ops::{log_softmax_row, softmax_row};
+pub use stats::{argmax, mean, percentile, std_dev, variance};
+
+/// Convenience alias used throughout the workspace for seeded randomness.
+pub type Rng = rand::rngs::SmallRng;
+
+/// Creates the workspace-standard RNG from a `u64` seed.
+///
+/// Every stochastic component in LAHD threads an explicit seed so that
+/// experiments are reproducible; this is the single place that picks the
+/// generator.
+pub fn seeded_rng(seed: u64) -> Rng {
+    use rand::SeedableRng;
+    Rng::seed_from_u64(seed)
+}

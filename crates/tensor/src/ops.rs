@@ -1,0 +1,86 @@
+//! Numerically stable soft(arg)max kernels.
+
+/// Writes the softmax of `logits` into `out`.
+///
+/// Uses the max-subtraction trick for numerical stability, so arbitrarily
+/// large logits do not overflow.
+///
+/// # Panics
+/// Panics if `logits` is empty or the lengths differ.
+pub fn softmax_row_into(logits: &[f32], out: &mut [f32]) {
+    assert!(!logits.is_empty(), "softmax of an empty slice is undefined");
+    assert_eq!(logits.len(), out.len(), "softmax output length mismatch");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut denom = 0.0;
+    for (o, &x) in out.iter_mut().zip(logits) {
+        let e = (x - max).exp();
+        *o = e;
+        denom += e;
+    }
+    for o in out.iter_mut() {
+        *o /= denom;
+    }
+}
+
+/// Returns the softmax of `logits` as a fresh vector.
+pub fn softmax_row(logits: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; logits.len()];
+    softmax_row_into(logits, &mut out);
+    out
+}
+
+/// Returns the log-softmax of `logits` as a fresh vector.
+///
+/// Computed as `x - max - ln(Σ exp(x - max))`, which is stable for both large
+/// positive and large negative logits.
+pub fn log_softmax_row(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "log-softmax of an empty slice is undefined");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_denom = logits.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    logits.iter().map(|&x| x - max - log_denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax_row(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax_row(&[1.0, 2.0, 3.0]);
+        let b = softmax_row(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_huge_logits_without_overflow() {
+        let p = softmax_row(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let logits = [0.3, -1.2, 2.5, 0.0];
+        let ls = log_softmax_row(&logits);
+        let p = softmax_row(&logits);
+        for (l, q) in ls.iter().zip(&p) {
+            assert!((l - q.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_distribution() {
+        let p = softmax_row(&[0.0; 7]);
+        for x in p {
+            assert!((x - 1.0 / 7.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Small descriptive-statistics helpers shared by evaluation and
+//! interpretation code.
+
+/// Index of the maximum element (first on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of an empty slice is undefined");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance (0 for slices with fewer than two elements).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation percentile, `p` in `[0, 100]`.
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 100]`.
+pub fn percentile(xs: &[f32], p: f32) -> f32 {
+    assert!(!xs.is_empty(), "percentile of an empty slice is undefined");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f32;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_matches_known_value() {
+        // Population std of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_min_and_max() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 25.0) - 2.5).abs() < 1e-6);
+    }
+}

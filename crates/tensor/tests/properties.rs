@@ -1,0 +1,100 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use lahd_tensor::{log_softmax_row, percentile, softmax_row, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with small finite entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 4),
+        b in matrix(4, 2),
+        c in matrix(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in matrix(2, 3),
+        b in matrix(3, 2),
+        c in matrix(2, 4),
+    ) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    #[test]
+    fn matmul_tn_agrees_with_naive_transpose(a in matrix(4, 3), b in matrix(4, 5)) {
+        let fast = a.matmul_tn(&b);
+        let naive = a.transpose().matmul(&b);
+        prop_assert!(fast.max_abs_diff(&naive) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_agrees_with_naive_transpose(a in matrix(3, 4), b in matrix(5, 4)) {
+        let fast = a.matmul_nt(&b);
+        let naive = a.matmul(&b.transpose());
+        prop_assert!(fast.max_abs_diff(&naive) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in matrix(5, 7)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+        let p = softmax_row(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn log_softmax_exp_is_softmax(logits in proptest::collection::vec(-20.0f32..20.0, 1..16)) {
+        let ls = log_softmax_row(&logits);
+        let p = softmax_row(&logits);
+        for (l, q) in ls.iter().zip(&p) {
+            prop_assert!((l.exp() - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_ordering(logits in proptest::collection::vec(-5.0f32..5.0, 2..10)) {
+        let p = softmax_row(&logits);
+        for i in 0..logits.len() {
+            for j in 0..logits.len() {
+                if logits[i] > logits[j] {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_is_within_range(xs in proptest::collection::vec(-100.0f32..100.0, 1..64), p in 0.0f32..=100.0) {
+        let v = percentile(&xs, p);
+        let lo = xs.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
+    }
+
+    #[test]
+    fn hadamard_is_commutative(a in matrix(3, 3), b in matrix(3, 3)) {
+        prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
+    }
+
+    #[test]
+    fn scale_then_sum_is_linear(a in matrix(2, 6), k in -4.0f32..4.0) {
+        let scaled_sum = a.scaled(k).sum();
+        prop_assert!((scaled_sum - k * a.sum()).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic workload traces for the LAHD storage simulator.
+//!
+//! Replaces the Oracle Vdbench tool used by the paper (§4.1):
+//!
+//! * [`standard_profiles`] — the 12 standard business-model classes
+//!   (database, heavy computing, web, backup, …), each a declarative
+//!   [`BusinessProfile`] with dominant IO types, periods, trends and
+//!   burstiness, the characteristics the paper collects via customer
+//!   investigation;
+//! * [`synthesize_trace`] / [`standard_trace_set`] — deterministic trace
+//!   synthesis from profiles;
+//! * [`spliced_real_trace`] / [`real_trace_set`] — "real" traces built by
+//!   sampling snippets from the standard traces, exactly as the paper does;
+//! * [`summarize`] — descriptive statistics used by experiment logs.
+//!
+//! # Example
+//!
+//! ```
+//! use lahd_workload::{real_trace_set, standard_trace_set, summarize};
+//!
+//! let standard = standard_trace_set(64, 0);
+//! assert_eq!(standard.len(), 12);
+//! let real = real_trace_set(3, 96, 0);
+//! let summary = summarize(&real[0]);
+//! assert_eq!(summary.intervals, 96);
+//! ```
+
+mod persist;
+mod profile;
+mod real;
+mod standard;
+mod stats;
+mod synth;
+
+pub use persist::{read_trace, write_trace, TracePersistError};
+pub use profile::BusinessProfile;
+pub use real::{real_trace_set, spliced_real_trace, NUM_REAL_TRACES};
+pub use standard::{standard_profiles, NUM_STANDARD_PROFILES};
+pub use stats::{summarize, TraceSummary};
+pub use synth::{standard_trace_set, synthesize_trace};

@@ -1,0 +1,231 @@
+//! Text persistence for workload traces.
+//!
+//! Lets users export the synthetic traces for inspection, or bring their
+//! own measured traces to the simulator and the trained policies. Format
+//! (line oriented, one interval per line):
+//!
+//! ```text
+//! lahd-trace v1
+//! name <trace name>
+//! classes 14
+//! class <idx> <size_kib> <R|W>
+//! intervals <T>
+//! <requests> <mix_0> … <mix_13>
+//! end
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use lahd_sim::{canonical_io_classes, IntervalWorkload, WorkloadTrace, NUM_IO_CLASSES};
+
+const MAGIC: &str = "lahd-trace v1";
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum TracePersistError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Format(String),
+}
+
+impl std::fmt::Display for TracePersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TracePersistError::Io(e) => write!(f, "io error: {e}"),
+            TracePersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TracePersistError {}
+
+impl From<io::Error> for TracePersistError {
+    fn from(e: io::Error) -> Self {
+        TracePersistError::Io(e)
+    }
+}
+
+/// Writes `trace` in the documented format.
+pub fn write_trace(trace: &WorkloadTrace, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "name {}", trace.name)?;
+    writeln!(out, "classes {}", NUM_IO_CLASSES)?;
+    for (i, class) in trace.classes.iter().enumerate() {
+        let kind = match class.kind {
+            lahd_sim::IoKind::Read => "R",
+            lahd_sim::IoKind::Write => "W",
+        };
+        writeln!(out, "class {i} {} {kind}", class.size_kib)?;
+    }
+    writeln!(out, "intervals {}", trace.len())?;
+    for w in &trace.intervals {
+        write!(out, "{:e}", w.requests)?;
+        for r in &w.mix {
+            write!(out, " {r:e}")?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(out, "end")?;
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`].
+///
+/// The class table is validated against the canonical table: the simulator's
+/// observation encoding assumes it, so foreign traces must be expressed in
+/// the same 14 classes.
+pub fn read_trace(input: &mut impl BufRead) -> Result<WorkloadTrace, TracePersistError> {
+    let mut lines = input.lines();
+    let mut next = move || -> Result<String, TracePersistError> {
+        lines
+            .next()
+            .ok_or_else(|| TracePersistError::Format("unexpected end of file".into()))?
+            .map_err(TracePersistError::Io)
+    };
+
+    if next()?.trim() != MAGIC {
+        return Err(TracePersistError::Format("bad magic line".into()));
+    }
+    let name_line = next()?;
+    let name = name_line
+        .strip_prefix("name ")
+        .ok_or_else(|| TracePersistError::Format("missing name line".into()))?
+        .to_string();
+
+    let classes_line = next()?;
+    let class_count: usize = field(&classes_line, "classes")?;
+    if class_count != NUM_IO_CLASSES {
+        return Err(TracePersistError::Format(format!(
+            "expected {NUM_IO_CLASSES} classes, file declares {class_count}"
+        )));
+    }
+    let canonical = canonical_io_classes();
+    for (expected_idx, expected) in canonical.iter().enumerate() {
+        let line = next()?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "class" {
+            return Err(TracePersistError::Format(format!("bad class line: {line}")));
+        }
+        let idx: usize = parse(parts[1], "class index")?;
+        let size: f64 = parse(parts[2], "class size")?;
+        let expected_kind = match expected.kind {
+            lahd_sim::IoKind::Read => "R",
+            lahd_sim::IoKind::Write => "W",
+        };
+        if idx != expected_idx || size != expected.size_kib || parts[3] != expected_kind {
+            return Err(TracePersistError::Format(format!(
+                "class {expected_idx} does not match the canonical IO table: {line}"
+            )));
+        }
+    }
+
+    let intervals_line = next()?;
+    let count: usize = field(&intervals_line, "intervals")?;
+    let mut intervals = Vec::with_capacity(count);
+    for t in 0..count {
+        let line = next()?;
+        let mut parts = line.split_whitespace();
+        let requests: f64 = parse(
+            parts
+                .next()
+                .ok_or_else(|| TracePersistError::Format(format!("interval {t}: empty line")))?,
+            "requests",
+        )?;
+        let mut mix = [0.0f64; NUM_IO_CLASSES];
+        for (i, slot) in mix.iter_mut().enumerate() {
+            *slot = parse(
+                parts.next().ok_or_else(|| {
+                    TracePersistError::Format(format!("interval {t}: missing ratio {i}"))
+                })?,
+                "mix ratio",
+            )?;
+        }
+        if requests < 0.0 || mix.iter().any(|&r| r < 0.0) {
+            return Err(TracePersistError::Format(format!("interval {t}: negative value")));
+        }
+        if requests > 0.0 && mix.iter().sum::<f64>() <= 0.0 {
+            return Err(TracePersistError::Format(format!(
+                "interval {t}: positive requests with all-zero mix"
+            )));
+        }
+        intervals.push(IntervalWorkload::new(mix, requests));
+    }
+    if next()?.trim() != "end" {
+        return Err(TracePersistError::Format("missing end terminator".into()));
+    }
+    Ok(WorkloadTrace::new(name, intervals))
+}
+
+fn field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, TracePersistError> {
+    let rest = line
+        .trim()
+        .strip_prefix(key)
+        .ok_or_else(|| TracePersistError::Format(format!("expected '{key} …': {line}")))?;
+    parse(rest.trim(), key)
+}
+
+fn parse<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, TracePersistError> {
+    tok.parse()
+        .map_err(|_| TracePersistError::Format(format!("bad {what}: {tok:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::standard_trace_set;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = standard_trace_set(24, 5).remove(0);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let restored = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(restored.name, trace.name);
+        assert_eq!(restored.len(), trace.len());
+        for (a, b) in trace.intervals.iter().zip(&restored.intervals) {
+            assert!((a.requests - b.requests).abs() < 1e-9);
+            for (x, y) in a.mix.iter().zip(&b.mix) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(read_trace(&mut "nope\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_canonical_class_table() {
+        let trace = standard_trace_set(4, 0).remove(0);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let corrupted = text.replace("class 0 4 R", "class 0 5 R");
+        assert!(read_trace(&mut corrupted.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_intervals() {
+        let trace = standard_trace_set(8, 0).remove(0);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let cut = buf.len() - 40;
+        assert!(read_trace(&mut &buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_requests() {
+        let trace = standard_trace_set(2, 0).remove(0);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Negate the first interval's request count.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let first_interval = 3 + NUM_IO_CLASSES + 1;
+        lines[first_interval] = format!("-{}", lines[first_interval]);
+        let corrupted = lines.join("\n") + "\n";
+        assert!(read_trace(&mut corrupted.as_bytes()).is_err());
+    }
+}

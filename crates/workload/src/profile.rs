@@ -1,0 +1,167 @@
+//! Parameterised business-model workload profiles.
+//!
+//! The paper synthesises 12 standard workload classes with Vdbench, "each of
+//! which is associated with one typical business model of the users, such as
+//! database, heavy computing, etc." (§4.1). Vdbench consumes declarative
+//! profiles (IO sizes, read/write ratios, rates); [`BusinessProfile`] is the
+//! equivalent declarative description used by our generator, extended with
+//! the summarised trace characteristics the paper says were gathered from
+//! customer investigation: periods, trends and dominant IO types.
+
+use lahd_sim::NUM_IO_CLASSES;
+
+/// Declarative description of one business workload class.
+#[derive(Clone, Debug)]
+pub struct BusinessProfile {
+    /// Profile name (e.g. `oltp-database`).
+    pub name: &'static str,
+    /// Mean IO volume per interval, MiB. Request counts are derived from
+    /// this and the mean IO size of the active mix, which keeps different
+    /// profiles comparable in offered load.
+    pub base_volume_mib: f64,
+    /// Primary IO-class weights (unnormalised; see
+    /// [`lahd_sim::canonical_io_classes`] for the class order).
+    pub mix_primary: [f64; NUM_IO_CLASSES],
+    /// Secondary IO-class weights the profile oscillates toward (e.g. a
+    /// database's periodic checkpoint writes). Equal to the primary mix for
+    /// profiles with a static composition.
+    pub mix_secondary: [f64; NUM_IO_CLASSES],
+    /// Period (intervals) of the primary↔secondary oscillation; 0 disables
+    /// mix drift.
+    pub mix_period: usize,
+    /// Phase offset of the mix oscillation, in `[0, 1)` periods.
+    pub mix_phase: f64,
+    /// Period (intervals) of the request-rate oscillation; 0 disables it.
+    pub intensity_period: usize,
+    /// Relative amplitude of the rate oscillation, in `[0, 1)`.
+    pub intensity_amplitude: f64,
+    /// Multiplicative drift of the rate per interval (e.g. `0.002` = +0.2 %
+    /// per interval, a slowly filling backup window).
+    pub trend: f64,
+    /// Log-normal σ of per-interval rate noise; 0 = deterministic rate.
+    pub burstiness: f64,
+    /// AR(1) coefficient of the burst noise in `[0, 1)`: real storage load
+    /// is correlated over minutes, so bursts persist rather than flip
+    /// white-noise-style every interval. 0 = i.i.d. noise.
+    pub noise_persistence: f64,
+}
+
+impl BusinessProfile {
+    /// Validates the profile's parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_volume_mib <= 0.0 {
+            return Err(format!("{}: base_volume_mib must be positive", self.name));
+        }
+        for (what, mix) in [("primary", &self.mix_primary), ("secondary", &self.mix_secondary)] {
+            if mix.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+                return Err(format!("{}: {what} mix has negative/non-finite weight", self.name));
+            }
+            if mix.iter().sum::<f64>() <= 0.0 {
+                return Err(format!("{}: {what} mix is all-zero", self.name));
+            }
+        }
+        if !(0.0..1.0).contains(&self.intensity_amplitude) {
+            return Err(format!("{}: intensity_amplitude must be in [0, 1)", self.name));
+        }
+        if self.burstiness < 0.0 {
+            return Err(format!("{}: burstiness must be non-negative", self.name));
+        }
+        if !(0.0..1.0).contains(&self.noise_persistence) {
+            return Err(format!("{}: noise_persistence must be in [0, 1)", self.name));
+        }
+        if !(0.0..1.0).contains(&self.mix_phase) {
+            return Err(format!("{}: mix_phase must be in [0, 1)", self.name));
+        }
+        Ok(())
+    }
+
+    /// The interpolated, normalised mix at oscillation position `s ∈ [0, 1]`
+    /// (0 = fully primary, 1 = fully secondary).
+    pub fn mix_at(&self, s: f64) -> [f64; NUM_IO_CLASSES] {
+        let s = s.clamp(0.0, 1.0);
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        let mut sum = 0.0;
+        for ((m, &primary), &secondary) in
+            mix.iter_mut().zip(&self.mix_primary).zip(&self.mix_secondary)
+        {
+            *m = (1.0 - s) * primary + s * secondary;
+            sum += *m;
+        }
+        for w in &mut mix {
+            *w /= sum;
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BusinessProfile {
+        let mut primary = [0.0; NUM_IO_CLASSES];
+        primary[0] = 1.0;
+        let mut secondary = [0.0; NUM_IO_CLASSES];
+        secondary[7] = 1.0;
+        BusinessProfile {
+            name: "test",
+            base_volume_mib: 50.0,
+            mix_primary: primary,
+            mix_secondary: secondary,
+            mix_period: 10,
+            mix_phase: 0.0,
+            intensity_period: 20,
+            intensity_amplitude: 0.5,
+            trend: 0.0,
+            burstiness: 0.1,
+            noise_persistence: 0.5,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_volume_rejected() {
+        let p = BusinessProfile { base_volume_mib: 0.0, ..base() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn all_zero_mix_rejected() {
+        let p = BusinessProfile { mix_primary: [0.0; NUM_IO_CLASSES], ..base() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn amplitude_of_one_rejected() {
+        let p = BusinessProfile { intensity_amplitude: 1.0, ..base() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn mix_interpolation_endpoints() {
+        let p = base();
+        let at0 = p.mix_at(0.0);
+        let at1 = p.mix_at(1.0);
+        assert_eq!(at0[0], 1.0);
+        assert_eq!(at1[7], 1.0);
+        let mid = p.mix_at(0.5);
+        assert!((mid[0] - 0.5).abs() < 1e-12);
+        assert!((mid[7] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_is_always_normalised() {
+        let p = base();
+        for s in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let sum: f64 = p.mix_at(s).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+}

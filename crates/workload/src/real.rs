@@ -1,0 +1,119 @@
+//! "Real" workload construction by snippet splicing.
+//!
+//! The paper has access to very few genuine customer traces and therefore
+//! "simulate[s] real workload traces by sampling snippets from the
+//! aforementioned standard workloads" (§4.1), producing 50 traces. This
+//! module implements exactly that: a real trace is a concatenation of
+//! randomly chosen snippets cut from the 12 standard traces.
+
+use lahd_sim::WorkloadTrace;
+use rand::Rng;
+use rand::{rngs::SmallRng, SeedableRng};
+
+use crate::synth::standard_trace_set;
+
+/// Snippet-length bounds (intervals) used when splicing.
+const SNIPPET_MIN: usize = 12;
+const SNIPPET_MAX: usize = 40;
+
+/// Number of "real" traces the paper generates.
+pub const NUM_REAL_TRACES: usize = 50;
+
+/// Builds one spliced "real" trace of `len` intervals.
+///
+/// Snippets of 8–32 intervals are cut at random offsets from random standard
+/// traces and concatenated until `len` intervals are collected.
+pub fn spliced_real_trace(standard: &[WorkloadTrace], len: usize, seed: u64) -> WorkloadTrace {
+    assert!(!standard.is_empty(), "need at least one standard trace to splice from");
+    assert!(
+        standard.iter().all(|t| t.len() >= SNIPPET_MIN),
+        "standard traces must be at least {SNIPPET_MIN} intervals long"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut intervals = Vec::with_capacity(len);
+    while intervals.len() < len {
+        let src = &standard[rng.gen_range(0..standard.len())];
+        let max_snippet = SNIPPET_MAX.min(src.len());
+        let snip_len = rng.gen_range(SNIPPET_MIN..=max_snippet);
+        let start = rng.gen_range(0..=src.len() - snip_len);
+        for w in &src.intervals[start..start + snip_len] {
+            if intervals.len() == len {
+                break;
+            }
+            intervals.push(w.clone());
+        }
+    }
+    WorkloadTrace::new(format!("real/{seed:03}"), intervals)
+}
+
+/// Builds the paper's set of `count` real traces of `len` intervals each.
+///
+/// Trace `i` is seeded with `base_seed + i`; the standard source traces are
+/// synthesised once from `base_seed`.
+pub fn real_trace_set(count: usize, len: usize, base_seed: u64) -> Vec<WorkloadTrace> {
+    let standard = standard_trace_set(len.max(SNIPPET_MAX * 2), base_seed);
+    (0..count)
+        .map(|i| spliced_real_trace(&standard, len, base_seed.wrapping_add(1000 + i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spliced_trace_has_exact_length() {
+        let standard = standard_trace_set(64, 0);
+        let t = spliced_real_trace(&standard, 100, 1);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn splicing_is_deterministic() {
+        let standard = standard_trace_set(64, 0);
+        let a = spliced_real_trace(&standard, 80, 9);
+        let b = spliced_real_trace(&standard, 80, 9);
+        assert_eq!(a.intervals, b.intervals);
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let standard = standard_trace_set(64, 0);
+        let a = spliced_real_trace(&standard, 80, 1);
+        let b = spliced_real_trace(&standard, 80, 2);
+        assert_ne!(a.intervals, b.intervals);
+    }
+
+    #[test]
+    fn every_interval_comes_from_some_standard_trace() {
+        let standard = standard_trace_set(64, 0);
+        let t = spliced_real_trace(&standard, 60, 3);
+        for w in &t.intervals {
+            let found = standard
+                .iter()
+                .any(|s| s.intervals.iter().any(|sw| sw == w));
+            assert!(found, "interval not present in any standard trace");
+        }
+    }
+
+    #[test]
+    fn real_set_has_requested_count() {
+        let set = real_trace_set(5, 48, 0);
+        assert_eq!(set.len(), 5);
+        assert!(set.iter().all(|t| t.len() == 48));
+    }
+
+    #[test]
+    fn real_traces_mix_multiple_profiles() {
+        // With 96 intervals and snippets ≤ 32, at least two source profiles
+        // must contribute; verify the trace isn't a single-profile copy.
+        let standard = standard_trace_set(128, 0);
+        let t = spliced_real_trace(&standard, 96, 4);
+        let single_source = standard.iter().any(|s| {
+            t.intervals
+                .iter()
+                .all(|w| s.intervals.iter().any(|sw| sw == w))
+        });
+        assert!(!single_source, "spliced trace should blend profiles");
+    }
+}

@@ -1,0 +1,296 @@
+//! The 12 standard business-model profiles (paper §4.1).
+//!
+//! Class order (see [`lahd_sim::canonical_io_classes`]): indices 0–6 are
+//! reads of 4, 8, 16, 32, 64, 128, 256 KiB; indices 7–13 are writes of the
+//! same sizes.
+
+use lahd_sim::NUM_IO_CLASSES;
+
+use crate::profile::BusinessProfile;
+
+/// Number of standard workload classes (fixed by the paper).
+pub const NUM_STANDARD_PROFILES: usize = 12;
+
+/// Builds a weight vector from `(index, weight)` pairs.
+fn mix(entries: &[(usize, f64)]) -> [f64; NUM_IO_CLASSES] {
+    let mut m = [0.0; NUM_IO_CLASSES];
+    for &(i, w) in entries {
+        m[i] = w;
+    }
+    m
+}
+
+/// The 12 standard profiles, one per user business model.
+///
+/// Each profile differs along the axes the paper's customer investigation
+/// summarises: dominant IO types, period, trend and burstiness. Several
+/// profiles oscillate between a read-dominated and a write-dominated mix —
+/// the structure behind the paper's S2/S3 "anticipate the write-back phase"
+/// analysis.
+pub fn standard_profiles() -> Vec<BusinessProfile> {
+    vec![
+        // 1. OLTP database: small random reads, periodic checkpoint bursts
+        //    of medium writes.
+        BusinessProfile {
+            name: "oltp-database",
+            base_volume_mib: 95.0,
+            mix_primary: mix(&[(0, 0.35), (1, 0.40), (2, 0.10), (8, 0.10), (9, 0.05)]),
+            mix_secondary: mix(&[(1, 0.15), (9, 0.30), (10, 0.35), (11, 0.20)]),
+            mix_period: 24,
+            mix_phase: 0.0,
+            intensity_period: 48,
+            intensity_amplitude: 0.30,
+            trend: 0.0,
+            burstiness: 0.20,
+            noise_persistence: 0.7,
+        },
+        // 2. OLAP analytics: large sequential scans, nightly load window of
+        //    bulk writes.
+        BusinessProfile {
+            name: "olap-analytics",
+            base_volume_mib: 95.0,
+            mix_primary: mix(&[(5, 0.40), (6, 0.45), (4, 0.10), (12, 0.05)]),
+            mix_secondary: mix(&[(5, 0.15), (12, 0.40), (13, 0.45)]),
+            mix_period: 64,
+            mix_phase: 0.25,
+            intensity_period: 32,
+            intensity_amplitude: 0.50,
+            trend: 0.0,
+            burstiness: 0.15,
+            noise_persistence: 0.8,
+        },
+        // 3. Web server: small cached reads with a strong diurnal cycle.
+        BusinessProfile {
+            name: "web-server",
+            base_volume_mib: 125.0,
+            mix_primary: mix(&[(0, 0.40), (1, 0.30), (2, 0.20), (7, 0.06), (8, 0.04)]),
+            mix_secondary: mix(&[(0, 0.40), (1, 0.30), (2, 0.20), (7, 0.06), (8, 0.04)]),
+            mix_period: 0,
+            mix_phase: 0.0,
+            intensity_period: 48,
+            intensity_amplitude: 0.60,
+            trend: 0.0,
+            burstiness: 0.25,
+            noise_persistence: 0.85,
+        },
+        // 4. File server: broad size mixture in both directions.
+        BusinessProfile {
+            name: "file-server",
+            base_volume_mib: 90.0,
+            mix_primary: mix(&[
+                (1, 0.15),
+                (2, 0.15),
+                (3, 0.15),
+                (4, 0.15),
+                (9, 0.15),
+                (10, 0.15),
+                (11, 0.10),
+            ]),
+            mix_secondary: mix(&[(2, 0.10), (3, 0.10), (10, 0.30), (11, 0.30), (12, 0.20)]),
+            mix_period: 36,
+            mix_phase: 0.5,
+            intensity_period: 24,
+            intensity_amplitude: 0.35,
+            trend: 0.0,
+            burstiness: 0.25,
+            noise_persistence: 0.7,
+        },
+        // 5. Mail server: 8–16 KiB messages, moderately bursty, mixed R/W.
+        BusinessProfile {
+            name: "mail-server",
+            base_volume_mib: 95.0,
+            mix_primary: mix(&[(1, 0.30), (2, 0.25), (8, 0.25), (9, 0.20)]),
+            mix_secondary: mix(&[(1, 0.20), (2, 0.15), (8, 0.35), (9, 0.30)]),
+            mix_period: 16,
+            mix_phase: 0.0,
+            intensity_period: 48,
+            intensity_amplitude: 0.40,
+            trend: 0.0,
+            burstiness: 0.35,
+            noise_persistence: 0.6,
+        },
+        // 6. Backup/archival: almost pure large sequential writes whose rate
+        //    ramps up through the backup window.
+        BusinessProfile {
+            name: "backup-archive",
+            base_volume_mib: 72.0,
+            mix_primary: mix(&[(12, 0.30), (13, 0.60), (6, 0.10)]),
+            mix_secondary: mix(&[(12, 0.30), (13, 0.60), (6, 0.10)]),
+            mix_period: 0,
+            mix_phase: 0.0,
+            intensity_period: 0,
+            intensity_amplitude: 0.0,
+            trend: 0.0015,
+            burstiness: 0.10,
+            noise_persistence: 0.8,
+        },
+        // 7. Video streaming: sustained large reads, very low variance.
+        BusinessProfile {
+            name: "video-streaming",
+            base_volume_mib: 160.0,
+            mix_primary: mix(&[(5, 0.35), (6, 0.60), (13, 0.05)]),
+            mix_secondary: mix(&[(5, 0.35), (6, 0.60), (13, 0.05)]),
+            mix_period: 0,
+            mix_phase: 0.0,
+            intensity_period: 96,
+            intensity_amplitude: 0.15,
+            trend: 0.0,
+            burstiness: 0.05,
+            noise_persistence: 0.9,
+        },
+        // 8. VDI: boot storms — violent periodic bursts of small reads, with
+        //    write-back storms as sessions persist state.
+        BusinessProfile {
+            name: "vdi",
+            base_volume_mib: 85.0,
+            mix_primary: mix(&[(0, 0.45), (1, 0.30), (2, 0.10), (7, 0.10), (8, 0.05)]),
+            mix_secondary: mix(&[(0, 0.15), (7, 0.40), (8, 0.30), (9, 0.15)]),
+            mix_period: 32,
+            mix_phase: 0.125,
+            intensity_period: 32,
+            intensity_amplitude: 0.80,
+            trend: 0.0,
+            burstiness: 0.30,
+            noise_persistence: 0.5,
+        },
+        // 9. Heavy computing scratch space: alternating read-stage /
+        //    write-stage phases of large IO — the classic produce/consume
+        //    pattern.
+        BusinessProfile {
+            name: "heavy-compute",
+            base_volume_mib: 90.0,
+            mix_primary: mix(&[(4, 0.40), (5, 0.50), (11, 0.10)]),
+            mix_secondary: mix(&[(4, 0.10), (11, 0.40), (12, 0.50)]),
+            mix_period: 16,
+            mix_phase: 0.0,
+            intensity_period: 0,
+            intensity_amplitude: 0.0,
+            trend: 0.0,
+            burstiness: 0.15,
+            noise_persistence: 0.75,
+        },
+        // 10. Key-value store: tiny IO at very high request rates.
+        BusinessProfile {
+            name: "kv-store",
+            base_volume_mib: 85.0,
+            mix_primary: mix(&[(0, 0.55), (7, 0.35), (1, 0.10)]),
+            mix_secondary: mix(&[(0, 0.35), (7, 0.55), (8, 0.10)]),
+            mix_period: 20,
+            mix_phase: 0.75,
+            intensity_period: 40,
+            intensity_amplitude: 0.25,
+            trend: 0.0,
+            burstiness: 0.30,
+            noise_persistence: 0.6,
+        },
+        // 11. Log ingest: steady medium writes, slowly growing volume.
+        BusinessProfile {
+            name: "log-ingest",
+            base_volume_mib: 70.0,
+            mix_primary: mix(&[(9, 0.25), (10, 0.45), (11, 0.25), (2, 0.05)]),
+            mix_secondary: mix(&[(9, 0.25), (10, 0.45), (11, 0.25), (2, 0.05)]),
+            mix_period: 0,
+            mix_phase: 0.0,
+            intensity_period: 64,
+            intensity_amplitude: 0.20,
+            trend: 0.0015,
+            burstiness: 0.15,
+            noise_persistence: 0.85,
+        },
+        // 12. Mixed/random consolidation: everything at once, high noise.
+        BusinessProfile {
+            name: "mixed-random",
+            base_volume_mib: 90.0,
+            mix_primary: mix(&[
+                (0, 0.10),
+                (2, 0.15),
+                (4, 0.15),
+                (6, 0.10),
+                (8, 0.15),
+                (10, 0.15),
+                (12, 0.10),
+                (13, 0.10),
+            ]),
+            mix_secondary: mix(&[
+                (1, 0.15),
+                (3, 0.15),
+                (5, 0.10),
+                (7, 0.20),
+                (9, 0.15),
+                (11, 0.15),
+                (13, 0.10),
+            ]),
+            mix_period: 28,
+            mix_phase: 0.3,
+            intensity_period: 20,
+            intensity_amplitude: 0.45,
+            trend: 0.0,
+            burstiness: 0.50,
+            noise_persistence: 0.55,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_sim::{canonical_io_classes, IoKind};
+
+    #[test]
+    fn there_are_twelve_profiles() {
+        assert_eq!(standard_profiles().len(), NUM_STANDARD_PROFILES);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in standard_profiles() {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn profile_names_are_unique() {
+        let profiles = standard_profiles();
+        let mut names: Vec<_> = profiles.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_STANDARD_PROFILES);
+    }
+
+    #[test]
+    fn backup_is_write_dominated_and_streaming_read_dominated() {
+        let profiles = standard_profiles();
+        let classes = canonical_io_classes();
+        let write_share = |mix: &[f64; NUM_IO_CLASSES]| -> f64 {
+            let total: f64 = mix.iter().sum();
+            mix.iter()
+                .zip(&classes)
+                .filter(|(_, c)| c.kind == IoKind::Write)
+                .map(|(w, _)| w)
+                .sum::<f64>()
+                / total
+        };
+        let backup = profiles.iter().find(|p| p.name == "backup-archive").unwrap();
+        let stream = profiles.iter().find(|p| p.name == "video-streaming").unwrap();
+        assert!(write_share(&backup.mix_primary) > 0.8);
+        assert!(write_share(&stream.mix_primary) < 0.1);
+    }
+
+    #[test]
+    fn phase_oscillating_profiles_shift_toward_writes() {
+        // The profiles powering the S2 analysis must genuinely swing from
+        // read-heavy to write-heavy.
+        let profiles = standard_profiles();
+        let classes = canonical_io_classes();
+        let hc = profiles.iter().find(|p| p.name == "heavy-compute").unwrap();
+        let write_share = |mix: [f64; NUM_IO_CLASSES]| -> f64 {
+            mix.iter()
+                .zip(&classes)
+                .filter(|(_, c)| c.kind == IoKind::Write)
+                .map(|(w, _)| w)
+                .sum()
+        };
+        assert!(write_share(hc.mix_at(0.0)) < 0.2);
+        assert!(write_share(hc.mix_at(1.0)) > 0.8);
+    }
+}

@@ -1,0 +1,129 @@
+//! Descriptive statistics over workload traces.
+
+use lahd_sim::{IoKind, WorkloadTrace};
+
+/// Summary of a trace, used by experiment logs and trace inspection tools.
+#[derive(Clone, Debug)]
+pub struct TraceSummary {
+    /// Trace name.
+    pub name: String,
+    /// Number of intervals `T`.
+    pub intervals: usize,
+    /// Mean requests per interval.
+    pub mean_requests: f64,
+    /// Peak requests in any interval.
+    pub peak_requests: f64,
+    /// Mean IO volume per interval, MiB.
+    pub mean_volume_mib: f64,
+    /// Fraction of total volume that is writes.
+    pub write_volume_share: f64,
+    /// Index of the IO class carrying the most volume.
+    pub dominant_class: usize,
+    /// Coefficient of variation of the per-interval request rate.
+    pub rate_cv: f64,
+}
+
+/// Computes a [`TraceSummary`].
+pub fn summarize(trace: &WorkloadTrace) -> TraceSummary {
+    let n = trace.len().max(1) as f64;
+    let mean_requests = trace.mean_requests();
+    let peak_requests = trace
+        .intervals
+        .iter()
+        .map(|w| w.requests)
+        .fold(0.0, f64::max);
+
+    let mut class_volume = [0.0f64; lahd_sim::NUM_IO_CLASSES];
+    let mut write_volume = 0.0;
+    let mut total_volume = 0.0;
+    for w in &trace.intervals {
+        for (i, (ratio, class)) in w.mix.iter().zip(&trace.classes).enumerate() {
+            let vol = w.requests * ratio * class.size_kib;
+            class_volume[i] += vol;
+            total_volume += vol;
+            if class.kind == IoKind::Write {
+                write_volume += vol;
+            }
+        }
+    }
+    let dominant_class = class_volume
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("volumes are finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let variance = trace
+        .intervals
+        .iter()
+        .map(|w| (w.requests - mean_requests).powi(2))
+        .sum::<f64>()
+        / n;
+    let rate_cv = if mean_requests > 0.0 { variance.sqrt() / mean_requests } else { 0.0 };
+
+    TraceSummary {
+        name: trace.name.clone(),
+        intervals: trace.len(),
+        mean_requests,
+        peak_requests,
+        mean_volume_mib: total_volume / 1024.0 / n,
+        write_volume_share: if total_volume > 0.0 { write_volume / total_volume } else { 0.0 },
+        dominant_class,
+        rate_cv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::standard_profiles;
+    use crate::synth::synthesize_trace;
+
+    #[test]
+    fn backup_summary_is_write_heavy() {
+        let p = standard_profiles()
+            .into_iter()
+            .find(|p| p.name == "backup-archive")
+            .unwrap();
+        let s = summarize(&synthesize_trace(&p, 100, 0));
+        assert!(s.write_volume_share > 0.8, "write share {}", s.write_volume_share);
+        assert_eq!(s.dominant_class, 13, "256 KiB writes should dominate");
+    }
+
+    #[test]
+    fn streaming_summary_is_read_heavy_and_smooth() {
+        let p = standard_profiles()
+            .into_iter()
+            .find(|p| p.name == "video-streaming")
+            .unwrap();
+        let s = summarize(&synthesize_trace(&p, 100, 0));
+        assert!(s.write_volume_share < 0.1);
+        assert!(s.rate_cv < 0.25, "streaming should be smooth, cv = {}", s.rate_cv);
+    }
+
+    #[test]
+    fn vdi_is_burstier_than_streaming() {
+        let profiles = standard_profiles();
+        let vdi = profiles.iter().find(|p| p.name == "vdi").unwrap();
+        let stream = profiles.iter().find(|p| p.name == "video-streaming").unwrap();
+        let s_vdi = summarize(&synthesize_trace(vdi, 128, 0));
+        let s_str = summarize(&synthesize_trace(stream, 128, 0));
+        assert!(s_vdi.rate_cv > s_str.rate_cv);
+    }
+
+    #[test]
+    fn empty_trace_summary_is_well_defined() {
+        let s = summarize(&WorkloadTrace::new("empty", vec![]));
+        assert_eq!(s.intervals, 0);
+        assert_eq!(s.mean_requests, 0.0);
+        assert_eq!(s.write_volume_share, 0.0);
+    }
+
+    #[test]
+    fn peak_is_at_least_mean() {
+        for p in standard_profiles() {
+            let s = summarize(&synthesize_trace(&p, 64, 1));
+            assert!(s.peak_requests >= s.mean_requests);
+        }
+    }
+}

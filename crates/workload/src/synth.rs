@@ -1,0 +1,172 @@
+//! Trace synthesis from business profiles (the Vdbench role).
+
+use std::f64::consts::TAU;
+
+use lahd_sim::{canonical_io_classes, IntervalWorkload, WorkloadTrace};
+use rand::Rng;
+use rand::{rngs::SmallRng, SeedableRng};
+
+use crate::profile::BusinessProfile;
+
+/// Synthesises a `len`-interval trace from `profile`, deterministically in
+/// `seed`.
+///
+/// Per interval `t` the generator computes
+///
+/// * the mix oscillation position `s(t) = ½(1 − cos(2π(t/P_mix + φ)))`,
+///   blending primary → secondary composition;
+/// * a rate factor combining the sinusoidal intensity cycle, the linear
+///   trend, and mean-one log-normal burst noise;
+/// * `Q(t)` from the target volume and the mean IO size of the active mix.
+///
+/// # Panics
+/// Panics if the profile fails validation.
+pub fn synthesize_trace(profile: &BusinessProfile, len: usize, seed: u64) -> WorkloadTrace {
+    if let Err(e) = profile.validate() {
+        panic!("invalid profile: {e}");
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let classes = canonical_io_classes();
+    let mut intervals = Vec::with_capacity(len);
+    // AR(1) state of the burst noise (standard-normal marginal).
+    let rho = profile.noise_persistence;
+    let innovation_scale = (1.0 - rho * rho).sqrt();
+    let mut z = 0.0f64;
+
+    for t in 0..len {
+        // Mix oscillation.
+        let s = if profile.mix_period > 0 {
+            let x = t as f64 / profile.mix_period as f64 + profile.mix_phase;
+            0.5 * (1.0 - (TAU * x).cos())
+        } else {
+            0.0
+        };
+        let mix = profile.mix_at(s);
+
+        // Rate factor: cycle × trend × burst noise.
+        let cycle = if profile.intensity_period > 0 {
+            1.0 + profile.intensity_amplitude
+                * (TAU * t as f64 / profile.intensity_period as f64).sin()
+        } else {
+            1.0
+        };
+        let trend = (1.0 + profile.trend * t as f64).max(0.05);
+        let noise = if profile.burstiness > 0.0 {
+            // Mean-one log-normal over an AR(1) latent, so bursts persist
+            // for ~1/(1−ρ) intervals instead of flipping every interval.
+            z = rho * z + innovation_scale * standard_normal(&mut rng);
+            (profile.burstiness * z - profile.burstiness * profile.burstiness / 2.0).exp()
+        } else {
+            1.0
+        };
+
+        let volume_kib = profile.base_volume_mib * 1024.0 * cycle * trend * noise;
+        let mean_size: f64 = mix
+            .iter()
+            .zip(&classes)
+            .map(|(w, c)| w * c.size_kib)
+            .sum();
+        let requests = if mean_size > 0.0 { volume_kib / mean_size } else { 0.0 };
+
+        intervals.push(IntervalWorkload::new(mix, requests));
+    }
+
+    WorkloadTrace::new(format!("std/{}", profile.name), intervals)
+}
+
+/// Synthesises one trace per standard profile; trace `i` uses `seed + i`.
+pub fn standard_trace_set(len: usize, seed: u64) -> Vec<WorkloadTrace> {
+    crate::standard::standard_profiles()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| synthesize_trace(p, len, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Box–Muller standard-normal sample.
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::standard_profiles;
+
+    #[test]
+    fn synthesis_is_deterministic_in_seed() {
+        let p = &standard_profiles()[0];
+        let a = synthesize_trace(p, 50, 7);
+        let b = synthesize_trace(p, 50, 7);
+        assert_eq!(a.intervals, b.intervals);
+    }
+
+    #[test]
+    fn different_seeds_change_bursty_traces() {
+        let p = &standard_profiles()[0]; // oltp has burstiness > 0
+        let a = synthesize_trace(p, 50, 1);
+        let b = synthesize_trace(p, 50, 2);
+        assert_ne!(a.intervals, b.intervals);
+    }
+
+    #[test]
+    fn trace_has_requested_length_and_positive_rates() {
+        for p in standard_profiles() {
+            let t = synthesize_trace(&p, 64, 3);
+            assert_eq!(t.len(), 64);
+            assert!(t.intervals.iter().all(|w| w.requests > 0.0), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn mixes_are_normalised() {
+        for p in standard_profiles() {
+            let t = synthesize_trace(&p, 32, 4);
+            for w in &t.intervals {
+                let sum: f64 = w.mix.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_volume_tracks_profile_target() {
+        // Low-noise profile: realised volume should be close to target.
+        let p = standard_profiles()
+            .into_iter()
+            .find(|p| p.name == "video-streaming")
+            .unwrap();
+        let t = synthesize_trace(&p, 200, 5);
+        let (read, write) = t.total_volume_kib();
+        let mean_mib = (read + write) / 1024.0 / 200.0;
+        assert!(
+            (mean_mib - p.base_volume_mib).abs() < p.base_volume_mib * 0.15,
+            "mean volume {mean_mib} MiB far from target {}",
+            p.base_volume_mib
+        );
+    }
+
+    #[test]
+    fn standard_set_has_one_trace_per_profile() {
+        let set = standard_trace_set(16, 0);
+        assert_eq!(set.len(), 12);
+        let mut names: Vec<_> = set.iter().map(|t| t.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn trend_profiles_grow_over_time() {
+        let p = standard_profiles()
+            .into_iter()
+            .find(|p| p.name == "backup-archive")
+            .unwrap();
+        let t = synthesize_trace(&p, 240, 6);
+        let early: f64 = t.intervals[..60].iter().map(|w| w.requests).sum();
+        let late: f64 = t.intervals[180..].iter().map(|w| w.requests).sum();
+        assert!(late > early, "backup volume should ramp up: early {early}, late {late}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Domain-independence demo: extract a finite state machine from a
+//! recurrent policy trained on a task that has nothing to do with storage.
+//!
+//! The recall task (`lahd::rl::toy::MemoryEnv`) shows a cue (±1), then blank
+//! observations, then demands the action matching the cue. Its optimal
+//! policy *is* a two-mode machine — "remember +", "remember −" — so the
+//! extraction pipeline (QBN quantization → transition table → minimisation)
+//! should recover a machine whose states visibly encode the cue. This is
+//! the Koul et al. experiment in miniature and demonstrates that nothing in
+//! `lahd-qbn`/`lahd-fsm` depends on the storage simulator.
+//!
+//! ```text
+//! cargo run --release --example fsm_from_memory_task
+//! ```
+
+use lahd::fsm::{extract_fsm, merge_compatible, minimize};
+use lahd::qbn::{Qbn, QbnConfig, QbnTrainConfig, TransitionDataset, TransitionRow};
+use lahd::rl::toy::MemoryEnv;
+use lahd::rl::{A2cConfig, A2cTrainer, Env, RecurrentActorCritic};
+
+const DELAY: usize = 3;
+
+fn main() {
+    // 1. Train a small recurrent agent until it solves the task.
+    println!("[1/4] training a GRU agent on the recall task (delay = {DELAY})…");
+    let agent = RecurrentActorCritic::new(1, 16, 2, 3);
+    let mut trainer = A2cTrainer::new(
+        agent,
+        A2cConfig {
+            learning_rate: 0.01,
+            epsilon: 0.15,
+            gamma: 0.95,
+            normalize_advantages: false,
+            ..A2cConfig::default()
+        },
+        2,
+    );
+    let mut env = MemoryEnv::new(DELAY);
+    for _ in 0..800 {
+        trainer.train_episode(&mut env);
+    }
+    let agent = trainer.into_agent();
+    let (reward_a, _) = lahd::rl::evaluate_greedy(&agent, &mut env);
+    let (reward_b, _) = lahd::rl::evaluate_greedy(&agent, &mut env);
+    println!("      greedy rewards on the two cue values: {reward_a} and {reward_b}");
+
+    // 2. Collect the ⟨h, h', o, a⟩ dataset from greedy rollouts.
+    println!("[2/4] collecting the transition dataset…");
+    let mut dataset = TransitionDataset::new();
+    for episode in 0..40 {
+        let mut obs = env.reset();
+        let mut hidden = agent.initial_state();
+        let mut step = 0;
+        loop {
+            let infer = agent.infer(&obs, &hidden);
+            let action = lahd::tensor::argmax(&infer.logits);
+            let tr = env.step(action);
+            dataset.push(TransitionRow {
+                obs: obs.clone(),
+                hidden: hidden.row(0).to_vec(),
+                next_hidden: infer.hidden.row(0).to_vec(),
+                action,
+                episode,
+                step,
+            });
+            hidden = infer.hidden;
+            step += 1;
+            if tr.done {
+                break;
+            }
+            obs = tr.obs;
+        }
+    }
+    println!("      {} transitions over {} episodes", dataset.len(), dataset.num_episodes());
+
+    // 3. Fit the two QBNs and extract the machine.
+    println!("[3/4] fitting QBNs and extracting…");
+    let mut obs_qbn = Qbn::new(QbnConfig::with_dims(1, 2), 7);
+    let mut hid_qbn = Qbn::new(QbnConfig::with_dims(16, 4), 8);
+    let tc = QbnTrainConfig { epochs: 60, batch_size: 16, ..Default::default() };
+    obs_qbn.train(&dataset.observations(), &tc);
+    hid_qbn.train(&dataset.hidden_states(), &tc);
+    let raw = extract_fsm(&dataset, &obs_qbn, &hid_qbn, &[0.0; 16]);
+    let fsm = merge_compatible(&minimize(&raw));
+    println!(
+        "      {} raw states → {} states, {} symbols, {} transitions",
+        raw.num_states(),
+        fsm.num_states(),
+        fsm.num_symbols(),
+        fsm.num_transitions()
+    );
+
+    // 4. Show the machine: cue symbols must drive it into different states.
+    println!("[4/4] the extracted machine:");
+    for (i, state) in fsm.states.iter().enumerate() {
+        println!(
+            "      S{i}: action={} support={} code={}",
+            state.action, state.support, state.code
+        );
+    }
+    let plus_code = obs_qbn.encode(&[1.0]);
+    let minus_code = obs_qbn.encode(&[-1.0]);
+    let blank_code = obs_qbn.encode(&[0.0]);
+    println!("      cue +1 quantizes to {plus_code}, cue −1 to {minus_code}, blank to {blank_code}");
+    let s_plus = fsm
+        .symbol_by_code(&plus_code)
+        .and_then(|sym| fsm.next_state(fsm.initial_state, sym));
+    let s_minus = fsm
+        .symbol_by_code(&minus_code)
+        .and_then(|sym| fsm.next_state(fsm.initial_state, sym));
+    println!("      from the start state, cue +1 → {s_plus:?}, cue −1 → {s_minus:?}");
+    match (s_plus, s_minus) {
+        (Some(a), Some(b)) if a != b => println!(
+            "      ✓ the two cues drive the machine into distinct memory states — \
+             the extracted FSM implements the recall strategy"
+        ),
+        _ => println!(
+            "      the cue distinction was not captured at this seed/scale; \
+             re-run with more training epochs"
+        ),
+    }
+}

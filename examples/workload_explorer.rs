@@ -1,0 +1,79 @@
+//! Workload explorer: inspect the 12 standard business profiles and the
+//! spliced "real" traces the paper evaluates on.
+//!
+//! Prints a per-profile summary (volume, write share, dominant IO class,
+//! burstiness) plus the level-by-level utilisation each trace induces on the
+//! default core allocation — the congestion structure the whole paper is
+//! about.
+//!
+//! ```text
+//! cargo run --release --example workload_explorer
+//! ```
+
+use lahd::sim::{canonical_io_classes, Action, SimConfig, StorageSim};
+use lahd::workload::{real_trace_set, standard_trace_set, summarize};
+
+fn main() {
+    let len = 96;
+    let seed = 2021;
+    let cfg = SimConfig { record_history: true, ..SimConfig::default() };
+    let classes = canonical_io_classes();
+
+    println!("== the 14 IO classes (the S vector of Definition 1) ==");
+    for (i, class) in classes.iter().enumerate() {
+        print!("{i:>2}:{class}  ");
+        if i == 6 {
+            println!();
+        }
+    }
+    println!("\n");
+
+    println!("== 12 standard business-model traces ({len} intervals each) ==");
+    println!(
+        "{:<22} {:>8} {:>8} {:>7} {:>9}  {:>14}  {:>5}",
+        "profile", "mean Q", "peak Q", "vol MiB", "write %", "dominant class", "cv"
+    );
+    for trace in standard_trace_set(len, seed) {
+        let s = summarize(&trace);
+        println!(
+            "{:<22} {:>8.0} {:>8.0} {:>7.0} {:>8.0}%  {:>14}  {:>5.2}",
+            s.name,
+            s.mean_requests,
+            s.peak_requests,
+            s.mean_volume_mib,
+            s.write_volume_share * 100.0,
+            classes[s.dominant_class].to_string(),
+            s.rate_cv,
+        );
+    }
+
+    println!("\n== default-allocation congestion per standard trace ==");
+    println!(
+        "{:<22} {:>5} {:>5}  {:>5} {:>5} {:>5}   (K/T > 1 means postponed IO)",
+        "profile", "K", "T", "uN", "uK", "uR"
+    );
+    for trace in standard_trace_set(len, seed) {
+        let name = trace.name.clone();
+        let horizon = trace.len();
+        let mut sim = StorageSim::new(cfg.clone(), trace, 0);
+        let m = sim.run_with(|_| Action::Noop);
+        let u = m.mean_utilization();
+        println!(
+            "{:<22} {:>5} {:>5}  {:>5.2} {:>5.2} {:>5.2}",
+            name, m.makespan, horizon, u[0], u[1], u[2]
+        );
+    }
+
+    println!("\n== five spliced 'real' traces (snippet concatenation, §4.1) ==");
+    for trace in real_trace_set(5, len, seed) {
+        let s = summarize(&trace);
+        println!(
+            "{:<12} mean Q {:>7.0}  volume {:>5.0} MiB/interval  writes {:>4.0}%  cv {:.2}",
+            s.name,
+            s.mean_requests,
+            s.mean_volume_mib,
+            s.write_volume_share * 100.0,
+            s.rate_cv
+        );
+    }
+}

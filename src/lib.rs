@@ -1,0 +1,33 @@
+//! # LAHD — Learning-Aided Heuristics Design for Storage Systems
+//!
+//! A from-scratch Rust reproduction of *Learning-Aided Heuristics Design
+//! for Storage System* (Tang, Lu, Li, Chen, Yuan, Zeng — SIGMOD 2021):
+//! train a recurrent deep-RL agent to migrate CPU cores between the
+//! NORMAL/KV/RV levels of a Dorado-V6-style storage array, then extract a
+//! human-readable finite state machine from it with quantized bottleneck
+//! networks, so the deployed policy is a white-box artifact.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `lahd-tensor` | dense matrices, softmax, statistics |
+//! | [`nn`] | `lahd-nn` | tape autograd, GRU/Linear, Adam |
+//! | [`sim`] | `lahd-sim` | the Dorado V6 storage simulator |
+//! | [`workload`] | `lahd-workload` | Vdbench-style trace synthesis |
+//! | [`rl`] | `lahd-rl` | recurrent A2C + curriculum learning |
+//! | [`qbn`] | `lahd-qbn` | quantized bottleneck networks |
+//! | [`fsm`] | `lahd-fsm` | FSM extraction, baselines, interpretation |
+//! | [`core`] | `lahd-core` | the end-to-end pipeline and evaluation |
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! harnesses that regenerate every figure of the paper.
+
+pub use lahd_core as core;
+pub use lahd_fsm as fsm;
+pub use lahd_nn as nn;
+pub use lahd_qbn as qbn;
+pub use lahd_rl as rl;
+pub use lahd_sim as sim;
+pub use lahd_tensor as tensor;
+pub use lahd_workload as workload;

@@ -1,0 +1,77 @@
+//! Cross-crate behavioural invariants of the training-free baselines.
+
+use lahd::core::Comparison;
+use lahd::fsm::{DefaultPolicy, HandcraftedFsm, Policy};
+use lahd::sim::{Action, SimConfig, StorageSim};
+use lahd::workload::{real_trace_set, standard_trace_set};
+
+#[test]
+fn handcrafted_beats_default_on_average_over_real_traces() {
+    let cfg = SimConfig::default();
+    let traces = real_trace_set(8, 96, 2021);
+    let mut default_policy = DefaultPolicy;
+    let mut handcrafted = HandcraftedFsm::tuned();
+    let mut policies: Vec<&mut dyn Policy> = vec![&mut default_policy, &mut handcrafted];
+    let c = Comparison::run(&mut policies, &cfg, &traces, 0);
+    let reduction = c.reduction_vs(1, 0);
+    assert!(
+        reduction > 0.10,
+        "handcrafted should clearly beat default; got {:.1}% (means {:.1} vs {:.1})",
+        reduction * 100.0,
+        c.mean_makespan(1),
+        c.mean_makespan(0)
+    );
+}
+
+#[test]
+fn handcrafted_converges_toward_bottleneck_allocation() {
+    // On the write-dominated log-ingest trace the KV level is the
+    // bottleneck: the rule must end up giving KV more cores than the
+    // default allocation does.
+    let trace = standard_trace_set(96, 2021)
+        .into_iter()
+        .find(|t| t.name == "std/log-ingest")
+        .expect("profile exists");
+    let cfg = SimConfig { record_history: true, idle_lambda: 0.0, ..SimConfig::default() };
+    let initial_kv = cfg.initial_allocation[1];
+    let mut policy = HandcraftedFsm::tuned();
+    policy.reset();
+    let mut sim = StorageSim::new(cfg, trace, 0);
+    let metrics = sim.run_with(|obs| policy.act(obs));
+    let peak_kv = metrics.history.iter().map(|s| s.cores[1]).max().expect("history");
+    assert!(
+        peak_kv > initial_kv + 2,
+        "expected KV to grow well past {initial_kv} cores, peaked at {peak_kv}"
+    );
+}
+
+#[test]
+fn default_policy_never_migrates_anywhere() {
+    let cfg = SimConfig { record_history: true, ..SimConfig::default() };
+    for trace in real_trace_set(2, 48, 7) {
+        let mut policy = DefaultPolicy;
+        let mut sim = StorageSim::new(cfg.clone(), trace, 3);
+        let metrics = sim.run_with(|obs| policy.act(obs));
+        assert_eq!(metrics.migrations, 0);
+        assert!(metrics.history.iter().all(|s| s.action == Action::Noop));
+    }
+}
+
+#[test]
+fn noise_seeds_change_makespan_but_not_ordering_much() {
+    // Robustness: the handcrafted advantage is not an artifact of one noise
+    // realisation.
+    let cfg = SimConfig::default();
+    let traces = real_trace_set(6, 96, 2021);
+    let mut wins = 0;
+    for seed in [1u64, 1000, 2000] {
+        let mut d = DefaultPolicy;
+        let mut h = HandcraftedFsm::tuned();
+        let mut policies: Vec<&mut dyn Policy> = vec![&mut d, &mut h];
+        let c = Comparison::run(&mut policies, &cfg, &traces, seed);
+        if c.mean_makespan(1) < c.mean_makespan(0) {
+            wins += 1;
+        }
+    }
+    assert_eq!(wins, 3, "handcrafted should win under every noise seed");
+}
