@@ -68,11 +68,38 @@ fn bench_inference(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("inference_latency");
 
-    // GRU at the paper's width.
+    // GRU at the paper's width — allocating path (kept for the trajectory).
     let agent = RecurrentActorCritic::new(Observation::DIM, 128, Action::COUNT, 0);
     let h0 = agent.initial_state();
     group.bench_function("gru128_forward", |b| {
         b.iter(|| std::hint::black_box(agent.infer(&obs_vec, &h0)))
+    });
+
+    // Zero-allocation path: caller-owned scratch, the deployment hot loop.
+    let mut scratch = lahd_rl::InferScratch::default();
+    group.bench_function("gru128_forward_scratch", |b| {
+        b.iter(|| {
+            agent.infer_into(&obs_vec, &h0, &mut scratch);
+            std::hint::black_box(scratch.values[(0, 0)])
+        })
+    });
+
+    // Batched inference: 8 environments through one B×D matmul set. The
+    // reported time is per *batch*; divide by 8 for per-decision cost.
+    let obs8 = {
+        let mut m = lahd_tensor::Matrix::zeros(8, Observation::DIM);
+        for r in 0..8 {
+            m.row_mut(r).copy_from_slice(&obs_vec);
+        }
+        m
+    };
+    let h8 = lahd_tensor::Matrix::zeros(8, 128);
+    let mut scratch8 = lahd_rl::InferScratch::default();
+    group.bench_function("gru128_infer_batch8", |b| {
+        b.iter(|| {
+            agent.infer_batch_into(&obs8, &h8, &mut scratch8);
+            std::hint::black_box(scratch8.values[(0, 0)])
+        })
     });
 
     // Demo-scale GRU for reference.

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmark: dense GEMM kernels at the shapes the
+//! training/inference hot path actually runs.
+//!
+//! The GRU torso multiplies `1 × 35` observations and `1 × 128` hidden
+//! states into `128`-wide weight matrices at every decision, batched
+//! rollouts widen that to `B × D`, and BPTT adds the `ᵀ·` / `·ᵀ`
+//! orientations. The kernels are branch-free and unrolled (see
+//! `lahd_tensor::Matrix::matmul_acc`); this harness pins their cost so
+//! regressions show up in the `BENCH_*.json` trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lahd_tensor::Matrix;
+
+fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    // Fully dense, irregular values: the kernels must not rely on zeros.
+    Matrix::from_fn(rows, cols, |i, j| {
+        let x = (i * 31 + j * 17 + seed as usize * 13 + 7) % 97;
+        x as f32 / 48.5 - 1.0
+    })
+}
+
+/// The seed's original inner loop — per-element `a == 0.0` skip branch, no
+/// unrolling — kept here as the baseline the current kernel is measured
+/// against (see PERF.md).
+fn legacy_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    let n = b.cols();
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b.as_slice()[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+
+    // Seed-baseline kernel for the speedup ratio in the trajectory.
+    {
+        let h = dense(1, 128, 2);
+        let u = dense(128, 128, 3);
+        group.bench_function("mm_legacy_branchy_1x128_128x128", |b| {
+            b.iter(|| std::hint::black_box(legacy_matmul(&h, &u)))
+        });
+    }
+
+    // Single-decision inference shapes (GRU-128 at paper scale).
+    let x = dense(1, 35, 0);
+    let w_in = dense(35, 128, 1);
+    group.bench_function("mm_1x35_35x128", |b| {
+        b.iter(|| std::hint::black_box(x.matmul(&w_in)))
+    });
+
+    let h = dense(1, 128, 2);
+    let u = dense(128, 128, 3);
+    group.bench_function("mm_1x128_128x128", |b| {
+        b.iter(|| std::hint::black_box(h.matmul(&u)))
+    });
+
+    // Allocation-free variant into caller-owned scratch.
+    let mut out = Matrix::zeros(1, 128);
+    group.bench_function("mm_into_1x128_128x128", |b| {
+        b.iter(|| {
+            h.matmul_into(&u, &mut out);
+            std::hint::black_box(out.as_slice()[0])
+        })
+    });
+
+    // Batched rollout shape: 8 environments in one pass.
+    let hb = dense(8, 128, 4);
+    let mut out_b = Matrix::zeros(8, 128);
+    group.bench_function("mm_into_8x128_128x128", |b| {
+        b.iter(|| {
+            hb.matmul_into(&u, &mut out_b);
+            std::hint::black_box(out_b.as_slice()[0])
+        })
+    });
+
+    // Square GEMM: QBN training batches and weight-gradient sized work.
+    let a = dense(128, 128, 5);
+    group.bench_function("mm_128x128_128x128", |b| {
+        b.iter(|| std::hint::black_box(a.matmul(&u)))
+    });
+
+    // Backward orientations at BPTT shapes.
+    let gy = dense(1, 128, 6);
+    group.bench_function("mm_tn_1x128_1x128", |b| {
+        b.iter(|| std::hint::black_box(h.matmul_tn(&gy)))
+    });
+    group.bench_function("mm_nt_1x128_128x128", |b| {
+        b.iter(|| std::hint::black_box(gy.matmul_nt(&u)))
+    });
+
+    // Cache-blocked transpose.
+    group.bench_function("transpose_128x128", |b| {
+        b.iter(|| std::hint::black_box(u.transpose()))
+    });
+    let mut t_out = Matrix::zeros(128, 128);
+    group.bench_function("transpose_into_128x128", |b| {
+        b.iter(|| {
+            u.transpose_into(&mut t_out);
+            std::hint::black_box(t_out.as_slice()[0])
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

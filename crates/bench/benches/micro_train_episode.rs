@@ -1,0 +1,106 @@
+//! Criterion micro-benchmark: end-to-end A2C episode training throughput.
+//!
+//! One `train_episode` call is a full rollout (GRU inference per step)
+//! plus one BPTT update through the episode's tape — the unit of work the
+//! whole training pipeline repeats tens of thousands of times. The
+//! environment here is a fixed-horizon synthetic MDP at paper-scale
+//! dimensions (35-wide observations, 7 actions, GRU-128), so the harness
+//! times the *learner*, not the storage simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lahd_rl::{A2cConfig, A2cTrainer, Env, RecurrentActorCritic, Transition};
+use lahd_sim::Observation;
+
+const HORIZON: usize = 32;
+
+/// Deterministic fixed-horizon environment at paper-scale dimensions.
+struct SyntheticEnv {
+    t: usize,
+}
+
+impl SyntheticEnv {
+    fn obs(&self) -> Vec<f32> {
+        (0..Observation::DIM)
+            .map(|j| ((self.t * 7 + j * 3) % 11) as f32 / 11.0)
+            .collect()
+    }
+}
+
+impl Env for SyntheticEnv {
+    fn obs_dim(&self) -> usize {
+        Observation::DIM
+    }
+
+    fn num_actions(&self) -> usize {
+        7
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.t = 0;
+        self.obs()
+    }
+
+    fn step(&mut self, action: usize) -> Transition {
+        self.t += 1;
+        Transition {
+            obs: self.obs(),
+            reward: if action == self.t % 7 { 1.0 } else { 0.0 },
+            done: self.t >= HORIZON,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+}
+
+fn trainer(hidden: usize, reuse_graph: bool) -> A2cTrainer {
+    let agent = RecurrentActorCritic::new(Observation::DIM, hidden, 7, 0);
+    A2cTrainer::new(agent, A2cConfig { reuse_graph, ..A2cConfig::default() }, 1)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_episode");
+    group.sample_size(20);
+
+    // Paper scale: GRU-128, 32-step horizon, rollout + BPTT update.
+    let mut t128 = trainer(128, true);
+    let mut env = SyntheticEnv { t: 0 };
+    group.bench_function("gru128_rollout_and_update", |b| {
+        b.iter(|| std::hint::black_box(t128.train_episode(&mut env).loss))
+    });
+
+    // Same, but rebuilding the tape from scratch every update — the cost
+    // Graph::reset()'s arena reuse removes.
+    let mut t128_fresh = trainer(128, false);
+    group.bench_function("gru128_rollout_and_update_fresh_tape", |b| {
+        b.iter(|| std::hint::black_box(t128_fresh.train_episode(&mut env).loss))
+    });
+
+    // Demo scale for the trajectory.
+    let mut t48 = trainer(48, true);
+    group.bench_function("gru48_rollout_and_update", |b| {
+        b.iter(|| std::hint::black_box(t48.train_episode(&mut env).loss))
+    });
+
+    // Batched update across 4 environments (single synchronous step).
+    let mut tb = trainer(128, true);
+    let mut envs = [
+        SyntheticEnv { t: 0 },
+        SyntheticEnv { t: 0 },
+        SyntheticEnv { t: 0 },
+        SyntheticEnv { t: 0 },
+    ];
+    group.bench_function("gru128_train_batch4", |b| {
+        b.iter(|| {
+            let mut refs: Vec<&mut dyn Env> =
+                envs.iter_mut().map(|e| e as &mut dyn Env).collect();
+            std::hint::black_box(tb.train_batch(&mut refs).loss)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -145,8 +145,10 @@ mod tests {
     /// training (random projections preserve the cluster separation used
     /// below).
     fn qbns() -> (Qbn, Qbn) {
-        let obs = Qbn::new(QbnConfig::with_dims(2, 6), 42);
-        let hid = Qbn::new(QbnConfig::with_dims(3, 6), 43);
+        // Seeds picked so the untrained random projections keep X/Y and
+        // A/B/initial on distinct codes under the workspace RNG.
+        let obs = Qbn::new(QbnConfig::with_dims(2, 6), 0);
+        let hid = Qbn::new(QbnConfig::with_dims(3, 6), 1);
         (obs, hid)
     }
 

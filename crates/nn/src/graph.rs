@@ -72,6 +72,16 @@ pub struct Graph {
     /// move between [`Graph::param`] and [`Graph::accumulate_param_grads`].
     bound_params: Vec<(usize, ParamId, Var)>,
     param_cache: HashMap<(usize, ParamId), Var>,
+    /// Recycled matrix buffers, bucketed by length. [`Graph::reset`] drains
+    /// every value and gradient into these free lists, and the `alloc_*`
+    /// helpers draw exact-size buffers back out, so a tape that is reset
+    /// between updates reaches a steady state where no node value or
+    /// gradient matrix is heap-allocated. (Bucketing matters: a single
+    /// mixed-size list hands large needs small buffers, which turns every
+    /// draw into a realloc and scatters the tape across cold memory.) The
+    /// remaining per-step allocations are the small `Vec`s inside
+    /// `softmax_row`/`log_softmax_row` in the scalar loss ops.
+    free: HashMap<usize, Vec<Vec<f32>>>,
 }
 
 impl Graph {
@@ -90,6 +100,68 @@ impl Graph {
         self.ops.is_empty()
     }
 
+    /// Clears the tape for the next update while keeping every allocation:
+    /// the node/value/grad arenas retain their capacity and all matrix
+    /// buffers move to the internal free list for reuse.
+    ///
+    /// A reused tape is numerically indistinguishable from a fresh one —
+    /// the recycled buffers are fully overwritten before use.
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        for m in self.values.drain(..) {
+            let buf = m.into_vec();
+            self.free.entry(buf.len()).or_default().push(buf);
+        }
+        for g in self.grads.drain(..) {
+            if let Some(m) = g {
+                let buf = m.into_vec();
+                self.free.entry(buf.len()).or_default().push(buf);
+            }
+        }
+        self.bound_params.clear();
+        self.param_cache.clear();
+    }
+
+    /// A zeroed `rows × cols` matrix, recycled from the free list when
+    /// possible. Use when the caller accumulates into the result.
+    fn alloc_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        let n = rows * cols;
+        match self.free.get_mut(&n).and_then(Vec::pop) {
+            Some(mut buf) => {
+                buf.fill(0.0);
+                Matrix::from_vec(rows, cols, buf)
+            }
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// A recycled `rows × cols` matrix with **unspecified contents** (stale
+    /// data from a previous node). Only for callers that overwrite every
+    /// element before the value is observable; skips the zero-fill pass
+    /// `alloc_matrix` pays.
+    fn alloc_matrix_full(&mut self, rows: usize, cols: usize) -> Matrix {
+        let n = rows * cols;
+        match self.free.get_mut(&n).and_then(Vec::pop) {
+            Some(buf) => Matrix::from_vec(rows, cols, buf),
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// A recycled `1 × 1` scalar node value.
+    fn alloc_scalar(&mut self, value: f32) -> Matrix {
+        let mut m = self.alloc_matrix_full(1, 1);
+        m.as_mut_slice()[0] = value;
+        m
+    }
+
+    /// A recycled matrix holding a copy of node `v`'s value.
+    fn alloc_copy_of(&mut self, v: Var) -> Matrix {
+        let (rows, cols) = self.values[v.0].shape();
+        let mut m = self.alloc_matrix_full(rows, cols);
+        m.copy_from(&self.values[v.0]);
+        m
+    }
+
     fn push(&mut self, op: Op, value: Matrix) -> Var {
         self.ops.push(op);
         self.values.push(value);
@@ -103,14 +175,19 @@ impl Graph {
     }
 
     /// Binds a parameter as a leaf. Repeated calls with the same store and
-    /// id return the same node, so gradients from every use accumulate
-    /// together.
+    /// id return the same node, so a weight used at every timestep of an
+    /// episode is copied onto the tape **once** and its gradients from
+    /// every use accumulate together. On a [`Graph::reset`]-reused tape
+    /// even that one copy lands in a recycled buffer.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
         let key = (store_addr(store), id);
         if let Some(&v) = self.param_cache.get(&key) {
             return v;
         }
-        let v = self.push(Op::Leaf, store.value(id).clone());
+        let src = store.value(id);
+        let mut value = self.alloc_matrix_full(src.rows(), src.cols());
+        value.copy_from(src);
+        let v = self.push(Op::Leaf, value);
         self.param_cache.insert(key, v);
         self.bound_params.push((key.0, id, v));
         v
@@ -144,31 +221,38 @@ impl Graph {
 
     /// `A · B`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.values[a.0].matmul(&self.values[b.0]);
+        let rows = self.values[a.0].rows();
+        let cols = self.values[b.0].cols();
+        let mut value = self.alloc_matrix(rows, cols);
+        self.values[a.0].matmul_acc(&self.values[b.0], &mut value);
         self.push(Op::MatMul(a, b), value)
     }
 
     /// `A + B` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.values[a.0].add(&self.values[b.0]);
+        let mut value = self.alloc_copy_of(a);
+        value.add_assign(&self.values[b.0]);
         self.push(Op::Add(a, b), value)
     }
 
     /// `A - B` (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.values[a.0].sub(&self.values[b.0]);
+        let mut value = self.alloc_copy_of(a);
+        value.sub_assign(&self.values[b.0]);
         self.push(Op::Sub(a, b), value)
     }
 
     /// Element-wise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.values[a.0].hadamard(&self.values[b.0]);
+        let mut value = self.alloc_copy_of(a);
+        value.mul_assign(&self.values[b.0]);
         self.push(Op::Mul(a, b), value)
     }
 
     /// `k·X + c`, element-wise.
     pub fn affine(&mut self, x: Var, k: f32, c: f32) -> Var {
-        let value = self.values[x.0].map(|v| k * v + c);
+        let mut value = self.alloc_copy_of(x);
+        value.map_inplace(|v| k * v + c);
         self.push(Op::Affine(x, k), value)
     }
 
@@ -184,38 +268,43 @@ impl Graph {
 
     /// Adds a `1 × cols` bias row-broadcast to `x`.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        let mut value = self.values[x.0].clone();
+        let mut value = self.alloc_copy_of(x);
         value.add_row_broadcast(&self.values[bias.0]);
         self.push(Op::AddBias(x, bias), value)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let value = self.values[x.0].map(|v| 1.0 / (1.0 + (-v).exp()));
+        let mut value = self.alloc_copy_of(x);
+        value.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
         self.push(Op::Sigmoid(x), value)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let value = self.values[x.0].map(f32::tanh);
+        let mut value = self.alloc_copy_of(x);
+        value.map_inplace(f32::tanh);
         self.push(Op::Tanh(x), value)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = self.values[x.0].map(|v| v.max(0.0));
+        let mut value = self.alloc_copy_of(x);
+        value.map_inplace(|v| v.max(0.0));
         self.push(Op::Relu(x), value)
     }
 
     /// Ternary tanh `1.5·tanh(x) + 0.5·tanh(-3x)` (saturates near {-1,0,1}).
     pub fn ternary_tanh(&mut self, x: Var) -> Var {
-        let value = self.values[x.0].map(ternary_tanh);
+        let mut value = self.alloc_copy_of(x);
+        value.map_inplace(ternary_tanh);
         self.push(Op::TernaryTanh(x), value)
     }
 
     /// Rounds to the nearest of {-1, 0, 1} with a straight-through gradient.
     pub fn quantize_ste(&mut self, x: Var) -> Var {
-        let value = self.values[x.0].map(quantize3);
+        let mut value = self.alloc_copy_of(x);
+        value.map_inplace(quantize3);
         self.push(Op::QuantizeSte(x), value)
     }
 
@@ -224,11 +313,12 @@ impl Graph {
         let (ma, mb) = (&self.values[a.0], &self.values[b.0]);
         assert_eq!(ma.rows(), mb.rows(), "concat_cols row mismatch");
         let rows = ma.rows();
-        let cols = ma.cols() + mb.cols();
-        let mut out = Matrix::zeros(rows, cols);
+        let (ca, cb) = (ma.cols(), mb.cols());
+        let mut out = self.alloc_matrix_full(rows, ca + cb);
+        let (ma, mb) = (&self.values[a.0], &self.values[b.0]);
         for r in 0..rows {
-            out.row_mut(r)[..ma.cols()].copy_from_slice(ma.row(r));
-            out.row_mut(r)[ma.cols()..].copy_from_slice(mb.row(r));
+            out.row_mut(r)[..ca].copy_from_slice(ma.row(r));
+            out.row_mut(r)[ca..].copy_from_slice(mb.row(r));
         }
         self.push(Op::ConcatCols(a, b), out)
     }
@@ -239,7 +329,7 @@ impl Graph {
         assert_eq!(m.rows(), 1, "cross_entropy_logits expects a 1×n logits row");
         assert!(target < m.cols(), "target {target} out of range for {} actions", m.cols());
         let log_probs = lahd_tensor::log_softmax_row(m.row(0));
-        let value = Matrix::row_vector(&[-weight * log_probs[target]]);
+        let value = self.alloc_scalar(-weight * log_probs[target]);
         self.push(Op::CrossEntropyLogits { logits, target, weight }, value)
     }
 
@@ -249,7 +339,7 @@ impl Graph {
         assert_eq!(m.rows(), 1, "entropy_from_logits expects a 1×n logits row");
         let p = softmax_row(m.row(0));
         let h: f32 = -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f32>();
-        let value = Matrix::row_vector(&[h]);
+        let value = self.alloc_scalar(h);
         self.push(Op::EntropyFromLogits { logits }, value)
     }
 
@@ -258,7 +348,7 @@ impl Graph {
         let m = &self.values[input.0];
         assert_eq!(m.shape(), (1, 1), "squared_error expects a scalar input");
         let d = m[(0, 0)] - target;
-        let value = Matrix::row_vector(&[d * d]);
+        let value = self.alloc_scalar(d * d);
         self.push(Op::SquaredError { input, target }, value)
     }
 
@@ -273,13 +363,13 @@ impl Graph {
             .zip(target.as_slice())
             .map(|(&a, &b)| (a - b) * (a - b))
             .sum();
-        let value = Matrix::row_vector(&[sum / n]);
+        let value = self.alloc_scalar(sum / n);
         self.push(Op::MseAgainst { pred, target }, value)
     }
 
     /// Sum of all elements as a scalar.
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let value = Matrix::row_vector(&[self.values[x.0].sum()]);
+        let value = self.alloc_scalar(self.values[x.0].sum());
         self.push(Op::SumAll(x), value)
     }
 
@@ -303,64 +393,76 @@ impl Graph {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
-                    let da = gy.matmul_nt(&self.values[b.0]);
-                    let db = self.values[a.0].matmul_tn(&gy);
+                    let mut da = self.alloc_matrix(gy.rows(), self.values[b.0].rows());
+                    gy.matmul_nt_acc(&self.values[b.0], &mut da);
+                    let mut db = self.alloc_matrix(self.values[a.0].cols(), gy.cols());
+                    self.values[a.0].matmul_tn_acc(&gy, &mut db);
                     self.accumulate(a, da);
                     self.accumulate(b, db);
                 }
                 Op::Add(a, b) => {
                     let (a, b) = (*a, *b);
-                    self.accumulate(a, gy.clone());
-                    self.accumulate(b, gy.clone());
+                    self.accumulate_ref(a, &gy);
+                    self.accumulate_ref(b, &gy);
                 }
                 Op::Sub(a, b) => {
                     let (a, b) = (*a, *b);
-                    self.accumulate(a, gy.clone());
-                    self.accumulate(b, gy.scaled(-1.0));
+                    self.accumulate_ref(a, &gy);
+                    self.accumulate_scaled(b, &gy, -1.0);
                 }
                 Op::Mul(a, b) => {
                     let (a, b) = (*a, *b);
-                    let da = gy.hadamard(&self.values[b.0]);
-                    let db = gy.hadamard(&self.values[a.0]);
+                    let mut da = self.alloc_matrix_full(gy.rows(), gy.cols());
+                    gy.zip_map_into(&self.values[b.0], &mut da, |g, v| g * v);
+                    let mut db = self.alloc_matrix_full(gy.rows(), gy.cols());
+                    gy.zip_map_into(&self.values[a.0], &mut db, |g, v| g * v);
                     self.accumulate(a, da);
                     self.accumulate(b, db);
                 }
                 Op::Affine(x, k) => {
                     let (x, k) = (*x, *k);
-                    self.accumulate(x, gy.scaled(k));
+                    self.accumulate_scaled(x, &gy, k);
                 }
                 Op::AddBias(x, bias) => {
                     let (x, bias) = (*x, *bias);
                     // Bias gradient is the column-sum of the upstream grad.
-                    let mut db = Matrix::zeros(1, gy.cols());
+                    let mut db = self.alloc_matrix(1, gy.cols());
                     for r in 0..gy.rows() {
                         for (d, &g) in db.row_mut(0).iter_mut().zip(gy.row(r)) {
                             *d += g;
                         }
                     }
-                    self.accumulate(x, gy.clone());
+                    self.accumulate_ref(x, &gy);
                     self.accumulate(bias, db);
                 }
                 Op::Sigmoid(x) => {
                     let x = *x;
-                    let y = &self.values[i];
-                    let dx = gy.zip_map(y, |g, s| g * s * (1.0 - s));
+                    let mut dx = self.alloc_matrix_full(gy.rows(), gy.cols());
+                    gy.zip_map_into(&self.values[i], &mut dx, |g, s| g * s * (1.0 - s));
                     self.accumulate(x, dx);
                 }
                 Op::Tanh(x) => {
                     let x = *x;
-                    let y = &self.values[i];
-                    let dx = gy.zip_map(y, |g, t| g * (1.0 - t * t));
+                    let mut dx = self.alloc_matrix_full(gy.rows(), gy.cols());
+                    gy.zip_map_into(&self.values[i], &mut dx, |g, t| g * (1.0 - t * t));
                     self.accumulate(x, dx);
                 }
                 Op::Relu(x) => {
                     let x = *x;
-                    let dx = gy.zip_map(&self.values[x.0], |g, v| if v > 0.0 { g } else { 0.0 });
+                    let mut dx = self.alloc_matrix_full(gy.rows(), gy.cols());
+                    gy.zip_map_into(&self.values[x.0], &mut dx, |g, v| {
+                        if v > 0.0 {
+                            g
+                        } else {
+                            0.0
+                        }
+                    });
                     self.accumulate(x, dx);
                 }
                 Op::TernaryTanh(x) => {
                     let x = *x;
-                    let dx = gy.zip_map(&self.values[x.0], |g, v| {
+                    let mut dx = self.alloc_matrix_full(gy.rows(), gy.cols());
+                    gy.zip_map_into(&self.values[x.0], &mut dx, |g, v| {
                         let t1 = v.tanh();
                         let t3 = (3.0 * v).tanh();
                         g * 1.5 * (t3 * t3 - t1 * t1)
@@ -369,14 +471,14 @@ impl Graph {
                 }
                 Op::QuantizeSte(x) => {
                     let x = *x;
-                    self.accumulate(x, gy.clone()); // straight-through estimator
+                    self.accumulate_ref(x, &gy); // straight-through estimator
                 }
                 Op::ConcatCols(a, b) => {
                     let (a, b) = (*a, *b);
                     let ca = self.values[a.0].cols();
                     let rows = gy.rows();
-                    let mut da = Matrix::zeros(rows, ca);
-                    let mut db = Matrix::zeros(rows, gy.cols() - ca);
+                    let mut da = self.alloc_matrix_full(rows, ca);
+                    let mut db = self.alloc_matrix_full(rows, gy.cols() - ca);
                     for r in 0..rows {
                         da.row_mut(r).copy_from_slice(&gy.row(r)[..ca]);
                         db.row_mut(r).copy_from_slice(&gy.row(r)[ca..]);
@@ -388,7 +490,8 @@ impl Graph {
                     let (logits, target, weight) = (*logits, *target, *weight);
                     let g = gy[(0, 0)];
                     let p = softmax_row(self.values[logits.0].row(0));
-                    let mut dl = Matrix::row_vector(&p);
+                    let mut dl = self.alloc_matrix_full(1, p.len());
+                    dl.row_mut(0).copy_from_slice(&p);
                     dl.row_mut(0)[target] -= 1.0;
                     dl.scale(g * weight);
                     self.accumulate(logits, dl);
@@ -399,17 +502,18 @@ impl Graph {
                     let p = softmax_row(self.values[logits.0].row(0));
                     let h: f32 =
                         -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f32>();
-                    let dl: Vec<f32> = p
-                        .iter()
-                        .map(|&pi| if pi > 0.0 { -g * pi * (pi.ln() + h) } else { 0.0 })
-                        .collect();
-                    self.accumulate(logits, Matrix::row_vector(&dl));
+                    let mut dl = self.alloc_matrix_full(1, p.len());
+                    for (d, &pi) in dl.row_mut(0).iter_mut().zip(&p) {
+                        *d = if pi > 0.0 { -g * pi * (pi.ln() + h) } else { 0.0 };
+                    }
+                    self.accumulate(logits, dl);
                 }
                 Op::SquaredError { input, target } => {
                     let (input, target) = (*input, *target);
                     let g = gy[(0, 0)];
                     let d = self.values[input.0][(0, 0)] - target;
-                    self.accumulate(input, Matrix::row_vector(&[2.0 * g * d]));
+                    let dx = self.alloc_scalar(2.0 * g * d);
+                    self.accumulate(input, dx);
                 }
                 Op::MseAgainst { pred, target } => {
                     let pred = *pred;
@@ -422,17 +526,49 @@ impl Graph {
                     let x = *x;
                     let g = gy[(0, 0)];
                     let shape = self.values[x.0].shape();
-                    self.accumulate(x, Matrix::filled(shape.0, shape.1, g));
+                    let mut dx = self.alloc_matrix_full(shape.0, shape.1);
+                    dx.as_mut_slice().fill(g);
+                    self.accumulate(x, dx);
                 }
             }
             self.grads[i] = Some(gy);
         }
     }
 
+    /// Accumulates an owned delta; its buffer is recycled when the slot is
+    /// already occupied.
     fn accumulate(&mut self, v: Var, delta: Matrix) {
-        match &mut self.grads[v.0] {
-            Some(g) => g.add_assign(&delta),
-            slot @ None => *slot = Some(delta),
+        if let Some(g) = &mut self.grads[v.0] {
+            g.add_assign(&delta);
+            let buf = delta.into_vec();
+            self.free.entry(buf.len()).or_default().push(buf);
+        } else {
+            self.grads[v.0] = Some(delta);
+        }
+    }
+
+    /// Accumulates a borrowed delta without cloning it: fan-out nodes (Add,
+    /// AddBias, straight-through) add the upstream gradient into each input
+    /// slot directly, copying only when a slot is still empty — and that
+    /// copy lands in a recycled buffer.
+    fn accumulate_ref(&mut self, v: Var, delta: &Matrix) {
+        if let Some(g) = &mut self.grads[v.0] {
+            g.add_assign(delta);
+        } else {
+            let mut m = self.alloc_matrix_full(delta.rows(), delta.cols());
+            m.copy_from(delta);
+            self.grads[v.0] = Some(m);
+        }
+    }
+
+    /// Accumulates `k · delta` without materialising the scaled matrix.
+    fn accumulate_scaled(&mut self, v: Var, delta: &Matrix, k: f32) {
+        if let Some(g) = &mut self.grads[v.0] {
+            g.axpy(k, delta);
+        } else {
+            let mut m = self.alloc_matrix(delta.rows(), delta.cols());
+            m.axpy(k, delta);
+            self.grads[v.0] = Some(m);
         }
     }
 
@@ -500,7 +636,9 @@ mod tests {
         g.backward(loss);
         g.accumulate_param_grads(&mut store);
         assert_eq!(store.grad(wa).row(0), &[3.0, 4.0]);
-        assert_eq!(store.grad(wb).col(0), vec![1.0, 2.0]);
+        let mut col = [0.0; 2];
+        store.grad(wb).copy_col_into(0, &mut col);
+        assert_eq!(col, [1.0, 2.0]);
     }
 
     #[test]

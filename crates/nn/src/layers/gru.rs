@@ -122,33 +122,97 @@ impl GruCell {
     }
 
     /// One inference step without the tape: `(x_t, h_{t-1}) → h_t`.
+    ///
+    /// Allocating convenience wrapper over [`GruCell::infer_step_into`];
+    /// accepts a batch (`B × input_dim` with `B × hidden_dim` state).
     pub fn infer_step(&self, store: &ParamStore, x: &Matrix, h: &Matrix) -> Matrix {
-        debug_assert_eq!(x.cols(), self.input_dim, "GRU input width mismatch");
-        debug_assert_eq!(h.cols(), self.hidden_dim, "GRU hidden width mismatch");
-        let gate = |wx: ParamId, uh: ParamId, b: ParamId, hh: &Matrix| {
-            let mut s = x.matmul(store.value(wx));
-            let hu = hh.matmul(store.value(uh));
-            s.add_assign(&hu);
-            s.add_row_broadcast(store.value(b));
-            s
-        };
-        let mut z = gate(self.wz, self.uz, self.bz, h);
+        let mut scratch = GruScratch::default();
+        let mut out = Matrix::zeros(x.rows(), self.hidden_dim);
+        self.infer_step_into(store, x, h, &mut scratch, &mut out);
+        out
+    }
+
+    /// One inference step writing into caller-owned state: zero heap
+    /// allocations once `scratch` and `out` have warmed up.
+    ///
+    /// `x` is `B × input_dim`, `h` is `B × hidden_dim`, and `out` receives
+    /// the next `B × hidden_dim` hidden state; all `B` rows step in one set
+    /// of `B × D` matmuls. `out` must not alias `h`.
+    ///
+    /// # Panics
+    /// Panics if `x`, `h` and `out` disagree on widths or row counts.
+    pub fn infer_step_into(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        h: &Matrix,
+        scratch: &mut GruScratch,
+        out: &mut Matrix,
+    ) {
+        let rows = x.rows();
+        assert_eq!(x.cols(), self.input_dim, "GRU input width mismatch");
+        assert_eq!(h.cols(), self.hidden_dim, "GRU hidden width mismatch");
+        assert_eq!(h.rows(), rows, "GRU state row-count mismatch");
+        assert_eq!(out.shape(), (rows, self.hidden_dim), "GRU output shape mismatch");
+        scratch.ensure(rows, self.hidden_dim);
+        let GruScratch { z, r, n, rh, tmp } = scratch;
+
+        // z = σ(x·Wz + h·Uz + bz)
+        x.matmul_into(store.value(self.wz), z);
+        h.matmul_into(store.value(self.uz), tmp);
+        z.add_assign(tmp);
+        z.add_row_broadcast(store.value(self.bz));
         z.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
-        let mut r = gate(self.wr, self.ur, self.br, h);
+
+        // r = σ(x·Wr + h·Ur + br)
+        x.matmul_into(store.value(self.wr), r);
+        h.matmul_into(store.value(self.ur), tmp);
+        r.add_assign(tmp);
+        r.add_row_broadcast(store.value(self.br));
         r.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
-        let rh = r.hadamard(h);
-        let mut n = x.matmul(store.value(self.wn));
-        n.add_assign(&rh.matmul(store.value(self.un)));
+
+        // n = tanh(x·Wn + (r ∘ h)·Un + bn)
+        rh.copy_from(r);
+        rh.mul_assign(h);
+        x.matmul_into(store.value(self.wn), n);
+        rh.matmul_into(store.value(self.un), tmp);
+        n.add_assign(tmp);
         n.add_row_broadcast(store.value(self.bn));
         n.map_inplace(f32::tanh);
 
         // h' = (1 - z) ∘ n + z ∘ h
-        let mut out = Matrix::zeros(1, self.hidden_dim);
-        for j in 0..self.hidden_dim {
-            let zj = z[(0, j)];
-            out[(0, j)] = (1.0 - zj) * n[(0, j)] + zj * h[(0, j)];
+        for ((o, &zv), (&nv, &hv)) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(z.as_slice())
+            .zip(n.as_slice().iter().zip(h.as_slice()))
+        {
+            *o = (1.0 - zv) * nv + zv * hv;
         }
-        out
+    }
+}
+
+/// Caller-owned workspace for [`GruCell::infer_step_into`]: the five
+/// intermediate `B × hidden` matrices a GRU step needs. Reusing one scratch
+/// across steps makes per-decision inference allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct GruScratch {
+    z: Matrix,
+    r: Matrix,
+    n: Matrix,
+    rh: Matrix,
+    tmp: Matrix,
+}
+
+impl GruScratch {
+    /// Resizes every buffer to `rows × hidden`, keeping allocations when
+    /// the capacity suffices.
+    fn ensure(&mut self, rows: usize, hidden: usize) {
+        for m in [&mut self.z, &mut self.r, &mut self.n, &mut self.rh, &mut self.tmp] {
+            if m.shape() != (rows, hidden) {
+                m.reshape_zeroed(rows, hidden);
+            }
+        }
     }
 }
 

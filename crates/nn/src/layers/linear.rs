@@ -52,9 +52,18 @@ impl Linear {
     /// Inference-only forward pass (no tape, no allocator churn beyond the
     /// output matrix).
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(store.value(self.w));
-        y.add_row_broadcast(store.value(self.b));
+        let mut y = Matrix::zeros(x.rows(), self.out_dim);
+        self.infer_into(store, x, &mut y);
         y
+    }
+
+    /// Inference forward pass into caller-owned scratch (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `x.rows() × out_dim`.
+    pub fn infer_into(&self, store: &ParamStore, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(store.value(self.w), out);
+        out.add_row_broadcast(store.value(self.b));
     }
 }
 

@@ -3,5 +3,5 @@
 mod gru;
 mod linear;
 
-pub use gru::GruCell;
+pub use gru::{GruCell, GruScratch};
 pub use linear::Linear;

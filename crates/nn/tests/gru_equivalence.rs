@@ -1,0 +1,146 @@
+//! Equivalence pins for the allocation-free GRU inference path.
+//!
+//! `GruCell::infer_step_into` (scratch workspace, zero allocations, batch
+//! capable) replaced the seed's allocating `infer_step`. These properties
+//! pin the refactor: the scratch path must match a verbatim copy of the
+//! seed implementation, a warm (reused) scratch must behave exactly like a
+//! cold one, and every row of a batched step must equal the corresponding
+//! single-row step bit for bit.
+
+use lahd_nn::{GruCell, GruScratch, ParamId, ParamStore};
+use lahd_tensor::{seeded_rng, Matrix};
+use proptest::prelude::*;
+
+fn param_by_name(store: &ParamStore, name: &str) -> ParamId {
+    store
+        .iter()
+        .find(|(_, p)| p.name == name)
+        .map(|(id, _)| id)
+        .unwrap_or_else(|| panic!("parameter {name} not found"))
+}
+
+/// Verbatim copy of the seed's `GruCell::infer_step` (single row,
+/// allocating), reading the weights from the store by name.
+fn seed_infer_step(store: &ParamStore, x: &Matrix, h: &Matrix) -> Matrix {
+    let p = |n: &str| store.value(param_by_name(store, n));
+    let gate = |wx: &Matrix, uh: &Matrix, b: &Matrix, hh: &Matrix| {
+        let mut s = x.matmul(wx);
+        let hu = hh.matmul(uh);
+        s.add_assign(&hu);
+        s.add_row_broadcast(b);
+        s
+    };
+    let hidden_dim = h.cols();
+    let mut z = gate(p("g.wz"), p("g.uz"), p("g.bz"), h);
+    z.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
+    let mut r = gate(p("g.wr"), p("g.ur"), p("g.br"), h);
+    r.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
+    let rh = r.hadamard(h);
+    let mut n = x.matmul(p("g.wn"));
+    n.add_assign(&rh.matmul(p("g.un")));
+    n.add_row_broadcast(p("g.bn"));
+    n.map_inplace(f32::tanh);
+
+    let mut out = Matrix::zeros(1, hidden_dim);
+    for j in 0..hidden_dim {
+        let zj = z[(0, j)];
+        out[(0, j)] = (1.0 - zj) * n[(0, j)] + zj * h[(0, j)];
+    }
+    out
+}
+
+fn cell(input_dim: usize, hidden_dim: usize, seed: u64) -> (ParamStore, GruCell) {
+    let mut rng = seeded_rng(seed);
+    let mut store = ParamStore::new();
+    let cell = GruCell::new(&mut store, "g", input_dim, hidden_dim, &mut rng);
+    (store, cell)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scratch path ≡ the seed's allocating implementation.
+    #[test]
+    fn scratch_infer_step_matches_seed_implementation(
+        (input_dim, hidden_dim, seed, xs, hs) in (1usize..12, 1usize..24, 0u64..1000)
+            .prop_flat_map(|(i, h, s)| {
+                (
+                    Just(i),
+                    Just(h),
+                    Just(s),
+                    proptest::collection::vec(-2.0f32..2.0, i),
+                    proptest::collection::vec(-1.0f32..1.0, h),
+                )
+            }),
+    ) {
+        let (store, cell) = cell(input_dim, hidden_dim, seed);
+        let x = Matrix::row_vector(&xs);
+        let h = Matrix::row_vector(&hs);
+
+        let expected = seed_infer_step(&store, &x, &h);
+        let via_wrapper = cell.infer_step(&store, &x, &h);
+        let mut scratch = GruScratch::default();
+        let mut out = Matrix::zeros(1, hidden_dim);
+        cell.infer_step_into(&store, &x, &h, &mut scratch, &mut out);
+
+        prop_assert!(expected.max_abs_diff(&via_wrapper) < 1e-6);
+        prop_assert!(expected.max_abs_diff(&out) < 1e-6);
+    }
+
+    /// A warm scratch (arbitrary leftover state from previous steps) gives
+    /// exactly the same result as a cold one.
+    #[test]
+    fn warm_scratch_equals_cold_scratch(
+        steps in proptest::collection::vec(
+            proptest::collection::vec(-2.0f32..2.0, 5),
+            2..10,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let (store, cell) = cell(5, 9, seed);
+        let mut warm = GruScratch::default();
+        let mut h_warm = cell.initial_state();
+        let mut h_cold = cell.initial_state();
+        for xs in &steps {
+            let x = Matrix::row_vector(xs);
+            let mut out_warm = Matrix::zeros(1, 9);
+            cell.infer_step_into(&store, &x, &h_warm, &mut warm, &mut out_warm);
+
+            let mut cold = GruScratch::default();
+            let mut out_cold = Matrix::zeros(1, 9);
+            cell.infer_step_into(&store, &x, &h_cold, &mut cold, &mut out_cold);
+
+            prop_assert_eq!(&out_warm, &out_cold);
+            h_warm = out_warm;
+            h_cold = out_cold;
+        }
+    }
+
+    /// Every row of a batched step equals the corresponding single-row
+    /// step, bit for bit (row-independent kernels).
+    #[test]
+    fn batched_step_equals_per_row_steps(
+        (batch, input_dim, hidden_dim, seed, data) in
+            (1usize..7, 1usize..10, 1usize..20, 0u64..1000).prop_flat_map(|(b, i, h, s)| {
+                (
+                    Just(b),
+                    Just(i),
+                    Just(h),
+                    Just(s),
+                    proptest::collection::vec(-2.0f32..2.0, b * (i + h)),
+                )
+            }),
+    ) {
+        let (store, cell) = cell(input_dim, hidden_dim, seed);
+        let xb = Matrix::from_vec(batch, input_dim, data[..batch * input_dim].to_vec());
+        let hb = Matrix::from_vec(batch, hidden_dim, data[batch * input_dim..].to_vec());
+
+        let out_batch = cell.infer_step(&store, &xb, &hb);
+        for row in 0..batch {
+            let x = Matrix::row_vector(xb.row(row));
+            let h = Matrix::row_vector(hb.row(row));
+            let out_single = cell.infer_step(&store, &x, &h);
+            prop_assert_eq!(out_batch.row(row), out_single.row(0), "row {} diverged", row);
+        }
+    }
+}

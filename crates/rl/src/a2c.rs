@@ -7,8 +7,9 @@
 
 use lahd_nn::{clip_global_norm, Adam, Graph};
 use lahd_tensor::{seeded_rng, Rng};
+use rand::Rng as _;
 
-use crate::agent::RecurrentActorCritic;
+use crate::agent::{InferScratch, RecurrentActorCritic};
 use crate::env::Env;
 use crate::rollout::{advantages, discounted_returns, Episode};
 
@@ -29,6 +30,16 @@ pub struct A2cConfig {
     pub epsilon: f32,
     /// Whether to normalise advantages per episode.
     pub normalize_advantages: bool,
+    /// Whether to reuse one tape (arena) across updates via
+    /// [`Graph::reset`] instead of building a fresh graph each time. The
+    /// two modes are bit-identical; the flag exists so equivalence tests
+    /// can pin that.
+    pub reuse_graph: bool,
+    /// Whether [`A2cTrainer::train_batch`] rolls episodes out on parallel
+    /// threads (one per environment) or sequentially on the caller's
+    /// thread. Either way each environment draws from its own
+    /// deterministically-seeded RNG, so the collected batch is identical.
+    pub parallel_rollouts: bool,
 }
 
 impl Default for A2cConfig {
@@ -41,6 +52,8 @@ impl Default for A2cConfig {
             grad_clip: 2.0,
             epsilon: 0.1,
             normalize_advantages: true,
+            reuse_graph: true,
+            parallel_rollouts: true,
         }
     }
 }
@@ -58,7 +71,8 @@ pub struct EpisodeReport {
     pub grad_norm: f32,
 }
 
-/// A2C trainer owning the model, optimiser and exploration RNG.
+/// A2C trainer owning the model, optimiser, exploration RNG, and the
+/// retained tape + inference scratch its hot loops reuse across updates.
 pub struct A2cTrainer {
     /// The model being trained.
     pub agent: RecurrentActorCritic,
@@ -66,13 +80,42 @@ pub struct A2cTrainer {
     pub config: A2cConfig,
     optimizer: Adam,
     rng: Rng,
+    /// Tape reused across updates (arena allocation; see [`Graph::reset`]).
+    graph: Graph,
+}
+
+/// Rolls out one ε-greedy episode of `agent` on `env`, drawing exploration
+/// from `rng`. Free function so parallel rollout threads can share the
+/// agent immutably.
+fn rollout_episode(
+    agent: &RecurrentActorCritic,
+    env: &mut dyn Env,
+    epsilon: f32,
+    rng: &mut Rng,
+) -> Episode {
+    let mut episode = Episode::default();
+    let mut obs = env.reset();
+    let mut hidden = agent.initial_state();
+    let mut scratch = InferScratch::default();
+    loop {
+        agent.infer_into(&obs, &hidden, &mut scratch);
+        let action = agent.sample_action(scratch.logits.row(0), epsilon, rng);
+        let tr = env.step(action);
+        episode.push(obs, action, tr.reward, scratch.values[(0, 0)]);
+        std::mem::swap(&mut hidden, &mut scratch.hidden);
+        if tr.done {
+            break;
+        }
+        obs = tr.obs;
+    }
+    episode
 }
 
 impl A2cTrainer {
     /// Creates a trainer for `agent`.
     pub fn new(agent: RecurrentActorCritic, config: A2cConfig, seed: u64) -> Self {
         let optimizer = Adam::new(config.learning_rate);
-        Self { agent, config, optimizer, rng: seeded_rng(seed) }
+        Self { agent, config, optimizer, rng: seeded_rng(seed), graph: Graph::new() }
     }
 
     /// Consumes the trainer, returning the trained agent.
@@ -82,23 +125,41 @@ impl A2cTrainer {
 
     /// Rolls out one episode with ε-greedy sampling (no learning).
     pub fn collect_episode(&mut self, env: &mut dyn Env) -> Episode {
-        let mut episode = Episode::default();
-        let mut obs = env.reset();
-        let mut hidden = self.agent.initial_state();
-        loop {
-            let step = self.agent.infer(&obs, &hidden);
-            let action =
-                self.agent
-                    .sample_action(&step.logits, self.config.epsilon, &mut self.rng);
-            let tr = env.step(action);
-            episode.push(obs, action, tr.reward, step.value);
-            hidden = step.hidden;
-            if tr.done {
-                break;
-            }
-            obs = tr.obs;
+        rollout_episode(&self.agent, env, self.config.epsilon, &mut self.rng)
+    }
+
+    /// Rolls out one episode per environment. Each environment samples
+    /// exploration from its own RNG seeded deterministically off the
+    /// trainer's stream, so the result does not depend on scheduling; with
+    /// `config.parallel_rollouts` the episodes are collected on one scoped
+    /// thread per environment.
+    pub fn collect_batch(&mut self, envs: &mut [&mut dyn Env]) -> Vec<Episode> {
+        let seeds: Vec<u64> = envs.iter().map(|_| self.rng.gen()).collect();
+        let agent = &self.agent;
+        let epsilon = self.config.epsilon;
+        if self.config.parallel_rollouts && envs.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = envs
+                    .iter_mut()
+                    .zip(&seeds)
+                    .map(|(env, &seed)| {
+                        let env: &mut dyn Env = *env;
+                        scope.spawn(move || {
+                            rollout_episode(agent, env, epsilon, &mut seeded_rng(seed))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rollout thread panicked"))
+                    .collect()
+            })
+        } else {
+            envs.iter_mut()
+                .zip(&seeds)
+                .map(|(env, &seed)| rollout_episode(agent, *env, epsilon, &mut seeded_rng(seed)))
+                .collect()
         }
-        episode
     }
 
     /// Runs one episode and applies one A2C update. Returns the report.
@@ -107,13 +168,12 @@ impl A2cTrainer {
         self.update_batch(std::slice::from_ref(&episode))
     }
 
-    /// Collects one episode from every environment and applies a single
-    /// synchronous update — the "A2C" in advantage actor-critic: batching
-    /// across parallel environments is what tames the per-episode gradient
-    /// noise.
+    /// Collects one episode from every environment (in parallel unless
+    /// configured otherwise) and applies a single synchronous update — the
+    /// "A2C" in advantage actor-critic: batching across parallel
+    /// environments is what tames the per-episode gradient noise.
     pub fn train_batch(&mut self, envs: &mut [&mut dyn Env]) -> EpisodeReport {
-        let episodes: Vec<Episode> =
-            envs.iter_mut().map(|env| self.collect_episode(*env)).collect();
+        let episodes = self.collect_batch(envs);
         self.update_batch(&episodes)
     }
 
@@ -144,14 +204,19 @@ impl A2cTrainer {
             advantages(&flat_returns, &flat_values, self.config.normalize_advantages);
 
         self.agent.store.zero_grads();
-        let mut g = Graph::new();
+        if self.config.reuse_graph {
+            self.graph.reset();
+        } else {
+            self.graph = Graph::new();
+        }
+        let g = &mut self.graph;
         let mut loss_acc = None;
         let mut flat_idx = 0;
         for (episode, returns) in episodes.iter().zip(&returns_per_ep) {
             let mut hidden = g.constant(self.agent.initial_state());
             for (t, &ret) in returns.iter().enumerate() {
                 let (logits, value, h_next) =
-                    self.agent.tape_step(&mut g, &episode.observations[t], hidden);
+                    self.agent.tape_step(g, &episode.observations[t], hidden);
                 hidden = h_next;
 
                 let policy_term =

@@ -5,7 +5,7 @@
 //! forward its hidden state to two linear layers, with output sizes of 7 and
 //! 1 respectively".
 
-use lahd_nn::{Graph, GruCell, Linear, ParamStore, Var};
+use lahd_nn::{Graph, GruCell, GruScratch, Linear, ParamStore, Var};
 use lahd_tensor::{seeded_rng, softmax_row, Matrix};
 use rand::Rng;
 
@@ -31,6 +31,43 @@ pub struct InferStep {
     pub value: f32,
     /// Next hidden state.
     pub hidden: Matrix,
+}
+
+/// Caller-owned workspace making [`RecurrentActorCritic::infer_into`] and
+/// [`RecurrentActorCritic::infer_batch_into`] allocation-free: the input
+/// staging row, the GRU scratch, and the three outputs.
+///
+/// After a call, [`InferScratch::hidden`], [`InferScratch::logits`] and
+/// [`InferScratch::values`] hold the step's results (one row per
+/// environment).
+#[derive(Clone, Debug, Default)]
+pub struct InferScratch {
+    /// Staging buffer the observation rows are copied into.
+    x: Matrix,
+    gru: GruScratch,
+    /// Next hidden state, `B × hidden_dim`.
+    pub hidden: Matrix,
+    /// Action logits, `B × num_actions`.
+    pub logits: Matrix,
+    /// Value estimates, `B × 1`.
+    pub values: Matrix,
+}
+
+impl InferScratch {
+    /// Sizes the output buffers; the `x` staging row is sized separately in
+    /// `infer_into` (the batch path feeds its observation matrix straight
+    /// to the GRU and never touches `x`).
+    fn ensure_outputs(&mut self, rows: usize, hidden_dim: usize, num_actions: usize) {
+        if self.hidden.shape() != (rows, hidden_dim) {
+            self.hidden.reshape_zeroed(rows, hidden_dim);
+        }
+        if self.logits.shape() != (rows, num_actions) {
+            self.logits.reshape_zeroed(rows, num_actions);
+        }
+        if self.values.shape() != (rows, 1) {
+            self.values.reshape_zeroed(rows, 1);
+        }
+    }
 }
 
 impl RecurrentActorCritic {
@@ -76,15 +113,67 @@ impl RecurrentActorCritic {
 
     /// One inference step without the tape.
     ///
+    /// Allocating convenience wrapper over [`RecurrentActorCritic::infer_into`];
+    /// hot paths should hold an [`InferScratch`] and call that directly.
+    ///
     /// # Panics
     /// Panics if `obs` has the wrong width.
     pub fn infer(&self, obs: &[f32], hidden: &Matrix) -> InferStep {
+        let mut scratch = InferScratch::default();
+        self.infer_into(obs, hidden, &mut scratch);
+        InferStep {
+            logits: scratch.logits.row(0).to_vec(),
+            value: scratch.values[(0, 0)],
+            hidden: scratch.hidden,
+        }
+    }
+
+    /// One inference step into caller-owned scratch: zero heap allocations
+    /// once `scratch` has warmed up. Results land in `scratch.hidden`,
+    /// `scratch.logits` (row 0) and `scratch.values[(0, 0)]`.
+    ///
+    /// # Panics
+    /// Panics if `obs` or `hidden` have the wrong width.
+    pub fn infer_into(&self, obs: &[f32], hidden: &Matrix, scratch: &mut InferScratch) {
         assert_eq!(obs.len(), self.obs_dim, "observation width mismatch");
-        let x = Matrix::row_vector(obs);
-        let h = self.gru.infer_step(&self.store, &x, hidden);
-        let logits = self.policy_head.infer(&self.store, &h);
-        let value = self.value_head.infer(&self.store, &h)[(0, 0)];
-        InferStep { logits: logits.row(0).to_vec(), value, hidden: h }
+        scratch.ensure_outputs(1, self.hidden_dim, self.num_actions);
+        if scratch.x.shape() != (1, self.obs_dim) {
+            scratch.x.reshape_zeroed(1, self.obs_dim);
+        }
+        scratch.x.row_mut(0).copy_from_slice(obs);
+        self.gru
+            .infer_step_into(&self.store, &scratch.x, hidden, &mut scratch.gru, &mut scratch.hidden);
+        self.policy_head.infer_into(&self.store, &scratch.hidden, &mut scratch.logits);
+        self.value_head.infer_into(&self.store, &scratch.hidden, &mut scratch.values);
+    }
+
+    /// Steps `B` parallel environments through one set of `B × D` matmuls
+    /// instead of `B` separate `1 × D` passes.
+    ///
+    /// `obs` is `B × obs_dim` (one row per environment) and `hidden` is the
+    /// `B × hidden_dim` stacked state. Results land in `scratch.hidden`,
+    /// `scratch.logits` and `scratch.values`, one row per environment, and
+    /// match per-row [`RecurrentActorCritic::infer`] exactly.
+    ///
+    /// # Panics
+    /// Panics on width or row-count mismatches.
+    pub fn infer_batch_into(&self, obs: &Matrix, hidden: &Matrix, scratch: &mut InferScratch) {
+        assert_eq!(obs.cols(), self.obs_dim, "observation width mismatch");
+        assert_eq!(hidden.cols(), self.hidden_dim, "hidden width mismatch");
+        assert_eq!(obs.rows(), hidden.rows(), "batch row-count mismatch");
+        scratch.ensure_outputs(obs.rows(), self.hidden_dim, self.num_actions);
+        self.gru
+            .infer_step_into(&self.store, obs, hidden, &mut scratch.gru, &mut scratch.hidden);
+        self.policy_head.infer_into(&self.store, &scratch.hidden, &mut scratch.logits);
+        self.value_head.infer_into(&self.store, &scratch.hidden, &mut scratch.values);
+    }
+
+    /// Allocating wrapper over [`RecurrentActorCritic::infer_batch_into`]:
+    /// returns `(logits, values, next_hidden)` for a `B × obs_dim` batch.
+    pub fn infer_batch(&self, obs: &Matrix, hidden: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let mut scratch = InferScratch::default();
+        self.infer_batch_into(obs, hidden, &mut scratch);
+        (scratch.logits, scratch.values, scratch.hidden)
     }
 
     /// Policy logits for a given hidden state (no GRU step); used when the

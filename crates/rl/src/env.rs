@@ -16,7 +16,10 @@ pub struct Transition {
 /// The storage-system environment lives in `lahd-core` (it couples the
 /// simulator with a workload trace); this trait keeps the RL machinery
 /// reusable and testable against small synthetic MDPs.
-pub trait Env {
+///
+/// `Send` is a supertrait so a batch of environments can be rolled out on
+/// parallel threads (see `A2cTrainer::collect_batch`).
+pub trait Env: Send {
     /// Dimensionality of observation vectors.
     fn obs_dim(&self) -> usize;
     /// Number of discrete actions.

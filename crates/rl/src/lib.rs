@@ -20,7 +20,7 @@ mod rollout;
 pub mod toy;
 
 pub use a2c::{evaluate_greedy, A2cConfig, A2cTrainer, EpisodeReport};
-pub use agent::{InferStep, RecurrentActorCritic};
+pub use agent::{InferScratch, InferStep, RecurrentActorCritic};
 pub use curriculum::{train_curriculum, EpochLog, Phase};
 pub use env::{Env, Transition};
 pub use rollout::{advantages, discounted_returns, Episode};

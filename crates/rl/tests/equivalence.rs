@@ -1,0 +1,140 @@
+//! Equivalence pins for the batched/scratch/reused-tape fast paths.
+//!
+//! The perf work introduced three new execution paths — batched inference
+//! (`infer_batch`), scratch-based single-step inference (`infer_into`),
+//! and tape reuse across updates (`Graph::reset` via
+//! `A2cConfig::reuse_graph`). Each must be indistinguishable from the
+//! original path: same logits, same values, same hidden states, and for
+//! tape reuse bit-identical losses, gradients and parameters across
+//! consecutive updates.
+
+use lahd_rl::{A2cConfig, A2cTrainer, InferScratch, RecurrentActorCritic};
+use lahd_rl::toy::MemoryEnv;
+use lahd_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `infer_batch` over B stacked environments ≡ per-row `infer`,
+    /// bit for bit.
+    #[test]
+    fn infer_batch_matches_per_row_infer(
+        (batch, obs_dim, hidden_dim, actions, seed, data) in
+            (1usize..7, 1usize..9, 2usize..24, 2usize..8, 0u64..500)
+                .prop_flat_map(|(b, o, h, a, s)| {
+                    (
+                        Just(b),
+                        Just(o),
+                        Just(h),
+                        Just(a),
+                        Just(s),
+                        proptest::collection::vec(-2.0f32..2.0, b * (o + h)),
+                    )
+                }),
+    ) {
+        let agent = RecurrentActorCritic::new(obs_dim, hidden_dim, actions, seed);
+        let obs = Matrix::from_vec(batch, obs_dim, data[..batch * obs_dim].to_vec());
+        let hidden = Matrix::from_vec(batch, hidden_dim, data[batch * obs_dim..].to_vec());
+
+        let (logits, values, next_hidden) = agent.infer_batch(&obs, &hidden);
+        prop_assert_eq!(logits.shape(), (batch, actions));
+        prop_assert_eq!(values.shape(), (batch, 1));
+        prop_assert_eq!(next_hidden.shape(), (batch, hidden_dim));
+
+        for row in 0..batch {
+            let h_row = Matrix::row_vector(hidden.row(row));
+            let step = agent.infer(obs.row(row), &h_row);
+            prop_assert_eq!(logits.row(row), &step.logits[..], "logits row {} diverged", row);
+            prop_assert_eq!(values[(row, 0)].to_bits(), step.value.to_bits());
+            prop_assert_eq!(next_hidden.row(row), step.hidden.row(0), "hidden row {}", row);
+        }
+    }
+
+    /// The scratch-based single step ≡ the allocating wrapper, and a warm
+    /// scratch carried across an episode changes nothing.
+    #[test]
+    fn infer_into_matches_infer_across_an_episode(
+        obs_seq in proptest::collection::vec(
+            proptest::collection::vec(-1.5f32..1.5, 4),
+            1..12,
+        ),
+        seed in 0u64..500,
+    ) {
+        let agent = RecurrentActorCritic::new(4, 12, 5, seed);
+        let mut scratch = InferScratch::default();
+        let mut h_scratch = agent.initial_state();
+        let mut h_alloc = agent.initial_state();
+        for obs in &obs_seq {
+            agent.infer_into(obs, &h_scratch, &mut scratch);
+            let step = agent.infer(obs, &h_alloc);
+            prop_assert_eq!(scratch.logits.row(0), &step.logits[..]);
+            prop_assert_eq!(scratch.values[(0, 0)].to_bits(), step.value.to_bits());
+            prop_assert_eq!(&scratch.hidden, &step.hidden);
+            std::mem::swap(&mut h_scratch, &mut scratch.hidden);
+            h_alloc = step.hidden;
+        }
+    }
+}
+
+/// Bit-exact parameter comparison between two stores.
+fn assert_stores_identical(a: &RecurrentActorCritic, b: &RecurrentActorCritic, after: &str) {
+    for ((_, pa), (_, pb)) in a.store.iter().zip(b.store.iter()) {
+        assert_eq!(pa.name, pb.name);
+        let va = pa.value.as_slice();
+        let vb = pb.value.as_slice();
+        let ga = pa.grad.as_slice();
+        let gb = pb.grad.as_slice();
+        for i in 0..va.len() {
+            assert_eq!(
+                va[i].to_bits(),
+                vb[i].to_bits(),
+                "param {} value[{i}] diverged {after}: {} vs {}",
+                pa.name,
+                va[i],
+                vb[i]
+            );
+            assert_eq!(
+                ga[i].to_bits(),
+                gb[i].to_bits(),
+                "param {} grad[{i}] diverged {after}",
+                pa.name
+            );
+        }
+    }
+}
+
+/// A `Graph::reset`-reused tape must produce bit-identical losses,
+/// gradients and parameters to building a fresh tape per update, across
+/// three consecutive A2C updates (the arena's steady state is reached on
+/// the second).
+#[test]
+fn reused_tape_is_bit_identical_to_fresh_tapes_across_updates() {
+    let config_reuse = A2cConfig { reuse_graph: true, ..A2cConfig::default() };
+    let config_fresh = A2cConfig { reuse_graph: false, ..A2cConfig::default() };
+
+    let mut reuse = A2cTrainer::new(RecurrentActorCritic::new(1, 16, 2, 11), config_reuse, 5);
+    let mut fresh = A2cTrainer::new(RecurrentActorCritic::new(1, 16, 2, 11), config_fresh, 5);
+
+    let mut env_a = MemoryEnv::new(3);
+    let mut env_b = MemoryEnv::new(3);
+
+    for update in 0..3 {
+        let ra = reuse.train_episode(&mut env_a);
+        let rb = fresh.train_episode(&mut env_b);
+        assert_eq!(ra.steps, rb.steps, "update {update}: step counts diverged");
+        assert_eq!(
+            ra.loss.to_bits(),
+            rb.loss.to_bits(),
+            "update {update}: losses diverged ({} vs {})",
+            ra.loss,
+            rb.loss
+        );
+        assert_eq!(
+            ra.grad_norm.to_bits(),
+            rb.grad_norm.to_bits(),
+            "update {update}: grad norms diverged"
+        );
+        assert_stores_identical(&reuse.agent, &fresh.agent, &format!("after update {update}"));
+    }
+}

@@ -7,10 +7,12 @@
 //! and seeded random initialisation.
 //!
 //! The models trained in this workspace are small (a GRU torso of at most a
-//! few hundred hidden units plus linear heads), so clarity and testability are
-//! favoured over SIMD heroics; the GEMM kernels use the cache-friendly `ikj`
-//! loop order, which is enough to keep full paper-scale training runs in the
-//! minutes range.
+//! few hundred hidden units plus linear heads), so the kernels stay in safe
+//! scalar Rust, but they are written for the autovectoriser: the GEMM loops
+//! use the cache-friendly `ikj` order with branch-free, eight-wide-unrolled
+//! inner loops, every orientation has an `_into`/`_acc` variant that writes
+//! into caller-owned scratch, and `transpose` walks 32×32 cache blocks. See
+//! `PERF.md` at the workspace root for measurements.
 //!
 //! # Example
 //!

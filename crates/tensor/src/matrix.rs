@@ -146,9 +146,33 @@ impl Matrix {
     }
 
     /// Copies column `c` into a new `Vec`.
+    ///
+    /// Deprecated allocation path: prefer [`Matrix::copy_col_into`], which
+    /// writes into a caller-owned buffer.
+    #[deprecated(since = "0.1.0", note = "use copy_col_into to avoid the per-call allocation")]
     pub fn col(&self, c: usize) -> Vec<f32> {
+        let mut out = vec![0.0; self.rows];
+        self.copy_col_into(c, &mut out);
+        out
+    }
+
+    /// Copies column `c` into `dst` without allocating.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of bounds or `dst.len() != rows`.
+    pub fn copy_col_into(&self, c: usize, dst: &mut [f32]) {
         assert!(c < self.cols, "column {c} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        assert_eq!(dst.len(), self.rows, "destination holds {} values, need {}", dst.len(), self.rows);
+        for (d, row) in dst.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *d = row[c];
+        }
+    }
+
+    /// Copies every element from `src` (same shape), keeping this matrix's
+    /// allocation.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.assert_same_shape(src, "copy_from");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Returns a new matrix with `f` applied element-wise.
@@ -183,6 +207,36 @@ impl Matrix {
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
         }
+    }
+
+    /// `out = f(self, other)` element-wise, writing into caller-owned
+    /// scratch (no allocation).
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn zip_map_into(&self, other: &Self, out: &mut Self, f: impl Fn(f32, f32) -> f32) {
+        self.assert_same_shape(other, "zip_map_into");
+        self.assert_same_shape(out, "zip_map_into (output)");
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
+    }
+
+    /// `self ∘= other`, element-wise (in-place Hadamard product).
+    pub fn mul_assign(&mut self, other: &Self) {
+        self.assert_same_shape(other, "mul_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= *b;
+        }
+    }
+
+    /// Reshapes in place to `rows × cols` filled with zeros, keeping the
+    /// allocation when the capacity suffices (scratch-buffer reuse).
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// `self += other`, element-wise.
@@ -265,7 +319,22 @@ impl Matrix {
         out
     }
 
+    /// `out = self · other`, overwriting caller-owned scratch (no
+    /// allocation).
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
+        out.fill_zero();
+        self.matmul_acc(other, out);
+    }
+
     /// `out += self · other` with the `ikj` loop order.
+    ///
+    /// The inner `j` loop is branch-free and unrolled eight-wide: the hot
+    /// path's inputs (activations, gradients) are dense, so a per-element
+    /// zero test costs a mispredicted branch per multiply and blocks
+    /// autovectorisation.
     pub fn matmul_acc(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, other.rows,
@@ -278,74 +347,100 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                axpy_row(out_row, a, b_row);
             }
         }
     }
 
     /// Matrix product `selfᵀ · other` (used for weight gradients).
     pub fn matmul_tn(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(self.cols, other.cols);
+        self.matmul_tn_acc(other, &mut out);
+        out
+    }
+
+    /// `out = selfᵀ · other`, overwriting caller-owned scratch.
+    pub fn matmul_tn_into(&self, other: &Self, out: &mut Self) {
+        out.fill_zero();
+        self.matmul_tn_acc(other, out);
+    }
+
+    /// `out += selfᵀ · other`.
+    pub fn matmul_tn_acc(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn dimension mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Self::zeros(self.cols, other.cols);
+        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_tn output shape mismatch");
         let n = other.cols;
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = &other.data[k * n..(k + 1) * n];
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                axpy_row(out.row_mut(i), a, b_row);
             }
         }
-        out
     }
 
     /// Matrix product `self · otherᵀ` (used for input gradients).
     pub fn matmul_nt(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(self.rows, other.rows);
+        self.matmul_nt_acc(other, &mut out);
+        out
+    }
+
+    /// `out = self · otherᵀ`, overwriting caller-owned scratch.
+    pub fn matmul_nt_into(&self, other: &Self, out: &mut Self) {
+        out.fill_zero();
+        self.matmul_nt_acc(other, out);
+    }
+
+    /// `out += self · otherᵀ`.
+    pub fn matmul_nt_acc(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Self::zeros(self.rows, other.rows);
+        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_nt output shape mismatch");
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o += acc;
+                *o += dot_unrolled(a_row, other.row(j));
             }
         }
-        out
     }
 
     /// Returns the transpose.
     pub fn transpose(&self) -> Self {
         let mut out = Self::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// `out = selfᵀ`, overwriting caller-owned scratch.
+    ///
+    /// Walks 32×32 blocks so both the read and the write stream stay inside
+    /// the cache; a naive row-major read / column-major write misses on
+    /// every store once a column of the output no longer fits in L1.
+    pub fn transpose_into(&self, out: &mut Self) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose output shape mismatch");
+        const BLOCK: usize = 32;
+        for ib in (0..self.rows).step_by(BLOCK) {
+            let i_end = (ib + BLOCK).min(self.rows);
+            for jb in (0..self.cols).step_by(BLOCK) {
+                let j_end = (jb + BLOCK).min(self.cols);
+                for i in ib..i_end {
+                    let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (j, &v) in row[jb..j_end].iter().enumerate() {
+                        out.data[(jb + j) * self.rows + i] = v;
+                    }
+                }
             }
         }
-        out
     }
 
     /// Dot product of two equally shaped matrices viewed as flat vectors.
@@ -410,6 +505,45 @@ impl Matrix {
             other.shape()
         );
     }
+}
+
+/// `out[j] += a * b[j]`, unrolled eight-wide over fixed-size array chunks
+/// so the compiler emits branch-free vector code (no zero-skip test, no
+/// bounds checks inside the loop).
+#[inline]
+fn axpy_row(out: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(out.len(), b.len());
+    let (o_main, o_tail) = out.as_chunks_mut::<8>();
+    let (b_main, b_tail) = b.as_chunks::<8>();
+    for (oc, bc) in o_main.iter_mut().zip(b_main) {
+        for j in 0..8 {
+            oc[j] += a * bc[j];
+        }
+    }
+    for (o, &bv) in o_tail.iter_mut().zip(b_tail) {
+        *o += a * bv;
+    }
+}
+
+/// Dot product with eight independent accumulator lanes (breaks the add
+/// latency chain; the compiler turns the lanes into vector FMAs).
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let (a_main, a_tail) = a.as_chunks::<8>();
+    let (b_main, b_tail) = b.as_chunks::<8>();
+    let mut acc = [0.0f32; 8];
+    for (ac, bc) in a_main.iter().zip(b_main) {
+        for j in 0..8 {
+            acc[j] += ac[j] * bc[j];
+        }
+    }
+    let mut tail = 0.0;
+    for (&av, &bv) in a_tail.iter().zip(b_tail) {
+        tail += av * bv;
+    }
+    let halves = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+    (halves[0] + halves[1]) + (halves[2] + halves[3]) + tail
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -545,9 +679,45 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn col_extracts_column() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
+        let mut buf = [0.0; 3];
+        m.copy_col_into(1, &mut buf);
+        assert_eq!(buf, [2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_into_handles_non_square_and_block_edges() {
+        // 33×65 exercises partial blocks on both axes of the 32×32 tiling.
+        let m = Matrix::from_fn(33, 65, |i, j| (i * 1000 + j) as f32);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (65, 33));
+        for i in 0..33 {
+            for j in 0..65 {
+                assert_eq!(t[(j, i)], m[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_variants_match_allocating_paths() {
+        let a = Matrix::from_fn(5, 7, |i, j| (i as f32 - j as f32) * 0.3);
+        let b = Matrix::from_fn(7, 4, |i, j| (i * j) as f32 * 0.1 - 1.0);
+        let bt = b.transpose();
+        let mut out = Matrix::filled(5, 4, f32::NAN); // _into must overwrite
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let c = Matrix::from_fn(5, 4, |i, j| (i + j) as f32);
+        let mut out_tn = Matrix::filled(7, 4, f32::NAN);
+        a.matmul_tn_into(&c, &mut out_tn);
+        assert_eq!(out_tn, a.matmul_tn(&c));
+
+        let mut out_nt = Matrix::filled(5, 4, f32::NAN);
+        a.matmul_nt_into(&bt, &mut out_nt);
+        assert_eq!(out_nt, a.matmul_nt(&bt));
     }
 
     #[test]

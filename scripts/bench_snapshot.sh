@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Snapshot the micro-benchmark trajectory.
+#
+# Runs every micro_* criterion bench in quick mode (LAHD_BENCH_QUICK=1:
+# ~20x smaller warm-up/measurement budgets, a few seconds per bench) and
+# folds the JSON-lines records the harness emits (LAHD_BENCH_JSON) into a
+# single `BENCH_<n>.json` mapping "group/bench" -> median ns/iter.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [output.json]
+#
+# The output defaults to the next free BENCH_<n>.json at the workspace
+# root, so each PR appends one snapshot and the sequence forms the perf
+# trajectory (see PERF.md). Compare two snapshots with e.g.:
+#   paste <(sort BENCH_1.json) <(sort BENCH_2.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+if [ -z "$out" ]; then
+    n=1
+    while [ -e "BENCH_${n}.json" ]; do
+        n=$((n + 1))
+    done
+    out="BENCH_${n}.json"
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+LAHD_BENCH_QUICK=1 LAHD_BENCH_JSON="$tmp" cargo bench -p lahd-bench \
+    --bench micro_matmul \
+    --bench micro_inference_latency \
+    --bench micro_train_episode \
+    --bench micro_qbn_encode \
+    --bench micro_sim_step \
+    --bench micro_workload_gen
+
+awk 'BEGIN { print "{"; first = 1 }
+/"bench"/ {
+    line = $0
+    sub(/^\{"bench":"/, "", line)
+    name = line; sub(/".*/, "", name)
+    med = line; sub(/.*"median_ns":/, "", med); sub(/[,}].*/, "", med)
+    if (!first) printf(",\n")
+    first = 0
+    printf("  \"%s\": %s", name, med)
+}
+END { print "\n}" }' "$tmp" > "$out"
+
+echo "wrote $out ($(grep -c ':' "$out") benches)"
