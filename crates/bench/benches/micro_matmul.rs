@@ -86,10 +86,55 @@ fn bench_matmul(c: &mut Criterion) {
     });
 
     // Square GEMM: QBN training batches and weight-gradient sized work.
+    // Above the cutoff this routes through the packed/blocked kernel.
     let a = dense(128, 128, 5);
     group.bench_function("mm_128x128_128x128", |b| {
         b.iter(|| std::hint::black_box(a.matmul(&u)))
     });
+
+    // The same product forced down each path, so the snapshot pins the
+    // blocked-vs-unblocked ratio directly (dispatch overhead excluded).
+    {
+        let mut out = Matrix::zeros(128, 128);
+        let mut packs = lahd_tensor::PackBuffers::new();
+        group.bench_function("mm_blocked_128x128_128x128", |b| {
+            b.iter(|| {
+                out.fill_zero();
+                lahd_tensor::gemm::blocked_nn(&a, &u, &mut out, &mut packs);
+                std::hint::black_box(out.as_slice()[0])
+            })
+        });
+        group.bench_function("mm_unblocked_128x128_128x128", |b| {
+            b.iter(|| {
+                out.fill_zero();
+                lahd_tensor::gemm::unblocked::nn_acc(&a, &u, &mut out);
+                std::hint::black_box(out.as_slice()[0])
+            })
+        });
+    }
+
+    // Blocked-path coverage for the backward orientations at QBN-training
+    // scale: weight gradients (ᵀ·) and input gradients (·ᵀ).
+    {
+        let acts = dense(128, 128, 7);
+        let gy_big = dense(128, 64, 8);
+        let mut out_tn = Matrix::zeros(128, 64);
+        group.bench_function("mm_tn_128x128_128x64", |b| {
+            b.iter(|| {
+                acts.matmul_tn_into(&gy_big, &mut out_tn);
+                std::hint::black_box(out_tn.as_slice()[0])
+            })
+        });
+        let w = dense(128, 64, 9);
+        let gy_nt = dense(128, 64, 10);
+        let mut out_nt = Matrix::zeros(128, 128);
+        group.bench_function("mm_nt_128x64_128x64", |b| {
+            b.iter(|| {
+                gy_nt.matmul_nt_into(&w, &mut out_nt);
+                std::hint::black_box(out_nt.as_slice()[0])
+            })
+        });
+    }
 
     // Backward orientations at BPTT shapes.
     let gy = dense(1, 128, 6);

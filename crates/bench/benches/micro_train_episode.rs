@@ -99,6 +99,32 @@ fn bench_train(c: &mut Criterion) {
         })
     });
 
+    // Worker-pool scaling: the same 4-env batch with the rollout + sharded
+    // BPTT pool pinned to 1/2/4 workers. All three are bit-identical (see
+    // crates/rl/tests/equivalence.rs); the deltas here isolate what the
+    // pool buys (or costs) on this machine's core count.
+    for workers in [1usize, 2, 4] {
+        let agent = RecurrentActorCritic::new(Observation::DIM, 128, 7, 0);
+        let mut tp = A2cTrainer::new(
+            agent,
+            A2cConfig { num_workers: workers, ..A2cConfig::default() },
+            1,
+        );
+        let mut envs = [
+            SyntheticEnv { t: 0 },
+            SyntheticEnv { t: 0 },
+            SyntheticEnv { t: 0 },
+            SyntheticEnv { t: 0 },
+        ];
+        group.bench_function(format!("gru128_train_batch4_pool{workers}"), |b| {
+            b.iter(|| {
+                let mut refs: Vec<&mut dyn Env> =
+                    envs.iter_mut().map(|e| e as &mut dyn Env).collect();
+                std::hint::black_box(tp.train_batch(&mut refs).loss)
+            })
+        });
+    }
+
     group.finish();
 }
 

@@ -1,0 +1,70 @@
+//! Throwaway cutoff-tuning probe (not part of the snapshot suite).
+use lahd_tensor::{gemm, Matrix, PackBuffers};
+use std::time::Instant;
+
+fn dense(r: usize, c: usize, s: usize) -> Matrix {
+    Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17 + s * 13 + 7) % 97) as f32 / 48.5 - 1.0)
+}
+
+fn time(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let iters = 200;
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    // GEMV probe: dispatched entry point vs direct unblocked kernel.
+    {
+        let h = dense(1, 128, 2);
+        let u = dense(128, 128, 3);
+        let mut out = Matrix::zeros(1, 128);
+        let td = time(|| {
+            h.matmul_into(&u, &mut out);
+            std::hint::black_box(out.as_slice()[0]);
+        });
+        let tk = time(|| {
+            out.fill_zero();
+            gemm::unblocked::nn_acc(&h, &u, &mut out);
+            std::hint::black_box(out.as_slice()[0]);
+        });
+        println!("gemv 1x128: dispatched {td:.0} ns, direct kernel {tk:.0} ns");
+    }
+    let mut packs = PackBuffers::new();
+    for &(m, n, k) in &[
+        (8usize, 128usize, 128usize),
+        (16, 128, 128),
+        (24, 128, 128),
+        (32, 128, 128),
+        (32, 128, 64),
+        (32, 64, 128),
+        (64, 128, 128),
+        (16, 64, 64),
+        (128, 128, 128),
+    ] {
+        let a = dense(m, k, 1);
+        let b = dense(k, n, 2);
+        let mut out = Matrix::zeros(m, n);
+        let tb = time(|| {
+            out.fill_zero();
+            gemm::blocked_nn(&a, &b, &mut out, &mut packs);
+            std::hint::black_box(out.as_slice()[0]);
+        });
+        let tu = time(|| {
+            out.fill_zero();
+            gemm::unblocked::nn_acc(&a, &b, &mut out);
+            std::hint::black_box(out.as_slice()[0]);
+        });
+        println!(
+            "{m:>4}x{k:<4}·{k:>4}x{n:<4} mnk={:>9}  blocked {tb:>10.0} ns  unblocked {tu:>10.0} ns  ratio {:.2}",
+            m * n * k,
+            tu / tb
+        );
+    }
+}

@@ -572,6 +572,43 @@ impl Graph {
         }
     }
 
+    /// Copies the gradient of every parameter bound *from this store* into
+    /// `out` as `(id, grad)` pairs, in binding order, after
+    /// [`Graph::backward`]. Parameters that did not influence the loss
+    /// export a zero gradient.
+    ///
+    /// This is the sharded-training export path: worker threads replay
+    /// independent episodes on private tapes, export their per-episode
+    /// gradients with this method, and the trainer merges them in a fixed
+    /// order with [`ParamStore::add_grads`] — giving bit-identical results
+    /// regardless of worker count. `out`'s allocations are reused when
+    /// shapes match (the steady state for a model replayed every update),
+    /// so the export is allocation-free after warm-up.
+    pub fn export_param_grads_into(&self, store: &ParamStore, out: &mut Vec<(ParamId, Matrix)>) {
+        let addr = store_addr(store);
+        let mut filled = 0;
+        for &(a, id, var) in &self.bound_params {
+            if a != addr {
+                continue;
+            }
+            let (rows, cols) = self.values[var.0].shape();
+            if filled == out.len() {
+                out.push((id, Matrix::zeros(rows, cols)));
+            }
+            let slot = &mut out[filled];
+            slot.0 = id;
+            if slot.1.shape() != (rows, cols) {
+                slot.1 = Matrix::zeros(rows, cols);
+            }
+            match &self.grads[var.0] {
+                Some(g) => slot.1.copy_from(g),
+                None => slot.1.fill_zero(),
+            }
+            filled += 1;
+        }
+        out.truncate(filled);
+    }
+
     /// Flushes the gradients of every parameter bound *from this store*
     /// into it; returns the number of parameters flushed. Call once per
     /// participating store after [`Graph::backward`].
@@ -735,6 +772,44 @@ mod tests {
         g.accumulate_param_grads(&mut store);
         // d/dx mean((x-0)²) = 2x/n = x for n=2.
         assert_eq!(store.grad(w).row(0), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn exported_grads_match_direct_accumulation() {
+        let build = |store: &ParamStore, w1: ParamId, w2: ParamId| {
+            let mut g = Graph::new();
+            let x = g.constant(Matrix::filled(1, 2, 0.5));
+            let p1 = g.param(store, w1);
+            let p2 = g.param(store, w2);
+            let h = g.matmul(x, p1);
+            let h = g.tanh(h);
+            let y = g.matmul(h, p2);
+            let loss = g.squared_error(y, 1.0);
+            g.backward(loss);
+            g
+        };
+        let mut rng = seeded_rng(7);
+        let mut store = ParamStore::new();
+        let w1 = store.alloc("w1", 2, 3, Initializer::XavierUniform, &mut rng);
+        let w2 = store.alloc("w2", 3, 1, Initializer::XavierUniform, &mut rng);
+
+        let g = build(&store, w1, w2);
+
+        // Path 1: export, then merge into a clone — and a second export
+        // must reuse the warm buffers without changing anything.
+        let mut exported = Vec::new();
+        g.export_param_grads_into(&store, &mut exported);
+        assert_eq!(exported.len(), 2, "both bound parameters export");
+        g.export_param_grads_into(&store, &mut exported);
+        let mut merged = store.clone();
+        merged.add_grads(&exported);
+
+        // Path 2: flush straight into the store the graph was bound from.
+        g.accumulate_param_grads(&mut store);
+
+        for id in [w1, w2] {
+            assert_eq!(store.grad(id), merged.grad(id), "param {:?}", store.name(id));
+        }
     }
 
     #[test]

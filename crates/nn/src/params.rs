@@ -88,6 +88,16 @@ impl ParamStore {
         self.params[id.0].grad.add_assign(delta);
     }
 
+    /// Accumulates a batch of exported `(id, grad)` pairs (see
+    /// `Graph::export_param_grads_into`) in slice order. Merging shards in
+    /// a fixed order is what keeps sharded training bit-identical to the
+    /// serial path.
+    pub fn add_grads(&mut self, grads: &[(ParamId, Matrix)]) {
+        for (id, g) in grads {
+            self.add_grad(*id, g);
+        }
+    }
+
     /// The parameter's registered name.
     pub fn name(&self, id: ParamId) -> &str {
         &self.params[id.0].name

@@ -5,8 +5,8 @@
 //! to be under 2. The RL learning follows the Epsilon greedy exploration
 //! with 0.1 as the probability of random action selection."
 
-use lahd_nn::{clip_global_norm, Adam, Graph};
-use lahd_tensor::{seeded_rng, Rng};
+use lahd_nn::{clip_global_norm, Adam, Graph, ParamId};
+use lahd_tensor::{seeded_rng, Matrix, Rng};
 use rand::Rng as _;
 
 use crate::agent::{InferScratch, RecurrentActorCritic};
@@ -35,11 +35,18 @@ pub struct A2cConfig {
     /// two modes are bit-identical; the flag exists so equivalence tests
     /// can pin that.
     pub reuse_graph: bool,
-    /// Whether [`A2cTrainer::train_batch`] rolls episodes out on parallel
-    /// threads (one per environment) or sequentially on the caller's
-    /// thread. Either way each environment draws from its own
-    /// deterministically-seeded RNG, so the collected batch is identical.
+    /// Whether [`A2cTrainer::train_batch`] uses the worker pool at all —
+    /// for rollouts *and* for sharded BPTT replay. When `false` everything
+    /// runs on the caller's thread. Either way each environment draws from
+    /// its own deterministically-seeded RNG and gradients reduce in fixed
+    /// episode order, so the results are bit-identical.
     pub parallel_rollouts: bool,
+    /// Worker-pool size for batched rollouts and sharded episode replay.
+    /// `0` (the default) sizes the pool to `std::thread::available_parallelism`.
+    /// The pool never exceeds the number of environments/episodes; work is
+    /// sharded contiguously across workers. Results are bit-identical for
+    /// every pool size (see `tests/equivalence.rs`).
+    pub num_workers: usize,
 }
 
 impl Default for A2cConfig {
@@ -54,6 +61,7 @@ impl Default for A2cConfig {
             normalize_advantages: true,
             reuse_graph: true,
             parallel_rollouts: true,
+            num_workers: 0,
         }
     }
 }
@@ -71,8 +79,18 @@ pub struct EpisodeReport {
     pub grad_norm: f32,
 }
 
+/// Per-episode replay output: the episode's share of the batch loss plus
+/// its exported parameter gradients. Retained across updates so the
+/// steady-state replay allocates nothing.
+#[derive(Default)]
+struct EpisodeGrads {
+    loss: f32,
+    grads: Vec<(ParamId, Matrix)>,
+}
+
 /// A2C trainer owning the model, optimiser, exploration RNG, and the
-/// retained tape + inference scratch its hot loops reuse across updates.
+/// retained per-worker tapes + per-episode gradient buffers its hot loops
+/// reuse across updates.
 pub struct A2cTrainer {
     /// The model being trained.
     pub agent: RecurrentActorCritic,
@@ -80,8 +98,12 @@ pub struct A2cTrainer {
     pub config: A2cConfig,
     optimizer: Adam,
     rng: Rng,
-    /// Tape reused across updates (arena allocation; see [`Graph::reset`]).
-    graph: Graph,
+    /// One retained tape per replay worker (arena allocation; see
+    /// [`Graph::reset`]). `graphs[0]` doubles as the serial-path tape.
+    graphs: Vec<Graph>,
+    /// Per-episode replay outputs, indexed by episode position in the
+    /// batch; reduced in index order after the parallel phase.
+    episode_grads: Vec<EpisodeGrads>,
 }
 
 /// Rolls out one ε-greedy episode of `agent` on `env`, drawing exploration
@@ -111,11 +133,89 @@ fn rollout_episode(
     episode
 }
 
+/// Replays one recorded episode through a private tape — full BPTT over the
+/// GRU — leaving the parameter gradients on the tape, and returns the
+/// episode's share of the batch loss.
+///
+/// Free function so replay workers can run it concurrently, one episode per
+/// call, each on its own [`Graph`]. The episode's loss is
+/// `Σ_t [−A_t·log π(a_t|h_t) + c_v·(V(h_t) − R_t)² − c_e·H(π(·|h_t))] / K`
+/// with `K` the *batch-wide* step count (`inv_steps = 1/K`), so summing the
+/// per-episode losses reproduces the batch mean-over-steps loss. The caller
+/// harvests the gradients either by flushing them straight into the store
+/// (serial path) or via `Graph::export_param_grads_into` (worker threads,
+/// which must not touch the shared store).
+fn replay_episode(
+    agent: &RecurrentActorCritic,
+    graph: &mut Graph,
+    episode: &Episode,
+    returns: &[f32],
+    advs: &[f32],
+    inv_steps: f32,
+    config: &A2cConfig,
+) -> f32 {
+    if config.reuse_graph {
+        graph.reset();
+    } else {
+        *graph = Graph::new();
+    }
+    if episode.is_empty() {
+        return 0.0;
+    }
+    let g = graph;
+    let mut hidden = g.constant(agent.initial_state());
+    let mut loss_acc = None;
+    for (t, &ret) in returns.iter().enumerate() {
+        let (logits, value, h_next) = agent.tape_step(g, &episode.observations[t], hidden);
+        hidden = h_next;
+
+        let policy_term = g.cross_entropy_logits(logits, episode.actions[t], advs[t]);
+        let value_term = g.squared_error(value, ret);
+        let value_term = g.scale(value_term, config.value_coef);
+        let entropy_term = g.entropy_from_logits(logits);
+        let entropy_term = g.scale(entropy_term, -config.entropy_coef);
+
+        let step_loss = g.add(policy_term, value_term);
+        let step_loss = g.add(step_loss, entropy_term);
+        loss_acc = Some(match loss_acc {
+            None => step_loss,
+            Some(acc) => g.add(acc, step_loss),
+        });
+    }
+    let total = loss_acc.expect("non-empty episode accumulates a loss");
+    let loss = g.scale(total, inv_steps);
+    let loss_value = g.scalar(loss);
+    g.backward(loss);
+    loss_value
+}
+
 impl A2cTrainer {
     /// Creates a trainer for `agent`.
     pub fn new(agent: RecurrentActorCritic, config: A2cConfig, seed: u64) -> Self {
         let optimizer = Adam::new(config.learning_rate);
-        Self { agent, config, optimizer, rng: seeded_rng(seed), graph: Graph::new() }
+        Self {
+            agent,
+            config,
+            optimizer,
+            rng: seeded_rng(seed),
+            graphs: vec![Graph::new()],
+            episode_grads: Vec::new(),
+        }
+    }
+
+    /// Resolved worker-pool size for `jobs` independent work items: the
+    /// configured (or auto-detected) pool, clamped to the job count, or 1
+    /// when pooling is disabled.
+    fn pool_size(&self, jobs: usize) -> usize {
+        if !self.config.parallel_rollouts || jobs <= 1 {
+            return 1;
+        }
+        let cap = if self.config.num_workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.num_workers
+        };
+        cap.clamp(1, jobs)
     }
 
     /// Consumes the trainer, returning the trained agent.
@@ -128,32 +228,39 @@ impl A2cTrainer {
         rollout_episode(&self.agent, env, self.config.epsilon, &mut self.rng)
     }
 
-    /// Rolls out one episode per environment. Each environment samples
-    /// exploration from its own RNG seeded deterministically off the
-    /// trainer's stream, so the result does not depend on scheduling; with
-    /// `config.parallel_rollouts` the episodes are collected on one scoped
-    /// thread per environment.
+    /// Rolls out one episode per environment on the fixed worker pool
+    /// (replacing the earlier thread-per-env scheme, which does not scale
+    /// past ~16 environments). Environments are sharded contiguously:
+    /// worker `w` owns envs `[w·c, (w+1)·c)` with `c = ⌈E/W⌉`. Each
+    /// environment samples exploration from its own RNG seeded
+    /// deterministically off the trainer's stream *in environment order*,
+    /// so the collected batch is identical for every pool size and
+    /// schedule.
     pub fn collect_batch(&mut self, envs: &mut [&mut dyn Env]) -> Vec<Episode> {
         let seeds: Vec<u64> = envs.iter().map(|_| self.rng.gen()).collect();
         let agent = &self.agent;
         let epsilon = self.config.epsilon;
-        if self.config.parallel_rollouts && envs.len() > 1 {
+        let workers = self.pool_size(envs.len());
+        if workers > 1 {
+            let chunk = envs.len().div_ceil(workers);
+            let mut episodes: Vec<Episode> = Vec::with_capacity(envs.len());
+            episodes.resize_with(envs.len(), Episode::default);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = envs
-                    .iter_mut()
-                    .zip(&seeds)
-                    .map(|(env, &seed)| {
-                        let env: &mut dyn Env = *env;
-                        scope.spawn(move || {
-                            rollout_episode(agent, env, epsilon, &mut seeded_rng(seed))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rollout thread panicked"))
-                    .collect()
-            })
+                for ((env_shard, seed_shard), out_shard) in envs
+                    .chunks_mut(chunk)
+                    .zip(seeds.chunks(chunk))
+                    .zip(episodes.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for ((env, &seed), out) in
+                            env_shard.iter_mut().zip(seed_shard).zip(out_shard)
+                        {
+                            *out = rollout_episode(agent, &mut **env, epsilon, &mut seeded_rng(seed));
+                        }
+                    });
+                }
+            });
+            episodes
         } else {
             envs.iter_mut()
                 .zip(&seeds)
@@ -177,13 +284,19 @@ impl A2cTrainer {
         self.update_batch(&episodes)
     }
 
-    /// Applies one A2C update from a batch of recorded episodes.
+    /// Applies one A2C update from a batch of recorded episodes, with the
+    /// BPTT replay sharded across the worker pool.
     ///
-    /// Each trajectory is replayed through the tape (full backpropagation
-    /// through time over the GRU), building
-    /// `Σ_e Σ_t [−log π(a_t|h_t)·A_t + c_v·(V(h_t) − R_t)² − c_e·H(π(·|h_t))]`,
-    /// normalised by the total step count. Advantages are normalised across
-    /// the whole batch when `normalize_advantages` is set.
+    /// Each trajectory is replayed through its own tape (full
+    /// backpropagation through time over the GRU), building its share of
+    /// `Σ_e Σ_t [−log π(a_t|h_t)·A_t + c_v·(V(h_t) − R_t)² − c_e·H(π(·|h_t))] / K`
+    /// (`K` = total step count); advantages are normalised across the whole
+    /// batch when `normalize_advantages` is set. Episodes are independent
+    /// until the gradient sum, so workers replay their shard concurrently
+    /// and the trainer reduces the exported per-episode gradients **in
+    /// fixed episode order** before the single optimiser step — losses,
+    /// gradients and parameters are bit-identical for every pool size,
+    /// including the serial pool of one (pinned in `tests/equivalence.rs`).
     pub fn update_batch(&mut self, episodes: &[Episode]) -> EpisodeReport {
         assert!(
             episodes.iter().any(|e| !e.is_empty()),
@@ -202,50 +315,80 @@ impl A2cTrainer {
         }
         let flat_advs =
             advantages(&flat_returns, &flat_values, self.config.normalize_advantages);
+        let total_steps = flat_returns.len();
+        let inv_steps = 1.0 / total_steps as f32;
+        // Re-slice the flat advantages per episode for the replay workers.
+        let mut advs_per_ep: Vec<&[f32]> = Vec::with_capacity(episodes.len());
+        let mut offset = 0;
+        for e in episodes {
+            advs_per_ep.push(&flat_advs[offset..offset + e.len()]);
+            offset += e.len();
+        }
 
         self.agent.store.zero_grads();
-        if self.config.reuse_graph {
-            self.graph.reset();
-        } else {
-            self.graph = Graph::new();
+        let workers = self.pool_size(episodes.len());
+        while self.graphs.len() < workers {
+            self.graphs.push(Graph::new());
         }
-        let g = &mut self.graph;
-        let mut loss_acc = None;
-        let mut flat_idx = 0;
-        for (episode, returns) in episodes.iter().zip(&returns_per_ep) {
-            let mut hidden = g.constant(self.agent.initial_state());
-            for (t, &ret) in returns.iter().enumerate() {
-                let (logits, value, h_next) =
-                    self.agent.tape_step(g, &episode.observations[t], hidden);
-                hidden = h_next;
 
-                let policy_term =
-                    g.cross_entropy_logits(logits, episode.actions[t], flat_advs[flat_idx]);
-                let value_term = g.squared_error(value, ret);
-                let value_term = g.scale(value_term, self.config.value_coef);
-                let entropy_term = g.entropy_from_logits(logits);
-                let entropy_term = g.scale(entropy_term, -self.config.entropy_coef);
-
-                let step_loss = g.add(policy_term, value_term);
-                let step_loss = g.add(step_loss, entropy_term);
-                loss_acc = Some(match loss_acc {
-                    None => step_loss,
-                    Some(acc) => g.add(acc, step_loss),
-                });
-                flat_idx += 1;
+        let mut loss_value = 0.0;
+        if workers > 1 {
+            while self.episode_grads.len() < episodes.len() {
+                self.episode_grads.push(EpisodeGrads::default());
+            }
+            let agent = &self.agent;
+            let config = &self.config;
+            let outputs = &mut self.episode_grads[..episodes.len()];
+            let chunk = episodes.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (((ep_shard, ret_shard), adv_shard), (graph, out_shard)) in episodes
+                    .chunks(chunk)
+                    .zip(returns_per_ep.chunks(chunk))
+                    .zip(advs_per_ep.chunks(chunk))
+                    .zip(self.graphs.iter_mut().zip(outputs.chunks_mut(chunk)))
+                {
+                    scope.spawn(move || {
+                        for (((episode, returns), advs), out) in
+                            ep_shard.iter().zip(ret_shard).zip(adv_shard).zip(out_shard)
+                        {
+                            out.loss = replay_episode(
+                                agent, graph, episode, returns, advs, inv_steps, config,
+                            );
+                            graph.export_param_grads_into(&agent.store, &mut out.grads);
+                        }
+                    });
+                }
+            });
+            // Deterministic reduction: fold losses and gradients in episode
+            // order, independent of which worker produced them.
+            for out in self.episode_grads[..episodes.len()].iter() {
+                loss_value += out.loss;
+                self.agent.store.add_grads(&out.grads);
+            }
+            // Bound retained memory to the live batch: without this, one
+            // large batch would pin a model-sized gradient set per episode
+            // for the trainer's lifetime.
+            self.episode_grads.truncate(episodes.len());
+        } else {
+            // Serial path: flush each episode's gradients straight into the
+            // store after its backward pass. This performs the same
+            // `add_assign`s in the same episode order as the export/merge
+            // reduction above, so the two paths are bit-identical — minus
+            // the export copy the worker threads need.
+            let graph = &mut self.graphs[0];
+            for ((episode, returns), advs) in
+                episodes.iter().zip(&returns_per_ep).zip(&advs_per_ep)
+            {
+                loss_value +=
+                    replay_episode(&self.agent, graph, episode, returns, advs, inv_steps, &self.config);
+                graph.accumulate_param_grads(&mut self.agent.store);
             }
         }
-        let total = loss_acc.expect("batch has at least one non-empty episode");
-        // Mean over steps keeps the update magnitude independent of K.
-        let loss = g.scale(total, 1.0 / flat_idx as f32);
-        let loss_value = g.scalar(loss);
-        g.backward(loss);
-        g.accumulate_param_grads(&mut self.agent.store);
         let grad_norm = clip_global_norm(&mut self.agent.store, self.config.grad_clip);
         self.optimizer.step(&mut self.agent.store);
 
         EpisodeReport {
-            steps: flat_idx,
+            steps: total_steps,
             total_reward: episodes.iter().map(Episode::total_reward).sum(),
             loss: loss_value,
             grad_norm,

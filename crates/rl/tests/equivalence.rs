@@ -8,8 +8,8 @@
 //! tape reuse bit-identical losses, gradients and parameters across
 //! consecutive updates.
 
-use lahd_rl::{A2cConfig, A2cTrainer, InferScratch, RecurrentActorCritic};
 use lahd_rl::toy::MemoryEnv;
+use lahd_rl::{A2cConfig, A2cTrainer, Env, InferScratch, RecurrentActorCritic};
 use lahd_tensor::Matrix;
 use proptest::prelude::*;
 
@@ -99,6 +99,70 @@ fn assert_stores_identical(a: &RecurrentActorCritic, b: &RecurrentActorCritic, a
                 gb[i].to_bits(),
                 "param {} grad[{i}] diverged {after}",
                 pa.name
+            );
+        }
+    }
+}
+
+/// Sharded `train_batch` — rollouts *and* BPTT replay on a fixed worker
+/// pool, per-episode tapes, gradients reduced in episode order — must be
+/// bit-identical to the serial path for every pool size. Five environments
+/// across pools of 1/2/4 exercise uneven shards (2+2+1) and a pool smaller
+/// than the batch.
+#[test]
+fn sharded_train_batch_is_bit_identical_across_pool_sizes() {
+    let make_trainer = |num_workers: usize, parallel: bool| {
+        let config = A2cConfig {
+            learning_rate: 0.01,
+            num_workers,
+            parallel_rollouts: parallel,
+            ..A2cConfig::default()
+        };
+        A2cTrainer::new(RecurrentActorCritic::new(1, 12, 2, 33), config, 9)
+    };
+    // Varying delays give every episode a different length, so the flat
+    // advantage slices and shard boundaries are all uneven.
+    let make_envs = || -> Vec<MemoryEnv> { (1..=5).map(MemoryEnv::new).collect() };
+
+    // Reference: pooling disabled entirely (pure serial caller-thread
+    // path), with the agent snapshotted after every update.
+    let mut serial = make_trainer(1, false);
+    let mut serial_envs = make_envs();
+    let mut reports = Vec::new();
+    let mut snapshots = Vec::new();
+    for _ in 0..3 {
+        let mut refs: Vec<&mut dyn Env> =
+            serial_envs.iter_mut().map(|e| e as &mut dyn Env).collect();
+        reports.push(serial.train_batch(&mut refs));
+        snapshots.push(serial.agent.clone());
+    }
+
+    for pool in [1usize, 2, 4] {
+        let mut sharded = make_trainer(pool, true);
+        let mut envs = make_envs();
+        for (update, (serial_report, snapshot)) in
+            reports.iter().zip(&snapshots).enumerate()
+        {
+            let mut refs: Vec<&mut dyn Env> =
+                envs.iter_mut().map(|e| e as &mut dyn Env).collect();
+            let report = sharded.train_batch(&mut refs);
+            assert_eq!(report.steps, serial_report.steps, "pool {pool} update {update}: steps");
+            assert_eq!(
+                report.loss.to_bits(),
+                serial_report.loss.to_bits(),
+                "pool {pool} update {update}: loss diverged ({} vs {})",
+                report.loss,
+                serial_report.loss
+            );
+            assert_eq!(
+                report.grad_norm.to_bits(),
+                serial_report.grad_norm.to_bits(),
+                "pool {pool} update {update}: grad norm diverged"
+            );
+            assert_stores_identical(
+                snapshot,
+                &sharded.agent,
+                &format!("pool {pool} after update {update}"),
             );
         }
     }

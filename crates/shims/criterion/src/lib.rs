@@ -11,14 +11,19 @@
 //! - `LAHD_BENCH_QUICK=1` — shrink warm-up/measurement budgets (~20×) so a
 //!   full micro-bench sweep finishes in seconds.
 //! - `LAHD_BENCH_JSON=<path>` — append one JSON object per benchmark
-//!   (`{"bench":"group/name","median_ns":...,"samples":N}`) to `<path>`;
-//!   the snapshot script folds these lines into `BENCH_<n>.json`.
+//!   (`{"bench":"group/name","median_ns":...,"mad_ns":...,"p10_ns":...,
+//!   "p90_ns":...,"samples":N}`) to `<path>`; the snapshot script folds
+//!   these lines into `BENCH_<n>.json` (keyed on `median_ns`, so snapshots
+//!   stay comparable across shim versions).
 //!
 //! Measurement model: each sample runs a batch of iterations sized so one
 //! batch takes roughly `measurement_time / sample_count`; the per-iteration
-//! time of a sample is `batch_elapsed / batch_iters`, and the reported
+//! time of a sample is `batch_elapsed / batch_iters`, and the headline
 //! statistic is the median over samples — robust to scheduler noise on the
-//! single-core CI runner.
+//! single-core CI runner. Alongside the median the harness reports the
+//! sample dispersion — median absolute deviation plus the p10/p90
+//! nearest-rank percentiles — so a delta between two snapshots can be
+//! judged against the run's own noise floor instead of eyeballed.
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
@@ -70,12 +75,51 @@ fn quick_mode() -> bool {
     std::env::var("LAHD_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
 }
 
+/// Per-benchmark sample statistics: the median plus dispersion measures.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleStats {
+    /// Median ns/iter over samples (the headline, trajectory-compared
+    /// statistic).
+    pub median_ns: f64,
+    /// Median absolute deviation of the samples around the median — a
+    /// robust noise floor for judging deltas between snapshots.
+    pub mad_ns: f64,
+    /// 10th-percentile sample (nearest rank).
+    pub p10_ns: f64,
+    /// 90th-percentile sample (nearest rank).
+    pub p90_ns: f64,
+    /// Number of timing samples taken.
+    pub samples: usize,
+}
+
+impl Default for SampleStats {
+    fn default() -> Self {
+        Self { median_ns: f64::NAN, mad_ns: f64::NAN, p10_ns: f64::NAN, p90_ns: f64::NAN, samples: 0 }
+    }
+}
+
+impl SampleStats {
+    /// Computes the statistics from raw per-sample ns/iter values.
+    fn from_samples(mut sample_ns: Vec<f64>) -> Self {
+        assert!(!sample_ns.is_empty(), "statistics need at least one sample");
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let samples = sample_ns.len();
+        let median_ns = sample_ns[samples / 2];
+        let nearest_rank = |q: f64| sample_ns[((samples - 1) as f64 * q).round() as usize];
+        let p10_ns = nearest_rank(0.10);
+        let p90_ns = nearest_rank(0.90);
+        let mut abs_dev: Vec<f64> = sample_ns.iter().map(|&x| (x - median_ns).abs()).collect();
+        abs_dev.sort_by(|a, b| a.partial_cmp(b).expect("finite deviations"));
+        let mad_ns = abs_dev[samples / 2];
+        Self { median_ns, mad_ns, p10_ns, p90_ns, samples }
+    }
+}
+
 /// Timing loop driver handed to benchmark closures.
 pub struct Bencher<'a> {
     budget: &'a Budget,
-    /// Median ns/iter over samples, filled by `iter`/`iter_batched`.
-    median_ns: f64,
-    samples_taken: usize,
+    /// Sample statistics, filled by `iter`/`iter_batched`.
+    stats: SampleStats,
 }
 
 impl Bencher<'_> {
@@ -144,10 +188,8 @@ impl Bencher<'_> {
         self.finish_samples(sample_ns);
     }
 
-    fn finish_samples(&mut self, mut sample_ns: Vec<f64>) {
-        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
-        self.median_ns = sample_ns[sample_ns.len() / 2];
-        self.samples_taken = sample_ns.len();
+    fn finish_samples(&mut self, sample_ns: Vec<f64>) {
+        self.stats = SampleStats::from_samples(sample_ns);
     }
 }
 
@@ -172,12 +214,11 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let budget = Budget::from_env(self.sample_size);
-        let mut bencher =
-            Bencher { budget: &budget, median_ns: f64::NAN, samples_taken: 0 };
+        let mut bencher = Bencher { budget: &budget, stats: SampleStats::default() };
         f(&mut bencher);
         let full = format!("{}/{}", self.name, id);
-        report(&full, bencher.median_ns, bencher.samples_taken);
-        self.criterion.results.push((full, bencher.median_ns));
+        report(&full, &bencher.stats);
+        self.criterion.results.push((full, bencher.stats.median_ns));
         self
     }
 
@@ -209,11 +250,10 @@ impl Criterion {
     {
         let id = id.into();
         let budget = Budget::from_env(50);
-        let mut bencher =
-            Bencher { budget: &budget, median_ns: f64::NAN, samples_taken: 0 };
+        let mut bencher = Bencher { budget: &budget, stats: SampleStats::default() };
         f(&mut bencher);
-        report(&id, bencher.median_ns, bencher.samples_taken);
-        self.results.push((id, bencher.median_ns));
+        report(&id, &bencher.stats);
+        self.results.push((id, bencher.stats.median_ns));
         self
     }
 
@@ -224,12 +264,17 @@ impl Criterion {
     }
 }
 
-fn report(bench: &str, median_ns: f64, samples: usize) {
-    println!("{bench:<48} median {:>12.1} ns/iter ({samples} samples)", median_ns);
+fn report(bench: &str, stats: &SampleStats) {
+    let SampleStats { median_ns, mad_ns, p10_ns, p90_ns, samples } = *stats;
+    println!(
+        "{bench:<48} median {median_ns:>12.1} ns/iter  \
+         mad {mad_ns:>9.1}  p10 {p10_ns:>12.1}  p90 {p90_ns:>12.1} ({samples} samples)"
+    );
     if let Ok(path) = std::env::var("LAHD_BENCH_JSON") {
         if !path.is_empty() {
             let line = format!(
-                "{{\"bench\":\"{bench}\",\"median_ns\":{median_ns:.1},\"samples\":{samples}}}\n"
+                "{{\"bench\":\"{bench}\",\"median_ns\":{median_ns:.1},\"mad_ns\":{mad_ns:.1},\
+                 \"p10_ns\":{p10_ns:.1},\"p90_ns\":{p90_ns:.1},\"samples\":{samples}}}\n"
             );
             let _ = std::fs::OpenOptions::new()
                 .create(true)
@@ -282,6 +327,18 @@ mod tests {
         group.finish();
         assert_eq!(c.results.len(), 1);
         assert!(c.results[0].1 > 0.0, "median must be positive: {:?}", c.results);
+    }
+
+    #[test]
+    fn sample_stats_report_dispersion() {
+        // sorted: 9, 10, 11, 12, 100 — the outlier must move p90, not the
+        // median or the MAD.
+        let stats = SampleStats::from_samples(vec![10.0, 12.0, 11.0, 9.0, 100.0]);
+        assert_eq!(stats.median_ns, 11.0);
+        assert_eq!(stats.mad_ns, 1.0);
+        assert_eq!(stats.p10_ns, 9.0);
+        assert_eq!(stats.p90_ns, 100.0);
+        assert_eq!(stats.samples, 5);
     }
 
     #[test]

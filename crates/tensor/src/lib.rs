@@ -6,13 +6,14 @@
 //! element-wise maps, row-broadcast operations, stable softmax, reductions,
 //! and seeded random initialisation.
 //!
-//! The models trained in this workspace are small (a GRU torso of at most a
-//! few hundred hidden units plus linear heads), so the kernels stay in safe
-//! scalar Rust, but they are written for the autovectoriser: the GEMM loops
-//! use the cache-friendly `ikj` order with branch-free, eight-wide-unrolled
-//! inner loops, every orientation has an `_into`/`_acc` variant that writes
-//! into caller-owned scratch, and `transpose` walks 32×32 cache blocks. See
-//! `PERF.md` at the workspace root for measurements.
+//! Small vector-matrix shapes run branch-free, eight-wide-unrolled loops
+//! written for the autovectoriser; above a size cutoff every orientation
+//! routes through the packed, cache-blocked, register-tiled GEMM in
+//! [`gemm`] (with an optional AVX2/FMA microkernel behind the `simd` cargo
+//! feature). Every orientation has an `_into`/`_acc` variant writing into
+//! caller-owned scratch, and `transpose` walks 32×32 cache blocks. See
+//! `PERF.md` at the workspace root for measurements and the blocked-GEMM
+//! design notes.
 //!
 //! # Example
 //!
@@ -24,11 +25,13 @@
 //! assert_eq!(a.matmul(&b), a);
 //! ```
 
+pub mod gemm;
 mod init;
 mod matrix;
 mod ops;
 mod stats;
 
+pub use gemm::PackBuffers;
 pub use init::{xavier_normal, xavier_uniform, Initializer};
 pub use matrix::Matrix;
 pub use ops::{log_softmax_row, softmax_row};

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::gemm::{self, PackBuffers};
+
 /// A dense, row-major `f32` matrix.
 ///
 /// Vectors are represented as `1 × n` matrices throughout the workspace, so a
@@ -143,17 +145,6 @@ impl Matrix {
     /// Iterates over the rows as slices.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
         self.data.chunks_exact(self.cols.max(1))
-    }
-
-    /// Copies column `c` into a new `Vec`.
-    ///
-    /// Deprecated allocation path: prefer [`Matrix::copy_col_into`], which
-    /// writes into a caller-owned buffer.
-    #[deprecated(since = "0.1.0", note = "use copy_col_into to avoid the per-call allocation")]
-    pub fn col(&self, c: usize) -> Vec<f32> {
-        let mut out = vec![0.0; self.rows];
-        self.copy_col_into(c, &mut out);
-        out
     }
 
     /// Copies column `c` into `dst` without allocating.
@@ -313,6 +304,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
+    #[inline]
     pub fn matmul(&self, other: &Self) -> Self {
         let mut out = Self::zeros(self.rows, other.cols);
         self.matmul_acc(other, &mut out);
@@ -324,33 +316,39 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics on any shape mismatch.
+    #[inline]
     pub fn matmul_into(&self, other: &Self, out: &mut Self) {
         out.fill_zero();
         self.matmul_acc(other, out);
     }
 
-    /// `out += self · other` with the `ikj` loop order.
+    /// `out += self · other`.
     ///
-    /// The inner `j` loop is branch-free and unrolled eight-wide: the hot
-    /// path's inputs (activations, gradients) are dense, so a per-element
-    /// zero test costs a mispredicted branch per multiply and blocks
-    /// autovectorisation.
+    /// Below the blocked-GEMM cutoff this runs the branch-free, eight-wide
+    /// unrolled `ikj` loop; above it the product routes through the packed,
+    /// register-tiled kernel in [`crate::gemm`] (bit-identical fold, see the
+    /// module docs) using the calling thread's shared [`PackBuffers`].
+    #[inline]
     pub fn matmul_acc(&self, other: &Self, out: &mut Self) {
+        self.assert_matmul_shapes(other, out);
+        gemm::auto_nn(self, other, out);
+    }
+
+    /// [`Matrix::matmul_acc`] with caller-owned packing scratch instead of
+    /// the thread-local buffers.
+    pub fn matmul_acc_with(&self, other: &Self, out: &mut Self, packs: &mut PackBuffers) {
+        self.assert_matmul_shapes(other, out);
+        gemm::auto_nn_with(self, other, out, packs);
+    }
+
+    #[inline]
+    fn assert_matmul_shapes(&self, other: &Self, out: &Self) {
         assert_eq!(
             self.cols, other.rows,
             "matmul inner dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                let b_row = &other.data[k * n..(k + 1) * n];
-                axpy_row(out_row, a, b_row);
-            }
-        }
     }
 
     /// Matrix product `selfᵀ · other` (used for weight gradients).
@@ -361,27 +359,33 @@ impl Matrix {
     }
 
     /// `out = selfᵀ · other`, overwriting caller-owned scratch.
+    #[inline]
     pub fn matmul_tn_into(&self, other: &Self, out: &mut Self) {
         out.fill_zero();
         self.matmul_tn_acc(other, out);
     }
 
-    /// `out += selfᵀ · other`.
+    /// `out += selfᵀ · other`; dispatches like [`Matrix::matmul_acc`].
+    #[inline]
     pub fn matmul_tn_acc(&self, other: &Self, out: &mut Self) {
+        self.assert_matmul_tn_shapes(other, out);
+        gemm::auto_tn(self, other, out);
+    }
+
+    /// [`Matrix::matmul_tn_acc`] with caller-owned packing scratch.
+    pub fn matmul_tn_acc_with(&self, other: &Self, out: &mut Self, packs: &mut PackBuffers) {
+        self.assert_matmul_tn_shapes(other, out);
+        gemm::auto_tn_with(self, other, out, packs);
+    }
+
+    #[inline]
+    fn assert_matmul_tn_shapes(&self, other: &Self, out: &Self) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn dimension mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         assert_eq!(out.shape(), (self.cols, other.cols), "matmul_tn output shape mismatch");
-        let n = other.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = &other.data[k * n..(k + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                axpy_row(out.row_mut(i), a, b_row);
-            }
-        }
     }
 
     /// Matrix product `self · otherᵀ` (used for input gradients).
@@ -392,26 +396,33 @@ impl Matrix {
     }
 
     /// `out = self · otherᵀ`, overwriting caller-owned scratch.
+    #[inline]
     pub fn matmul_nt_into(&self, other: &Self, out: &mut Self) {
         out.fill_zero();
         self.matmul_nt_acc(other, out);
     }
 
-    /// `out += self · otherᵀ`.
+    /// `out += self · otherᵀ`; dispatches like [`Matrix::matmul_acc`].
+    #[inline]
     pub fn matmul_nt_acc(&self, other: &Self, out: &mut Self) {
+        self.assert_matmul_nt_shapes(other, out);
+        gemm::auto_nt(self, other, out);
+    }
+
+    /// [`Matrix::matmul_nt_acc`] with caller-owned packing scratch.
+    pub fn matmul_nt_acc_with(&self, other: &Self, out: &mut Self, packs: &mut PackBuffers) {
+        self.assert_matmul_nt_shapes(other, out);
+        gemm::auto_nt_with(self, other, out, packs);
+    }
+
+    #[inline]
+    fn assert_matmul_nt_shapes(&self, other: &Self, out: &Self) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
         assert_eq!(out.shape(), (self.rows, other.rows), "matmul_nt output shape mismatch");
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o += dot_unrolled(a_row, other.row(j));
-            }
-        }
     }
 
     /// Returns the transpose.
@@ -505,45 +516,6 @@ impl Matrix {
             other.shape()
         );
     }
-}
-
-/// `out[j] += a * b[j]`, unrolled eight-wide over fixed-size array chunks
-/// so the compiler emits branch-free vector code (no zero-skip test, no
-/// bounds checks inside the loop).
-#[inline]
-fn axpy_row(out: &mut [f32], a: f32, b: &[f32]) {
-    debug_assert_eq!(out.len(), b.len());
-    let (o_main, o_tail) = out.as_chunks_mut::<8>();
-    let (b_main, b_tail) = b.as_chunks::<8>();
-    for (oc, bc) in o_main.iter_mut().zip(b_main) {
-        for j in 0..8 {
-            oc[j] += a * bc[j];
-        }
-    }
-    for (o, &bv) in o_tail.iter_mut().zip(b_tail) {
-        *o += a * bv;
-    }
-}
-
-/// Dot product with eight independent accumulator lanes (breaks the add
-/// latency chain; the compiler turns the lanes into vector FMAs).
-#[inline]
-fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let (a_main, a_tail) = a.as_chunks::<8>();
-    let (b_main, b_tail) = b.as_chunks::<8>();
-    let mut acc = [0.0f32; 8];
-    for (ac, bc) in a_main.iter().zip(b_main) {
-        for j in 0..8 {
-            acc[j] += ac[j] * bc[j];
-        }
-    }
-    let mut tail = 0.0;
-    for (&av, &bv) in a_tail.iter().zip(b_tail) {
-        tail += av * bv;
-    }
-    let halves = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
-    (halves[0] + halves[1]) + (halves[2] + halves[3]) + tail
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -679,10 +651,8 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn col_extracts_column() {
+    fn copy_col_into_extracts_column() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
-        assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
         let mut buf = [0.0; 3];
         m.copy_col_into(1, &mut buf);
         assert_eq!(buf, [2.0, 4.0, 6.0]);

@@ -11,8 +11,11 @@
 #
 # The output defaults to the next free BENCH_<n>.json at the workspace
 # root, so each PR appends one snapshot and the sequence forms the perf
-# trajectory (see PERF.md). Compare two snapshots with e.g.:
-#   paste <(sort BENCH_1.json) <(sort BENCH_2.json)
+# trajectory (see PERF.md). The harness also emits dispersion fields
+# (mad_ns, p10_ns, p90_ns) per record; only median_ns is folded here so
+# snapshots stay comparable across shim versions. Compare two snapshots
+# (with a regression threshold) via:
+#   scripts/bench_compare.sh BENCH_1.json BENCH_2.json [threshold_pct]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

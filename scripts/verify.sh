@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the feature-gated build.
+#
+# 1. `cargo build --release && cargo test -q` — the ROADMAP's tier-1 gate,
+#    covering every default workspace member.
+# 2. `cargo build --release --features simd` — the AVX2/FMA GEMM microkernel
+#    path; building it here keeps the feature gate from rotting.
+# 3. `cargo test -q -p lahd-tensor --features simd` — the GEMM equivalence
+#    suite under the simd microkernel (tolerance-based where FMA rounding
+#    legitimately differs; see crates/tensor/src/gemm.rs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== feature gate: cargo build --release --features simd"
+cargo build --release --features simd
+
+echo "== feature gate: cargo test -q -p lahd-tensor --features simd"
+cargo test -q -p lahd-tensor --features simd
+
+echo "verify: all green"
