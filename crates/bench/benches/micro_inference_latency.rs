@@ -84,6 +84,17 @@ fn bench_inference(c: &mut Criterion) {
         })
     });
 
+    // Packed inference engine: pre-packed GEMV weights, fused gate
+    // matvecs — the per-decision deployment path the A2C trainer runs.
+    let engine = lahd_rl::InferEngine::new(&agent);
+    let mut scratch_packed = lahd_rl::InferScratch::default();
+    group.bench_function("gru128_forward_packed", |b| {
+        b.iter(|| {
+            engine.infer_into(&agent, &obs_vec, &h0, &mut scratch_packed);
+            std::hint::black_box(scratch_packed.values[(0, 0)])
+        })
+    });
+
     // Batched inference: 8 environments through one B×D matmul set. The
     // reported time is per *batch*; divide by 8 for per-decision cost.
     let obs8 = {
@@ -99,6 +110,16 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| {
             agent.infer_batch_into(&obs8, &h8, &mut scratch8);
             std::hint::black_box(scratch8.values[(0, 0)])
+        })
+    });
+
+    // The same 8-environment batch through the packed engine (row-wise
+    // fused GEMV below the blocked cutoff).
+    let mut scratch8_packed = lahd_rl::InferScratch::default();
+    group.bench_function("gru128_infer_batch8_packed", |b| {
+        b.iter(|| {
+            engine.infer_batch_into(&agent, &obs8, &h8, &mut scratch8_packed);
+            std::hint::black_box(scratch8_packed.values[(0, 0)])
         })
     });
 

@@ -75,6 +75,28 @@ fn bench_matmul(c: &mut Criterion) {
         })
     });
 
+    // The packed-GEMV inference engine at the same shape: weights packed
+    // once into column panels, register-resident accumulators (scalar path
+    // bit-identical to mm_into; see lahd_tensor::gemv).
+    {
+        let packed = lahd_tensor::PackedGemvWeights::pack(&u);
+        let mut y = vec![0.0f32; 128];
+        group.bench_function("gemv_packed_1x128_128x128", |b| {
+            b.iter(|| {
+                packed.gemv_into(h.row(0), &mut y);
+                std::hint::black_box(y[0])
+            })
+        });
+        // Pack cost, for the pack-on-update cost model in PERF.md.
+        let mut repacked = lahd_tensor::PackedGemvWeights::pack(&u);
+        group.bench_function("gemv_repack_128x128", |b| {
+            b.iter(|| {
+                repacked.repack(&u);
+                std::hint::black_box(repacked.cols())
+            })
+        });
+    }
+
     // Batched rollout shape: 8 environments in one pass.
     let hb = dense(8, 128, 4);
     let mut out_b = Matrix::zeros(8, 128);

@@ -1,0 +1,97 @@
+//! Component-level timing for the packed GEMV inference engine: per-panel
+//! matvec cost, activation (sigmoid/tanh) cost, and head cost at paper
+//! scale. Used to attribute `gru128_forward_packed` time when re-tuning
+//! the GEMV layout (see PERF.md).
+//!
+//! Run with: `cargo run --release -p lahd-bench --example gemv_tune`
+
+use lahd_tensor::{Matrix, PackedGemvWeights};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time(label: &str, iters: u32, mut f: impl FnMut()) -> f64 {
+    // Warm up.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:40} {ns:10.1} ns/iter");
+    ns
+}
+
+fn dense(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i * 31 + j * 17 + seed * 13 + 7) % 97) as f32 / 48.5 - 1.0
+    })
+}
+
+fn main() {
+    let iters = 20_000;
+
+    // GRU-128 matvec components.
+    let x = dense(1, 35, 0);
+    let h = dense(1, 128, 1);
+    let wzrn = PackedGemvWeights::pack_concat(&[&dense(35, 128, 2), &dense(35, 128, 3), &dense(35, 128, 4)]);
+    let uzr = PackedGemvWeights::pack_concat(&[&dense(128, 128, 5), &dense(128, 128, 6)]);
+    let un = PackedGemvWeights::pack(&dense(128, 128, 7));
+    let policy = PackedGemvWeights::pack(&dense(128, 7, 8));
+    let value = PackedGemvWeights::pack(&dense(128, 1, 9));
+
+    let mut xw = vec![0.0f32; 384];
+    let mut hu = vec![0.0f32; 256];
+    let mut nu = vec![0.0f32; 128];
+    let mut logits = vec![0.0f32; 7];
+    let mut val = vec![0.0f32; 1];
+
+    let mut total = 0.0;
+    total += time("wzrn gemv 35 -> 384", iters, || {
+        wzrn.gemv_into(black_box(x.row(0)), &mut xw);
+        black_box(xw[0]);
+    });
+    total += time("uzr gemv 128 -> 256", iters, || {
+        uzr.gemv_into(black_box(h.row(0)), &mut hu);
+        black_box(hu[0]);
+    });
+    total += time("un gemv 128 -> 128", iters, || {
+        un.gemv_into(black_box(h.row(0)), &mut nu);
+        black_box(nu[0]);
+    });
+    total += time("policy head gemv 128 -> 7", iters, || {
+        policy.gemv_into(black_box(h.row(0)), &mut logits);
+        black_box(logits[0]);
+    });
+    total += time("value head gemv 128 -> 1", iters, || {
+        value.gemv_into(black_box(h.row(0)), &mut val);
+        black_box(val[0]);
+    });
+
+    // Activation costs (the part bit-identity pins to libm).
+    let mut z = vec![0.0f32; 128];
+    let mut rh = vec![0.0f32; 128];
+    total += time("z/r gate pass (256 sigmoid)", iters, || {
+        let xw = black_box(&xw);
+        let hu = black_box(&hu);
+        let hr = h.row(0);
+        for j in 0..128 {
+            z[j] = 1.0 / (1.0 + (-((xw[j] + hu[j]) + 0.01)).exp());
+            rh[j] = (1.0 / (1.0 + (-((xw[128 + j] + hu[128 + j]) + 0.01)).exp())) * hr[j];
+        }
+        black_box(z[0]);
+    });
+    let mut out = vec![0.0f32; 128];
+    total += time("candidate pass (128 tanh)", iters, || {
+        let xw = black_box(&xw);
+        let nu = black_box(&nu);
+        let hr = h.row(0);
+        for j in 0..128 {
+            let nv = ((xw[256 + j] + nu[j]) + 0.01).tanh();
+            out[j] = (1.0 - z[j]) * nv + z[j] * hr[j];
+        }
+        black_box(out[0]);
+    });
+    println!("{:40} {total:10.1} ns/iter", "sum of components");
+}

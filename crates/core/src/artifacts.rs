@@ -82,12 +82,14 @@ pub fn load_artifacts(cfg: &PipelineConfig, dir: &Path) -> Option<PipelineArtifa
         return None;
     }
     obs_qbn.store.copy_values_from(&obs_store);
+    obs_qbn.repack();
 
     let mut hidden_qbn = Qbn::new(QbnConfig::with_dims(cfg.hidden_dim, cfg.hidden_latent), 0);
     if !layouts_match(&hidden_qbn.store, &hid_store) {
         return None;
     }
     hidden_qbn.store.copy_values_from(&hid_store);
+    hidden_qbn.repack();
 
     let mut raw_states = 0;
     let mut dataset_len = 0;

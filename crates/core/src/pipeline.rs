@@ -477,6 +477,10 @@ impl Pipeline {
             );
             adam_obs.step(&mut obs_qbn.store);
             adam_hid.step(&mut hidden_qbn.store);
+            // Next epoch's rollouts encode/decode through the packed QBN
+            // inference weights, which the Adam steps just invalidated.
+            obs_qbn.repack();
+            hidden_qbn.repack();
             losses.push(loss_value);
         }
         losses

@@ -19,15 +19,15 @@ use crate::params::{ParamId, ParamStore};
 /// for rollouts and deployment.
 #[derive(Clone, Debug)]
 pub struct GruCell {
-    wz: ParamId,
-    uz: ParamId,
-    bz: ParamId,
-    wr: ParamId,
-    ur: ParamId,
-    br: ParamId,
-    wn: ParamId,
-    un: ParamId,
-    bn: ParamId,
+    pub(crate) wz: ParamId,
+    pub(crate) uz: ParamId,
+    pub(crate) bz: ParamId,
+    pub(crate) wr: ParamId,
+    pub(crate) ur: ParamId,
+    pub(crate) br: ParamId,
+    pub(crate) wn: ParamId,
+    pub(crate) un: ParamId,
+    pub(crate) bn: ParamId,
     input_dim: usize,
     hidden_dim: usize,
 }

@@ -2,6 +2,8 @@
 
 mod gru;
 mod linear;
+mod packed;
 
 pub use gru::{GruCell, GruScratch};
 pub use linear::Linear;
+pub use packed::{PackedGru, PackedGruScratch, PackedLinear};

@@ -1,0 +1,310 @@
+//! Packed inference fast paths for [`Linear`] and [`GruCell`].
+//!
+//! Per-decision deployment runs `1×D` products, which the blocked GEMM
+//! deliberately leaves on the unblocked axpy kernels; packing the weights
+//! into the column-panel layout of [`lahd_tensor::gemv`] once and reusing
+//! the pack across decisions removes both the per-`k` output-row traffic
+//! and (for the GRU) two of the three gate traversals: the gate weight
+//! matrices that share an operand are packed side by side, so one
+//! [`PackedGemvWeights::gemv_into`] pass produces every gate's
+//! pre-activation.
+//!
+//! # Freshness
+//!
+//! A pack is a cache of parameter values. Both wrappers record
+//! [`ParamStore::version`] at pack time and assert it on every inference
+//! call: after an optimiser step (or any other value mutation) the owner
+//! must call `repack` before inferring again, and forgetting to do so is a
+//! loud panic instead of silently stale logits. Equal versions across
+//! *different* store instances are not proof of equality — keep each packed
+//! wrapper paired with the store it was packed from (the trainer and QBN
+//! types in this workspace do exactly that).
+//!
+//! # Numerical contract
+//!
+//! On the default (scalar) build every packed path is **bit-identical** to
+//! its unpacked counterpart ([`Linear::infer_into`],
+//! [`GruCell::infer_step_into`]) for every batch size: below the blocked
+//! cutoff both sides perform the same ascending-`k` folds and identical
+//! element-wise arithmetic, and at [`BLOCK_MIN_ROWS`] rows and above the
+//! packed wrappers fall back to the unpacked methods outright (batches that
+//! large are better served by the blocked GEMM than by row-at-a-time
+//! GEMV). Under `--features simd` the GEMV kernels fuse multiply-add, so
+//! results are close but not bit-equal — the same contract as the blocked
+//! GEMM. `tests/packed_equivalence.rs` pins all of this.
+
+use lahd_tensor::gemm::BLOCK_MIN_ROWS;
+use lahd_tensor::{Matrix, PackedGemvWeights};
+
+use super::gru::{GruCell, GruScratch};
+use super::linear::Linear;
+use crate::params::ParamStore;
+
+/// Logistic sigmoid, written exactly as the unpacked GRU path computes it
+/// so the two stay bit-identical.
+#[inline]
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+#[inline]
+fn assert_fresh(kind: &str, packed_version: u64, store: &ParamStore) {
+    assert_eq!(
+        packed_version,
+        store.version(),
+        "stale {kind}: parameter values changed since packing; call repack()"
+    );
+}
+
+/// A [`Linear`] layer with its weight matrix packed for `1×D` inference.
+#[derive(Clone, Debug)]
+pub struct PackedLinear {
+    layer: Linear,
+    weights: PackedGemvWeights,
+    version: u64,
+}
+
+impl PackedLinear {
+    /// Packs `layer`'s current weights from `store`.
+    pub fn new(layer: &Linear, store: &ParamStore) -> Self {
+        let mut packed =
+            Self { layer: layer.clone(), weights: PackedGemvWeights::default(), version: 0 };
+        packed.repack(store);
+        packed
+    }
+
+    /// Re-packs after a parameter update (allocation-free in steady state).
+    pub fn repack(&mut self, store: &ParamStore) {
+        self.weights.repack(store.value(self.layer.w));
+        self.version = store.version();
+    }
+
+    /// The wrapped layer description.
+    pub fn layer(&self) -> &Linear {
+        &self.layer
+    }
+
+    /// Packed counterpart of [`Linear::infer_into`]; bit-identical on the
+    /// scalar build (see the [module docs](self)).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or if the store's values changed since
+    /// the last `repack`.
+    pub fn infer_into(&self, store: &ParamStore, x: &Matrix, out: &mut Matrix) {
+        assert_fresh("PackedLinear", self.version, store);
+        if x.rows() >= BLOCK_MIN_ROWS {
+            // Large batches belong to the blocked GEMM, not row-wise GEMV.
+            self.layer.infer_into(store, x, out);
+            return;
+        }
+        assert_eq!(x.cols(), self.layer.in_dim(), "packed linear input width mismatch");
+        assert_eq!(
+            out.shape(),
+            (x.rows(), self.layer.out_dim()),
+            "packed linear output shape mismatch"
+        );
+        for r in 0..x.rows() {
+            self.weights.gemv_into(x.row(r), out.row_mut(r));
+        }
+        out.add_row_broadcast(store.value(self.layer.b));
+    }
+
+    /// Allocating convenience wrapper over [`PackedLinear::infer_into`].
+    pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.layer.out_dim());
+        self.infer_into(store, x, &mut out);
+        out
+    }
+}
+
+/// A [`GruCell`] with its six gate weight matrices packed for fused `1×D`
+/// inference: `[Wz|Wr|Wn]` share the `x` operand and `[Uz|Ur]` share `h`,
+/// so a step costs three GEMV traversals instead of six (the candidate's
+/// `Un` takes `r ∘ h`, which only exists after the reset gate).
+#[derive(Clone, Debug)]
+pub struct PackedGru {
+    cell: GruCell,
+    /// `input_dim × 3H`: `x`-side gate weights `[Wz | Wr | Wn]`.
+    wzrn: PackedGemvWeights,
+    /// `H × 2H`: `h`-side gate weights `[Uz | Ur]`.
+    uzr: PackedGemvWeights,
+    /// `H × H`: candidate weights applied to `r ∘ h`.
+    un: PackedGemvWeights,
+    version: u64,
+}
+
+impl PackedGru {
+    /// Packs `cell`'s current weights from `store`.
+    pub fn new(cell: &GruCell, store: &ParamStore) -> Self {
+        let mut packed = Self {
+            cell: cell.clone(),
+            wzrn: PackedGemvWeights::default(),
+            uzr: PackedGemvWeights::default(),
+            un: PackedGemvWeights::default(),
+            version: 0,
+        };
+        packed.repack(store);
+        packed
+    }
+
+    /// Re-packs after a parameter update (allocation-free in steady state).
+    pub fn repack(&mut self, store: &ParamStore) {
+        let c = &self.cell;
+        self.wzrn
+            .repack_concat(&[store.value(c.wz), store.value(c.wr), store.value(c.wn)]);
+        self.uzr.repack_concat(&[store.value(c.uz), store.value(c.ur)]);
+        self.un.repack(store.value(c.un));
+        self.version = store.version();
+    }
+
+    /// The wrapped cell description.
+    pub fn cell(&self) -> &GruCell {
+        &self.cell
+    }
+
+    /// Packed counterpart of [`GruCell::infer_step_into`]; bit-identical on
+    /// the scalar build for every batch size (see the [module docs](self)).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or if the store's values changed since
+    /// the last `repack`.
+    pub fn infer_step_into(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        h: &Matrix,
+        scratch: &mut PackedGruScratch,
+        out: &mut Matrix,
+    ) {
+        assert_fresh("PackedGru", self.version, store);
+        let rows = x.rows();
+        let hd = self.cell.hidden_dim();
+        assert_eq!(x.cols(), self.cell.input_dim(), "GRU input width mismatch");
+        assert_eq!(h.cols(), hd, "GRU hidden width mismatch");
+        assert_eq!(h.rows(), rows, "GRU state row-count mismatch");
+        assert_eq!(out.shape(), (rows, hd), "GRU output shape mismatch");
+        if rows >= BLOCK_MIN_ROWS {
+            self.cell.infer_step_into(store, x, h, &mut scratch.fallback, out);
+            return;
+        }
+        scratch.ensure(rows, hd);
+        let bz = store.value(self.cell.bz).row(0);
+        let br = store.value(self.cell.br).row(0);
+        let bn = store.value(self.cell.bn).row(0);
+
+        for r in 0..rows {
+            let hr = h.row(r);
+            // One fused pass per operand: all three x-side gates, then both
+            // h-side gates that read the raw state.
+            self.wzrn.gemv_into(x.row(r), scratch.xw.row_mut(r));
+            self.uzr.gemv_into(hr, scratch.hu.row_mut(r));
+            {
+                let xw = scratch.xw.row(r);
+                let (xwz, xwr) = (&xw[..hd], &xw[hd..2 * hd]);
+                let hu = scratch.hu.row(r);
+                let (huz, hur) = (&hu[..hd], &hu[hd..]);
+                let z_row = scratch.z.row_mut(r);
+                let rh_row = scratch.rh.row_mut(r);
+                for j in 0..hd {
+                    // z = σ(x·Wz + h·Uz + bz), r = σ(x·Wr + h·Ur + br) —
+                    // the same association order as the unpacked path.
+                    z_row[j] = sigmoid((xwz[j] + huz[j]) + bz[j]);
+                    rh_row[j] = sigmoid((xwr[j] + hur[j]) + br[j]) * hr[j];
+                }
+            }
+            self.un.gemv_into(scratch.rh.row(r), scratch.nu.row_mut(r));
+            {
+                let xwn = &scratch.xw.row(r)[2 * hd..];
+                let nu = scratch.nu.row(r);
+                let z_row = scratch.z.row(r);
+                let out_row = out.row_mut(r);
+                for j in 0..hd {
+                    // n = tanh(x·Wn + (r∘h)·Un + bn); h' = (1−z)∘n + z∘h.
+                    let nv = ((xwn[j] + nu[j]) + bn[j]).tanh();
+                    let zv = z_row[j];
+                    out_row[j] = (1.0 - zv) * nv + zv * hr[j];
+                }
+            }
+        }
+    }
+}
+
+/// Caller-owned workspace for [`PackedGru::infer_step_into`]: the fused
+/// gate pre-activation rows plus the unpacked scratch the large-batch
+/// fallback uses. Reusing one instance keeps per-decision inference
+/// allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct PackedGruScratch {
+    /// `B × 3H` fused x-side pre-activations `[x·Wz | x·Wr | x·Wn]`.
+    xw: Matrix,
+    /// `B × 2H` fused h-side pre-activations `[h·Uz | h·Ur]`.
+    hu: Matrix,
+    /// `B × H` update gate (kept across the candidate matvec).
+    z: Matrix,
+    /// `B × H` reset-gated state `r ∘ h`.
+    rh: Matrix,
+    /// `B × H` candidate contribution `(r ∘ h)·Un`.
+    nu: Matrix,
+    fallback: GruScratch,
+}
+
+impl PackedGruScratch {
+    fn ensure(&mut self, rows: usize, hidden: usize) {
+        if self.xw.shape() != (rows, 3 * hidden) {
+            self.xw.reshape_zeroed(rows, 3 * hidden);
+        }
+        if self.hu.shape() != (rows, 2 * hidden) {
+            self.hu.reshape_zeroed(rows, 2 * hidden);
+        }
+        for m in [&mut self.z, &mut self.rh, &mut self.nu] {
+            if m.shape() != (rows, hidden) {
+                m.reshape_zeroed(rows, hidden);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_tensor::seeded_rng;
+
+    #[test]
+    fn packed_linear_matches_unpacked_single_row() {
+        let mut rng = seeded_rng(11);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 5, 7, &mut rng);
+        let packed = PackedLinear::new(&layer, &store);
+        let x = Matrix::row_vector(&[0.3, -0.8, 0.1, 0.9, -0.2]);
+        let want = layer.infer(&store, &x);
+        let got = packed.infer(&store, &x);
+        #[cfg(not(feature = "simd"))]
+        assert_eq!(got.max_abs_diff(&want), 0.0);
+        #[cfg(feature = "simd")]
+        assert!(got.max_abs_diff(&want) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PackedLinear")]
+    fn stale_pack_is_a_loud_failure() {
+        let mut rng = seeded_rng(11);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 3, &mut rng);
+        let packed = PackedLinear::new(&layer, &store);
+        store.value_mut(layer.w)[(0, 0)] += 1.0;
+        let _ = packed.infer(&store, &Matrix::row_vector(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn repack_picks_up_new_values() {
+        let mut rng = seeded_rng(11);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 3, &mut rng);
+        let mut packed = PackedLinear::new(&layer, &store);
+        store.value_mut(layer.w)[(0, 0)] += 1.0;
+        packed.repack(&store);
+        let x = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let want = layer.infer(&store, &x);
+        assert_eq!(packed.infer(&store, &x).max_abs_diff(&want), 0.0);
+    }
+}

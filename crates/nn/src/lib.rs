@@ -38,7 +38,7 @@ mod persist;
 
 pub use gradcheck::{assert_grads_close, grad_check, GradCheckReport};
 pub use graph::{quantize3, ternary_tanh, Graph, Var};
-pub use layers::{GruCell, GruScratch, Linear};
+pub use layers::{GruCell, GruScratch, Linear, PackedGru, PackedGruScratch, PackedLinear};
 pub use optim::{clip_global_norm, clip_global_norm_multi, Adam, Sgd};
 pub use params::{Param, ParamId, ParamStore};
 pub use persist::{read_params, write_params, PersistError};

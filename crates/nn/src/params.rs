@@ -22,9 +22,18 @@ pub struct Param {
 /// Layers allocate their weights here and keep only [`ParamId`] handles, so a
 /// whole model (GRU torso + heads + QBNs) can be optimised, clipped,
 /// serialised and copied through one object.
+///
+/// The store keeps a [`ParamStore::version`] counter that advances on every
+/// *value* mutation (allocation, [`ParamStore::value_mut`],
+/// [`ParamStore::copy_values_from`]); packed inference caches
+/// (`PackedLinear`/`PackedGru`) record it at pack time and assert freshness
+/// on use, turning a stale pack from silent wrong answers into a loud
+/// failure. Gradient mutation does not advance the version — gradients are
+/// never packed.
 #[derive(Clone, Debug, Default)]
 pub struct ParamStore {
     params: Vec<Param>,
+    version: u64,
 }
 
 impl ParamStore {
@@ -50,7 +59,16 @@ impl ParamStore {
     pub fn alloc_with_value(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows(), value.cols());
         self.params.push(Param { name: name.into(), value, grad });
+        self.version += 1;
         ParamId(self.params.len() - 1)
+    }
+
+    /// Monotonic counter of parameter-*value* mutations (see the type
+    /// docs). Equal versions on the same store instance mean the values
+    /// have not changed through the store's mutating API.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of parameters (tensors, not scalars).
@@ -73,8 +91,11 @@ impl ParamStore {
         &self.params[id.0].value
     }
 
-    /// Mutable access to a parameter's value.
+    /// Mutable access to a parameter's value. Advances the store version
+    /// (the borrow may mutate), invalidating packed inference caches until
+    /// they repack.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        self.version += 1;
         &mut self.params[id.0].value
     }
 
@@ -149,6 +170,7 @@ impl ParamStore {
             assert_eq!(dst.value.shape(), src.value.shape(), "parameter {} shape mismatch", dst.name);
             dst.value = src.value.clone();
         }
+        self.version += 1;
     }
 
     /// True if any value or gradient contains NaN/Inf.

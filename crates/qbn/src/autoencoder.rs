@@ -6,7 +6,7 @@
 //! for observations (`b_o`) and one for hidden states (`b_h`) — and the
 //! discrete codes define the extracted finite state machine.
 
-use lahd_nn::{quantize3, ternary_tanh, Graph, Linear, ParamStore, Var};
+use lahd_nn::{quantize3, ternary_tanh, Graph, Linear, PackedLinear, ParamStore, Var};
 use lahd_tensor::{seeded_rng, Matrix};
 use rand::seq::SliceRandom;
 
@@ -90,6 +90,13 @@ impl Default for QbnTrainConfig {
 }
 
 /// A quantized bottleneck autoencoder.
+///
+/// The inference paths ([`Qbn::encode`], [`Qbn::decode`]) run on packed
+/// GEMV weights (see `lahd_nn::PackedLinear`); [`Qbn::train`] refreshes the
+/// pack when it finishes, and any *external* mutation of [`Qbn::store`]
+/// (loading persisted values, joint fine-tuning) must be followed by
+/// [`Qbn::repack`] — the packed layers assert freshness, so forgetting is a
+/// panic, not a silent wrong code.
 #[derive(Clone)]
 pub struct Qbn {
     /// Trainable parameters.
@@ -99,6 +106,10 @@ pub struct Qbn {
     enc_lat: Linear,
     dec_hid: Linear,
     dec_out: Linear,
+    packed_enc_in: PackedLinear,
+    packed_enc_lat: PackedLinear,
+    packed_dec_hid: PackedLinear,
+    packed_dec_out: PackedLinear,
 }
 
 impl Qbn {
@@ -114,7 +125,22 @@ impl Qbn {
             Linear::new(&mut store, "qbn.dec_hid", cfg.latent_dim, cfg.hidden_dim, &mut rng);
         let dec_out =
             Linear::new(&mut store, "qbn.dec_out", cfg.hidden_dim, cfg.input_dim, &mut rng);
-        Self { store, cfg, enc_in, enc_lat, dec_hid, dec_out }
+        let packed_enc_in = PackedLinear::new(&enc_in, &store);
+        let packed_enc_lat = PackedLinear::new(&enc_lat, &store);
+        let packed_dec_hid = PackedLinear::new(&dec_hid, &store);
+        let packed_dec_out = PackedLinear::new(&dec_out, &store);
+        Self {
+            store,
+            cfg,
+            enc_in,
+            enc_lat,
+            dec_hid,
+            dec_out,
+            packed_enc_in,
+            packed_enc_lat,
+            packed_dec_hid,
+            packed_dec_out,
+        }
     }
 
     /// The architecture description.
@@ -122,11 +148,21 @@ impl Qbn {
         &self.cfg
     }
 
+    /// Re-packs the inference weights from [`Qbn::store`]. Call after any
+    /// external mutation of the store (persisted-value loads, joint
+    /// fine-tuning); [`Qbn::train`] calls it automatically.
+    pub fn repack(&mut self) {
+        self.packed_enc_in.repack(&self.store);
+        self.packed_enc_lat.repack(&self.store);
+        self.packed_dec_hid.repack(&self.store);
+        self.packed_dec_out.repack(&self.store);
+    }
+
     /// Pre-quantization latent activations for a batch (rows = samples).
     fn latent_preact(&self, x: &Matrix) -> Matrix {
-        let mut h = self.enc_in.infer(&self.store, x);
+        let mut h = self.packed_enc_in.infer(&self.store, x);
         h.map_inplace(f32::tanh);
-        self.enc_lat.infer(&self.store, &h)
+        self.packed_enc_lat.infer(&self.store, &h)
     }
 
     /// Encodes an input into its discrete latent code.
@@ -140,9 +176,9 @@ impl Qbn {
     pub fn decode(&self, code: &crate::codes::Code) -> Vec<f32> {
         assert_eq!(code.len(), self.cfg.latent_dim, "QBN code width mismatch");
         let z = Matrix::row_vector(&code.to_f32());
-        let mut h = self.dec_hid.infer(&self.store, &z);
+        let mut h = self.packed_dec_hid.infer(&self.store, &z);
         h.map_inplace(f32::tanh);
-        self.dec_out.infer(&self.store, &h).row(0).to_vec()
+        self.packed_dec_out.infer(&self.store, &h).row(0).to_vec()
     }
 
     /// Encode-then-decode reconstruction (the value the FSM will see).
@@ -207,6 +243,9 @@ impl Qbn {
             }
             epoch_losses.push(loss_sum / batches as f32);
         }
+        // Training rewrote the weights; bring the packed inference path
+        // back in sync before anyone encodes.
+        self.repack();
         epoch_losses
     }
 

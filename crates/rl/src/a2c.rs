@@ -10,6 +10,7 @@ use lahd_tensor::{seeded_rng, Matrix, Rng};
 use rand::Rng as _;
 
 use crate::agent::{InferScratch, RecurrentActorCritic};
+use crate::engine::InferEngine;
 use crate::env::Env;
 use crate::rollout::{advantages, discounted_returns, Episode};
 
@@ -97,6 +98,10 @@ pub struct A2cTrainer {
     /// Hyper-parameters.
     pub config: A2cConfig,
     optimizer: Adam,
+    /// Packed inference engine the rollout/evaluation paths run on;
+    /// re-packed after every optimiser step so it always reflects the
+    /// current parameters (and asserts as much on every use).
+    engine: InferEngine,
     rng: Rng,
     /// One retained tape per replay worker (arena allocation; see
     /// [`Graph::reset`]). `graphs[0]` doubles as the serial-path tape.
@@ -106,11 +111,12 @@ pub struct A2cTrainer {
     episode_grads: Vec<EpisodeGrads>,
 }
 
-/// Rolls out one ε-greedy episode of `agent` on `env`, drawing exploration
-/// from `rng`. Free function so parallel rollout threads can share the
-/// agent immutably.
+/// Rolls out one ε-greedy episode of `agent` on `env` through the packed
+/// inference `engine`, drawing exploration from `rng`. Free function so
+/// parallel rollout threads can share the agent and engine immutably.
 fn rollout_episode(
     agent: &RecurrentActorCritic,
+    engine: &InferEngine,
     env: &mut dyn Env,
     epsilon: f32,
     rng: &mut Rng,
@@ -120,7 +126,7 @@ fn rollout_episode(
     let mut hidden = agent.initial_state();
     let mut scratch = InferScratch::default();
     loop {
-        agent.infer_into(&obs, &hidden, &mut scratch);
+        engine.infer_into(agent, &obs, &hidden, &mut scratch);
         let action = agent.sample_action(scratch.logits.row(0), epsilon, rng);
         let tr = env.step(action);
         episode.push(obs, action, tr.reward, scratch.values[(0, 0)]);
@@ -193,14 +199,29 @@ impl A2cTrainer {
     /// Creates a trainer for `agent`.
     pub fn new(agent: RecurrentActorCritic, config: A2cConfig, seed: u64) -> Self {
         let optimizer = Adam::new(config.learning_rate);
+        let engine = InferEngine::new(&agent);
         Self {
             agent,
             config,
             optimizer,
+            engine,
             rng: seeded_rng(seed),
             graphs: vec![Graph::new()],
             episode_grads: Vec::new(),
         }
+    }
+
+    /// The packed inference engine backing rollouts and evaluation.
+    pub fn engine(&self) -> &InferEngine {
+        &self.engine
+    }
+
+    /// Re-packs the engine from the current parameters. Only needed after
+    /// mutating [`A2cTrainer::agent`]'s store *outside* the trainer (e.g.
+    /// loading persisted parameters); the trainer's own updates repack
+    /// automatically.
+    pub fn repack_engine(&mut self) {
+        self.engine.repack(&self.agent);
     }
 
     /// Resolved worker-pool size for `jobs` independent work items: the
@@ -225,7 +246,7 @@ impl A2cTrainer {
 
     /// Rolls out one episode with ε-greedy sampling (no learning).
     pub fn collect_episode(&mut self, env: &mut dyn Env) -> Episode {
-        rollout_episode(&self.agent, env, self.config.epsilon, &mut self.rng)
+        rollout_episode(&self.agent, &self.engine, env, self.config.epsilon, &mut self.rng)
     }
 
     /// Rolls out one episode per environment on the fixed worker pool
@@ -239,6 +260,7 @@ impl A2cTrainer {
     pub fn collect_batch(&mut self, envs: &mut [&mut dyn Env]) -> Vec<Episode> {
         let seeds: Vec<u64> = envs.iter().map(|_| self.rng.gen()).collect();
         let agent = &self.agent;
+        let engine = &self.engine;
         let epsilon = self.config.epsilon;
         let workers = self.pool_size(envs.len());
         if workers > 1 {
@@ -255,7 +277,9 @@ impl A2cTrainer {
                         for ((env, &seed), out) in
                             env_shard.iter_mut().zip(seed_shard).zip(out_shard)
                         {
-                            *out = rollout_episode(agent, &mut **env, epsilon, &mut seeded_rng(seed));
+                            *out = rollout_episode(
+                                agent, engine, &mut **env, epsilon, &mut seeded_rng(seed),
+                            );
                         }
                     });
                 }
@@ -264,7 +288,9 @@ impl A2cTrainer {
         } else {
             envs.iter_mut()
                 .zip(&seeds)
-                .map(|(env, &seed)| rollout_episode(agent, *env, epsilon, &mut seeded_rng(seed)))
+                .map(|(env, &seed)| {
+                    rollout_episode(agent, engine, *env, epsilon, &mut seeded_rng(seed))
+                })
                 .collect()
         }
     }
@@ -386,6 +412,9 @@ impl A2cTrainer {
         }
         let grad_norm = clip_global_norm(&mut self.agent.store, self.config.grad_clip);
         self.optimizer.step(&mut self.agent.store);
+        // The optimiser just rewrote the weights: refresh the packed engine
+        // so the next rollout/evaluation infers from the new parameters.
+        self.engine.repack(&self.agent);
 
         EpisodeReport {
             steps: total_steps,
@@ -395,31 +424,47 @@ impl A2cTrainer {
         }
     }
 
-    /// Greedy (argmax, ε = 0) evaluation rollout; returns the total reward
-    /// and step count.
+    /// Greedy (argmax, ε = 0) evaluation rollout through the packed
+    /// engine; returns the total reward and step count. Bit-identical to
+    /// [`evaluate_greedy`] on the scalar build.
     pub fn evaluate(&self, env: &mut dyn Env) -> (f32, usize) {
-        evaluate_greedy(&self.agent, env)
+        greedy_rollout(env, self.agent.initial_state(), |obs, hidden, scratch| {
+            self.engine.infer_into(&self.agent, obs, hidden, scratch)
+        })
     }
 }
 
-/// Greedy rollout of `agent` on `env` without exploration.
-pub fn evaluate_greedy(agent: &RecurrentActorCritic, env: &mut dyn Env) -> (f32, usize) {
+/// The greedy (argmax) rollout loop, parameterised over the inference
+/// call so the packed-engine and unpacked entry points cannot diverge.
+fn greedy_rollout(
+    env: &mut dyn Env,
+    initial_state: Matrix,
+    mut infer: impl FnMut(&[f32], &Matrix, &mut InferScratch),
+) -> (f32, usize) {
     let mut obs = env.reset();
-    let mut hidden = agent.initial_state();
+    let mut hidden = initial_state;
+    let mut scratch = InferScratch::default();
     let mut total = 0.0;
     let mut steps = 0;
     loop {
-        let step = agent.infer(&obs, &hidden);
-        let action = lahd_tensor::argmax(&step.logits);
+        infer(&obs, &hidden, &mut scratch);
+        let action = lahd_tensor::argmax(scratch.logits.row(0));
         let tr = env.step(action);
         total += tr.reward;
         steps += 1;
-        hidden = step.hidden;
+        std::mem::swap(&mut hidden, &mut scratch.hidden);
         if tr.done {
             return (total, steps);
         }
         obs = tr.obs;
     }
+}
+
+/// Greedy rollout of `agent` on `env` without exploration (unpacked path).
+pub fn evaluate_greedy(agent: &RecurrentActorCritic, env: &mut dyn Env) -> (f32, usize) {
+    greedy_rollout(env, agent.initial_state(), |obs, hidden, scratch| {
+        agent.infer_into(obs, hidden, scratch)
+    })
 }
 
 #[cfg(test)]

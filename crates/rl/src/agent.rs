@@ -43,8 +43,10 @@ pub struct InferStep {
 #[derive(Clone, Debug, Default)]
 pub struct InferScratch {
     /// Staging buffer the observation rows are copied into.
-    x: Matrix,
-    gru: GruScratch,
+    pub(crate) x: Matrix,
+    pub(crate) gru: GruScratch,
+    /// Workspace for the packed fast path ([`crate::InferEngine`]).
+    pub(crate) packed_gru: lahd_nn::PackedGruScratch,
     /// Next hidden state, `B × hidden_dim`.
     pub hidden: Matrix,
     /// Action logits, `B × num_actions`.
@@ -57,7 +59,7 @@ impl InferScratch {
     /// Sizes the output buffers; the `x` staging row is sized separately in
     /// `infer_into` (the batch path feeds its observation matrix straight
     /// to the GRU and never touches `x`).
-    fn ensure_outputs(&mut self, rows: usize, hidden_dim: usize, num_actions: usize) {
+    pub(crate) fn ensure_outputs(&mut self, rows: usize, hidden_dim: usize, num_actions: usize) {
         if self.hidden.shape() != (rows, hidden_dim) {
             self.hidden.reshape_zeroed(rows, hidden_dim);
         }
@@ -68,6 +70,14 @@ impl InferScratch {
             self.values.reshape_zeroed(rows, 1);
         }
     }
+}
+
+thread_local! {
+    /// Shared workspace behind the allocating [`RecurrentActorCritic::infer`]
+    /// convenience path; reshaped on demand, so differently sized models on
+    /// one thread simply re-warm it.
+    static THREAD_INFER_SCRATCH: std::cell::RefCell<InferScratch> =
+        std::cell::RefCell::new(InferScratch::default());
 }
 
 impl RecurrentActorCritic {
@@ -111,21 +121,32 @@ impl RecurrentActorCritic {
         &self.policy_head
     }
 
+    /// Value head (used by the packed inference engine).
+    pub fn value_head(&self) -> &Linear {
+        &self.value_head
+    }
+
     /// One inference step without the tape.
     ///
-    /// Allocating convenience wrapper over [`RecurrentActorCritic::infer_into`];
-    /// hot paths should hold an [`InferScratch`] and call that directly.
+    /// Convenience wrapper over [`RecurrentActorCritic::infer_into`] backed
+    /// by a thread-local [`InferScratch`] (the same pattern
+    /// `Matrix::matmul` uses for its pack buffers), so the only steady-state
+    /// allocations are the returned [`InferStep`]'s own buffers. Hot loops
+    /// that can reuse the outputs should still hold an [`InferScratch`] and
+    /// call `infer_into` directly.
     ///
     /// # Panics
     /// Panics if `obs` has the wrong width.
     pub fn infer(&self, obs: &[f32], hidden: &Matrix) -> InferStep {
-        let mut scratch = InferScratch::default();
-        self.infer_into(obs, hidden, &mut scratch);
-        InferStep {
-            logits: scratch.logits.row(0).to_vec(),
-            value: scratch.values[(0, 0)],
-            hidden: scratch.hidden,
-        }
+        THREAD_INFER_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.infer_into(obs, hidden, scratch);
+            InferStep {
+                logits: scratch.logits.row(0).to_vec(),
+                value: scratch.values[(0, 0)],
+                hidden: scratch.hidden.clone(),
+            }
+        })
     }
 
     /// One inference step into caller-owned scratch: zero heap allocations

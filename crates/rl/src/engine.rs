@@ -1,0 +1,154 @@
+//! Packed per-decision inference engine for [`RecurrentActorCritic`].
+//!
+//! The deployed policy sits on the storage I/O path, so single-decision
+//! (`1×D`) latency — not training GEMM — is the production floor. The
+//! engine packs the model's weights once into the column-panel GEMV layout
+//! of `lahd_tensor::gemv` ([`lahd_nn::PackedGru`] fuses the three gate
+//! matvecs per operand, [`lahd_nn::PackedLinear`] covers the heads) and
+//! reuses the pack across every decision; the owner calls
+//! [`InferEngine::repack`] after each optimiser step, and the pack asserts
+//! its own freshness via `ParamStore::version`, so a train-then-infer loop
+//! that forgets to repack fails loudly instead of acting on stale weights.
+//!
+//! On the default (scalar) build the engine is **bit-identical** to the
+//! unpacked [`RecurrentActorCritic::infer_into`] /
+//! [`RecurrentActorCritic::infer_batch_into`] paths for every batch size
+//! (`tests/equivalence.rs` pins this across a training run); under
+//! `--features simd` it uses the AVX2/FMA kernels and is close but not
+//! bit-equal, like every other simd path in the workspace.
+
+use lahd_nn::{PackedGru, PackedLinear};
+use lahd_tensor::Matrix;
+
+use crate::agent::{InferScratch, RecurrentActorCritic};
+
+/// Packed weights for one agent: GRU torso plus the two linear heads.
+///
+/// Cheap to clone (it is plain data) and `Sync`, so rollout workers can
+/// share one engine immutably. Keep it paired with the agent it was packed
+/// from; using it with a different agent whose store happens to share a
+/// version count is not detected.
+#[derive(Clone, Debug)]
+pub struct InferEngine {
+    gru: PackedGru,
+    policy: PackedLinear,
+    value: PackedLinear,
+}
+
+impl InferEngine {
+    /// Packs `agent`'s current parameters.
+    pub fn new(agent: &RecurrentActorCritic) -> Self {
+        Self {
+            gru: PackedGru::new(agent.gru(), &agent.store),
+            policy: PackedLinear::new(agent.policy_head(), &agent.store),
+            value: PackedLinear::new(agent.value_head(), &agent.store),
+        }
+    }
+
+    /// Re-packs after a parameter update (allocation-free in steady state).
+    /// The A2C trainer calls this after every optimiser step.
+    pub fn repack(&mut self, agent: &RecurrentActorCritic) {
+        self.gru.repack(&agent.store);
+        self.policy.repack(&agent.store);
+        self.value.repack(&agent.store);
+    }
+
+    /// Packed counterpart of [`RecurrentActorCritic::infer_into`]: one
+    /// decision through the fused GRU step and the packed heads. Results
+    /// land in `scratch.hidden`, `scratch.logits` (row 0) and
+    /// `scratch.values[(0, 0)]`.
+    ///
+    /// # Panics
+    /// Panics on width mismatches or if `agent`'s parameters changed since
+    /// the last [`InferEngine::repack`].
+    pub fn infer_into(
+        &self,
+        agent: &RecurrentActorCritic,
+        obs: &[f32],
+        hidden: &Matrix,
+        scratch: &mut InferScratch,
+    ) {
+        assert_eq!(obs.len(), agent.obs_dim(), "observation width mismatch");
+        scratch.ensure_outputs(1, agent.hidden_dim(), agent.num_actions());
+        if scratch.x.shape() != (1, agent.obs_dim()) {
+            scratch.x.reshape_zeroed(1, agent.obs_dim());
+        }
+        scratch.x.row_mut(0).copy_from_slice(obs);
+        self.gru.infer_step_into(
+            &agent.store,
+            &scratch.x,
+            hidden,
+            &mut scratch.packed_gru,
+            &mut scratch.hidden,
+        );
+        self.policy.infer_into(&agent.store, &scratch.hidden, &mut scratch.logits);
+        self.value.infer_into(&agent.store, &scratch.hidden, &mut scratch.values);
+    }
+
+    /// Packed counterpart of [`RecurrentActorCritic::infer_batch_into`]:
+    /// below the blocked-GEMM cutoff each environment row runs the fused
+    /// GEMV step (faster than the `B × D` axpy kernels), above it the
+    /// packed layers fall back to the blocked-GEMM batch path.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or if `agent`'s parameters changed since
+    /// the last [`InferEngine::repack`].
+    pub fn infer_batch_into(
+        &self,
+        agent: &RecurrentActorCritic,
+        obs: &Matrix,
+        hidden: &Matrix,
+        scratch: &mut InferScratch,
+    ) {
+        assert_eq!(obs.cols(), agent.obs_dim(), "observation width mismatch");
+        assert_eq!(hidden.cols(), agent.hidden_dim(), "hidden width mismatch");
+        assert_eq!(obs.rows(), hidden.rows(), "batch row-count mismatch");
+        scratch.ensure_outputs(obs.rows(), agent.hidden_dim(), agent.num_actions());
+        self.gru.infer_step_into(
+            &agent.store,
+            obs,
+            hidden,
+            &mut scratch.packed_gru,
+            &mut scratch.hidden,
+        );
+        self.policy.infer_into(&agent.store, &scratch.hidden, &mut scratch.logits);
+        self.value.infer_into(&agent.store, &scratch.hidden, &mut scratch.values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_matches_unpacked_single_step() {
+        let agent = RecurrentActorCritic::new(5, 8, 7, 3);
+        let engine = InferEngine::new(&agent);
+        let obs = [0.1, -0.4, 0.7, 0.0, 0.9];
+        let h0 = agent.initial_state();
+        let mut packed = InferScratch::default();
+        let mut unpacked = InferScratch::default();
+        engine.infer_into(&agent, &obs, &h0, &mut packed);
+        agent.infer_into(&obs, &h0, &mut unpacked);
+        let diff = packed
+            .hidden
+            .max_abs_diff(&unpacked.hidden)
+            .max(packed.logits.max_abs_diff(&unpacked.logits))
+            .max(packed.values.max_abs_diff(&unpacked.values));
+        #[cfg(not(feature = "simd"))]
+        assert_eq!(diff, 0.0, "scalar packed engine must be bit-identical");
+        #[cfg(feature = "simd")]
+        assert!(diff < 1e-5, "simd packed engine drifted: {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn engine_detects_stale_pack() {
+        let mut agent = RecurrentActorCritic::new(3, 4, 2, 1);
+        let engine = InferEngine::new(&agent);
+        let ids = agent.store.ids();
+        agent.store.value_mut(ids[0])[(0, 0)] += 0.5;
+        let mut scratch = InferScratch::default();
+        engine.infer_into(&agent, &[0.0, 0.0, 0.0], &agent.initial_state(), &mut scratch);
+    }
+}

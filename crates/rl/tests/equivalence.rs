@@ -9,7 +9,7 @@
 //! consecutive updates.
 
 use lahd_rl::toy::MemoryEnv;
-use lahd_rl::{A2cConfig, A2cTrainer, Env, InferScratch, RecurrentActorCritic};
+use lahd_rl::{A2cConfig, A2cTrainer, Env, InferEngine, InferScratch, RecurrentActorCritic};
 use lahd_tensor::Matrix;
 use proptest::prelude::*;
 
@@ -165,6 +165,69 @@ fn sharded_train_batch_is_bit_identical_across_pool_sizes() {
                 &format!("pool {pool} after update {update}"),
             );
         }
+    }
+}
+
+/// Packed-vs-unpacked drift check: bit-exact on the default build,
+/// tolerance under `simd` (FMA rounding).
+fn assert_step_matches(label: &str, packed: &InferScratch, unpacked: &InferScratch) {
+    let diff = packed
+        .hidden
+        .max_abs_diff(&unpacked.hidden)
+        .max(packed.logits.max_abs_diff(&unpacked.logits))
+        .max(packed.values.max_abs_diff(&unpacked.values));
+    #[cfg(not(feature = "simd"))]
+    assert_eq!(diff, 0.0, "{label}: packed engine must be bit-identical");
+    #[cfg(feature = "simd")]
+    assert!(diff < 1e-2, "{label}: simd packed engine drifted by {diff}");
+}
+
+/// The packed `InferEngine` must be indistinguishable from the unpacked
+/// `infer_into` across a 100-step rollout **that spans a training update**:
+/// at step 50 the trainer runs a real A2C episode (optimiser step +
+/// automatic engine repack), and the trainer's engine must keep matching
+/// the unpacked path on the updated weights. This is the train-then-infer
+/// loop the repack hook exists for.
+#[test]
+fn infer_engine_matches_unpacked_across_a_training_update() {
+    let agent = RecurrentActorCritic::new(1, 24, 2, 17);
+    let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 3);
+    let mut env = MemoryEnv::new(4);
+
+    let mut packed = InferScratch::default();
+    let mut unpacked = InferScratch::default();
+    let mut h_p = trainer.agent.initial_state();
+    let mut h_u = trainer.agent.initial_state();
+
+    for t in 0..100 {
+        if t == 50 {
+            // Mid-rollout parameter update; the trainer repacks its engine
+            // internally after the optimiser step.
+            trainer.train_episode(&mut env);
+        }
+        let obs = [((t as f32) * 0.37).sin()];
+        trainer.engine().infer_into(&trainer.agent, &obs, &h_p, &mut packed);
+        trainer.agent.infer_into(&obs, &h_u, &mut unpacked);
+        assert_step_matches(&format!("step {t}"), &packed, &unpacked);
+        std::mem::swap(&mut h_p, &mut packed.hidden);
+        std::mem::swap(&mut h_u, &mut unpacked.hidden);
+    }
+}
+
+/// The engine's batch path ≡ the unpacked batch path, both below the
+/// blocked-GEMM cutoff (row-wise fused GEMV) and above it (fallback).
+#[test]
+fn infer_engine_batch_matches_unpacked_batch() {
+    let agent = RecurrentActorCritic::new(5, 32, 4, 23);
+    let engine = InferEngine::new(&agent);
+    for batch in [1usize, 3, 8, 16, 24] {
+        let obs = Matrix::from_fn(batch, 5, |i, j| ((i * 7 + j * 3) as f32 * 0.1).sin());
+        let hidden = Matrix::from_fn(batch, 32, |i, j| ((i + j * 5) as f32 * 0.05).cos() * 0.5);
+        let mut packed = InferScratch::default();
+        let mut unpacked = InferScratch::default();
+        engine.infer_batch_into(&agent, &obs, &hidden, &mut packed);
+        agent.infer_batch_into(&obs, &hidden, &mut unpacked);
+        assert_step_matches(&format!("batch {batch}"), &packed, &unpacked);
     }
 }
 

@@ -10,10 +10,14 @@
 //! written for the autovectoriser; above a size cutoff every orientation
 //! routes through the packed, cache-blocked, register-tiled GEMM in
 //! [`gemm`] (with an optional AVX2/FMA microkernel behind the `simd` cargo
+//! feature). Repeated `1×K` inference products should pack their weights
+//! once into [`gemv::PackedGemvWeights`], whose column-panel kernels keep
+//! the accumulators in registers for the whole reduction (scalar path
+//! bit-identical to `matmul_into`; AVX2/FMA behind the same `simd`
 //! feature). Every orientation has an `_into`/`_acc` variant writing into
 //! caller-owned scratch, and `transpose` walks 32×32 cache blocks. See
-//! `PERF.md` at the workspace root for measurements and the blocked-GEMM
-//! design notes.
+//! `PERF.md` at the workspace root for measurements and the blocked-GEMM /
+//! packed-GEMV design notes.
 //!
 //! # Example
 //!
@@ -26,12 +30,14 @@
 //! ```
 
 pub mod gemm;
+pub mod gemv;
 mod init;
 mod matrix;
 mod ops;
 mod stats;
 
 pub use gemm::PackBuffers;
+pub use gemv::PackedGemvWeights;
 pub use init::{xavier_normal, xavier_uniform, Initializer};
 pub use matrix::Matrix;
 pub use ops::{log_softmax_row, softmax_row};

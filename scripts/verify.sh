@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the feature-gated build.
+# Tier-1 verification, the feature-gated builds, and a coarse perf gate.
 #
 # 1. `cargo build --release && cargo test -q` — the ROADMAP's tier-1 gate,
 #    covering every default workspace member.
-# 2. `cargo build --release --features simd` — the AVX2/FMA GEMM microkernel
-#    path; building it here keeps the feature gate from rotting.
-# 3. `cargo test -q -p lahd-tensor --features simd` — the GEMM equivalence
-#    suite under the simd microkernel (tolerance-based where FMA rounding
-#    legitimately differs; see crates/tensor/src/gemm.rs).
+# 2. `cargo build --release --features simd` — the FMA GEMM microkernel and
+#    GEMV panel kernels; building it here keeps the feature gate from
+#    rotting.
+# 3. `cargo test -q -p lahd-tensor -p lahd-nn -p lahd-rl --features simd` —
+#    the GEMM/GEMV equivalence suites plus the packed-GRU/InferEngine
+#    equivalence tests under the FMA kernels (tolerance-based where FMA
+#    rounding legitimately differs; see crates/tensor/src/gemm.rs and
+#    crates/tensor/src/gemv.rs).
+# 4. Quick-mode bench snapshot compared against the latest committed
+#    BENCH_<n>.json with a loose 50% threshold, so a hot-path regression
+#    fails verification instead of only surfacing in the next snapshot.
+#    Skip with LAHD_SKIP_BENCH_GATE=1 (e.g. on a loaded box).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,7 +28,27 @@ cargo test -q
 echo "== feature gate: cargo build --release --features simd"
 cargo build --release --features simd
 
-echo "== feature gate: cargo test -q -p lahd-tensor --features simd"
-cargo test -q -p lahd-tensor --features simd
+echo "== feature gate: cargo test -q -p lahd-tensor -p lahd-nn -p lahd-rl --features simd"
+cargo test -q -p lahd-tensor -p lahd-nn -p lahd-rl --features simd
+
+if [ "${LAHD_SKIP_BENCH_GATE:-0}" = "1" ]; then
+    echo "== perf gate: skipped (LAHD_SKIP_BENCH_GATE=1)"
+else
+    latest=""
+    n=1
+    while [ -e "BENCH_${n}.json" ]; do
+        latest="BENCH_${n}.json"
+        n=$((n + 1))
+    done
+    if [ -z "$latest" ]; then
+        echo "== perf gate: no committed BENCH_<n>.json snapshot; skipping"
+    else
+        echo "== perf gate: quick snapshot vs $latest (50% threshold)"
+        tmp="$(mktemp)"
+        trap 'rm -f "$tmp"' EXIT
+        scripts/bench_snapshot.sh "$tmp" >/dev/null
+        scripts/bench_compare.sh "$latest" "$tmp" 50
+    fi
+fi
 
 echo "verify: all green"
