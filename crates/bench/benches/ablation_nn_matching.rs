@@ -17,12 +17,21 @@ use lahd_sim::StorageSim;
 fn main() {
     let args = Args::from_env();
     let cfg = configure(&args);
-    banner("Ablation — nearest-neighbour matching of unseen observations", &cfg);
+    banner(
+        "Ablation — nearest-neighbour matching of unseen observations",
+        &cfg,
+    );
     let artifacts = cached_artifacts(&cfg);
 
     let mut table = Table::new(
         "unseen-observation handling",
-        &["variant", "mean_makespan", "unseen_obs%", "missing_trans%", "stuck%"],
+        &[
+            "variant",
+            "mean_makespan",
+            "unseen_obs%",
+            "missing_trans%",
+            "stuck%",
+        ],
     );
     for (label, metric, matching) in [
         ("euclidean NN", Metric::Euclidean, true),

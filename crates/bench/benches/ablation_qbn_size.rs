@@ -34,7 +34,15 @@ fn main() {
 
     let mut table = Table::new(
         "hidden-QBN latent sweep (k = 3 throughout)",
-        &["L_h", "raw_states", "fsm_states", "symbols", "transitions", "mean_makespan", "vs_gru"],
+        &[
+            "L_h",
+            "raw_states",
+            "fsm_states",
+            "symbols",
+            "transitions",
+            "mean_makespan",
+            "vs_gru",
+        ],
     );
     for latent in [4usize, 8, 16, 32] {
         let mut variant = cfg.clone();
@@ -62,8 +70,12 @@ fn main() {
             variant.nn_matching,
         );
         policy.reset();
-        let mean =
-            mean_makespan(evaluate_policy(&mut policy, &cfg.sim, &artifacts.real_traces, 999));
+        let mean = mean_makespan(evaluate_policy(
+            &mut policy,
+            &cfg.sim,
+            &artifacts.real_traces,
+            999,
+        ));
         table.push_row(vec![
             latent.to_string(),
             raw_states.to_string(),

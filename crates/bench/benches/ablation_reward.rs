@@ -40,9 +40,12 @@ fn main() {
         let secs = t0.elapsed().as_secs_f64();
         let mut policy = GruPolicy::new(agent, variant.sim.clone());
         let metrics = evaluate_policy(&mut policy, &variant.sim, &real_traces, 999);
-        let mean = metrics.iter().map(|m| m.makespan as f64).sum::<f64>()
-            / metrics.len() as f64;
-        table.push_row(vec![label.into(), format!("{mean:.1}"), format!("{secs:.1}")]);
+        let mean = metrics.iter().map(|m| m.makespan as f64).sum::<f64>() / metrics.len() as f64;
+        table.push_row(vec![
+            label.into(),
+            format!("{mean:.1}"),
+            format!("{secs:.1}"),
+        ]);
     }
     print!("{}", table.render());
     let csv = experiments_dir().join("ablation_reward.csv");

@@ -46,7 +46,14 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 3 series (per-trace mean makespan during training)",
-        &["epoch", "phase", "curriculum_total", "curriculum_mean", "scratch_total", "scratch_mean"],
+        &[
+            "epoch",
+            "phase",
+            "curriculum_total",
+            "curriculum_mean",
+            "scratch_total",
+            "scratch_mean",
+        ],
     );
     for (i, (c, s)) in curriculum_log.iter().zip(&scratch_log).enumerate() {
         table.push_row(vec![
@@ -78,7 +85,10 @@ fn main() {
     let final_cur: f64 = smooth_cur[cur.len() - tail..].iter().sum::<f64>() / tail as f64;
     let final_scr: f64 = smooth_scr[scr.len() - tail..].iter().sum::<f64>() / tail as f64;
     let epochs_to = |series: &[f64], target: f64| -> usize {
-        series.iter().position(|&x| x <= target).unwrap_or(series.len())
+        series
+            .iter()
+            .position(|&x| x <= target)
+            .unwrap_or(series.len())
     };
     let target = final_scr * 1.05;
 

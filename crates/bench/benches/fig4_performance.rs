@@ -16,8 +16,8 @@
 use lahd_bench::{banner, cached_artifacts, configure, experiments_dir};
 use lahd_core::{fmt_pct, Args, Comparison, Table};
 use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy};
-use lahd_sim::WorkloadTrace;
 use lahd_workload::real_trace_set;
+use lahd_workload::WorkloadTrace;
 
 fn main() {
     let args = Args::from_env();
@@ -28,7 +28,11 @@ fn main() {
     let held_out = real_trace_set(10, cfg.trace_len, cfg.seed.wrapping_add(777_000));
 
     for (set_name, traces, noise_seed) in [
-        ("training traces, fresh noise", artifacts.real_traces.clone(), 999u64),
+        (
+            "training traces, fresh noise",
+            artifacts.real_traces.clone(),
+            999u64,
+        ),
         ("held-out traces", held_out, 31_337u64),
     ] {
         let mut default_policy = DefaultPolicy;
@@ -53,7 +57,13 @@ fn main() {
 fn report(c: &Comparison, set_name: &str) {
     let mut table = Table::new(
         format!("Figure 4 — {set_name}"),
-        &["workload", "default", "handcrafted", "gru-drl", "extracted-fsm"],
+        &[
+            "workload",
+            "default",
+            "handcrafted",
+            "gru-drl",
+            "extracted-fsm",
+        ],
     );
     for (row, trace) in c.trace_names.iter().enumerate() {
         table.push_row(vec![
@@ -100,7 +110,11 @@ fn report(c: &Comparison, set_name: &str) {
     println!("  all policies beat default on average: {all_beat_default}");
     println!();
 
-    let slug = if set_name.starts_with("training") { "training" } else { "heldout" };
+    let slug = if set_name.starts_with("training") {
+        "training"
+    } else {
+        "heldout"
+    };
     let path = experiments_dir().join(format!("fig4_performance_{slug}.csv"));
     table.save_csv(&path).expect("csv written");
     println!("rows written to {}", path.display());

@@ -38,7 +38,10 @@ fn summarise_obs(v: &[f32], cfg: &SimConfig) -> (f64, f64, f64, f64, f64) {
 fn main() {
     let args = Args::from_env();
     let cfg = configure(&args);
-    banner("Figure 5 — extracted FSM visualisation & fan-in/fan-out", &cfg);
+    banner(
+        "Figure 5 — extracted FSM visualisation & fan-in/fan-out",
+        &cfg,
+    );
     let artifacts = cached_artifacts(&cfg);
     let fsm = &artifacts.fsm;
     let names = action_names();
@@ -62,8 +65,15 @@ fn main() {
     let mut table = Table::new(
         "Figure 5 — FSM states with fan-in/fan-out statistics",
         &[
-            "state", "action", "visits", "entries", "exits",
-            "in uN/uK/uR", "out uN/uK/uR", "in wshare", "out wshare",
+            "state",
+            "action",
+            "visits",
+            "entries",
+            "exits",
+            "in uN/uK/uR",
+            "out uN/uK/uR",
+            "in wshare",
+            "out wshare",
         ],
     );
     let mut visited: Vec<&lahd_fsm::StateInterpretation> =
@@ -121,7 +131,11 @@ fn main() {
     let dot_path = experiments_dir().join("fig5_fsm.dot");
     std::fs::create_dir_all(experiments_dir()).expect("dir");
     std::fs::write(&dot_path, &dot).expect("dot written");
-    println!("Graphviz source written to {} ({} bytes)", dot_path.display(), dot.len());
+    println!(
+        "Graphviz source written to {} ({} bytes)",
+        dot_path.display(),
+        dot.len()
+    );
     println!("rows written to {}", csv.display());
 
     // The machine itself, in the persistence format, for the appendix.

@@ -23,7 +23,10 @@ const WINDOW: usize = 10;
 fn main() {
     let args = Args::from_env();
     let cfg = configure(&args);
-    banner("Figure 6 — pre-transition history of the S2-like state", &cfg);
+    banner(
+        "Figure 6 — pre-transition history of the S2-like state",
+        &cfg,
+    );
     let artifacts = cached_artifacts(&cfg);
     let names = action_names();
 
@@ -45,8 +48,13 @@ fn main() {
     let is_backend_move = |a: usize| {
         matches!(
             Action::from_index(a),
-            Action::Migrate { from: Level::Normal, to: Level::Kv }
-                | Action::Migrate { from: Level::Normal, to: Level::Rv }
+            Action::Migrate {
+                from: Level::Normal,
+                to: Level::Kv
+            } | Action::Migrate {
+                from: Level::Normal,
+                to: Level::Rv
+            }
         )
     };
     let Some(s2) = interps
@@ -67,11 +75,25 @@ fn main() {
     );
 
     let history = history_window(&trajectory, s2.state, WINDOW);
-    assert!(!history.is_empty(), "state has entries, so the window must exist");
+    assert!(
+        !history.is_empty(),
+        "state has entries, so the window must exist"
+    );
 
     let mut table = Table::new(
-        format!("Figure 6 — last {WINDOW} average observations before entering S{}", s2.state),
-        &["offset", "read_intensity", "write_intensity", "capacity_ratio", "uN", "uK", "uR"],
+        format!(
+            "Figure 6 — last {WINDOW} average observations before entering S{}",
+            s2.state
+        ),
+        &[
+            "offset",
+            "read_intensity",
+            "write_intensity",
+            "capacity_ratio",
+            "uN",
+            "uK",
+            "uR",
+        ],
     );
     let mut write_series = Vec::new();
     let mut ratio_series = Vec::new();
@@ -81,7 +103,11 @@ fn main() {
         // 14 mix ratios, 1 requests.
         let cores: Vec<f64> = obs[..3].iter().map(|&c| f64::from(c)).collect();
         let backend = cores[1] + cores[2];
-        let ratio = if backend > 0.0 { cores[0] / backend } else { f64::INFINITY };
+        let ratio = if backend > 0.0 {
+            cores[0] / backend
+        } else {
+            f64::INFINITY
+        };
         let sizes = &obs[6..20];
         let mix = &obs[20..34];
         let q = f64::from(obs[34]) * cfg.sim.requests_norm;

@@ -45,7 +45,11 @@ fn synthetic_fsm(obs_qbn: &Qbn, cfg: &SimConfig) -> FsmPolicy {
         .map(|i| {
             let mut centroid = base.clone();
             centroid[0] += i as f32 * 0.01;
-            ObsSymbol { code: Code(vec![(i % 3) as i8 - 1; 8]), centroid, support: 5 }
+            ObsSymbol {
+                code: Code(vec![(i % 3) as i8 - 1; 8]),
+                centroid,
+                support: 5,
+            }
         })
         .collect();
     let mut transitions = std::collections::HashMap::new();
@@ -56,7 +60,12 @@ fn synthetic_fsm(obs_qbn: &Qbn, cfg: &SimConfig) -> FsmPolicy {
             }
         }
     }
-    let fsm = Fsm { states, symbols, transitions, initial_state: 0 };
+    let fsm = Fsm {
+        states,
+        symbols,
+        transitions,
+        initial_state: 0,
+    };
     let _ = obs_dim;
     FsmPolicy::new(fsm, obs_qbn.clone(), cfg.clone(), Metric::Euclidean, true)
 }

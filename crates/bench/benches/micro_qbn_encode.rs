@@ -36,13 +36,16 @@ fn bench_qbn(c: &mut Criterion) {
     // Supervised training epoch over a small batch set.
     group.sample_size(10);
     group.bench_function("train_epoch_256x35", |b| {
-        let data: Vec<Vec<f32>> =
-            (0..256).map(|i| vec![(i % 7) as f32 / 7.0; 35]).collect();
+        let data: Vec<Vec<f32>> = (0..256).map(|i| vec![(i % 7) as f32 / 7.0; 35]).collect();
         b.iter(|| {
             let mut qbn = Qbn::new(QbnConfig::with_dims(35, 8), 2);
             qbn.train(
                 &data,
-                &QbnTrainConfig { epochs: 1, batch_size: 32, ..Default::default() },
+                &QbnTrainConfig {
+                    epochs: 1,
+                    batch_size: 32,
+                    ..Default::default()
+                },
             )
         })
     });

@@ -6,7 +6,8 @@
 //! and heavy backlogs, and a full drained episode.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use lahd_sim::{Action, IntervalWorkload, SimConfig, StorageSim, WorkloadTrace, NUM_IO_CLASSES};
+use lahd_sim::{Action, SimConfig, StorageSim};
+use lahd_workload::{IntervalWorkload, WorkloadTrace, NUM_IO_CLASSES};
 
 fn trace(requests: f64, len: usize) -> WorkloadTrace {
     let mut mix = [0.0; NUM_IO_CLASSES];
@@ -18,7 +19,10 @@ fn trace(requests: f64, len: usize) -> WorkloadTrace {
 }
 
 fn quiet() -> SimConfig {
-    SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+    SimConfig {
+        idle_lambda: 0.0,
+        ..SimConfig::default()
+    }
 }
 
 fn bench_steps(c: &mut Criterion) {

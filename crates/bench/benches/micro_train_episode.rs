@@ -56,7 +56,14 @@ impl Env for SyntheticEnv {
 
 fn trainer(hidden: usize, reuse_graph: bool) -> A2cTrainer {
     let agent = RecurrentActorCritic::new(Observation::DIM, hidden, 7, 0);
-    A2cTrainer::new(agent, A2cConfig { reuse_graph, ..A2cConfig::default() }, 1)
+    A2cTrainer::new(
+        agent,
+        A2cConfig {
+            reuse_graph,
+            ..A2cConfig::default()
+        },
+        1,
+    )
 }
 
 fn bench_train(c: &mut Criterion) {
@@ -93,8 +100,7 @@ fn bench_train(c: &mut Criterion) {
     ];
     group.bench_function("gru128_train_batch4", |b| {
         b.iter(|| {
-            let mut refs: Vec<&mut dyn Env> =
-                envs.iter_mut().map(|e| e as &mut dyn Env).collect();
+            let mut refs: Vec<&mut dyn Env> = envs.iter_mut().map(|e| e as &mut dyn Env).collect();
             std::hint::black_box(tb.train_batch(&mut refs).loss)
         })
     });
@@ -107,7 +113,10 @@ fn bench_train(c: &mut Criterion) {
         let agent = RecurrentActorCritic::new(Observation::DIM, 128, 7, 0);
         let mut tp = A2cTrainer::new(
             agent,
-            A2cConfig { num_workers: workers, ..A2cConfig::default() },
+            A2cConfig {
+                num_workers: workers,
+                ..A2cConfig::default()
+            },
             1,
         );
         let mut envs = [

@@ -3,7 +3,9 @@ use lahd_tensor::{gemm, Matrix, PackBuffers};
 use std::time::Instant;
 
 fn dense(r: usize, c: usize, s: usize) -> Matrix {
-    Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17 + s * 13 + 7) % 97) as f32 / 48.5 - 1.0)
+    Matrix::from_fn(r, c, |i, j| {
+        ((i * 31 + j * 17 + s * 13 + 7) % 97) as f32 / 48.5 - 1.0
+    })
 }
 
 fn time(mut f: impl FnMut()) -> f64 {

@@ -35,7 +35,11 @@ fn main() {
     // GRU-128 matvec components.
     let x = dense(1, 35, 0);
     let h = dense(1, 128, 1);
-    let wzrn = PackedGemvWeights::pack_concat(&[&dense(35, 128, 2), &dense(35, 128, 3), &dense(35, 128, 4)]);
+    let wzrn = PackedGemvWeights::pack_concat(&[
+        &dense(35, 128, 2),
+        &dense(35, 128, 3),
+        &dense(35, 128, 4),
+    ]);
     let uzr = PackedGemvWeights::pack_concat(&[&dense(128, 128, 5), &dense(128, 128, 6)]);
     let un = PackedGemvWeights::pack(&dense(128, 128, 7));
     let policy = PackedGemvWeights::pack(&dense(128, 7, 8));

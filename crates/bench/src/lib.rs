@@ -28,8 +28,11 @@ pub fn experiments_dir() -> PathBuf {
 /// `--hidden`, `--std-epochs`, `--real-epochs`, `--traces`, `--trace-len`
 /// and `--seed`.
 pub fn configure(args: &Args) -> PipelineConfig {
-    let mut cfg =
-        if args.has_flag("paper") { PipelineConfig::paper() } else { PipelineConfig::demo() };
+    let mut cfg = if args.has_flag("paper") {
+        PipelineConfig::paper()
+    } else {
+        PipelineConfig::demo()
+    };
     cfg.hidden_dim = args.get_usize("hidden", cfg.hidden_dim);
     cfg.std_epochs = args.get_usize("std-epochs", cfg.std_epochs);
     cfg.real_epochs = args.get_usize("real-epochs", cfg.real_epochs);
@@ -58,7 +61,11 @@ pub fn banner(name: &str, cfg: &PipelineConfig) {
 
 /// FNV-1a hash of the config's debug rendering — the artifact-cache key.
 fn config_fingerprint(cfg: &PipelineConfig) -> u64 {
-    let text = format!("{cfg:?}|obsdim={}|actions={}", Observation::DIM, Action::COUNT);
+    let text = format!(
+        "{cfg:?}|obsdim={}|actions={}",
+        Observation::DIM,
+        Action::COUNT
+    );
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in text.bytes() {
         hash ^= u64::from(b);
@@ -139,7 +146,9 @@ mod tests {
         assert_eq!(loaded.raw_states, artifacts.raw_states);
         // The reloaded agent reproduces the original's behaviour bit-exactly.
         let obs = vec![0.1f32; Observation::DIM];
-        let a = artifacts.agent.infer(&obs, &artifacts.agent.initial_state());
+        let a = artifacts
+            .agent
+            .infer(&obs, &artifacts.agent.initial_state());
         let b = loaded.agent.infer(&obs, &loaded.agent.initial_state());
         assert_eq!(a.logits, b.logits);
         let _ = std::fs::remove_dir_all(&dir);

@@ -6,11 +6,13 @@ use std::path::{Path, PathBuf};
 
 use lahd_core::{
     best_static_allocation, explain_fsm, load_artifacts, save_artifacts, Args, Comparison,
-    Pipeline, PipelineArtifacts, PipelineConfig, Table,
+    GruVecPolicy, Pipeline, PipelineArtifacts, PipelineConfig, ScenarioId, Table,
 };
-use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy};
-use lahd_sim::{SimConfig, StorageSim, WorkloadTrace};
-use lahd_workload::{read_trace, real_trace_set, standard_trace_set, summarize, write_trace};
+use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy, VecPolicy};
+use lahd_sim::{SimConfig, StorageSim};
+use lahd_workload::{
+    read_trace, real_trace_set, standard_trace_set, summarize, write_trace, WorkloadTrace,
+};
 
 /// CLI failure: message already formatted for the user.
 #[derive(Debug)]
@@ -42,6 +44,7 @@ pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         Some("explain") => cmd_explain(args, out),
         Some("traces") => cmd_traces(args, out),
         Some("simulate") => cmd_simulate(args, out),
+        Some("scenarios") => cmd_scenarios(args, out),
         Some("help") | None => {
             write!(out, "{}", usage())?;
             Ok(())
@@ -58,16 +61,19 @@ fn usage() -> String {
      SUBCOMMANDS\n\
      \x20 pipeline   train the DRL agent, extract the FSM, save artifacts\n\
      \x20            --scale tiny|demo|paper   (default demo)\n\
+     \x20            --scenario NAME           (default dorado-migration)\n\
      \x20            --out DIR                 (default lahd-artifacts)\n\
      \x20            --seed N, --hidden N, --std-epochs N, --real-epochs N\n\
      \x20 evaluate   Figure-4 comparison over saved artifacts\n\
-     \x20            --artifacts DIR [--scale …] [--oracle] [--heldout]\n\
+     \x20            --artifacts DIR [--scale …] [--scenario …] [--oracle] [--heldout]\n\
      \x20 explain    Markdown interpretation report for a saved machine\n\
      \x20            --artifacts DIR [--out FILE] [--scale …]\n\
      \x20 traces     summarise the synthetic workloads\n\
      \x20            [--len N] [--seed N] [--export DIR]\n\
      \x20 simulate   run default|handcrafted over a trace file\n\
      \x20            --trace FILE [--policy default|handcrafted] [--seed N]\n\
+     \x20 scenarios  list the registered storage scenarios\n\
+     \x20            [--names]\n\
      \x20 help       this message\n"
         .to_string()
 }
@@ -79,6 +85,15 @@ fn scale_config(args: &Args) -> Result<PipelineConfig, CliError> {
         "paper" => PipelineConfig::paper(),
         other => return Err(err(format!("unknown --scale {other:?} (tiny|demo|paper)"))),
     };
+    if let Some(name) = args.get("scenario") {
+        cfg.scenario = ScenarioId::parse(name).ok_or_else(|| {
+            let known: Vec<&str> = ScenarioId::ALL.iter().map(|s| s.name()).collect();
+            err(format!(
+                "unknown --scenario {name:?} (known: {})",
+                known.join("|")
+            ))
+        })?;
+    }
     cfg.hidden_dim = args.get_usize("hidden", cfg.hidden_dim);
     cfg.std_epochs = args.get_usize("std-epochs", cfg.std_epochs);
     cfg.real_epochs = args.get_usize("real-epochs", cfg.real_epochs);
@@ -87,7 +102,11 @@ fn scale_config(args: &Args) -> Result<PipelineConfig, CliError> {
 }
 
 fn artifacts_dir(args: &Args) -> PathBuf {
-    PathBuf::from(args.get("artifacts").or(args.get("out")).unwrap_or("lahd-artifacts"))
+    PathBuf::from(
+        args.get("artifacts")
+            .or(args.get("out"))
+            .unwrap_or("lahd-artifacts"),
+    )
 }
 
 fn load(args: &Args) -> Result<(PipelineConfig, PipelineArtifacts), CliError> {
@@ -95,8 +114,9 @@ fn load(args: &Args) -> Result<(PipelineConfig, PipelineArtifacts), CliError> {
     let dir = artifacts_dir(args);
     let artifacts = load_artifacts(&cfg, &dir).ok_or_else(|| {
         err(format!(
-            "no artifacts for this configuration in {} — run `lahd pipeline` first \
-             (the --scale/--hidden/--seed options must match)",
+            "no artifacts for this configuration (scenario {}) in {} — run `lahd pipeline` \
+             first (the --scenario/--scale/--hidden/--seed options must match)",
+            cfg.scenario,
             dir.display()
         ))
     })?;
@@ -134,6 +154,9 @@ fn cmd_evaluate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     } else {
         artifacts.real_traces.clone()
     };
+    if cfg.scenario != ScenarioId::DoradoMigration {
+        return evaluate_generic(args, &cfg, &artifacts, &traces, out);
+    }
 
     let mut default_policy = DefaultPolicy;
     let mut handcrafted = HandcraftedFsm::tuned();
@@ -144,8 +167,13 @@ fn cmd_evaluate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let c = Comparison::run(&mut policies, &cfg.sim, &traces, 999);
 
     let with_oracle = args.has_flag("oracle");
-    let mut headers =
-        vec!["workload", "default", "handcrafted", "gru-drl", "extracted-fsm"];
+    let mut headers = vec![
+        "workload",
+        "default",
+        "handcrafted",
+        "gru-drl",
+        "extracted-fsm",
+    ];
     if with_oracle {
         headers.push("static-oracle");
     }
@@ -189,8 +217,87 @@ fn cmd_evaluate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Scenario-generic evaluation: the scenario's baselines, the greedy GRU
+/// teacher and the extracted FSM, compared over the vector-policy path.
+fn evaluate_generic(
+    args: &Args,
+    cfg: &PipelineConfig,
+    artifacts: &PipelineArtifacts,
+    traces: &[WorkloadTrace],
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    if args.has_flag("oracle") {
+        return Err(err(format!(
+            "--oracle enumerates static core allocations and only applies to \
+             dorado-migration, not {}",
+            cfg.scenario
+        )));
+    }
+    let scenario = cfg.scenario.get();
+    let mut baselines = scenario.baselines(&cfg.sim);
+    let mut gru = GruVecPolicy::new(artifacts.agent.clone());
+    let mut fsm = artifacts.fsm_executor(cfg.metric, cfg.nn_matching);
+    let mut policies: Vec<&mut dyn VecPolicy> = baselines
+        .iter_mut()
+        .map(|b| b.as_mut() as &mut dyn VecPolicy)
+        .collect();
+    policies.push(&mut gru);
+    policies.push(&mut fsm);
+    let c = Comparison::run_vec(scenario, &cfg.sim, &mut policies, traces, 999);
+
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(c.policy_names.iter().cloned());
+    let mut table = Table::new(
+        format!("makespan comparison ({})", scenario.name()),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (row, name) in c.trace_names.iter().enumerate() {
+        let mut cells = vec![name.clone()];
+        cells.extend(c.makespans[row].iter().map(usize::to_string));
+        table.push_row(cells);
+    }
+    let mut mean_cells = vec!["MEAN".to_string()];
+    mean_cells.extend((0..c.policy_names.len()).map(|col| format!("{:.1}", c.mean_makespan(col))));
+    table.push_row(mean_cells);
+    write!(out, "{}", table.render())?;
+
+    let gru_col = c.column("gru-drl").expect("gru column exists");
+    let fsm_col = c.column("extracted-fsm").expect("fsm column exists");
+    let best_baseline = (0..c.policy_names.len())
+        .filter(|&col| col != gru_col && col != fsm_col)
+        .min_by(|&a, &b| {
+            c.mean_makespan(a)
+                .partial_cmp(&c.mean_makespan(b))
+                .expect("finite means")
+        });
+    match best_baseline {
+        Some(col) => writeln!(
+            out,
+            "reductions: gru {:.1}% vs best baseline ({}); fsm {:+.1}% vs gru",
+            c.reduction_vs(gru_col, col) * 100.0,
+            c.policy_names[col],
+            -c.reduction_vs(fsm_col, gru_col) * 100.0
+        )?,
+        // A scenario is free to register no baselines.
+        None => writeln!(
+            out,
+            "reductions: fsm {:+.1}% vs gru",
+            -c.reduction_vs(fsm_col, gru_col) * 100.0
+        )?,
+    }
+    Ok(())
+}
+
 fn cmd_explain(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let (cfg, artifacts) = load(args)?;
+    if cfg.scenario != ScenarioId::DoradoMigration {
+        return Err(err(format!(
+            "explain's narrative report reads the Dorado observation layout and \
+             does not yet support {}; inspect the machine via the saved fsm.txt \
+             or `lahd_fsm::to_dot` with the scenario's action names",
+            cfg.scenario
+        )));
+    }
     let mut policy = artifacts.fsm_policy(cfg.sim.clone(), cfg.metric, cfg.nn_matching);
     policy.record_trajectory(true);
     let mut trajectory = lahd_fsm::Trajectory::default();
@@ -219,7 +326,13 @@ fn cmd_traces(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 
     let mut table = Table::new(
         format!("synthetic traces ({len} intervals, seed {seed})"),
-        &["trace", "mean Q", "volume MiB/interval", "write %", "rate cv"],
+        &[
+            "trace",
+            "mean Q",
+            "volume MiB/interval",
+            "write %",
+            "rate cv",
+        ],
     );
     for trace in standard.iter().chain(&real) {
         let s = summarize(trace);
@@ -250,12 +363,17 @@ fn cmd_traces(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_simulate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
-    let path = args.get("trace").ok_or_else(|| err("--trace FILE is required"))?;
+    let path = args
+        .get("trace")
+        .ok_or_else(|| err("--trace FILE is required"))?;
     let file = fs::File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
     let trace: WorkloadTrace = read_trace(&mut BufReader::new(file))
         .map_err(|e| err(format!("cannot parse {path}: {e}")))?;
     let seed = args.get_u64("seed", 0);
-    let cfg = SimConfig { record_history: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        record_history: true,
+        ..SimConfig::default()
+    };
 
     let policy_name = args.get("policy").unwrap_or("handcrafted");
     let mut default_policy = DefaultPolicy;
@@ -263,7 +381,11 @@ fn cmd_simulate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let policy: &mut dyn Policy = match policy_name {
         "default" => &mut default_policy,
         "handcrafted" => &mut handcrafted,
-        other => return Err(err(format!("unknown --policy {other:?} (default|handcrafted)"))),
+        other => {
+            return Err(err(format!(
+                "unknown --policy {other:?} (default|handcrafted)"
+            )))
+        }
     };
 
     policy.reset();
@@ -288,6 +410,30 @@ fn cmd_simulate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_scenarios(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    if args.has_flag("names") {
+        for id in ScenarioId::ALL {
+            writeln!(out, "{}", id.name())?;
+        }
+        return Ok(());
+    }
+    let mut table = Table::new(
+        "registered scenarios",
+        &["name", "obs dim", "actions", "description"],
+    );
+    for id in ScenarioId::ALL {
+        let sc = id.get();
+        table.push_row(vec![
+            sc.name().to_string(),
+            sc.obs_dim().to_string(),
+            format!("{} ({})", sc.num_actions(), sc.action_names().join(", ")),
+            sc.description().to_string(),
+        ]);
+    }
+    write!(out, "{}", table.render())?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,11 +454,90 @@ mod tests {
     #[test]
     fn help_lists_all_subcommands() {
         let text = run_cli(&["help"]).unwrap();
-        for sub in ["pipeline", "evaluate", "explain", "traces", "simulate"] {
+        for sub in [
+            "pipeline",
+            "evaluate",
+            "explain",
+            "traces",
+            "simulate",
+            "scenarios",
+        ] {
             assert!(text.contains(sub), "usage missing {sub}");
         }
         // No arguments behaves like help.
         assert_eq!(run_cli(&[]).unwrap(), text);
+    }
+
+    #[test]
+    fn scenarios_lists_the_registry() {
+        let text = run_cli(&["scenarios"]).unwrap();
+        assert!(text.contains("dorado-migration"));
+        assert!(text.contains("readahead"));
+        let names = run_cli(&["scenarios", "--names"]).unwrap();
+        assert_eq!(names.lines().count(), ScenarioId::ALL.len());
+        assert!(names.lines().any(|l| l == "readahead"));
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        let e = run_cli(&["pipeline", "--scenario", "warp-drive"]).unwrap_err();
+        assert!(e.0.contains("unknown --scenario"));
+        assert!(
+            e.0.contains("readahead"),
+            "error should list known scenarios"
+        );
+    }
+
+    #[test]
+    fn readahead_pipeline_then_evaluate_at_tiny_scale() {
+        let dir = temp_dir("readahead");
+        let out_flag = dir.to_str().unwrap();
+        let text = run_cli(&[
+            "pipeline",
+            "--scenario",
+            "readahead",
+            "--scale",
+            "tiny",
+            "--out",
+            out_flag,
+        ])
+        .unwrap();
+        assert!(text.contains("artifacts saved"));
+
+        let text = run_cli(&[
+            "evaluate",
+            "--scenario",
+            "readahead",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+        ])
+        .unwrap();
+        assert!(text.contains("makespan comparison (readahead)"));
+        assert!(text.contains("ra-off"));
+        assert!(text.contains("seq-share"));
+        assert!(text.contains("MEAN"));
+
+        // The Dorado-layout narrative report must refuse gracefully.
+        let e = run_cli(&[
+            "explain",
+            "--scenario",
+            "readahead",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("does not yet support readahead"));
+
+        // Loading under the default scenario must be rejected, not mixed
+        // up — and the error must point at the scenario option.
+        let e = run_cli(&["evaluate", "--scale", "tiny", "--artifacts", out_flag]).unwrap_err();
+        assert!(e.0.contains("scenario dorado-migration"));
+        assert!(e.0.contains("--scenario"));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -324,14 +549,7 @@ mod tests {
     #[test]
     fn traces_summary_and_export() {
         let dir = temp_dir("traces");
-        let text = run_cli(&[
-            "traces",
-            "--len",
-            "16",
-            "--export",
-            dir.to_str().unwrap(),
-        ])
-        .unwrap();
+        let text = run_cli(&["traces", "--len", "16", "--export", dir.to_str().unwrap()]).unwrap();
         assert!(text.contains("std/oltp-database"));
         assert!(text.contains("exported 22 traces"));
         assert!(dir.join("std_video-streaming.trace").exists());
@@ -376,18 +594,10 @@ mod tests {
     fn pipeline_then_evaluate_then_explain_at_tiny_scale() {
         let dir = temp_dir("full");
         let out_flag = dir.to_str().unwrap();
-        let text =
-            run_cli(&["pipeline", "--scale", "tiny", "--out", out_flag]).unwrap();
+        let text = run_cli(&["pipeline", "--scale", "tiny", "--out", out_flag]).unwrap();
         assert!(text.contains("artifacts saved"));
 
-        let text = run_cli(&[
-            "evaluate",
-            "--scale",
-            "tiny",
-            "--artifacts",
-            out_flag,
-        ])
-        .unwrap();
+        let text = run_cli(&["evaluate", "--scale", "tiny", "--artifacts", out_flag]).unwrap();
         assert!(text.contains("MEAN"));
         assert!(text.contains("reductions:"));
 

@@ -8,7 +8,9 @@
 //! * `explain`  — generate the Markdown interpretation report for a saved
 //!   machine;
 //! * `traces`   — summarise or export the synthetic workload traces;
-//! * `simulate` — run a training-free policy over a trace file.
+//! * `simulate` — run a training-free policy over a trace file;
+//! * `scenarios` — list the registered storage scenarios (every
+//!   train/evaluate subcommand accepts `--scenario NAME`).
 //!
 //! The binary in `src/main.rs` is a thin wrapper so that everything here is
 //! testable as a library.

@@ -39,7 +39,11 @@ impl Args {
                 _ => flags.push(key.to_string()),
             }
         }
-        Self { values, flags, positionals }
+        Self {
+            values,
+            flags,
+            positionals,
+        }
     }
 
     /// The `i`-th positional token (e.g. a CLI subcommand).

@@ -14,7 +14,6 @@ use lahd_fsm::{read_fsm, write_fsm};
 use lahd_nn::{read_params, write_params, ParamStore};
 use lahd_qbn::{Qbn, QbnConfig};
 use lahd_rl::{EpochLog, RecurrentActorCritic};
-use lahd_sim::{Action, Observation};
 
 use crate::pipeline::{Pipeline, PipelineArtifacts, PipelineConfig};
 
@@ -47,7 +46,12 @@ pub fn save_artifacts(artifacts: &PipelineArtifacts, dir: &Path) -> std::io::Res
     fs::write(dir.join("convergence.csv"), log)?;
     fs::write(
         dir.join("meta.txt"),
-        format!("raw_states {}\ndataset_len {}\n", artifacts.raw_states, artifacts.dataset_len),
+        format!(
+            "raw_states {}\ndataset_len {}\nscenario {}\n",
+            artifacts.raw_states,
+            artifacts.dataset_len,
+            artifacts.scenario.name()
+        ),
     )?;
     Ok(())
 }
@@ -70,14 +74,19 @@ pub fn load_artifacts(cfg: &PipelineConfig, dir: &Path) -> Option<PipelineArtifa
     let meta = fs::read_to_string(dir.join("meta.txt")).ok()?;
     let convergence = load_convergence(&dir.join("convergence.csv"))?;
 
-    let mut agent =
-        RecurrentActorCritic::new(Observation::DIM, cfg.hidden_dim, Action::COUNT, cfg.seed);
+    let scenario = cfg.scenario.get();
+    let mut agent = RecurrentActorCritic::new(
+        scenario.obs_dim(),
+        cfg.hidden_dim,
+        scenario.num_actions(),
+        cfg.seed,
+    );
     if !layouts_match(&agent.store, &agent_store) {
         return None;
     }
     agent.store.copy_values_from(&agent_store);
 
-    let mut obs_qbn = Qbn::new(QbnConfig::with_dims(Observation::DIM, cfg.obs_latent), 0);
+    let mut obs_qbn = Qbn::new(QbnConfig::with_dims(scenario.obs_dim(), cfg.obs_latent), 0);
     if !layouts_match(&obs_qbn.store, &obs_store) {
         return None;
     }
@@ -93,17 +102,27 @@ pub fn load_artifacts(cfg: &PipelineConfig, dir: &Path) -> Option<PipelineArtifa
 
     let mut raw_states = 0;
     let mut dataset_len = 0;
+    // Artifacts written before the scenario layer carry no scenario line;
+    // they are Dorado by construction.
+    let mut saved_scenario = crate::scenario::ScenarioId::DoradoMigration;
     for line in meta.lines() {
         let mut parts = line.split_whitespace();
         match (parts.next(), parts.next()) {
             (Some("raw_states"), Some(v)) => raw_states = v.parse().ok()?,
             (Some("dataset_len"), Some(v)) => dataset_len = v.parse().ok()?,
+            (Some("scenario"), Some(v)) => {
+                saved_scenario = crate::scenario::ScenarioId::parse(v)?;
+            }
             _ => {}
         }
+    }
+    if saved_scenario != cfg.scenario {
+        return None;
     }
 
     let (std_traces, real_traces) = Pipeline::new(cfg.clone()).make_traces();
     Some(PipelineArtifacts {
+        scenario: saved_scenario,
         agent,
         convergence,
         obs_qbn,
@@ -120,9 +139,10 @@ pub fn load_artifacts(cfg: &PipelineConfig, dir: &Path) -> Option<PipelineArtifa
 /// (a non-panicking precondition of `ParamStore::copy_values_from`).
 fn layouts_match(expected: &ParamStore, loaded: &ParamStore) -> bool {
     expected.len() == loaded.len()
-        && expected.iter().zip(loaded.iter()).all(|((_, a), (_, b))| {
-            a.name == b.name && a.value.shape() == b.value.shape()
-        })
+        && expected
+            .iter()
+            .zip(loaded.iter())
+            .all(|((_, a), (_, b))| a.name == b.name && a.value.shape() == b.value.shape())
 }
 
 fn load_convergence(path: &Path) -> Option<Vec<EpochLog>> {
@@ -147,6 +167,8 @@ fn load_convergence(path: &Path) -> Option<Vec<EpochLog>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioId;
+    use lahd_sim::Observation;
 
     fn temp_dir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("lahd-artifacts-{name}"));
@@ -165,7 +187,9 @@ mod tests {
         assert_eq!(loaded.raw_states, artifacts.raw_states);
         assert_eq!(loaded.convergence.len(), artifacts.convergence.len());
         let obs = vec![0.25f32; Observation::DIM];
-        let a = artifacts.agent.infer(&obs, &artifacts.agent.initial_state());
+        let a = artifacts
+            .agent
+            .infer(&obs, &artifacts.agent.initial_state());
         let b = loaded.agent.infer(&obs, &loaded.agent.initial_state());
         assert_eq!(a.logits, b.logits);
         let _ = fs::remove_dir_all(&dir);
@@ -185,7 +209,25 @@ mod tests {
         save_artifacts(&artifacts, &dir).unwrap();
         let mut other = cfg.clone();
         other.hidden_dim += 4;
-        assert!(load_artifacts(&other, &dir).is_none(), "wrong dims must be rejected");
+        assert!(
+            load_artifacts(&other, &dir).is_none(),
+            "wrong dims must be rejected"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_mismatch_loads_none() {
+        let cfg = PipelineConfig::tiny();
+        let artifacts = Pipeline::new(cfg.clone()).run();
+        let dir = temp_dir("scenario-mismatch");
+        save_artifacts(&artifacts, &dir).unwrap();
+        let mut other = cfg.clone();
+        other.scenario = ScenarioId::Readahead;
+        assert!(
+            load_artifacts(&other, &dir).is_none(),
+            "artifacts from another scenario must be rejected"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

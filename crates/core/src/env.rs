@@ -1,5 +1,12 @@
-//! The storage-system MDP: couples the simulator with a workload trace and a
+//! The storage-system MDP: couples a simulator with a workload trace and a
 //! reward definition, behind the generic [`lahd_rl::Env`] trait.
+//!
+//! [`StorageEnv`] is the paper's Dorado core-migration environment. Other
+//! scenarios get a training environment for free from
+//! [`crate::scenario::RolloutEnv`], which mirrors this one's seeding and
+//! reward wiring over the scenario's rollout factory; the [`RewardMode`]
+//! definitions (the objective — minimum makespan — is the same everywhere)
+//! are shared by both.
 
 use lahd_rl::{Env, Transition};
 use lahd_sim::{Action, Observation, SimConfig, StorageSim, WorkloadTrace};
@@ -45,7 +52,33 @@ impl RewardMode {
 
     /// The dense variant used for small training budgets.
     pub fn shaped() -> Self {
-        RewardMode::ShapedBacklog { backlog_coef: 0.2, terminal_scale: 1.0 }
+        RewardMode::ShapedBacklog {
+            backlog_coef: 0.2,
+            terminal_scale: 1.0,
+        }
+    }
+
+    /// Per-interval reward for a step leaving `backlog_kib` of work, on an
+    /// array with `ideal` KiB/interval aggregate capability and a trace of
+    /// `horizon` intervals.
+    pub fn step_reward(self, backlog_kib: f64, ideal: f64, horizon: f32) -> f32 {
+        match self {
+            RewardMode::InverseMakespan { .. } => 0.0,
+            RewardMode::ShapedBacklog { backlog_coef, .. } => {
+                let backlog_intervals = ((backlog_kib / ideal) as f32).min(RewardMode::BACKLOG_CAP);
+                -(1.0 + backlog_coef * backlog_intervals) / horizon.max(1.0)
+            }
+        }
+    }
+
+    /// Terminal bonus for finishing a `horizon`-interval trace in `k`
+    /// intervals.
+    pub fn terminal_reward(self, horizon: f32, k: f32) -> f32 {
+        let terminal = match self {
+            RewardMode::InverseMakespan { scale } => scale,
+            RewardMode::ShapedBacklog { terminal_scale, .. } => terminal_scale,
+        };
+        terminal * horizon / k.max(1.0)
     }
 }
 
@@ -69,7 +102,15 @@ impl StorageEnv {
     /// (important early in training when policies are poor).
     pub fn new(cfg: SimConfig, trace: WorkloadTrace, reward: RewardMode, seed: u64) -> Self {
         let name = format!("storage:{}", trace.name);
-        Self { cfg, trace, reward, base_seed: seed, episode: 0, sim: None, name }
+        Self {
+            cfg,
+            trace,
+            reward,
+            base_seed: seed,
+            episode: 0,
+            sim: None,
+            name,
+        }
     }
 
     /// The trace driven by this environment.
@@ -83,7 +124,9 @@ impl StorageEnv {
     }
 
     fn sim(&mut self) -> &mut StorageSim {
-        self.sim.as_mut().expect("reset() must be called before step()")
+        self.sim
+            .as_mut()
+            .expect("reset() must be called before step()")
     }
 
     fn observation_vec(&self) -> Vec<f32> {
@@ -102,7 +145,9 @@ impl Env for StorageEnv {
     }
 
     fn reset(&mut self) -> Vec<f32> {
-        let seed = self.base_seed.wrapping_add(self.episode.wrapping_mul(0x9E37_79B9));
+        let seed = self
+            .base_seed
+            .wrapping_add(self.episode.wrapping_mul(0x9E37_79B9));
         self.episode += 1;
         self.sim = Some(StorageSim::new(self.cfg.clone(), self.trace.clone(), seed));
         self.observation_vec()
@@ -113,24 +158,17 @@ impl Env for StorageEnv {
         let horizon = self.trace.len() as f32;
         let result = self.sim().step(Action::from_index(action));
 
-        let mut reward = match self.reward {
-            RewardMode::InverseMakespan { .. } => 0.0,
-            RewardMode::ShapedBacklog { backlog_coef, .. } => {
-                let backlog_intervals =
-                    ((result.backlog_kib / ideal) as f32).min(RewardMode::BACKLOG_CAP);
-                -(1.0 + backlog_coef * backlog_intervals) / horizon.max(1.0)
-            }
-        };
+        let mut reward = self.reward.step_reward(result.backlog_kib, ideal, horizon);
         if result.done {
             let k = self.makespan() as f32;
-            let terminal = match self.reward {
-                RewardMode::InverseMakespan { scale } => scale,
-                RewardMode::ShapedBacklog { terminal_scale, .. } => terminal_scale,
-            };
-            reward += terminal * horizon / k.max(1.0);
+            reward += self.reward.terminal_reward(horizon, k);
         }
 
-        Transition { obs: self.observation_vec(), reward, done: result.done }
+        Transition {
+            obs: self.observation_vec(),
+            reward,
+            done: result.done,
+        }
     }
 
     fn name(&self) -> &str {
@@ -141,7 +179,7 @@ impl Env for StorageEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lahd_sim::{IntervalWorkload, NUM_IO_CLASSES};
+    use lahd_workload::{IntervalWorkload, NUM_IO_CLASSES};
 
     fn trace(n: usize, q: f64) -> WorkloadTrace {
         let mut mix = [0.0; NUM_IO_CLASSES];
@@ -150,7 +188,10 @@ mod tests {
     }
 
     fn quiet_cfg() -> SimConfig {
-        SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+        SimConfig {
+            idle_lambda: 0.0,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -180,19 +221,21 @@ mod tests {
 
     #[test]
     fn shaped_reward_penalises_backlog() {
-        let mut env =
-            StorageEnv::new(quiet_cfg(), trace(6, 50_000.0), RewardMode::shaped(), 0);
+        let mut env = StorageEnv::new(quiet_cfg(), trace(6, 50_000.0), RewardMode::shaped(), 0);
         env.reset();
         let tr = env.step(0);
-        assert!(tr.reward < 0.0, "heavy backlog must be penalised, got {}", tr.reward);
+        assert!(
+            tr.reward < 0.0,
+            "heavy backlog must be penalised, got {}",
+            tr.reward
+        );
     }
 
     #[test]
     fn faster_completion_earns_more_total_reward() {
         // Same trace; policy A (noop) vs policy B (sabotage: starve NORMAL).
         let run = |actions: &dyn Fn(usize) -> usize| {
-            let mut env =
-                StorageEnv::new(quiet_cfg(), trace(12, 2500.0), RewardMode::paper(), 0);
+            let mut env = StorageEnv::new(quiet_cfg(), trace(12, 2500.0), RewardMode::paper(), 0);
             env.reset();
             let mut total = 0.0;
             let mut t = 0;
@@ -216,10 +259,12 @@ mod tests {
 
     #[test]
     fn episodes_vary_idle_noise_but_are_reproducible() {
-        let cfg = SimConfig { idle_lambda: 3.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            idle_lambda: 3.0,
+            ..SimConfig::default()
+        };
         let run_two = || {
-            let mut env =
-                StorageEnv::new(cfg.clone(), trace(10, 2500.0), RewardMode::paper(), 7);
+            let mut env = StorageEnv::new(cfg.clone(), trace(10, 2500.0), RewardMode::paper(), 7);
             let mut ks = Vec::new();
             for _ in 0..2 {
                 env.reset();

@@ -1,23 +1,74 @@
 //! Policy evaluation harness (the machinery behind Figure 4).
+//!
+//! Two parallel paths exist: the Dorado-typed [`Policy`] path the paper's
+//! evaluation was built on, and the scenario-generic [`VecPolicy`] path
+//! ([`evaluate_vec_policy`], [`Comparison::run_vec`]) that works for every
+//! registered [`Scenario`].
 
-use lahd_fsm::Policy;
+use lahd_fsm::{Policy, VecPolicy};
 use lahd_rl::RecurrentActorCritic;
-use lahd_sim::{Action, EpisodeMetrics, Observation, SimConfig, StorageSim, WorkloadTrace};
+use lahd_sim::{Action, EpisodeMetrics, Observation, SimConfig, StorageSim};
 use lahd_tensor::Matrix;
+use lahd_workload::WorkloadTrace;
 
-/// Wraps the trained GRU agent as a greedy simulator [`Policy`].
+use crate::scenario::{run_rollout, RolloutOutcome, Scenario};
+
+/// Wraps the trained GRU agent as a greedy Dorado simulator [`Policy`]:
+/// the Dorado observation normalisation in front of a [`GruVecPolicy`]
+/// (the same adapter pattern as `FsmPolicy` over `FsmExecutor`).
 pub struct GruPolicy {
-    agent: RecurrentActorCritic,
+    inner: GruVecPolicy,
     sim_cfg: SimConfig,
-    hidden: Matrix,
-    name: String,
 }
 
 impl GruPolicy {
     /// Creates the policy; `sim_cfg` must match the training normalisation.
     pub fn new(agent: RecurrentActorCritic, sim_cfg: SimConfig) -> Self {
+        Self {
+            inner: GruVecPolicy::new(agent),
+            sim_cfg,
+        }
+    }
+
+    /// Access to the wrapped agent.
+    pub fn agent(&self) -> &RecurrentActorCritic {
+        self.inner.agent()
+    }
+}
+
+impl Policy for GruPolicy {
+    fn reset(&mut self) {
+        VecPolicy::reset(&mut self.inner);
+    }
+
+    fn act(&mut self, obs: &Observation) -> Action {
+        let v = obs.to_vector(&self.sim_cfg);
+        Action::from_index(self.inner.act_vec(&v))
+    }
+
+    fn name(&self) -> &str {
+        VecPolicy::name(&self.inner)
+    }
+}
+
+/// Wraps a trained agent as a greedy scenario-generic [`VecPolicy`]: the
+/// observation vector comes straight from the scenario rollout, so one
+/// implementation serves every scenario.
+pub struct GruVecPolicy {
+    agent: RecurrentActorCritic,
+    hidden: Matrix,
+    name: String,
+}
+
+impl GruVecPolicy {
+    /// Creates the policy over a trained agent.
+    pub fn new(agent: RecurrentActorCritic) -> Self {
         let hidden = agent.initial_state();
-        Self { agent, sim_cfg, hidden, name: "gru-drl".to_string() }
+        Self {
+            agent,
+            hidden,
+            name: "gru-drl".to_string(),
+        }
     }
 
     /// Access to the wrapped agent.
@@ -26,21 +77,41 @@ impl GruPolicy {
     }
 }
 
-impl Policy for GruPolicy {
+impl VecPolicy for GruVecPolicy {
     fn reset(&mut self) {
         self.hidden = self.agent.initial_state();
     }
 
-    fn act(&mut self, obs: &Observation) -> Action {
-        let v = obs.to_vector(&self.sim_cfg);
-        let step = self.agent.infer(&v, &self.hidden);
+    fn act_vec(&mut self, obs: &[f32]) -> usize {
+        let step = self.agent.infer(obs, &self.hidden);
         self.hidden = step.hidden;
-        Action::from_index(lahd_tensor::argmax(&step.logits))
+        lahd_tensor::argmax(&step.logits)
     }
 
     fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// Scenario-generic policy evaluation: runs `policy` over every trace;
+/// trace `i` uses seed `base_seed + i` so all policies face identical
+/// noise realisations.
+pub fn evaluate_vec_policy(
+    scenario: &dyn Scenario,
+    sim_cfg: &SimConfig,
+    policy: &mut dyn VecPolicy,
+    traces: &[WorkloadTrace],
+    base_seed: u64,
+) -> Vec<RolloutOutcome> {
+    traces
+        .iter()
+        .enumerate()
+        .map(|(i, trace)| {
+            let rollout =
+                scenario.make_rollout(sim_cfg, trace.clone(), base_seed.wrapping_add(i as u64));
+            run_rollout(rollout, policy)
+        })
+        .collect()
 }
 
 /// Evaluates `policy` on every trace; trace `i` uses seed `base_seed + i` so
@@ -149,12 +220,39 @@ impl Comparison {
         }
     }
 
+    /// Scenario-generic counterpart of [`Comparison::run`]: every
+    /// [`VecPolicy`] over every trace with matched noise seeds, scored by
+    /// the scenario's rollout (makespan for all registered scenarios).
+    pub fn run_vec(
+        scenario: &dyn Scenario,
+        sim_cfg: &SimConfig,
+        policies: &mut [&mut dyn VecPolicy],
+        traces: &[WorkloadTrace],
+        base_seed: u64,
+    ) -> Self {
+        let mut makespans = vec![vec![0usize; policies.len()]; traces.len()];
+        for (col, policy) in policies.iter_mut().enumerate() {
+            let outcomes = evaluate_vec_policy(scenario, sim_cfg, *policy, traces, base_seed);
+            for (row, o) in outcomes.iter().enumerate() {
+                makespans[row][col] = o.score;
+            }
+        }
+        Self {
+            policy_names: policies.iter().map(|p| p.name().to_string()).collect(),
+            trace_names: traces.iter().map(|t| t.name.clone()).collect(),
+            makespans,
+        }
+    }
+
     /// Mean makespan of policy column `col`.
     pub fn mean_makespan(&self, col: usize) -> f64 {
         if self.makespans.is_empty() {
             return 0.0;
         }
-        self.makespans.iter().map(|row| row[col] as f64).sum::<f64>()
+        self.makespans
+            .iter()
+            .map(|row| row[col] as f64)
+            .sum::<f64>()
             / self.makespans.len() as f64
     }
 
@@ -178,8 +276,9 @@ impl Comparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ScenarioId;
     use lahd_fsm::{DefaultPolicy, HandcraftedFsm};
-    use lahd_sim::{IntervalWorkload, NUM_IO_CLASSES};
+    use lahd_workload::{IntervalWorkload, NUM_IO_CLASSES};
 
     fn traces() -> Vec<WorkloadTrace> {
         // Two phases: read-heavy then write-heavy; gives the handcrafted
@@ -194,7 +293,10 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+        SimConfig {
+            idle_lambda: 0.0,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -235,6 +337,38 @@ mod tests {
     }
 
     #[test]
+    fn vec_path_matches_typed_path_on_dorado() {
+        // The scenario-generic rollout normalises observations exactly like
+        // the typed GruPolicy, so the two evaluation paths must agree
+        // makespan-for-makespan.
+        let scenario = ScenarioId::DoradoMigration.get();
+        let agent = RecurrentActorCritic::new(Observation::DIM, 8, Action::COUNT, 3);
+        let mut typed = GruPolicy::new(agent.clone(), cfg());
+        let typed_metrics = evaluate_policy(&mut typed, &cfg(), &traces(), 11);
+        let mut vec_policy = GruVecPolicy::new(agent);
+        let outcomes = evaluate_vec_policy(scenario, &cfg(), &mut vec_policy, &traces(), 11);
+        assert_eq!(typed_metrics.len(), outcomes.len());
+        for (m, o) in typed_metrics.iter().zip(&outcomes) {
+            assert_eq!(m.makespan, o.score);
+            assert_eq!(m.truncated, o.truncated);
+        }
+    }
+
+    #[test]
+    fn run_vec_builds_comparison_over_baselines() {
+        let scenario = ScenarioId::Readahead.get();
+        let mut baselines = scenario.baselines(&cfg());
+        let mut policies: Vec<&mut dyn VecPolicy> = baselines
+            .iter_mut()
+            .map(|b| b.as_mut() as &mut dyn VecPolicy)
+            .collect();
+        let c = Comparison::run_vec(scenario, &cfg(), &mut policies, &traces(), 0);
+        assert_eq!(c.policy_names, vec!["ra-off", "ra-max", "seq-share"]);
+        assert_eq!(c.makespans.len(), 1);
+        assert!(c.makespans[0].iter().all(|&k| k >= 20));
+    }
+
+    #[test]
     fn parallel_evaluation_matches_sequential() {
         let cfg = cfg();
         let mut traces = traces();
@@ -243,8 +377,7 @@ mod tests {
         traces.extend(traces.clone());
         let mut sequential_policy = HandcraftedFsm::tuned();
         let sequential = evaluate_policy(&mut sequential_policy, &cfg, &traces, 42);
-        let parallel =
-            evaluate_policy_parallel(HandcraftedFsm::tuned, &cfg, &traces, 42);
+        let parallel = evaluate_policy_parallel(HandcraftedFsm::tuned, &cfg, &traces, 42);
         assert_eq!(sequential.len(), parallel.len());
         for (s, p) in sequential.iter().zip(&parallel) {
             assert_eq!(s.makespan, p.makespan);

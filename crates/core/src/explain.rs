@@ -43,7 +43,11 @@ fn summarise(v: &[f32], cfg: &SimConfig) -> ObsSummary {
         .map(|(&m, _)| f64::from(m))
         .sum();
     let requests = f64::from(v[REQUESTS_OFFSET]) * cfg.requests_norm;
-    ObsSummary { utilization, write_share, requests }
+    ObsSummary {
+        utilization,
+        write_share,
+        requests,
+    }
 }
 
 /// Renders a Markdown report explaining `fsm` from a recorded `trajectory`.

@@ -1,8 +1,11 @@
 //! The LAHD pipeline — *Learning-Aided Heuristics Design for Storage
 //! System* (SIGMOD 2021) — end to end:
 //!
-//! 1. model the Dorado V6 core-allocation problem as an MDP over the
-//!    [`lahd_sim`] simulator ([`StorageEnv`], [`RewardMode`]);
+//! 1. model a storage decision problem as an MDP over a [`lahd_sim`]
+//!    simulator (a registered [`Scenario`]; the default
+//!    [`ScenarioId::DoradoMigration`] is the paper's core-allocation
+//!    problem via [`StorageEnv`] and [`RewardMode`], and
+//!    [`ScenarioId::Readahead`] is learned readahead sizing);
 //! 2. train a GRU-based A2C agent with curriculum learning
 //!    ([`Pipeline::train_with_curriculum`]);
 //! 3. roll the trained agent out to collect the `⟨h, h′, o, a⟩` transition
@@ -33,12 +36,19 @@ mod explain;
 mod oracle;
 mod pipeline;
 mod report;
+mod scenario;
 
 pub use args::Args;
 pub use artifacts::{load_artifacts, save_artifacts};
 pub use env::{RewardMode, StorageEnv};
-pub use eval::{evaluate_policy, evaluate_policy_parallel, Comparison, GruPolicy};
+pub use eval::{
+    evaluate_policy, evaluate_policy_parallel, evaluate_vec_policy, Comparison, GruPolicy,
+    GruVecPolicy,
+};
 pub use explain::explain_fsm;
 pub use oracle::{best_static_allocation, OracleResult};
 pub use pipeline::{action_names, Pipeline, PipelineArtifacts, PipelineConfig};
 pub use report::{fmt_f, fmt_pct, Table};
+pub use scenario::{
+    run_rollout, RolloutEnv, RolloutOutcome, Scenario, ScenarioId, ScenarioRollout,
+};

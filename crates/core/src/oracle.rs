@@ -8,7 +8,8 @@
 //! between operating points over time? A dynamic policy that loses to the
 //! static oracle on some trace has not yet learned to anticipate.
 
-use lahd_sim::{Action, SimConfig, StorageSim, WorkloadTrace};
+use lahd_sim::{Action, SimConfig, StorageSim};
+use lahd_workload::WorkloadTrace;
 
 /// Outcome of the static-allocation search for one trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,15 +27,13 @@ pub struct OracleResult {
 ///
 /// For 32 cores and a minimum of 1 per level this is 465 simulator runs;
 /// threads split the candidate list.
-pub fn best_static_allocation(
-    cfg: &SimConfig,
-    trace: &WorkloadTrace,
-    seed: u64,
-) -> OracleResult {
+pub fn best_static_allocation(cfg: &SimConfig, trace: &WorkloadTrace, seed: u64) -> OracleResult {
     let candidates = enumerate_allocations(cfg.total_cores, cfg.min_cores_per_level);
     assert!(!candidates.is_empty(), "no feasible allocation");
 
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8);
     let chunk_size = candidates.len().div_ceil(threads);
     let results = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -49,7 +48,10 @@ pub fn best_static_allocation(
                     };
                     let mut sim = StorageSim::new(run_cfg, trace.clone(), seed);
                     let metrics = sim.run_with(|_| Action::Noop);
-                    let candidate = OracleResult { allocation, makespan: metrics.makespan };
+                    let candidate = OracleResult {
+                        allocation,
+                        makespan: metrics.makespan,
+                    };
                     best = Some(match best {
                         None => candidate,
                         Some(b) if candidate.makespan < b.makespan => candidate,
@@ -59,7 +61,10 @@ pub fn best_static_allocation(
                 best.expect("non-empty chunk")
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("oracle worker")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("oracle worker"))
+            .collect::<Vec<_>>()
     });
 
     results
@@ -88,10 +93,13 @@ fn enumerate_allocations(total: usize, min_per_level: usize) -> Vec<[usize; 3]> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lahd_sim::{IntervalWorkload, NUM_IO_CLASSES};
+    use lahd_workload::{IntervalWorkload, NUM_IO_CLASSES};
 
     fn quiet_cfg() -> SimConfig {
-        SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+        SimConfig {
+            idle_lambda: 0.0,
+            ..SimConfig::default()
+        }
     }
 
     fn write_trace(n: usize, q: f64) -> WorkloadTrace {
@@ -123,7 +131,10 @@ mod tests {
         // must find a KV-heavier split with a smaller makespan.
         let cfg = quiet_cfg();
         let trace = write_trace(24, 1400.0);
-        let mut default_sim = SimConfig { record_history: false, ..cfg.clone() };
+        let mut default_sim = SimConfig {
+            record_history: false,
+            ..cfg.clone()
+        };
         default_sim.initial_allocation = cfg.initial_allocation;
         let mut sim = StorageSim::new(default_sim, trace.clone(), 0);
         let default_k = sim.run_with(|_| Action::Noop).makespan;

@@ -3,22 +3,25 @@
 //! networks → extract and minimise a finite state machine → wrap it as a
 //! deployable white-box policy.
 
-use lahd_fsm::{extract_fsm, merge_compatible, minimize, Fsm, FsmPolicy, Metric};
+use lahd_fsm::{extract_fsm, merge_compatible, minimize, Fsm, FsmExecutor, FsmPolicy, Metric};
 use lahd_nn::Graph;
 use lahd_qbn::{Qbn, QbnConfig, QbnTrainConfig, TransitionDataset, TransitionRow};
-use lahd_rl::{
-    train_curriculum, A2cConfig, A2cTrainer, EpochLog, Phase, RecurrentActorCritic,
-};
-use lahd_sim::{Action, Observation, SimConfig, StorageSim, WorkloadTrace};
+use lahd_rl::{train_curriculum, A2cConfig, A2cTrainer, EpochLog, Phase, RecurrentActorCritic};
+use lahd_sim::{Action, SimConfig};
 use lahd_tensor::{seeded_rng, Matrix};
-use lahd_workload::{real_trace_set, standard_trace_set};
+use lahd_workload::{real_trace_set, standard_trace_set, WorkloadTrace};
 
-use crate::env::{RewardMode, StorageEnv};
+use crate::env::RewardMode;
 use crate::eval::GruPolicy;
+use crate::scenario::{Scenario, ScenarioId};
 
 /// Everything the pipeline needs to run end-to-end.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
+    /// Which decision problem to run the methodology on (see
+    /// [`ScenarioId`]); the default everywhere is the paper's
+    /// [`ScenarioId::DoradoMigration`].
+    pub scenario: ScenarioId,
     /// Simulator parameters (shared by training and evaluation).
     pub sim: SimConfig,
     /// GRU width (paper: 128).
@@ -66,7 +69,11 @@ impl PipelineConfig {
     pub fn paper() -> Self {
         let trace_len = 192;
         Self {
-            sim: SimConfig { max_intervals: trace_len * 8, ..SimConfig::default() },
+            scenario: ScenarioId::DoradoMigration,
+            sim: SimConfig {
+                max_intervals: trace_len * 8,
+                ..SimConfig::default()
+            },
             hidden_dim: 128,
             a2c: A2cConfig::default(),
             reward: RewardMode::paper(),
@@ -78,7 +85,10 @@ impl PipelineConfig {
             dataset_epsilon: 0.05,
             obs_latent: 12,
             hidden_latent: 64,
-            qbn_train: QbnTrainConfig { epochs: 60, ..QbnTrainConfig::default() },
+            qbn_train: QbnTrainConfig {
+                epochs: 60,
+                ..QbnTrainConfig::default()
+            },
             finetune_epochs: 100,
             finetune_lr: 1e-3,
             metric: Metric::Euclidean,
@@ -92,12 +102,19 @@ impl PipelineConfig {
     pub fn demo() -> Self {
         let trace_len = 96;
         Self {
-            sim: SimConfig { max_intervals: trace_len * 8, ..SimConfig::default() },
+            scenario: ScenarioId::DoradoMigration,
+            sim: SimConfig {
+                max_intervals: trace_len * 8,
+                ..SimConfig::default()
+            },
             hidden_dim: 48,
             // The batched synchronous updates at demo scale tolerate (and
             // need) a larger learning rate than the paper's 3e-4, which is
             // tuned for 2000-epoch runs.
-            a2c: A2cConfig { learning_rate: 2e-3, ..A2cConfig::default() },
+            a2c: A2cConfig {
+                learning_rate: 2e-3,
+                ..A2cConfig::default()
+            },
             reward: RewardMode::shaped(),
             trace_len,
             num_real_traces: 10,
@@ -107,7 +124,10 @@ impl PipelineConfig {
             dataset_epsilon: 0.05,
             obs_latent: 8,
             hidden_latent: 16,
-            qbn_train: QbnTrainConfig { epochs: 30, ..QbnTrainConfig::default() },
+            qbn_train: QbnTrainConfig {
+                epochs: 30,
+                ..QbnTrainConfig::default()
+            },
             finetune_epochs: 150,
             finetune_lr: 1e-3,
             metric: Metric::Euclidean,
@@ -121,6 +141,7 @@ impl PipelineConfig {
     pub fn tiny() -> Self {
         let trace_len = 32;
         Self {
+            scenario: ScenarioId::DoradoMigration,
             sim: SimConfig {
                 max_intervals: trace_len * 8,
                 idle_lambda: 0.0,
@@ -137,7 +158,11 @@ impl PipelineConfig {
             dataset_epsilon: 0.05,
             obs_latent: 6,
             hidden_latent: 10,
-            qbn_train: QbnTrainConfig { epochs: 10, batch_size: 16, ..QbnTrainConfig::default() },
+            qbn_train: QbnTrainConfig {
+                epochs: 10,
+                batch_size: 16,
+                ..QbnTrainConfig::default()
+            },
             finetune_epochs: 3,
             finetune_lr: 1e-3,
             metric: Metric::Euclidean,
@@ -153,6 +178,8 @@ impl PipelineConfig {
 
 /// Everything the pipeline produced.
 pub struct PipelineArtifacts {
+    /// The scenario the artifacts were trained for.
+    pub scenario: ScenarioId,
     /// The trained GRU actor-critic.
     pub agent: RecurrentActorCritic,
     /// Epoch-by-epoch training log (Figure 3's series).
@@ -179,9 +206,20 @@ impl PipelineArtifacts {
         GruPolicy::new(self.agent.clone(), sim_cfg)
     }
 
-    /// A fresh extracted-FSM policy.
+    /// A fresh extracted-FSM policy (Dorado-typed evaluation interface).
     pub fn fsm_policy(&self, sim_cfg: SimConfig, metric: Metric, nn_matching: bool) -> FsmPolicy {
-        FsmPolicy::new(self.fsm.clone(), self.obs_qbn.clone(), sim_cfg, metric, nn_matching)
+        FsmPolicy::new(
+            self.fsm.clone(),
+            self.obs_qbn.clone(),
+            sim_cfg,
+            metric,
+            nn_matching,
+        )
+    }
+
+    /// A fresh scenario-generic FSM executor over observation vectors.
+    pub fn fsm_executor(&self, metric: Metric, nn_matching: bool) -> FsmExecutor {
+        FsmExecutor::new(self.fsm.clone(), self.obs_qbn.clone(), metric, nn_matching)
     }
 }
 
@@ -195,6 +233,11 @@ impl Pipeline {
     /// Creates a pipeline.
     pub fn new(config: PipelineConfig) -> Self {
         Self { config }
+    }
+
+    /// The scenario this pipeline instantiates the methodology for.
+    pub fn scenario(&self) -> &'static dyn Scenario {
+        self.config.scenario.get()
     }
 
     /// Synthesises the standard and real trace sets.
@@ -222,12 +265,18 @@ impl Pipeline {
             vec![
                 Phase {
                     name: "standard",
-                    envs: std_envs.iter_mut().map(|e| e as &mut dyn lahd_rl::Env).collect(),
+                    envs: std_envs
+                        .iter_mut()
+                        .map(|e| e.as_mut() as &mut dyn lahd_rl::Env)
+                        .collect(),
                     epochs: c.std_epochs,
                 },
                 Phase {
                     name: "real",
-                    envs: real_envs.iter_mut().map(|e| e as &mut dyn lahd_rl::Env).collect(),
+                    envs: real_envs
+                        .iter_mut()
+                        .map(|e| e.as_mut() as &mut dyn lahd_rl::Env)
+                        .collect(),
                     epochs: c.real_epochs,
                 },
             ],
@@ -248,7 +297,10 @@ impl Pipeline {
             &mut trainer,
             vec![Phase {
                 name: "from-scratch",
-                envs: envs.iter_mut().map(|e| e as &mut dyn lahd_rl::Env).collect(),
+                envs: envs
+                    .iter_mut()
+                    .map(|e| e.as_mut() as &mut dyn lahd_rl::Env)
+                    .collect(),
                 epochs,
             }],
         );
@@ -263,21 +315,25 @@ impl Pipeline {
         agent: &RecurrentActorCritic,
         traces: &[WorkloadTrace],
     ) -> TransitionDataset {
-        assert!(!traces.is_empty(), "dataset collection needs at least one trace");
+        assert!(
+            !traces.is_empty(),
+            "dataset collection needs at least one trace"
+        );
         let c = &self.config;
+        let scenario = self.scenario();
         let mut rng = seeded_rng(c.seed.wrapping_add(0xDA7A));
         let mut dataset = TransitionDataset::new();
         for episode in 0..c.dataset_episodes {
             let trace = &traces[episode % traces.len()];
             let mut sim =
-                StorageSim::new(c.sim.clone(), trace.clone(), c.seed.wrapping_add(episode as u64));
+                scenario.make_rollout(&c.sim, trace.clone(), c.seed.wrapping_add(episode as u64));
             let mut hidden = agent.initial_state();
             let mut step_idx = 0usize;
             while !sim.is_done() {
-                let obs = sim.observation().to_vector(&c.sim);
+                let obs = sim.observe();
                 let infer = agent.infer(&obs, &hidden);
                 let action = agent.sample_action(&infer.logits, c.dataset_epsilon, &mut rng);
-                sim.step(Action::from_index(action));
+                sim.step(action);
                 dataset.push(TransitionRow {
                     obs,
                     hidden: hidden.row(0).to_vec(),
@@ -309,33 +365,36 @@ impl Pipeline {
         hidden_qbn: &Qbn,
         traces: &[WorkloadTrace],
     ) -> TransitionDataset {
-        assert!(!traces.is_empty(), "dataset collection needs at least one trace");
+        assert!(
+            !traces.is_empty(),
+            "dataset collection needs at least one trace"
+        );
         let c = &self.config;
+        let scenario = self.scenario();
+        let num_actions = scenario.num_actions();
         let mut rng = seeded_rng(c.seed.wrapping_add(0xF5A));
         let mut dataset = TransitionDataset::new();
         for episode in 0..c.dataset_episodes {
             let trace = &traces[episode % traces.len()];
             let mut sim =
-                StorageSim::new(c.sim.clone(), trace.clone(), c.seed.wrapping_add(episode as u64));
+                scenario.make_rollout(&c.sim, trace.clone(), c.seed.wrapping_add(episode as u64));
             // Raw hidden carried across steps; every use goes through the
             // QBN, so the raw value's *code* is the true loop state and
             // `encode(recorded hidden)` reproduces it exactly.
             let mut hidden_raw = agent.initial_state();
             let mut step_idx = 0usize;
             while !sim.is_done() {
-                let obs = sim.observation().to_vector(&c.sim);
+                let obs = sim.observe();
                 let obs_recon = obs_qbn.decode(&obs_qbn.encode(&obs));
-                let hidden_recon = Matrix::row_vector(
-                    &hidden_qbn.decode(&hidden_qbn.encode(hidden_raw.row(0))),
-                );
+                let hidden_recon =
+                    Matrix::row_vector(&hidden_qbn.decode(&hidden_qbn.encode(hidden_raw.row(0))));
                 let infer = agent.infer(&obs_recon, &hidden_recon);
                 // The action is read from the *reconstruction* of the
                 // successor code, making it a pure function of that code —
                 // exactly what "each state corresponds to one unique
                 // action" (§3.3) requires.
-                let next_recon = Matrix::row_vector(
-                    &hidden_qbn.decode(&hidden_qbn.encode(infer.hidden.row(0))),
-                );
+                let next_recon =
+                    Matrix::row_vector(&hidden_qbn.decode(&hidden_qbn.encode(infer.hidden.row(0))));
                 let action = agent.greedy_action_for_hidden(&next_recon);
                 // Exploration drives the *simulator* into more diverse
                 // states (densifying the transition table), but the recorded
@@ -345,11 +404,11 @@ impl Pipeline {
                 let applied = if c.dataset_epsilon > 0.0
                     && rand::Rng::gen::<f32>(&mut rng) < c.dataset_epsilon
                 {
-                    rand::Rng::gen_range(&mut rng, 0..Action::COUNT)
+                    rand::Rng::gen_range(&mut rng, 0..num_actions)
                 } else {
                     action
                 };
-                sim.step(Action::from_index(applied));
+                sim.step(applied);
                 dataset.push(TransitionRow {
                     obs,
                     hidden: hidden_raw.row(0).to_vec(),
@@ -395,6 +454,7 @@ impl Pipeline {
     ) -> Vec<f32> {
         const ANCHOR_WEIGHT: f32 = 1.0;
         let c = &self.config;
+        let scenario = self.scenario();
         let mut adam_obs = lahd_nn::Adam::new(c.finetune_lr);
         let mut adam_hid = lahd_nn::Adam::new(c.finetune_lr);
         let mut losses = Vec::with_capacity(c.finetune_epochs);
@@ -404,13 +464,13 @@ impl Pipeline {
             let mut episodes: Vec<(Vec<Vec<f32>>, Vec<usize>)> = Vec::new();
             for (i, trace) in traces.iter().enumerate() {
                 let seed = c.seed.wrapping_add((epoch * traces.len() + i) as u64);
-                let mut sim = StorageSim::new(c.sim.clone(), trace.clone(), seed);
+                let mut sim = scenario.make_rollout(&c.sim, trace.clone(), seed);
                 let mut h_student = agent.initial_state();
                 let mut h_teacher = agent.initial_state();
                 let mut obs_seq = Vec::new();
                 let mut labels = Vec::new();
                 while !sim.is_done() {
-                    let obs = sim.observation().to_vector(&c.sim);
+                    let obs = sim.observe();
                     let t_infer = agent.infer(&obs, &h_teacher);
                     labels.push(lahd_tensor::argmax(&t_infer.logits));
 
@@ -423,7 +483,7 @@ impl Pipeline {
                         &hidden_qbn.decode(&hidden_qbn.encode(s_infer.hidden.row(0))),
                     );
                     let action = agent.greedy_action_for_hidden(&s_next_recon);
-                    sim.step(Action::from_index(action));
+                    sim.step(action);
 
                     obs_seq.push(obs);
                     h_teacher = t_infer.hidden;
@@ -448,8 +508,9 @@ impl Pipeline {
                     let h_anchor_target = g.value(h).clone();
                     let h_next = agent.gru().step(&mut g, &agent.store, x_recon, h_recon);
                     let (_, h_next_recon) = hidden_qbn.forward_tape(&mut g, h_next);
-                    let logits =
-                        agent.policy_head().forward(&mut g, &agent.store, h_next_recon);
+                    let logits = agent
+                        .policy_head()
+                        .forward(&mut g, &agent.store, h_next_recon);
 
                     let ce = g.cross_entropy_logits(logits, label, 1.0);
                     let obs_anchor = g.mse_against(x_recon, x_const);
@@ -471,10 +532,7 @@ impl Pipeline {
             g.backward(loss);
             g.accumulate_param_grads(&mut obs_qbn.store);
             g.accumulate_param_grads(&mut hidden_qbn.store);
-            lahd_nn::clip_global_norm_multi(
-                &mut [&mut obs_qbn.store, &mut hidden_qbn.store],
-                5.0,
-            );
+            lahd_nn::clip_global_norm_multi(&mut [&mut obs_qbn.store, &mut hidden_qbn.store], 5.0);
             adam_obs.step(&mut obs_qbn.store);
             adam_hid.step(&mut hidden_qbn.store);
             // Next epoch's rollouts encode/decode through the packed QBN
@@ -489,8 +547,10 @@ impl Pipeline {
     /// Fits the observation and hidden-state QBNs on the dataset.
     pub fn fit_qbns(&self, dataset: &TransitionDataset) -> (Qbn, Qbn) {
         let c = &self.config;
-        let mut obs_qbn =
-            Qbn::new(QbnConfig::with_dims(dataset.obs_dim(), c.obs_latent), c.seed ^ 0x0B5);
+        let mut obs_qbn = Qbn::new(
+            QbnConfig::with_dims(dataset.obs_dim(), c.obs_latent),
+            c.seed ^ 0x0B5,
+        );
         let mut hid_qbn = Qbn::new(
             QbnConfig::with_dims(dataset.hidden_dim(), c.hidden_latent),
             c.seed ^ 0x41D,
@@ -528,10 +588,10 @@ impl Pipeline {
         let raw_dataset = self.collect_dataset(&agent, &real_traces);
         let (mut obs_qbn, mut hidden_qbn) = self.fit_qbns(&raw_dataset);
         self.fine_tune_quantized(&agent, &mut obs_qbn, &mut hidden_qbn, &real_traces);
-        let quantized =
-            self.collect_quantized_dataset(&agent, &obs_qbn, &hidden_qbn, &real_traces);
+        let quantized = self.collect_quantized_dataset(&agent, &obs_qbn, &hidden_qbn, &real_traces);
         let (fsm, raw_states) = self.extract(&quantized, &obs_qbn, &hidden_qbn);
         PipelineArtifacts {
+            scenario: self.config.scenario,
             agent,
             convergence,
             obs_qbn,
@@ -548,19 +608,25 @@ impl Pipeline {
 
     fn make_trainer(&self) -> A2cTrainer {
         let c = &self.config;
-        let agent =
-            RecurrentActorCritic::new(Observation::DIM, c.hidden_dim, Action::COUNT, c.seed);
+        let scenario = self.scenario();
+        let agent = RecurrentActorCritic::new(
+            scenario.obs_dim(),
+            c.hidden_dim,
+            scenario.num_actions(),
+            c.seed,
+        );
         A2cTrainer::new(agent, c.a2c.clone(), c.seed.wrapping_add(1))
     }
 
-    fn make_envs(&self, traces: &[WorkloadTrace]) -> Vec<StorageEnv> {
+    fn make_envs(&self, traces: &[WorkloadTrace]) -> Vec<Box<dyn lahd_rl::Env>> {
         let c = &self.config;
+        let scenario = self.scenario();
         traces
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                StorageEnv::new(
-                    c.sim.clone(),
+                scenario.make_env(
+                    &c.sim,
                     t.clone(),
                     c.reward,
                     c.seed.wrapping_add(100 + i as u64),
@@ -580,6 +646,7 @@ pub fn action_names() -> Vec<String> {
 mod tests {
     use super::*;
     use lahd_fsm::Policy as _;
+    use lahd_sim::{Observation, StorageSim};
 
     #[test]
     fn tiny_pipeline_runs_end_to_end() {
@@ -614,6 +681,20 @@ mod tests {
         assert_eq!(ds.obs_dim(), Observation::DIM);
         assert_eq!(ds.hidden_dim(), 12);
         assert!(ds.len() >= pipeline.config.trace_len);
+    }
+
+    #[test]
+    fn readahead_dataset_rows_have_scenario_dimensions() {
+        let mut config = PipelineConfig::tiny();
+        config.scenario = ScenarioId::Readahead;
+        let pipeline = Pipeline::new(config);
+        let (_, real) = pipeline.make_traces();
+        let sc = pipeline.scenario();
+        let agent = RecurrentActorCritic::new(sc.obs_dim(), 12, sc.num_actions(), 0);
+        let ds = pipeline.collect_dataset(&agent, &real[..1]);
+        assert_eq!(ds.obs_dim(), sc.obs_dim());
+        assert_eq!(ds.hidden_dim(), 12);
+        assert!(ds.rows().iter().all(|r| r.action < sc.num_actions()));
     }
 
     #[test]

@@ -1,8 +1,40 @@
-//! Baseline policies from the paper's evaluation (§4.3.2).
+//! Baseline policies from the paper's evaluation (§4.3.2), plus the
+//! scenario-generic constant baseline.
 
 use lahd_sim::{Action, Level, Observation};
 
-use crate::policy::Policy;
+use crate::policy::{Policy, VecPolicy};
+
+/// The scenario-generic production default: always emit one fixed action
+/// index, whatever the observation (the "no migration" / "readahead off" /
+/// "do nothing" baseline of any scenario).
+#[derive(Clone, Debug)]
+pub struct ConstantPolicy {
+    action: usize,
+    name: String,
+}
+
+impl ConstantPolicy {
+    /// A policy that always emits `action`, reported under `name`.
+    pub fn new(action: usize, name: impl Into<String>) -> Self {
+        Self {
+            action,
+            name: name.into(),
+        }
+    }
+}
+
+impl VecPolicy for ConstantPolicy {
+    fn reset(&mut self) {}
+
+    fn act_vec(&mut self, _obs: &[f32]) -> usize {
+        self.action
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
 
 /// The production default: "no CPU migration during testing".
 #[derive(Clone, Copy, Debug, Default)]
@@ -53,12 +85,20 @@ pub struct HandcraftedFsm {
 impl HandcraftedFsm {
     /// Creates the policy with explicit thresholds.
     pub fn new(gap_threshold: f64, saturation_threshold: f64, cooldown: usize) -> Self {
-        assert!((0.0..=1.0).contains(&gap_threshold), "gap threshold must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&gap_threshold),
+            "gap threshold must be in [0, 1]"
+        );
         assert!(
             (0.0..=1.0).contains(&saturation_threshold),
             "saturation threshold must be in [0, 1]"
         );
-        Self { gap_threshold, saturation_threshold, cooldown, remaining_cooldown: 0 }
+        Self {
+            gap_threshold,
+            saturation_threshold,
+            cooldown,
+            remaining_cooldown: 0,
+        }
     }
 
     /// The tuning the expert settled on in user-acceptance testing.
@@ -94,14 +134,14 @@ impl Policy for HandcraftedFsm {
                 lo = i;
             }
         }
-        if hi == lo
-            || u[hi] < self.saturation_threshold
-            || u[hi] - u[lo] < self.gap_threshold
-        {
+        if hi == lo || u[hi] < self.saturation_threshold || u[hi] - u[lo] < self.gap_threshold {
             return Action::Noop;
         }
         self.remaining_cooldown = self.cooldown;
-        Action::Migrate { from: Level::from_index(lo), to: Level::from_index(hi) }
+        Action::Migrate {
+            from: Level::from_index(lo),
+            to: Level::from_index(hi),
+        }
     }
 
     fn name(&self) -> &str {
@@ -117,7 +157,21 @@ mod tests {
     fn obs_with_util(u: [f64; 3]) -> Observation {
         let mut mix = [0.0; NUM_IO_CLASSES];
         mix[0] = 1.0;
-        Observation::new([16, 8, 8], u, &canonical_io_classes(), &IntervalWorkload::new(mix, 10.0))
+        Observation::new(
+            [16, 8, 8],
+            u,
+            &canonical_io_classes(),
+            &IntervalWorkload::new(mix, 10.0),
+        )
+    }
+
+    #[test]
+    fn constant_policy_ignores_observations() {
+        let mut p = ConstantPolicy::new(3, "fixed-3");
+        assert_eq!(p.act_vec(&[0.0; 8]), 3);
+        assert_eq!(p.act_vec(&[1.0; 2]), 3);
+        p.reset();
+        assert_eq!(VecPolicy::name(&p), "fixed-3");
     }
 
     #[test]
@@ -132,7 +186,13 @@ mod tests {
     fn handcrafted_moves_from_idle_to_saturated() {
         let mut p = HandcraftedFsm::new(0.1, 0.95, 0);
         let a = p.act(&obs_with_util([0.98, 0.2, 0.5]));
-        assert_eq!(a, Action::Migrate { from: Level::Kv, to: Level::Normal });
+        assert_eq!(
+            a,
+            Action::Migrate {
+                from: Level::Kv,
+                to: Level::Normal
+            }
+        );
     }
 
     #[test]

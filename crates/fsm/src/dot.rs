@@ -21,7 +21,11 @@ pub fn to_dot(fsm: &Fsm, action_names: &[String]) -> String {
     out.push_str("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n");
 
     for (i, s) in fsm.states.iter().enumerate() {
-        let share = if total > 0 { s.support as f64 / total as f64 } else { 0.0 };
+        let share = if total > 0 {
+            s.support as f64 / total as f64
+        } else {
+            0.0
+        };
         let penwidth = 1.0 + 6.0 * share;
         let action = action_names
             .get(s.action)

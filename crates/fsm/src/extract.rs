@@ -28,7 +28,10 @@ pub fn extract_fsm(
     hidden_qbn: &Qbn,
     initial_hidden: &[f32],
 ) -> Fsm {
-    assert!(!dataset.is_empty(), "cannot extract an FSM from an empty dataset");
+    assert!(
+        !dataset.is_empty(),
+        "cannot extract an FSM from an empty dataset"
+    );
     assert_eq!(
         obs_qbn.config().input_dim,
         dataset.obs_dim(),
@@ -52,9 +55,9 @@ pub fn extract_fsm(
     let mut transition_votes: HashMap<(usize, usize), HashMap<usize, usize>> = HashMap::new();
 
     let intern_state = |code: lahd_qbn::Code,
-                            votes: &mut Vec<HashMap<usize, usize>>,
-                            support: &mut Vec<usize>,
-                            book: &mut CodeBook| {
+                        votes: &mut Vec<HashMap<usize, usize>>,
+                        support: &mut Vec<usize>,
+                        book: &mut CodeBook| {
         let id = book.intern(code);
         if id == votes.len() {
             votes.push(HashMap::new());
@@ -65,8 +68,12 @@ pub fn extract_fsm(
 
     // Seed the start state so it exists even if no transition re-enters it.
     let start_code = hidden_qbn.encode(initial_hidden);
-    let initial_state =
-        intern_state(start_code, &mut action_votes, &mut state_support, &mut states);
+    let initial_state = intern_state(
+        start_code,
+        &mut action_votes,
+        &mut state_support,
+        &mut states,
+    );
 
     for row in dataset.rows() {
         let s = intern_state(
@@ -94,7 +101,11 @@ pub fn extract_fsm(
         // The action is emitted from h_{t+1}, i.e. from the successor state.
         *action_votes[s_next].entry(row.action).or_insert(0) += 1;
         state_support[s_next] += 1;
-        *transition_votes.entry((s, o)).or_default().entry(s_next).or_insert(0) += 1;
+        *transition_votes
+            .entry((s, o))
+            .or_default()
+            .entry(s_next)
+            .or_insert(0) += 1;
     }
 
     // Resolve votes.
@@ -106,7 +117,11 @@ pub fn extract_fsm(
                 .max_by_key(|&(_, &c)| c)
                 .map(|(&a, _)| a)
                 .unwrap_or(0); // states never entered (start only) default to action 0 (Noop)
-            FsmState { code: code.clone(), action, support: state_support[id] }
+            FsmState {
+                code: code.clone(),
+                action,
+                support: state_support[id],
+            }
         })
         .collect();
 
@@ -126,12 +141,20 @@ pub fn extract_fsm(
         .into_iter()
         .map(|((s, o), votes)| {
             let total: usize = votes.values().sum();
-            let (&next, _) = votes.iter().max_by_key(|&(_, &c)| c).expect("non-empty votes");
+            let (&next, _) = votes
+                .iter()
+                .max_by_key(|&(_, &c)| c)
+                .expect("non-empty votes");
             ((s, o), (next, total))
         })
         .collect();
 
-    let fsm = Fsm { states: fsm_states, symbols: fsm_symbols, transitions, initial_state };
+    let fsm = Fsm {
+        states: fsm_states,
+        symbols: fsm_symbols,
+        transitions,
+        initial_state,
+    };
     debug_assert!(fsm.validate().is_ok());
     fsm
 }
@@ -182,7 +205,11 @@ mod tests {
         // At least: initial state + clusters A and B (A may coincide with
         // the initial code only if the random projection collapses them,
         // which the magnitudes prevent).
-        assert!(fsm.num_states() >= 2, "expected ≥ 2 states, got {}", fsm.num_states());
+        assert!(
+            fsm.num_states() >= 2,
+            "expected ≥ 2 states, got {}",
+            fsm.num_states()
+        );
         assert!(fsm.num_symbols() >= 2);
         assert!(fsm.num_transitions() >= 2);
     }
@@ -211,7 +238,10 @@ mod tests {
         let x_code = obs_qbn.encode(&[2.0, 0.0]);
         let sym = fsm.symbol_by_code(&x_code).expect("X symbol exists");
         let c = &fsm.symbols[sym].centroid;
-        assert!((c[0] - 2.0).abs() < 1e-5 && c[1].abs() < 1e-5, "centroid {c:?}");
+        assert!(
+            (c[0] - 2.0).abs() < 1e-5 && c[1].abs() < 1e-5,
+            "centroid {c:?}"
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub fn interpret_states(
     num_states: usize,
     state_actions: &[usize],
 ) -> Vec<StateInterpretation> {
-    assert_eq!(state_actions.len(), num_states, "one action per state required");
+    assert_eq!(
+        state_actions.len(),
+        num_states,
+        "one action per state required"
+    );
     let obs_dim = traj.steps.first().map_or(0, |s| s.obs.len());
     let mut fan_in_sum = vec![vec![0.0f64; obs_dim]; num_states];
     let mut fan_out_sum = vec![vec![0.0f64; obs_dim]; num_states];
@@ -183,7 +187,14 @@ mod tests {
     use crate::policy::TrajStep;
 
     fn step(t: usize, from: usize, to: usize, obs: Vec<f32>) -> TrajStep {
-        TrajStep { t, from_state: from, symbol: Some(0), to_state: to, obs, action: 0 }
+        TrajStep {
+            t,
+            from_state: from,
+            symbol: Some(0),
+            to_state: to,
+            obs,
+            action: 0,
+        }
     }
 
     fn sample_traj() -> Trajectory {
@@ -224,7 +235,9 @@ mod tests {
 
     #[test]
     fn reaction_empty_without_entries() {
-        let traj = Trajectory { steps: vec![step(0, 0, 0, vec![1.0])] };
+        let traj = Trajectory {
+            steps: vec![step(0, 0, 0, vec![1.0])],
+        };
         let interp = interpret_states(&traj, 1, &[0]);
         assert!(interp[0].reaction().is_empty());
     }
@@ -247,7 +260,9 @@ mod tests {
 
     #[test]
     fn history_skips_entries_too_close_to_start() {
-        let traj = Trajectory { steps: vec![step(0, 0, 1, vec![1.0])] };
+        let traj = Trajectory {
+            steps: vec![step(0, 0, 1, vec![1.0])],
+        };
         assert!(history_window(&traj, 1, 3).is_empty());
     }
 

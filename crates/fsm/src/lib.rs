@@ -30,12 +30,14 @@ mod minimize;
 mod persist;
 mod policy;
 
-pub use baselines::{DefaultPolicy, HandcraftedFsm};
+pub use baselines::{ConstantPolicy, DefaultPolicy, HandcraftedFsm};
 pub use dot::to_dot;
 pub use extract::extract_fsm;
-pub use interpret::{edge_profiles, history_window, interpret_states, EdgeProfile, StateInterpretation};
+pub use interpret::{
+    edge_profiles, history_window, interpret_states, EdgeProfile, StateInterpretation,
+};
 pub use machine::{Fsm, FsmState, ObsSymbol};
 pub use matching::Metric;
 pub use minimize::{merge_compatible, minimize};
 pub use persist::{read_fsm, write_fsm, FsmPersistError};
-pub use policy::{FsmPolicy, FsmRunStats, Policy, TrajStep, Trajectory};
+pub use policy::{FsmExecutor, FsmPolicy, FsmRunStats, Policy, TrajStep, Trajectory, VecPolicy};

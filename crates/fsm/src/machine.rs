@@ -131,12 +131,28 @@ pub(crate) mod testutil {
         transitions.insert((1, 1), (1, 3));
         Fsm {
             states: vec![
-                FsmState { code: Code(vec![0, 0]), action: 0, support: 15 },
-                FsmState { code: Code(vec![1, 0]), action: 1, support: 11 },
+                FsmState {
+                    code: Code(vec![0, 0]),
+                    action: 0,
+                    support: 15,
+                },
+                FsmState {
+                    code: Code(vec![1, 0]),
+                    action: 1,
+                    support: 11,
+                },
             ],
             symbols: vec![
-                ObsSymbol { code: Code(vec![1]), centroid: vec![1.0, 0.0], support: 18 },
-                ObsSymbol { code: Code(vec![-1]), centroid: vec![0.0, 1.0], support: 8 },
+                ObsSymbol {
+                    code: Code(vec![1]),
+                    centroid: vec![1.0, 0.0],
+                    support: 18,
+                },
+                ObsSymbol {
+                    code: Code(vec![-1]),
+                    centroid: vec![0.0, 1.0],
+                    support: 8,
+                },
             ],
             transitions,
             initial_state: 0,

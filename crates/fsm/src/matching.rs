@@ -21,11 +21,7 @@ impl Metric {
     pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
         assert_eq!(a.len(), b.len(), "metric on vectors of different lengths");
         match self {
-            Metric::Euclidean => a
-                .iter()
-                .zip(b)
-                .map(|(&x, &y)| (x - y) * (x - y))
-                .sum(),
+            Metric::Euclidean => a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum(),
             Metric::Cosine => {
                 let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
                 let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
@@ -67,16 +63,20 @@ mod tests {
     #[test]
     fn euclidean_prefers_nearby_point() {
         let cands = [vec![0.0, 0.0], vec![1.0, 1.0], vec![0.4, 0.4]];
-        let idx = Metric::Euclidean
-            .closest(&[0.5, 0.5], cands.iter().enumerate().map(|(i, v)| (i, v.as_slice())));
+        let idx = Metric::Euclidean.closest(
+            &[0.5, 0.5],
+            cands.iter().enumerate().map(|(i, v)| (i, v.as_slice())),
+        );
         assert_eq!(idx, Some(2));
     }
 
     #[test]
     fn cosine_ignores_magnitude() {
         let cands = [vec![10.0, 0.0], vec![0.0, 0.1]];
-        let idx = Metric::Cosine
-            .closest(&[0.0, 5.0], cands.iter().enumerate().map(|(i, v)| (i, v.as_slice())));
+        let idx = Metric::Cosine.closest(
+            &[0.0, 5.0],
+            cands.iter().enumerate().map(|(i, v)| (i, v.as_slice())),
+        );
         assert_eq!(idx, Some(1));
     }
 

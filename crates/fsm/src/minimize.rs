@@ -90,12 +90,18 @@ fn build_quotient(fsm: &Fsm, class: &[usize]) -> Fsm {
     let mut transitions: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
     for (&(s, o), &(dst, count)) in &fsm.transitions {
         let entry = transitions.entry((class[s], o)).or_insert((class[dst], 0));
-        debug_assert_eq!(entry.0, class[dst], "merged states disagree on successor class");
+        debug_assert_eq!(
+            entry.0, class[dst],
+            "merged states disagree on successor class"
+        );
         entry.1 += count;
     }
 
     Fsm {
-        states: states.into_iter().map(|s| s.expect("every class has a member")).collect(),
+        states: states
+            .into_iter()
+            .map(|s| s.expect("every class has a member"))
+            .collect(),
         symbols: fsm.symbols.clone(),
         transitions,
         initial_state: class[fsm.initial_state],
@@ -152,14 +158,15 @@ pub fn merge_compatible(fsm: &Fsm) -> Fsm {
                 } else {
                     (rj, ri)
                 };
-                let compatible = class_trans[small].iter().all(|(o, &(succ_s, _))| {
-                    match class_trans[large].get(o) {
-                        None => true,
-                        Some(&(succ_l, _)) => {
-                            find(&mut parent, succ_s) == find(&mut parent, succ_l)
+                let compatible =
+                    class_trans[small].iter().all(|(o, &(succ_s, _))| {
+                        match class_trans[large].get(o) {
+                            None => true,
+                            Some(&(succ_l, _)) => {
+                                find(&mut parent, succ_s) == find(&mut parent, succ_l)
+                            }
                         }
-                    }
-                });
+                    });
                 if !compatible {
                     continue;
                 }
@@ -220,7 +227,10 @@ fn build_quotient_union(fsm: &Fsm, class: &[usize]) -> Fsm {
     }
 
     Fsm {
-        states: states.into_iter().map(|s| s.expect("every class has a member")).collect(),
+        states: states
+            .into_iter()
+            .map(|s| s.expect("every class has a member"))
+            .collect(),
         symbols: fsm.symbols.clone(),
         transitions,
         initial_state: class[fsm.initial_state],
@@ -245,13 +255,33 @@ mod tests {
         transitions.insert((2, 1), (2, 2));
         Fsm {
             states: vec![
-                FsmState { code: Code(vec![0]), action: 0, support: 8 },
-                FsmState { code: Code(vec![1]), action: 1, support: 6 },
-                FsmState { code: Code(vec![-1]), action: 1, support: 6 },
+                FsmState {
+                    code: Code(vec![0]),
+                    action: 0,
+                    support: 8,
+                },
+                FsmState {
+                    code: Code(vec![1]),
+                    action: 1,
+                    support: 6,
+                },
+                FsmState {
+                    code: Code(vec![-1]),
+                    action: 1,
+                    support: 6,
+                },
             ],
             symbols: vec![
-                ObsSymbol { code: Code(vec![1]), centroid: vec![1.0], support: 12 },
-                ObsSymbol { code: Code(vec![-1]), centroid: vec![-1.0], support: 8 },
+                ObsSymbol {
+                    code: Code(vec![1]),
+                    centroid: vec![1.0],
+                    support: 12,
+                },
+                ObsSymbol {
+                    code: Code(vec![-1]),
+                    centroid: vec![-1.0],
+                    support: 8,
+                },
             ],
             transitions,
             initial_state: 0,
@@ -321,7 +351,10 @@ mod tests {
     fn initial_state_follows_its_class() {
         let fsm = redundant_fsm();
         let min = minimize(&fsm);
-        assert_eq!(min.action_of(min.initial_state), fsm.action_of(fsm.initial_state));
+        assert_eq!(
+            min.action_of(min.initial_state),
+            fsm.action_of(fsm.initial_state)
+        );
     }
 }
 
@@ -341,9 +374,21 @@ mod compatible_tests {
         transitions.insert((2, 2), (0, 1));
         Fsm {
             states: vec![
-                FsmState { code: Code(vec![0]), action: 0, support: 1 },
-                FsmState { code: Code(vec![1]), action: 0, support: 1 },
-                FsmState { code: Code(vec![-1]), action: 1, support: 1 },
+                FsmState {
+                    code: Code(vec![0]),
+                    action: 0,
+                    support: 1,
+                },
+                FsmState {
+                    code: Code(vec![1]),
+                    action: 0,
+                    support: 1,
+                },
+                FsmState {
+                    code: Code(vec![-1]),
+                    action: 1,
+                    support: 1,
+                },
             ],
             symbols: (0..3)
                 .map(|i| ObsSymbol {
@@ -390,7 +435,10 @@ mod compatible_tests {
         let merged = merge_compatible(&fsm);
         let noop = merged.states.iter().position(|s| s.action == 0).unwrap();
         assert_eq!(merged.states[noop].support, 2);
-        assert_eq!(merged.total_transition_count(), fsm.total_transition_count());
+        assert_eq!(
+            merged.total_transition_count(),
+            fsm.total_transition_count()
+        );
     }
 
     #[test]

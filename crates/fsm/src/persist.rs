@@ -53,9 +53,20 @@ impl From<io::Error> for FsmPersistError {
 /// Writes `fsm` in the documented text format.
 pub fn write_fsm(fsm: &Fsm, out: &mut impl Write) -> io::Result<()> {
     writeln!(out, "{MAGIC}")?;
-    writeln!(out, "states {} initial {}", fsm.num_states(), fsm.initial_state)?;
+    writeln!(
+        out,
+        "states {} initial {}",
+        fsm.num_states(),
+        fsm.initial_state
+    )?;
     for (i, s) in fsm.states.iter().enumerate() {
-        writeln!(out, "state {i} {} {} {}", s.action, s.support, s.code.compact())?;
+        writeln!(
+            out,
+            "state {i} {} {} {}",
+            s.action,
+            s.support,
+            s.code.compact()
+        )?;
     }
     writeln!(out, "symbols {}", fsm.num_symbols())?;
     for (i, s) in fsm.symbols.iter().enumerate() {
@@ -94,7 +105,9 @@ pub fn read_fsm(input: &mut impl BufRead) -> Result<Fsm, FsmPersistError> {
     let header = next_line()?;
     let parts: Vec<&str> = header.split_whitespace().collect();
     if parts.len() != 4 || parts[0] != "states" || parts[2] != "initial" {
-        return Err(FsmPersistError::Format(format!("bad states header: {header}")));
+        return Err(FsmPersistError::Format(format!(
+            "bad states header: {header}"
+        )));
     }
     let num_states: usize = parse(parts[1], "state count")?;
     let initial_state: usize = parse(parts[3], "initial state")?;
@@ -118,7 +131,9 @@ pub fn read_fsm(input: &mut impl BufRead) -> Result<Fsm, FsmPersistError> {
     let header = next_line()?;
     let parts: Vec<&str> = header.split_whitespace().collect();
     if parts.len() != 2 || parts[0] != "symbols" {
-        return Err(FsmPersistError::Format(format!("bad symbols header: {header}")));
+        return Err(FsmPersistError::Format(format!(
+            "bad symbols header: {header}"
+        )));
     }
     let num_symbols: usize = parse(parts[1], "symbol count")?;
     let mut symbols = Vec::with_capacity(num_symbols);
@@ -145,7 +160,9 @@ pub fn read_fsm(input: &mut impl BufRead) -> Result<Fsm, FsmPersistError> {
     let header = next_line()?;
     let parts: Vec<&str> = header.split_whitespace().collect();
     if parts.len() != 2 || parts[0] != "transitions" {
-        return Err(FsmPersistError::Format(format!("bad transitions header: {header}")));
+        return Err(FsmPersistError::Format(format!(
+            "bad transitions header: {header}"
+        )));
     }
     let num_transitions: usize = parse(parts[1], "transition count")?;
     let mut transitions = HashMap::with_capacity(num_transitions);
@@ -153,7 +170,9 @@ pub fn read_fsm(input: &mut impl BufRead) -> Result<Fsm, FsmPersistError> {
         let line = next_line()?;
         let p: Vec<&str> = line.split_whitespace().collect();
         if p.len() != 5 || p[0] != "trans" {
-            return Err(FsmPersistError::Format(format!("bad transition line: {line}")));
+            return Err(FsmPersistError::Format(format!(
+                "bad transition line: {line}"
+            )));
         }
         transitions.insert(
             (parse(p[1], "from")?, parse(p[2], "symbol")?),
@@ -165,7 +184,12 @@ pub fn read_fsm(input: &mut impl BufRead) -> Result<Fsm, FsmPersistError> {
         return Err(FsmPersistError::Format("missing end terminator".into()));
     }
 
-    let fsm = Fsm { states, symbols, transitions, initial_state };
+    let fsm = Fsm {
+        states,
+        symbols,
+        transitions,
+        initial_state,
+    };
     fsm.validate().map_err(FsmPersistError::Format)?;
     Ok(fsm)
 }
@@ -223,7 +247,10 @@ mod tests {
         let mut buf = Vec::new();
         write_fsm(&fsm, &mut buf).unwrap();
         for cut in [10, buf.len() / 2, buf.len() - 5] {
-            assert!(read_fsm(&mut &buf[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                read_fsm(&mut &buf[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 

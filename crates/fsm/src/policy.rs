@@ -1,4 +1,17 @@
-//! The `Policy` abstraction and the extracted-FSM policy.
+//! The policy abstractions and the extracted-FSM policy.
+//!
+//! Two levels of abstraction coexist here:
+//!
+//! * [`VecPolicy`] — the scenario-generic controller: consumes normalised
+//!   observation *vectors* and emits action *indices*. FSM execution,
+//!   neural policies and generic baselines all speak this language, which
+//!   is what lets the extraction pipeline run over any storage scenario.
+//! * [`Policy`] — the Dorado-typed controller over
+//!   [`lahd_sim::Observation`] / [`lahd_sim::Action`], kept as the
+//!   interface of the original case study's evaluation harness.
+//!
+//! [`FsmExecutor`] is the scenario-generic machine executor;
+//! [`FsmPolicy`] wraps it with the Dorado observation normalisation.
 
 use std::collections::HashMap;
 
@@ -8,12 +21,24 @@ use lahd_sim::{Action, Observation, SimConfig};
 use crate::machine::Fsm;
 use crate::matching::Metric;
 
-/// A controller for the storage simulator: one action per interval.
+/// A controller for the Dorado storage simulator: one action per interval.
 pub trait Policy {
     /// Resets internal state for a new episode.
     fn reset(&mut self);
     /// Chooses the action for the upcoming interval.
     fn act(&mut self, obs: &Observation) -> Action;
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A scenario-generic controller: normalised observation vectors in, action
+/// indices out. The meaning of the indices is defined by the scenario's
+/// action table.
+pub trait VecPolicy {
+    /// Resets internal state for a new episode.
+    fn reset(&mut self);
+    /// Chooses the action index for the upcoming interval.
+    fn act_vec(&mut self, obs: &[f32]) -> usize;
     /// Policy name for reports.
     fn name(&self) -> &str;
 }
@@ -43,7 +68,7 @@ pub struct Trajectory {
     pub steps: Vec<TrajStep>,
 }
 
-/// Execution statistics of an [`FsmPolicy`] (generalisation diagnostics).
+/// Execution statistics of an FSM run (generalisation diagnostics).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FsmRunStats {
     /// Steps taken.
@@ -58,12 +83,13 @@ pub struct FsmRunStats {
     pub stuck_steps: usize,
 }
 
-/// Executes an extracted [`Fsm`] as a simulator policy, with the paper's
-/// nearest-neighbour fallback for unseen observations.
-pub struct FsmPolicy {
+/// Executes an extracted [`Fsm`] over observation vectors, with the paper's
+/// nearest-neighbour fallback for unseen observations. Scenario-agnostic:
+/// the vectors must simply use the normalisation the machine was extracted
+/// under.
+pub struct FsmExecutor {
     fsm: Fsm,
     obs_qbn: Qbn,
-    sim_cfg: SimConfig,
     metric: Metric,
     nn_matching: bool,
     name: String,
@@ -77,20 +103,13 @@ pub struct FsmPolicy {
     trajectory: Option<Trajectory>,
 }
 
-impl FsmPolicy {
+impl FsmExecutor {
     /// Wraps an extracted machine with its observation quantizer.
     ///
-    /// `sim_cfg` must be the configuration used for observation
-    /// normalisation during training. `nn_matching` toggles the paper's
-    /// nearest-neighbour generalisation (§3.2.2); with it off the machine
-    /// holds its state on unseen input (ablation baseline).
-    pub fn new(
-        fsm: Fsm,
-        obs_qbn: Qbn,
-        sim_cfg: SimConfig,
-        metric: Metric,
-        nn_matching: bool,
-    ) -> Self {
+    /// `nn_matching` toggles the paper's nearest-neighbour generalisation
+    /// (§3.2.2); with it off the machine holds its state on unseen input
+    /// (ablation baseline).
+    pub fn new(fsm: Fsm, obs_qbn: Qbn, metric: Metric, nn_matching: bool) -> Self {
         fsm.validate().expect("extracted FSM must be consistent");
         let symbol_index: HashMap<Code, usize> = fsm
             .symbols
@@ -109,7 +128,6 @@ impl FsmPolicy {
         Self {
             fsm,
             obs_qbn,
-            sim_cfg,
             metric,
             nn_matching,
             name: "extracted-fsm".to_string(),
@@ -124,7 +142,11 @@ impl FsmPolicy {
 
     /// Enables trajectory recording (needed for interpretation).
     pub fn record_trajectory(&mut self, on: bool) {
-        self.trajectory = if on { Some(Trajectory::default()) } else { None };
+        self.trajectory = if on {
+            Some(Trajectory::default())
+        } else {
+            None
+        };
     }
 
     /// Takes the recorded trajectory, leaving recording enabled.
@@ -135,7 +157,7 @@ impl FsmPolicy {
         }
     }
 
-    /// Execution statistics since the last [`FsmPolicy::reset`].
+    /// Execution statistics since the last [`FsmExecutor::reset`].
     pub fn stats(&self) -> FsmRunStats {
         self.stats
     }
@@ -170,21 +192,12 @@ impl FsmPolicy {
                 .map(|(i, s)| (i, s.centroid.as_slice())),
         )
     }
-}
 
-impl Policy for FsmPolicy {
-    fn reset(&mut self) {
-        self.state = self.fsm.initial_state;
-        self.t = 0;
-        self.stats = FsmRunStats::default();
-        if let Some(t) = &mut self.trajectory {
-            t.steps.clear();
-        }
-    }
-
-    fn act(&mut self, obs: &Observation) -> Action {
-        let v = obs.to_vector(&self.sim_cfg);
-        let mut symbol = self.resolve_symbol(&v);
+    /// One step of the machine: consumes the observation vector, fires a
+    /// transition (with the §3.2.2 fallbacks) and returns the action index
+    /// of the resulting state.
+    pub fn step_vec(&mut self, v: &[f32]) -> usize {
+        let mut symbol = self.resolve_symbol(v);
 
         // If the exact/NN-matched symbol has no transition from the current
         // state, fall back to the nearest symbol that does (§3.2.2: the
@@ -195,7 +208,7 @@ impl Policy for FsmPolicy {
             let candidates = self.state_symbols[self.state]
                 .iter()
                 .map(|&i| (i, self.fsm.symbols[i].centroid.as_slice()));
-            if let Some(sym) = self.metric.closest(&v, candidates) {
+            if let Some(sym) = self.metric.closest(v, candidates) {
                 symbol = Some(sym);
                 next = self.fsm.next_state(self.state, sym);
             }
@@ -215,18 +228,107 @@ impl Policy for FsmPolicy {
                 from_state: self.state,
                 symbol,
                 to_state,
-                obs: v,
+                obs: v.to_vec(),
                 action: action_idx,
             });
         }
         self.state = to_state;
         self.t += 1;
         self.stats.steps += 1;
-        Action::from_index(action_idx)
+        action_idx
+    }
+}
+
+impl VecPolicy for FsmExecutor {
+    fn reset(&mut self) {
+        self.state = self.fsm.initial_state;
+        self.t = 0;
+        self.stats = FsmRunStats::default();
+        if let Some(t) = &mut self.trajectory {
+            t.steps.clear();
+        }
+    }
+
+    fn act_vec(&mut self, obs: &[f32]) -> usize {
+        self.step_vec(obs)
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// Executes an extracted [`Fsm`] as a Dorado simulator policy: the
+/// [`FsmExecutor`] behind the [`Observation`] normalisation of the original
+/// case study.
+pub struct FsmPolicy {
+    exec: FsmExecutor,
+    sim_cfg: SimConfig,
+}
+
+impl FsmPolicy {
+    /// Wraps an extracted machine with its observation quantizer.
+    ///
+    /// `sim_cfg` must be the configuration used for observation
+    /// normalisation during training. `nn_matching` toggles the paper's
+    /// nearest-neighbour generalisation (§3.2.2); with it off the machine
+    /// holds its state on unseen input (ablation baseline).
+    pub fn new(
+        fsm: Fsm,
+        obs_qbn: Qbn,
+        sim_cfg: SimConfig,
+        metric: Metric,
+        nn_matching: bool,
+    ) -> Self {
+        Self {
+            exec: FsmExecutor::new(fsm, obs_qbn, metric, nn_matching),
+            sim_cfg,
+        }
+    }
+
+    /// Enables trajectory recording (needed for interpretation).
+    pub fn record_trajectory(&mut self, on: bool) {
+        self.exec.record_trajectory(on);
+    }
+
+    /// Takes the recorded trajectory, leaving recording enabled.
+    pub fn take_trajectory(&mut self) -> Trajectory {
+        self.exec.take_trajectory()
+    }
+
+    /// Execution statistics since the last [`FsmPolicy::reset`].
+    pub fn stats(&self) -> FsmRunStats {
+        self.exec.stats()
+    }
+
+    /// The wrapped machine.
+    pub fn fsm(&self) -> &Fsm {
+        self.exec.fsm()
+    }
+
+    /// Current FSM state id.
+    pub fn current_state(&self) -> usize {
+        self.exec.current_state()
+    }
+
+    /// The scenario-generic executor inside this policy.
+    pub fn executor(&self) -> &FsmExecutor {
+        &self.exec
+    }
+}
+
+impl Policy for FsmPolicy {
+    fn reset(&mut self) {
+        VecPolicy::reset(&mut self.exec);
+    }
+
+    fn act(&mut self, obs: &Observation) -> Action {
+        let v = obs.to_vector(&self.sim_cfg);
+        Action::from_index(self.exec.step_vec(&v))
+    }
+
+    fn name(&self) -> &str {
+        VecPolicy::name(&self.exec)
     }
 }
 
@@ -284,6 +386,22 @@ mod tests {
     }
 
     #[test]
+    fn executor_and_policy_agree_on_vectors() {
+        let mut p = policy(true);
+        let qbn = Qbn::new(QbnConfig::with_dims(Observation::DIM, 1), 5);
+        let mut fsm = two_state_fsm();
+        fsm.symbols[0].centroid = vec![0.0; Observation::DIM];
+        fsm.symbols[1].centroid = vec![0.5; Observation::DIM];
+        fsm.symbols[0].code = qbn.encode(&obs(100.0).to_vector(&SimConfig::default()));
+        let mut exec = FsmExecutor::new(fsm, qbn, Metric::Euclidean, true);
+        for q in [100.0, 400.0, 100.0, 8000.0] {
+            let o = obs(q);
+            let v = o.to_vector(&SimConfig::default());
+            assert_eq!(p.act(&o).index(), exec.act_vec(&v));
+        }
+    }
+
+    #[test]
     fn unseen_observation_uses_nearest_neighbour_when_enabled() {
         let mut p = policy(true);
         // A very different observation: unlikely to hit the aligned code.
@@ -304,7 +422,11 @@ mod tests {
         p.act(&weird);
         let stats = p.stats();
         if stats.unseen_observations > 0 {
-            assert_eq!(p.current_state(), before, "must hold state without NN fallback");
+            assert_eq!(
+                p.current_state(),
+                before,
+                "must hold state without NN fallback"
+            );
             assert_eq!(stats.stuck_steps, 1);
         }
     }

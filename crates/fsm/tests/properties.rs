@@ -39,7 +39,12 @@ fn fsm_strategy() -> impl Strategy<Value = Fsm> {
                         }
                     }
                 }
-                Fsm { states, symbols, transitions, initial_state: 0 }
+                Fsm {
+                    states,
+                    symbols,
+                    transitions,
+                    initial_state: 0,
+                }
             },
         )
     })

@@ -35,7 +35,11 @@ pub fn grad_check(
     let loss = loss_fn(&mut g, store);
     g.backward(loss);
     g.accumulate_param_grads(store);
-    let analytic: Vec<_> = store.ids().iter().map(|&id| store.grad(id).clone()).collect();
+    let analytic: Vec<_> = store
+        .ids()
+        .iter()
+        .map(|&id| store.grad(id).clone())
+        .collect();
 
     let mut reports = Vec::new();
     for (pi, id) in store.ids().into_iter().enumerate() {

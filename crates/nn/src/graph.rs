@@ -47,7 +47,11 @@ enum Op {
     /// Concatenates two matrices with equal row counts along columns.
     ConcatCols(Var, Var),
     /// Scalar `-w·log softmax(logits)[target]`; `logits` must be `1 × n`.
-    CrossEntropyLogits { logits: Var, target: usize, weight: f32 },
+    CrossEntropyLogits {
+        logits: Var,
+        target: usize,
+        weight: f32,
+    },
     /// Scalar entropy `H(softmax(logits))`; `logits` must be `1 × n`.
     EntropyFromLogits { logits: Var },
     /// Scalar `(x₀ - target)²`; input must be `1 × 1`.
@@ -204,7 +208,12 @@ impl Graph {
     /// Panics if the node is not `1 × 1`.
     pub fn scalar(&self, v: Var) -> f32 {
         let m = &self.values[v.0];
-        assert_eq!(m.shape(), (1, 1), "scalar() called on a {:?} node", m.shape());
+        assert_eq!(
+            m.shape(),
+            (1, 1),
+            "scalar() called on a {:?} node",
+            m.shape()
+        );
         m[(0, 0)]
     }
 
@@ -327,10 +336,21 @@ impl Graph {
     pub fn cross_entropy_logits(&mut self, logits: Var, target: usize, weight: f32) -> Var {
         let m = &self.values[logits.0];
         assert_eq!(m.rows(), 1, "cross_entropy_logits expects a 1×n logits row");
-        assert!(target < m.cols(), "target {target} out of range for {} actions", m.cols());
+        assert!(
+            target < m.cols(),
+            "target {target} out of range for {} actions",
+            m.cols()
+        );
         let log_probs = lahd_tensor::log_softmax_row(m.row(0));
         let value = self.alloc_scalar(-weight * log_probs[target]);
-        self.push(Op::CrossEntropyLogits { logits, target, weight }, value)
+        self.push(
+            Op::CrossEntropyLogits {
+                logits,
+                target,
+                weight,
+            },
+            value,
+        )
     }
 
     /// Entropy of `softmax(logits)` as a scalar.
@@ -338,7 +358,11 @@ impl Graph {
         let m = &self.values[logits.0];
         assert_eq!(m.rows(), 1, "entropy_from_logits expects a 1×n logits row");
         let p = softmax_row(m.row(0));
-        let h: f32 = -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f32>();
+        let h: f32 = -p
+            .iter()
+            .filter(|&&x| x > 0.0)
+            .map(|&x| x * x.ln())
+            .sum::<f32>();
         let value = self.alloc_scalar(h);
         self.push(Op::EntropyFromLogits { logits }, value)
     }
@@ -388,7 +412,9 @@ impl Graph {
         self.grads[root.0] = Some(Matrix::row_vector(&[1.0]));
 
         for i in (0..=root.0).rev() {
-            let Some(gy) = self.grads[i].take() else { continue };
+            let Some(gy) = self.grads[i].take() else {
+                continue;
+            };
             match &self.ops[i] {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
@@ -450,13 +476,17 @@ impl Graph {
                 Op::Relu(x) => {
                     let x = *x;
                     let mut dx = self.alloc_matrix_full(gy.rows(), gy.cols());
-                    gy.zip_map_into(&self.values[x.0], &mut dx, |g, v| {
-                        if v > 0.0 {
-                            g
-                        } else {
-                            0.0
-                        }
-                    });
+                    gy.zip_map_into(
+                        &self.values[x.0],
+                        &mut dx,
+                        |g, v| {
+                            if v > 0.0 {
+                                g
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
                     self.accumulate(x, dx);
                 }
                 Op::TernaryTanh(x) => {
@@ -486,7 +516,11 @@ impl Graph {
                     self.accumulate(a, da);
                     self.accumulate(b, db);
                 }
-                Op::CrossEntropyLogits { logits, target, weight } => {
+                Op::CrossEntropyLogits {
+                    logits,
+                    target,
+                    weight,
+                } => {
                     let (logits, target, weight) = (*logits, *target, *weight);
                     let g = gy[(0, 0)];
                     let p = softmax_row(self.values[logits.0].row(0));
@@ -500,11 +534,18 @@ impl Graph {
                     let logits = *logits;
                     let g = gy[(0, 0)];
                     let p = softmax_row(self.values[logits.0].row(0));
-                    let h: f32 =
-                        -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f32>();
+                    let h: f32 = -p
+                        .iter()
+                        .filter(|&&x| x > 0.0)
+                        .map(|&x| x * x.ln())
+                        .sum::<f32>();
                     let mut dl = self.alloc_matrix_full(1, p.len());
                     for (d, &pi) in dl.row_mut(0).iter_mut().zip(&p) {
-                        *d = if pi > 0.0 { -g * pi * (pi.ln() + h) } else { 0.0 };
+                        *d = if pi > 0.0 {
+                            -g * pi * (pi.ln() + h)
+                        } else {
+                            0.0
+                        };
                     }
                     self.accumulate(logits, dl);
                 }
@@ -808,7 +849,12 @@ mod tests {
         g.accumulate_param_grads(&mut store);
 
         for id in [w1, w2] {
-            assert_eq!(store.grad(id), merged.grad(id), "param {:?}", store.name(id));
+            assert_eq!(
+                store.grad(id),
+                merged.grad(id),
+                "param {:?}",
+                store.name(id)
+            );
         }
     }
 

@@ -58,12 +58,30 @@ impl GruCell {
         let wn = w("wn", input_dim);
         let un = w("un", hidden_dim);
         let mut b = |suffix: &str| {
-            store.alloc(format!("{name}.{suffix}"), 1, hidden_dim, Initializer::Zeros, rng)
+            store.alloc(
+                format!("{name}.{suffix}"),
+                1,
+                hidden_dim,
+                Initializer::Zeros,
+                rng,
+            )
         };
         let bz = b("bz");
         let br = b("br");
         let bn = b("bn");
-        Self { wz, uz, bz, wr, ur, br, wn, un, bn, input_dim, hidden_dim }
+        Self {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wn,
+            un,
+            bn,
+            input_dim,
+            hidden_dim,
+        }
     }
 
     /// Input width.
@@ -153,7 +171,11 @@ impl GruCell {
         assert_eq!(x.cols(), self.input_dim, "GRU input width mismatch");
         assert_eq!(h.cols(), self.hidden_dim, "GRU hidden width mismatch");
         assert_eq!(h.rows(), rows, "GRU state row-count mismatch");
-        assert_eq!(out.shape(), (rows, self.hidden_dim), "GRU output shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (rows, self.hidden_dim),
+            "GRU output shape mismatch"
+        );
         scratch.ensure(rows, self.hidden_dim);
         let GruScratch { z, r, n, rh, tmp } = scratch;
 
@@ -208,7 +230,13 @@ impl GruScratch {
     /// Resizes every buffer to `rows × hidden`, keeping allocations when
     /// the capacity suffices.
     fn ensure(&mut self, rows: usize, hidden: usize) {
-        for m in [&mut self.z, &mut self.r, &mut self.n, &mut self.rh, &mut self.tmp] {
+        for m in [
+            &mut self.z,
+            &mut self.r,
+            &mut self.n,
+            &mut self.rh,
+            &mut self.tmp,
+        ] {
             if m.shape() != (rows, hidden) {
                 m.reshape_zeroed(rows, hidden);
             }

@@ -26,9 +26,20 @@ impl Linear {
         out_dim: usize,
         rng: &mut Rng,
     ) -> Self {
-        let w = store.alloc(format!("{name}.w"), in_dim, out_dim, Initializer::XavierUniform, rng);
+        let w = store.alloc(
+            format!("{name}.w"),
+            in_dim,
+            out_dim,
+            Initializer::XavierUniform,
+            rng,
+        );
         let b = store.alloc(format!("{name}.b"), 1, out_dim, Initializer::Zeros, rng);
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input width.

@@ -67,8 +67,11 @@ pub struct PackedLinear {
 impl PackedLinear {
     /// Packs `layer`'s current weights from `store`.
     pub fn new(layer: &Linear, store: &ParamStore) -> Self {
-        let mut packed =
-            Self { layer: layer.clone(), weights: PackedGemvWeights::default(), version: 0 };
+        let mut packed = Self {
+            layer: layer.clone(),
+            weights: PackedGemvWeights::default(),
+            version: 0,
+        };
         packed.repack(store);
         packed
     }
@@ -97,7 +100,11 @@ impl PackedLinear {
             self.layer.infer_into(store, x, out);
             return;
         }
-        assert_eq!(x.cols(), self.layer.in_dim(), "packed linear input width mismatch");
+        assert_eq!(
+            x.cols(),
+            self.layer.in_dim(),
+            "packed linear input width mismatch"
+        );
         assert_eq!(
             out.shape(),
             (x.rows(), self.layer.out_dim()),
@@ -152,7 +159,8 @@ impl PackedGru {
         let c = &self.cell;
         self.wzrn
             .repack_concat(&[store.value(c.wz), store.value(c.wr), store.value(c.wn)]);
-        self.uzr.repack_concat(&[store.value(c.uz), store.value(c.ur)]);
+        self.uzr
+            .repack_concat(&[store.value(c.uz), store.value(c.ur)]);
         self.un.repack(store.value(c.un));
         self.version = store.version();
     }
@@ -184,7 +192,8 @@ impl PackedGru {
         assert_eq!(h.rows(), rows, "GRU state row-count mismatch");
         assert_eq!(out.shape(), (rows, hd), "GRU output shape mismatch");
         if rows >= BLOCK_MIN_ROWS {
-            self.cell.infer_step_into(store, x, h, &mut scratch.fallback, out);
+            self.cell
+                .infer_step_into(store, x, h, &mut scratch.fallback, out);
             return;
         }
         scratch.ensure(rows, hd);

@@ -60,7 +60,15 @@ impl Adam {
     /// Creates an Adam optimiser with the given learning rate and the
     /// conventional β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of update steps applied so far.
@@ -79,7 +87,11 @@ impl Adam {
                 self.v.push(Matrix::zeros(p.value.rows(), p.value.cols()));
             }
         }
-        assert_eq!(self.m.len(), store.len(), "optimiser state does not match store layout");
+        assert_eq!(
+            self.m.len(),
+            store.len(),
+            "optimiser state does not match store layout"
+        );
         self.step += 1;
         let t = self.step as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
@@ -89,15 +101,21 @@ impl Adam {
             let grad = store.grad(id).clone();
             let m = &mut self.m[idx];
             let v = &mut self.v[idx];
-            for ((m_i, v_i), &g_i) in
-                m.as_mut_slice().iter_mut().zip(v.as_mut_slice()).zip(grad.as_slice())
+            for ((m_i, v_i), &g_i) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(grad.as_slice())
             {
                 *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g_i;
                 *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g_i * g_i;
             }
             let value = store.value_mut(id);
-            for ((w, &m_i), &v_i) in
-                value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+            for ((w, &m_i), &v_i) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
             {
                 let m_hat = m_i / bias1;
                 let v_hat = v_i / bias2;

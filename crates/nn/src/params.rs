@@ -58,7 +58,11 @@ impl ParamStore {
     /// Allocates a parameter with an explicit initial value.
     pub fn alloc_with_value(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        self.params.push(Param { name: name.into(), value, grad });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad,
+        });
         self.version += 1;
         ParamId(self.params.len() - 1)
     }
@@ -165,9 +169,18 @@ impl ParamStore {
     /// # Panics
     /// Panics if the stores have different layouts.
     pub fn copy_values_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.params.len(), other.params.len(), "param store layout mismatch");
+        assert_eq!(
+            self.params.len(),
+            other.params.len(),
+            "param store layout mismatch"
+        );
         for (dst, src) in self.params.iter_mut().zip(&other.params) {
-            assert_eq!(dst.value.shape(), src.value.shape(), "parameter {} shape mismatch", dst.name);
+            assert_eq!(
+                dst.value.shape(),
+                src.value.shape(),
+                "parameter {} shape mismatch",
+                dst.name
+            );
             dst.value = src.value.clone();
         }
         self.version += 1;
@@ -175,7 +188,9 @@ impl ParamStore {
 
     /// True if any value or gradient contains NaN/Inf.
     pub fn has_non_finite(&self) -> bool {
-        self.params.iter().any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
+        self.params
+            .iter()
+            .any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
     }
 }
 

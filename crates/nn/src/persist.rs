@@ -50,7 +50,13 @@ impl From<io::Error> for PersistError {
 pub fn write_params(store: &ParamStore, out: &mut impl Write) -> io::Result<()> {
     writeln!(out, "{MAGIC}")?;
     for (_, p) in store.iter() {
-        writeln!(out, "param {} {} {}", p.name, p.value.rows(), p.value.cols())?;
+        writeln!(
+            out,
+            "param {} {} {}",
+            p.name,
+            p.value.rows(),
+            p.value.cols()
+        )?;
         for r in 0..p.value.rows() {
             let row: Vec<String> = p.value.row(r).iter().map(|v| format!("{v:e}")).collect();
             writeln!(out, "{}", row.join(" "))?;
@@ -86,7 +92,9 @@ pub fn read_params(input: &mut impl BufRead) -> Result<ParamStore, PersistError>
         match parts.next() {
             Some("param") => {}
             other => {
-                return Err(PersistError::Format(format!("expected 'param', found {other:?}")))
+                return Err(PersistError::Format(format!(
+                    "expected 'param', found {other:?}"
+                )))
             }
         }
         let name = parts
@@ -98,9 +106,9 @@ pub fn read_params(input: &mut impl BufRead) -> Result<ParamStore, PersistError>
 
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
-            let line = lines.next().ok_or_else(|| {
-                PersistError::Format(format!("param {name}: missing row {r}"))
-            })??;
+            let line = lines
+                .next()
+                .ok_or_else(|| PersistError::Format(format!("param {name}: missing row {r}")))??;
             for tok in line.split_whitespace() {
                 let v: f32 = tok.parse().map_err(|_| {
                     PersistError::Format(format!("param {name}: bad float {tok:?}"))

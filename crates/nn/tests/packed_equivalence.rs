@@ -34,7 +34,10 @@ fn packed_linear_matches_unpacked_across_batch_sizes() {
     let mut rng = seeded_rng(41);
     let mut store = ParamStore::new();
     // 128→7 mirrors the policy head (tail panel); 35→128 the input side.
-    for (li, (ind, outd)) in [(128usize, 7usize), (35, 128), (6, 1), (64, 64)].iter().enumerate() {
+    for (li, (ind, outd)) in [(128usize, 7usize), (35, 128), (6, 1), (64, 64)]
+        .iter()
+        .enumerate()
+    {
         let layer = Linear::new(&mut store, &format!("fc{li}"), *ind, *outd, &mut rng);
         let packed = PackedLinear::new(&layer, &store);
         // 1 row (GEMV), 15 rows (row-wise GEMV), 16/24 rows (fallback).
@@ -73,7 +76,12 @@ fn packed_gru_matches_unpacked_across_shapes() {
     // Paper scale, demo scale, odd hidden widths, and the batch fallback.
     for &(input_dim, hidden_dim) in &[(35, 128), (4, 6), (35, 48), (7, 33)] {
         for &rows in &[1usize, 3, 15, 16, 20] {
-            check_gru(input_dim, hidden_dim, rows, (input_dim * 1000 + hidden_dim) as u64);
+            check_gru(
+                input_dim,
+                hidden_dim,
+                rows,
+                (input_dim * 1000 + hidden_dim) as u64,
+            );
         }
     }
 }
@@ -89,7 +97,10 @@ fn repack_tracks_an_optimiser_step() {
 
     // Fake a gradient step: perturb every parameter via the optimiser API.
     for id in store.ids() {
-        store.add_grad(id, &Matrix::filled(store.value(id).rows(), store.value(id).cols(), 0.05));
+        store.add_grad(
+            id,
+            &Matrix::filled(store.value(id).rows(), store.value(id).cols(), 0.05),
+        );
     }
     Sgd::new(0.1).step(&mut store);
     packed.repack(&store);

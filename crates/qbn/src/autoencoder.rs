@@ -59,7 +59,12 @@ pub struct QbnConfig {
 impl QbnConfig {
     /// A conventional configuration: hidden layer of `4·L`, ternary levels.
     pub fn with_dims(input_dim: usize, latent_dim: usize) -> Self {
-        Self { input_dim, hidden_dim: latent_dim * 4, latent_dim, levels: QuantLevels::Three }
+        Self {
+            input_dim,
+            hidden_dim: latent_dim * 4,
+            latent_dim,
+            levels: QuantLevels::Three,
+        }
     }
 
     /// Size of the discrete code space `k^L` (saturates at `usize::MAX`).
@@ -85,7 +90,12 @@ pub struct QbnTrainConfig {
 
 impl Default for QbnTrainConfig {
     fn default() -> Self {
-        Self { epochs: 40, batch_size: 32, learning_rate: 1e-3, seed: 0 }
+        Self {
+            epochs: 40,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -118,13 +128,34 @@ impl Qbn {
         assert!(cfg.input_dim > 0 && cfg.latent_dim > 0 && cfg.hidden_dim > 0);
         let mut rng = seeded_rng(seed);
         let mut store = ParamStore::new();
-        let enc_in = Linear::new(&mut store, "qbn.enc_in", cfg.input_dim, cfg.hidden_dim, &mut rng);
-        let enc_lat =
-            Linear::new(&mut store, "qbn.enc_lat", cfg.hidden_dim, cfg.latent_dim, &mut rng);
-        let dec_hid =
-            Linear::new(&mut store, "qbn.dec_hid", cfg.latent_dim, cfg.hidden_dim, &mut rng);
-        let dec_out =
-            Linear::new(&mut store, "qbn.dec_out", cfg.hidden_dim, cfg.input_dim, &mut rng);
+        let enc_in = Linear::new(
+            &mut store,
+            "qbn.enc_in",
+            cfg.input_dim,
+            cfg.hidden_dim,
+            &mut rng,
+        );
+        let enc_lat = Linear::new(
+            &mut store,
+            "qbn.enc_lat",
+            cfg.hidden_dim,
+            cfg.latent_dim,
+            &mut rng,
+        );
+        let dec_hid = Linear::new(
+            &mut store,
+            "qbn.dec_hid",
+            cfg.latent_dim,
+            cfg.hidden_dim,
+            &mut rng,
+        );
+        let dec_out = Linear::new(
+            &mut store,
+            "qbn.dec_out",
+            cfg.hidden_dim,
+            cfg.input_dim,
+            &mut rng,
+        );
         let packed_enc_in = PackedLinear::new(&enc_in, &store);
         let packed_enc_lat = PackedLinear::new(&enc_lat, &store);
         let packed_dec_hid = PackedLinear::new(&dec_hid, &store);
@@ -169,7 +200,12 @@ impl Qbn {
     pub fn encode(&self, x: &[f32]) -> crate::codes::Code {
         assert_eq!(x.len(), self.cfg.input_dim, "QBN input width mismatch");
         let pre = self.latent_preact(&Matrix::row_vector(x));
-        crate::codes::Code(pre.row(0).iter().map(|&v| self.cfg.levels.quantize(v)).collect())
+        crate::codes::Code(
+            pre.row(0)
+                .iter()
+                .map(|&v| self.cfg.levels.quantize(v))
+                .collect(),
+        )
     }
 
     /// Decodes a discrete code back to input space.
@@ -301,7 +337,10 @@ mod tests {
 
     #[test]
     fn binary_levels_exclude_zero() {
-        let cfg = QbnConfig { levels: QuantLevels::Two, ..QbnConfig::with_dims(6, 8) };
+        let cfg = QbnConfig {
+            levels: QuantLevels::Two,
+            ..QbnConfig::with_dims(6, 8)
+        };
         let qbn = Qbn::new(cfg, 0);
         let code = qbn.encode(&[0.1; 6]);
         assert!(code.0.iter().all(|&v| v == -1 || v == 1));
@@ -321,7 +360,12 @@ mod tests {
         let before = qbn.reconstruction_error(&data);
         let losses = qbn.train(
             &data,
-            &QbnTrainConfig { epochs: 60, batch_size: 16, learning_rate: 2e-3, seed: 4 },
+            &QbnTrainConfig {
+                epochs: 60,
+                batch_size: 16,
+                learning_rate: 2e-3,
+                seed: 4,
+            },
         );
         let after = qbn.reconstruction_error(&data);
         assert!(after < before, "training did not help: {before} -> {after}");
@@ -330,7 +374,10 @@ mod tests {
             "final training loss too high: {:?}",
             losses.last()
         );
-        assert!(after < 0.06, "post-training inference error too high: {after}");
+        assert!(
+            after < 0.06,
+            "post-training inference error too high: {after}"
+        );
     }
 
     #[test]
@@ -339,7 +386,12 @@ mod tests {
         let mut qbn = Qbn::new(QbnConfig::with_dims(6, 12), 6);
         qbn.train(
             &data,
-            &QbnTrainConfig { epochs: 60, batch_size: 16, learning_rate: 2e-3, seed: 7 },
+            &QbnTrainConfig {
+                epochs: 60,
+                batch_size: 16,
+                learning_rate: 2e-3,
+                seed: 7,
+            },
         );
         let codes: std::collections::HashSet<_> =
             data[..4].iter().map(|row| qbn.encode(row)).collect();
@@ -349,7 +401,10 @@ mod tests {
     #[test]
     fn code_space_is_k_pow_l() {
         assert_eq!(QbnConfig::with_dims(4, 3).code_space(), 27);
-        let two = QbnConfig { levels: QuantLevels::Two, ..QbnConfig::with_dims(4, 10) };
+        let two = QbnConfig {
+            levels: QuantLevels::Two,
+            ..QbnConfig::with_dims(4, 10)
+        };
         assert_eq!(two.code_space(), 1024);
     }
 

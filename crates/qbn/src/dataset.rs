@@ -43,10 +43,22 @@ impl TransitionDataset {
     /// Panics if widths are inconsistent with already-stored rows.
     pub fn push(&mut self, row: TransitionRow) {
         if let Some(first) = self.rows.first() {
-            assert_eq!(first.obs.len(), row.obs.len(), "obs width changed mid-dataset");
-            assert_eq!(first.hidden.len(), row.hidden.len(), "hidden width changed mid-dataset");
+            assert_eq!(
+                first.obs.len(),
+                row.obs.len(),
+                "obs width changed mid-dataset"
+            );
+            assert_eq!(
+                first.hidden.len(),
+                row.hidden.len(),
+                "hidden width changed mid-dataset"
+            );
         }
-        assert_eq!(row.hidden.len(), row.next_hidden.len(), "hidden widths differ within row");
+        assert_eq!(
+            row.hidden.len(),
+            row.next_hidden.len(),
+            "hidden widths differ within row"
+        );
         self.rows.push(row);
     }
 
@@ -87,8 +99,7 @@ impl TransitionDataset {
         // Episode-final next_hidden values are states too; include the last
         // row of each episode so the HX QBN sees terminal states.
         for (i, r) in self.rows.iter().enumerate() {
-            let is_episode_end =
-                i + 1 == self.rows.len() || self.rows[i + 1].episode != r.episode;
+            let is_episode_end = i + 1 == self.rows.len() || self.rows[i + 1].episode != r.episode;
             if is_episode_end {
                 out.push(r.next_hidden.clone());
             }

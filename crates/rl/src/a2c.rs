@@ -232,7 +232,9 @@ impl A2cTrainer {
             return 1;
         }
         let cap = if self.config.num_workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.config.num_workers
         };
@@ -246,7 +248,13 @@ impl A2cTrainer {
 
     /// Rolls out one episode with ε-greedy sampling (no learning).
     pub fn collect_episode(&mut self, env: &mut dyn Env) -> Episode {
-        rollout_episode(&self.agent, &self.engine, env, self.config.epsilon, &mut self.rng)
+        rollout_episode(
+            &self.agent,
+            &self.engine,
+            env,
+            self.config.epsilon,
+            &mut self.rng,
+        )
     }
 
     /// Rolls out one episode per environment on the fixed worker pool
@@ -278,7 +286,11 @@ impl A2cTrainer {
                             env_shard.iter_mut().zip(seed_shard).zip(out_shard)
                         {
                             *out = rollout_episode(
-                                agent, engine, &mut **env, epsilon, &mut seeded_rng(seed),
+                                agent,
+                                engine,
+                                &mut **env,
+                                epsilon,
+                                &mut seeded_rng(seed),
                             );
                         }
                     });
@@ -339,8 +351,11 @@ impl A2cTrainer {
             flat_returns.extend_from_slice(r);
             flat_values.extend_from_slice(&e.values);
         }
-        let flat_advs =
-            advantages(&flat_returns, &flat_values, self.config.normalize_advantages);
+        let flat_advs = advantages(
+            &flat_returns,
+            &flat_values,
+            self.config.normalize_advantages,
+        );
         let total_steps = flat_returns.len();
         let inv_steps = 1.0 / total_steps as f32;
         // Re-slice the flat advantages per episode for the replay workers.
@@ -402,11 +417,17 @@ impl A2cTrainer {
             // reduction above, so the two paths are bit-identical — minus
             // the export copy the worker threads need.
             let graph = &mut self.graphs[0];
-            for ((episode, returns), advs) in
-                episodes.iter().zip(&returns_per_ep).zip(&advs_per_ep)
+            for ((episode, returns), advs) in episodes.iter().zip(&returns_per_ep).zip(&advs_per_ep)
             {
-                loss_value +=
-                    replay_episode(&self.agent, graph, episode, returns, advs, inv_steps, &self.config);
+                loss_value += replay_episode(
+                    &self.agent,
+                    graph,
+                    episode,
+                    returns,
+                    advs,
+                    inv_steps,
+                    &self.config,
+                );
                 graph.accumulate_param_grads(&mut self.agent.store);
             }
         }
@@ -485,12 +506,19 @@ mod tests {
             },
             1,
         );
-        let mut env = BanditEnv { rewards: vec![0.0, 1.0, 0.2] };
+        let mut env = BanditEnv {
+            rewards: vec![0.0, 1.0, 0.2],
+        };
         for _ in 0..300 {
             trainer.train_episode(&mut env);
         }
         let step = trainer.agent.infer(&[1.0], &trainer.agent.initial_state());
-        assert_eq!(lahd_tensor::argmax(&step.logits), 1, "logits {:?}", step.logits);
+        assert_eq!(
+            lahd_tensor::argmax(&step.logits),
+            1,
+            "logits {:?}",
+            step.logits
+        );
     }
 
     #[test]
@@ -524,7 +552,9 @@ mod tests {
     fn update_reports_finite_values() {
         let agent = RecurrentActorCritic::new(1, 4, 2, 11);
         let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 3);
-        let mut env = BanditEnv { rewards: vec![0.5, -0.5] };
+        let mut env = BanditEnv {
+            rewards: vec![0.5, -0.5],
+        };
         let report = trainer.train_episode(&mut env);
         assert_eq!(report.steps, 1);
         assert!(report.loss.is_finite());
@@ -545,11 +575,19 @@ mod tests {
         let agent = RecurrentActorCritic::new(1, 8, 2, 21);
         let mut trainer = A2cTrainer::new(
             agent,
-            A2cConfig { learning_rate: 0.02, normalize_advantages: false, ..Default::default() },
+            A2cConfig {
+                learning_rate: 0.02,
+                normalize_advantages: false,
+                ..Default::default()
+            },
             4,
         );
-        let mut a = BanditEnv { rewards: vec![0.0, 1.0] };
-        let mut b = BanditEnv { rewards: vec![0.0, 1.0] };
+        let mut a = BanditEnv {
+            rewards: vec![0.0, 1.0],
+        };
+        let mut b = BanditEnv {
+            rewards: vec![0.0, 1.0],
+        };
         for _ in 0..200 {
             let mut envs: Vec<&mut dyn Env> = vec![&mut a, &mut b];
             let report = trainer.train_batch(&mut envs);

@@ -88,7 +88,15 @@ impl RecurrentActorCritic {
         let gru = GruCell::new(&mut store, "gru", obs_dim, hidden_dim, &mut rng);
         let policy_head = Linear::new(&mut store, "policy", hidden_dim, num_actions, &mut rng);
         let value_head = Linear::new(&mut store, "value", hidden_dim, 1, &mut rng);
-        Self { store, gru, policy_head, value_head, obs_dim, hidden_dim, num_actions }
+        Self {
+            store,
+            gru,
+            policy_head,
+            value_head,
+            obs_dim,
+            hidden_dim,
+            num_actions,
+        }
     }
 
     /// Observation dimensionality.
@@ -162,10 +170,17 @@ impl RecurrentActorCritic {
             scratch.x.reshape_zeroed(1, self.obs_dim);
         }
         scratch.x.row_mut(0).copy_from_slice(obs);
-        self.gru
-            .infer_step_into(&self.store, &scratch.x, hidden, &mut scratch.gru, &mut scratch.hidden);
-        self.policy_head.infer_into(&self.store, &scratch.hidden, &mut scratch.logits);
-        self.value_head.infer_into(&self.store, &scratch.hidden, &mut scratch.values);
+        self.gru.infer_step_into(
+            &self.store,
+            &scratch.x,
+            hidden,
+            &mut scratch.gru,
+            &mut scratch.hidden,
+        );
+        self.policy_head
+            .infer_into(&self.store, &scratch.hidden, &mut scratch.logits);
+        self.value_head
+            .infer_into(&self.store, &scratch.hidden, &mut scratch.values);
     }
 
     /// Steps `B` parallel environments through one set of `B × D` matmuls
@@ -183,10 +198,17 @@ impl RecurrentActorCritic {
         assert_eq!(hidden.cols(), self.hidden_dim, "hidden width mismatch");
         assert_eq!(obs.rows(), hidden.rows(), "batch row-count mismatch");
         scratch.ensure_outputs(obs.rows(), self.hidden_dim, self.num_actions);
-        self.gru
-            .infer_step_into(&self.store, obs, hidden, &mut scratch.gru, &mut scratch.hidden);
-        self.policy_head.infer_into(&self.store, &scratch.hidden, &mut scratch.logits);
-        self.value_head.infer_into(&self.store, &scratch.hidden, &mut scratch.values);
+        self.gru.infer_step_into(
+            &self.store,
+            obs,
+            hidden,
+            &mut scratch.gru,
+            &mut scratch.hidden,
+        );
+        self.policy_head
+            .infer_into(&self.store, &scratch.hidden, &mut scratch.logits);
+        self.value_head
+            .infer_into(&self.store, &scratch.hidden, &mut scratch.values);
     }
 
     /// Allocating wrapper over [`RecurrentActorCritic::infer_batch_into`]:
@@ -210,12 +232,7 @@ impl RecurrentActorCritic {
 
     /// Samples an action from the softmax policy, with ε-greedy uniform
     /// exploration (the paper uses ε = 0.1).
-    pub fn sample_action(
-        &self,
-        logits: &[f32],
-        epsilon: f32,
-        rng: &mut impl Rng,
-    ) -> usize {
+    pub fn sample_action(&self, logits: &[f32], epsilon: f32, rng: &mut impl Rng) -> usize {
         if epsilon > 0.0 && rng.gen::<f32>() < epsilon {
             return rng.gen_range(0..self.num_actions);
         }
@@ -231,12 +248,7 @@ impl RecurrentActorCritic {
     }
 
     /// One tape step used during training; returns `(logits, value, next_h)`.
-    pub fn tape_step(
-        &self,
-        g: &mut Graph,
-        obs: &[f32],
-        hidden: Var,
-    ) -> (Var, Var, Var) {
+    pub fn tape_step(&self, g: &mut Graph, obs: &[f32], hidden: Var) -> (Var, Var, Var) {
         let x = g.constant(Matrix::row_vector(obs));
         let h = self.gru.step(g, &self.store, x, hidden);
         let logits = self.policy_head.forward(g, &self.store, h);
@@ -267,10 +279,7 @@ mod tests {
         let mut g = Graph::new();
         let h0 = g.constant(agent.initial_state());
         let (logits, value, h1) = agent.tape_step(&mut g, &obs, h0);
-        assert!(g
-            .value(h1)
-            .max_abs_diff(&infer.hidden)
-            < 1e-6);
+        assert!(g.value(h1).max_abs_diff(&infer.hidden) < 1e-6);
         let tape_logits = g.value(logits).row(0).to_vec();
         for (a, b) in tape_logits.iter().zip(&infer.logits) {
             assert!((a - b).abs() < 1e-6);
@@ -288,7 +297,10 @@ mod tests {
             counts[agent.sample_action(&logits, 1.0, &mut rng)] += 1;
         }
         for &c in &counts {
-            assert!(c > 800, "uniform exploration should hit every action: {counts:?}");
+            assert!(
+                c > 800,
+                "uniform exploration should hit every action: {counts:?}"
+            );
         }
     }
 

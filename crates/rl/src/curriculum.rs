@@ -72,14 +72,28 @@ mod tests {
     fn curriculum_runs_phases_in_order() {
         let agent = RecurrentActorCritic::new(1, 4, 2, 0);
         let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 0);
-        let mut easy1 = BanditEnv { rewards: vec![1.0, 0.0] };
-        let mut easy2 = BanditEnv { rewards: vec![0.8, 0.0] };
-        let mut hard = BanditEnv { rewards: vec![0.0, 1.0] };
+        let mut easy1 = BanditEnv {
+            rewards: vec![1.0, 0.0],
+        };
+        let mut easy2 = BanditEnv {
+            rewards: vec![0.8, 0.0],
+        };
+        let mut hard = BanditEnv {
+            rewards: vec![0.0, 1.0],
+        };
         let log = train_curriculum(
             &mut trainer,
             vec![
-                Phase { name: "standard", envs: vec![&mut easy1, &mut easy2], epochs: 3 },
-                Phase { name: "real", envs: vec![&mut hard], epochs: 2 },
+                Phase {
+                    name: "standard",
+                    envs: vec![&mut easy1, &mut easy2],
+                    epochs: 3,
+                },
+                Phase {
+                    name: "real",
+                    envs: vec![&mut hard],
+                    epochs: 2,
+                },
             ],
         );
         assert_eq!(log.len(), 5);
@@ -89,14 +103,136 @@ mod tests {
     }
 
     #[test]
+    fn empty_schedule_trains_nothing() {
+        let agent = RecurrentActorCritic::new(1, 4, 2, 0);
+        let before = agent.store.clone();
+        let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 0);
+        let log = train_curriculum(&mut trainer, Vec::new());
+        assert!(log.is_empty());
+        // No phase means no update: parameters are untouched.
+        let after = &trainer.into_agent().store;
+        for ((_, a), (_, b)) in before.iter().zip(after.iter()) {
+            assert_eq!(a.value.max_abs_diff(&b.value), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_epoch_phase_is_skipped() {
+        let agent = RecurrentActorCritic::new(1, 4, 2, 0);
+        let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 0);
+        let mut easy = BanditEnv {
+            rewards: vec![1.0, 0.0],
+        };
+        let mut hard = BanditEnv {
+            rewards: vec![0.0, 1.0],
+        };
+        let log = train_curriculum(
+            &mut trainer,
+            vec![
+                Phase {
+                    name: "skipped",
+                    envs: vec![&mut easy],
+                    epochs: 0,
+                },
+                Phase {
+                    name: "real",
+                    envs: vec![&mut hard],
+                    epochs: 2,
+                },
+            ],
+        );
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|l| l.phase == "real"));
+        assert_eq!(log[0].epoch, 0, "global epoch numbering skips empty phases");
+    }
+
+    #[test]
+    fn single_stage_schedule_logs_every_epoch() {
+        let agent = RecurrentActorCritic::new(1, 4, 2, 0);
+        let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 0);
+        let mut env = BanditEnv {
+            rewards: vec![1.0, 0.0],
+        };
+        let log = train_curriculum(
+            &mut trainer,
+            vec![Phase {
+                name: "only",
+                envs: vec![&mut env],
+                epochs: 5,
+            }],
+        );
+        assert_eq!(log.len(), 5);
+        assert!(log.iter().all(|l| l.phase == "only"));
+        assert_eq!(
+            log.iter().map(|l| l.epoch).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn stage_boundary_advances_exactly_once() {
+        let agent = RecurrentActorCritic::new(1, 4, 2, 0);
+        let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 0);
+        let mut easy = BanditEnv {
+            rewards: vec![1.0, 0.0],
+        };
+        let mut hard = BanditEnv {
+            rewards: vec![0.0, 1.0],
+        };
+        let mut extra = BanditEnv {
+            rewards: vec![0.5, 0.5],
+        };
+        let log = train_curriculum(
+            &mut trainer,
+            vec![
+                Phase {
+                    name: "a",
+                    envs: vec![&mut easy],
+                    epochs: 3,
+                },
+                Phase {
+                    name: "b",
+                    envs: vec![&mut hard],
+                    epochs: 2,
+                },
+                Phase {
+                    name: "c",
+                    envs: vec![&mut extra],
+                    epochs: 1,
+                },
+            ],
+        );
+        // Exactly one a→b boundary and one b→c boundary, at the scheduled
+        // epochs, with the global epoch counter continuous across them.
+        let boundaries: Vec<usize> = log
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0].phase != w[1].phase)
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(boundaries, vec![3, 5]);
+        for (i, l) in log.iter().enumerate() {
+            assert_eq!(l.epoch, i, "epoch numbering must be contiguous");
+        }
+    }
+
+    #[test]
     fn epoch_totals_sum_over_pool() {
         let agent = RecurrentActorCritic::new(1, 4, 2, 0);
         let mut trainer = A2cTrainer::new(agent, A2cConfig::default(), 0);
-        let mut e1 = BanditEnv { rewards: vec![1.0, 1.0] };
-        let mut e2 = BanditEnv { rewards: vec![1.0, 1.0] };
+        let mut e1 = BanditEnv {
+            rewards: vec![1.0, 1.0],
+        };
+        let mut e2 = BanditEnv {
+            rewards: vec![1.0, 1.0],
+        };
         let log = train_curriculum(
             &mut trainer,
-            vec![Phase { name: "p", envs: vec![&mut e1, &mut e2], epochs: 1 }],
+            vec![Phase {
+                name: "p",
+                envs: vec![&mut e1, &mut e2],
+                epochs: 1,
+            }],
         );
         // Two one-step bandits with reward 1 each.
         assert_eq!(log[0].total_steps, 2);

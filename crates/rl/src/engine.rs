@@ -81,8 +81,10 @@ impl InferEngine {
             &mut scratch.packed_gru,
             &mut scratch.hidden,
         );
-        self.policy.infer_into(&agent.store, &scratch.hidden, &mut scratch.logits);
-        self.value.infer_into(&agent.store, &scratch.hidden, &mut scratch.values);
+        self.policy
+            .infer_into(&agent.store, &scratch.hidden, &mut scratch.logits);
+        self.value
+            .infer_into(&agent.store, &scratch.hidden, &mut scratch.values);
     }
 
     /// Packed counterpart of [`RecurrentActorCritic::infer_batch_into`]:
@@ -111,8 +113,10 @@ impl InferEngine {
             &mut scratch.packed_gru,
             &mut scratch.hidden,
         );
-        self.policy.infer_into(&agent.store, &scratch.hidden, &mut scratch.logits);
-        self.value.infer_into(&agent.store, &scratch.hidden, &mut scratch.values);
+        self.policy
+            .infer_into(&agent.store, &scratch.hidden, &mut scratch.logits);
+        self.value
+            .infer_into(&agent.store, &scratch.hidden, &mut scratch.values);
     }
 }
 
@@ -149,6 +153,11 @@ mod tests {
         let ids = agent.store.ids();
         agent.store.value_mut(ids[0])[(0, 0)] += 0.5;
         let mut scratch = InferScratch::default();
-        engine.infer_into(&agent, &[0.0, 0.0, 0.0], &agent.initial_state(), &mut scratch);
+        engine.infer_into(
+            &agent,
+            &[0.0, 0.0, 0.0],
+            &agent.initial_state(),
+            &mut scratch,
+        );
     }
 }

@@ -22,7 +22,7 @@ pub mod toy;
 
 pub use a2c::{evaluate_greedy, A2cConfig, A2cTrainer, EpisodeReport};
 pub use agent::{InferScratch, InferStep, RecurrentActorCritic};
-pub use engine::InferEngine;
 pub use curriculum::{train_curriculum, EpochLog, Phase};
+pub use engine::InferEngine;
 pub use env::{Env, Transition};
 pub use rollout::{advantages, discounted_returns, Episode};

@@ -54,7 +54,11 @@ pub fn discounted_returns(rewards: &[f32], gamma: f32) -> Vec<f32> {
 /// Advantages `A_t = R_t − V_t`, optionally normalised to zero mean and unit
 /// variance (stabilises small-batch A2C; disabled for single-step episodes).
 pub fn advantages(returns: &[f32], values: &[f32], normalize: bool) -> Vec<f32> {
-    assert_eq!(returns.len(), values.len(), "returns/values length mismatch");
+    assert_eq!(
+        returns.len(),
+        values.len(),
+        "returns/values length mismatch"
+    );
     let mut adv: Vec<f32> = returns.iter().zip(values).map(|(r, v)| r - v).collect();
     if normalize && adv.len() > 1 {
         let mean = lahd_tensor::mean(&adv);

@@ -26,7 +26,11 @@ impl Env for BanditEnv {
         vec![1.0]
     }
     fn step(&mut self, action: usize) -> Transition {
-        Transition { obs: vec![1.0], reward: self.rewards[action], done: true }
+        Transition {
+            obs: vec![1.0],
+            reward: self.rewards[action],
+            done: true,
+        }
     }
     fn name(&self) -> &str {
         "bandit"
@@ -50,7 +54,12 @@ impl MemoryEnv {
     /// Creates the task with a fixed delay. Cues alternate per episode, so
     /// both cases appear equally often.
     pub fn new(delay: usize) -> Self {
-        Self { delay, cue_positive: false, t: 0, episodes: 0 }
+        Self {
+            delay,
+            cue_positive: false,
+            t: 0,
+            episodes: 0,
+        }
     }
 
     /// The cue presented in the current episode.
@@ -75,10 +84,18 @@ impl Env for MemoryEnv {
     fn step(&mut self, action: usize) -> Transition {
         self.t += 1;
         if self.t <= self.delay {
-            return Transition { obs: vec![0.0], reward: 0.0, done: false };
+            return Transition {
+                obs: vec![0.0],
+                reward: 0.0,
+                done: false,
+            };
         }
         let correct = (action == 1) == self.cue_positive;
-        Transition { obs: vec![0.0], reward: if correct { 1.0 } else { -1.0 }, done: true }
+        Transition {
+            obs: vec![0.0],
+            reward: if correct { 1.0 } else { -1.0 },
+            done: true,
+        }
     }
     fn name(&self) -> &str {
         "memory"
@@ -99,7 +116,11 @@ impl ChainEnv {
     /// Creates a corridor of `length ≥ 2` cells.
     pub fn new(length: usize) -> Self {
         assert!(length >= 2, "chain needs at least two cells");
-        Self { length, position: 0, steps: 0 }
+        Self {
+            length,
+            position: 0,
+            steps: 0,
+        }
     }
 
     fn observe(&self) -> Vec<f32> {

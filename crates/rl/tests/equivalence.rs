@@ -140,13 +140,13 @@ fn sharded_train_batch_is_bit_identical_across_pool_sizes() {
     for pool in [1usize, 2, 4] {
         let mut sharded = make_trainer(pool, true);
         let mut envs = make_envs();
-        for (update, (serial_report, snapshot)) in
-            reports.iter().zip(&snapshots).enumerate()
-        {
-            let mut refs: Vec<&mut dyn Env> =
-                envs.iter_mut().map(|e| e as &mut dyn Env).collect();
+        for (update, (serial_report, snapshot)) in reports.iter().zip(&snapshots).enumerate() {
+            let mut refs: Vec<&mut dyn Env> = envs.iter_mut().map(|e| e as &mut dyn Env).collect();
             let report = sharded.train_batch(&mut refs);
-            assert_eq!(report.steps, serial_report.steps, "pool {pool} update {update}: steps");
+            assert_eq!(
+                report.steps, serial_report.steps,
+                "pool {pool} update {update}: steps"
+            );
             assert_eq!(
                 report.loss.to_bits(),
                 serial_report.loss.to_bits(),
@@ -206,7 +206,9 @@ fn infer_engine_matches_unpacked_across_a_training_update() {
             trainer.train_episode(&mut env);
         }
         let obs = [((t as f32) * 0.37).sin()];
-        trainer.engine().infer_into(&trainer.agent, &obs, &h_p, &mut packed);
+        trainer
+            .engine()
+            .infer_into(&trainer.agent, &obs, &h_p, &mut packed);
         trainer.agent.infer_into(&obs, &h_u, &mut unpacked);
         assert_step_matches(&format!("step {t}"), &packed, &unpacked);
         std::mem::swap(&mut h_p, &mut packed.hidden);
@@ -237,8 +239,14 @@ fn infer_engine_batch_matches_unpacked_batch() {
 /// the second).
 #[test]
 fn reused_tape_is_bit_identical_to_fresh_tapes_across_updates() {
-    let config_reuse = A2cConfig { reuse_graph: true, ..A2cConfig::default() };
-    let config_fresh = A2cConfig { reuse_graph: false, ..A2cConfig::default() };
+    let config_reuse = A2cConfig {
+        reuse_graph: true,
+        ..A2cConfig::default()
+    };
+    let config_fresh = A2cConfig {
+        reuse_graph: false,
+        ..A2cConfig::default()
+    };
 
     let mut reuse = A2cTrainer::new(RecurrentActorCritic::new(1, 16, 2, 11), config_reuse, 5);
     let mut fresh = A2cTrainer::new(RecurrentActorCritic::new(1, 16, 2, 11), config_fresh, 5);
@@ -262,6 +270,10 @@ fn reused_tape_is_bit_identical_to_fresh_tapes_across_updates() {
             rb.grad_norm.to_bits(),
             "update {update}: grad norms diverged"
         );
-        assert_stores_identical(&reuse.agent, &fresh.agent, &format!("after update {update}"));
+        assert_stores_identical(
+            &reuse.agent,
+            &fresh.agent,
+            &format!("after update {update}"),
+        );
     }
 }

@@ -72,7 +72,9 @@ impl Budget {
 }
 
 fn quick_mode() -> bool {
-    std::env::var("LAHD_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    std::env::var("LAHD_BENCH_QUICK")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
 }
 
 /// Per-benchmark sample statistics: the median plus dispersion measures.
@@ -94,7 +96,13 @@ pub struct SampleStats {
 
 impl Default for SampleStats {
     fn default() -> Self {
-        Self { median_ns: f64::NAN, mad_ns: f64::NAN, p10_ns: f64::NAN, p90_ns: f64::NAN, samples: 0 }
+        Self {
+            median_ns: f64::NAN,
+            mad_ns: f64::NAN,
+            p10_ns: f64::NAN,
+            p90_ns: f64::NAN,
+            samples: 0,
+        }
     }
 }
 
@@ -111,7 +119,13 @@ impl SampleStats {
         let mut abs_dev: Vec<f64> = sample_ns.iter().map(|&x| (x - median_ns).abs()).collect();
         abs_dev.sort_by(|a, b| a.partial_cmp(b).expect("finite deviations"));
         let mad_ns = abs_dev[samples / 2];
-        Self { median_ns, mad_ns, p10_ns, p90_ns, samples }
+        Self {
+            median_ns,
+            mad_ns,
+            p10_ns,
+            p90_ns,
+            samples,
+        }
     }
 }
 
@@ -132,12 +146,10 @@ impl Bencher<'_> {
             black_box(routine());
             iters_done += 1;
         }
-        let est_ns =
-            (warm_start.elapsed().as_nanos() as f64 / iters_done as f64).max(1.0);
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / iters_done as f64).max(1.0);
 
         // Size each sample's batch so samples fit the measurement budget.
-        let per_sample_ns =
-            self.budget.measurement.as_nanos() as f64 / self.budget.samples as f64;
+        let per_sample_ns = self.budget.measurement.as_nanos() as f64 / self.budget.samples as f64;
         let batch = ((per_sample_ns / est_ns).round() as u64).max(1);
 
         let mut sample_ns = Vec::with_capacity(self.budget.samples);
@@ -170,8 +182,7 @@ impl Bencher<'_> {
         }
         let est_ns = (spent_ns as f64 / iters_done as f64).max(1.0);
 
-        let per_sample_ns =
-            self.budget.measurement.as_nanos() as f64 / self.budget.samples as f64;
+        let per_sample_ns = self.budget.measurement.as_nanos() as f64 / self.budget.samples as f64;
         let batch = ((per_sample_ns / est_ns).round() as u64).max(1);
 
         let mut sample_ns = Vec::with_capacity(self.budget.samples);
@@ -214,7 +225,10 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let budget = Budget::from_env(self.sample_size);
-        let mut bencher = Bencher { budget: &budget, stats: SampleStats::default() };
+        let mut bencher = Bencher {
+            budget: &budget,
+            stats: SampleStats::default(),
+        };
         f(&mut bencher);
         let full = format!("{}/{}", self.name, id);
         report(&full, &bencher.stats);
@@ -235,12 +249,18 @@ pub struct Criterion {
 impl Criterion {
     /// Fresh driver with environment-controlled budgets.
     pub fn default() -> Self {
-        Self { results: Vec::new() }
+        Self {
+            results: Vec::new(),
+        }
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 50 }
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 50,
+        }
     }
 
     /// Runs one ungrouped benchmark.
@@ -250,7 +270,10 @@ impl Criterion {
     {
         let id = id.into();
         let budget = Budget::from_env(50);
-        let mut bencher = Bencher { budget: &budget, stats: SampleStats::default() };
+        let mut bencher = Bencher {
+            budget: &budget,
+            stats: SampleStats::default(),
+        };
         f(&mut bencher);
         report(&id, &bencher.stats);
         self.results.push((id, bencher.stats.median_ns));
@@ -265,7 +288,13 @@ impl Criterion {
 }
 
 fn report(bench: &str, stats: &SampleStats) {
-    let SampleStats { median_ns, mad_ns, p10_ns, p90_ns, samples } = *stats;
+    let SampleStats {
+        median_ns,
+        mad_ns,
+        p10_ns,
+        p90_ns,
+        samples,
+    } = *stats;
     println!(
         "{bench:<48} median {median_ns:>12.1} ns/iter  \
          mad {mad_ns:>9.1}  p10 {p10_ns:>12.1}  p90 {p90_ns:>12.1} ({samples} samples)"
@@ -326,7 +355,11 @@ mod tests {
         });
         group.finish();
         assert_eq!(c.results.len(), 1);
-        assert!(c.results[0].1 > 0.0, "median must be positive: {:?}", c.results);
+        assert!(
+            c.results[0].1 > 0.0,
+            "median must be positive: {:?}",
+            c.results
+        );
     }
 
     #[test]

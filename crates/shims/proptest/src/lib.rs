@@ -96,7 +96,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            FilterMap { inner: self, whence, f }
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
         }
     }
 
@@ -144,7 +148,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter_map rejected 1000 consecutive samples: {}", self.whence)
+            panic!(
+                "prop_filter_map rejected 1000 consecutive samples: {}",
+                self.whence
+            )
         }
     }
 
@@ -275,13 +282,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec length range");
-            Self { lo: r.start, hi: r.end }
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            Self { lo: *r.start(), hi: *r.end() + 1 }
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -294,7 +307,10 @@ pub mod collection {
 
     /// `Vec` strategy: `vec(element, len)` or `vec(element, lo..hi)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -365,7 +365,10 @@ mod tests {
         for _ in 0..200 {
             seen[rng.gen_range(0usize..4)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all outcomes should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all outcomes should appear: {seen:?}"
+        );
     }
 
     #[test]
@@ -376,7 +379,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements should not stay put");
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not stay put"
+        );
     }
 
     #[test]

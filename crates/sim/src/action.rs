@@ -30,12 +30,30 @@ impl Action {
     /// `[Noop, N→K, N→R, K→N, K→R, R→N, R→K]`.
     pub const ALL: [Action; Action::COUNT] = [
         Action::Noop,
-        Action::Migrate { from: Level::Normal, to: Level::Kv },
-        Action::Migrate { from: Level::Normal, to: Level::Rv },
-        Action::Migrate { from: Level::Kv, to: Level::Normal },
-        Action::Migrate { from: Level::Kv, to: Level::Rv },
-        Action::Migrate { from: Level::Rv, to: Level::Normal },
-        Action::Migrate { from: Level::Rv, to: Level::Kv },
+        Action::Migrate {
+            from: Level::Normal,
+            to: Level::Kv,
+        },
+        Action::Migrate {
+            from: Level::Normal,
+            to: Level::Rv,
+        },
+        Action::Migrate {
+            from: Level::Kv,
+            to: Level::Normal,
+        },
+        Action::Migrate {
+            from: Level::Kv,
+            to: Level::Rv,
+        },
+        Action::Migrate {
+            from: Level::Rv,
+            to: Level::Normal,
+        },
+        Action::Migrate {
+            from: Level::Rv,
+            to: Level::Kv,
+        },
     ];
 
     /// Canonical index in `[0, 7)`.

@@ -232,6 +232,9 @@ mod tests {
     fn zero_volume_write_back_skips_stage() {
         let mut c = Cohort::write(50.0, 0.0, 0.0, 0);
         c.consume(Level::Normal, 50.0);
-        assert!(c.try_advance(0), "empty write-back stage should collapse to Done");
+        assert!(
+            c.try_advance(0),
+            "empty write-back stage should collapse to Done"
+        );
     }
 }

@@ -93,7 +93,11 @@ impl SimConfig {
                 self.total_cores
             ));
         }
-        if self.initial_allocation.iter().any(|&c| c < self.min_cores_per_level) {
+        if self
+            .initial_allocation
+            .iter()
+            .any(|&c| c < self.min_cores_per_level)
+        {
             return Err("initial allocation violates min_cores_per_level".into());
         }
         if self.core_capability_kib <= 0.0 {
@@ -139,7 +143,11 @@ impl SimConfig {
 
     /// A deterministic variant used by tests: no idle cores, history on.
     pub fn deterministic() -> Self {
-        Self { idle_lambda: 0.0, record_history: true, ..Self::default() }
+        Self {
+            idle_lambda: 0.0,
+            record_history: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -154,19 +162,28 @@ mod tests {
 
     #[test]
     fn allocation_must_sum_to_total() {
-        let cfg = SimConfig { initial_allocation: [16, 8, 7], ..Default::default() };
+        let cfg = SimConfig {
+            initial_allocation: [16, 8, 7],
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn miss_rate_outside_unit_interval_rejected() {
-        let cfg = SimConfig { cache_miss_rate: 1.5, ..Default::default() };
+        let cfg = SimConfig {
+            cache_miss_rate: 1.5,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn negative_costs_rejected() {
-        let cfg = SimConfig { kv_write_cost: -0.1, ..Default::default() };
+        let cfg = SimConfig {
+            kv_write_cost: -0.1,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -12,7 +12,7 @@ use crate::io::IoKind;
 use crate::level::Level;
 use crate::metrics::{EpisodeMetrics, IntervalStats};
 use crate::observation::Observation;
-use crate::poisson::sample_poisson;
+use crate::service;
 use crate::workload::WorkloadTrace;
 
 /// Result of advancing the simulator by one interval.
@@ -152,41 +152,14 @@ impl StorageSim {
 
         // 4. FIFO service at every level.
         let capacity = self.level_capacities(&idle);
-        let mut processed = [0.0f64; 3];
-        for level in Level::ALL {
-            let li = level.index();
-            let mut budget = capacity[li];
-            if budget <= 0.0 {
-                continue;
-            }
-            for c in self.cohorts.iter_mut() {
-                if !c.wants(level, self.t) {
-                    continue;
-                }
-                let took = c.consume(level, budget);
-                processed[li] += took;
-                budget -= took;
-                if budget <= 1e-9 {
-                    break;
-                }
-            }
-        }
+        let processed = service::fifo_service(&mut self.cohorts, &capacity, self.t);
 
         // 5. Stage hand-over and completion.
-        let t = self.t;
-        for c in self.cohorts.iter_mut() {
-            c.try_advance(t);
-        }
-        self.cohorts.retain(|c| !c.is_done());
+        service::advance_cohorts(&mut self.cohorts, self.t);
         self.completed_kib += processed.iter().sum::<f64>();
 
         // 6. Utilisation bookkeeping.
-        let mut utilization = [0.0f64; 3];
-        for i in 0..3 {
-            if capacity[i] > 0.0 {
-                utilization[i] = (processed[i] / capacity[i]).min(1.0);
-            }
-        }
+        let utilization = service::utilization_of(&processed, &capacity);
         self.last_utilization = utilization;
 
         if self.cfg.record_history {
@@ -276,50 +249,27 @@ impl StorageSim {
 
     /// Work currently queued for `level` (current stages only).
     fn level_backlog(&self, level: Level) -> f64 {
-        self.cohorts.iter().map(|c| c.remaining[level.index()]).sum()
+        self.cohorts
+            .iter()
+            .map(|c| c.remaining[level.index()])
+            .sum()
     }
 
     /// Samples how many cores of each level are idle this interval.
     fn sample_idle_cores(&mut self) -> [usize; 3] {
-        let mut idle = [0usize; 3];
-        if self.cfg.idle_lambda == 0.0 {
-            return idle;
-        }
-        let k = sample_poisson(self.cfg.idle_lambda, &mut self.rng).min(self.cfg.total_cores);
-        if k == 0 {
-            return idle;
-        }
-        // Sample k distinct core indices; map each to its level by the
-        // cumulative allocation (cores are interchangeable within a level).
-        let mut indices: Vec<usize> = (0..self.cfg.total_cores).collect();
-        indices.partial_shuffle(&mut self.rng, k);
-        let (n, kv) = (self.cores[0], self.cores[1]);
-        for &idx in indices.iter().take(k) {
-            if idx < n {
-                idle[0] += 1;
-            } else if idx < n + kv {
-                idle[1] += 1;
-            } else {
-                idle[2] += 1;
-            }
-        }
-        // A level cannot have more idle cores than cores (counts drift when
-        // cores migrate mid-episode while indices are re-derived each call).
-        for (idle_count, &cores) in idle.iter_mut().zip(&self.cores) {
-            *idle_count = (*idle_count).min(cores);
-        }
-        idle
+        service::sample_idle_cores(
+            self.cfg.total_cores,
+            self.cfg.idle_lambda,
+            &self.cores,
+            &mut self.rng,
+        )
     }
 
     /// Effective per-level capacity (KiB) after idleness and the migration
     /// penalty.
     fn level_capacities(&self, idle: &[usize; 3]) -> [f64; 3] {
         let m = self.cfg.core_capability_kib;
-        let mut cap = [0.0; 3];
-        for i in 0..3 {
-            let active = self.cores[i].saturating_sub(idle[i]) as f64;
-            cap[i] = active * m;
-        }
+        let mut cap = service::level_capacities(&self.cores, idle, m);
         if let Some(level) = self.penalized {
             let li = level.index();
             cap[li] = (cap[li] - self.cfg.migration_penalty * m).max(0.0);
@@ -390,7 +340,10 @@ mod tests {
     }
 
     fn quiet_cfg() -> SimConfig {
-        SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+        SimConfig {
+            idle_lambda: 0.0,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -414,7 +367,10 @@ mod tests {
 
     #[test]
     fn zero_miss_rate_read_load_finishes_exactly_at_horizon() {
-        let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet_cfg() };
+        let cfg = SimConfig {
+            cache_miss_rate: 0.0,
+            ..quiet_cfg()
+        };
         let mut sim = StorageSim::new(cfg, read_trace(10, 100.0), 0);
         let metrics = sim.run_with(|_| Action::Noop);
         assert_eq!(metrics.makespan, 10);
@@ -440,7 +396,11 @@ mod tests {
         // 187.5 MiB per interval overloads it, so work must spill past T.
         let mut sim = StorageSim::new(quiet_cfg(), read_trace(10, 3000.0), 0);
         let metrics = sim.run_with(|_| Action::Noop);
-        assert!(metrics.makespan > 11, "makespan {} should exceed T+1", metrics.makespan);
+        assert!(
+            metrics.makespan > 11,
+            "makespan {} should exceed T+1",
+            metrics.makespan
+        );
         assert!(!metrics.truncated);
     }
 
@@ -448,7 +408,10 @@ mod tests {
     fn byte_conservation_under_noop() {
         let trace = read_trace(5, 500.0);
         let (read_kib, _) = trace.total_volume_kib();
-        let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet_cfg() };
+        let cfg = SimConfig {
+            cache_miss_rate: 0.0,
+            ..quiet_cfg()
+        };
         let mut sim = StorageSim::new(cfg, trace, 0);
         let metrics = sim.run_with(|_| Action::Noop);
         assert!(
@@ -463,7 +426,10 @@ mod tests {
     fn migration_moves_exactly_one_core() {
         let mut sim = StorageSim::new(quiet_cfg(), read_trace(5, 10.0), 0);
         let before = [sim.cores_at(Level::Normal), sim.cores_at(Level::Kv)];
-        sim.step(Action::Migrate { from: Level::Normal, to: Level::Kv });
+        sim.step(Action::Migrate {
+            from: Level::Normal,
+            to: Level::Kv,
+        });
         assert_eq!(sim.cores_at(Level::Normal), before[0] - 1);
         assert_eq!(sim.cores_at(Level::Kv), before[1] + 1);
         assert_eq!(sim.metrics().migrations, 1);
@@ -477,7 +443,10 @@ mod tests {
             ..SimConfig::default()
         };
         let mut sim = StorageSim::new(cfg, read_trace(5, 10.0), 0);
-        let r = sim.step(Action::Migrate { from: Level::Kv, to: Level::Normal });
+        let r = sim.step(Action::Migrate {
+            from: Level::Kv,
+            to: Level::Normal,
+        });
         assert!(r.migration_rejected);
         assert_eq!(sim.cores_at(Level::Kv), 1);
         assert_eq!(sim.metrics().rejected_migrations, 1);
@@ -485,12 +454,21 @@ mod tests {
 
     #[test]
     fn strict_migration_rejects_backlogged_source() {
-        let cfg = SimConfig { strict_migration: true, ..quiet_cfg() };
+        let cfg = SimConfig {
+            strict_migration: true,
+            ..quiet_cfg()
+        };
         // Overload NORMAL so its queue is non-empty after interval 0.
         let mut sim = StorageSim::new(cfg, read_trace(5, 5000.0), 0);
         sim.step(Action::Noop);
-        let r = sim.step(Action::Migrate { from: Level::Normal, to: Level::Kv });
-        assert!(r.migration_rejected, "backlogged NORMAL should refuse migration in strict mode");
+        let r = sim.step(Action::Migrate {
+            from: Level::Normal,
+            to: Level::Kv,
+        });
+        assert!(
+            r.migration_rejected,
+            "backlogged NORMAL should refuse migration in strict mode"
+        );
     }
 
     #[test]
@@ -505,7 +483,10 @@ mod tests {
             };
             // Saturate NORMAL exactly: 16 cores × 8192 KiB = 2048 reads of 64 KiB.
             let mut sim = StorageSim::new(cfg, read_trace(3, 2048.0), 0);
-            sim.step(Action::Migrate { from: Level::Kv, to: Level::Normal });
+            sim.step(Action::Migrate {
+                from: Level::Kv,
+                to: Level::Normal,
+            });
             sim.observation().utilization[Level::Normal.index()]
         };
         let u_no_penalty = run(0.0);
@@ -526,7 +507,10 @@ mod tests {
 
     #[test]
     fn idle_sampling_is_deterministic_per_seed() {
-        let cfg = SimConfig { idle_lambda: 2.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            idle_lambda: 2.0,
+            ..SimConfig::default()
+        };
         let run = |seed| {
             let mut sim = StorageSim::new(cfg.clone(), read_trace(20, 1500.0), seed);
             sim.run_with(|_| Action::Noop).makespan
@@ -536,7 +520,10 @@ mod tests {
 
     #[test]
     fn truncation_guards_nontermination() {
-        let cfg = SimConfig { max_intervals: 5, ..quiet_cfg() };
+        let cfg = SimConfig {
+            max_intervals: 5,
+            ..quiet_cfg()
+        };
         let mut sim = StorageSim::new(cfg, read_trace(10, 50_000.0), 0);
         let metrics = sim.run_with(|_| Action::Noop);
         assert!(metrics.truncated);
@@ -545,7 +532,10 @@ mod tests {
 
     #[test]
     fn history_recorded_when_enabled() {
-        let cfg = SimConfig { record_history: true, ..quiet_cfg() };
+        let cfg = SimConfig {
+            record_history: true,
+            ..quiet_cfg()
+        };
         let mut sim = StorageSim::new(cfg, read_trace(4, 100.0), 0);
         let metrics = sim.run_with(|_| Action::Noop);
         assert_eq!(metrics.history.len(), metrics.makespan);
@@ -563,8 +553,7 @@ mod tests {
     }
 
     #[test]
-    fn balanced_allocation_beats_starved_kv_on_write_load()
-    {
+    fn balanced_allocation_beats_starved_kv_on_write_load() {
         // Writes need KV/RV capacity; starving those levels must hurt.
         let run = |alloc: [usize; 3]| {
             let cfg = SimConfig {

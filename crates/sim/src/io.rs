@@ -59,10 +59,19 @@ pub const NUM_IO_CLASSES: usize = 14;
 /// business models (database, heavy computing, …) imply.
 pub fn canonical_io_classes() -> [IoClass; NUM_IO_CLASSES] {
     const SIZES: [f64; 7] = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
-    let mut out = [IoClass { size_kib: 0.0, kind: IoKind::Read }; NUM_IO_CLASSES];
+    let mut out = [IoClass {
+        size_kib: 0.0,
+        kind: IoKind::Read,
+    }; NUM_IO_CLASSES];
     for (i, &s) in SIZES.iter().enumerate() {
-        out[i] = IoClass { size_kib: s, kind: IoKind::Read };
-        out[i + 7] = IoClass { size_kib: s, kind: IoKind::Write };
+        out[i] = IoClass {
+            size_kib: s,
+            kind: IoKind::Read,
+        };
+        out[i + 7] = IoClass {
+            size_kib: s,
+            kind: IoKind::Write,
+        };
     }
     out
 }

@@ -42,6 +42,8 @@ mod level;
 mod metrics;
 mod observation;
 mod poisson;
+mod readahead;
+mod service;
 mod workload;
 
 pub use action::Action;
@@ -53,4 +55,5 @@ pub use level::Level;
 pub use metrics::{EpisodeMetrics, IntervalStats};
 pub use observation::Observation;
 pub use poisson::sample_poisson;
+pub use readahead::{ReadaheadConfig, ReadaheadSim, ReadaheadStats, ReadaheadStepResult};
 pub use workload::{IntervalWorkload, WorkloadTrace};

@@ -39,7 +39,13 @@ impl Observation {
         for (s, c) in io_sizes.iter_mut().zip(classes) {
             *s = f64::from(c.signed_normalized(max));
         }
-        Self { cores, utilization, io_sizes, mix: workload.mix, requests: workload.requests }
+        Self {
+            cores,
+            utilization,
+            io_sizes,
+            mix: workload.mix,
+            requests: workload.requests,
+        }
     }
 
     /// Flattens into the normalised `f32` vector consumed by neural policies:

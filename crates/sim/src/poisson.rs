@@ -11,7 +11,10 @@ use rand::Rng;
 /// Uses Knuth's multiplication method, which is exact and fast for the small
 /// `λ` values used here (< 10). For `λ = 0` it always returns 0.
 pub fn sample_poisson(lambda: f64, rng: &mut impl Rng) -> usize {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and ≥ 0");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and ≥ 0"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -52,7 +55,10 @@ mod tests {
         let n = 20_000;
         let total: usize = (0..n).map(|_| sample_poisson(lambda, &mut rng)).sum();
         let mean = total as f64 / n as f64;
-        assert!((mean - lambda).abs() < 0.1, "sample mean {mean} far from {lambda}");
+        assert!(
+            (mean - lambda).abs() < 0.1,
+            "sample mean {mean} far from {lambda}"
+        );
     }
 
     #[test]
@@ -60,10 +66,15 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
         let lambda = 1.5;
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| sample_poisson(lambda, &mut rng) as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_poisson(lambda, &mut rng) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        assert!((var - lambda).abs() < 0.15, "sample variance {var} far from {lambda}");
+        assert!(
+            (var - lambda).abs() < 0.15,
+            "sample variance {var} far from {lambda}"
+        );
     }
 
     #[test]

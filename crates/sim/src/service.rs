@@ -1,0 +1,116 @@
+//! The service machinery shared by every scenario simulator: Poisson
+//! idle-core sampling, per-level capacity, FIFO cohort service and stage
+//! hand-over. Both [`crate::StorageSim`] and [`crate::ReadaheadSim`] step
+//! through these helpers, so "the two scenarios share the same service
+//! model" is a property of the code, not a documentation promise.
+
+use std::collections::VecDeque;
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+use crate::cohort::Cohort;
+use crate::level::Level;
+use crate::poisson::sample_poisson;
+
+/// Samples how many cores of each level are transiently idle this interval:
+/// a Poisson(`idle_lambda`) count of distinct core indices, mapped to levels
+/// by the cumulative allocation (cores are interchangeable within a level).
+pub(crate) fn sample_idle_cores(
+    total_cores: usize,
+    idle_lambda: f64,
+    cores: &[usize; 3],
+    rng: &mut SmallRng,
+) -> [usize; 3] {
+    let mut idle = [0usize; 3];
+    if idle_lambda == 0.0 {
+        return idle;
+    }
+    let k = sample_poisson(idle_lambda, rng).min(total_cores);
+    if k == 0 {
+        return idle;
+    }
+    let mut indices: Vec<usize> = (0..total_cores).collect();
+    indices.partial_shuffle(rng, k);
+    let (n, kv) = (cores[0], cores[1]);
+    for &idx in indices.iter().take(k) {
+        if idx < n {
+            idle[0] += 1;
+        } else if idx < n + kv {
+            idle[1] += 1;
+        } else {
+            idle[2] += 1;
+        }
+    }
+    // A level cannot have more idle cores than cores (counts drift when
+    // cores migrate mid-episode while indices are re-derived each call).
+    for (idle_count, &level_cores) in idle.iter_mut().zip(cores) {
+        *idle_count = (*idle_count).min(level_cores);
+    }
+    idle
+}
+
+/// Effective per-level capacity (KiB) after idleness: active cores times
+/// the per-core capability `m`. (Scenario-specific penalties — e.g. the
+/// migration penalty — are applied by the caller on top.)
+pub(crate) fn level_capacities(
+    cores: &[usize; 3],
+    idle: &[usize; 3],
+    core_capability_kib: f64,
+) -> [f64; 3] {
+    let mut cap = [0.0; 3];
+    for i in 0..3 {
+        cap[i] = cores[i].saturating_sub(idle[i]) as f64 * core_capability_kib;
+    }
+    cap
+}
+
+/// FIFO ("polling") service at every level: each level spends its capacity
+/// on the queued cohorts in arrival order. Returns the KiB processed per
+/// level.
+pub(crate) fn fifo_service(
+    cohorts: &mut VecDeque<Cohort>,
+    capacity: &[f64; 3],
+    t: usize,
+) -> [f64; 3] {
+    let mut processed = [0.0f64; 3];
+    for level in Level::ALL {
+        let li = level.index();
+        let mut budget = capacity[li];
+        if budget <= 0.0 {
+            continue;
+        }
+        for c in cohorts.iter_mut() {
+            if !c.wants(level, t) {
+                continue;
+            }
+            let took = c.consume(level, budget);
+            processed[li] += took;
+            budget -= took;
+            if budget <= 1e-9 {
+                break;
+            }
+        }
+    }
+    processed
+}
+
+/// Stage hand-over and completion: advances every finished stage (new-stage
+/// work becomes processable at `t + 1`) and drops completed cohorts.
+pub(crate) fn advance_cohorts(cohorts: &mut VecDeque<Cohort>, t: usize) {
+    for c in cohorts.iter_mut() {
+        c.try_advance(t);
+    }
+    cohorts.retain(|c| !c.is_done());
+}
+
+/// Utilisation per level: processed work over capacity, clamped to 1.
+pub(crate) fn utilization_of(processed: &[f64; 3], capacity: &[f64; 3]) -> [f64; 3] {
+    let mut utilization = [0.0f64; 3];
+    for i in 0..3 {
+        if capacity[i] > 0.0 {
+            utilization[i] = (processed[i] / capacity[i]).min(1.0);
+        }
+    }
+    utilization
+}

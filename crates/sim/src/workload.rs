@@ -19,7 +19,10 @@ pub struct IntervalWorkload {
 impl IntervalWorkload {
     /// An interval with no arrivals.
     pub fn empty() -> Self {
-        Self { mix: [0.0; NUM_IO_CLASSES], requests: 0.0 }
+        Self {
+            mix: [0.0; NUM_IO_CLASSES],
+            requests: 0.0,
+        }
     }
 
     /// Builds a workload, normalising `mix` to sum to 1.
@@ -28,8 +31,14 @@ impl IntervalWorkload {
     /// Panics if any ratio is negative, all ratios are zero while
     /// `requests > 0`, or `requests` is negative/non-finite.
     pub fn new(mix: [f64; NUM_IO_CLASSES], requests: f64) -> Self {
-        assert!(requests.is_finite() && requests >= 0.0, "requests must be ≥ 0");
-        assert!(mix.iter().all(|&r| r >= 0.0), "mix ratios must be non-negative");
+        assert!(
+            requests.is_finite() && requests >= 0.0,
+            "requests must be ≥ 0"
+        );
+        assert!(
+            mix.iter().all(|&r| r >= 0.0),
+            "mix ratios must be non-negative"
+        );
         let sum: f64 = mix.iter().sum();
         if requests > 0.0 {
             assert!(sum > 0.0, "non-empty interval needs a non-zero mix");
@@ -40,7 +49,10 @@ impl IntervalWorkload {
                 *r /= sum;
             }
         }
-        Self { mix: normalized, requests }
+        Self {
+            mix: normalized,
+            requests,
+        }
     }
 
     /// Total bytes (KiB) arriving this interval, split `(read, write)`.
@@ -82,7 +94,11 @@ pub struct WorkloadTrace {
 impl WorkloadTrace {
     /// Creates a trace over the canonical IO-class table.
     pub fn new(name: impl Into<String>, intervals: Vec<IntervalWorkload>) -> Self {
-        Self { name: name.into(), classes: canonical_io_classes(), intervals }
+        Self {
+            name: name.into(),
+            classes: canonical_io_classes(),
+            intervals,
+        }
     }
 
     /// Number of arrival intervals `T`.
@@ -97,7 +113,10 @@ impl WorkloadTrace {
 
     /// Workload of interval `t` (0-based); empty after the trace ends.
     pub fn interval(&self, t: usize) -> IntervalWorkload {
-        self.intervals.get(t).cloned().unwrap_or_else(IntervalWorkload::empty)
+        self.intervals
+            .get(t)
+            .cloned()
+            .unwrap_or_else(IntervalWorkload::empty)
     }
 
     /// Total bytes (KiB) over the whole trace, split `(read, write)`.

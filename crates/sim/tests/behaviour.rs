@@ -6,7 +6,11 @@ use lahd_sim::{
 };
 
 fn quiet() -> SimConfig {
-    SimConfig { idle_lambda: 0.0, record_history: true, ..SimConfig::default() }
+    SimConfig {
+        idle_lambda: 0.0,
+        record_history: true,
+        ..SimConfig::default()
+    }
 }
 
 fn mix_single(class: usize) -> [f64; NUM_IO_CLASSES] {
@@ -55,14 +59,21 @@ fn observation_after_trace_end_is_empty_workload() {
 fn earlier_arrivals_are_served_first_under_scarcity() {
     // Two overload intervals; the backlog from interval 0 must clear before
     // interval 1's work completes (FIFO/"polling" postponement semantics).
-    let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet() };
+    let cfg = SimConfig {
+        cache_miss_rate: 0.0,
+        ..quiet()
+    };
     // NORMAL capacity is 18 cores × 8 MiB = 144 MiB; send 200 MiB each
     // interval (3200 reads × 64 KiB).
     let trace = WorkloadTrace::new("t", vec![reads(3200.0), reads(3200.0)]);
     let mut sim = StorageSim::new(cfg, trace, 0);
     let r1 = sim.step(Action::Noop);
     // After one interval, backlog = 200 − 144 = 56 MiB from interval 0.
-    assert!((r1.backlog_kib / 1024.0 - 56.0).abs() < 1.0, "backlog {}", r1.backlog_kib);
+    assert!(
+        (r1.backlog_kib / 1024.0 - 56.0).abs() < 1.0,
+        "backlog {}",
+        r1.backlog_kib
+    );
     let r2 = sim.step(Action::Noop);
     // Interval 1: 56 MiB leftovers + 200 MiB new − 144 processed = 112 MiB.
     assert!((r2.backlog_kib / 1024.0 - 112.0).abs() < 1.0);
@@ -76,7 +87,10 @@ fn earlier_arrivals_are_served_first_under_scarcity() {
 fn full_cache_miss_routes_all_reads_through_fetch() {
     // With C = 1 every read needs the KV/RV fetch stage before NORMAL can
     // serve it, so KV utilisation rises with read volume even with no writes.
-    let cfg = SimConfig { cache_miss_rate: 1.0, ..quiet() };
+    let cfg = SimConfig {
+        cache_miss_rate: 1.0,
+        ..quiet()
+    };
     let trace = WorkloadTrace::new("t", vec![reads(1500.0); 6]);
     let mut sim = StorageSim::new(cfg, trace, 0);
     let metrics = sim.run_with(|_| Action::Noop);
@@ -87,7 +101,10 @@ fn full_cache_miss_routes_all_reads_through_fetch() {
 
 #[test]
 fn zero_cache_miss_leaves_backend_idle_on_reads() {
-    let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet() };
+    let cfg = SimConfig {
+        cache_miss_rate: 0.0,
+        ..quiet()
+    };
     let trace = WorkloadTrace::new("t", vec![reads(1500.0); 6]);
     let mut sim = StorageSim::new(cfg, trace, 0);
     let metrics = sim.run_with(|_| Action::Noop);
@@ -98,11 +115,18 @@ fn zero_cache_miss_leaves_backend_idle_on_reads() {
 
 #[test]
 fn write_back_reaches_backend_one_interval_after_frontend() {
-    let cfg = SimConfig { cache_miss_rate: 0.0, ..quiet() };
+    let cfg = SimConfig {
+        cache_miss_rate: 0.0,
+        ..quiet()
+    };
     let trace = WorkloadTrace::new("t", vec![writes(500.0)]);
     let mut sim = StorageSim::new(cfg, trace, 0);
     let r1 = sim.step(Action::Noop);
-    assert_eq!(r1.utilization[Level::Kv.index()], 0.0, "no KV work in the arrival interval");
+    assert_eq!(
+        r1.utilization[Level::Kv.index()],
+        0.0,
+        "no KV work in the arrival interval"
+    );
     let r2 = sim.step(Action::Noop);
     assert!(
         r2.utilization[Level::Kv.index()] > 0.0,
@@ -119,7 +143,10 @@ fn repeated_migrations_walk_allocation_to_the_floor_and_stop() {
     let mut sim = StorageSim::new(cfg, trace, 0);
     let mut rejections = 0;
     while !sim.is_done() {
-        let r = sim.step(Action::Migrate { from: Level::Kv, to: Level::Normal });
+        let r = sim.step(Action::Migrate {
+            from: Level::Kv,
+            to: Level::Normal,
+        });
         if r.migration_rejected {
             rejections += 1;
         }
@@ -133,10 +160,15 @@ fn slowdown_reflects_overload_severity() {
     let run = |q: f64| {
         let trace = WorkloadTrace::new("t", vec![writes(q); 20]);
         let mut sim = StorageSim::new(quiet(), trace, 0);
-        sim.run_with(|_| Action::Noop).slowdown().expect("non-empty trace")
+        sim.run_with(|_| Action::Noop)
+            .slowdown()
+            .expect("non-empty trace")
     };
     let light = run(300.0);
     let heavy = run(1200.0);
-    assert!(light < heavy, "heavier write load must slow down more: {light} vs {heavy}");
+    assert!(
+        light < heavy,
+        "heavier write load must slow down more: {light} vs {heavy}"
+    );
     assert!(light >= 1.0);
 }

@@ -1,8 +1,6 @@
 //! Property-based tests on simulator invariants.
 
-use lahd_sim::{
-    Action, IntervalWorkload, SimConfig, StorageSim, WorkloadTrace, NUM_IO_CLASSES,
-};
+use lahd_sim::{Action, IntervalWorkload, SimConfig, StorageSim, WorkloadTrace, NUM_IO_CLASSES};
 use proptest::prelude::*;
 
 /// Strategy: a plausible workload trace of 1–12 intervals.
@@ -26,7 +24,10 @@ fn trace_strategy() -> impl Strategy<Value = WorkloadTrace> {
 }
 
 fn quiet_cfg() -> SimConfig {
-    SimConfig { idle_lambda: 0.0, ..SimConfig::default() }
+    SimConfig {
+        idle_lambda: 0.0,
+        ..SimConfig::default()
+    }
 }
 
 proptest! {
@@ -136,6 +137,50 @@ proptest! {
         let _ = sim.run_with(|_| Action::Noop);
         if !sim.is_truncated() {
             prop_assert!(sim.backlog_kib() < 1e-9);
+        }
+    }
+
+    /// Interval-boundary conservation: at every step, the stage-weighted
+    /// work enqueued so far equals completed work plus the postponed
+    /// backlog, under arbitrary trace, seed and action sequence — and the
+    /// final makespan is at least the trace length. Pins the engine's
+    /// arrival/consume/hand-over bookkeeping ahead of refactors.
+    #[test]
+    fn enqueued_equals_completed_plus_postponed_each_interval(
+        trace in trace_strategy(),
+        actions in proptest::collection::vec(0usize..7, 1..64),
+        seed in 0u64..100,
+    ) {
+        let cfg = SimConfig { idle_lambda: 1.0, ..SimConfig::default() };
+        let horizon = trace.len();
+        let mut sim = StorageSim::new(cfg.clone(), trace.clone(), seed);
+        let mut enqueued = 0.0f64;
+        let mut i = 0usize;
+        while !sim.is_done() {
+            // Stage-weighted work that arrives in interval t (mirrors the
+            // engine's cohort construction: hits NORMAL-only, misses add
+            // the KV/RV fetch, writes add the KV/RV write-back).
+            if sim.interval() < horizon {
+                let w = trace.interval(sim.interval());
+                let (read, write) = w.volume_kib(&trace.classes);
+                let miss = read * cfg.cache_miss_rate;
+                enqueued += read
+                    + miss * (cfg.kv_read_cost + cfg.rv_read_cost)
+                    + write * (1.0 + cfg.kv_write_cost + cfg.rv_write_cost);
+            }
+            sim.step(Action::from_index(actions[i % actions.len()]));
+            i += 1;
+            let completed = sim.metrics().completed_kib;
+            let postponed = sim.backlog_kib();
+            prop_assert!(
+                (enqueued - (completed + postponed)).abs() < 1e-3 * enqueued.max(1.0),
+                "interval {}: enqueued {} != completed {} + postponed {}",
+                sim.interval(), enqueued, completed, postponed
+            );
+        }
+        if !sim.is_truncated() {
+            prop_assert!(sim.makespan() >= horizon,
+                "makespan {} < horizon {horizon}", sim.makespan());
         }
     }
 }

@@ -129,7 +129,13 @@ impl Orient {
 /// Keeping one site means a cutoff-policy retune cannot leave the two
 /// entry styles on different policies.
 #[inline]
-fn dispatch(orient: Orient, a: &Matrix, b: &Matrix, out: &mut Matrix, packs: Option<&mut PackBuffers>) {
+fn dispatch(
+    orient: Orient,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    packs: Option<&mut PackBuffers>,
+) {
     let (m, n, k) = orient.dims(a, b);
     if should_block(m, n, k) {
         match packs {
@@ -227,7 +233,15 @@ fn gemm_blocked(orient: Orient, a: &Matrix, b: &Matrix, out: &mut Matrix, packs:
 /// Packs an `mc × kc` panel of the logical `A` operand into `MR`-tall
 /// strips: `strip[k·MR + r] = A'[ic+ir+r, pc+k]`, zero-padded to full
 /// strips so the microkernel never branches on the row count.
-fn pack_a(orient: Orient, a: &Matrix, ic: usize, mc: usize, pc: usize, kc: usize, buf: &mut Vec<f32>) {
+fn pack_a(
+    orient: Orient,
+    a: &Matrix,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    buf: &mut Vec<f32>,
+) {
     let strips = mc.div_ceil(MR);
     buf.clear();
     buf.resize(strips * MR * kc, 0.0);
@@ -262,7 +276,15 @@ fn pack_a(orient: Orient, a: &Matrix, ic: usize, mc: usize, pc: usize, kc: usize
 /// Packs a `kc × nc` panel of the logical `B` operand into `NR`-wide
 /// strips: `strip[k·NR + j] = B'[pc+k, jc+jr+j]`, zero-padded like
 /// [`pack_a`].
-fn pack_b(orient: Orient, b: &Matrix, pc: usize, kc: usize, jc: usize, nc: usize, buf: &mut Vec<f32>) {
+fn pack_b(
+    orient: Orient,
+    b: &Matrix,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    buf: &mut Vec<f32>,
+) {
     let strips = nc.div_ceil(NR);
     buf.clear();
     buf.resize(strips * NR * kc, 0.0);
@@ -506,7 +528,12 @@ pub mod unblocked {
         for (&av, &bv) in a_tail.iter().zip(b_tail) {
             tail += av * bv;
         }
-        let halves = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+        let halves = [
+            acc[0] + acc[4],
+            acc[1] + acc[5],
+            acc[2] + acc[6],
+            acc[3] + acc[7],
+        ];
         (halves[0] + halves[1]) + (halves[2] + halves[3]) + tail
     }
 }

@@ -139,7 +139,8 @@ impl PackedGemvWeights {
         self.n = ws.iter().map(|w| w.cols()).sum();
         self.panels.clear();
         self.data.clear();
-        self.data.reserve(self.k * self.n + CACHE_LINE_F32 * (self.n / 8 + 2));
+        self.data
+            .reserve(self.k * self.n + CACHE_LINE_F32 * (self.n / 8 + 2));
         let mut col_base = 0;
         for w in ws {
             let mut col = 0;
@@ -153,7 +154,11 @@ impl PackedGemvWeights {
                 // so this is purely a bandwidth hint.
                 let aligned = self.data.len().next_multiple_of(CACHE_LINE_F32);
                 self.data.resize(aligned, 0.0);
-                self.panels.push(Panel { width, data_off: aligned, col: col_base + col });
+                self.panels.push(Panel {
+                    width,
+                    data_off: aligned,
+                    col: col_base + col,
+                });
                 for r in 0..k {
                     self.data.extend_from_slice(&w.row(r)[col..col + width]);
                 }
@@ -279,7 +284,6 @@ fn panel_scalar<const W: usize>(x: &[f32], panel: &[f32], y: &mut [f32]) {
     y.copy_from_slice(&acc);
 }
 
-
 /// Runtime-detected AVX-512F panel kernels.
 ///
 /// With `FMA = false` (the default build's dispatch) these do not change
@@ -316,7 +320,10 @@ mod wide {
     /// Safe wrapper: validates lengths, then dispatches to the
     /// lane-monomorphised target-feature kernel.
     pub(super) fn panel<const W: usize, const FMA: bool>(x: &[f32], panel: &[f32], y: &mut [f32]) {
-        assert!(panel.len() >= x.len() * W, "packed panel shorter than k rows");
+        assert!(
+            panel.len() >= x.len() * W,
+            "packed panel shorter than k rows"
+        );
         assert_eq!(y.len(), W, "panel output width mismatch");
         debug_assert!(available());
         // SAFETY: `available()` gates on runtime avx512f support; the
@@ -447,7 +454,10 @@ mod simd {
             super::wide::panel::<W, true>(x, panel, y);
             return;
         }
-        assert!(panel.len() >= x.len() * W, "packed panel shorter than k rows");
+        assert!(
+            panel.len() >= x.len() * W,
+            "packed panel shorter than k rows"
+        );
         assert_eq!(y.len(), W, "panel output width mismatch");
         // SAFETY: `available()` gates on runtime avx2+fma support; the
         // asserts above guarantee every `k`-indexed panel load and every
@@ -525,7 +535,10 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
         #[cfg(not(feature = "simd"))]
-        assert_eq!(diff, 0.0, "scalar packed gemv must be bit-identical to mm_into");
+        assert_eq!(
+            diff, 0.0,
+            "scalar packed gemv must be bit-identical to mm_into"
+        );
         #[cfg(feature = "simd")]
         assert!(diff < 1e-4, "simd packed gemv drifted: {diff}");
     }

@@ -72,7 +72,11 @@ mod tests {
     #[test]
     fn zeros_and_constant_fill_as_expected() {
         let mut rng = seeded_rng(0);
-        assert!(Initializer::Zeros.init(2, 2, &mut rng).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Initializer::Zeros
+            .init(2, 2, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.0));
         assert!(Initializer::Constant(0.5)
             .init(2, 2, &mut rng)
             .as_slice()

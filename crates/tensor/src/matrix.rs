@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -59,15 +67,28 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} (expected {cols})", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} (expected {cols})",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a `1 × n` row vector from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` at every position.
@@ -152,8 +173,18 @@ impl Matrix {
     /// # Panics
     /// Panics if `c` is out of bounds or `dst.len() != rows`.
     pub fn copy_col_into(&self, c: usize, dst: &mut [f32]) {
-        assert!(c < self.cols, "column {c} out of bounds ({} cols)", self.cols);
-        assert_eq!(dst.len(), self.rows, "destination holds {} values, need {}", dst.len(), self.rows);
+        assert!(
+            c < self.cols,
+            "column {c} out of bounds ({} cols)",
+            self.cols
+        );
+        assert_eq!(
+            dst.len(),
+            self.rows,
+            "destination holds {} values, need {}",
+            dst.len(),
+            self.rows
+        );
         for (d, row) in dst.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             *d = row[c];
         }
@@ -292,7 +323,11 @@ impl Matrix {
     /// Panics if `bias` is not a row vector of matching width.
     pub fn add_row_broadcast(&mut self, bias: &Self) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
-        assert_eq!(bias.cols, self.cols, "bias width {} != matrix width {}", bias.cols, self.cols);
+        assert_eq!(
+            bias.cols, self.cols,
+            "bias width {} != matrix width {}",
+            bias.cols, self.cols
+        );
         for r in 0..self.rows {
             for (x, b) in self.row_mut(r).iter_mut().zip(&bias.data) {
                 *x += *b;
@@ -348,7 +383,11 @@ impl Matrix {
             "matmul inner dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
     }
 
     /// Matrix product `selfᵀ · other` (used for weight gradients).
@@ -385,7 +424,11 @@ impl Matrix {
             "matmul_tn dimension mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_tn output shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_tn output shape mismatch"
+        );
     }
 
     /// Matrix product `self · otherᵀ` (used for input gradients).
@@ -422,7 +465,11 @@ impl Matrix {
             "matmul_nt dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_nt output shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_nt output shape mismatch"
+        );
     }
 
     /// Returns the transpose.
@@ -438,7 +485,11 @@ impl Matrix {
     /// the cache; a naive row-major read / column-major write misses on
     /// every store once a column of the output no longer fits in L1.
     pub fn transpose_into(&self, out: &mut Self) {
-        assert_eq!(out.shape(), (self.cols, self.rows), "transpose output shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose output shape mismatch"
+        );
         const BLOCK: usize = 32;
         for ib in (0..self.rows).step_by(BLOCK) {
             let i_end = (ib + BLOCK).min(self.rows);
@@ -457,7 +508,11 @@ impl Matrix {
     /// Dot product of two equally shaped matrices viewed as flat vectors.
     pub fn dot(&self, other: &Self) -> f32 {
         self.assert_same_shape(other, "dot");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Sum of all elements.
@@ -633,7 +688,10 @@ mod tests {
     fn hadamard_multiplies_elementwise() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[2.0, 0.5], &[1.0, -1.0]]);
-        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[2.0, 1.0], &[3.0, -4.0]]));
+        assert_eq!(
+            a.hadamard(&b),
+            Matrix::from_rows(&[&[2.0, 1.0], &[3.0, -4.0]])
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn softmax_row(logits: &[f32]) -> Vec<f32> {
 /// Computed as `x - max - ln(Σ exp(x - max))`, which is stable for both large
 /// positive and large negative logits.
 pub fn log_softmax_row(logits: &[f32]) -> Vec<f32> {
-    assert!(!logits.is_empty(), "log-softmax of an empty slice is undefined");
+    assert!(
+        !logits.is_empty(),
+        "log-softmax of an empty slice is undefined"
+    );
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let log_denom = logits.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
     logits.iter().map(|&x| x - max - log_denom).collect()

@@ -45,7 +45,10 @@ pub fn std_dev(xs: &[f32]) -> f32 {
 /// Panics on an empty slice or `p` outside `[0, 100]`.
 pub fn percentile(xs: &[f32], p: f32) -> f32 {
     assert!(!xs.is_empty(), "percentile of an empty slice is undefined");
-    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile {p} outside [0, 100]"
+    );
     let mut sorted: Vec<f32> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let rank = p / 100.0 * (sorted.len() - 1) as f32;

@@ -27,7 +27,10 @@ fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
 fn assert_matches(label: &str, got: &Matrix, want: &Matrix) {
     let diff = got.max_abs_diff(want);
     #[cfg(not(feature = "simd"))]
-    assert_eq!(diff, 0.0, "{label}: scalar blocked path must be bit-identical");
+    assert_eq!(
+        diff, 0.0,
+        "{label}: scalar blocked path must be bit-identical"
+    );
     #[cfg(feature = "simd")]
     assert!(diff < 1e-3, "{label}: simd path drifted by {diff}");
 }
@@ -107,7 +110,13 @@ proptest! {
 /// `KC`=`NC`=256) with non-multiple-of-tile remainders in each dimension.
 #[test]
 fn panel_boundary_shapes_match() {
-    for &(m, n, k) in &[(1, 9, 300), (66, 259, 258), (8, 8, 8), (13, 7, 260), (70, 9, 17)] {
+    for &(m, n, k) in &[
+        (1, 9, 300),
+        (66, 259, 258),
+        (8, 8, 8),
+        (13, 7, 260),
+        (70, 9, 17),
+    ] {
         check_all_orientations(m, n, k, 99);
     }
 }

@@ -26,7 +26,10 @@ fn assert_matches(label: &str, got: &[f32], want: &[f32]) {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
     #[cfg(not(feature = "simd"))]
-    assert_eq!(diff, 0.0, "{label}: packed gemv must be bit-identical to mm_into");
+    assert_eq!(
+        diff, 0.0,
+        "{label}: packed gemv must be bit-identical to mm_into"
+    );
     #[cfg(feature = "simd")]
     assert!(diff < 1e-3, "{label}: simd packed gemv drifted by {diff}");
 }
@@ -63,7 +66,9 @@ proptest! {
 /// straddlers.
 #[test]
 fn panel_width_edge_shapes_match() {
-    for &n in &[1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 384] {
+    for &n in &[
+        1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 384,
+    ] {
         for &k in &[1, 7, 35, 128, 129] {
             check_shape(k, n, (n * 1000 + k) as u64);
         }
@@ -101,7 +106,9 @@ fn concat_pack_matches_individual_packs() {
 #[test]
 fn repack_reuse_is_stateless() {
     let mut packed = PackedGemvWeights::default();
-    for (round, &(k, n)) in [(128usize, 128usize), (35, 384), (9, 5), (64, 200)].iter().enumerate()
+    for (round, &(k, n)) in [(128usize, 128usize), (35, 384), (9, 5), (64, 200)]
+        .iter()
+        .enumerate()
     {
         let w = dense(k, n, round as u64);
         let x = dense(1, k, round as u64 + 10);
@@ -110,7 +117,10 @@ fn repack_reuse_is_stateless() {
         packed.gemv_into(x.row(0), &mut warm);
         let mut cold = vec![0.0f32; n];
         PackedGemvWeights::pack(&w).gemv_into(x.row(0), &mut cold);
-        assert_eq!(warm, cold, "round {round}: reused pack buffers changed the result");
+        assert_eq!(
+            warm, cold,
+            "round {round}: reused pack buffers changed the result"
+        );
     }
 }
 

@@ -32,6 +32,15 @@ mod standard;
 mod stats;
 mod synth;
 
+// The workload data model itself lives in `lahd-sim` (the simulator owns
+// the IO-class table its service model interprets), but downstream crates
+// should not need to know that split: everything trace-shaped is importable
+// from this crate.
+pub use lahd_sim::{
+    canonical_io_classes, max_io_size_kib, IntervalWorkload, IoClass, IoKind, WorkloadTrace,
+    NUM_IO_CLASSES,
+};
+
 pub use persist::{read_trace, write_trace, TracePersistError};
 pub use profile::BusinessProfile;
 pub use real::{real_trace_set, spliced_real_trace, NUM_REAL_TRACES};

@@ -142,7 +142,9 @@ pub fn read_trace(input: &mut impl BufRead) -> Result<WorkloadTrace, TracePersis
             )?;
         }
         if requests < 0.0 || mix.iter().any(|&r| r < 0.0) {
-            return Err(TracePersistError::Format(format!("interval {t}: negative value")));
+            return Err(TracePersistError::Format(format!(
+                "interval {t}: negative value"
+            )));
         }
         if requests > 0.0 && mix.iter().sum::<f64>() <= 0.0 {
             return Err(TracePersistError::Format(format!(

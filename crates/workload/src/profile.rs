@@ -55,22 +55,34 @@ impl BusinessProfile {
         if self.base_volume_mib <= 0.0 {
             return Err(format!("{}: base_volume_mib must be positive", self.name));
         }
-        for (what, mix) in [("primary", &self.mix_primary), ("secondary", &self.mix_secondary)] {
+        for (what, mix) in [
+            ("primary", &self.mix_primary),
+            ("secondary", &self.mix_secondary),
+        ] {
             if mix.iter().any(|&w| w < 0.0 || !w.is_finite()) {
-                return Err(format!("{}: {what} mix has negative/non-finite weight", self.name));
+                return Err(format!(
+                    "{}: {what} mix has negative/non-finite weight",
+                    self.name
+                ));
             }
             if mix.iter().sum::<f64>() <= 0.0 {
                 return Err(format!("{}: {what} mix is all-zero", self.name));
             }
         }
         if !(0.0..1.0).contains(&self.intensity_amplitude) {
-            return Err(format!("{}: intensity_amplitude must be in [0, 1)", self.name));
+            return Err(format!(
+                "{}: intensity_amplitude must be in [0, 1)",
+                self.name
+            ));
         }
         if self.burstiness < 0.0 {
             return Err(format!("{}: burstiness must be non-negative", self.name));
         }
         if !(0.0..1.0).contains(&self.noise_persistence) {
-            return Err(format!("{}: noise_persistence must be in [0, 1)", self.name));
+            return Err(format!(
+                "{}: noise_persistence must be in [0, 1)",
+                self.name
+            ));
         }
         if !(0.0..1.0).contains(&self.mix_phase) {
             return Err(format!("{}: mix_phase must be in [0, 1)", self.name));
@@ -84,8 +96,10 @@ impl BusinessProfile {
         let s = s.clamp(0.0, 1.0);
         let mut mix = [0.0; NUM_IO_CLASSES];
         let mut sum = 0.0;
-        for ((m, &primary), &secondary) in
-            mix.iter_mut().zip(&self.mix_primary).zip(&self.mix_secondary)
+        for ((m, &primary), &secondary) in mix
+            .iter_mut()
+            .zip(&self.mix_primary)
+            .zip(&self.mix_secondary)
         {
             *m = (1.0 - s) * primary + s * secondary;
             sum += *m;
@@ -128,19 +142,28 @@ mod tests {
 
     #[test]
     fn zero_volume_rejected() {
-        let p = BusinessProfile { base_volume_mib: 0.0, ..base() };
+        let p = BusinessProfile {
+            base_volume_mib: 0.0,
+            ..base()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn all_zero_mix_rejected() {
-        let p = BusinessProfile { mix_primary: [0.0; NUM_IO_CLASSES], ..base() };
+        let p = BusinessProfile {
+            mix_primary: [0.0; NUM_IO_CLASSES],
+            ..base()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn amplitude_of_one_rejected() {
-        let p = BusinessProfile { intensity_amplitude: 1.0, ..base() };
+        let p = BusinessProfile {
+            intensity_amplitude: 1.0,
+            ..base()
+        };
         assert!(p.validate().is_err());
     }
 

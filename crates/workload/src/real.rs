@@ -24,7 +24,10 @@ pub const NUM_REAL_TRACES: usize = 50;
 /// Snippets of 8–32 intervals are cut at random offsets from random standard
 /// traces and concatenated until `len` intervals are collected.
 pub fn spliced_real_trace(standard: &[WorkloadTrace], len: usize, seed: u64) -> WorkloadTrace {
-    assert!(!standard.is_empty(), "need at least one standard trace to splice from");
+    assert!(
+        !standard.is_empty(),
+        "need at least one standard trace to splice from"
+    );
     assert!(
         standard.iter().all(|t| t.len() >= SNIPPET_MIN),
         "standard traces must be at least {SNIPPET_MIN} intervals long"

@@ -270,8 +270,14 @@ mod tests {
                 .sum::<f64>()
                 / total
         };
-        let backup = profiles.iter().find(|p| p.name == "backup-archive").unwrap();
-        let stream = profiles.iter().find(|p| p.name == "video-streaming").unwrap();
+        let backup = profiles
+            .iter()
+            .find(|p| p.name == "backup-archive")
+            .unwrap();
+        let stream = profiles
+            .iter()
+            .find(|p| p.name == "video-streaming")
+            .unwrap();
         assert!(write_share(&backup.mix_primary) > 0.8);
         assert!(write_share(&stream.mix_primary) < 0.1);
     }

@@ -59,7 +59,11 @@ pub fn summarize(trace: &WorkloadTrace) -> TraceSummary {
         .map(|w| (w.requests - mean_requests).powi(2))
         .sum::<f64>()
         / n;
-    let rate_cv = if mean_requests > 0.0 { variance.sqrt() / mean_requests } else { 0.0 };
+    let rate_cv = if mean_requests > 0.0 {
+        variance.sqrt() / mean_requests
+    } else {
+        0.0
+    };
 
     TraceSummary {
         name: trace.name.clone(),
@@ -67,7 +71,11 @@ pub fn summarize(trace: &WorkloadTrace) -> TraceSummary {
         mean_requests,
         peak_requests,
         mean_volume_mib: total_volume / 1024.0 / n,
-        write_volume_share: if total_volume > 0.0 { write_volume / total_volume } else { 0.0 },
+        write_volume_share: if total_volume > 0.0 {
+            write_volume / total_volume
+        } else {
+            0.0
+        },
         dominant_class,
         rate_cv,
     }
@@ -86,7 +94,11 @@ mod tests {
             .find(|p| p.name == "backup-archive")
             .unwrap();
         let s = summarize(&synthesize_trace(&p, 100, 0));
-        assert!(s.write_volume_share > 0.8, "write share {}", s.write_volume_share);
+        assert!(
+            s.write_volume_share > 0.8,
+            "write share {}",
+            s.write_volume_share
+        );
         assert_eq!(s.dominant_class, 13, "256 KiB writes should dominate");
     }
 
@@ -98,14 +110,21 @@ mod tests {
             .unwrap();
         let s = summarize(&synthesize_trace(&p, 100, 0));
         assert!(s.write_volume_share < 0.1);
-        assert!(s.rate_cv < 0.25, "streaming should be smooth, cv = {}", s.rate_cv);
+        assert!(
+            s.rate_cv < 0.25,
+            "streaming should be smooth, cv = {}",
+            s.rate_cv
+        );
     }
 
     #[test]
     fn vdi_is_burstier_than_streaming() {
         let profiles = standard_profiles();
         let vdi = profiles.iter().find(|p| p.name == "vdi").unwrap();
-        let stream = profiles.iter().find(|p| p.name == "video-streaming").unwrap();
+        let stream = profiles
+            .iter()
+            .find(|p| p.name == "video-streaming")
+            .unwrap();
         let s_vdi = summarize(&synthesize_trace(vdi, 128, 0));
         let s_str = summarize(&synthesize_trace(stream, 128, 0));
         assert!(s_vdi.rate_cv > s_str.rate_cv);

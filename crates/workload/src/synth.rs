@@ -61,12 +61,12 @@ pub fn synthesize_trace(profile: &BusinessProfile, len: usize, seed: u64) -> Wor
         };
 
         let volume_kib = profile.base_volume_mib * 1024.0 * cycle * trend * noise;
-        let mean_size: f64 = mix
-            .iter()
-            .zip(&classes)
-            .map(|(w, c)| w * c.size_kib)
-            .sum();
-        let requests = if mean_size > 0.0 { volume_kib / mean_size } else { 0.0 };
+        let mean_size: f64 = mix.iter().zip(&classes).map(|(w, c)| w * c.size_kib).sum();
+        let requests = if mean_size > 0.0 {
+            volume_kib / mean_size
+        } else {
+            0.0
+        };
 
         intervals.push(IntervalWorkload::new(mix, requests));
     }
@@ -167,6 +167,9 @@ mod tests {
         let t = synthesize_trace(&p, 240, 6);
         let early: f64 = t.intervals[..60].iter().map(|w| w.requests).sum();
         let late: f64 = t.intervals[180..].iter().map(|w| w.requests).sum();
-        assert!(late > early, "backup volume should ramp up: early {early}, late {late}");
+        assert!(
+            late > early,
+            "backup volume should ramp up: early {early}, late {late}"
+        );
     }
 }

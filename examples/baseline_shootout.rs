@@ -26,7 +26,10 @@ fn main() {
     let c = Comparison::run(&mut policies, &cfg, &traces, 0);
     println!("{:<12} {:>8} {:>12}", "workload", "default", "handcrafted");
     for (row, name) in c.trace_names.iter().enumerate() {
-        println!("{:<12} {:>8} {:>12}", name, c.makespans[row][0], c.makespans[row][1]);
+        println!(
+            "{:<12} {:>8} {:>12}",
+            name, c.makespans[row][0], c.makespans[row][1]
+        );
     }
     println!(
         "{:<12} {:>8.1} {:>12.1}   reduction {} (paper: ≈20%)",

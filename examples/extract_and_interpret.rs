@@ -27,13 +27,23 @@ fn main() {
         config.trace_len
     );
 
-    println!("[2/6] curriculum training ({} + {} epochs)…", config.std_epochs, config.real_epochs);
+    println!(
+        "[2/6] curriculum training ({} + {} epochs)…",
+        config.std_epochs, config.real_epochs
+    );
     let (agent, log) = pipeline.train_with_curriculum(&std_traces, &real_traces);
-    println!("      final epoch total makespan: {}", log.last().expect("log").total_steps);
+    println!(
+        "      final epoch total makespan: {}",
+        log.last().expect("log").total_steps
+    );
 
     println!("[3/6] collecting the ⟨h, h', o, a⟩ dataset…");
     let raw = pipeline.collect_dataset(&agent, &real_traces);
-    println!("      {} transitions over {} episodes", raw.len(), raw.num_episodes());
+    println!(
+        "      {} transitions over {} episodes",
+        raw.len(),
+        raw.num_episodes()
+    );
 
     println!("[4/6] fitting + fine-tuning the quantized bottleneck networks…");
     let (mut obs_qbn, mut hidden_qbn) = pipeline.fit_qbns(&raw);
@@ -69,7 +79,10 @@ fn main() {
     let mut sim = StorageSim::new(config.sim.clone(), real_traces[0].clone(), 99);
     let metrics = sim.run_with(|obs| policy.act(obs));
     let trajectory = policy.take_trajectory();
-    println!("      executed on {}: makespan {}", real_traces[0].name, metrics.makespan);
+    println!(
+        "      executed on {}: makespan {}",
+        real_traces[0].name, metrics.makespan
+    );
 
     let actions: Vec<usize> = fsm.states.iter().map(|s| s.action).collect();
     let interps = interpret_states(&trajectory, fsm.num_states(), &actions);

@@ -71,13 +71,21 @@ fn main() {
             obs = tr.obs;
         }
     }
-    println!("      {} transitions over {} episodes", dataset.len(), dataset.num_episodes());
+    println!(
+        "      {} transitions over {} episodes",
+        dataset.len(),
+        dataset.num_episodes()
+    );
 
     // 3. Fit the two QBNs and extract the machine.
     println!("[3/4] fitting QBNs and extracting…");
     let mut obs_qbn = Qbn::new(QbnConfig::with_dims(1, 2), 7);
     let mut hid_qbn = Qbn::new(QbnConfig::with_dims(16, 4), 8);
-    let tc = QbnTrainConfig { epochs: 60, batch_size: 16, ..Default::default() };
+    let tc = QbnTrainConfig {
+        epochs: 60,
+        batch_size: 16,
+        ..Default::default()
+    };
     obs_qbn.train(&dataset.observations(), &tc);
     hid_qbn.train(&dataset.hidden_states(), &tc);
     let raw = extract_fsm(&dataset, &obs_qbn, &hid_qbn, &[0.0; 16]);
@@ -101,7 +109,9 @@ fn main() {
     let plus_code = obs_qbn.encode(&[1.0]);
     let minus_code = obs_qbn.encode(&[-1.0]);
     let blank_code = obs_qbn.encode(&[0.0]);
-    println!("      cue +1 quantizes to {plus_code}, cue −1 to {minus_code}, blank to {blank_code}");
+    println!(
+        "      cue +1 quantizes to {plus_code}, cue −1 to {minus_code}, blank to {blank_code}"
+    );
     let s_plus = fsm
         .symbol_by_code(&plus_code)
         .and_then(|sym| fsm.next_state(fsm.initial_state, sym));

@@ -49,8 +49,7 @@ fn main() {
     let mut fsm = artifacts.fsm_policy(config.sim.clone(), config.metric, config.nn_matching);
     let mut policies: Vec<&mut dyn Policy> =
         vec![&mut default_policy, &mut handcrafted, &mut gru, &mut fsm];
-    let comparison =
-        Comparison::run(&mut policies, &config.sim, &artifacts.real_traces, 12345);
+    let comparison = Comparison::run(&mut policies, &config.sim, &artifacts.real_traces, 12345);
 
     println!("\nmakespan per policy (lower is better):");
     for (col, name) in comparison.policy_names.iter().enumerate() {

@@ -16,7 +16,10 @@ use lahd::workload::{real_trace_set, standard_trace_set, summarize};
 fn main() {
     let len = 96;
     let seed = 2021;
-    let cfg = SimConfig { record_history: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        record_history: true,
+        ..SimConfig::default()
+    };
     let classes = canonical_io_classes();
 
     println!("== the 14 IO classes (the S vector of Definition 1) ==");

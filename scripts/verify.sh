@@ -11,13 +11,19 @@
 #    equivalence tests under the FMA kernels (tolerance-based where FMA
 #    rounding legitimately differs; see crates/tensor/src/gemm.rs and
 #    crates/tensor/src/gemv.rs).
-# 4. Quick-mode bench snapshot compared against the latest committed
+# 4. Scenario smoke matrix: one tiny-budget pipeline + evaluate run per
+#    registered scenario through the CLI, so a scenario that rots (or a
+#    registry entry that stops wiring up end-to-end) fails verification.
+# 5. Quick-mode bench snapshot compared against the latest committed
 #    BENCH_<n>.json with a loose 50% threshold, so a hot-path regression
 #    fails verification instead of only surfacing in the next snapshot.
 #    Skip with LAHD_SKIP_BENCH_GATE=1 (e.g. on a loaded box).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "== style gate: cargo fmt --check"
+cargo fmt --check
 
 echo "== tier-1: cargo build --release"
 cargo build --release
@@ -30,6 +36,18 @@ cargo build --release --features simd
 
 echo "== feature gate: cargo test -q -p lahd-tensor -p lahd-nn -p lahd-rl --features simd"
 cargo test -q -p lahd-tensor -p lahd-nn -p lahd-rl --features simd
+
+echo "== scenario smoke matrix: tiny end-to-end per registered scenario"
+lahd_bin="target/release/lahd"
+smoke_dir="$(mktemp -d)"
+for scenario in $("$lahd_bin" scenarios --names); do
+    echo "--   $scenario: pipeline + evaluate (tiny)"
+    "$lahd_bin" pipeline --scenario "$scenario" --scale tiny \
+        --out "$smoke_dir/$scenario" >/dev/null
+    "$lahd_bin" evaluate --scenario "$scenario" --scale tiny \
+        --artifacts "$smoke_dir/$scenario" >/dev/null
+done
+rm -rf "$smoke_dir"
 
 if [ "${LAHD_SKIP_BENCH_GATE:-0}" = "1" ]; then
     echo "== perf gate: skipped (LAHD_SKIP_BENCH_GATE=1)"

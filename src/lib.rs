@@ -13,12 +13,12 @@
 //! |---|---|---|
 //! | [`tensor`] | `lahd-tensor` | dense matrices, softmax, statistics |
 //! | [`nn`] | `lahd-nn` | tape autograd, GRU/Linear, Adam |
-//! | [`sim`] | `lahd-sim` | the Dorado V6 storage simulator |
+//! | [`sim`] | `lahd-sim` | the storage simulators (Dorado migration, readahead) |
 //! | [`workload`] | `lahd-workload` | Vdbench-style trace synthesis |
 //! | [`rl`] | `lahd-rl` | recurrent A2C + curriculum learning |
 //! | [`qbn`] | `lahd-qbn` | quantized bottleneck networks |
 //! | [`fsm`] | `lahd-fsm` | FSM extraction, baselines, interpretation |
-//! | [`core`] | `lahd-core` | the end-to-end pipeline and evaluation |
+//! | [`core`] | `lahd-core` | scenarios, the end-to-end pipeline, evaluation |
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench` for the
 //! harnesses that regenerate every figure of the paper.

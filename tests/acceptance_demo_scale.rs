@@ -44,8 +44,14 @@ fn figure4_ordering_reproduces_at_demo_scale() {
         "handcrafted should recover a double-digit reduction, got {:.1}%",
         (d - h) / d * 100.0
     );
-    assert!(g < h, "the DRL model ({g:.1}) must beat the handcrafted FSM ({h:.1})");
-    assert!(f < h, "the extracted FSM ({f:.1}) must beat the handcrafted FSM ({h:.1})");
+    assert!(
+        g < h,
+        "the DRL model ({g:.1}) must beat the handcrafted FSM ({h:.1})"
+    );
+    assert!(
+        f < h,
+        "the extracted FSM ({f:.1}) must beat the handcrafted FSM ({h:.1})"
+    );
     assert!(
         (f - g) / g < 0.05,
         "the extracted FSM should track its DRL teacher within 5%, got {:.1}%",

@@ -32,13 +32,22 @@ fn handcrafted_converges_toward_bottleneck_allocation() {
         .into_iter()
         .find(|t| t.name == "std/log-ingest")
         .expect("profile exists");
-    let cfg = SimConfig { record_history: true, idle_lambda: 0.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        record_history: true,
+        idle_lambda: 0.0,
+        ..SimConfig::default()
+    };
     let initial_kv = cfg.initial_allocation[1];
     let mut policy = HandcraftedFsm::tuned();
     policy.reset();
     let mut sim = StorageSim::new(cfg, trace, 0);
     let metrics = sim.run_with(|obs| policy.act(obs));
-    let peak_kv = metrics.history.iter().map(|s| s.cores[1]).max().expect("history");
+    let peak_kv = metrics
+        .history
+        .iter()
+        .map(|s| s.cores[1])
+        .max()
+        .expect("history");
     assert!(
         peak_kv > initial_kv + 2,
         "expected KV to grow well past {initial_kv} cores, peaked at {peak_kv}"
@@ -47,7 +56,10 @@ fn handcrafted_converges_toward_bottleneck_allocation() {
 
 #[test]
 fn default_policy_never_migrates_anywhere() {
-    let cfg = SimConfig { record_history: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        record_history: true,
+        ..SimConfig::default()
+    };
     for trace in real_trace_set(2, 48, 7) {
         let mut policy = DefaultPolicy;
         let mut sim = StorageSim::new(cfg.clone(), trace, 3);

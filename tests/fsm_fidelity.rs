@@ -59,9 +59,18 @@ fn extracted_fsm_replays_quantized_network_exactly() {
             metrics.makespan, quantized_lengths[i],
             "trace {i}: FSM diverged from the quantized network"
         );
-        assert_eq!(stats.unseen_observations, 0, "trace {i}: unseen observation on replay");
-        assert_eq!(stats.missing_transitions, 0, "trace {i}: missing transition on replay");
-        assert_eq!(stats.stuck_steps, 0, "trace {i}: machine got stuck on replay");
+        assert_eq!(
+            stats.unseen_observations, 0,
+            "trace {i}: unseen observation on replay"
+        );
+        assert_eq!(
+            stats.missing_transitions, 0,
+            "trace {i}: missing transition on replay"
+        );
+        assert_eq!(
+            stats.stuck_steps, 0,
+            "trace {i}: machine got stuck on replay"
+        );
     }
 }
 
@@ -74,8 +83,7 @@ fn fsm_policy_survives_unseen_noise_seeds() {
     config.sim.idle_lambda = 1.0;
     let pipeline = Pipeline::new(config.clone());
     let artifacts = pipeline.run();
-    let mut policy =
-        artifacts.fsm_policy(config.sim.clone(), config.metric, config.nn_matching);
+    let mut policy = artifacts.fsm_policy(config.sim.clone(), config.metric, config.nn_matching);
     for (i, trace) in artifacts.real_traces.iter().enumerate() {
         policy.reset();
         let mut sim = StorageSim::new(config.sim.clone(), trace.clone(), 777_000 + i as u64);

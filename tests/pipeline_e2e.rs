@@ -11,14 +11,24 @@ fn tiny_pipeline_produces_usable_artifacts() {
     let artifacts = pipeline.run();
 
     // Structural validity.
-    artifacts.fsm.validate().expect("extracted FSM is consistent");
+    artifacts
+        .fsm
+        .validate()
+        .expect("extracted FSM is consistent");
     assert!(artifacts.fsm.num_states() >= 1);
     assert!(artifacts.fsm.num_states() <= artifacts.raw_states);
     assert!(artifacts.dataset_len > 0);
-    assert_eq!(artifacts.convergence.len(), config.std_epochs + config.real_epochs);
+    assert_eq!(
+        artifacts.convergence.len(),
+        config.std_epochs + config.real_epochs
+    );
 
     // Every state's action index is valid.
-    assert!(artifacts.fsm.states.iter().all(|s| s.action < Action::COUNT));
+    assert!(artifacts
+        .fsm
+        .states
+        .iter()
+        .all(|s| s.action < Action::COUNT));
 
     // All four policies complete every training trace without truncation.
     let mut default_policy = DefaultPolicy;

@@ -1,0 +1,131 @@
+//! End-to-end and fidelity coverage for the second registered scenario:
+//! learned readahead sizing. Mirrors `fsm_fidelity.rs`, but entirely over
+//! the scenario-generic (vector-policy) surface — which is the point: the
+//! train → QBN → FSM pipeline must not care which storage problem it runs.
+
+use lahd::core::{run_rollout, Pipeline, PipelineConfig, ScenarioId};
+use lahd::fsm::VecPolicy;
+
+fn readahead_config() -> PipelineConfig {
+    let mut config = PipelineConfig::tiny();
+    config.scenario = ScenarioId::Readahead;
+    config
+}
+
+fn deterministic_config() -> PipelineConfig {
+    let mut config = readahead_config();
+    // Kill every stochastic element of dataset collection so replay is
+    // perfectly aligned: greedy actions and no idle noise.
+    config.dataset_epsilon = 0.0;
+    config.sim.idle_lambda = 0.0;
+    // One collection episode per trace, in order, so episode seeds line up
+    // with replay seeds below.
+    config.dataset_episodes = config.num_real_traces;
+    config
+}
+
+#[test]
+fn readahead_pipeline_runs_end_to_end() {
+    let config = readahead_config();
+    let pipeline = Pipeline::new(config.clone());
+    let scenario = pipeline.scenario();
+    let artifacts = pipeline.run();
+
+    artifacts
+        .fsm
+        .validate()
+        .expect("extracted FSM is consistent");
+    assert_eq!(artifacts.scenario, ScenarioId::Readahead);
+    assert!(artifacts.fsm.num_states() >= 1);
+    assert!(artifacts.dataset_len > 0);
+    assert!(artifacts
+        .fsm
+        .states
+        .iter()
+        .all(|s| s.action < scenario.num_actions()));
+
+    // The extracted policy completes every training trace (no truncation)
+    // through the scenario-generic rollout path.
+    let mut policy = artifacts.fsm_executor(config.metric, config.nn_matching);
+    for (i, trace) in artifacts.real_traces.iter().enumerate() {
+        let rollout = scenario.make_rollout(&config.sim, trace.clone(), 500 + i as u64);
+        let outcome = run_rollout(rollout, &mut policy);
+        assert!(!outcome.truncated, "trace {i} truncated");
+        assert!(outcome.score >= outcome.horizon);
+    }
+}
+
+/// The core fidelity pin for the new scenario: executed on the traces and
+/// seeds it was extracted from, the FSM replays the quantized network's
+/// action sequence *exactly* — 100% action agreement with the neural policy
+/// it white-boxes, no unseen observations, no missing transitions.
+#[test]
+fn readahead_fsm_agrees_with_quantized_network_exactly() {
+    let config = deterministic_config();
+    let pipeline = Pipeline::new(config.clone());
+    let scenario = pipeline.scenario();
+    let (std_traces, real_traces) = pipeline.make_traces();
+    let (agent, _) = pipeline.train_with_curriculum(&std_traces, &real_traces);
+    let raw = pipeline.collect_dataset(&agent, &real_traces);
+    let (mut obs_qbn, mut hidden_qbn) = pipeline.fit_qbns(&raw);
+    pipeline.fine_tune_quantized(&agent, &mut obs_qbn, &mut hidden_qbn, &real_traces);
+
+    // The quantized network's own greedy, deterministic episodes.
+    let quantized = pipeline.collect_quantized_dataset(&agent, &obs_qbn, &hidden_qbn, &real_traces);
+    let (fsm, _) = pipeline.extract(&quantized, &obs_qbn, &hidden_qbn);
+
+    // Per-episode action sequences of the quantized network.
+    let mut teacher_actions = vec![Vec::new(); real_traces.len()];
+    for row in quantized.rows() {
+        teacher_actions[row.episode].push(row.action);
+    }
+
+    // Replay each trace through the FSM with the same rollout seeds.
+    let mut policy = lahd::fsm::FsmExecutor::new(fsm, obs_qbn, config.metric, config.nn_matching);
+    for (i, trace) in real_traces.iter().enumerate() {
+        policy.reset();
+        let seed = config.seed.wrapping_add(i as u64);
+        let mut rollout = scenario.make_rollout(&config.sim, trace.clone(), seed);
+        let mut fsm_actions = Vec::new();
+        while !rollout.is_done() {
+            let obs = rollout.observe();
+            let action = policy.act_vec(&obs);
+            fsm_actions.push(action);
+            rollout.step(action);
+        }
+        let stats = policy.stats();
+        assert_eq!(
+            fsm_actions, teacher_actions[i],
+            "trace {i}: FSM actions diverged from the quantized network"
+        );
+        assert_eq!(
+            stats.unseen_observations, 0,
+            "trace {i}: unseen observation on replay"
+        );
+        assert_eq!(
+            stats.missing_transitions, 0,
+            "trace {i}: missing transition on replay"
+        );
+        assert_eq!(
+            stats.stuck_steps, 0,
+            "trace {i}: machine got stuck on replay"
+        );
+    }
+}
+
+#[test]
+fn readahead_fsm_survives_unseen_noise_seeds() {
+    // Under fresh idle noise the machine must still complete every episode
+    // (generalisation via nearest-neighbour matching).
+    let mut config = deterministic_config();
+    config.sim.idle_lambda = 1.0;
+    let pipeline = Pipeline::new(config.clone());
+    let scenario = pipeline.scenario();
+    let artifacts = pipeline.run();
+    let mut policy = artifacts.fsm_executor(config.metric, config.nn_matching);
+    for (i, trace) in artifacts.real_traces.iter().enumerate() {
+        let rollout = scenario.make_rollout(&config.sim, trace.clone(), 777_000 + i as u64);
+        let outcome = run_rollout(rollout, &mut policy);
+        assert!(!outcome.truncated, "trace {i} truncated under fresh noise");
+    }
+}
