@@ -1,0 +1,77 @@
+//! Criterion micro-benchmark: the quantized (i8) packed GEMV tier at the
+//! paper's inference shapes — kernel latency and quantize-on-update cost.
+//!
+//! Lives in its own binary on purpose: linking the i8 widen kernels into
+//! `micro_matmul` measurably shifted the codegen/layout of that binary's
+//! *pre-existing* rows (`transpose_128x128` moved +70% with zero library
+//! changes — see PERF.md), which would have poisoned the cross-snapshot
+//! trajectory. A separate binary keeps the legacy rows bit-stable and the
+//! new rows comparable from `BENCH_4.json` on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lahd_tensor::{Matrix, PackedGemvWeights, PackedGemvWeightsI8};
+
+fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let x = (i * 31 + j * 17 + seed as usize * 13 + 7) % 97;
+        x as f32 / 48.5 - 1.0
+    })
+}
+
+fn bench_gemv_i8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_i8");
+
+    let h = dense(1, 128, 2);
+    let u = dense(128, 128, 3);
+
+    // f32 packed baseline *in this binary*, so the i8/f32 ratio is free of
+    // cross-binary layout effects (the trajectory row for the f32 kernel
+    // stays in micro_matmul).
+    {
+        let packed = PackedGemvWeights::pack(&u);
+        let mut y = vec![0.0f32; 128];
+        group.bench_function("gemv_packed_f32_baseline_1x128_128x128", |b| {
+            b.iter(|| {
+                packed.gemv_into(h.row(0), &mut y);
+                std::hint::black_box(y[0])
+            })
+        });
+    }
+
+    // The quantized tier: 4× less weight streaming, dequant-on-load in
+    // registers, per-panel scales (accuracy contract in
+    // lahd_tensor::gemv_i8 / PERF.md).
+    {
+        let packed = PackedGemvWeightsI8::pack(&u);
+        let mut y = vec![0.0f32; 128];
+        group.bench_function("gemv_packed_i8_1x128_128x128", |b| {
+            b.iter(|| {
+                packed.gemv_into(h.row(0), &mut y);
+                std::hint::black_box(y[0])
+            })
+        });
+        // The fused GRU h-side shape: one traversal, two gate outputs.
+        let uzr = PackedGemvWeightsI8::pack_concat(&[&u, &dense(128, 128, 4)]);
+        let mut hu = vec![0.0f32; 256];
+        group.bench_function("gemv_packed_i8_concat_1x128_128x256", |b| {
+            b.iter(|| {
+                uzr.gemv_into(h.row(0), &mut hu);
+                std::hint::black_box(hu[0])
+            })
+        });
+        // Quantize-on-update cost (integer max-abs scan + vector round),
+        // for the repack-per-optimiser-step cost model in PERF.md.
+        let mut repacked = PackedGemvWeightsI8::pack(&u);
+        group.bench_function("gemv_repack_i8_128x128", |b| {
+            b.iter(|| {
+                repacked.repack(&u);
+                std::hint::black_box(repacked.cols())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemv_i8);
+criterion_main!(benches);

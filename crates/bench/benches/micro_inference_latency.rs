@@ -12,8 +12,19 @@ use lahd_fsm::{Fsm, FsmPolicy, FsmState, HandcraftedFsm, Metric, ObsSymbol, Poli
 use lahd_qbn::{Code, Qbn, QbnConfig};
 use lahd_rl::RecurrentActorCritic;
 use lahd_sim::{
-    canonical_io_classes, Action, IntervalWorkload, Observation, SimConfig, NUM_IO_CLASSES,
+    canonical_io_classes, Action, IntervalWorkload, Observation, ReadaheadConfig, ReadaheadSim,
+    SimConfig, WorkloadTrace, NUM_IO_CLASSES,
 };
+
+/// A short mixed read trace so the readahead observation carries live
+/// sequential-share and buffer features.
+fn ra_trace() -> WorkloadTrace {
+    let mut mix = [0.0; NUM_IO_CLASSES];
+    mix[1] = 0.3; // 8 KiB read (random)
+    mix[5] = 0.5; // 128 KiB read (sequential)
+    mix[9] = 0.2; // 8 KiB write
+    WorkloadTrace::new("bench-ra", vec![IntervalWorkload::new(mix, 2000.0); 8])
+}
 
 fn observation() -> Observation {
     let mut mix = [0.0; NUM_IO_CLASSES];
@@ -104,6 +115,19 @@ fn bench_inference(c: &mut Criterion) {
         })
     });
 
+    // The quantized fast tier: i8 packed weights (4× less streaming) +
+    // vectorized polynomial activations, under the accuracy contract pinned
+    // by the quantized_agreement suite (PERF.md has the cost model).
+    let engine_quant =
+        lahd_rl::InferEngine::with_precision(&agent, lahd_rl::Precision::QuantizedFast);
+    let mut scratch_quant = lahd_rl::InferScratch::default();
+    group.bench_function("gru128_forward_quant", |b| {
+        b.iter(|| {
+            engine_quant.infer_into(&agent, &obs_vec, &h0, &mut scratch_quant);
+            std::hint::black_box(scratch_quant.values[(0, 0)])
+        })
+    });
+
     // Batched inference: 8 environments through one B×D matmul set. The
     // reported time is per *batch*; divide by 8 for per-decision cost.
     let obs8 = {
@@ -138,6 +162,35 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("gru48_forward", |b| {
         b.iter(|| std::hint::black_box(small.infer(&obs_vec, &hs)))
     });
+
+    // The second registered scenario's decision shapes (obs 22, 5 actions):
+    // readahead sizing runs the same GRU-128 torso over a narrower input,
+    // so its per-decision floor gets its own trajectory rows.
+    {
+        let ra_cfg = ReadaheadConfig::from_base(cfg.clone());
+        let ra_sim = ReadaheadSim::new(ra_cfg.clone(), ra_trace(), 0);
+        let ra_obs = ra_sim.observation();
+        let ra_agent =
+            RecurrentActorCritic::new(ReadaheadSim::OBS_DIM, 128, ra_cfg.num_actions(), 0);
+        let ra_h0 = ra_agent.initial_state();
+        let ra_engine = lahd_rl::InferEngine::new(&ra_agent);
+        let mut ra_scratch = lahd_rl::InferScratch::default();
+        group.bench_function("gru128_forward_packed_readahead", |b| {
+            b.iter(|| {
+                ra_engine.infer_into(&ra_agent, &ra_obs, &ra_h0, &mut ra_scratch);
+                std::hint::black_box(ra_scratch.values[(0, 0)])
+            })
+        });
+        let ra_engine_quant =
+            lahd_rl::InferEngine::with_precision(&ra_agent, lahd_rl::Precision::QuantizedFast);
+        let mut ra_scratch_quant = lahd_rl::InferScratch::default();
+        group.bench_function("gru128_forward_quant_readahead", |b| {
+            b.iter(|| {
+                ra_engine_quant.infer_into(&ra_agent, &ra_obs, &ra_h0, &mut ra_scratch_quant);
+                std::hint::black_box(ra_scratch_quant.values[(0, 0)])
+            })
+        });
+    }
 
     // Extracted FSM: QBN encode + table lookup.
     let obs_qbn = Qbn::new(QbnConfig::with_dims(Observation::DIM, 8), 1);

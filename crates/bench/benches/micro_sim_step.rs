@@ -6,7 +6,7 @@
 //! and heavy backlogs, and a full drained episode.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use lahd_sim::{Action, SimConfig, StorageSim};
+use lahd_sim::{Action, ReadaheadConfig, ReadaheadSim, SimConfig, StorageSim};
 use lahd_workload::{IntervalWorkload, WorkloadTrace, NUM_IO_CLASSES};
 
 fn trace(requests: f64, len: usize) -> WorkloadTrace {
@@ -63,6 +63,43 @@ fn bench_steps(c: &mut Criterion) {
                         break;
                     }
                     sim.step(Action::Noop);
+                }
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The second registered scenario: readahead-sizing steps over the same
+    // trace model (prefetch issue + buffer decay on top of the shared
+    // service pipeline), so both scenarios' per-interval cost is in the
+    // trajectory. Action 2 is the moderate window of the default ladder.
+    for (name, requests) in [
+        ("readahead_light_load", 500.0),
+        ("readahead_heavy_load", 4000.0),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || ReadaheadSim::new(ReadaheadConfig::from_base(quiet()), trace(requests, 512), 0),
+                |mut sim| {
+                    for _ in 0..64 {
+                        if sim.is_done() {
+                            break;
+                        }
+                        sim.step(2);
+                    }
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("readahead_full_episode_96", |b| {
+        b.iter_batched(
+            || ReadaheadSim::new(ReadaheadConfig::from_base(quiet()), trace(1500.0, 96), 0),
+            |mut sim| {
+                while !sim.is_done() {
+                    sim.step(2);
                 }
                 sim
             },

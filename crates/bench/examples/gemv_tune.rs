@@ -1,11 +1,13 @@
 //! Component-level timing for the packed GEMV inference engine: per-panel
 //! matvec cost, activation (sigmoid/tanh) cost, and head cost at paper
-//! scale. Used to attribute `gru128_forward_packed` time when re-tuning
-//! the GEMV layout (see PERF.md).
+//! scale, for both the exact f32 tier and the quantized (i8 + polynomial
+//! activations) tier. Used to attribute `gru128_forward_packed` /
+//! `gru128_forward_quant` time when re-tuning the GEMV layouts (see
+//! PERF.md).
 //!
 //! Run with: `cargo run --release -p lahd-bench --example gemv_tune`
 
-use lahd_tensor::{Matrix, PackedGemvWeights};
+use lahd_tensor::{Matrix, PackedGemvWeights, PackedGemvWeightsI8};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -98,4 +100,77 @@ fn main() {
         black_box(out[0]);
     });
     println!("{:40} {total:10.1} ns/iter", "sum of components");
+
+    // ---- quantized tier: i8 panels + polynomial activations -----------
+    println!();
+    let wzrn_q = PackedGemvWeightsI8::pack_concat(&[
+        &dense(35, 128, 2),
+        &dense(35, 128, 3),
+        &dense(35, 128, 4),
+    ]);
+    let uzr_q = PackedGemvWeightsI8::pack_concat(&[&dense(128, 128, 5), &dense(128, 128, 6)]);
+    let un_q = PackedGemvWeightsI8::pack(&dense(128, 128, 7));
+    let policy_q = PackedGemvWeightsI8::pack(&dense(128, 7, 8));
+    let value_q = PackedGemvWeightsI8::pack(&dense(128, 1, 9));
+
+    let mut total_q = 0.0;
+    total_q += time("i8 wzrn gemv 35 -> 384", iters, || {
+        wzrn_q.gemv_into(black_box(x.row(0)), &mut xw);
+        black_box(xw[0]);
+    });
+    total_q += time("i8 uzr gemv 128 -> 256", iters, || {
+        uzr_q.gemv_into(black_box(h.row(0)), &mut hu);
+        black_box(hu[0]);
+    });
+    total_q += time("i8 un gemv 128 -> 128", iters, || {
+        un_q.gemv_into(black_box(h.row(0)), &mut nu);
+        black_box(nu[0]);
+    });
+    total_q += time("i8 policy head gemv 128 -> 7", iters, || {
+        policy_q.gemv_into(black_box(h.row(0)), &mut logits);
+        black_box(logits[0]);
+    });
+    total_q += time("i8 value head gemv 128 -> 1", iters, || {
+        value_q.gemv_into(black_box(h.row(0)), &mut val);
+        black_box(val[0]);
+    });
+
+    let mut zr = vec![0.0f32; 256];
+    total_q += time("z/r gate pass (256 poly sigmoid)", iters, || {
+        let xw = black_box(&xw);
+        let hu = black_box(&hu);
+        let hr = h.row(0);
+        for j in 0..128 {
+            zr[j] = (xw[j] + hu[j]) + 0.01;
+            zr[128 + j] = (xw[128 + j] + hu[128 + j]) + 0.01;
+        }
+        lahd_nn::sigmoid_slice(&mut zr);
+        for j in 0..128 {
+            rh[j] = zr[128 + j] * hr[j];
+        }
+        black_box(zr[0]);
+    });
+    let mut n = vec![0.0f32; 128];
+    total_q += time("candidate pass (128 poly tanh)", iters, || {
+        let xw = black_box(&xw);
+        let nu = black_box(&nu);
+        let hr = h.row(0);
+        for j in 0..128 {
+            n[j] = (xw[256 + j] + nu[j]) + 0.01;
+        }
+        lahd_nn::tanh_slice(&mut n);
+        for j in 0..128 {
+            out[j] = (1.0 - zr[j]) * n[j] + zr[j] * hr[j];
+        }
+        black_box(out[0]);
+    });
+    println!(
+        "{:40} {total_q:10.1} ns/iter",
+        "sum of quantized components"
+    );
+    println!(
+        "{:40} {:10.2} x",
+        "component-sum speedup (exact/quant)",
+        total / total_q
+    );
 }

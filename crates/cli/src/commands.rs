@@ -6,7 +6,8 @@ use std::path::{Path, PathBuf};
 
 use lahd_core::{
     best_static_allocation, explain_fsm, load_artifacts, save_artifacts, Args, Comparison,
-    GruVecPolicy, Pipeline, PipelineArtifacts, PipelineConfig, ScenarioId, Table,
+    GruPolicy, GruVecPolicy, Pipeline, PipelineArtifacts, PipelineConfig, Precision, ScenarioId,
+    Table,
 };
 use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy, VecPolicy};
 use lahd_sim::{SimConfig, StorageSim};
@@ -63,9 +64,11 @@ fn usage() -> String {
      \x20            --scale tiny|demo|paper   (default demo)\n\
      \x20            --scenario NAME           (default dorado-migration)\n\
      \x20            --out DIR                 (default lahd-artifacts)\n\
+     \x20            --infer-precision exact|quantized  (default exact)\n\
      \x20            --seed N, --hidden N, --std-epochs N, --real-epochs N\n\
      \x20 evaluate   Figure-4 comparison over saved artifacts\n\
      \x20            --artifacts DIR [--scale …] [--scenario …] [--oracle] [--heldout]\n\
+     \x20            [--infer-precision exact|quantized]\n\
      \x20 explain    Markdown interpretation report for a saved machine\n\
      \x20            --artifacts DIR [--out FILE] [--scale …]\n\
      \x20 traces     summarise the synthetic workloads\n\
@@ -90,6 +93,15 @@ fn scale_config(args: &Args) -> Result<PipelineConfig, CliError> {
             let known: Vec<&str> = ScenarioId::ALL.iter().map(|s| s.name()).collect();
             err(format!(
                 "unknown --scenario {name:?} (known: {})",
+                known.join("|")
+            ))
+        })?;
+    }
+    if let Some(name) = args.get("infer-precision") {
+        cfg.infer_precision = Precision::parse(name).ok_or_else(|| {
+            let known: Vec<&str> = Precision::ALL.iter().map(|p| p.name()).collect();
+            err(format!(
+                "unknown --infer-precision {name:?} (known: {})",
                 known.join("|")
             ))
         })?;
@@ -160,7 +172,17 @@ fn cmd_evaluate(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 
     let mut default_policy = DefaultPolicy;
     let mut handcrafted = HandcraftedFsm::tuned();
-    let mut gru = artifacts.gru_policy(cfg.sim.clone());
+    // The default stays on the historical (bit-stable) unpacked path; a
+    // non-default precision runs the packed engine tier under test.
+    let mut gru = if cfg.infer_precision == Precision::Exact {
+        artifacts.gru_policy(cfg.sim.clone())
+    } else {
+        GruPolicy::packed(
+            artifacts.agent.clone(),
+            cfg.sim.clone(),
+            cfg.infer_precision,
+        )
+    };
     let mut fsm = artifacts.fsm_policy(cfg.sim.clone(), cfg.metric, cfg.nn_matching);
     let mut policies: Vec<&mut dyn Policy> =
         vec![&mut default_policy, &mut handcrafted, &mut gru, &mut fsm];
@@ -235,7 +257,11 @@ fn evaluate_generic(
     }
     let scenario = cfg.scenario.get();
     let mut baselines = scenario.baselines(&cfg.sim);
-    let mut gru = GruVecPolicy::new(artifacts.agent.clone());
+    let mut gru = if cfg.infer_precision == Precision::Exact {
+        GruVecPolicy::new(artifacts.agent.clone())
+    } else {
+        GruVecPolicy::packed(artifacts.agent.clone(), cfg.infer_precision)
+    };
     let mut fsm = artifacts.fsm_executor(cfg.metric, cfg.nn_matching);
     let mut policies: Vec<&mut dyn VecPolicy> = baselines
         .iter_mut()
@@ -489,6 +515,17 @@ mod tests {
     }
 
     #[test]
+    fn unknown_infer_precision_is_an_error() {
+        let e = run_cli(&["pipeline", "--infer-precision", "fp64"]).unwrap_err();
+        assert!(e.0.contains("unknown --infer-precision"));
+        assert!(
+            e.0.contains("exact") && e.0.contains("quantized"),
+            "error should list known precisions: {}",
+            e.0
+        );
+    }
+
+    #[test]
     fn readahead_pipeline_then_evaluate_at_tiny_scale() {
         let dir = temp_dir("readahead");
         let out_flag = dir.to_str().unwrap();
@@ -600,6 +637,21 @@ mod tests {
         let text = run_cli(&["evaluate", "--scale", "tiny", "--artifacts", out_flag]).unwrap();
         assert!(text.contains("MEAN"));
         assert!(text.contains("reductions:"));
+
+        // The same artifacts evaluated through the quantized fast tier
+        // (i8 packed engine + polynomial activations) must also complete.
+        let text = run_cli(&[
+            "evaluate",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--infer-precision",
+            "quantized",
+        ])
+        .unwrap();
+        assert!(text.contains("MEAN"));
+        assert!(text.contains("gru-drl"));
 
         let report_path = dir.join("report.md");
         let text = run_cli(&[

@@ -92,6 +92,10 @@ pub fn load_artifacts(cfg: &PipelineConfig, dir: &Path) -> Option<PipelineArtifa
     }
     obs_qbn.store.copy_values_from(&obs_store);
     obs_qbn.repack();
+    // Deployment precision is a runtime property of the loaded artifacts,
+    // not of the persisted values: stamp the requested tier onto the packed
+    // encode/decode paths (a no-op for the default Exact).
+    obs_qbn.set_precision(cfg.infer_precision);
 
     let mut hidden_qbn = Qbn::new(QbnConfig::with_dims(cfg.hidden_dim, cfg.hidden_latent), 0);
     if !layouts_match(&hidden_qbn.store, &hid_store) {
@@ -99,6 +103,7 @@ pub fn load_artifacts(cfg: &PipelineConfig, dir: &Path) -> Option<PipelineArtifa
     }
     hidden_qbn.store.copy_values_from(&hid_store);
     hidden_qbn.repack();
+    hidden_qbn.set_precision(cfg.infer_precision);
 
     let mut raw_states = 0;
     let mut dataset_len = 0;

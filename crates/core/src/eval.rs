@@ -6,7 +6,7 @@
 //! registered [`Scenario`].
 
 use lahd_fsm::{Policy, VecPolicy};
-use lahd_rl::RecurrentActorCritic;
+use lahd_rl::{Precision, RecurrentActorCritic};
 use lahd_sim::{Action, EpisodeMetrics, Observation, SimConfig, StorageSim};
 use lahd_tensor::Matrix;
 use lahd_workload::WorkloadTrace;
@@ -26,6 +26,16 @@ impl GruPolicy {
     pub fn new(agent: RecurrentActorCritic, sim_cfg: SimConfig) -> Self {
         Self {
             inner: GruVecPolicy::new(agent),
+            sim_cfg,
+        }
+    }
+
+    /// Engine-backed variant: inference runs through a packed
+    /// [`lahd_rl::InferEngine`] in the given precision (see
+    /// [`GruVecPolicy::packed`]).
+    pub fn packed(agent: RecurrentActorCritic, sim_cfg: SimConfig, precision: Precision) -> Self {
+        Self {
+            inner: GruVecPolicy::packed(agent, precision),
             sim_cfg,
         }
     }
@@ -54,18 +64,46 @@ impl Policy for GruPolicy {
 /// Wraps a trained agent as a greedy scenario-generic [`VecPolicy`]: the
 /// observation vector comes straight from the scenario rollout, so one
 /// implementation serves every scenario.
+///
+/// Two backings exist: [`GruVecPolicy::new`] runs the historical unpacked
+/// inference path (kept so default evaluation output is byte-stable across
+/// builds), and [`GruVecPolicy::packed`] runs a packed
+/// [`lahd_rl::InferEngine`] in a chosen [`Precision`] — the deployment
+/// decision path, and the policy the quantized-agreement harness compares
+/// across precisions.
 pub struct GruVecPolicy {
     agent: RecurrentActorCritic,
+    engine: Option<lahd_rl::InferEngine>,
+    scratch: lahd_rl::InferScratch,
     hidden: Matrix,
     name: String,
 }
 
 impl GruVecPolicy {
-    /// Creates the policy over a trained agent.
+    /// Creates the policy over a trained agent (unpacked inference path).
     pub fn new(agent: RecurrentActorCritic) -> Self {
         let hidden = agent.initial_state();
         Self {
             agent,
+            engine: None,
+            scratch: lahd_rl::InferScratch::default(),
+            hidden,
+            name: "gru-drl".to_string(),
+        }
+    }
+
+    /// Engine-backed variant: packs the agent's weights once and infers
+    /// through the packed engine in the given precision. With
+    /// [`Precision::Exact`] this is bit-identical to [`GruVecPolicy::new`]
+    /// on the default build; [`Precision::QuantizedFast`] runs the i8 fast
+    /// tier under its accuracy contract.
+    pub fn packed(agent: RecurrentActorCritic, precision: Precision) -> Self {
+        let engine = lahd_rl::InferEngine::with_precision(&agent, precision);
+        let hidden = agent.initial_state();
+        Self {
+            agent,
+            engine: Some(engine),
+            scratch: lahd_rl::InferScratch::default(),
             hidden,
             name: "gru-drl".to_string(),
         }
@@ -83,9 +121,18 @@ impl VecPolicy for GruVecPolicy {
     }
 
     fn act_vec(&mut self, obs: &[f32]) -> usize {
-        let step = self.agent.infer(obs, &self.hidden);
-        self.hidden = step.hidden;
-        lahd_tensor::argmax(&step.logits)
+        match &self.engine {
+            Some(engine) => {
+                engine.infer_into(&self.agent, obs, &self.hidden, &mut self.scratch);
+                std::mem::swap(&mut self.hidden, &mut self.scratch.hidden);
+                lahd_tensor::argmax(self.scratch.logits.row(0))
+            }
+            None => {
+                let step = self.agent.infer(obs, &self.hidden);
+                self.hidden = step.hidden;
+                lahd_tensor::argmax(&step.logits)
+            }
+        }
     }
 
     fn name(&self) -> &str {

@@ -48,6 +48,9 @@ pub use eval::{
 pub use explain::explain_fsm;
 pub use oracle::{best_static_allocation, OracleResult};
 pub use pipeline::{action_names, Pipeline, PipelineArtifacts, PipelineConfig};
+// Re-exported so the CLI (and downstream users) can name an inference
+// precision without depending on lahd-nn directly.
+pub use lahd_rl::Precision;
 pub use report::{fmt_f, fmt_pct, Table};
 pub use scenario::{
     run_rollout, RolloutEnv, RolloutOutcome, Scenario, ScenarioId, ScenarioRollout,

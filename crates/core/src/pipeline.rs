@@ -59,6 +59,13 @@ pub struct PipelineConfig {
     pub nn_matching: bool,
     /// Whether to minimise the raw machine.
     pub minimize: bool,
+    /// Precision of the packed inference engines on the decision paths:
+    /// training rollouts (`A2cTrainer`'s engine) and the deployed QBN
+    /// encode/decode packs in the produced artifacts. The default
+    /// [`Precision::Exact`] keeps every path bit-identical to the unpacked
+    /// arithmetic; [`Precision::QuantizedFast`] runs the i8 fast tier under
+    /// its measured accuracy contract (CLI: `--infer-precision`).
+    pub infer_precision: lahd_nn::Precision,
     /// Master seed.
     pub seed: u64,
 }
@@ -94,6 +101,7 @@ impl PipelineConfig {
             metric: Metric::Euclidean,
             nn_matching: true,
             minimize: true,
+            infer_precision: lahd_nn::Precision::Exact,
             seed: 2021,
         }
     }
@@ -133,6 +141,7 @@ impl PipelineConfig {
             metric: Metric::Euclidean,
             nn_matching: true,
             minimize: true,
+            infer_precision: lahd_nn::Precision::Exact,
             seed: 2021,
         }
     }
@@ -168,6 +177,7 @@ impl PipelineConfig {
             metric: Metric::Euclidean,
             nn_matching: true,
             minimize: true,
+            infer_precision: lahd_nn::Precision::Exact,
             // Chosen so the tiny-scale lottery (a 4+4-epoch agent is barely
             // trained) yields an FSM that survives the fidelity suite under
             // the workspace RNG; see tests/fsm_fidelity.rs.
@@ -590,6 +600,14 @@ impl Pipeline {
         self.fine_tune_quantized(&agent, &mut obs_qbn, &mut hidden_qbn, &real_traces);
         let quantized = self.collect_quantized_dataset(&agent, &obs_qbn, &hidden_qbn, &real_traces);
         let (fsm, raw_states) = self.extract(&quantized, &obs_qbn, &hidden_qbn);
+        if self.config.infer_precision != lahd_nn::Precision::Exact {
+            // Extraction ran on the exact codes above; the *deployed*
+            // encode path (FsmExecutor's per-decision QBN encode) rides the
+            // requested fast tier. `set_precision` is a no-op for Exact, so
+            // the default pipeline's artifacts are untouched.
+            obs_qbn.set_precision(self.config.infer_precision);
+            hidden_qbn.set_precision(self.config.infer_precision);
+        }
         PipelineArtifacts {
             scenario: self.config.scenario,
             agent,
@@ -615,7 +633,12 @@ impl Pipeline {
             scenario.num_actions(),
             c.seed,
         );
-        A2cTrainer::new(agent, c.a2c.clone(), c.seed.wrapping_add(1))
+        // The pipeline-level precision setting wins over whatever the A2C
+        // sub-config carries, so `--infer-precision` reaches the trainer's
+        // rollout engine.
+        let mut a2c = c.a2c.clone();
+        a2c.infer_precision = c.infer_precision;
+        A2cTrainer::new(agent, a2c, c.seed.wrapping_add(1))
     }
 
     fn make_envs(&self, traces: &[WorkloadTrace]) -> Vec<Box<dyn lahd_rl::Env>> {

@@ -22,22 +22,37 @@
 //!
 //! # Numerical contract
 //!
-//! On the default (scalar) build every packed path is **bit-identical** to
-//! its unpacked counterpart ([`Linear::infer_into`],
-//! [`GruCell::infer_step_into`]) for every batch size: below the blocked
-//! cutoff both sides perform the same ascending-`k` folds and identical
-//! element-wise arithmetic, and at [`BLOCK_MIN_ROWS`] rows and above the
-//! packed wrappers fall back to the unpacked methods outright (batches that
-//! large are better served by the blocked GEMM than by row-at-a-time
-//! GEMV). Under `--features simd` the GEMV kernels fuse multiply-add, so
-//! results are close but not bit-equal — the same contract as the blocked
-//! GEMM. `tests/packed_equivalence.rs` pins all of this.
+//! Both wrappers carry a [`Precision`] chosen at pack time:
+//!
+//! * [`Precision::Exact`] (the default): on the default (scalar) build every
+//!   packed path is **bit-identical** to its unpacked counterpart
+//!   ([`Linear::infer_into`], [`GruCell::infer_step_into`]) for every batch
+//!   size — below the blocked cutoff both sides perform the same
+//!   ascending-`k` folds and identical element-wise arithmetic, and at
+//!   [`BLOCK_MIN_ROWS`] rows and above the packed wrappers fall back to the
+//!   unpacked methods outright (batches that large are better served by the
+//!   blocked GEMM than by row-at-a-time GEMV). Under `--features simd` the
+//!   GEMV kernels fuse multiply-add, so results are close but not bit-equal
+//!   — the same contract as the blocked GEMM.
+//! * [`Precision::QuantizedFast`]: weights ride the i8 column panels of
+//!   [`PackedGemvWeightsI8`] (4× less weight streaming, per-panel
+//!   dequantization scales) and the gates use the vectorized polynomial
+//!   activations of [`crate::activations`] instead of scalar libm. This
+//!   tier leaves bit-identity for a *measured accuracy contract*: kernel
+//!   error bounds plus end-to-end rollout action-agreement pins (see the
+//!   tensor/nn test suites and the workspace `quantized_agreement` tests).
+//!   The ≥[`BLOCK_MIN_ROWS`] batch fallback still runs the exact unpacked
+//!   path — quantization is a per-decision latency lever, and batches that
+//!   large are GEMM-bound, not weight-streaming-bound.
+//!
+//! `tests/packed_equivalence.rs` pins all of this.
 
 use lahd_tensor::gemm::BLOCK_MIN_ROWS;
-use lahd_tensor::{Matrix, PackedGemvWeights};
+use lahd_tensor::{Matrix, PackedGemvWeights, PackedGemvWeightsI8};
 
 use super::gru::{GruCell, GruScratch};
 use super::linear::Linear;
+use crate::activations::{sigmoid_slice, tanh_slice, Precision};
 use crate::params::ParamStore;
 
 /// Logistic sigmoid, written exactly as the unpacked GRU path computes it
@@ -56,20 +71,33 @@ fn assert_fresh(kind: &str, packed_version: u64, store: &ParamStore) {
     );
 }
 
-/// A [`Linear`] layer with its weight matrix packed for `1×D` inference.
+/// A [`Linear`] layer with its weight matrix packed for `1×D` inference,
+/// in the precision chosen at construction (see the [module docs](self)).
 #[derive(Clone, Debug)]
 pub struct PackedLinear {
     layer: Linear,
+    /// Populated in [`Precision::Exact`] mode.
     weights: PackedGemvWeights,
+    /// Populated in [`Precision::QuantizedFast`] mode.
+    weights_i8: PackedGemvWeightsI8,
+    precision: Precision,
     version: u64,
 }
 
 impl PackedLinear {
-    /// Packs `layer`'s current weights from `store`.
+    /// Packs `layer`'s current weights from `store` in the default
+    /// (bit-identical) [`Precision::Exact`] mode.
     pub fn new(layer: &Linear, store: &ParamStore) -> Self {
+        Self::with_precision(layer, store, Precision::Exact)
+    }
+
+    /// Packs `layer`'s current weights from `store` in the given precision.
+    pub fn with_precision(layer: &Linear, store: &ParamStore, precision: Precision) -> Self {
         let mut packed = Self {
             layer: layer.clone(),
             weights: PackedGemvWeights::default(),
+            weights_i8: PackedGemvWeightsI8::default(),
+            precision,
             version: 0,
         };
         packed.repack(store);
@@ -77,14 +105,24 @@ impl PackedLinear {
     }
 
     /// Re-packs after a parameter update (allocation-free in steady state).
+    /// Only the active precision's representation is refreshed — the other
+    /// stays empty.
     pub fn repack(&mut self, store: &ParamStore) {
-        self.weights.repack(store.value(self.layer.w));
+        match self.precision {
+            Precision::Exact => self.weights.repack(store.value(self.layer.w)),
+            Precision::QuantizedFast => self.weights_i8.repack(store.value(self.layer.w)),
+        }
         self.version = store.version();
     }
 
     /// The wrapped layer description.
     pub fn layer(&self) -> &Linear {
         &self.layer
+    }
+
+    /// The precision the weights are packed in.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Packed counterpart of [`Linear::infer_into`]; bit-identical on the
@@ -111,7 +149,10 @@ impl PackedLinear {
             "packed linear output shape mismatch"
         );
         for r in 0..x.rows() {
-            self.weights.gemv_into(x.row(r), out.row_mut(r));
+            match self.precision {
+                Precision::Exact => self.weights.gemv_into(x.row(r), out.row_mut(r)),
+                Precision::QuantizedFast => self.weights_i8.gemv_into(x.row(r), out.row_mut(r)),
+            }
         }
         out.add_row_broadcast(store.value(self.layer.b));
     }
@@ -137,17 +178,32 @@ pub struct PackedGru {
     uzr: PackedGemvWeights,
     /// `H × H`: candidate weights applied to `r ∘ h`.
     un: PackedGemvWeights,
+    /// Quantized counterparts, populated in [`Precision::QuantizedFast`].
+    wzrn_i8: PackedGemvWeightsI8,
+    uzr_i8: PackedGemvWeightsI8,
+    un_i8: PackedGemvWeightsI8,
+    precision: Precision,
     version: u64,
 }
 
 impl PackedGru {
-    /// Packs `cell`'s current weights from `store`.
+    /// Packs `cell`'s current weights from `store` in the default
+    /// (bit-identical) [`Precision::Exact`] mode.
     pub fn new(cell: &GruCell, store: &ParamStore) -> Self {
+        Self::with_precision(cell, store, Precision::Exact)
+    }
+
+    /// Packs `cell`'s current weights from `store` in the given precision.
+    pub fn with_precision(cell: &GruCell, store: &ParamStore, precision: Precision) -> Self {
         let mut packed = Self {
             cell: cell.clone(),
             wzrn: PackedGemvWeights::default(),
             uzr: PackedGemvWeights::default(),
             un: PackedGemvWeights::default(),
+            wzrn_i8: PackedGemvWeightsI8::default(),
+            uzr_i8: PackedGemvWeightsI8::default(),
+            un_i8: PackedGemvWeightsI8::default(),
+            precision,
             version: 0,
         };
         packed.repack(store);
@@ -155,19 +211,40 @@ impl PackedGru {
     }
 
     /// Re-packs after a parameter update (allocation-free in steady state).
+    /// Only the active precision's representation is refreshed — the other
+    /// stays empty.
     pub fn repack(&mut self, store: &ParamStore) {
         let c = &self.cell;
-        self.wzrn
-            .repack_concat(&[store.value(c.wz), store.value(c.wr), store.value(c.wn)]);
-        self.uzr
-            .repack_concat(&[store.value(c.uz), store.value(c.ur)]);
-        self.un.repack(store.value(c.un));
+        match self.precision {
+            Precision::Exact => {
+                self.wzrn
+                    .repack_concat(&[store.value(c.wz), store.value(c.wr), store.value(c.wn)]);
+                self.uzr
+                    .repack_concat(&[store.value(c.uz), store.value(c.ur)]);
+                self.un.repack(store.value(c.un));
+            }
+            Precision::QuantizedFast => {
+                self.wzrn_i8.repack_concat(&[
+                    store.value(c.wz),
+                    store.value(c.wr),
+                    store.value(c.wn),
+                ]);
+                self.uzr_i8
+                    .repack_concat(&[store.value(c.uz), store.value(c.ur)]);
+                self.un_i8.repack(store.value(c.un));
+            }
+        }
         self.version = store.version();
     }
 
     /// The wrapped cell description.
     pub fn cell(&self) -> &GruCell {
         &self.cell
+    }
+
+    /// The precision the weights are packed in.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Packed counterpart of [`GruCell::infer_step_into`]; bit-identical on
@@ -196,12 +273,29 @@ impl PackedGru {
                 .infer_step_into(store, x, h, &mut scratch.fallback, out);
             return;
         }
-        scratch.ensure(rows, hd);
+        scratch.ensure(rows, hd, self.precision);
+        match self.precision {
+            Precision::Exact => self.infer_rows_exact(store, x, h, scratch, out),
+            Precision::QuantizedFast => self.infer_rows_quantized(store, x, h, scratch, out),
+        }
+    }
+
+    /// The bit-identical row loop: f32 panels, scalar libm gates in exactly
+    /// the unpacked path's association order.
+    fn infer_rows_exact(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        h: &Matrix,
+        scratch: &mut PackedGruScratch,
+        out: &mut Matrix,
+    ) {
+        let hd = self.cell.hidden_dim();
         let bz = store.value(self.cell.bz).row(0);
         let br = store.value(self.cell.br).row(0);
         let bn = store.value(self.cell.bn).row(0);
 
-        for r in 0..rows {
+        for r in 0..x.rows() {
             let hr = h.row(r);
             // One fused pass per operand: all three x-side gates, then both
             // h-side gates that read the raw state.
@@ -236,6 +330,63 @@ impl PackedGru {
             }
         }
     }
+
+    /// The quantized fast row loop: i8 panels with dequant-on-load, and the
+    /// sigmoid/tanh evaluated slice-at-a-time by the vectorized polynomial
+    /// kernels — both gate sigmoids run as **one** `2H`-wide pass over a
+    /// contiguous pre-activation row instead of `2H` scalar libm calls.
+    fn infer_rows_quantized(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        h: &Matrix,
+        scratch: &mut PackedGruScratch,
+        out: &mut Matrix,
+    ) {
+        let hd = self.cell.hidden_dim();
+        let bz = store.value(self.cell.bz).row(0);
+        let br = store.value(self.cell.br).row(0);
+        let bn = store.value(self.cell.bn).row(0);
+
+        for r in 0..x.rows() {
+            let hr = h.row(r);
+            self.wzrn_i8.gemv_into(x.row(r), scratch.xw.row_mut(r));
+            self.uzr_i8.gemv_into(hr, scratch.hu.row_mut(r));
+            {
+                // Stage [z_pre | r_pre] contiguously, one sigmoid pass for
+                // both gates, then gate the state for the candidate matvec.
+                let xw = scratch.xw.row(r);
+                let hu = scratch.hu.row(r);
+                let zr = scratch.zr.row_mut(r);
+                for j in 0..hd {
+                    zr[j] = (xw[j] + hu[j]) + bz[j];
+                    zr[hd + j] = (xw[hd + j] + hu[hd + j]) + br[j];
+                }
+                sigmoid_slice(zr);
+                let rh_row = scratch.rh.row_mut(r);
+                for j in 0..hd {
+                    rh_row[j] = zr[hd + j] * hr[j];
+                }
+            }
+            self.un_i8
+                .gemv_into(scratch.rh.row(r), scratch.nu.row_mut(r));
+            {
+                let xwn = &scratch.xw.row(r)[2 * hd..];
+                let nu = scratch.nu.row(r);
+                let n_row = scratch.n.row_mut(r);
+                for j in 0..hd {
+                    n_row[j] = (xwn[j] + nu[j]) + bn[j];
+                }
+                tanh_slice(n_row);
+                let z_row = &scratch.zr.row(r)[..hd];
+                let out_row = out.row_mut(r);
+                for j in 0..hd {
+                    let zv = z_row[j];
+                    out_row[j] = (1.0 - zv) * n_row[j] + zv * hr[j];
+                }
+            }
+        }
+    }
 }
 
 /// Caller-owned workspace for [`PackedGru::infer_step_into`]: the fused
@@ -254,20 +405,45 @@ pub struct PackedGruScratch {
     rh: Matrix,
     /// `B × H` candidate contribution `(r ∘ h)·Un`.
     nu: Matrix,
+    /// `B × 2H` contiguous `[z_pre | r_pre]` staging rows for the quantized
+    /// path's single slice-sigmoid pass over both gates.
+    zr: Matrix,
+    /// `B × H` candidate pre-activation/value rows for the quantized path's
+    /// slice-tanh pass.
+    n: Matrix,
     fallback: GruScratch,
 }
 
 impl PackedGruScratch {
-    fn ensure(&mut self, rows: usize, hidden: usize) {
+    /// Sizes the buffers the given precision's row loop actually reads —
+    /// the staging rows unique to the other tier stay empty, so an
+    /// exact-precision scratch (the default everywhere) carries no
+    /// quantized-only dead weight and vice versa.
+    fn ensure(&mut self, rows: usize, hidden: usize, precision: Precision) {
         if self.xw.shape() != (rows, 3 * hidden) {
             self.xw.reshape_zeroed(rows, 3 * hidden);
         }
         if self.hu.shape() != (rows, 2 * hidden) {
             self.hu.reshape_zeroed(rows, 2 * hidden);
         }
-        for m in [&mut self.z, &mut self.rh, &mut self.nu] {
+        for m in [&mut self.rh, &mut self.nu] {
             if m.shape() != (rows, hidden) {
                 m.reshape_zeroed(rows, hidden);
+            }
+        }
+        match precision {
+            Precision::Exact => {
+                if self.z.shape() != (rows, hidden) {
+                    self.z.reshape_zeroed(rows, hidden);
+                }
+            }
+            Precision::QuantizedFast => {
+                if self.zr.shape() != (rows, 2 * hidden) {
+                    self.zr.reshape_zeroed(rows, 2 * hidden);
+                }
+                if self.n.shape() != (rows, hidden) {
+                    self.n.reshape_zeroed(rows, hidden);
+                }
             }
         }
     }
@@ -315,5 +491,81 @@ mod tests {
         let x = Matrix::row_vector(&[1.0, 2.0, 3.0]);
         let want = layer.infer(&store, &x);
         assert_eq!(packed.infer(&store, &x).max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    fn quantized_linear_tracks_exact_within_tolerance() {
+        let mut rng = seeded_rng(11);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 24, 48, &mut rng);
+        let quantized = PackedLinear::with_precision(&layer, &store, Precision::QuantizedFast);
+        assert_eq!(quantized.precision(), Precision::QuantizedFast);
+        let x = Matrix::from_fn(1, 24, |_, j| (j as f32 * 0.37).sin());
+        let want = layer.infer(&store, &x);
+        let got = quantized.infer(&store, &x);
+        // Xavier weights at this fan-in keep the per-panel quantization
+        // step tiny; 1e-2 is ~10× the a-priori bound.
+        assert!(got.max_abs_diff(&want) < 1e-2);
+        assert!(
+            got.max_abs_diff(&want) > 0.0,
+            "quantization should not be a no-op"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PackedLinear")]
+    fn quantized_stale_pack_is_a_loud_failure() {
+        let mut rng = seeded_rng(11);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 3, &mut rng);
+        let packed = PackedLinear::with_precision(&layer, &store, Precision::QuantizedFast);
+        store.value_mut(layer.w)[(0, 0)] += 1.0;
+        let _ = packed.infer(&store, &Matrix::row_vector(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn quantized_repack_picks_up_new_values() {
+        let mut rng = seeded_rng(11);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 3, &mut rng);
+        let mut packed = PackedLinear::with_precision(&layer, &store, Precision::QuantizedFast);
+        let x = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let before = packed.infer(&store, &x);
+        store.value_mut(layer.w)[(0, 0)] += 1.0;
+        packed.repack(&store);
+        let after = packed.infer(&store, &x);
+        // The (0,0) weight bump must flow through the re-quantized pack:
+        // out[0] grows by ~x[0]·1.0.
+        assert!((after[(0, 0)] - before[(0, 0)] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn quantized_gru_step_tracks_exact_within_tolerance() {
+        let mut rng = seeded_rng(3);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 10, 16, &mut rng);
+        let exact = PackedGru::new(&cell, &store);
+        let quant = PackedGru::with_precision(&cell, &store, Precision::QuantizedFast);
+        let x = Matrix::from_fn(1, 10, |_, j| ((j * 7) as f32 * 0.21).cos());
+        let mut h = Matrix::zeros(1, 16);
+        let mut h_q = Matrix::zeros(1, 16);
+        let mut scratch = PackedGruScratch::default();
+        let mut scratch_q = PackedGruScratch::default();
+        // 50 recurrent steps: quantization error must stay bounded through
+        // the contracting gates, not compound.
+        for _ in 0..50 {
+            let mut next = Matrix::zeros(1, 16);
+            exact.infer_step_into(&store, &x, &h, &mut scratch, &mut next);
+            let mut next_q = Matrix::zeros(1, 16);
+            quant.infer_step_into(&store, &x, &h_q, &mut scratch_q, &mut next_q);
+            h = next;
+            h_q = next_q;
+        }
+        assert!(
+            h.max_abs_diff(&h_q) < 0.05,
+            "drift {}",
+            h.max_abs_diff(&h_q)
+        );
+        assert!(h_q.as_slice().iter().all(|v| v.is_finite()));
     }
 }

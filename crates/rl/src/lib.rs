@@ -25,4 +25,7 @@ pub use agent::{InferScratch, InferStep, RecurrentActorCritic};
 pub use curriculum::{train_curriculum, EpochLog, Phase};
 pub use engine::InferEngine;
 pub use env::{Env, Transition};
+// Re-exported so downstream crates can pick an engine precision without a
+// direct lahd-nn dependency edge in their signatures.
+pub use lahd_nn::Precision;
 pub use rollout::{advantages, discounted_returns, Episode};

@@ -1,0 +1,107 @@
+//! Steady-state allocation pins for the packed inference engine.
+//!
+//! The engine sits on the per-decision deployment path, so its hot loop
+//! must not touch the allocator once the caller-owned [`InferScratch`] has
+//! warmed up — in **both** precisions: the quantized tier's extra
+//! activation/dequant staging rows live inside the scratch (dequantization
+//! itself happens in registers), so it has exactly the same zero-allocation
+//! profile as the exact tier. A counting global allocator makes that an
+//! assertion instead of a claim.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lahd_rl::{InferEngine, InferScratch, Precision, RecurrentActorCritic};
+
+/// Counts allocations while forwarding to the system allocator.
+///
+/// The workspace denies `unsafe_code`; this is an audited test-only
+/// exception — `GlobalAlloc` is unsafe by signature, and the impl only
+/// forwards to [`System`] unchanged.
+#[allow(unsafe_code)]
+mod counting {
+    use super::*;
+
+    pub static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: counting::CountingAllocator = counting::CountingAllocator;
+
+fn assert_no_allocs_in_steady_state(precision: Precision) {
+    let agent = RecurrentActorCritic::new(35, 128, 7, 0);
+    let engine = InferEngine::with_precision(&agent, precision);
+    let hidden = agent.initial_state();
+    let mut scratch = InferScratch::default();
+    let obs: Vec<f32> = (0..35).map(|j| (j as f32 * 0.11).sin()).collect();
+
+    // Warm-up: sizes every scratch buffer (this is allowed to allocate).
+    for _ in 0..3 {
+        engine.infer_into(&agent, &obs, &hidden, &mut scratch);
+    }
+
+    let before = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..200 {
+        engine.infer_into(&agent, &obs, &hidden, &mut scratch);
+    }
+    let after = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "{precision:?} inference allocated {} time(s) in steady state",
+        after - before
+    );
+}
+
+#[test]
+fn exact_engine_inference_is_allocation_free() {
+    assert_no_allocs_in_steady_state(Precision::Exact);
+}
+
+#[test]
+fn quantized_engine_inference_is_allocation_free() {
+    assert_no_allocs_in_steady_state(Precision::QuantizedFast);
+}
+
+/// Repack after an update must also be allocation-free once the pack
+/// buffers exist (the A2C trainer repacks every optimiser step).
+#[test]
+fn quantized_repack_is_allocation_free_in_steady_state() {
+    let mut agent = RecurrentActorCritic::new(35, 128, 7, 1);
+    let mut engine = InferEngine::with_precision(&agent, Precision::QuantizedFast);
+    let ids = agent.store.ids();
+    for warm in 0..3 {
+        agent.store.value_mut(ids[0])[(0, 0)] += 0.01 * (warm + 1) as f32;
+        engine.repack(&agent);
+    }
+    let before = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 0..20 {
+        agent.store.value_mut(ids[0])[(0, 0)] += 0.01 * (round + 1) as f32;
+        engine.repack(&agent);
+    }
+    let after = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "repack allocated {} time(s) in steady state",
+        after - before
+    );
+}

@@ -71,8 +71,10 @@ struct Panel {
 /// Greedy register-tile decomposition of a remaining column count. Powers
 /// of two down to 8 keep every panel on a monomorphised kernel with full
 /// vector accumulators; a final sub-8 remainder runs the scalar tail.
+/// Shared with the quantized layout in [`crate::gemv_i8`], so the two tiers
+/// always agree on the panel geometry.
 #[inline]
-fn panel_width(remaining: usize) -> usize {
+pub(crate) fn panel_width(remaining: usize) -> usize {
     match remaining {
         r if r >= 64 => 64,
         r if r >= 32 => 32,

@@ -15,7 +15,11 @@
 //! the accumulators in registers for the whole reduction (scalar path
 //! bit-identical to `matmul_into`; AVX2/FMA behind the same `simd`
 //! feature). Every orientation has an `_into`/`_acc` variant writing into
-//! caller-owned scratch, and `transpose` walks 32×32 cache blocks. See
+//! caller-owned scratch, and `transpose` walks 32×32 cache blocks. For
+//! decision paths that can trade bit-identity for latency,
+//! [`gemv_i8::PackedGemvWeightsI8`] packs the same column panels as
+//! quantized `i8` with per-panel dequantization scales (4× less weight
+//! streaming, explicit error bound, runtime-dispatched widen kernels). See
 //! `PERF.md` at the workspace root for measurements and the blocked-GEMM /
 //! packed-GEMV design notes.
 //!
@@ -31,6 +35,7 @@
 
 pub mod gemm;
 pub mod gemv;
+pub mod gemv_i8;
 mod init;
 mod matrix;
 mod ops;
@@ -38,6 +43,7 @@ mod stats;
 
 pub use gemm::PackBuffers;
 pub use gemv::PackedGemvWeights;
+pub use gemv_i8::PackedGemvWeightsI8;
 pub use init::{xavier_normal, xavier_uniform, Initializer};
 pub use matrix::Matrix;
 pub use ops::{log_softmax_row, softmax_row};

@@ -34,6 +34,7 @@ trap 'rm -f "$tmp"' EXIT
 
 LAHD_BENCH_QUICK=1 LAHD_BENCH_JSON="$tmp" cargo bench -p lahd-bench \
     --bench micro_matmul \
+    --bench micro_gemv_i8 \
     --bench micro_inference_latency \
     --bench micro_train_episode \
     --bench micro_qbn_encode \

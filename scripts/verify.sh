@@ -11,12 +11,19 @@
 #    equivalence tests under the FMA kernels (tolerance-based where FMA
 #    rounding legitimately differs; see crates/tensor/src/gemm.rs and
 #    crates/tensor/src/gemv.rs).
-# 4. Scenario smoke matrix: one tiny-budget pipeline + evaluate run per
-#    registered scenario through the CLI, so a scenario that rots (or a
-#    registry entry that stops wiring up end-to-end) fails verification.
-# 5. Quick-mode bench snapshot compared against the latest committed
+# 4. Quantized-tier accuracy suites under simd: the i8 GEMV error-bound
+#    proptests, the activation-approximation budgets, and the per-scenario
+#    rollout action-agreement pins (≥99.5% vs the exact engine) — the
+#    default build already runs them in step 2 via `cargo test -q`.
+# 5. Scenario smoke matrix: one tiny-budget pipeline + evaluate run per
+#    registered scenario through the CLI (plus one quantized-precision
+#    evaluate), so a scenario that rots (or a registry entry that stops
+#    wiring up end-to-end) fails verification.
+# 6. Quick-mode bench snapshot compared against the latest committed
 #    BENCH_<n>.json with a loose 50% threshold, so a hot-path regression
 #    fails verification instead of only surfacing in the next snapshot.
+#    Since BENCH_4.json the gate also covers the quantized rows
+#    (gemv_packed_i8_*, gru128_forward_quant*, readahead sim/inference).
 #    Skip with LAHD_SKIP_BENCH_GATE=1 (e.g. on a loaded box).
 set -euo pipefail
 
@@ -37,6 +44,9 @@ cargo build --release --features simd
 echo "== feature gate: cargo test -q -p lahd-tensor -p lahd-nn -p lahd-rl --features simd"
 cargo test -q -p lahd-tensor -p lahd-nn -p lahd-rl --features simd
 
+echo "== quantized tier (simd): kernel bounds + rollout agreement pins"
+cargo test -q --features simd --test quantized_agreement
+
 echo "== scenario smoke matrix: tiny end-to-end per registered scenario"
 lahd_bin="target/release/lahd"
 smoke_dir="$(mktemp -d)"
@@ -47,6 +57,9 @@ for scenario in $("$lahd_bin" scenarios --names); do
     "$lahd_bin" evaluate --scenario "$scenario" --scale tiny \
         --artifacts "$smoke_dir/$scenario" >/dev/null
 done
+echo "--   dorado-migration: evaluate --infer-precision quantized (tiny)"
+"$lahd_bin" evaluate --scale tiny --infer-precision quantized \
+    --artifacts "$smoke_dir/dorado-migration" >/dev/null
 rm -rf "$smoke_dir"
 
 if [ "${LAHD_SKIP_BENCH_GATE:-0}" = "1" ]; then

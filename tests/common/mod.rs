@@ -1,0 +1,137 @@
+//! Shared test support for the workspace-level suites: rollout replay and
+//! action-agreement helpers over the scenario-generic [`VecPolicy`]
+//! surface. Used by the quantized-precision agreement pins
+//! (`quantized_agreement.rs`) and the exact-replay fidelity pin in
+//! `readahead_scenario.rs`, so the replay loop exists exactly once.
+
+// Each workspace test binary compiles this module and uses its own subset
+// of the helpers, so unused-item warnings here are cross-binary noise.
+#![allow(dead_code)]
+
+use lahd::core::Scenario;
+use lahd::fsm::VecPolicy;
+use lahd::sim::SimConfig;
+use lahd::workload::WorkloadTrace;
+
+/// Step-level action agreement between two policies over one or more
+/// rollouts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Agreement {
+    /// Steps where both policies chose the same action.
+    pub matches: usize,
+    /// Total steps driven.
+    pub total: usize,
+}
+
+impl Agreement {
+    /// Fraction of agreeing steps (1.0 for an empty rollout).
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.matches as f64 / self.total as f64
+        }
+    }
+
+    fn absorb(&mut self, other: Agreement) {
+        self.matches += other.matches;
+        self.total += other.total;
+    }
+}
+
+/// Runs one rollout of `scenario` over `trace` with `driver` choosing the
+/// applied actions, while `follower` sees the *same* observation stream and
+/// its choices are only compared — so the two policies face an identical
+/// trajectory and every step is a fair agreement sample. Both policies are
+/// reset first.
+pub fn rollout_agreement(
+    scenario: &dyn Scenario,
+    sim: &SimConfig,
+    trace: &WorkloadTrace,
+    seed: u64,
+    driver: &mut dyn VecPolicy,
+    follower: &mut dyn VecPolicy,
+) -> Agreement {
+    driver.reset();
+    follower.reset();
+    let mut rollout = scenario.make_rollout(sim, trace.clone(), seed);
+    let mut agreement = Agreement::default();
+    while !rollout.is_done() {
+        let obs = rollout.observe();
+        let action = driver.act_vec(&obs);
+        let shadow = follower.act_vec(&obs);
+        agreement.total += 1;
+        agreement.matches += usize::from(action == shadow);
+        rollout.step(action);
+    }
+    agreement
+}
+
+/// [`rollout_agreement`] summed over a trace set; trace `i` uses seed
+/// `base_seed + i` (the convention of the evaluation harness).
+pub fn rollout_agreement_traces(
+    scenario: &dyn Scenario,
+    sim: &SimConfig,
+    traces: &[WorkloadTrace],
+    base_seed: u64,
+    driver: &mut dyn VecPolicy,
+    follower: &mut dyn VecPolicy,
+) -> Agreement {
+    let mut agreement = Agreement::default();
+    for (i, trace) in traces.iter().enumerate() {
+        agreement.absorb(rollout_agreement(
+            scenario,
+            sim,
+            trace,
+            base_seed.wrapping_add(i as u64),
+            driver,
+            follower,
+        ));
+    }
+    agreement
+}
+
+/// A [`VecPolicy`] that replays pre-recorded per-trace action sequences in
+/// order: `reset` advances to the next recorded trace, `act_vec` returns
+/// the next recorded action (or `usize::MAX` — a guaranteed disagreement —
+/// if the driver outruns the recording). Lets recorded teacher actions
+/// stand in as the `follower` of [`rollout_agreement`].
+pub struct ReplayPolicy {
+    sequences: Vec<Vec<usize>>,
+    trace: Option<usize>,
+    step: usize,
+}
+
+impl ReplayPolicy {
+    /// Wraps the recorded per-trace action sequences.
+    pub fn new(sequences: Vec<Vec<usize>>) -> Self {
+        Self {
+            sequences,
+            trace: None,
+            step: 0,
+        }
+    }
+}
+
+impl VecPolicy for ReplayPolicy {
+    fn reset(&mut self) {
+        self.trace = Some(self.trace.map_or(0, |t| t + 1));
+        self.step = 0;
+    }
+
+    fn act_vec(&mut self, _obs: &[f32]) -> usize {
+        let trace = self.trace.expect("reset() selects the trace to replay");
+        let action = self
+            .sequences
+            .get(trace)
+            .and_then(|seq| seq.get(self.step))
+            .copied()
+            .unwrap_or(usize::MAX);
+        self.step += 1;
+        action
+    }
+
+    fn name(&self) -> &str {
+        "replay"
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end accuracy contract of the quantized fast-inference tier
+//! (`Precision::QuantizedFast`: i8 packed GEMV weights + vectorized
+//! polynomial activations).
+//!
+//! The quantized engine deliberately leaves the bit-identity contract the
+//! rest of the packed inference stack holds; what it promises instead is
+//! *behavioural* fidelity, and this suite is that promise: for **every
+//! registered scenario**, a pipeline-trained agent deployed through the
+//! quantized engine must pick the same action as the exact f32 engine on
+//! ≥ 99.5% of full-rollout decisions — with both engines facing the
+//! identical trajectory and each carrying its own recurrent state, so
+//! quantization drift accumulates exactly as it would in deployment.
+
+mod common;
+
+use common::rollout_agreement_traces;
+use lahd::core::{GruVecPolicy, Pipeline, PipelineConfig, Precision, ScenarioId};
+
+fn agreement_for(scenario: ScenarioId) -> f64 {
+    let mut config = PipelineConfig::tiny();
+    config.scenario = scenario;
+    // The tiny config's 4+4 epochs leave the policy's logits near-uniform —
+    // argmax then flips on ties far smaller than any arithmetic contract
+    // could promise. The agreement pin is about *deployed* (trained)
+    // policies, so train long enough for decisive logits while staying in
+    // test-scale seconds.
+    config.std_epochs = 48;
+    config.real_epochs = 48;
+    let pipeline = Pipeline::new(config.clone());
+    let (std_traces, real_traces) = pipeline.make_traces();
+    let (agent, _) = pipeline.train_with_curriculum(&std_traces, &real_traces);
+
+    let mut exact = GruVecPolicy::packed(agent.clone(), Precision::Exact);
+    let mut quant = GruVecPolicy::packed(agent, Precision::QuantizedFast);
+    let agreement = rollout_agreement_traces(
+        pipeline.scenario(),
+        &config.sim,
+        &real_traces,
+        config.seed,
+        &mut exact,
+        &mut quant,
+    );
+    assert!(
+        agreement.total >= config.trace_len * real_traces.len(),
+        "rollouts too short to be meaningful: {} steps",
+        agreement.total
+    );
+    eprintln!(
+        "{scenario}: {}/{} steps agree ({:.4})",
+        agreement.matches,
+        agreement.total,
+        agreement.ratio()
+    );
+    agreement.ratio()
+}
+
+#[test]
+fn quantized_engine_agrees_on_dorado_migration_rollouts() {
+    let ratio = agreement_for(ScenarioId::DoradoMigration);
+    assert!(
+        ratio >= 0.995,
+        "dorado-migration action agreement {ratio:.4} < 0.995"
+    );
+}
+
+#[test]
+fn quantized_engine_agrees_on_readahead_rollouts() {
+    let ratio = agreement_for(ScenarioId::Readahead);
+    assert!(
+        ratio >= 0.995,
+        "readahead action agreement {ratio:.4} < 0.995"
+    );
+}
+
+/// The exact-precision packed policy must be bit-identical to the unpacked
+/// historical path on the default build (close under `--features simd`) —
+/// the sanity anchor that makes the quantized comparison above meaningful.
+#[test]
+fn exact_packed_policy_matches_unpacked_policy() {
+    let config = PipelineConfig::tiny();
+    let pipeline = Pipeline::new(config.clone());
+    let (std_traces, real_traces) = pipeline.make_traces();
+    let (agent, _) = pipeline.train_with_curriculum(&std_traces, &real_traces);
+
+    let mut unpacked = GruVecPolicy::new(agent.clone());
+    let mut packed = GruVecPolicy::packed(agent, Precision::Exact);
+    let agreement = rollout_agreement_traces(
+        pipeline.scenario(),
+        &config.sim,
+        &real_traces,
+        config.seed,
+        &mut unpacked,
+        &mut packed,
+    );
+    #[cfg(not(feature = "simd"))]
+    assert_eq!(
+        agreement.matches, agreement.total,
+        "exact packed engine diverged from the unpacked path"
+    );
+    #[cfg(feature = "simd")]
+    assert!(
+        agreement.ratio() >= 0.995,
+        "simd exact engine agreement {:.4}",
+        agreement.ratio()
+    );
+}

@@ -3,8 +3,10 @@
 //! the scenario-generic (vector-policy) surface — which is the point: the
 //! train → QBN → FSM pipeline must not care which storage problem it runs.
 
+mod common;
+
+use common::{rollout_agreement, ReplayPolicy};
 use lahd::core::{run_rollout, Pipeline, PipelineConfig, ScenarioId};
-use lahd::fsm::VecPolicy;
 
 fn readahead_config() -> PipelineConfig {
     let mut config = PipelineConfig::tiny();
@@ -79,25 +81,32 @@ fn readahead_fsm_agrees_with_quantized_network_exactly() {
     for row in quantized.rows() {
         teacher_actions[row.episode].push(row.action);
     }
+    let teacher_steps: Vec<usize> = teacher_actions.iter().map(Vec::len).collect();
 
-    // Replay each trace through the FSM with the same rollout seeds.
+    // Replay each trace through the FSM with the same rollout seeds; the
+    // recorded teacher actions ride along as the shadow policy, so 100%
+    // step agreement (at the teacher's step counts) is exact replay.
     let mut policy = lahd::fsm::FsmExecutor::new(fsm, obs_qbn, config.metric, config.nn_matching);
+    let mut teacher = ReplayPolicy::new(teacher_actions);
     for (i, trace) in real_traces.iter().enumerate() {
-        policy.reset();
         let seed = config.seed.wrapping_add(i as u64);
-        let mut rollout = scenario.make_rollout(&config.sim, trace.clone(), seed);
-        let mut fsm_actions = Vec::new();
-        while !rollout.is_done() {
-            let obs = rollout.observe();
-            let action = policy.act_vec(&obs);
-            fsm_actions.push(action);
-            rollout.step(action);
-        }
-        let stats = policy.stats();
+        let agreement = rollout_agreement(
+            scenario,
+            &config.sim,
+            trace,
+            seed,
+            &mut policy,
+            &mut teacher,
+        );
         assert_eq!(
-            fsm_actions, teacher_actions[i],
+            agreement.total, teacher_steps[i],
+            "trace {i}: FSM episode length diverged from the quantized network"
+        );
+        assert_eq!(
+            agreement.matches, agreement.total,
             "trace {i}: FSM actions diverged from the quantized network"
         );
+        let stats = policy.stats();
         assert_eq!(
             stats.unseen_observations, 0,
             "trace {i}: unseen observation on replay"
