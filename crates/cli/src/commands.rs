@@ -5,12 +5,12 @@ use std::io::{BufReader, Write};
 use std::path::{Path, PathBuf};
 
 use lahd_core::{
-    best_static_allocation, explain_fsm, load_artifacts, save_artifacts, Args, Comparison,
-    GruPolicy, GruVecPolicy, Pipeline, PipelineArtifacts, PipelineConfig, Precision, ScenarioId,
-    Table,
+    best_static_allocation, explain_fsm, guard_eval, load_artifacts, save_artifacts, Args,
+    Comparison, GruPolicy, GruVecPolicy, GuardEvalConfig, Pipeline, PipelineArtifacts,
+    PipelineConfig, Precision, ScenarioId, Table,
 };
 use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy, VecPolicy};
-use lahd_sim::{SimConfig, StorageSim};
+use lahd_sim::{Fault, FaultPlan, SimConfig, StorageSim};
 use lahd_workload::{
     read_trace, real_trace_set, standard_trace_set, summarize, write_trace, WorkloadTrace,
 };
@@ -42,6 +42,7 @@ pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     match args.positional(0) {
         Some("pipeline") => cmd_pipeline(args, out),
         Some("evaluate") => cmd_evaluate(args, out),
+        Some("guard-eval") => cmd_guard_eval(args, out),
         Some("explain") => cmd_explain(args, out),
         Some("traces") => cmd_traces(args, out),
         Some("simulate") => cmd_simulate(args, out),
@@ -69,6 +70,13 @@ fn usage() -> String {
      \x20 evaluate   Figure-4 comparison over saved artifacts\n\
      \x20            --artifacts DIR [--scale …] [--scenario …] [--oracle] [--heldout]\n\
      \x20            [--infer-precision exact|quantized]\n\
+     \x20 guard-eval run saved artifacts behind the guardrail harness and\n\
+     \x20            report shadow divergence, drift, and tier fallbacks\n\
+     \x20            --artifacts DIR [--scale …] [--scenario …]\n\
+     \x20            [--fault none|drift|noise|corrupt|stuck] [--fault-from N]\n\
+     \x20            [--fault-to N] [--factor F] [--amplitude F] [--prob F]\n\
+     \x20            [--episodes N] [--workload-scale F] [--no-counterfactuals]\n\
+     \x20            [--report FILE] [--json FILE]\n\
      \x20 explain    Markdown interpretation report for a saved machine\n\
      \x20            --artifacts DIR [--out FILE] [--scale …]\n\
      \x20 traces     summarise the synthetic workloads\n\
@@ -314,6 +322,95 @@ fn evaluate_generic(
     Ok(())
 }
 
+/// Parses the `--fault` family of flags into a [`FaultPlan`]. The fault
+/// seed derives from the pipeline seed so identical invocations are
+/// bit-reproducible without a separate knob.
+fn fault_plan(args: &Args, seed: u64) -> Result<FaultPlan, CliError> {
+    let kind = args.get("fault").unwrap_or("none");
+    let fault = match kind {
+        "none" => return Ok(FaultPlan::none()),
+        // Observation-level distribution shift: the sensor's scale slips.
+        "drift" => Fault::Rescale {
+            factor: args.get_f64("factor", 3.0) as f32,
+        },
+        "noise" => Fault::Noise {
+            amplitude: args.get_f64("amplitude", 0.5) as f32,
+        },
+        "corrupt" => Fault::Corrupt {
+            prob: args.get_f64("prob", 0.5),
+        },
+        "stuck" => Fault::Stuck,
+        other => {
+            return Err(err(format!(
+                "unknown --fault {other:?} (none|drift|noise|corrupt|stuck)"
+            )))
+        }
+    };
+    let from = args.get_u64("fault-from", 0);
+    let to = args.get_u64("fault-to", u64::MAX);
+    if to <= from {
+        return Err(err(format!(
+            "--fault-to ({to}) must be greater than --fault-from ({from})"
+        )));
+    }
+    Ok(FaultPlan::single(seed.wrapping_add(13), fault, from, to))
+}
+
+fn cmd_guard_eval(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let cfg = scale_config(args)?;
+    // Unlike the other artifact consumers, --out here names the Markdown
+    // report, so the artifact directory comes from --artifacts alone.
+    let dir = PathBuf::from(args.get("artifacts").unwrap_or("lahd-artifacts"));
+    let artifacts = load_artifacts(&cfg, &dir).ok_or_else(|| {
+        err(format!(
+            "no artifacts for this configuration (scenario {}) in {} — run `lahd pipeline` \
+             first (the --scenario/--scale/--hidden/--seed options must match)",
+            cfg.scenario,
+            dir.display()
+        ))
+    })?;
+
+    let episodes = args.get_usize("episodes", 0);
+    let mut eval = GuardEvalConfig {
+        fault: fault_plan(args, cfg.seed)?,
+        max_episodes: (episodes > 0).then_some(episodes),
+        workload_scale: args.get_f64("workload-scale", 1.0),
+        counterfactuals: !args.has_flag("no-counterfactuals"),
+        ..GuardEvalConfig::default()
+    };
+    eval.guard.seed = cfg.seed;
+
+    let report = guard_eval(&cfg, &artifacts, eval);
+    let s = &report.snapshot;
+    writeln!(
+        out,
+        "guard-eval {} (fault {}): {} steps, {} shadow comparisons ({} diverged), \
+         drift peak {:.2}",
+        report.scenario, report.fault, s.steps, s.compared, s.diverged, s.drift_peak
+    )?;
+    for t in &s.transitions {
+        writeln!(
+            out,
+            "  step {:>5}: {} -> {} (tier {} -> {}, {})",
+            t.step, t.from, t.to, t.from_tier, t.to_tier, t.reason
+        )?;
+    }
+    writeln!(
+        out,
+        "final state {}, serving tier {} ({}); tier steps {:?}",
+        s.state, s.active_tier, s.tier_names[s.active_tier], s.tier_steps
+    )?;
+    if let Some(path) = args.get("report") {
+        fs::write(path, report.to_markdown())?;
+        writeln!(out, "incident report written to {path}")?;
+    }
+    if let Some(path) = args.get("json") {
+        fs::write(path, report.to_json())?;
+        writeln!(out, "json report written to {path}")?;
+    }
+    Ok(())
+}
+
 fn cmd_explain(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let (cfg, artifacts) = load(args)?;
     if cfg.scenario != ScenarioId::DoradoMigration {
@@ -483,6 +580,7 @@ mod tests {
         for sub in [
             "pipeline",
             "evaluate",
+            "guard-eval",
             "explain",
             "traces",
             "simulate",
@@ -667,6 +765,91 @@ mod tests {
         assert!(text.contains("report written"));
         let report = fs::read_to_string(&report_path).unwrap();
         assert!(report.starts_with("# Extracted storage-tuning strategy"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn guard_eval_clean_and_faulted_at_tiny_scale() {
+        let dir = temp_dir("guard-eval");
+        let out_flag = dir.to_str().unwrap();
+        run_cli(&["pipeline", "--scale", "tiny", "--out", out_flag]).unwrap();
+
+        // Clean run: healthy end state, primary tier serving.
+        let text = run_cli(&[
+            "guard-eval",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--episodes",
+            "2",
+            "--no-counterfactuals",
+        ])
+        .unwrap();
+        assert!(text.contains("guard-eval dorado-migration (fault none)"));
+        assert!(text.contains("final state healthy, serving tier 0"));
+
+        // Injected drift: the guard must report a fallback transition, and
+        // the Markdown + JSON reports must land on disk.
+        let md_path = dir.join("incident.md");
+        let json_path = dir.join("incident.json");
+        let text = run_cli(&[
+            "guard-eval",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--episodes",
+            "2",
+            "--fault",
+            "drift",
+            "--fault-from",
+            "32",
+            "--no-counterfactuals",
+            "--report",
+            md_path.to_str().unwrap(),
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("fallen-back"), "no fallback in:\n{text}");
+        let md = fs::read_to_string(&md_path).unwrap();
+        assert!(md.starts_with("# Guard incident report"), "header: {md}");
+        let json = fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"fallen-back\""), "json states: {json}");
+
+        // Same flags again: the JSON report is bit-reproducible.
+        let json_path2 = dir.join("incident2.json");
+        run_cli(&[
+            "guard-eval",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--episodes",
+            "2",
+            "--fault",
+            "drift",
+            "--fault-from",
+            "32",
+            "--no-counterfactuals",
+            "--json",
+            json_path2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(json, fs::read_to_string(&json_path2).unwrap());
+
+        let e = run_cli(&[
+            "guard-eval",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--fault",
+            "gremlins",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("unknown --fault"));
         let _ = fs::remove_dir_all(&dir);
     }
 

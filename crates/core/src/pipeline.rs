@@ -204,6 +204,11 @@ pub struct PipelineArtifacts {
     pub raw_states: usize,
     /// Transition-dataset size the QBNs were fitted on.
     pub dataset_len: usize,
+    /// Training-time observation profile (per-dimension streaming stats
+    /// over the quantized dataset's observations) — the reference the guard
+    /// layer's drift detector scores live traffic against. `None` for
+    /// artifacts written before the guard layer existed.
+    pub baseline: Option<lahd_guard::BaselineProfile>,
     /// The 12 standard traces used for phase 1.
     pub std_traces: Vec<WorkloadTrace>,
     /// The spliced real traces used for phase 2.
@@ -608,6 +613,14 @@ impl Pipeline {
             obs_qbn.set_precision(self.config.infer_precision);
             hidden_qbn.set_precision(self.config.infer_precision);
         }
+        // Stamp the training-time observation distribution for the guard
+        // layer: exactly the observations the deployed FSM was extracted
+        // over, so runtime drift is measured against the machine's actual
+        // training support.
+        let mut profile = lahd_guard::StreamingProfile::new(quantized.obs_dim());
+        for row in quantized.rows() {
+            profile.push(&row.obs);
+        }
         PipelineArtifacts {
             scenario: self.config.scenario,
             agent,
@@ -617,6 +630,7 @@ impl Pipeline {
             fsm,
             raw_states,
             dataset_len: quantized.len(),
+            baseline: Some(profile.profile()),
             std_traces,
             real_traces,
         }

@@ -101,6 +101,9 @@ pub struct FsmExecutor {
     t: usize,
     stats: FsmRunStats,
     trajectory: Option<Trajectory>,
+    /// Lifetime count of unseen observations, across episode resets — the
+    /// guard layer's long-horizon generalisation signal.
+    unseen_total: u64,
 }
 
 impl FsmExecutor {
@@ -137,6 +140,7 @@ impl FsmExecutor {
             t: 0,
             stats: FsmRunStats::default(),
             trajectory: None,
+            unseen_total: 0,
         }
     }
 
@@ -162,6 +166,15 @@ impl FsmExecutor {
         self.stats
     }
 
+    /// Lifetime count of observations whose quantized code was never seen
+    /// at extraction time. Unlike [`FsmExecutor::stats`], this counter
+    /// survives [`FsmExecutor::reset`]: a deployed machine accumulates it
+    /// across episodes, and a climbing rate is an early sign the input
+    /// distribution has left the training support.
+    pub fn unseen_count(&self) -> u64 {
+        self.unseen_total
+    }
+
     /// The wrapped machine.
     pub fn fsm(&self) -> &Fsm {
         &self.fsm
@@ -180,6 +193,7 @@ impl FsmExecutor {
             return Some(sym);
         }
         self.stats.unseen_observations += 1;
+        self.unseen_total += 1;
         if !self.nn_matching {
             return None;
         }
@@ -311,6 +325,12 @@ impl FsmPolicy {
         self.exec.current_state()
     }
 
+    /// Lifetime unseen-observation count (survives resets); see
+    /// [`FsmExecutor::unseen_count`].
+    pub fn unseen_count(&self) -> u64 {
+        self.exec.unseen_count()
+    }
+
     /// The scenario-generic executor inside this policy.
     pub fn executor(&self) -> &FsmExecutor {
         &self.exec
@@ -429,6 +449,33 @@ mod tests {
             );
             assert_eq!(stats.stuck_steps, 1);
         }
+    }
+
+    #[test]
+    fn unseen_count_survives_reset_while_stats_do_not() {
+        // Give both symbols codes the QBN can never emit, so every
+        // observation is guaranteed unseen.
+        let qbn = Qbn::new(QbnConfig::with_dims(4, 1), 5);
+        let mut fsm = two_state_fsm();
+        fsm.symbols[0].centroid = vec![0.0; 4];
+        fsm.symbols[1].centroid = vec![0.5; 4];
+        fsm.symbols[0].code = lahd_qbn::Code(vec![100]);
+        fsm.symbols[1].code = lahd_qbn::Code(vec![101]);
+        let mut exec = FsmExecutor::new(fsm, qbn, Metric::Euclidean, true);
+        for i in 0..3 {
+            exec.act_vec(&[i as f32 * 0.1; 4]);
+        }
+        assert_eq!(exec.unseen_count(), 3);
+        assert_eq!(exec.stats().unseen_observations, 3);
+        VecPolicy::reset(&mut exec);
+        assert_eq!(
+            exec.stats().unseen_observations,
+            0,
+            "per-episode stats reset"
+        );
+        assert_eq!(exec.unseen_count(), 3, "lifetime counter survives reset");
+        exec.act_vec(&[0.9; 4]);
+        assert_eq!(exec.unseen_count(), 4, "keeps accumulating");
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Runtime drift detection: a sliding observation window scored against a
+//! training-time [`BaselineProfile`].
+//!
+//! The detector keeps the last `window` observations in a ring buffer and,
+//! on demand, computes per-dimension shift scores in units of the baseline's
+//! normalisation denominator ([`DimProfile::denom`]): shift of the window
+//! mean, shift of the window standard deviation (catches zero-mean noise
+//! injection), and shift of the window median against the baseline median
+//! normalised by the inter-quartile range (robust to single outliers). The
+//! reported [`DriftScore`] is the maximum over dimensions and components —
+//! one number the guard state machine thresholds with hysteresis.
+//!
+//! A separate stuck-input signal counts consecutive *identical* observation
+//! vectors: a frozen sensor keeps every window statistic plausible, so no
+//! distributional score can see it, but exact repetition at vector
+//! granularity is vanishingly unlikely under any live workload.
+
+use crate::stats::{exact_quantile, BaselineProfile};
+
+/// Result of scoring the current window against the baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriftScore {
+    /// Max over dimensions of all shift components (the thresholded value).
+    pub score: f64,
+    /// Dimension index attaining the maximum.
+    pub worst_dim: usize,
+    /// Max mean-shift component.
+    pub mean_shift: f64,
+    /// Max std-shift component.
+    pub std_shift: f64,
+    /// Max median-shift component.
+    pub median_shift: f64,
+    /// Observations currently in the window.
+    pub samples: usize,
+    /// Length of the current run of identical consecutive observations.
+    pub stuck_run: usize,
+}
+
+/// Sliding-window drift detector over observation vectors.
+#[derive(Clone, Debug)]
+pub struct DriftDetector {
+    baseline: BaselineProfile,
+    window: usize,
+    /// Ring buffer of the last `window` observations, flattened.
+    ring: Vec<f32>,
+    head: usize,
+    filled: usize,
+    last_obs: Vec<f32>,
+    stuck_run: usize,
+    total: u64,
+}
+
+impl DriftDetector {
+    /// Detector comparing windows of `window` observations against
+    /// `baseline`.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(baseline: BaselineProfile, window: usize) -> Self {
+        assert!(window > 0, "drift window must be non-empty");
+        let dim = baseline.dim();
+        Self {
+            baseline,
+            window,
+            ring: vec![0.0; window * dim],
+            head: 0,
+            filled: 0,
+            last_obs: Vec::new(),
+            stuck_run: 0,
+            total: 0,
+        }
+    }
+
+    /// The baseline being compared against.
+    pub fn baseline(&self) -> &BaselineProfile {
+        &self.baseline
+    }
+
+    /// Consumes one observation.
+    ///
+    /// # Panics
+    /// Panics if `obs` does not match the baseline dimensionality.
+    pub fn observe(&mut self, obs: &[f32]) {
+        let dim = self.baseline.dim();
+        assert_eq!(obs.len(), dim, "observation dimension changed");
+        if self.last_obs.as_slice() == obs {
+            self.stuck_run += 1;
+        } else {
+            self.stuck_run = 0;
+            self.last_obs.clear();
+            self.last_obs.extend_from_slice(obs);
+        }
+        self.ring[self.head * dim..(self.head + 1) * dim].copy_from_slice(obs);
+        self.head = (self.head + 1) % self.window;
+        self.filled = (self.filled + 1).min(self.window);
+        self.total += 1;
+    }
+
+    /// Total observations consumed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Scores the current window. Cheap enough to call at evaluation
+    /// boundaries (it sorts one `window`-length scratch per dimension), not
+    /// meant for every decision.
+    pub fn score(&self) -> DriftScore {
+        let dim = self.baseline.dim();
+        let mut out = DriftScore {
+            samples: self.filled,
+            stuck_run: self.stuck_run,
+            ..DriftScore::default()
+        };
+        if self.filled < 2 {
+            return out;
+        }
+        let n = self.filled;
+        let mut scratch = vec![0.0f64; n];
+        for d in 0..dim {
+            for (slot, row) in scratch.iter_mut().zip(0..n) {
+                *slot = self.ring[row * dim + d] as f64;
+            }
+            let base = &self.baseline.dims[d];
+            let denom = base.denom();
+
+            let mean = scratch.iter().sum::<f64>() / n as f64;
+            let var = scratch.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            let mean_shift = (mean - base.mean).abs() / denom;
+            let std_shift = (var.sqrt() - base.std).abs() / denom;
+
+            scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            let median = exact_quantile(&scratch, 0.5);
+            let iqr_denom = (base.p75 - base.p25).max(denom);
+            let median_shift = (median - base.p50).abs() / iqr_denom;
+
+            out.mean_shift = out.mean_shift.max(mean_shift);
+            out.std_shift = out.std_shift.max(std_shift);
+            out.median_shift = out.median_shift.max(median_shift);
+            let dim_score = mean_shift.max(std_shift).max(median_shift);
+            if dim_score > out.score {
+                out.score = dim_score;
+                out.worst_dim = d;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StreamingProfile;
+
+    /// Deterministic in-distribution generator: a low-discrepancy walk.
+    fn sample(i: u64, d: usize) -> f32 {
+        let x = ((i as f64 + 1.0) * (d as f64 + 1.0) * 0.618_033_988_749_895).fract();
+        (x * 0.2 + 0.4) as f32 // values in [0.4, 0.6)
+    }
+
+    fn baseline(dim: usize) -> BaselineProfile {
+        let mut sp = StreamingProfile::new(dim);
+        for i in 0..4096u64 {
+            let obs: Vec<f32> = (0..dim).map(|d| sample(i, d)).collect();
+            sp.push(&obs);
+        }
+        sp.profile()
+    }
+
+    #[test]
+    fn in_distribution_window_scores_low() {
+        let mut det = DriftDetector::new(baseline(4), 64);
+        for i in 0..256u64 {
+            let obs: Vec<f32> = (0..4).map(|d| sample(i, d)).collect();
+            det.observe(&obs);
+        }
+        let s = det.score();
+        assert!(s.score < 1.0, "clean stream scored {s:?}");
+        assert_eq!(s.stuck_run, 0);
+    }
+
+    #[test]
+    fn shifted_window_scores_high() {
+        let mut det = DriftDetector::new(baseline(4), 64);
+        for i in 0..256u64 {
+            let obs: Vec<f32> = (0..4).map(|d| sample(i, d) * 3.0).collect();
+            det.observe(&obs);
+        }
+        let s = det.score();
+        assert!(s.score > 3.0, "shifted stream scored only {s:?}");
+        assert!(s.mean_shift > 3.0);
+    }
+
+    #[test]
+    fn zero_mean_noise_trips_the_std_component() {
+        let mut det = DriftDetector::new(baseline(4), 64);
+        for i in 0..256u64 {
+            // Symmetric ±0.5 contamination: window mean barely moves.
+            let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+            let obs: Vec<f32> = (0..4).map(|d| sample(i, d) + noise).collect();
+            det.observe(&obs);
+        }
+        let s = det.score();
+        assert!(s.std_shift > 3.0, "noise scored only {s:?}");
+    }
+
+    #[test]
+    fn stuck_run_counts_identical_vectors() {
+        let mut det = DriftDetector::new(baseline(4), 64);
+        let frozen: Vec<f32> = (0..4).map(|d| sample(7, d)).collect();
+        for _ in 0..10 {
+            det.observe(&frozen);
+        }
+        assert_eq!(det.score().stuck_run, 9);
+        det.observe(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(det.score().stuck_run, 0);
+    }
+
+    #[test]
+    fn recovery_drains_with_the_window() {
+        let mut det = DriftDetector::new(baseline(4), 32);
+        for i in 0..64u64 {
+            let obs: Vec<f32> = (0..4).map(|d| sample(i, d) * 3.0).collect();
+            det.observe(&obs);
+        }
+        assert!(det.score().score > 3.0);
+        for i in 0..32u64 {
+            let obs: Vec<f32> = (0..4).map(|d| sample(i, d)).collect();
+            det.observe(&obs);
+        }
+        assert!(
+            det.score().score < 1.0,
+            "window should forget the fault: {:?}",
+            det.score()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Guardrail layer for deployed learned heuristics.
+//!
+//! The extraction pipeline (train → quantize → FSM) produces a tiny
+//! interpretable policy, but a deployed FSM is only trustworthy on inputs
+//! that look like its training distribution. This crate wraps any
+//! [`lahd_fsm::VecPolicy`] ladder in a guarded execution harness with three
+//! cooperating mechanisms:
+//!
+//! - **Shadow mode** ([`ShadowTracker`]): the primary tier serves on the
+//!   hot path while the reference net replays the same observation stream
+//!   in deferred batches; sampled action comparisons feed a windowed
+//!   divergence rate.
+//! - **Drift detection** ([`DriftDetector`], [`BaselineProfile`]): per-
+//!   dimension streaming statistics of recent observations scored against a
+//!   training-time baseline profile stamped into the artifact directory.
+//! - **Automatic fallback** ([`GuardedPolicy`]): a hysteresis state machine
+//!   (Healthy → Suspect → FallenBack → Recovering) that demotes serving
+//!   down the tier ladder when the signals trip, escalates if the fallback
+//!   also misbehaves, and restores the primary once the signals clear.
+//!
+//! Everything is deterministic under fixed seeds and every transition is
+//! recorded; [`IncidentReport`] renders the evidence as Markdown or JSON.
+//!
+//! The crate is policy-agnostic: it depends only on the [`VecPolicy`]
+//! trait, so any scenario's ladder (FSM → quantized net → exact net →
+//! constant baseline) can be guarded. `lahd-core` wires it to real
+//! artifacts and scenarios in its `guard_eval` module.
+//!
+//! [`VecPolicy`]: lahd_fsm::VecPolicy
+
+mod drift;
+mod guard;
+mod report;
+mod shadow;
+mod stats;
+
+pub use drift::{DriftDetector, DriftScore};
+pub use guard::{GuardConfig, GuardSnapshot, GuardedPolicy, HealthState, TransitionRecord};
+pub use report::{CounterfactualScore, EpisodeOutcome, IncidentReport};
+pub use shadow::{ShadowSample, ShadowTracker};
+pub use stats::{
+    exact_quantile, read_profile, write_profile, BaselineProfile, DimProfile, P2Quantile,
+    ProfileError, StreamingProfile, Welford,
+};

@@ -1,0 +1,365 @@
+//! Incident reports: the human- and machine-readable record a guarded run
+//! leaves behind.
+//!
+//! A report packages a [`GuardSnapshot`] with run metadata (scenario, fault
+//! description, seed), per-episode outcomes, and counterfactual scores of
+//! each tier run standalone over the same episodes. It renders to Markdown
+//! (for eyes) and to JSON (for tooling). Both renderings are hand-rolled
+//! and fully deterministic: map keys in fixed order, floats printed with
+//! the shortest-roundtrip `{:e}` format — two same-seed runs produce
+//! byte-identical output.
+
+use std::fmt::Write as _;
+
+use crate::guard::GuardSnapshot;
+
+/// Outcome of one evaluated episode under the guard.
+#[derive(Clone, Debug)]
+pub struct EpisodeOutcome {
+    /// Trace / workload label.
+    pub trace: String,
+    /// Scenario score for the episode (lower is better for both built-in
+    /// scenarios: makespan hours, miss cost).
+    pub score: f64,
+    /// Decisions taken in the episode.
+    pub steps: u64,
+    /// Guard state when the episode ended.
+    pub end_state: String,
+}
+
+/// Score of one tier run standalone (unguarded, no faults) over the same
+/// episodes — the counterfactual the guarded score is judged against.
+#[derive(Clone, Debug)]
+pub struct CounterfactualScore {
+    /// Tier / policy name.
+    pub policy: String,
+    /// Mean episode score.
+    pub score: f64,
+}
+
+/// Everything a guarded evaluation run learned, ready to render.
+#[derive(Clone, Debug)]
+pub struct IncidentReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Human description of the injected fault plan ("none" when clean).
+    pub fault: String,
+    /// Seed the run was driven with.
+    pub seed: u64,
+    /// Final guard evidence.
+    pub snapshot: GuardSnapshot,
+    /// Per-episode outcomes, evaluation order.
+    pub episodes: Vec<EpisodeOutcome>,
+    /// Standalone tier scores for context.
+    pub counterfactuals: Vec<CounterfactualScore>,
+}
+
+/// Shortest-roundtrip float rendering shared by both output formats so the
+/// same value always prints the same bytes.
+fn fnum(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:e}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl IncidentReport {
+    /// Renders the report as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let s = &self.snapshot;
+        let mut md = String::new();
+        let _ = writeln!(md, "# Guard incident report — {}", self.scenario);
+        let _ = writeln!(md);
+        let _ = writeln!(md, "- fault plan: {}", self.fault);
+        let _ = writeln!(md, "- seed: {}", self.seed);
+        let _ = writeln!(md, "- decisions served: {}", s.steps);
+        let _ = writeln!(
+            md,
+            "- final state: **{}** (serving tier {}: {})",
+            s.state, s.active_tier, s.tier_names[s.active_tier]
+        );
+        let _ = writeln!(
+            md,
+            "- shadow comparisons: {} sampled, {} diverged",
+            s.compared, s.diverged
+        );
+        let _ = writeln!(md, "- peak drift score: {}", fnum(s.drift_peak));
+        let _ = writeln!(md);
+
+        let _ = writeln!(md, "## Tier usage");
+        let _ = writeln!(md);
+        let _ = writeln!(md, "| tier | policy | decisions served |");
+        let _ = writeln!(md, "|---|---|---|");
+        for (i, name) in s.tier_names.iter().enumerate() {
+            let _ = writeln!(md, "| {} | {} | {} |", i, name, s.tier_steps[i]);
+        }
+        let _ = writeln!(md);
+
+        let _ = writeln!(md, "## Transitions");
+        let _ = writeln!(md);
+        if s.transitions.is_empty() {
+            let _ = writeln!(md, "None — the guard stayed healthy throughout.");
+        } else {
+            let _ = writeln!(
+                md,
+                "| step | from | to | tier | divergence | drift | reason |"
+            );
+            let _ = writeln!(md, "|---|---|---|---|---|---|---|");
+            for t in &s.transitions {
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {} | {} -> {} | {} | {} | {} |",
+                    t.step,
+                    t.from,
+                    t.to,
+                    t.from_tier,
+                    t.to_tier,
+                    fnum(t.divergence),
+                    fnum(t.drift),
+                    t.reason
+                );
+            }
+        }
+        let _ = writeln!(md);
+
+        let _ = writeln!(md, "## Episodes");
+        let _ = writeln!(md);
+        let _ = writeln!(md, "| trace | score | steps | end state |");
+        let _ = writeln!(md, "|---|---|---|---|");
+        for e in &self.episodes {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} |",
+                e.trace,
+                fnum(e.score),
+                e.steps,
+                e.end_state
+            );
+        }
+        let _ = writeln!(md);
+
+        if !self.counterfactuals.is_empty() {
+            let _ = writeln!(md, "## Counterfactual tier scores (clean, unguarded)");
+            let _ = writeln!(md);
+            let _ = writeln!(md, "| policy | mean score |");
+            let _ = writeln!(md, "|---|---|");
+            for c in &self.counterfactuals {
+                let _ = writeln!(md, "| {} | {} |", c.policy, fnum(c.score));
+            }
+            let _ = writeln!(md);
+        }
+
+        if !s.samples.is_empty() {
+            let diverging: Vec<_> = s.samples.iter().filter(|x| x.diverged).collect();
+            let _ = writeln!(
+                md,
+                "## Recent diverging samples ({} of {} logged)",
+                diverging.len(),
+                s.samples.len()
+            );
+            let _ = writeln!(md);
+            if diverging.is_empty() {
+                let _ = writeln!(md, "None in the log window.");
+            } else {
+                let _ = writeln!(md, "| step | primary | shadow |");
+                let _ = writeln!(md, "|---|---|---|");
+                for x in diverging.iter().take(20) {
+                    let _ = writeln!(
+                        md,
+                        "| {} | {} | {} |",
+                        x.step, x.primary_action, x.shadow_action
+                    );
+                }
+            }
+            let _ = writeln!(md);
+        }
+        md
+    }
+
+    /// Renders the report as JSON. Deterministic: fixed key order,
+    /// shortest-roundtrip floats.
+    pub fn to_json(&self) -> String {
+        let s = &self.snapshot;
+        let mut j = String::new();
+        j.push('{');
+        let _ = write!(j, "\"scenario\":\"{}\"", json_escape(&self.scenario));
+        let _ = write!(j, ",\"fault\":\"{}\"", json_escape(&self.fault));
+        let _ = write!(j, ",\"seed\":{}", self.seed);
+        let _ = write!(j, ",\"steps\":{}", s.steps);
+        let _ = write!(j, ",\"final_state\":\"{}\"", s.state);
+        let _ = write!(j, ",\"active_tier\":{}", s.active_tier);
+        let _ = write!(j, ",\"compared\":{}", s.compared);
+        let _ = write!(j, ",\"diverged\":{}", s.diverged);
+        let _ = write!(j, ",\"drift_peak\":{}", fnum(s.drift_peak));
+
+        j.push_str(",\"tiers\":[");
+        for (i, name) in s.tier_names.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"index\":{},\"name\":\"{}\",\"served\":{}}}",
+                i,
+                json_escape(name),
+                s.tier_steps[i]
+            );
+        }
+        j.push(']');
+
+        j.push_str(",\"transitions\":[");
+        for (i, t) in s.transitions.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"step\":{},\"from\":\"{}\",\"to\":\"{}\",\"from_tier\":{},\"to_tier\":{},\"divergence\":{},\"drift\":{},\"stuck_run\":{},\"reason\":\"{}\"}}",
+                t.step,
+                t.from,
+                t.to,
+                t.from_tier,
+                t.to_tier,
+                fnum(t.divergence),
+                fnum(t.drift),
+                t.stuck_run,
+                t.reason
+            );
+        }
+        j.push(']');
+
+        j.push_str(",\"episodes\":[");
+        for (i, e) in self.episodes.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"trace\":\"{}\",\"score\":{},\"steps\":{},\"end_state\":\"{}\"}}",
+                json_escape(&e.trace),
+                fnum(e.score),
+                e.steps,
+                json_escape(&e.end_state)
+            );
+        }
+        j.push(']');
+
+        j.push_str(",\"counterfactuals\":[");
+        for (i, c) in self.counterfactuals.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"policy\":\"{}\",\"score\":{}}}",
+                json_escape(&c.policy),
+                fnum(c.score)
+            );
+        }
+        j.push(']');
+        j.push('}');
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{GuardSnapshot, HealthState, TransitionRecord};
+    use crate::shadow::ShadowSample;
+
+    fn report() -> IncidentReport {
+        IncidentReport {
+            scenario: "dorado-migration".to_string(),
+            fault: "drift x3.0 from step 10".to_string(),
+            seed: 42,
+            snapshot: GuardSnapshot {
+                state: HealthState::FallenBack,
+                active_tier: 1,
+                tier_names: vec!["fsm".to_string(), "gru-exact".to_string()],
+                tier_steps: vec![40, 24],
+                steps: 64,
+                transitions: vec![TransitionRecord {
+                    step: 40,
+                    from: HealthState::Suspect,
+                    to: HealthState::FallenBack,
+                    from_tier: 0,
+                    to_tier: 1,
+                    divergence: 0.625,
+                    drift: 4.5,
+                    stuck_run: 0,
+                    reason: "drift",
+                }],
+                compared: 30,
+                diverged: 10,
+                drift_peak: 4.5,
+                last_divergence: 0.625,
+                last_drift: 4.5,
+                samples: vec![ShadowSample {
+                    step: 39,
+                    primary_action: 2,
+                    shadow_action: 5,
+                    diverged: true,
+                }],
+            },
+            episodes: vec![EpisodeOutcome {
+                trace: "trace-a".to_string(),
+                score: 12.25,
+                steps: 64,
+                end_state: "fallen-back".to_string(),
+            }],
+            counterfactuals: vec![CounterfactualScore {
+                policy: "fsm".to_string(),
+                score: 11.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn markdown_mentions_the_essentials() {
+        let md = report().to_markdown();
+        assert!(md.contains("fallen-back"));
+        assert!(md.contains("| 40 | suspect | fallen-back | 0 -> 1 |"));
+        assert!(md.contains("trace-a"));
+        assert!(md.contains("gru-exact"));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let a = report().to_json();
+        let b = report().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"final_state\":\"fallen-back\""));
+        assert!(a.contains("\"reason\":\"drift\""));
+        // Balanced braces/brackets (no string values contain them here).
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn float_rendering_is_stable() {
+        assert_eq!(fnum(4.5), "4.5e0");
+        assert_eq!(fnum(12.0), "12.0");
+        assert_eq!(fnum(0.625), "6.25e-1");
+    }
+}

@@ -1,0 +1,196 @@
+//! Shadow-mode bookkeeping: sampled primary-vs-reference action
+//! comparisons, a sliding divergence window, and a bounded ring-buffer log.
+//!
+//! The guarded policy serves decisions from one tier and replays the same
+//! observation stream through the other tiers in deferred batches (see
+//! [`crate::GuardedPolicy`]). This module owns the *comparison* side: which
+//! steps get compared (a seeded pseudo-random 1-in-`sample_period`
+//! selection, deterministic per step index), the divergence rate over the
+//! recent window, and the capped sample log that feeds incident reports.
+
+use std::collections::VecDeque;
+
+/// SplitMix64 — the workspace's standard seed-expansion hash; used here to
+/// make per-step sampling a pure function of `(seed, step)`.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One logged shadow comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShadowSample {
+    /// Global decision step the comparison belongs to.
+    pub step: u64,
+    /// Action the primary tier (the deployed FSM) chose.
+    pub primary_action: usize,
+    /// Action the shadow reference tier (the teacher net) chose.
+    pub shadow_action: usize,
+    /// Whether the two disagree.
+    pub diverged: bool,
+}
+
+/// Sampled divergence tracking between the primary tier and its shadow
+/// reference.
+#[derive(Clone, Debug)]
+pub struct ShadowTracker {
+    sample_period: usize,
+    window: u64,
+    capacity: usize,
+    seed: u64,
+    /// Sampled comparisons within the recent window: `(step, diverged)`.
+    recent: VecDeque<(u64, bool)>,
+    /// Bounded log of the most recent samples (for incident reports).
+    ring: VecDeque<ShadowSample>,
+    compared: u64,
+    diverged: u64,
+}
+
+impl ShadowTracker {
+    /// Tracker sampling ~1 in `sample_period` steps, rating divergence over
+    /// the last `window` steps, and logging at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `sample_period` or `window` is zero.
+    pub fn new(sample_period: usize, window: usize, capacity: usize, seed: u64) -> Self {
+        assert!(sample_period > 0, "sample period must be positive");
+        assert!(window > 0, "divergence window must be non-empty");
+        Self {
+            sample_period,
+            window: window as u64,
+            capacity,
+            seed,
+            recent: VecDeque::new(),
+            ring: VecDeque::new(),
+            compared: 0,
+            diverged: 0,
+        }
+    }
+
+    /// Whether `step` is selected for comparison — a deterministic seeded
+    /// pseudo-random 1-in-`sample_period` choice (period 1 samples every
+    /// step).
+    pub fn is_sampled(&self, step: u64) -> bool {
+        self.sample_period == 1 || splitmix64(self.seed ^ step) % self.sample_period as u64 == 0
+    }
+
+    /// Records one comparison and prunes entries older than the window.
+    pub fn record(&mut self, sample: ShadowSample) {
+        self.compared += 1;
+        if sample.diverged {
+            self.diverged += 1;
+        }
+        self.recent.push_back((sample.step, sample.diverged));
+        while let Some(&(s, _)) = self.recent.front() {
+            if s + self.window <= sample.step {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(sample);
+    }
+
+    /// Divergence rate over comparisons in the window ending at `now`, or
+    /// `None` when fewer than `min_samples` comparisons are available (too
+    /// little evidence to act on).
+    pub fn rate(&self, now: u64, min_samples: usize) -> Option<f64> {
+        let floor = now.saturating_sub(self.window);
+        let mut total = 0u64;
+        let mut bad = 0u64;
+        for &(s, d) in &self.recent {
+            if s >= floor {
+                total += 1;
+                bad += d as u64;
+            }
+        }
+        (total as usize >= min_samples).then(|| bad as f64 / total as f64)
+    }
+
+    /// Lifetime `(compared, diverged)` counts.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.compared, self.diverged)
+    }
+
+    /// The logged samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &ShadowSample> {
+        self.ring.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(step: u64, diverged: bool) -> ShadowSample {
+        ShadowSample {
+            step,
+            primary_action: 0,
+            shadow_action: diverged as usize,
+            diverged,
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_roughly_one_in_k() {
+        let t = ShadowTracker::new(4, 64, 16, 7);
+        let picked: Vec<u64> = (0..4000).filter(|&s| t.is_sampled(s)).collect();
+        let again: Vec<u64> = (0..4000).filter(|&s| t.is_sampled(s)).collect();
+        assert_eq!(picked, again);
+        assert!(
+            picked.len() > 700 && picked.len() < 1300,
+            "expected ~1000 of 4000, got {}",
+            picked.len()
+        );
+        // A different seed selects a different subset.
+        let other = ShadowTracker::new(4, 64, 16, 8);
+        let other_picked: Vec<u64> = (0..4000).filter(|&s| other.is_sampled(s)).collect();
+        assert_ne!(picked, other_picked);
+    }
+
+    #[test]
+    fn period_one_samples_everything() {
+        let t = ShadowTracker::new(1, 8, 4, 0);
+        assert!((0..100).all(|s| t.is_sampled(s)));
+    }
+
+    #[test]
+    fn rate_is_windowed() {
+        let mut t = ShadowTracker::new(1, 10, 100, 0);
+        for s in 0..10 {
+            t.record(sample(s, true));
+        }
+        assert_eq!(t.rate(9, 1), Some(1.0));
+        for s in 10..30 {
+            t.record(sample(s, false));
+        }
+        // The divergent prefix has aged out of the window.
+        assert_eq!(t.rate(29, 1), Some(0.0));
+        assert_eq!(t.totals(), (30, 10));
+    }
+
+    #[test]
+    fn rate_requires_min_samples() {
+        let mut t = ShadowTracker::new(1, 64, 8, 0);
+        t.record(sample(0, true));
+        assert_eq!(t.rate(0, 2), None);
+        t.record(sample(1, true));
+        assert_eq!(t.rate(1, 2), Some(1.0));
+    }
+
+    #[test]
+    fn ring_is_capacity_bounded() {
+        let mut t = ShadowTracker::new(1, 8, 3, 0);
+        for s in 0..10 {
+            t.record(sample(s, false));
+        }
+        let steps: Vec<u64> = t.samples().map(|s| s.step).collect();
+        assert_eq!(steps, vec![7, 8, 9]);
+    }
+}

@@ -1,0 +1,529 @@
+//! Streaming observation statistics: Welford mean/variance and the P²
+//! quantile sketch, composed into per-dimension baseline profiles.
+//!
+//! The guardrail layer needs two statistical artifacts:
+//!
+//! * a **training-time baseline** ([`BaselineProfile`]) summarising the
+//!   observation distribution the policy was extracted under — built in one
+//!   streaming pass over the transition dataset ([`StreamingProfile`]) and
+//!   stamped into the artifact directory in the workspace's line-oriented
+//!   text format ([`write_profile`]/[`read_profile`]);
+//! * a cheap **runtime window** to compare against it (see
+//!   [`crate::drift::DriftDetector`]).
+//!
+//! Everything here is deterministic: the same observation stream produces
+//! bit-identical profiles, so guarded runs stay reproducible under fixed
+//! seeds.
+
+use std::io::{self, BufRead, Write};
+
+/// Welford's online mean/variance accumulator (numerically stable single
+/// pass; the textbook recurrence, in f64).
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Samples seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// The P² streaming quantile estimator (Jain & Chlamtac, 1985): tracks one
+/// quantile with five markers and piecewise-parabolic adjustment, O(1) per
+/// sample and deterministic. Exact until five samples have arrived.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based, as in the paper).
+    n: [f64; 5],
+    /// Desired marker positions.
+    nd: [f64; 5],
+    /// Desired-position increments per sample.
+    dnd: [f64; 5],
+    /// Samples seen before the markers initialise.
+    warmup: Vec<f64>,
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Estimator for the `p`-quantile, `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must lie strictly in (0, 1)");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            nd: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dnd: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            warmup: Vec::with_capacity(5),
+            count: 0,
+        }
+    }
+
+    /// Consumes one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.warmup.push(x);
+            if self.count == 5 {
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                for (slot, &v) in self.q.iter_mut().zip(&self.warmup) {
+                    *slot = v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell containing x, extending the extremes if needed.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            // q[k] <= x < q[k+1]
+            (0..4)
+                .find(|&i| x < self.q[i + 1])
+                .expect("x is below q[4] here")
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.nd[i] += self.dnd[i];
+        }
+
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.nd[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, qi, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, ni, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        qi + d / (np - nm)
+            * ((ni - nm + d) * (qp - qi) / (np - ni) + (np - ni - d) * (qi - qm) / (ni - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate (exact sorted interpolation before five samples; 0
+    /// when empty).
+    pub fn quantile(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            let mut sorted = self.warmup.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            return exact_quantile(&sorted, self.p);
+        }
+        self.q[2]
+    }
+}
+
+/// Exact `p`-quantile of an already **sorted** slice, with linear
+/// interpolation between order statistics (the batch reference the streaming
+/// estimators are property-tested against).
+pub fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let rank = p * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Streaming statistics of one observation dimension.
+#[derive(Clone, Debug)]
+pub struct DimStream {
+    welford: Welford,
+    min: f64,
+    max: f64,
+    q25: P2Quantile,
+    q50: P2Quantile,
+    q75: P2Quantile,
+}
+
+impl DimStream {
+    fn new() -> Self {
+        Self {
+            welford: Welford::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            q25: P2Quantile::new(0.25),
+            q50: P2Quantile::new(0.50),
+            q75: P2Quantile::new(0.75),
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.welford.push(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.q25.push(x);
+        self.q50.push(x);
+        self.q75.push(x);
+    }
+
+    fn profile(&self) -> DimProfile {
+        DimProfile {
+            mean: self.welford.mean(),
+            std: self.welford.std(),
+            min: if self.min.is_finite() { self.min } else { 0.0 },
+            max: if self.max.is_finite() { self.max } else { 0.0 },
+            p25: self.q25.quantile(),
+            p50: self.q50.quantile(),
+            p75: self.q75.quantile(),
+        }
+    }
+}
+
+/// One streaming pass over observation vectors, producing a
+/// [`BaselineProfile`].
+#[derive(Clone, Debug)]
+pub struct StreamingProfile {
+    dims: Vec<DimStream>,
+    count: u64,
+}
+
+impl StreamingProfile {
+    /// Profile builder over `dim`-dimensional observations.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dims: (0..dim).map(|_| DimStream::new()).collect(),
+            count: 0,
+        }
+    }
+
+    /// Consumes one observation vector.
+    ///
+    /// # Panics
+    /// Panics if `obs` does not match the configured dimensionality.
+    pub fn push(&mut self, obs: &[f32]) {
+        assert_eq!(obs.len(), self.dims.len(), "observation dimension changed");
+        for (stream, &x) in self.dims.iter_mut().zip(obs) {
+            stream.push(x as f64);
+        }
+        self.count += 1;
+    }
+
+    /// Observations consumed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn profile(&self) -> BaselineProfile {
+        BaselineProfile {
+            dims: self.dims.iter().map(DimStream::profile).collect(),
+            count: self.count,
+        }
+    }
+}
+
+/// Summary statistics of one observation dimension under the training
+/// distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DimProfile {
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// First quartile (P² estimate).
+    pub p25: f64,
+    /// Median (P² estimate).
+    pub p50: f64,
+    /// Third quartile (P² estimate).
+    pub p75: f64,
+}
+
+impl DimProfile {
+    /// The drift-normalisation denominator for this dimension: the standard
+    /// deviation, floored by a fraction of the observed range (so
+    /// near-constant dimensions do not produce infinite z-scores) and by an
+    /// absolute epsilon.
+    pub fn denom(&self) -> f64 {
+        self.std.max(0.05 * (self.max - self.min)).max(1e-3)
+    }
+}
+
+/// Per-dimension summary of the observation distribution a policy was
+/// trained/extracted under — the reference the runtime drift detector
+/// compares live windows against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineProfile {
+    /// One profile per observation dimension.
+    pub dims: Vec<DimProfile>,
+    /// Number of observations the profile was computed over.
+    pub count: u64,
+}
+
+impl BaselineProfile {
+    /// Observation dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+const MAGIC: &str = "lahd-baseline v1";
+
+/// Errors produced while reading a baseline-profile file.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Format(String),
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "io error: {e}"),
+            ProfileError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<io::Error> for ProfileError {
+    fn from(e: io::Error) -> Self {
+        ProfileError::Io(e)
+    }
+}
+
+/// Writes a profile in the workspace's human-reviewable text style (floats
+/// as shortest-roundtrip scientific notation, so read-back is exact).
+pub fn write_profile(profile: &BaselineProfile, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "dims {} count {}", profile.dims.len(), profile.count)?;
+    for (i, d) in profile.dims.iter().enumerate() {
+        writeln!(
+            out,
+            "dim {i} mean {:e} std {:e} min {:e} max {:e} p25 {:e} p50 {:e} p75 {:e}",
+            d.mean, d.std, d.min, d.max, d.p25, d.p50, d.p75
+        )?;
+    }
+    writeln!(out, "end")?;
+    Ok(())
+}
+
+/// Reads a profile written by [`write_profile`].
+pub fn read_profile(input: &mut impl BufRead) -> Result<BaselineProfile, ProfileError> {
+    let mut lines = input.lines();
+    let magic = lines
+        .next()
+        .ok_or_else(|| ProfileError::Format("empty file".into()))??;
+    if magic.trim() != MAGIC {
+        return Err(ProfileError::Format(format!("bad magic line: {magic:?}")));
+    }
+
+    let header = lines
+        .next()
+        .ok_or_else(|| ProfileError::Format("missing dims header".into()))??;
+    let mut parts = header.split_whitespace();
+    let ndims: usize = match (parts.next(), parts.next()) {
+        (Some("dims"), Some(v)) => v
+            .parse()
+            .map_err(|_| ProfileError::Format(format!("bad dim count {v:?}")))?,
+        _ => return Err(ProfileError::Format(format!("bad header {header:?}"))),
+    };
+    let count: u64 = match (parts.next(), parts.next()) {
+        (Some("count"), Some(v)) => v
+            .parse()
+            .map_err(|_| ProfileError::Format(format!("bad sample count {v:?}")))?,
+        _ => return Err(ProfileError::Format(format!("bad header {header:?}"))),
+    };
+
+    let mut dims = Vec::with_capacity(ndims);
+    for i in 0..ndims {
+        let line = lines
+            .next()
+            .ok_or_else(|| ProfileError::Format(format!("missing dim {i} (file truncated?)")))??;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 16 || toks[0] != "dim" {
+            return Err(ProfileError::Format(format!("bad dim line {line:?}")));
+        }
+        let field = |label: usize, value: usize| -> Result<f64, ProfileError> {
+            let expected = ["mean", "std", "min", "max", "p25", "p50", "p75"][(label - 2) / 2];
+            if toks[label] != expected {
+                return Err(ProfileError::Format(format!(
+                    "dim {i}: expected field {expected:?}, found {:?}",
+                    toks[label]
+                )));
+            }
+            toks[value].parse().map_err(|_| {
+                ProfileError::Format(format!("dim {i}: bad {expected} value {:?}", toks[value]))
+            })
+        };
+        dims.push(DimProfile {
+            mean: field(2, 3)?,
+            std: field(4, 5)?,
+            min: field(6, 7)?,
+            max: field(8, 9)?,
+            p25: field(10, 11)?,
+            p50: field(12, 13)?,
+            p75: field(14, 15)?,
+        });
+    }
+    match lines.next() {
+        Some(Ok(l)) if l.trim() == "end" => Ok(BaselineProfile { dims, count }),
+        _ => Err(ProfileError::Format(
+            "missing 'end' terminator (file truncated?)".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_reference() {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.5)
+            .collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_median_of_uniform_ramp_is_central() {
+        let mut q = P2Quantile::new(0.5);
+        // A deterministic low-discrepancy walk over [0, 1).
+        for i in 0..2000u64 {
+            q.push((i as f64 * 0.618_033_988_749_895).fract());
+        }
+        assert!((q.quantile() - 0.5).abs() < 0.05, "median {}", q.quantile());
+    }
+
+    #[test]
+    fn p2_is_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        q.push(3.0);
+        q.push(1.0);
+        q.push(2.0);
+        assert_eq!(q.quantile(), 2.0);
+    }
+
+    #[test]
+    fn profile_roundtrips_through_text_exactly() {
+        let mut sp = StreamingProfile::new(3);
+        for i in 0..50 {
+            let x = i as f32 * 0.173;
+            sp.push(&[x.sin(), x.cos() * 2.0, -x]);
+        }
+        let profile = sp.profile();
+        let mut buf = Vec::new();
+        write_profile(&profile, &mut buf).unwrap();
+        let back = read_profile(&mut &buf[..]).unwrap();
+        assert_eq!(profile, back);
+    }
+
+    #[test]
+    fn truncated_profile_is_a_clear_error() {
+        let mut sp = StreamingProfile::new(2);
+        sp.push(&[1.0, 2.0]);
+        let profile = sp.profile();
+        let mut buf = Vec::new();
+        write_profile(&profile, &mut buf).unwrap();
+        // Cut at a line boundary (missing trailer) and mid-line (mangled
+        // record): both must surface as clear format errors, not panics.
+        let text = String::from_utf8(buf.clone()).unwrap();
+        let at_line = text.rfind("end").unwrap();
+        let e = read_profile(&mut &buf[..at_line]).unwrap_err();
+        assert!(e.to_string().contains("truncated"), "{e}");
+        let cut = buf.len() / 2;
+        let e = read_profile(&mut &buf[..cut]).unwrap_err();
+        assert!(matches!(e, ProfileError::Format(_)), "{e}");
+    }
+
+    #[test]
+    fn denom_floors_constant_dimensions() {
+        let d = DimProfile {
+            mean: 1.0,
+            std: 0.0,
+            min: 1.0,
+            max: 1.0,
+            p25: 1.0,
+            p50: 1.0,
+            p75: 1.0,
+        };
+        assert_eq!(d.denom(), 1e-3);
+    }
+}

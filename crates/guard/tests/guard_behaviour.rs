@@ -1,0 +1,205 @@
+//! End-to-end behaviour of the guard state machine over synthetic tier
+//! ladders, where divergence and drift are under the test's direct control:
+//! trip, fallback-only serving while degraded, escalation down the ladder,
+//! stuck-input detection, and full recovery.
+
+use lahd_fsm::VecPolicy;
+use lahd_guard::{BaselineProfile, GuardConfig, GuardedPolicy, HealthState, StreamingProfile};
+
+/// Chooses action 1 when `obs[0] > 0.5`, else 0 — the "primary" whose
+/// agreement with the constant shadow is decided by the observation stream.
+struct Threshold;
+
+impl VecPolicy for Threshold {
+    fn reset(&mut self) {}
+
+    fn act_vec(&mut self, obs: &[f32]) -> usize {
+        usize::from(obs[0] > 0.5)
+    }
+
+    fn name(&self) -> &str {
+        "threshold"
+    }
+}
+
+/// Always chooses `action`.
+struct Constant(usize, &'static str);
+
+impl VecPolicy for Constant {
+    fn reset(&mut self) {}
+
+    fn act_vec(&mut self, _obs: &[f32]) -> usize {
+        self.0
+    }
+
+    fn name(&self) -> &str {
+        self.1
+    }
+}
+
+/// A 2-dim baseline covering the unit interval, so any observation in
+/// [0, 1] is in-distribution and drift never interferes with the
+/// divergence-driven tests.
+fn unit_baseline() -> BaselineProfile {
+    let mut sp = StreamingProfile::new(2);
+    for i in 0..256 {
+        let x = (i % 32) as f32 / 31.0;
+        sp.push(&[x, 1.0 - x]);
+    }
+    sp.profile()
+}
+
+/// An in-distribution observation near `base`, wobbled so consecutive
+/// observations are never identical (the stuck detector must stay quiet).
+fn obs(i: u64, base: f32) -> Vec<f32> {
+    let w = (i % 7) as f32 * 0.01;
+    vec![base + w, 1.0 - base - w]
+}
+
+fn cfg() -> GuardConfig {
+    GuardConfig::default()
+}
+
+#[test]
+fn divergence_trips_fallback_serves_and_recovery_restores_primary() {
+    let tiers: Vec<Box<dyn VecPolicy>> = vec![
+        Box::new(Threshold),
+        Box::new(Constant(0, "shadow-net")),
+        Box::new(Constant(0, "last-resort")),
+    ];
+    let mut guard = GuardedPolicy::new(tiers, 1, unit_baseline(), cfg());
+
+    // Disagreeing regime: primary says 1, shadow says 0, on every step.
+    for _ in 0..32 {
+        // Tier switches happen at flush boundaries inside act_vec, so the
+        // tier that serves this step is the one active *before* the call.
+        let serving = guard.active_tier();
+        let action = guard.act_vec(&obs(guard.steps(), 0.8));
+        if serving > 0 {
+            assert_eq!(action, 0, "fallback tiers always answer 0");
+        }
+    }
+    assert_eq!(
+        guard.state(),
+        HealthState::FallenBack,
+        "tripped on divergence"
+    );
+    assert!(guard.active_tier() > 0, "a fallback tier is serving");
+
+    // While degraded, only fallback tiers serve.
+    let primary_steps_when_tripped = guard.snapshot().tier_steps[0];
+    for _ in 0..64 {
+        assert!(
+            guard.active_tier() > 0,
+            "degraded guard must not serve tier 0"
+        );
+        let action = guard.act_vec(&obs(guard.steps(), 0.8));
+        assert_eq!(action, 0);
+    }
+    assert_eq!(
+        guard.snapshot().tier_steps[0],
+        primary_steps_when_tripped,
+        "tier 0 served nothing while degraded"
+    );
+
+    // Agreeing regime: divergence decays as the window slides, and the
+    // guard walks FallenBack -> Recovering -> Healthy back onto tier 0.
+    for _ in 0..400 {
+        guard.act_vec(&obs(guard.steps(), 0.2));
+        if guard.state() == HealthState::Healthy {
+            break;
+        }
+    }
+    assert_eq!(guard.state(), HealthState::Healthy, "recovered");
+    assert_eq!(guard.active_tier(), 0, "primary restored");
+    let states: Vec<HealthState> = guard.transitions().iter().map(|t| t.to).collect();
+    assert!(states.contains(&HealthState::Recovering), "{states:?}");
+    // A few more healthy steps: the restored primary is really serving.
+    for _ in 0..8 {
+        guard.act_vec(&obs(guard.steps(), 0.2));
+    }
+    let snap = guard.snapshot();
+    assert!(
+        snap.tier_steps[0] > primary_steps_when_tripped,
+        "primary serves again"
+    );
+}
+
+#[test]
+fn persistent_badness_escalates_to_the_last_resort_and_stays_in_range() {
+    let tiers: Vec<Box<dyn VecPolicy>> = vec![
+        Box::new(Threshold),
+        Box::new(Constant(0, "shadow-net")),
+        Box::new(Constant(2, "mid-tier")),
+        Box::new(Constant(3, "last-resort")),
+    ];
+    let mut guard = GuardedPolicy::new(tiers, 1, unit_baseline(), cfg());
+
+    let mut served_last_resort = false;
+    for _ in 0..400 {
+        let action = guard.act_vec(&obs(guard.steps(), 0.8));
+        assert!(guard.active_tier() < 4);
+        served_last_resort |= action == 3;
+    }
+    assert_eq!(
+        guard.active_tier(),
+        3,
+        "sustained badness escalates to the bottom of the ladder: {:?}",
+        guard.transitions()
+    );
+    assert!(served_last_resort, "the last resort actually served");
+
+    // Demotions were recorded one tier at a time, monotonically.
+    let demotions: Vec<(usize, usize)> = guard
+        .transitions()
+        .iter()
+        .filter(|t| t.to_tier > t.from_tier)
+        .map(|t| (t.from_tier, t.to_tier))
+        .collect();
+    assert!(demotions.len() >= 3, "{demotions:?}");
+    for (from, to) in demotions {
+        assert_eq!(to, from + 1, "ladder is walked one rung at a time");
+    }
+}
+
+#[test]
+fn stuck_input_trips_even_when_all_tiers_agree() {
+    // Primary and shadow are identical: divergence is structurally zero,
+    // and the frozen observation sits at the centre of the baseline, so
+    // only the stuck detector can notice the fault.
+    let tiers: Vec<Box<dyn VecPolicy>> = vec![
+        Box::new(Constant(0, "primary")),
+        Box::new(Constant(0, "shadow-net")),
+    ];
+    let mut guard = GuardedPolicy::new(tiers, 1, unit_baseline(), cfg());
+
+    let frozen = vec![0.5f32, 0.5];
+    for _ in 0..96 {
+        guard.act_vec(&frozen);
+    }
+    assert_ne!(guard.state(), HealthState::Healthy, "stuck input noticed");
+    assert!(
+        guard
+            .transitions()
+            .iter()
+            .any(|t| t.reason == "stuck-input"),
+        "transition blamed on the stuck input: {:?}",
+        guard.transitions()
+    );
+}
+
+#[test]
+fn healthy_agreeing_stream_never_transitions() {
+    let tiers: Vec<Box<dyn VecPolicy>> =
+        vec![Box::new(Threshold), Box::new(Constant(0, "shadow-net"))];
+    let mut guard = GuardedPolicy::new(tiers, 1, unit_baseline(), cfg());
+    for _ in 0..256 {
+        guard.act_vec(&obs(guard.steps(), 0.2));
+    }
+    assert_eq!(guard.state(), HealthState::Healthy);
+    assert_eq!(guard.active_tier(), 0);
+    assert!(guard.transitions().is_empty(), "{:?}", guard.transitions());
+    let snap = guard.snapshot();
+    assert_eq!(snap.tier_steps[0], 256, "primary served every step");
+    assert!(snap.compared > 0 && snap.diverged == 0);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the guard's streaming statistics: the one-pass
+//! estimators must agree with their batch counterparts on arbitrary data.
+
+use lahd_guard::{
+    exact_quantile, read_profile, write_profile, P2Quantile, StreamingProfile, Welford,
+};
+use proptest::prelude::*;
+
+/// Strategy: a batch of 8–200 bounded samples.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e4f64..1e4, 8..200)
+}
+
+/// Strategy: an observation matrix as (dim, flat row-major values).
+fn obs_matrix() -> impl Strategy<Value = (usize, Vec<f32>)> {
+    (1usize..6)
+        .prop_flat_map(|dim| {
+            (
+                Just(dim),
+                proptest::collection::vec(-100.0f32..100.0, 10 * dim..160 * dim),
+            )
+        })
+        .prop_map(|(dim, mut flat)| {
+            flat.truncate(flat.len() / dim * dim);
+            (dim, flat)
+        })
+}
+
+fn batch_mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn batch_variance(xs: &[f64]) -> f64 {
+    let m = batch_mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Welford's one-pass moments match the two-pass batch formulas to
+    /// floating-point noise.
+    #[test]
+    fn welford_matches_batch_moments(xs in samples()) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        prop_assert_eq!(w.count(), xs.len() as u64);
+        let mean = batch_mean(&xs);
+        let var = batch_variance(&xs);
+        let scale = 1.0 + mean.abs();
+        prop_assert!(
+            (w.mean() - mean).abs() <= 1e-9 * scale,
+            "mean {} vs batch {}", w.mean(), mean
+        );
+        prop_assert!(
+            (w.variance() - var).abs() <= 1e-6 * (1.0 + var),
+            "variance {} vs batch {}", w.variance(), var
+        );
+    }
+
+    /// The P² sketch lands near the exact empirical quantile. P² is an
+    /// approximation, so the tolerance is loose: a fraction of the sample
+    /// range (it is only used for order-of-magnitude drift scoring).
+    #[test]
+    fn p2_tracks_exact_quantiles_loosely(xs in samples(), pi in 0usize..3) {
+        let p = [0.25, 0.5, 0.75][pi];
+        let mut sketch = P2Quantile::new(p);
+        for &x in &xs {
+            sketch.push(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let exact = exact_quantile(&sorted, p);
+        let range = sorted[sorted.len() - 1] - sorted[0];
+        prop_assert!(
+            (sketch.quantile() - exact).abs() <= 0.25 * range + 1e-9,
+            "p{} sketch {} vs exact {} (range {})",
+            p, sketch.quantile(), exact, range
+        );
+        // Whatever the data, the estimate stays inside the observed range.
+        prop_assert!(sketch.quantile() >= sorted[0] - 1e-9);
+        prop_assert!(sketch.quantile() <= sorted[sorted.len() - 1] + 1e-9);
+    }
+
+    /// A profile built by streaming rows one at a time agrees with batch
+    /// statistics computed over the whole matrix at once: exactly for
+    /// count/min/max, to float noise for the moments, and loosely for the
+    /// sketched quartiles.
+    #[test]
+    fn streaming_profile_matches_batch((dim, flat) in obs_matrix()) {
+        let rows: Vec<&[f32]> = flat.chunks_exact(dim).collect();
+        let mut sp = StreamingProfile::new(dim);
+        for row in &rows {
+            sp.push(row);
+        }
+        let profile = sp.profile();
+        prop_assert_eq!(profile.dim(), dim);
+        prop_assert_eq!(profile.count, rows.len() as u64);
+
+        for d in 0..dim {
+            let mut col: Vec<f64> = rows.iter().map(|r| f64::from(r[d])).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let p = &profile.dims[d];
+            prop_assert_eq!(p.min, col[0]);
+            prop_assert_eq!(p.max, col[col.len() - 1]);
+            let mean = batch_mean(&col);
+            prop_assert!(
+                (p.mean - mean).abs() <= 1e-9 * (1.0 + mean.abs()),
+                "dim {d}: mean {} vs batch {}", p.mean, mean
+            );
+            let std = batch_variance(&col).sqrt();
+            prop_assert!(
+                (p.std - std).abs() <= 1e-6 * (1.0 + std),
+                "dim {d}: std {} vs batch {}", p.std, std
+            );
+            let range = col[col.len() - 1] - col[0];
+            for (q, got) in [(0.25, p.p25), (0.5, p.p50), (0.75, p.p75)] {
+                let exact = exact_quantile(&col, q);
+                prop_assert!(
+                    (got - exact).abs() <= 0.25 * range + 1e-9,
+                    "dim {d}: p{q} {got} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    /// Profiles survive the text serialisation bit-exactly (Rust float
+    /// formatting round-trips).
+    #[test]
+    fn profile_serialisation_roundtrips((dim, flat) in obs_matrix()) {
+        let mut sp = StreamingProfile::new(dim);
+        for row in flat.chunks_exact(dim) {
+            sp.push(row);
+        }
+        let profile = sp.profile();
+        let mut buf = Vec::new();
+        write_profile(&profile, &mut buf).expect("serialise");
+        let restored = read_profile(&mut buf.as_slice()).expect("parse");
+        prop_assert_eq!(restored, profile);
+    }
+}

@@ -1,0 +1,297 @@
+//! Seeded fault injection for guardrail evaluation.
+//!
+//! A [`FaultPlan`] perturbs the *observation stream* a policy sees (and,
+//! for distribution shift, the workload itself) over a scheduled step
+//! range, deterministically under a fixed seed: every per-step random draw
+//! is seeded from `(plan seed, step)` alone, so two same-seed runs inject
+//! byte-identical faults regardless of call interleaving.
+//!
+//! The fault vocabulary mirrors the failure modes the guard layer is built
+//! to catch:
+//!
+//! - [`Fault::Noise`] — additive bounded noise on every observation
+//!   element (sensor degradation; trips the drift detector's std
+//!   component).
+//! - [`Fault::Corrupt`] — each element independently replaced by a random
+//!   out-of-range value with some probability (bit rot / bad telemetry).
+//! - [`Fault::Rescale`] — every element multiplied by a factor
+//!   (distribution shift, e.g. a workload running at 3× the trained
+//!   volume; see [`rescale_trace`] for shifting the workload itself).
+//! - [`Fault::Stuck`] — the observation freezes at its value on the first
+//!   faulted step (a wedged collector; caught by the guard's stuck-input
+//!   run counter, invisible to distributional statistics).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of observation perturbation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// Add uniform noise in `[-amplitude, amplitude]` to every element.
+    Noise {
+        /// Noise amplitude.
+        amplitude: f32,
+    },
+    /// Replace each element, independently with probability `prob`, by a
+    /// uniform random value in `[-10, 10]` (far outside any normalised
+    /// observation range).
+    Corrupt {
+        /// Per-element corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Multiply every element by `factor`.
+    Rescale {
+        /// Scale factor.
+        factor: f32,
+    },
+    /// Freeze the observation at its value on the first faulted step.
+    Stuck,
+}
+
+/// A fault active on steps in `[from, to)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduledFault {
+    /// The perturbation.
+    pub fault: Fault,
+    /// First step (inclusive) the fault applies to.
+    pub from: u64,
+    /// First step (exclusive) after which the fault stops.
+    pub to: u64,
+}
+
+/// A seeded schedule of observation faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<ScheduledFault>,
+    /// Captured observation for an active [`Fault::Stuck`]; cleared when no
+    /// stuck fault is active so a later window re-captures.
+    held: Option<Vec<f32>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with the given seed and schedule.
+    pub fn new(seed: u64, faults: Vec<ScheduledFault>) -> Self {
+        Self {
+            seed,
+            faults,
+            held: None,
+        }
+    }
+
+    /// Convenience: one fault over `[from, to)`.
+    pub fn single(seed: u64, fault: Fault, from: u64, to: u64) -> Self {
+        Self::new(seed, vec![ScheduledFault { fault, from, to }])
+    }
+
+    /// Whether any fault is scheduled at all.
+    pub fn is_active(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Whether some fault applies at `step`.
+    pub fn applies_at(&self, step: u64) -> bool {
+        self.faults.iter().any(|f| f.from <= step && step < f.to)
+    }
+
+    /// Human-readable schedule summary for reports.
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return "none".to_string();
+        }
+        let parts: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| {
+                let kind = match f.fault {
+                    Fault::Noise { amplitude } => format!("noise±{amplitude}"),
+                    Fault::Corrupt { prob } => format!("corrupt p={prob}"),
+                    Fault::Rescale { factor } => format!("rescale×{factor}"),
+                    Fault::Stuck => "stuck".to_string(),
+                };
+                format!("{kind}@[{},{})", f.from, f.to)
+            })
+            .collect();
+        parts.join(", ")
+    }
+
+    /// Perturbs `obs` in place according to the schedule at `step`.
+    /// Random draws depend only on `(seed, step)`.
+    pub fn apply(&mut self, step: u64, obs: &mut [f32]) {
+        let mut stuck_active = false;
+        for sched in &self.faults {
+            if !(sched.from <= step && step < sched.to) {
+                continue;
+            }
+            match sched.fault {
+                Fault::Noise { amplitude } => {
+                    let mut rng = self.step_rng(step, 1);
+                    for x in obs.iter_mut() {
+                        *x += rng.gen_range(-amplitude..amplitude);
+                    }
+                }
+                Fault::Corrupt { prob } => {
+                    let mut rng = self.step_rng(step, 2);
+                    for x in obs.iter_mut() {
+                        if rng.gen::<f64>() < prob {
+                            *x = rng.gen_range(-10.0f32..10.0);
+                        }
+                    }
+                }
+                Fault::Rescale { factor } => {
+                    for x in obs.iter_mut() {
+                        *x *= factor;
+                    }
+                }
+                Fault::Stuck => {
+                    stuck_active = true;
+                    match &self.held {
+                        Some(held) if held.len() == obs.len() => {
+                            obs.copy_from_slice(held);
+                        }
+                        _ => {
+                            self.held = Some(obs.to_vec());
+                        }
+                    }
+                }
+            }
+        }
+        if !stuck_active {
+            self.held = None;
+        }
+    }
+
+    /// A fresh RNG that is a pure function of `(seed, step, salt)` — the
+    /// salt separates fault kinds sharing a step.
+    fn step_rng(&self, step: u64, salt: u64) -> SmallRng {
+        SmallRng::seed_from_u64(
+            self.seed
+                ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        )
+    }
+}
+
+/// A copy of `trace` with every interval's request count multiplied by
+/// `factor` — distribution shift at the workload level rather than the
+/// observation level (the simulator genuinely runs hotter, not just the
+/// telemetry).
+///
+/// # Panics
+/// Panics if `factor` is negative or non-finite.
+pub fn rescale_trace(trace: &crate::WorkloadTrace, factor: f64) -> crate::WorkloadTrace {
+    assert!(
+        factor.is_finite() && factor >= 0.0,
+        "rescale factor must be ≥ 0"
+    );
+    let mut out = trace.clone();
+    out.name = format!("{}~x{factor}", out.name);
+    for w in &mut out.intervals {
+        w.requests *= factor;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IntervalWorkload, WorkloadTrace, NUM_IO_CLASSES};
+
+    fn obs() -> Vec<f32> {
+        (0..8).map(|i| i as f32 * 0.1).collect()
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let mut plan = FaultPlan::none();
+        let mut o = obs();
+        plan.apply(5, &mut o);
+        assert_eq!(o, obs());
+        assert!(!plan.is_active());
+        assert_eq!(plan.describe(), "none");
+    }
+
+    #[test]
+    fn faults_respect_their_schedule() {
+        let mut plan = FaultPlan::single(1, Fault::Rescale { factor: 2.0 }, 10, 20);
+        let mut o = obs();
+        plan.apply(9, &mut o);
+        assert_eq!(o, obs());
+        plan.apply(10, &mut o);
+        assert_eq!(o[5], obs()[5] * 2.0);
+        let mut o2 = obs();
+        plan.apply(20, &mut o2);
+        assert_eq!(o2, obs());
+        assert!(plan.applies_at(19) && !plan.applies_at(20));
+    }
+
+    #[test]
+    fn noise_is_bounded_and_deterministic_per_step() {
+        let mut a = FaultPlan::single(7, Fault::Noise { amplitude: 0.5 }, 0, 100);
+        let mut b = a.clone();
+        let mut oa = obs();
+        let mut ob = obs();
+        a.apply(3, &mut oa);
+        b.apply(3, &mut ob);
+        assert_eq!(oa, ob);
+        assert_ne!(oa, obs());
+        for (x, y) in oa.iter().zip(obs()) {
+            assert!((x - y).abs() <= 0.5, "noise exceeded amplitude");
+        }
+        // A different step draws different noise.
+        let mut oc = obs();
+        a.apply(4, &mut oc);
+        assert_ne!(oa, oc);
+    }
+
+    #[test]
+    fn corruption_probability_is_roughly_honoured() {
+        let mut plan = FaultPlan::single(11, Fault::Corrupt { prob: 0.25 }, 0, u64::MAX);
+        let mut corrupted = 0usize;
+        let mut total = 0usize;
+        for step in 0..400u64 {
+            let mut o = obs();
+            plan.apply(step, &mut o);
+            corrupted += o.iter().zip(obs()).filter(|(a, b)| **a != *b).count();
+            total += o.len();
+        }
+        let rate = corrupted as f64 / total as f64;
+        assert!(
+            (0.15..0.35).contains(&rate),
+            "expected ~0.25 corruption, got {rate}"
+        );
+    }
+
+    #[test]
+    fn stuck_freezes_at_first_faulted_step_and_releases() {
+        let mut plan = FaultPlan::single(0, Fault::Stuck, 5, 10);
+        let mut first = vec![1.0f32, 2.0, 3.0];
+        plan.apply(5, &mut first);
+        assert_eq!(first, vec![1.0, 2.0, 3.0]); // capture step passes through
+        let mut later = vec![9.0f32, 9.0, 9.0];
+        plan.apply(7, &mut later);
+        assert_eq!(later, first); // frozen
+        let mut after = vec![4.0f32, 5.0, 6.0];
+        plan.apply(10, &mut after);
+        assert_eq!(after, vec![4.0, 5.0, 6.0]); // released
+    }
+
+    #[test]
+    fn rescale_trace_scales_requests_only() {
+        let mut mix = [0.0; NUM_IO_CLASSES];
+        mix[0] = 1.0;
+        let trace = WorkloadTrace::new("t", vec![IntervalWorkload::new(mix, 100.0); 3]);
+        let scaled = rescale_trace(&trace, 2.5);
+        assert_eq!(scaled.intervals.len(), 3);
+        for w in &scaled.intervals {
+            assert_eq!(w.requests, 250.0);
+            assert_eq!(w.mix, trace.intervals[0].mix);
+        }
+        assert!(scaled.name.contains("x2.5"));
+    }
+}

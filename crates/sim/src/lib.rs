@@ -37,6 +37,7 @@ mod action;
 mod cohort;
 mod config;
 mod engine;
+mod fault;
 mod io;
 mod level;
 mod metrics;
@@ -50,6 +51,7 @@ pub use action::Action;
 pub use cohort::{Cohort, CohortKind, Stage};
 pub use config::SimConfig;
 pub use engine::{StepResult, StorageSim};
+pub use fault::{rescale_trace, Fault, FaultPlan, ScheduledFault};
 pub use io::{canonical_io_classes, max_io_size_kib, IoClass, IoKind, NUM_IO_CLASSES};
 pub use level::Level;
 pub use metrics::{EpisodeMetrics, IntervalStats};

@@ -15,11 +15,17 @@
 #    proptests, the activation-approximation budgets, and the per-scenario
 #    rollout action-agreement pins (≥99.5% vs the exact engine) — the
 #    default build already runs them in step 2 via `cargo test -q`.
-# 5. Scenario smoke matrix: one tiny-budget pipeline + evaluate run per
-#    registered scenario through the CLI (plus one quantized-precision
-#    evaluate), so a scenario that rots (or a registry entry that stops
-#    wiring up end-to-end) fails verification.
-# 6. Quick-mode bench snapshot compared against the latest committed
+# 5. Scenario smoke matrix: one tiny-budget pipeline + evaluate +
+#    clean guard-eval run per registered scenario through the CLI (plus one
+#    quantized-precision evaluate), so a scenario that rots (or a registry
+#    entry that stops wiring up end-to-end) fails verification. The
+#    lahd-guard crate itself is a default workspace member, so steps 1–2
+#    cover its unit/property/behaviour suites.
+# 6. Guardrail gate: guard-eval under an injected observation-drift fault
+#    must report a fallback transition ("fallen-back" in the transition
+#    log) — the drift detector or the fallback state machine rotting fails
+#    verification, not just a unit suite.
+# 7. Quick-mode bench snapshot compared against the latest committed
 #    BENCH_<n>.json with a loose 50% threshold, so a hot-path regression
 #    fails verification instead of only surfacing in the next snapshot.
 #    Since BENCH_4.json the gate also covers the quantized rows
@@ -51,15 +57,28 @@ echo "== scenario smoke matrix: tiny end-to-end per registered scenario"
 lahd_bin="target/release/lahd"
 smoke_dir="$(mktemp -d)"
 for scenario in $("$lahd_bin" scenarios --names); do
-    echo "--   $scenario: pipeline + evaluate (tiny)"
+    echo "--   $scenario: pipeline + evaluate + guard-eval (tiny)"
     "$lahd_bin" pipeline --scenario "$scenario" --scale tiny \
         --out "$smoke_dir/$scenario" >/dev/null
     "$lahd_bin" evaluate --scenario "$scenario" --scale tiny \
         --artifacts "$smoke_dir/$scenario" >/dev/null
+    "$lahd_bin" guard-eval --scenario "$scenario" --scale tiny \
+        --artifacts "$smoke_dir/$scenario" --episodes 2 \
+        --no-counterfactuals >/dev/null
 done
 echo "--   dorado-migration: evaluate --infer-precision quantized (tiny)"
 "$lahd_bin" evaluate --scale tiny --infer-precision quantized \
     --artifacts "$smoke_dir/dorado-migration" >/dev/null
+
+echo "== guardrail gate: guard-eval under injected drift trips a fallback"
+guard_out="$("$lahd_bin" guard-eval --scale tiny \
+    --artifacts "$smoke_dir/dorado-migration" --episodes 2 \
+    --fault drift --fault-from 32 --no-counterfactuals)"
+if ! grep -q "fallen-back" <<<"$guard_out"; then
+    echo "guard-eval under injected drift reported no fallback transition:"
+    echo "$guard_out"
+    exit 1
+fi
 rm -rf "$smoke_dir"
 
 if [ "${LAHD_SKIP_BENCH_GATE:-0}" = "1" ]; then

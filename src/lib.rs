@@ -18,6 +18,7 @@
 //! | [`rl`] | `lahd-rl` | recurrent A2C + curriculum learning |
 //! | [`qbn`] | `lahd-qbn` | quantized bottleneck networks |
 //! | [`fsm`] | `lahd-fsm` | FSM extraction, baselines, interpretation |
+//! | [`guard`] | `lahd-guard` | shadow execution, drift detection, policy fallback |
 //! | [`core`] | `lahd-core` | scenarios, the end-to-end pipeline, evaluation |
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench` for the
@@ -25,6 +26,7 @@
 
 pub use lahd_core as core;
 pub use lahd_fsm as fsm;
+pub use lahd_guard as guard;
 pub use lahd_nn as nn;
 pub use lahd_qbn as qbn;
 pub use lahd_rl as rl;
