@@ -10,6 +10,10 @@ use lahd_core::{
     PipelineConfig, Precision, ScenarioId, Table,
 };
 use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy, VecPolicy};
+use lahd_serve::{
+    prepare_corrupt_candidate, run_bench, serve_dir, BenchConfig, ChaosPlan, Request, ServeClient,
+    ServeConfig,
+};
 use lahd_sim::{Fault, FaultPlan, SimConfig, StorageSim};
 use lahd_workload::{
     read_trace, real_trace_set, standard_trace_set, summarize, write_trace, WorkloadTrace,
@@ -43,6 +47,8 @@ pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         Some("pipeline") => cmd_pipeline(args, out),
         Some("evaluate") => cmd_evaluate(args, out),
         Some("guard-eval") => cmd_guard_eval(args, out),
+        Some("serve") => cmd_serve(args, out),
+        Some("serve-bench") => cmd_serve_bench(args, out),
         Some("explain") => cmd_explain(args, out),
         Some("traces") => cmd_traces(args, out),
         Some("simulate") => cmd_simulate(args, out),
@@ -73,10 +79,24 @@ fn usage() -> String {
      \x20 guard-eval run saved artifacts behind the guardrail harness and\n\
      \x20            report shadow divergence, drift, and tier fallbacks\n\
      \x20            --artifacts DIR [--scale …] [--scenario …]\n\
-     \x20            [--fault none|drift|noise|corrupt|stuck] [--fault-from N]\n\
-     \x20            [--fault-to N] [--factor F] [--amplitude F] [--prob F]\n\
-     \x20            [--episodes N] [--workload-scale F] [--no-counterfactuals]\n\
+     \x20            [--fault none|drift|noise|corrupt|stuck|delay|drop]\n\
+     \x20            [--fault-from N] [--fault-to N] [--factor F] [--amplitude F]\n\
+     \x20            [--prob F] [--delay-steps N] [--episodes N]\n\
+     \x20            [--workload-scale F] [--no-counterfactuals]\n\
      \x20            [--report FILE] [--json FILE]\n\
+     \x20            [--infer-precision exact|quantized]\n\
+     \x20 serve      run the fault-tolerant decision-serving daemon over a\n\
+     \x20            Unix socket until a shutdown request arrives\n\
+     \x20            --artifacts DIR [--socket FILE] [--shards N]\n\
+     \x20            [--queue-capacity N] [--batch-max N] [--max-streams N]\n\
+     \x20            [--allow-chaos] [--scale …] [--scenario …]\n\
+     \x20            [--infer-precision exact|quantized]\n\
+     \x20 serve-bench deterministic load + chaos harness for the daemon\n\
+     \x20            --artifacts DIR [--socket FILE (external daemon)]\n\
+     \x20            [--streams N] [--rounds N] [--requests N] [--rate R]\n\
+     \x20            [--deadline-us N] [--bench-seed N] [--chaos]\n\
+     \x20            [--json FILE] [--bench-json FILE] [--shutdown-daemon]\n\
+     \x20            [--scale …]\n\
      \x20 explain    Markdown interpretation report for a saved machine\n\
      \x20            --artifacts DIR [--out FILE] [--scale …]\n\
      \x20 traces     summarise the synthetic workloads\n\
@@ -340,9 +360,17 @@ fn fault_plan(args: &Args, seed: u64) -> Result<FaultPlan, CliError> {
             prob: args.get_f64("prob", 0.5),
         },
         "stuck" => Fault::Stuck,
+        // Observations arrive late by a fixed lag.
+        "delay" => Fault::Delay {
+            steps: args.get_u64("delay-steps", 8),
+        },
+        // Observations are lost and the last delivered one repeats.
+        "drop" => Fault::Drop {
+            prob: args.get_f64("prob", 0.5),
+        },
         other => {
             return Err(err(format!(
-                "unknown --fault {other:?} (none|drift|noise|corrupt|stuck)"
+                "unknown --fault {other:?} (none|drift|noise|corrupt|stuck|delay|drop)"
             )))
         }
     };
@@ -407,6 +435,150 @@ fn cmd_guard_eval(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     if let Some(path) = args.get("json") {
         fs::write(path, report.to_json())?;
         writeln!(out, "json report written to {path}")?;
+    }
+    Ok(())
+}
+
+/// Parses the daemon-shape flags shared by `serve` and self-hosted
+/// `serve-bench`.
+fn serve_config(args: &Args) -> ServeConfig {
+    let d = ServeConfig::default();
+    ServeConfig {
+        shards: args.get_usize("shards", d.shards),
+        queue_capacity: args.get_usize("queue-capacity", d.queue_capacity),
+        batch_max: args.get_usize("batch-max", d.batch_max),
+        max_streams: args.get_usize("max-streams", d.max_streams),
+        allow_chaos: args.has_flag("allow-chaos"),
+        ..d
+    }
+}
+
+fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let cfg = scale_config(args)?;
+    let dir = PathBuf::from(args.get("artifacts").unwrap_or("lahd-artifacts"));
+    let socket = PathBuf::from(args.get("socket").unwrap_or("lahd-serve.sock"));
+    let serve_cfg = serve_config(args);
+    let handle = serve_dir(&cfg, &dir, serve_cfg.clone(), &socket).map_err(err)?;
+    writeln!(
+        out,
+        "serving {} ({} precision) from {} on {} — {} shards, queue {}, batch {}; \
+         send a shutdown request to stop",
+        cfg.scenario,
+        cfg.infer_precision.name(),
+        dir.display(),
+        socket.display(),
+        serve_cfg.shards,
+        serve_cfg.queue_capacity,
+        serve_cfg.batch_max,
+    )?;
+    out.flush()?;
+    handle.wait();
+    writeln!(out, "daemon stopped")?;
+    Ok(())
+}
+
+fn cmd_serve_bench(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let cfg = scale_config(args)?;
+    let dir = PathBuf::from(args.get("artifacts").unwrap_or("lahd-artifacts"));
+    let defaults = BenchConfig::default();
+    let mut bench = BenchConfig {
+        streams: args.get_u64("streams", defaults.streams),
+        rounds: args.get_u64("rounds", defaults.rounds),
+        requests: args.get_u64("requests", defaults.requests),
+        rate: args.get_f64("rate", defaults.rate),
+        deadline_us: args.get_u64("deadline-us", defaults.deadline_us),
+        seed: args.get_u64("bench-seed", defaults.seed),
+        chaos: None,
+    };
+    let with_chaos = args.has_flag("chaos");
+    let corrupt = if with_chaos {
+        if bench.rounds == 0 {
+            return Err(err(
+                "--chaos needs --rounds > 0 (the plan runs in the lockstep phase)",
+            ));
+        }
+        let corrupt =
+            std::env::temp_dir().join(format!("lahd-serve-bench-corrupt-{}", std::process::id()));
+        prepare_corrupt_candidate(&dir, &corrupt)?;
+        bench.chaos = Some(ChaosPlan::standard(bench.rounds, corrupt.clone()));
+        Some(corrupt)
+    } else {
+        None
+    };
+
+    // --socket points the harness at an external daemon; otherwise a
+    // daemon is self-hosted for the duration of the run (with chaos
+    // injection enabled iff the plan needs it).
+    let (socket, handle) = match args.get("socket") {
+        Some(path) => (PathBuf::from(path), None),
+        None => {
+            let socket =
+                std::env::temp_dir().join(format!("lahd-serve-bench-{}.sock", std::process::id()));
+            let serve_cfg = ServeConfig {
+                allow_chaos: with_chaos,
+                ..serve_config(args)
+            };
+            let handle = serve_dir(&cfg, &dir, serve_cfg, &socket).map_err(err)?;
+            (socket, Some(handle))
+        }
+    };
+
+    let result = run_bench(&socket, &dir, &bench);
+    if let Some(handle) = handle {
+        let mut client = ServeClient::connect_retry(&socket, std::time::Duration::from_secs(5))?;
+        client.call(&Request::Shutdown)?;
+        handle.wait();
+    } else if args.has_flag("shutdown-daemon") {
+        // Ask the external daemon to exit once the run is over (CI smoke
+        // gates wait on its process and assert a clean exit).
+        let mut client = ServeClient::connect_retry(&socket, std::time::Duration::from_secs(5))?;
+        client.call(&Request::Shutdown)?;
+    }
+    if let Some(corrupt) = corrupt {
+        let _ = fs::remove_dir_all(&corrupt);
+    }
+    let summary = result.map_err(err)?;
+
+    if let Some(chaos) = &summary.chaos {
+        writeln!(out, "chaos: {}", chaos.to_json())?;
+        if with_chaos {
+            writeln!(
+                out,
+                "chaos plan {}",
+                if chaos.all_good() {
+                    "SURVIVED"
+                } else {
+                    "FAILED"
+                }
+            )?;
+        }
+    }
+    if let Some(perf) = &summary.perf {
+        writeln!(
+            out,
+            "perf: {:.0} decisions/s over {} requests; latency p50 {}ns, p99 {}ns, \
+             p999 {}ns; shed {}, deadline misses {}",
+            perf.decisions_per_sec,
+            perf.requests,
+            perf.p50_ns,
+            perf.p99_ns,
+            perf.p999_ns,
+            perf.shed,
+            perf.deadline_misses
+        )?;
+    }
+    if let Some(path) = args.get("json") {
+        fs::write(path, summary.to_json())?;
+        writeln!(out, "json summary written to {path}")?;
+    }
+    if let Some(path) = args.get("bench-json") {
+        let mut rows = summary.bench_rows().join("\n");
+        rows.push('\n');
+        fs::write(path, rows)?;
+        writeln!(out, "bench rows written to {path}")?;
+    }
+    if with_chaos && summary.chaos.as_ref().is_some_and(|c| !c.all_good()) {
+        return Err(err("chaos plan FAILED — see the summary above"));
     }
     Ok(())
 }
@@ -581,6 +753,8 @@ mod tests {
             "pipeline",
             "evaluate",
             "guard-eval",
+            "serve",
+            "serve-bench",
             "explain",
             "traces",
             "simulate",
@@ -850,6 +1024,164 @@ mod tests {
         ])
         .unwrap_err();
         assert!(e.0.contains("unknown --fault"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn guard_eval_runs_the_new_fault_kinds() {
+        let dir = temp_dir("guard-eval-faults");
+        let out_flag = dir.to_str().unwrap();
+        run_cli(&["pipeline", "--scale", "tiny", "--out", out_flag]).unwrap();
+        for fault in ["delay", "drop"] {
+            let text = run_cli(&[
+                "guard-eval",
+                "--scale",
+                "tiny",
+                "--artifacts",
+                out_flag,
+                "--episodes",
+                "1",
+                "--fault",
+                fault,
+                "--fault-from",
+                "16",
+                "--no-counterfactuals",
+            ])
+            .unwrap();
+            assert!(
+                text.contains(&format!("(fault {fault}")),
+                "{fault} missing from:\n{text}"
+            );
+        }
+        // The error for an unknown kind advertises them.
+        let e = run_cli(&[
+            "guard-eval",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--fault",
+            "gremlins",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("delay") && e.0.contains("drop"), "{}", e.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_rejects_unknown_infer_precision_listing_choices() {
+        // The precision flag is validated before any socket is bound, for
+        // both daemon-side subcommands and guard-eval.
+        for sub in ["serve", "serve-bench", "guard-eval"] {
+            let e = run_cli(&[sub, "--infer-precision", "fp64"]).unwrap_err();
+            assert!(e.0.contains("unknown --infer-precision"), "{sub}: {}", e.0);
+            assert!(
+                e.0.contains("exact") && e.0.contains("quantized"),
+                "{sub} error should list known precisions: {}",
+                e.0
+            );
+        }
+    }
+
+    #[test]
+    fn serve_bench_self_hosts_a_chaos_run_and_writes_reports() {
+        let dir = temp_dir("serve-bench");
+        let out_flag = dir.to_str().unwrap();
+        run_cli(&["pipeline", "--scale", "tiny", "--out", out_flag]).unwrap();
+
+        let json_path = dir.join("summary.json");
+        let rows_path = dir.join("rows.json");
+        let text = run_cli(&[
+            "serve-bench",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--streams",
+            "4",
+            "--rounds",
+            "12",
+            "--requests",
+            "200",
+            "--chaos",
+            "--shards",
+            "2",
+            "--queue-capacity",
+            "16",
+            "--json",
+            json_path.to_str().unwrap(),
+            "--bench-json",
+            rows_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("chaos plan SURVIVED"), "{text}");
+        assert!(text.contains("perf:"), "{text}");
+
+        let json = fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"shard_recovered\":true"), "{json}");
+        assert!(json.contains("\"reload_rejected\":true"), "{json}");
+        let rows = fs::read_to_string(&rows_path).unwrap();
+        assert!(
+            rows.contains("serve_throughput/decisions_per_sec"),
+            "{rows}"
+        );
+        assert!(rows.contains("serve_latency/p99_ns"), "{rows}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_daemon_answers_and_stops_on_shutdown() {
+        let dir = temp_dir("serve-daemon");
+        let out_flag = dir.to_str().unwrap();
+        run_cli(&["pipeline", "--scale", "tiny", "--out", out_flag]).unwrap();
+        let socket = dir.join("daemon.sock");
+
+        let tokens: Vec<String> = [
+            "serve",
+            "--scale",
+            "tiny",
+            "--artifacts",
+            out_flag,
+            "--socket",
+            socket.to_str().unwrap(),
+            "--shards",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let daemon = std::thread::spawn(move || {
+            let args = Args::parse(tokens.into_iter());
+            let mut out = Vec::new();
+            run(&args, &mut out).map(|()| String::from_utf8(out).expect("utf8 output"))
+        });
+
+        let mut client =
+            ServeClient::connect_retry(&socket, std::time::Duration::from_secs(10)).unwrap();
+        let profile = lahd_serve::load_profile(Path::new(out_flag)).unwrap();
+        let obs: Vec<f32> = profile.dims.iter().map(|d| d.p50 as f32).collect();
+        let resp = client
+            .call(&Request::Decide {
+                req_id: 42,
+                stream: 0,
+                deadline_us: 0,
+                obs,
+            })
+            .unwrap();
+        assert!(
+            matches!(resp, lahd_serve::Response::Decision { req_id: 42, .. }),
+            "{resp:?}"
+        );
+        // Chaos injection is off unless --allow-chaos is passed.
+        match client.call(&Request::Crash { shard: 0 }).unwrap() {
+            lahd_serve::Response::Err(msg) => assert!(msg.contains("disabled"), "{msg}"),
+            other => panic!("chaos must be refused: {other:?}"),
+        }
+        client.call(&Request::Shutdown).unwrap();
+
+        let text = daemon.join().expect("daemon thread").unwrap();
+        assert!(text.contains("serving dorado-migration"), "{text}");
+        assert!(text.contains("daemon stopped"), "{text}");
         let _ = fs::remove_dir_all(&dir);
     }
 

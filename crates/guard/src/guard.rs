@@ -497,6 +497,29 @@ impl GuardedPolicy {
         }
     }
 
+    /// Serving-daemon integration hook: records one decision whose action
+    /// the caller computed *externally* for the active tier — e.g. a shard
+    /// worker that batched many streams' active-tier inferences through one
+    /// `infer_batch` call. Bookkeeping is identical to
+    /// [`VecPolicy::act_vec`] (drift observation, pending buffer, flush
+    /// cadence, tier accounting) except that the active tier is not
+    /// invoked; the caller is responsible for having advanced the active
+    /// tier's recurrent state with this observation.
+    pub fn record_served(&mut self, obs: &[f32], action: usize) {
+        self.drift.observe(obs);
+        self.tier_steps[self.active] += 1;
+        self.pending.push(PendingStep {
+            step: self.step,
+            obs: obs.to_vec(),
+            served: action,
+        });
+        self.step += 1;
+        if self.step % self.cfg.flush_every as u64 == 0 {
+            self.flush();
+            self.evaluate();
+        }
+    }
+
     fn transition(
         &mut self,
         to: HealthState,
@@ -536,19 +559,8 @@ impl VecPolicy for GuardedPolicy {
     }
 
     fn act_vec(&mut self, obs: &[f32]) -> usize {
-        self.drift.observe(obs);
         let action = self.tiers[self.active].act_vec(obs);
-        self.tier_steps[self.active] += 1;
-        self.pending.push(PendingStep {
-            step: self.step,
-            obs: obs.to_vec(),
-            served: action,
-        });
-        self.step += 1;
-        if self.step % self.cfg.flush_every as u64 == 0 {
-            self.flush();
-            self.evaluate();
-        }
+        self.record_served(obs, action);
         action
     }
 

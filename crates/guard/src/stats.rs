@@ -335,20 +335,44 @@ impl BaselineProfile {
 
 const MAGIC: &str = "lahd-baseline v1";
 
-/// Errors produced while reading a baseline-profile file.
+/// The profile format is line-oriented with one record per dimension; no
+/// scenario comes close to this many observation dimensions, so a larger
+/// declared count can only be corruption — reject it before trusting it
+/// with an allocation.
+const MAX_PROFILE_DIMS: usize = 65_536;
+
+/// Errors produced while reading a baseline-profile file. Structural
+/// problems carry the 1-based line number they were detected on, to parity
+/// with the artifact loader's convergence-log errors.
 #[derive(Debug)]
 pub enum ProfileError {
     /// Underlying IO failure.
     Io(io::Error),
-    /// Structural problem with the file contents.
-    Format(String),
+    /// Structural problem with the file contents at a specific line.
+    Format {
+        /// 1-based line number the problem was detected on.
+        line: usize,
+        /// What exactly is wrong.
+        detail: String,
+    },
+}
+
+impl ProfileError {
+    fn format(line: usize, detail: impl Into<String>) -> Self {
+        ProfileError::Format {
+            line,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for ProfileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProfileError::Io(e) => write!(f, "io error: {e}"),
-            ProfileError::Format(m) => write!(f, "format error: {m}"),
+            ProfileError::Format { line, detail } => {
+                write!(f, "format error at line {line}: {detail}")
+            }
         }
     }
 }
@@ -377,53 +401,84 @@ pub fn write_profile(profile: &BaselineProfile, out: &mut impl Write) -> io::Res
     Ok(())
 }
 
-/// Reads a profile written by [`write_profile`].
+/// Reads a profile written by [`write_profile`]. Never panics on malformed
+/// input: truncation, bit flips, non-finite statistics and absurd declared
+/// dimension counts all surface as a typed, line-numbered
+/// [`ProfileError`].
 pub fn read_profile(input: &mut impl BufRead) -> Result<BaselineProfile, ProfileError> {
     let mut lines = input.lines();
     let magic = lines
         .next()
-        .ok_or_else(|| ProfileError::Format("empty file".into()))??;
+        .ok_or_else(|| ProfileError::format(1, "empty file"))??;
     if magic.trim() != MAGIC {
-        return Err(ProfileError::Format(format!("bad magic line: {magic:?}")));
+        return Err(ProfileError::format(
+            1,
+            format!("bad magic line: {magic:?}"),
+        ));
     }
 
     let header = lines
         .next()
-        .ok_or_else(|| ProfileError::Format("missing dims header".into()))??;
+        .ok_or_else(|| ProfileError::format(2, "missing dims header"))??;
     let mut parts = header.split_whitespace();
     let ndims: usize = match (parts.next(), parts.next()) {
         (Some("dims"), Some(v)) => v
             .parse()
-            .map_err(|_| ProfileError::Format(format!("bad dim count {v:?}")))?,
-        _ => return Err(ProfileError::Format(format!("bad header {header:?}"))),
+            .map_err(|_| ProfileError::format(2, format!("bad dim count {v:?}")))?,
+        _ => return Err(ProfileError::format(2, format!("bad header {header:?}"))),
     };
+    if ndims == 0 || ndims > MAX_PROFILE_DIMS {
+        return Err(ProfileError::format(
+            2,
+            format!("dim count {ndims} outside 1..={MAX_PROFILE_DIMS} (corrupt header?)"),
+        ));
+    }
     let count: u64 = match (parts.next(), parts.next()) {
         (Some("count"), Some(v)) => v
             .parse()
-            .map_err(|_| ProfileError::Format(format!("bad sample count {v:?}")))?,
-        _ => return Err(ProfileError::Format(format!("bad header {header:?}"))),
+            .map_err(|_| ProfileError::format(2, format!("bad sample count {v:?}")))?,
+        _ => return Err(ProfileError::format(2, format!("bad header {header:?}"))),
     };
 
     let mut dims = Vec::with_capacity(ndims);
     for i in 0..ndims {
-        let line = lines
-            .next()
-            .ok_or_else(|| ProfileError::Format(format!("missing dim {i} (file truncated?)")))??;
+        let line_no = 3 + i;
+        let line = lines.next().ok_or_else(|| {
+            ProfileError::format(line_no, format!("missing dim {i} (file truncated?)"))
+        })??;
         let toks: Vec<&str> = line.split_whitespace().collect();
         if toks.len() != 16 || toks[0] != "dim" {
-            return Err(ProfileError::Format(format!("bad dim line {line:?}")));
+            return Err(ProfileError::format(
+                line_no,
+                format!("bad dim line {line:?}"),
+            ));
         }
         let field = |label: usize, value: usize| -> Result<f64, ProfileError> {
             let expected = ["mean", "std", "min", "max", "p25", "p50", "p75"][(label - 2) / 2];
             if toks[label] != expected {
-                return Err(ProfileError::Format(format!(
-                    "dim {i}: expected field {expected:?}, found {:?}",
-                    toks[label]
-                )));
+                return Err(ProfileError::format(
+                    line_no,
+                    format!(
+                        "dim {i}: expected field {expected:?}, found {:?}",
+                        toks[label]
+                    ),
+                ));
             }
-            toks[value].parse().map_err(|_| {
-                ProfileError::Format(format!("dim {i}: bad {expected} value {:?}", toks[value]))
-            })
+            let v: f64 = toks[value].parse().map_err(|_| {
+                ProfileError::format(
+                    line_no,
+                    format!("dim {i}: bad {expected} value {:?}", toks[value]),
+                )
+            })?;
+            // A drift denominator built on NaN/inf would poison every
+            // z-score downstream; profiles are finite by construction.
+            if !v.is_finite() {
+                return Err(ProfileError::format(
+                    line_no,
+                    format!("dim {i}: non-finite {expected} value {:?}", toks[value]),
+                ));
+            }
+            Ok(v)
         };
         dims.push(DimProfile {
             mean: field(2, 3)?,
@@ -435,10 +490,12 @@ pub fn read_profile(input: &mut impl BufRead) -> Result<BaselineProfile, Profile
             p75: field(14, 15)?,
         });
     }
+    let trailer_no = 3 + ndims;
     match lines.next() {
         Some(Ok(l)) if l.trim() == "end" => Ok(BaselineProfile { dims, count }),
-        _ => Err(ProfileError::Format(
-            "missing 'end' terminator (file truncated?)".into(),
+        _ => Err(ProfileError::format(
+            trailer_no,
+            "missing 'end' terminator (file truncated?)",
         )),
     }
 }
@@ -510,7 +567,84 @@ mod tests {
         assert!(e.to_string().contains("truncated"), "{e}");
         let cut = buf.len() / 2;
         let e = read_profile(&mut &buf[..cut]).unwrap_err();
-        assert!(matches!(e, ProfileError::Format(_)), "{e}");
+        assert!(matches!(e, ProfileError::Format { .. }), "{e}");
+    }
+
+    #[test]
+    fn format_errors_carry_the_offending_line_number() {
+        let mut sp = StreamingProfile::new(3);
+        for i in 0..20 {
+            sp.push(&[i as f32, -(i as f32), 0.5]);
+        }
+        let mut buf = Vec::new();
+        write_profile(&sp.profile(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        // Mangle the second dim record (line 4: magic, header, dim 0, dim 1).
+        let mangled: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 3 {
+                    "dim 1 gibberish".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let e = read_profile(&mut mangled.as_bytes()).unwrap_err();
+        match e {
+            ProfileError::Format { line, .. } => assert_eq!(line, 4, "{mangled}"),
+            other => panic!("expected a format error, got {other}"),
+        }
+        assert!(e.to_string().contains("line 4"), "{e}");
+    }
+
+    #[test]
+    fn absurd_dim_count_is_rejected_before_allocation() {
+        // A bit-flipped header declaring ~10^18 dimensions must be refused
+        // up front, not trusted with a Vec::with_capacity.
+        let text = format!("{MAGIC}\ndims 999999999999999999 count 10\nend\n");
+        let e = read_profile(&mut text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("dim count"), "{e}");
+        let text = format!("{MAGIC}\ndims 0 count 10\nend\n");
+        let e = read_profile(&mut text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("dim count"), "{e}");
+    }
+
+    #[test]
+    fn non_finite_statistics_are_rejected() {
+        let text = format!(
+            "{MAGIC}\ndims 1 count 5\n\
+             dim 0 mean NaN std 1e0 min 0e0 max 1e0 p25 0e0 p50 5e-1 p75 1e0\nend\n"
+        );
+        let e = read_profile(&mut text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("non-finite"), "{e}");
+    }
+
+    /// Satellite hardening pin: flipping any single bit anywhere in a
+    /// profile file must yield Ok (benign flip) or a typed error — never a
+    /// panic, never an abort-by-allocation.
+    #[test]
+    fn bit_flip_fuzz_never_panics() {
+        let mut sp = StreamingProfile::new(4);
+        for i in 0..64 {
+            let x = (i as f32 * 0.37).sin();
+            sp.push(&[x, x * 2.0, -x, 1.0 - x]);
+        }
+        let mut buf = Vec::new();
+        write_profile(&sp.profile(), &mut buf).unwrap();
+        for pos in 0..buf.len() {
+            for bit in [0x01u8, 0x10, 0x80] {
+                let mut flipped = buf.clone();
+                flipped[pos] ^= bit;
+                match read_profile(&mut &flipped[..]) {
+                    Ok(p) => assert!(p.dim() > 0),
+                    Err(e) => assert!(!e.to_string().is_empty()),
+                }
+            }
+        }
     }
 
     #[test]

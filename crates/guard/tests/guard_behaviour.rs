@@ -188,6 +188,144 @@ fn stuck_input_trips_even_when_all_tiers_agree() {
     );
 }
 
+/// Flapping pin: a stream that alternates short fault episodes with clean
+/// recovery windows must not oscillate Healthy ↔ FallenBack faster than
+/// the hysteresis windows allow. Every threshold in the default config is
+/// expressed in health evaluations (one per `flush_every` steps), so the
+/// pacing bounds below are exact consequences of the configuration:
+///
+/// - Suspect → FallenBack needs `trip_after` consecutive bad evaluations
+///   after entering Suspect;
+/// - FallenBack → Recovering needs `recover_after` consecutive good ones;
+/// - Recovering → Healthy needs `heal_after` more;
+/// - two successive falls are therefore separated by at least
+///   `trip_after + recover_after + heal_after + suspect_after` evaluations
+///   (the machine must walk FallenBack → Recovering → Healthy → Suspect →
+///   FallenBack in between).
+#[test]
+fn repeated_short_fault_episodes_cannot_flap_faster_than_hysteresis() {
+    let cfg = cfg();
+    let tiers: Vec<Box<dyn VecPolicy>> = vec![
+        Box::new(Threshold),
+        Box::new(Constant(0, "shadow-net")),
+        Box::new(Constant(0, "last-resort")),
+    ];
+    let mut guard = GuardedPolicy::new(tiers, 1, unit_baseline(), cfg.clone());
+
+    // Seeded flapping trace: 16 diverging steps, then 64 agreeing steps
+    // (long enough for the divergence window to fully drain), repeated.
+    let total_steps: u64 = 1600;
+    for _ in 0..total_steps {
+        let base = if guard.steps() % 80 < 16 { 0.8 } else { 0.2 };
+        guard.act_vec(&obs(guard.steps(), base));
+    }
+
+    let transitions = guard.transitions().to_vec();
+    assert!(
+        transitions.iter().any(|t| t.to == HealthState::FallenBack),
+        "the flapping trace genuinely trips the guard: {transitions:?}"
+    );
+
+    let flush = cfg.flush_every as u64;
+    let evals = (total_steps / flush) as usize;
+
+    // Per-transition pacing: each hysteresis-gated edge arrives no earlier
+    // than its configured number of evaluations after the previous edge.
+    let mut last_step = 0u64;
+    let mut last_to = HealthState::Healthy;
+    for t in &transitions {
+        let gap_evals = ((t.step - last_step) / flush) as usize;
+        let needed = match (t.from, t.to) {
+            (HealthState::Healthy, HealthState::Suspect) => cfg.suspect_after,
+            (HealthState::Suspect, HealthState::FallenBack) => cfg.trip_after,
+            (HealthState::Suspect, HealthState::Healthy) => cfg.clear_after,
+            (HealthState::FallenBack, HealthState::Recovering) => cfg.recover_after,
+            (HealthState::FallenBack, HealthState::FallenBack) => cfg.escalate_after,
+            (HealthState::Recovering, HealthState::Healthy) => cfg.heal_after,
+            // Recovering falls straight back on one bad evaluation.
+            (HealthState::Recovering, HealthState::FallenBack) => 1,
+            other => panic!("unexpected transition {other:?}"),
+        };
+        assert!(
+            gap_evals >= needed,
+            "transition {:?}->{:?} at step {} arrived after {gap_evals} evaluations, \
+             hysteresis requires {needed} (previous transition to {last_to:?} at {last_step})",
+            t.from,
+            t.to,
+            t.step
+        );
+        last_step = t.step;
+        last_to = t.to;
+    }
+
+    // Cycle bound: successive Suspect → FallenBack falls are at least
+    // trip+recover+heal+suspect evaluations apart.
+    let falls = transitions
+        .iter()
+        .filter(|t| t.from == HealthState::Suspect && t.to == HealthState::FallenBack)
+        .count();
+    let min_cycle = cfg.trip_after + cfg.recover_after + cfg.heal_after + cfg.suspect_after;
+    assert!(
+        falls <= 1 + evals / min_cycle,
+        "{falls} falls over {evals} evaluations beats the {min_cycle}-evaluation cycle floor"
+    );
+
+    // And the same trace replayed is bit-identical (the seeded pin).
+    let tiers2: Vec<Box<dyn VecPolicy>> = vec![
+        Box::new(Threshold),
+        Box::new(Constant(0, "shadow-net")),
+        Box::new(Constant(0, "last-resort")),
+    ];
+    let mut guard2 = GuardedPolicy::new(tiers2, 1, unit_baseline(), cfg);
+    for _ in 0..total_steps {
+        let base = if guard2.steps() % 80 < 16 { 0.8 } else { 0.2 };
+        guard2.act_vec(&obs(guard2.steps(), base));
+    }
+    assert_eq!(transitions.len(), guard2.transitions().len());
+    for (a, b) in transitions.iter().zip(guard2.transitions()) {
+        assert_eq!((a.step, a.from, a.to), (b.step, b.from, b.to));
+    }
+}
+
+/// The serving daemon's batched-inference hook: `record_served` must do
+/// exactly the bookkeeping of `act_vec` minus invoking the active tier.
+#[test]
+fn record_served_matches_act_vec_bookkeeping() {
+    let mk = || -> GuardedPolicy {
+        let tiers: Vec<Box<dyn VecPolicy>> =
+            vec![Box::new(Threshold), Box::new(Constant(0, "shadow-net"))];
+        GuardedPolicy::new(tiers, 1, unit_baseline(), cfg())
+    };
+    let mut via_act = mk();
+    let mut via_hook = mk();
+    // The hook caller computes the active tier's action externally — here
+    // by evaluating the same (stateless) tier functions out-of-band.
+    let tier_action = |tier: usize, o: &[f32]| {
+        if tier == 0 {
+            usize::from(o[0] > 0.5)
+        } else {
+            0
+        }
+    };
+    for i in 0..256u64 {
+        let base = if i % 40 < 12 { 0.8 } else { 0.2 };
+        let o = obs(i, base);
+        let action = via_act.act_vec(&o);
+        let external = tier_action(via_hook.active_tier(), &o);
+        assert_eq!(action, external, "lockstep guards serve the same tier");
+        via_hook.record_served(&o, external);
+        assert_eq!(via_act.state(), via_hook.state());
+        assert_eq!(via_act.active_tier(), via_hook.active_tier());
+        assert_eq!(via_act.steps(), via_hook.steps());
+    }
+    let a = via_act.snapshot();
+    let b = via_hook.snapshot();
+    assert_eq!(a.tier_steps, b.tier_steps);
+    assert_eq!(a.compared, b.compared);
+    assert_eq!(a.diverged, b.diverged);
+    assert_eq!(a.transitions.len(), b.transitions.len());
+}
+
 #[test]
 fn healthy_agreeing_stream_never_transitions() {
     let tiers: Vec<Box<dyn VecPolicy>> =

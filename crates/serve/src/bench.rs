@@ -1,0 +1,743 @@
+//! The deterministic load + chaos harness behind `lahd serve-bench`.
+//!
+//! Two phases against a running daemon:
+//!
+//! 1. **Chaos phase** (lockstep): `rounds` rounds of one decision per
+//!    stream, collected round-by-round, with an optional [`ChaosPlan`]
+//!    firing mid-run — kill a shard worker, hold a shard while bursting
+//!    `burst_factor ×` load at it (exercising admission control and a
+//!    deadline miss deterministically), and offer a corrupt artifact
+//!    bundle for hot reload. The phase's summary contains only
+//!    run-invariant facts (request/response totals, recovery booleans, a
+//!    checksum of every pre-chaos action), so a same-seed re-run against a
+//!    fresh daemon produces a byte-identical chaos JSON — the property the
+//!    acceptance test pins.
+//! 2. **Perf phase** (open loop): `requests` decisions sent on schedule at
+//!    `rate` requests/second (0 = as fast as possible) regardless of
+//!    response progress, latencies recorded client-side into a log-bucket
+//!    histogram. Reported decisions/sec and p50/p99/p999 feed the bench
+//!    snapshot rows (`serve_throughput/…`, `serve_latency/…`).
+//!
+//! Observations are synthesised per `(stream, round)` from the artifact
+//! directory's `baseline.profile` (uniform inside each dimension's
+//! interquartile band), so the traffic looks healthy to the guards and is
+//! a pure function of the bench seed.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use lahd_guard::BaselineProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::ServeClient;
+use crate::metrics::{LatencyHistogram, MetricsSnapshot};
+use crate::protocol::{Request, Response, Source};
+
+/// When chaos events fire, relative to the lockstep round counter.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// Round at which the target shard's worker is crashed.
+    pub kill_round: u64,
+    /// Shard whose worker is crashed (also the shard held during the
+    /// burst).
+    pub kill_shard: u32,
+    /// Round at which the 10×-style burst fires.
+    pub burst_round: u64,
+    /// Load multiplier during the burst round.
+    pub burst_factor: u64,
+    /// How long the target shard is held (asleep) during the burst,
+    /// milliseconds — this is what makes shedding deterministic.
+    pub hold_ms: u32,
+    /// Round at which the corrupt reload candidate is offered.
+    pub reload_round: u64,
+    /// Artifact directory of the (deliberately corrupt) reload candidate.
+    pub corrupt_dir: PathBuf,
+}
+
+impl ChaosPlan {
+    /// The standard plan: kill at ¼, burst 10× at ½, corrupt reload at ¾.
+    pub fn standard(rounds: u64, corrupt_dir: PathBuf) -> Self {
+        Self {
+            kill_round: (rounds / 4).max(1),
+            kill_shard: 0,
+            burst_round: (rounds / 2).max(2),
+            burst_factor: 10,
+            hold_ms: 100,
+            reload_round: (3 * rounds / 4).max(3),
+            corrupt_dir,
+        }
+    }
+
+    /// First round at which any chaos fires (the checksum covers rounds
+    /// strictly before it).
+    pub fn first_round(&self) -> u64 {
+        self.kill_round.min(self.burst_round).min(self.reload_round)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "kill shard {}@r{}, burst x{}@r{} (hold {}ms), corrupt-reload@r{}",
+            self.kill_shard,
+            self.kill_round,
+            self.burst_factor,
+            self.burst_round,
+            self.hold_ms,
+            self.reload_round
+        )
+    }
+}
+
+/// Harness parameters.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Number of concurrent streams.
+    pub streams: u64,
+    /// Lockstep rounds in the chaos phase (0 skips the phase).
+    pub rounds: u64,
+    /// Open-loop requests in the perf phase (0 skips the phase).
+    pub requests: u64,
+    /// Open-loop target rate, requests/second (0 = maximum).
+    pub rate: f64,
+    /// Per-request deadline in the perf phase, microseconds (0 = none).
+    pub deadline_us: u64,
+    /// Seed for observation synthesis.
+    pub seed: u64,
+    /// Optional chaos plan for the lockstep phase.
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            streams: 8,
+            rounds: 40,
+            requests: 2000,
+            rate: 0.0,
+            deadline_us: 0,
+            seed: 7,
+            chaos: None,
+        }
+    }
+}
+
+/// Run-invariant chaos-phase outcome; [`ChaosOutcome::to_json`] is the
+/// byte-reproducible summary the acceptance test compares.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosOutcome {
+    /// Echo of the bench seed.
+    pub seed: u64,
+    /// Echo of the stream count.
+    pub streams: u64,
+    /// Echo of the round count.
+    pub rounds: u64,
+    /// Human-readable plan description ("none" without a plan).
+    pub plan: String,
+    /// Requests sent in the phase.
+    pub requests: u64,
+    /// Responses received (must equal `requests`: shedding degrades, it
+    /// never drops).
+    pub responses: u64,
+    /// FNV-1a over every pre-chaos `(round, stream, action)` triple.
+    pub prechaos_checksum: u64,
+    /// The daemon still answered a stats request after the phase.
+    pub daemon_alive: bool,
+    /// The killed shard's worker restarted and served guarded decisions
+    /// again afterwards (vacuously true without a plan).
+    pub shard_recovered: bool,
+    /// The corrupt reload candidate was rejected (vacuously true without a
+    /// plan).
+    pub reload_rejected: bool,
+    /// The bundle generation did not change across the phase.
+    pub generation_unchanged: bool,
+    /// At least one burst request was shed to the fallback tier.
+    pub shed_observed: bool,
+    /// The deliberately-delayed request was answered from the fallback
+    /// tier with the deadline label.
+    pub deadline_fallback: bool,
+}
+
+impl ChaosOutcome {
+    /// Stable-order JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seed\":{},\"streams\":{},\"rounds\":{},\"plan\":\"{}\",",
+                "\"requests\":{},\"responses\":{},\"prechaos_checksum\":\"{:#018x}\",",
+                "\"daemon_alive\":{},\"shard_recovered\":{},\"reload_rejected\":{},",
+                "\"generation_unchanged\":{},\"shed_observed\":{},\"deadline_fallback\":{}}}"
+            ),
+            self.seed,
+            self.streams,
+            self.rounds,
+            self.plan,
+            self.requests,
+            self.responses,
+            self.prechaos_checksum,
+            self.daemon_alive,
+            self.shard_recovered,
+            self.reload_rejected,
+            self.generation_unchanged,
+            self.shed_observed,
+            self.deadline_fallback
+        )
+    }
+
+    /// Whether every robustness property held.
+    pub fn all_good(&self) -> bool {
+        self.responses == self.requests
+            && self.daemon_alive
+            && self.shard_recovered
+            && self.reload_rejected
+            && self.generation_unchanged
+    }
+}
+
+/// Perf-phase outcome (wall-clock, not pinned).
+#[derive(Clone, Debug)]
+pub struct PerfOutcome {
+    /// Requests driven.
+    pub requests: u64,
+    /// End-to-end decisions per second.
+    pub decisions_per_sec: f64,
+    /// Latency bucket upper bounds, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile bucket, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile bucket, nanoseconds.
+    pub p999_ns: u64,
+    /// Requests shed during the phase.
+    pub shed: u64,
+    /// Requests answered from the deadline fallback during the phase.
+    pub deadline_misses: u64,
+}
+
+impl PerfOutcome {
+    /// Stable-order JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests\":{},\"decisions_per_sec\":{:.1},\"p50_ns\":{},",
+                "\"p99_ns\":{},\"p999_ns\":{},\"shed\":{},\"deadline_misses\":{}}}"
+            ),
+            self.requests,
+            self.decisions_per_sec,
+            self.p50_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.shed,
+            self.deadline_misses
+        )
+    }
+}
+
+/// Everything one `serve-bench` run produced.
+pub struct BenchSummary {
+    /// Lockstep chaos-phase outcome (None when `rounds == 0`).
+    pub chaos: Option<ChaosOutcome>,
+    /// Open-loop perf-phase outcome (None when `requests == 0`).
+    pub perf: Option<PerfOutcome>,
+}
+
+impl BenchSummary {
+    /// Combined JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"chaos\":{},\"perf\":{}}}",
+            self.chaos
+                .as_ref()
+                .map_or("null".to_string(), ChaosOutcome::to_json),
+            self.perf
+                .as_ref()
+                .map_or("null".to_string(), PerfOutcome::to_json)
+        )
+    }
+
+    /// Criterion-shim-style rows for `bench_snapshot.sh` folding. The
+    /// throughput row stores decisions/sec (higher is better — the compare
+    /// gate keys off the `per_sec` suffix); latency rows store
+    /// nanoseconds.
+    pub fn bench_rows(&self) -> Vec<String> {
+        let Some(perf) = &self.perf else {
+            return Vec::new();
+        };
+        vec![
+            format!(
+                "{{\"bench\":\"serve_throughput/decisions_per_sec\",\"median_ns\":{:.1}}}",
+                perf.decisions_per_sec
+            ),
+            format!(
+                "{{\"bench\":\"serve_latency/p50_ns\",\"median_ns\":{}}}",
+                perf.p50_ns
+            ),
+            format!(
+                "{{\"bench\":\"serve_latency/p99_ns\",\"median_ns\":{}}}",
+                perf.p99_ns
+            ),
+            format!(
+                "{{\"bench\":\"serve_latency/p999_ns\",\"median_ns\":{}}}",
+                perf.p999_ns
+            ),
+        ]
+    }
+}
+
+/// Copies the artifact directory to `out` and flips one bit in the middle
+/// of `agent.params` — the hot-reload candidate that must be rejected.
+pub fn prepare_corrupt_candidate(artifacts: &Path, out: &Path) -> std::io::Result<()> {
+    let _ = std::fs::remove_dir_all(out);
+    std::fs::create_dir_all(out)?;
+    for entry in std::fs::read_dir(artifacts)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            std::fs::copy(entry.path(), out.join(entry.file_name()))?;
+        }
+    }
+    let target = out.join("agent.params");
+    let mut bytes = std::fs::read(&target)?;
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x10;
+    std::fs::write(&target, bytes)
+}
+
+/// Deterministic healthy-looking observation for `(stream, round)`:
+/// uniform inside each dimension's interquartile band.
+fn synth_obs(profile: &BaselineProfile, seed: u64, stream: u64, round: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03),
+    );
+    profile
+        .dims
+        .iter()
+        .map(|d| {
+            let (lo, hi) = (d.p25 as f32, d.p75 as f32);
+            if hi > lo {
+                rng.gen_range(lo..hi)
+            } else {
+                lo
+            }
+        })
+        .collect()
+}
+
+fn fnv_fold(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn stats(client: &mut ServeClient) -> Result<(MetricsSnapshot, usize), String> {
+    match client.call(&Request::Stats) {
+        Ok(Response::StatsJson(json)) => {
+            let shards = {
+                let needle = "\"shards\":";
+                json.find(needle)
+                    .map(|at| {
+                        json[at + needle.len()..]
+                            .chars()
+                            .take_while(|c| c.is_ascii_digit())
+                            .collect::<String>()
+                            .parse()
+                            .unwrap_or(1)
+                    })
+                    .unwrap_or(1)
+            };
+            Ok((MetricsSnapshot::from_json(&json), shards))
+        }
+        Ok(other) => Err(format!("unexpected stats response {other:?}")),
+        Err(e) => Err(format!("stats request failed: {e}")),
+    }
+}
+
+/// Loads the baseline profile the bench synthesises observations from.
+pub fn load_profile(artifacts: &Path) -> Result<BaselineProfile, String> {
+    let file = std::fs::File::open(artifacts.join("baseline.profile"))
+        .map_err(|e| format!("baseline.profile unreadable: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    lahd_guard::read_profile(&mut reader).map_err(|e| format!("baseline.profile corrupt: {e}"))
+}
+
+/// Drives the daemon at `socket` per `cfg`, synthesising observations from
+/// `artifacts/baseline.profile`.
+pub fn run_bench(
+    socket: &Path,
+    artifacts: &Path,
+    cfg: &BenchConfig,
+) -> Result<BenchSummary, String> {
+    let profile = load_profile(artifacts)?;
+    let mut client = ServeClient::connect_retry(socket, Duration::from_secs(5))
+        .map_err(|e| format!("connect failed: {e}"))?;
+    let chaos = if cfg.rounds > 0 {
+        Some(chaos_phase(&mut client, &profile, cfg)?)
+    } else {
+        None
+    };
+    let perf = if cfg.requests > 0 {
+        Some(perf_phase(socket, &profile, cfg)?)
+    } else {
+        None
+    };
+    Ok(BenchSummary { chaos, perf })
+}
+
+fn expect_decisions(
+    client: &mut ServeClient,
+    expected: usize,
+) -> Result<HashMap<u64, (u16, u8, u8)>, String> {
+    let mut got = HashMap::with_capacity(expected);
+    while got.len() < expected {
+        match client.recv() {
+            Ok(Response::Decision {
+                req_id,
+                action,
+                tier,
+                source,
+            }) => {
+                got.insert(req_id, (action, tier, source));
+            }
+            Ok(other) => return Err(format!("unexpected mid-round response {other:?}")),
+            Err(e) => return Err(format!("decision receive failed: {e}")),
+        }
+    }
+    Ok(got)
+}
+
+fn chaos_phase(
+    client: &mut ServeClient,
+    profile: &BaselineProfile,
+    cfg: &BenchConfig,
+) -> Result<ChaosOutcome, String> {
+    let (before, shards) = stats(client)?;
+    let first_chaos = cfg
+        .chaos
+        .as_ref()
+        .map_or(cfg.rounds, ChaosPlan::first_round);
+    let req_id = |round: u64, rep: u64, stream: u64| (round << 40) | (rep << 24) | stream;
+
+    let mut requests = 0u64;
+    let mut responses = 0u64;
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut reload_rejected = cfg.chaos.is_none();
+    let mut shed_observed = false;
+    let mut deadline_fallback = cfg.chaos.is_none();
+    let mut post_kill_guarded = cfg.chaos.is_none();
+
+    for round in 0..cfg.rounds {
+        let mut expected = 0usize;
+        let mut deadline_req = None;
+        if let Some(plan) = &cfg.chaos {
+            if round == plan.kill_round {
+                match client
+                    .call(&Request::Crash {
+                        shard: plan.kill_shard,
+                    })
+                    .map_err(|e| e.to_string())?
+                {
+                    Response::Ok => {}
+                    other => return Err(format!("crash injection refused: {other:?}")),
+                }
+            }
+            if round == plan.reload_round {
+                match client
+                    .call(&Request::Reload {
+                        dir: plan.corrupt_dir.to_string_lossy().into_owned(),
+                    })
+                    .map_err(|e| e.to_string())?
+                {
+                    Response::Err(_) => reload_rejected = true,
+                    other => return Err(format!("corrupt reload was not rejected: {other:?}")),
+                }
+            }
+            if round == plan.burst_round {
+                match client
+                    .call(&Request::Hold {
+                        shard: plan.kill_shard,
+                        ms: plan.hold_ms,
+                    })
+                    .map_err(|e| e.to_string())?
+                {
+                    Response::Ok => {}
+                    other => return Err(format!("hold injection refused: {other:?}")),
+                }
+                // One deliberately-delayed request against the held shard:
+                // its 1 ms budget expires during the hold, so it must come
+                // back from the deadline fallback.
+                let victim = (0..cfg.streams)
+                    .find(|&s| crate::daemon::shard_of(s, shards) == plan.kill_shard as usize)
+                    .unwrap_or(0);
+                let id = req_id(round, plan.burst_factor, victim);
+                client
+                    .send(&Request::Decide {
+                        req_id: id,
+                        stream: victim,
+                        deadline_us: 1000,
+                        obs: synth_obs(profile, cfg.seed, victim, round),
+                    })
+                    .map_err(|e| e.to_string())?;
+                deadline_req = Some(id);
+                expected += 1;
+                requests += 1;
+                for rep in 0..plan.burst_factor {
+                    for stream in 0..cfg.streams {
+                        client
+                            .send(&Request::Decide {
+                                req_id: req_id(round, rep, stream),
+                                stream,
+                                deadline_us: 0,
+                                obs: synth_obs(profile, cfg.seed, stream, round),
+                            })
+                            .map_err(|e| e.to_string())?;
+                        expected += 1;
+                        requests += 1;
+                    }
+                }
+            }
+        }
+        if expected == 0 {
+            for stream in 0..cfg.streams {
+                client
+                    .send(&Request::Decide {
+                        req_id: req_id(round, 0, stream),
+                        stream,
+                        deadline_us: 0,
+                        obs: synth_obs(profile, cfg.seed, stream, round),
+                    })
+                    .map_err(|e| e.to_string())?;
+                expected += 1;
+                requests += 1;
+            }
+        }
+        let got = expect_decisions(client, expected)?;
+        responses += got.len() as u64;
+        if round < first_chaos {
+            for stream in 0..cfg.streams {
+                if let Some(&(action, _, _)) = got.get(&req_id(round, 0, stream)) {
+                    checksum = fnv_fold(checksum, round);
+                    checksum = fnv_fold(checksum, stream);
+                    checksum = fnv_fold(checksum, action as u64);
+                }
+            }
+        }
+        if let Some(plan) = &cfg.chaos {
+            if got
+                .values()
+                .any(|&(_, _, source)| source == Source::Shed as u8)
+            {
+                shed_observed = true;
+            }
+            if let Some(id) = deadline_req {
+                if matches!(got.get(&id), Some(&(_, _, s)) if s == Source::Deadline as u8) {
+                    deadline_fallback = true;
+                }
+            }
+            if round > plan.kill_round {
+                let killed = plan.kill_shard as usize;
+                for stream in 0..cfg.streams {
+                    if crate::daemon::shard_of(stream, shards) == killed {
+                        if let Some(&(_, _, source)) = got.get(&req_id(round, 0, stream)) {
+                            if source == Source::Guarded as u8 {
+                                post_kill_guarded = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let (after, _) = stats(client)?;
+    let shard_recovered =
+        post_kill_guarded && (cfg.chaos.is_none() || after.restarts > before.restarts);
+    Ok(ChaosOutcome {
+        seed: cfg.seed,
+        streams: cfg.streams,
+        rounds: cfg.rounds,
+        plan: cfg
+            .chaos
+            .as_ref()
+            .map_or("none".to_string(), ChaosPlan::describe),
+        requests,
+        responses,
+        prechaos_checksum: checksum,
+        daemon_alive: true,
+        shard_recovered,
+        reload_rejected,
+        generation_unchanged: after.generation == before.generation,
+        shed_observed: shed_observed || cfg.chaos.is_none(),
+        deadline_fallback,
+    })
+}
+
+fn perf_phase(
+    socket: &Path,
+    profile: &BaselineProfile,
+    cfg: &BenchConfig,
+) -> Result<PerfOutcome, String> {
+    use crate::protocol::{read_frame, write_frame};
+
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| format!("perf connect failed: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("stream clone failed: {e}"))?;
+    let total = cfg.requests;
+    let streams = cfg.streams.max(1);
+    // Perf req-ids live above every chaos-phase id.
+    let base = 1u64 << 62;
+    let sent = std::sync::Mutex::new(HashMap::<u64, Instant>::with_capacity(total as usize));
+
+    let outcome = std::thread::scope(|scope| -> Result<PerfOutcome, String> {
+        let sent_ref = &sent;
+        let collector = scope.spawn(
+            move || -> Result<(LatencyHistogram, u64, u64, Instant), String> {
+                let mut reader = std::io::BufReader::new(stream);
+                let mut hist = LatencyHistogram::default();
+                let (mut shed, mut deadline) = (0u64, 0u64);
+                let mut got = 0u64;
+                while got < total {
+                    let frame = read_frame(&mut reader)
+                        .map_err(|e| format!("perf receive failed: {e}"))?
+                        .ok_or("daemon closed connection mid-bench")?;
+                    match Response::decode(&frame) {
+                        Ok(Response::Decision { req_id, source, .. }) => {
+                            got += 1;
+                            if let Some(at) = sent_ref.lock().unwrap().remove(&req_id) {
+                                hist.record(at.elapsed().as_nanos() as u64);
+                            }
+                            if source == Source::Shed as u8 {
+                                shed += 1;
+                            } else if source == Source::Deadline as u8 {
+                                deadline += 1;
+                            }
+                        }
+                        Ok(other) => return Err(format!("unexpected perf response {other:?}")),
+                        Err(e) => return Err(format!("perf decode failed: {e}")),
+                    }
+                }
+                Ok((hist, shed, deadline, Instant::now()))
+            },
+        );
+
+        let start = Instant::now();
+        for i in 0..total {
+            if cfg.rate > 0.0 {
+                let due = start + Duration::from_secs_f64(i as f64 / cfg.rate);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+            }
+            let stream_id = i % streams;
+            let round = (i / streams).wrapping_add(0x5EE0_0000_0000);
+            let req_id = base | i;
+            sent_ref.lock().unwrap().insert(req_id, Instant::now());
+            let req = Request::Decide {
+                req_id,
+                stream: stream_id,
+                deadline_us: cfg.deadline_us,
+                obs: synth_obs(profile, cfg.seed, stream_id, round),
+            };
+            write_frame(&mut writer, &req.encode())
+                .map_err(|e| format!("perf send failed: {e}"))?;
+        }
+        let (hist, shed, deadline, done_at) = collector
+            .join()
+            .map_err(|_| "perf collector panicked".to_string())??;
+        let elapsed = (done_at - start).as_secs_f64().max(1e-9);
+        Ok(PerfOutcome {
+            requests: total,
+            decisions_per_sec: total as f64 / elapsed,
+            p50_ns: hist.quantile(0.5),
+            p99_ns: hist.quantile(0.99),
+            p999_ns: hist.quantile(0.999),
+            shed,
+            deadline_misses: deadline,
+        })
+    })?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_obs_is_deterministic_and_in_band() {
+        let mut sp = lahd_guard::StreamingProfile::new(3);
+        for i in 0..100 {
+            sp.push(&[i as f32 * 0.01, 1.0, -(i as f32) * 0.02]);
+        }
+        let profile = sp.profile();
+        let a = synth_obs(&profile, 11, 2, 5);
+        let b = synth_obs(&profile, 11, 2, 5);
+        assert_eq!(a, b);
+        let c = synth_obs(&profile, 11, 2, 6);
+        assert_ne!(a, c);
+        for (d, v) in profile.dims.iter().zip(&a) {
+            assert!(
+                (*v as f64) >= d.p25 - 1e-6 && (*v as f64) <= d.p75 + 1e-6,
+                "obs outside interquartile band"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_outcome_json_is_stable() {
+        let outcome = ChaosOutcome {
+            seed: 7,
+            streams: 8,
+            rounds: 40,
+            plan: "none".to_string(),
+            requests: 320,
+            responses: 320,
+            prechaos_checksum: 0xdead_beef,
+            daemon_alive: true,
+            shard_recovered: true,
+            reload_rejected: true,
+            generation_unchanged: true,
+            shed_observed: true,
+            deadline_fallback: true,
+        };
+        assert_eq!(outcome.to_json(), outcome.clone().to_json());
+        assert!(outcome.all_good());
+        assert!(outcome
+            .to_json()
+            .contains("\"prechaos_checksum\":\"0x00000000deadbeef\""));
+    }
+
+    #[test]
+    fn standard_plan_orders_its_events() {
+        let plan = ChaosPlan::standard(40, PathBuf::from("/tmp/x"));
+        assert!(plan.kill_round < plan.burst_round);
+        assert!(plan.burst_round < plan.reload_round);
+        assert!(plan.reload_round < 40);
+        assert_eq!(plan.first_round(), plan.kill_round);
+    }
+
+    #[test]
+    fn bench_rows_cover_throughput_and_latency() {
+        let summary = BenchSummary {
+            chaos: None,
+            perf: Some(PerfOutcome {
+                requests: 100,
+                decisions_per_sec: 1234.5,
+                p50_ns: 1024,
+                p99_ns: 4096,
+                p999_ns: 8192,
+                shed: 0,
+                deadline_misses: 0,
+            }),
+        };
+        let rows = summary.bench_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].contains("serve_throughput/decisions_per_sec"));
+        assert!(rows[1].contains("serve_latency/p50_ns"));
+        for row in &rows {
+            assert!(row.starts_with("{\"bench\":\"") && row.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! A validated, servable artifact bundle.
+//!
+//! [`ServeBundle`] is everything one daemon generation serves from: the
+//! checked pipeline artifacts, both packed inference engines (quantized i8
+//! fast tier and exact reference), and the drift baseline the per-stream
+//! guards score against. Construction is the *off-path validation* step of
+//! hot reload: [`ServeBundle::load`] runs `load_artifacts_checked` plus an
+//! end-to-end inference probe, so a corrupt candidate is rejected before
+//! any shard sees it and the previous bundle keeps serving.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use lahd_core::{
+    load_artifacts_checked, resolve_baseline, PipelineArtifacts, PipelineConfig, Scenario,
+};
+use lahd_fsm::VecPolicy;
+use lahd_guard::BaselineProfile;
+use lahd_rl::{InferEngine, InferScratch, Precision};
+use lahd_tensor::Matrix;
+
+/// One loadable generation of serving state.
+pub struct ServeBundle {
+    /// The pipeline configuration the artifacts were loaded under.
+    pub cfg: PipelineConfig,
+    /// The checked artifacts (agent, QBNs, FSM, traces).
+    pub artifacts: PipelineArtifacts,
+    /// Packed i8 fast-tier engine.
+    pub quant: InferEngine,
+    /// Packed exact reference engine.
+    pub exact: InferEngine,
+    /// Drift baseline for the per-stream guards (the stamped profile, or
+    /// one recomputed from a clean rollout for pre-guard artifacts).
+    pub baseline: BaselineProfile,
+}
+
+impl ServeBundle {
+    /// Loads and validates the bundle in `dir`. Any failure — I/O, corrupt
+    /// or mismatched artifact files, non-finite probe outputs, a panic in
+    /// the probe — comes back as `Err`, leaving the caller free to keep
+    /// serving its current bundle.
+    pub fn load(cfg: &PipelineConfig, dir: &Path) -> Result<Self, String> {
+        let artifacts = load_artifacts_checked(cfg, dir)
+            .map_err(|e| format!("artifact validation failed: {e}"))?;
+        Self::from_artifacts(cfg.clone(), artifacts)
+    }
+
+    /// Wraps already-loaded artifacts (in-process daemons and tests),
+    /// running the same inference probe as [`ServeBundle::load`].
+    pub fn from_artifacts(
+        cfg: PipelineConfig,
+        artifacts: PipelineArtifacts,
+    ) -> Result<Self, String> {
+        let quant = InferEngine::with_precision(&artifacts.agent, Precision::QuantizedFast);
+        let exact = InferEngine::with_precision(&artifacts.agent, Precision::Exact);
+        let baseline = resolve_baseline(&cfg, &artifacts, &artifacts.real_traces);
+        let bundle = Self {
+            cfg,
+            artifacts,
+            quant,
+            exact,
+            baseline,
+        };
+        bundle.probe()?;
+        Ok(bundle)
+    }
+
+    /// The scenario the bundle serves.
+    pub fn scenario(&self) -> &'static dyn Scenario {
+        self.cfg.scenario.get()
+    }
+
+    /// Observation width a [`crate::Request::Decide`] must carry.
+    pub fn obs_dim(&self) -> usize {
+        self.artifacts.agent.obs_dim()
+    }
+
+    /// Number of valid action indices.
+    pub fn num_actions(&self) -> usize {
+        self.artifacts.agent.num_actions()
+    }
+
+    /// Drives a handful of decisions through every tier — batched and
+    /// scalar net inference, the FSM executor, the scenario baseline — and
+    /// rejects the bundle on any panic, non-finite output, or out-of-range
+    /// action. This is the last line of the hot-reload validation: corrupt
+    /// parameter *values* that still parse must not reach the serving path.
+    fn probe(&self) -> Result<(), String> {
+        catch_unwind(AssertUnwindSafe(|| self.probe_inner()))
+            .map_err(|_| "bundle probe panicked".to_string())?
+    }
+
+    fn probe_inner(&self) -> Result<(), String> {
+        let dim = self.obs_dim();
+        if self.baseline.dim() != dim {
+            return Err(format!(
+                "baseline dimensionality {} does not match observations {dim}",
+                self.baseline.dim()
+            ));
+        }
+        let rows = 3usize;
+        let mut obs = Matrix::zeros(rows, dim);
+        for r in 0..rows {
+            for (d, v) in obs.row_mut(r).iter_mut().enumerate() {
+                // Spread the probe rows across the baseline's typical band.
+                let p = &self.baseline.dims[d];
+                *v = match r {
+                    0 => p.p50,
+                    1 => p.p25,
+                    _ => p.p75,
+                } as f32;
+            }
+        }
+        let agent = &self.artifacts.agent;
+        let hidden = Matrix::zeros(rows, agent.hidden_dim());
+        let mut scratch = InferScratch::default();
+        for (name, engine) in [("quant", &self.quant), ("exact", &self.exact)] {
+            engine.infer_batch_into(agent, &obs, &hidden, &mut scratch);
+            for r in 0..rows {
+                let logits = scratch.logits.row(r);
+                if !logits.iter().all(|v| v.is_finite()) {
+                    return Err(format!("{name} engine produced non-finite logits"));
+                }
+                if lahd_tensor::argmax(logits) >= self.num_actions() {
+                    return Err(format!("{name} engine action out of range"));
+                }
+            }
+            // Scalar path too: the shard's guard fallbacks use it.
+            let mut h1 = Matrix::zeros(1, agent.hidden_dim());
+            h1.row_mut(0).copy_from_slice(scratch.hidden.row(0));
+            engine.infer_into(agent, obs.row(0), &h1, &mut scratch);
+            if !scratch.logits.row(0).iter().all(|v| v.is_finite()) {
+                return Err(format!("{name} engine scalar path non-finite"));
+            }
+        }
+        let mut fsm = self
+            .artifacts
+            .fsm_executor(self.cfg.metric, self.cfg.nn_matching);
+        let mut last_resort = self
+            .scenario()
+            .baselines(&self.cfg.sim)
+            .into_iter()
+            .next()
+            .ok_or("scenario registers no baseline policy")?;
+        for policy in [&mut fsm as &mut dyn VecPolicy, last_resort.as_mut()] {
+            policy.reset();
+            for r in 0..rows {
+                let action = policy.act_vec(obs.row(r));
+                if action >= self.num_actions() {
+                    return Err(format!("{} action {action} out of range", policy.name()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_core::Pipeline;
+    use std::sync::OnceLock;
+
+    fn tiny() -> &'static (PipelineConfig, std::path::PathBuf) {
+        static ARTIFACTS: OnceLock<(PipelineConfig, std::path::PathBuf)> = OnceLock::new();
+        ARTIFACTS.get_or_init(|| {
+            let cfg = PipelineConfig::tiny();
+            let artifacts = Pipeline::new(cfg.clone()).run();
+            let dir = std::env::temp_dir().join("lahd_serve_bundle_test");
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            lahd_core::save_artifacts(&artifacts, &dir).unwrap();
+            (cfg, dir)
+        })
+    }
+
+    #[test]
+    fn sound_artifacts_load_and_probe() {
+        let (cfg, dir) = tiny();
+        let bundle = ServeBundle::load(cfg, dir).expect("tiny artifacts must serve");
+        assert!(bundle.obs_dim() > 0);
+        assert!(bundle.num_actions() > 1);
+        assert_eq!(bundle.baseline.dim(), bundle.obs_dim());
+    }
+
+    #[test]
+    fn bit_flipped_candidate_is_rejected_not_panicked() {
+        let (cfg, dir) = tiny();
+        let corrupt = std::env::temp_dir().join("lahd_serve_bundle_corrupt");
+        let _ = std::fs::remove_dir_all(&corrupt);
+        std::fs::create_dir_all(&corrupt).unwrap();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), corrupt.join(entry.file_name())).unwrap();
+        }
+        let target = corrupt.join("agent.params");
+        let mut bytes = std::fs::read(&target).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x10;
+        std::fs::write(&target, bytes).unwrap();
+        assert!(
+            ServeBundle::load(cfg, &corrupt).is_err(),
+            "corrupt bundle must be rejected"
+        );
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        let (cfg, _) = tiny();
+        let missing = std::env::temp_dir().join("lahd_serve_bundle_missing");
+        let _ = std::fs::remove_dir_all(&missing);
+        assert!(ServeBundle::load(cfg, &missing).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Fault-tolerant decision serving for extracted LAHD policies.
+//!
+//! The paper's deliverable — an FSM distilled from a learned storage
+//! heuristic, with the teacher net as fallback — is a *production*
+//! artifact; this crate is the always-on service around it. A daemon
+//! ([`serve`]/[`serve_dir`]) loads a validated artifact bundle
+//! ([`ServeBundle`]) and answers decision requests for many concurrent
+//! streams over a length-prefixed Unix-socket protocol ([`protocol`]),
+//! sharded across per-core worker threads — no async runtime, just
+//! bounded queues and `std` threads.
+//!
+//! Each stream runs behind its own guarded tier ladder (extracted FSM →
+//! quantized-i8 net → exact net → scenario baseline, `lahd-guard`'s
+//! hysteresis machine deciding who serves); streams on a net tier are
+//! answered through one batched inference call per shard drain. The
+//! robustness layer covers every failure tier:
+//!
+//! - **panic isolation** — a shard worker that panics is caught, counted,
+//!   and restarted with exponential backoff; its queue (and therefore its
+//!   in-flight requests) survives, its streams are re-admitted with reset
+//!   state, and the daemon never exits.
+//! - **admission control** — bounded per-shard queues with retry/backoff;
+//!   persistent overload *sheds* requests to the scenario-baseline
+//!   fallback (labelled, counted) instead of erroring.
+//! - **deadline budgets** — per-request deadlines; work that expires in
+//!   the queue is answered from the fallback tier at dequeue.
+//! - **crash-safe hot reload** — a reload request validates the candidate
+//!   bundle off-path (checked parsing + an inference probe) and only then
+//!   publishes it; shards swap at batch boundaries; a corrupt candidate is
+//!   rejected with the old bundle still serving.
+//!
+//! [`run_bench`] is the deterministic load + chaos harness behind
+//! `lahd serve-bench` (kill a shard, burst 10× load, offer a corrupt
+//! reload), whose chaos summary is byte-reproducible under a fixed seed.
+
+mod bench;
+mod bundle;
+mod client;
+mod daemon;
+mod metrics;
+mod protocol;
+mod shard;
+
+pub use bench::{
+    load_profile, prepare_corrupt_candidate, run_bench, BenchConfig, BenchSummary, ChaosOutcome,
+    ChaosPlan, PerfOutcome,
+};
+pub use bundle::ServeBundle;
+pub use client::ServeClient;
+pub use daemon::{serve, serve_dir, shard_of, ServeConfig, ServeHandle, SharedState};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use protocol::{
+    read_frame, write_frame, ProtoError, Request, Response, Source, MAGIC, MAX_FRAME,
+};
+pub use shard::{ShardMsg, TIER_BASELINE, TIER_EXACT, TIER_FSM, TIER_QUANT};

@@ -1,0 +1,286 @@
+//! Daemon-wide counters and the latency histogram.
+//!
+//! Counters are relaxed atomics: they are operator telemetry, not
+//! synchronisation, and the serving hot path must not contend on them.
+//! The histogram is log-bucketed (powers of two in nanoseconds), which
+//! bounds quantile error at 2× — plenty for p50/p99/p999 rows whose
+//! regressions of interest are order-of-magnitude.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of ladder tiers accounted separately (FSM, quant net, exact net,
+/// scenario baseline — the ladder `lahd_core::build_ladder` produces).
+pub const TIERS: usize = 4;
+
+/// Daemon-wide counters; every field is monotonically increasing.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Decisions answered on the normal guarded path.
+    pub served: AtomicU64,
+    /// Decisions shed by admission control to the daemon fallback.
+    pub shed: AtomicU64,
+    /// Decisions whose deadline expired in the queue.
+    pub deadline_misses: AtomicU64,
+    /// Shard worker panics caught.
+    pub panics: AtomicU64,
+    /// Shard worker restarts completed.
+    pub restarts: AtomicU64,
+    /// Hot reloads accepted (bundle swapped).
+    pub reloads_ok: AtomicU64,
+    /// Hot reloads rejected (old bundle kept serving).
+    pub reloads_rejected: AtomicU64,
+    /// Enqueue attempts that found a shard queue full (before retries).
+    pub queue_full: AtomicU64,
+    /// Guarded decisions served per ladder tier.
+    pub tier_decisions: [AtomicU64; TIERS],
+}
+
+impl ServeMetrics {
+    /// Increment helper (relaxed).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one guarded decision served by `tier`.
+    pub fn record_served(&self, tier: usize) {
+        Self::bump(&self.served);
+        if let Some(c) = self.tier_decisions.get(tier) {
+            Self::bump(c);
+        }
+    }
+
+    /// Renders the snapshot as one JSON object (stable key order).
+    pub fn to_json(&self, generation: u64, shards: usize) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let tiers: Vec<String> = self
+            .tier_decisions
+            .iter()
+            .map(|c| g(c).to_string())
+            .collect();
+        format!(
+            concat!(
+                "{{\"generation\":{},\"shards\":{},\"served\":{},\"shed\":{},",
+                "\"deadline_misses\":{},\"panics\":{},\"restarts\":{},",
+                "\"reloads_ok\":{},\"reloads_rejected\":{},\"queue_full\":{},",
+                "\"tier_decisions\":[{}]}}"
+            ),
+            generation,
+            shards,
+            g(&self.served),
+            g(&self.shed),
+            g(&self.deadline_misses),
+            g(&self.panics),
+            g(&self.restarts),
+            g(&self.reloads_ok),
+            g(&self.reloads_rejected),
+            g(&self.queue_full),
+            tiers.join(",")
+        )
+    }
+}
+
+/// A tiny snapshot of the counters, parsed back out of the JSON the daemon
+/// serves — what the bench harness and the verify gate read.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Bundle generation at snapshot time.
+    pub generation: u64,
+    /// Decisions served on the guarded path.
+    pub served: u64,
+    /// Decisions shed by admission control.
+    pub shed: u64,
+    /// Deadline misses answered from the fallback tier.
+    pub deadline_misses: u64,
+    /// Panics caught.
+    pub panics: u64,
+    /// Shard restarts completed.
+    pub restarts: u64,
+    /// Reloads accepted.
+    pub reloads_ok: u64,
+    /// Reloads rejected.
+    pub reloads_rejected: u64,
+}
+
+impl MetricsSnapshot {
+    /// Parses the fields this struct carries out of [`ServeMetrics::to_json`]
+    /// output. Unknown keys are ignored; missing keys default to zero.
+    pub fn from_json(json: &str) -> Self {
+        let field = |name: &str| -> u64 {
+            let needle = format!("\"{name}\":");
+            json.find(&needle)
+                .map(|at| {
+                    json[at + needle.len()..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect::<String>()
+                        .parse()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0)
+        };
+        Self {
+            generation: field("generation"),
+            served: field("served"),
+            shed: field("shed"),
+            deadline_misses: field("deadline_misses"),
+            panics: field("panics"),
+            restarts: field("restarts"),
+            reloads_ok: field("reloads_ok"),
+            reloads_rejected: field("reloads_rejected"),
+        }
+    }
+}
+
+/// Sub-buckets per octave: two significant mantissa bits, so adjacent
+/// bucket bounds differ by ≤25% — fine enough that one-bucket jitter in a
+/// reported quantile stays well inside the perf gate's threshold (an
+/// octave-wide bucket would make the smallest possible move a 100% delta).
+const SUBS: usize = 4;
+
+/// Octaves covered (1 ns .. ~1100 s).
+const OCTAVES: usize = 40;
+
+/// Number of log-linear latency buckets.
+const BUCKETS: usize = OCTAVES * SUBS;
+
+/// Log-linear (HDR-style) latency histogram (single-threaded; the bench
+/// harness owns one per run).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Bucket index: octave (floor log2) plus the next two mantissa bits.
+    fn bucket(ns: u64) -> usize {
+        let ns = ns.max(1);
+        let e = 63 - ns.leading_zeros() as usize;
+        if e < 2 {
+            // 1, 2 and 3 ns land in exact buckets below the scheme.
+            return ns as usize - 1;
+        }
+        let sub = ((ns >> (e - 2)) & 0b11) as usize;
+        (e * SUBS + sub).min(BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound (ns) of bucket `i`.
+    fn upper_bound(i: usize) -> u64 {
+        if i < 2 * SUBS {
+            // The exact low buckets (indices for e < 2 use `ns - 1`).
+            return i as u64 + 1;
+        }
+        let e = i / SUBS;
+        let sub = (i % SUBS) as u64;
+        // Bucket spans [(4+sub), (5+sub)) · 2^(e-2).
+        (sub + 5) << (e - 2)
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The upper bound (ns) of the bucket containing quantile `q ∈ [0, 1]`;
+    /// 0 when empty. Bounded relative error ≤25% (one sub-bucket).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_bound(i);
+            }
+        }
+        Self::upper_bound(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_json_roundtrips_through_snapshot() {
+        let m = ServeMetrics::default();
+        m.record_served(0);
+        m.record_served(2);
+        ServeMetrics::bump(&m.shed);
+        ServeMetrics::bump(&m.panics);
+        ServeMetrics::bump(&m.restarts);
+        let snap = MetricsSnapshot::from_json(&m.to_json(3, 2));
+        assert_eq!(snap.generation, 3);
+        assert_eq!(snap.served, 2);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.restarts, 1);
+        assert_eq!(snap.reloads_rejected, 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_their_samples() {
+        let mut h = LatencyHistogram::default();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.len(), 5);
+        // Rank ceil(0.5·5) = 3 → the 400 ns sample, bounded within +25%.
+        let p50 = h.quantile(0.5);
+        assert!((400..=500).contains(&p50), "p50 bucket {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(
+            (100_000..=125_000).contains(&p99),
+            "p99 bucket {p99} must cover the outlier tightly"
+        );
+        assert!(h.quantile(0.0) >= 100, "floor bucket");
+    }
+
+    #[test]
+    fn histogram_buckets_have_bounded_relative_error() {
+        // Every sample's reported bucket bound is within +25% of the true
+        // value (and never below it) — the contract the perf gate's
+        // regression threshold leans on.
+        // Stay below the clamp octave (2^40 ns ≈ 1100 s), beyond which
+        // everything saturates into the last bucket.
+        for ns in (0..39)
+            .map(|i| 1u64 << i)
+            .flat_map(|b| [b, b + b / 3, b + b / 2])
+        {
+            let mut h = LatencyHistogram::default();
+            h.record(ns);
+            let q = h.quantile(1.0);
+            assert!(q >= ns, "bound {q} below sample {ns}");
+            assert!(q <= ns + ns / 4 + 1, "bound {q} over +25% of sample {ns}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+    }
+}

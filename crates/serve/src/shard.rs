@@ -1,0 +1,453 @@
+//! Shard workers: per-core serving threads with panic isolation.
+//!
+//! Each shard owns the per-stream state for the streams hashed to it — a
+//! [`GuardedPolicy`] ladder per stream, with the two net tiers sharing the
+//! shard's packed engines and keeping their recurrent state in cells the
+//! worker can batch over. A drained queue batch is partitioned by active
+//! tier: streams currently served by a net tier go through one
+//! `infer_batch_into` call (their guards informed via
+//! `GuardedPolicy::record_served`), everything else takes the scalar
+//! `act_vec` path. Batches are capped *below* the blocked-GEMM row cutoff,
+//! where the packed layers run one GEMV per row — so an action never
+//! depends on which other streams happened to share its batch, and chaos
+//! summaries stay bit-reproducible.
+//!
+//! Robustness: the worker body runs under `catch_unwind`; a panic (a bug,
+//! or an injected [`ShardMsg::Crash`]) is counted, the thread restarts
+//! with exponential backoff, and the shard's streams are re-admitted with
+//! reset state. The queue lives *outside* the restart loop, so requests
+//! enqueued while the worker was down are served after recovery instead of
+//! being dropped. Expired deadlines are answered from the shard's fallback
+//! policy at dequeue time. Hot reload is observed at batch boundaries: the
+//! worker compares the daemon's bundle generation and atomically swaps its
+//! local `Arc<ServeBundle>` (rebuilding stream state) between batches.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lahd_core::SHADOW_TIER;
+use lahd_fsm::VecPolicy;
+use lahd_guard::{GuardConfig, GuardedPolicy};
+use lahd_rl::InferScratch;
+use lahd_tensor::Matrix;
+
+use crate::bundle::ServeBundle;
+use crate::daemon::SharedState;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{Response, Source};
+
+/// Ladder tier indices, matching `lahd_core::build_ladder`.
+pub const TIER_FSM: usize = 0;
+/// Quantized-i8 net tier.
+pub const TIER_QUANT: usize = 1;
+/// Exact net tier (also the shadow reference).
+pub const TIER_EXACT: usize = 2;
+/// Scenario-baseline last resort (also the shed/deadline fallback).
+pub const TIER_BASELINE: usize = 3;
+
+/// A message on a shard's queue.
+pub enum ShardMsg {
+    /// One decision request.
+    Decide {
+        /// Correlation id echoed back.
+        req_id: u64,
+        /// Stream identity.
+        stream: u64,
+        /// Absolute deadline; expired work is answered from the fallback.
+        deadline: Option<Instant>,
+        /// The observation.
+        obs: Vec<f32>,
+        /// Where to send the [`Response::Decision`].
+        reply: Sender<Response>,
+    },
+    /// Chaos: panic the worker (exercises the restart path).
+    Crash,
+    /// Chaos: sleep `ms` milliseconds, letting the queue fill so admission
+    /// control is exercised deterministically.
+    Hold {
+        /// Sleep duration in milliseconds.
+        ms: u32,
+    },
+    /// Clean worker exit.
+    Shutdown,
+}
+
+/// Recurrent state one net tier keeps per stream, shared between the
+/// tier's scalar [`VecPolicy`] wrapper and the shard's batched path.
+struct NetState {
+    hidden: Matrix,
+    scratch: InferScratch,
+}
+
+impl NetState {
+    fn new(bundle: &ServeBundle) -> Self {
+        Self {
+            hidden: bundle.artifacts.agent.initial_state(),
+            scratch: InferScratch::default(),
+        }
+    }
+}
+
+/// Scalar [`VecPolicy`] over a packed engine with externally shared state —
+/// the guard's deferred shadow replay and tier fallbacks drive this; the
+/// hot batched path updates the same cell directly.
+struct EnginePolicy {
+    bundle: Arc<ServeBundle>,
+    quant: bool,
+    cell: Rc<RefCell<NetState>>,
+}
+
+impl EnginePolicy {
+    fn engine(&self) -> &lahd_rl::InferEngine {
+        if self.quant {
+            &self.bundle.quant
+        } else {
+            &self.bundle.exact
+        }
+    }
+}
+
+impl VecPolicy for EnginePolicy {
+    fn reset(&mut self) {
+        let st = &mut *self.cell.borrow_mut();
+        st.hidden = self.bundle.artifacts.agent.initial_state();
+    }
+
+    fn act_vec(&mut self, obs: &[f32]) -> usize {
+        let st = &mut *self.cell.borrow_mut();
+        let agent = &self.bundle.artifacts.agent;
+        self.engine()
+            .infer_into(agent, obs, &st.hidden, &mut st.scratch);
+        std::mem::swap(&mut st.hidden, &mut st.scratch.hidden);
+        lahd_tensor::argmax(st.scratch.logits.row(0))
+    }
+
+    fn name(&self) -> &str {
+        if self.quant {
+            "serve-quant"
+        } else {
+            "serve-exact"
+        }
+    }
+}
+
+/// Everything the shard keeps for one stream.
+struct StreamState {
+    guard: GuardedPolicy,
+    /// Shared recurrent cells for [`TIER_QUANT`] and [`TIER_EXACT`].
+    cells: [Rc<RefCell<NetState>>; 2],
+}
+
+fn make_stream(bundle: &Arc<ServeBundle>, stream: u64) -> StreamState {
+    let quant_cell = Rc::new(RefCell::new(NetState::new(bundle)));
+    let exact_cell = Rc::new(RefCell::new(NetState::new(bundle)));
+    let last_resort = bundle
+        .scenario()
+        .baselines(&bundle.cfg.sim)
+        .into_iter()
+        .next()
+        .expect("every scenario registers at least one baseline");
+    let tiers: Vec<Box<dyn VecPolicy>> = vec![
+        Box::new(
+            bundle
+                .artifacts
+                .fsm_executor(bundle.cfg.metric, bundle.cfg.nn_matching),
+        ),
+        Box::new(EnginePolicy {
+            bundle: bundle.clone(),
+            quant: true,
+            cell: quant_cell.clone(),
+        }),
+        Box::new(EnginePolicy {
+            bundle: bundle.clone(),
+            quant: false,
+            cell: exact_cell.clone(),
+        }),
+        last_resort,
+    ];
+    let guard_cfg = GuardConfig {
+        seed: bundle
+            .cfg
+            .seed
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ..GuardConfig::default()
+    };
+    StreamState {
+        guard: GuardedPolicy::new(tiers, SHADOW_TIER, bundle.baseline.clone(), guard_cfg),
+        cells: [quant_cell, exact_cell],
+    }
+}
+
+/// One shard's mutable serving state; rebuilt from scratch after a panic
+/// restart or a bundle swap.
+struct ShardState {
+    bundle: Arc<ServeBundle>,
+    generation: u64,
+    streams: HashMap<u64, StreamState>,
+    /// Shard-local fallback for expired deadlines and over-capacity
+    /// streams (the scenario baseline, same policy as [`TIER_BASELINE`]).
+    fallback: Box<dyn VecPolicy>,
+    batch_scratch: InferScratch,
+}
+
+impl ShardState {
+    fn fresh(shared: &SharedState) -> Self {
+        let bundle = shared.bundle.lock().unwrap().clone();
+        let generation = shared.generation.load(Ordering::Acquire);
+        let fallback = bundle
+            .scenario()
+            .baselines(&bundle.cfg.sim)
+            .into_iter()
+            .next()
+            .expect("every scenario registers at least one baseline");
+        Self {
+            bundle,
+            generation,
+            streams: HashMap::new(),
+            fallback,
+            batch_scratch: InferScratch::default(),
+        }
+    }
+
+    /// Batch-boundary reload check: when the daemon has published a newer
+    /// bundle generation, swap to it atomically (from this shard's point
+    /// of view) and re-admit streams with reset state.
+    fn maybe_swap_bundle(&mut self, shared: &SharedState) {
+        let gen = shared.generation.load(Ordering::Acquire);
+        if gen == self.generation {
+            return;
+        }
+        *self = Self::fresh(shared);
+    }
+
+    fn stream_mut(&mut self, stream: u64, max_streams: usize) -> Option<&mut StreamState> {
+        if !self.streams.contains_key(&stream) {
+            if self.streams.len() >= max_streams {
+                return None;
+            }
+            let state = make_stream(&self.bundle, stream);
+            self.streams.insert(stream, state);
+        }
+        self.streams.get_mut(&stream)
+    }
+
+    /// Serves one drained batch. Streams actively served by a net tier are
+    /// answered through one batched inference call per tier; everything
+    /// else (FSM/baseline tiers, repeat requests for a stream already in
+    /// the batch, expired deadlines) takes the scalar path, in arrival
+    /// order per stream.
+    fn process_batch(&mut self, shared: &SharedState, batch: Vec<DecideReq>) {
+        let now = Instant::now();
+        let obs_dim = self.bundle.obs_dim();
+        let metrics = &shared.metrics;
+
+        let mut live: Vec<DecideReq> = Vec::with_capacity(batch.len());
+        for req in batch {
+            if req.obs.len() != obs_dim {
+                let _ = req.reply.send(Response::Err(format!(
+                    "observation width {} does not match bundle {obs_dim}",
+                    req.obs.len()
+                )));
+                continue;
+            }
+            if req.deadline.is_some_and(|d| now > d) {
+                let action = self.fallback.act_vec(&req.obs) as u16;
+                ServeMetrics::bump(&metrics.deadline_misses);
+                let _ = req.reply.send(Response::Decision {
+                    req_id: req.req_id,
+                    action,
+                    tier: TIER_BASELINE as u8,
+                    source: Source::Deadline as u8,
+                });
+                continue;
+            }
+            live.push(req);
+        }
+
+        // Partition by active tier; first request per net-tier stream goes
+        // to that tier's batch, the rest stay scalar.
+        let mut net_batches: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        let mut scalar: Vec<usize> = Vec::new();
+        let mut batched_streams: Vec<u64> = Vec::new();
+        for (i, req) in live.iter().enumerate() {
+            let Some(state) = self.stream_mut(req.stream, shared.cfg.max_streams) else {
+                let action = self.fallback.act_vec(&req.obs) as u16;
+                ServeMetrics::bump(&metrics.shed);
+                let _ = req.reply.send(Response::Decision {
+                    req_id: req.req_id,
+                    action,
+                    tier: TIER_BASELINE as u8,
+                    source: Source::Shed as u8,
+                });
+                continue;
+            };
+            let tier = state.guard.active_tier();
+            if (tier == TIER_QUANT || tier == TIER_EXACT) && !batched_streams.contains(&req.stream)
+            {
+                batched_streams.push(req.stream);
+                net_batches[tier - TIER_QUANT].push(i);
+            } else {
+                scalar.push(i);
+            }
+        }
+
+        for (which, idxs) in net_batches.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let tier = TIER_QUANT + which;
+            let agent = &self.bundle.artifacts.agent;
+            let rows = idxs.len();
+            let mut obs_m = Matrix::zeros(rows, obs_dim);
+            let mut hidden_m = Matrix::zeros(rows, agent.hidden_dim());
+            for (r, &i) in idxs.iter().enumerate() {
+                let req = &live[i];
+                obs_m.row_mut(r).copy_from_slice(&req.obs);
+                let state = &self.streams[&req.stream];
+                let cell = state.cells[which].borrow();
+                hidden_m.row_mut(r).copy_from_slice(cell.hidden.row(0));
+            }
+            let engine = if tier == TIER_QUANT {
+                &self.bundle.quant
+            } else {
+                &self.bundle.exact
+            };
+            engine.infer_batch_into(agent, &obs_m, &hidden_m, &mut self.batch_scratch);
+            for (r, &i) in idxs.iter().enumerate() {
+                let req = &live[i];
+                let action = self.batch_scratch.logits.argmax_row(r);
+                let state = self.streams.get_mut(&req.stream).expect("stream exists");
+                state.cells[which]
+                    .borrow_mut()
+                    .hidden
+                    .row_mut(0)
+                    .copy_from_slice(self.batch_scratch.hidden.row(r));
+                state.guard.record_served(&req.obs, action);
+                metrics.record_served(tier);
+                let _ = req.reply.send(Response::Decision {
+                    req_id: req.req_id,
+                    action: action as u16,
+                    tier: tier as u8,
+                    source: Source::Guarded as u8,
+                });
+            }
+        }
+
+        for &i in &scalar {
+            let req = &live[i];
+            let state = self.streams.get_mut(&req.stream).expect("stream exists");
+            let tier = state.guard.active_tier();
+            let action = state.guard.act_vec(&req.obs) as u16;
+            metrics.record_served(tier);
+            let _ = req.reply.send(Response::Decision {
+                req_id: req.req_id,
+                action,
+                tier: tier as u8,
+                source: Source::Guarded as u8,
+            });
+        }
+    }
+}
+
+/// A [`ShardMsg::Decide`] unpacked for batch processing.
+struct DecideReq {
+    req_id: u64,
+    stream: u64,
+    deadline: Option<Instant>,
+    obs: Vec<f32>,
+    reply: Sender<Response>,
+}
+
+/// The shard thread body: serve until shutdown, restarting the serving
+/// loop with exponential backoff whenever it panics. The queue receiver
+/// outlives the panic, so in-flight requests survive worker crashes.
+pub fn run_shard(rx: Receiver<ShardMsg>, shared: Arc<SharedState>) {
+    let mut backoff_ms = shared.cfg.restart_backoff_ms.max(1);
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_loop(&rx, &shared)));
+        match outcome {
+            Ok(()) => return,
+            Err(_) => {
+                ServeMetrics::bump(&shared.metrics.panics);
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+                backoff_ms = (backoff_ms * 2).min(shared.cfg.restart_backoff_cap_ms.max(1));
+                ServeMetrics::bump(&shared.metrics.restarts);
+            }
+        }
+    }
+}
+
+fn serve_loop(rx: &Receiver<ShardMsg>, shared: &SharedState) {
+    let mut state = ShardState::fresh(shared);
+    let batch_max = shared.cfg.batch_max;
+    loop {
+        state.maybe_swap_bundle(shared);
+        let first = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch: Vec<DecideReq> = Vec::with_capacity(batch_max);
+        let mut control: Option<ShardMsg> = None;
+        match first {
+            ShardMsg::Decide {
+                req_id,
+                stream,
+                deadline,
+                obs,
+                reply,
+            } => batch.push(DecideReq {
+                req_id,
+                stream,
+                deadline,
+                obs,
+                reply,
+            }),
+            other => control = Some(other),
+        }
+        while control.is_none() && batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(ShardMsg::Decide {
+                    req_id,
+                    stream,
+                    deadline,
+                    obs,
+                    reply,
+                }) => batch.push(DecideReq {
+                    req_id,
+                    stream,
+                    deadline,
+                    obs,
+                    reply,
+                }),
+                Ok(other) => control = Some(other),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        if !batch.is_empty() {
+            state.process_batch(shared, batch);
+        }
+        match control {
+            Some(ShardMsg::Shutdown) => return,
+            Some(ShardMsg::Crash) => panic!("injected chaos crash"),
+            Some(ShardMsg::Hold { ms }) => {
+                std::thread::sleep(Duration::from_millis(ms as u64));
+            }
+            Some(ShardMsg::Decide { .. }) | None => {}
+        }
+    }
+}

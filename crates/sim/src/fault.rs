@@ -20,6 +20,16 @@
 //! - [`Fault::Stuck`] — the observation freezes at its value on the first
 //!   faulted step (a wedged collector; caught by the guard's stuck-input
 //!   run counter, invisible to distributional statistics).
+//! - [`Fault::Delay`] — observations arrive late: the stream sees the
+//!   observation from `steps` decisions ago (a lagging telemetry pipeline;
+//!   the policy acts on stale state).
+//! - [`Fault::Drop`] — each observation is lost independently with some
+//!   probability and the last delivered one is served in its place (a
+//!   lossy collector; long loss runs look like a stuck input).
+//!
+//! The same plan vocabulary drives both `guard-eval` fault injection and
+//! the serving daemon's chaos harness (`lahd serve-bench`), so incidents
+//! reproduce across harnesses from one description.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -46,7 +56,25 @@ pub enum Fault {
     },
     /// Freeze the observation at its value on the first faulted step.
     Stuck,
+    /// Observations arrive late: serve the observation from `steps`
+    /// decisions ago (clamped to [`MAX_DELAY_STEPS`]). Until that much
+    /// history has accumulated inside the fault window, the current
+    /// observation passes through.
+    Delay {
+        /// How many steps late the stream runs.
+        steps: u64,
+    },
+    /// Each observation is lost independently with probability `prob`; the
+    /// last successfully delivered observation is served in its place (the
+    /// first observation can never be lost — there is nothing to repeat).
+    Drop {
+        /// Per-step loss probability in `[0, 1]`.
+        prob: f64,
+    },
 }
+
+/// Upper bound on [`Fault::Delay`] lag, bounding the history buffer.
+pub const MAX_DELAY_STEPS: u64 = 1024;
 
 /// A fault active on steps in `[from, to)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -60,6 +88,11 @@ pub struct ScheduledFault {
 }
 
 /// A seeded schedule of observation faults.
+///
+/// Plans containing the stateful kinds ([`Fault::Stuck`], [`Fault::Delay`],
+/// [`Fault::Drop`]) assume [`FaultPlan::apply`] is called once per
+/// consecutive step, the way every evaluation loop in this workspace drives
+/// it; the purely per-step kinds are order-independent.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     seed: u64,
@@ -67,6 +100,12 @@ pub struct FaultPlan {
     /// Captured observation for an active [`Fault::Stuck`]; cleared when no
     /// stuck fault is active so a later window re-captures.
     held: Option<Vec<f32>>,
+    /// Recent pristine observations, newest last, kept only while a
+    /// [`Fault::Delay`] is scheduled (capacity: the largest delay + 1).
+    history: std::collections::VecDeque<Vec<f32>>,
+    /// The previous step's delivered observation, kept only while a
+    /// [`Fault::Drop`] is scheduled.
+    last_delivered: Option<Vec<f32>>,
 }
 
 impl FaultPlan {
@@ -80,7 +119,7 @@ impl FaultPlan {
         Self {
             seed,
             faults,
-            held: None,
+            ..Self::default()
         }
     }
 
@@ -113,6 +152,8 @@ impl FaultPlan {
                     Fault::Corrupt { prob } => format!("corrupt p={prob}"),
                     Fault::Rescale { factor } => format!("rescale×{factor}"),
                     Fault::Stuck => "stuck".to_string(),
+                    Fault::Delay { steps } => format!("delay-{steps}"),
+                    Fault::Drop { prob } => format!("drop p={prob}"),
                 };
                 format!("{kind}@[{},{})", f.from, f.to)
             })
@@ -123,6 +164,24 @@ impl FaultPlan {
     /// Perturbs `obs` in place according to the schedule at `step`.
     /// Random draws depend only on `(seed, step)`.
     pub fn apply(&mut self, step: u64, obs: &mut [f32]) {
+        // Keep the delay history warm whenever a delay is scheduled at all,
+        // so a fault window that opens later can serve genuinely old
+        // observations from its first step.
+        let max_delay = self
+            .faults
+            .iter()
+            .filter_map(|f| match f.fault {
+                Fault::Delay { steps } => Some(steps.min(MAX_DELAY_STEPS)),
+                _ => None,
+            })
+            .max();
+        if let Some(max_delay) = max_delay {
+            self.history.push_back(obs.to_vec());
+            while self.history.len() as u64 > max_delay + 1 {
+                self.history.pop_front();
+            }
+        }
+
         let mut stuck_active = false;
         for sched in &self.faults {
             if !(sched.from <= step && step < sched.to) {
@@ -159,10 +218,42 @@ impl FaultPlan {
                         }
                     }
                 }
+                Fault::Delay { steps } => {
+                    let lag = steps.min(MAX_DELAY_STEPS) as usize;
+                    // history.back() is this step's pristine observation, so
+                    // the element `lag` before it is the one from `lag`
+                    // steps ago. Until enough history exists, pass through.
+                    let len = self.history.len();
+                    if lag > 0 && len > lag {
+                        let old = &self.history[len - 1 - lag];
+                        if old.len() == obs.len() {
+                            obs.copy_from_slice(old);
+                        }
+                    }
+                }
+                Fault::Drop { prob } => {
+                    let mut rng = self.step_rng(step, 3);
+                    if rng.gen::<f64>() < prob {
+                        if let Some(prev) = &self.last_delivered {
+                            if prev.len() == obs.len() {
+                                obs.copy_from_slice(prev);
+                            }
+                        }
+                    }
+                }
             }
         }
         if !stuck_active {
             self.held = None;
+        }
+        if self
+            .faults
+            .iter()
+            .any(|f| matches!(f.fault, Fault::Drop { .. }))
+        {
+            self.last_delivered = Some(obs.to_vec());
+        } else {
+            self.last_delivered = None;
         }
     }
 
@@ -279,6 +370,101 @@ mod tests {
         let mut after = vec![4.0f32, 5.0, 6.0];
         plan.apply(10, &mut after);
         assert_eq!(after, vec![4.0, 5.0, 6.0]); // released
+    }
+
+    #[test]
+    fn delay_serves_stale_observations_after_warmup() {
+        let mut plan = FaultPlan::single(3, Fault::Delay { steps: 2 }, 4, 10);
+        // Feed distinguishable observations: obs at step s is [s, s].
+        let feed = |s: u64| vec![s as f32, s as f32];
+        for s in 0..4u64 {
+            let mut o = feed(s);
+            plan.apply(s, &mut o);
+            assert_eq!(o, feed(s), "outside the window obs passes through");
+        }
+        // History now holds steps 0..=3; at step 4 the 2-old obs is step 2's.
+        let mut o = feed(4);
+        plan.apply(4, &mut o);
+        assert_eq!(o, feed(2));
+        let mut o = feed(5);
+        plan.apply(5, &mut o);
+        assert_eq!(o, feed(3));
+        // After the window closes the stream is current again.
+        let mut o = feed(10);
+        plan.apply(10, &mut o);
+        assert_eq!(o, feed(10));
+    }
+
+    #[test]
+    fn delay_passes_through_during_warmup() {
+        let mut plan = FaultPlan::single(3, Fault::Delay { steps: 5 }, 0, 10);
+        for s in 0..5u64 {
+            let mut o = vec![s as f32; 3];
+            plan.apply(s, &mut o);
+            assert_eq!(o, vec![s as f32; 3], "not enough history yet at {s}");
+        }
+        let mut o = vec![5.0f32; 3];
+        plan.apply(5, &mut o);
+        assert_eq!(o, vec![0.0f32; 3]);
+    }
+
+    #[test]
+    fn drop_repeats_last_delivered_and_is_deterministic() {
+        let mut a = FaultPlan::single(21, Fault::Drop { prob: 0.4 }, 0, u64::MAX);
+        let mut b = a.clone();
+        let feed = |s: u64| vec![s as f32, -(s as f32)];
+        let mut dropped = 0usize;
+        let mut prev_delivered = None::<Vec<f32>>;
+        for s in 0..400u64 {
+            let mut oa = feed(s);
+            let mut ob = feed(s);
+            a.apply(s, &mut oa);
+            b.apply(s, &mut ob);
+            assert_eq!(oa, ob, "same seed, same step must agree");
+            if oa != feed(s) {
+                dropped += 1;
+                assert_eq!(
+                    Some(&oa),
+                    prev_delivered.as_ref(),
+                    "a dropped step repeats the previous delivered obs"
+                );
+            }
+            prev_delivered = Some(oa);
+        }
+        assert!(
+            (100..220).contains(&dropped),
+            "expected ~40% of 400 steps dropped, got {dropped}"
+        );
+        // The first observation can never be lost (nothing to repeat).
+        let mut fresh = FaultPlan::single(21, Fault::Drop { prob: 1.0 }, 0, 10);
+        let mut o = feed(0);
+        fresh.apply(0, &mut o);
+        assert_eq!(o, feed(0));
+        let mut o1 = feed(1);
+        fresh.apply(1, &mut o1);
+        assert_eq!(o1, feed(0), "p=1 repeats forever after the first");
+    }
+
+    #[test]
+    fn new_fault_kinds_describe_themselves() {
+        let plan = FaultPlan::new(
+            0,
+            vec![
+                ScheduledFault {
+                    fault: Fault::Delay { steps: 8 },
+                    from: 0,
+                    to: 5,
+                },
+                ScheduledFault {
+                    fault: Fault::Drop { prob: 0.1 },
+                    from: 5,
+                    to: 9,
+                },
+            ],
+        );
+        let d = plan.describe();
+        assert!(d.contains("delay-8@[0,5)"), "{d}");
+        assert!(d.contains("drop p=0.1@[5,9)"), "{d}");
     }
 
     #[test]

@@ -36,10 +36,34 @@ LAHD_BENCH_QUICK=1 LAHD_BENCH_JSON="$tmp" cargo bench -p lahd-bench \
     --bench micro_matmul \
     --bench micro_gemv_i8 \
     --bench micro_inference_latency \
+    --bench micro_serve_protocol \
     --bench micro_train_episode \
     --bench micro_qbn_encode \
     --bench micro_sim_step \
     --bench micro_workload_gen
+
+# End-to-end serving rows (serve_throughput/*, serve_latency/*): two
+# self-hosted `lahd serve-bench` open-loop runs over tiny artifacts.
+# Throughput comes from an unpaced run (the daemon's capacity); latency
+# from a run paced well below capacity, so the quantiles measure service
+# time rather than queue depth (at max rate p50 just reads the bounded
+# queue's drain time, which tracks 1/throughput and is far noisier).
+# The throughput row is decisions/sec — higher is better, and
+# bench_compare.sh keys off the per_sec/throughput name; the latency
+# rows are wall-clock ns bucket bounds (≤25% buckets) and get a wider
+# compare threshold (see bench_compare.sh).
+cargo build --release -p lahd-cli
+serve_dir="$(mktemp -d)"
+trap 'rm -f "$tmp"; rm -rf "$serve_dir"' EXIT
+target/release/lahd pipeline --scale tiny --out "$serve_dir" >/dev/null
+target/release/lahd serve-bench --scale tiny --artifacts "$serve_dir" \
+    --rounds 0 --requests 2000 --streams 8 \
+    --bench-json "$serve_dir/rows.json" >/dev/null
+grep "serve_throughput" "$serve_dir/rows.json" >> "$tmp"
+target/release/lahd serve-bench --scale tiny --artifacts "$serve_dir" \
+    --rounds 0 --requests 2000 --streams 8 --rate 25000 \
+    --bench-json "$serve_dir/rows.json" >/dev/null
+grep "serve_latency" "$serve_dir/rows.json" >> "$tmp"
 
 awk 'BEGIN { print "{"; first = 1 }
 /"bench"/ {

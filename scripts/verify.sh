@@ -25,11 +25,19 @@
 #    must report a fallback transition ("fallen-back" in the transition
 #    log) — the drift detector or the fallback state machine rotting fails
 #    verification, not just a unit suite.
-# 7. Quick-mode bench snapshot compared against the latest committed
+# 7. Serving gate: a self-hosted `lahd serve-bench --chaos` run over tiny
+#    artifacts (shard kill + burst + corrupt hot reload must all be
+#    survived with the old generation still serving), then an external
+#    `lahd serve` process driven over its Unix socket and shut down via a
+#    protocol request — the daemon must exit 0.
+# 8. Quick-mode bench snapshot compared against the latest committed
 #    BENCH_<n>.json with a loose 50% threshold, so a hot-path regression
 #    fails verification instead of only surfacing in the next snapshot.
 #    Since BENCH_4.json the gate also covers the quantized rows
-#    (gemv_packed_i8_*, gru128_forward_quant*, readahead sim/inference).
+#    (gemv_packed_i8_*, gru128_forward_quant*, readahead sim/inference);
+#    since BENCH_5.json also the serving rows (serve_protocol/* framing,
+#    serve_throughput/* and serve_latency/* from `lahd serve-bench` —
+#    rate rows are gated higher-is-better).
 #    Skip with LAHD_SKIP_BENCH_GATE=1 (e.g. on a loaded box).
 set -euo pipefail
 
@@ -79,6 +87,35 @@ if ! grep -q "fallen-back" <<<"$guard_out"; then
     echo "$guard_out"
     exit 1
 fi
+echo "== serving gate: self-hosted chaos plan must be survived"
+# Kill a shard mid-run, burst 10x the steady rate into a held shard, and
+# offer a corrupt hot-reload candidate; serve-bench exits non-zero unless
+# the daemon caught the panic, restarted the worker, shed (not dropped)
+# the burst, answered expired work from the fallback tier, and kept the
+# old artifact generation serving after rejecting the corrupt bundle.
+serve_out="$("$lahd_bin" serve-bench --scale tiny \
+    --artifacts "$smoke_dir/dorado-migration" \
+    --streams 4 --rounds 12 --requests 1000 --chaos \
+    --shards 2 --queue-capacity 16)"
+if ! grep -q "chaos plan SURVIVED" <<<"$serve_out"; then
+    echo "serve-bench chaos plan did not report survival:"
+    echo "$serve_out"
+    exit 1
+fi
+
+echo "== serving gate: external daemon round-trip + clean shutdown"
+serve_sock="$smoke_dir/verify-serve.sock"
+"$lahd_bin" serve --scale tiny --artifacts "$smoke_dir/dorado-migration" \
+    --socket "$serve_sock" --shards 2 >/dev/null &
+serve_pid=$!
+"$lahd_bin" serve-bench --scale tiny --artifacts "$smoke_dir/dorado-migration" \
+    --socket "$serve_sock" --rounds 8 --requests 200 \
+    --shutdown-daemon >/dev/null
+if ! wait "$serve_pid"; then
+    echo "lahd serve did not exit cleanly after a shutdown request"
+    exit 1
+fi
+
 rm -rf "$smoke_dir"
 
 if [ "${LAHD_SKIP_BENCH_GATE:-0}" = "1" ]; then

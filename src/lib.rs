@@ -20,6 +20,7 @@
 //! | [`fsm`] | `lahd-fsm` | FSM extraction, baselines, interpretation |
 //! | [`guard`] | `lahd-guard` | shadow execution, drift detection, policy fallback |
 //! | [`core`] | `lahd-core` | scenarios, the end-to-end pipeline, evaluation |
+//! | [`serve`] | `lahd-serve` | fault-tolerant sharded decision-serving daemon |
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench` for the
 //! harnesses that regenerate every figure of the paper.
@@ -30,6 +31,7 @@ pub use lahd_guard as guard;
 pub use lahd_nn as nn;
 pub use lahd_qbn as qbn;
 pub use lahd_rl as rl;
+pub use lahd_serve as serve;
 pub use lahd_sim as sim;
 pub use lahd_tensor as tensor;
 pub use lahd_workload as workload;
