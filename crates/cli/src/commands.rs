@@ -557,14 +557,19 @@ fn cmd_serve_bench(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         writeln!(
             out,
             "perf: {:.0} decisions/s over {} requests; latency p50 {}ns, p99 {}ns, \
-             p999 {}ns; shed {}, deadline misses {}",
+             p999 {}ns; shed {}, deadline misses {}; tiers fsm={} quant={} exact={} \
+             baseline={}",
             perf.decisions_per_sec,
             perf.requests,
             perf.p50_ns,
             perf.p99_ns,
             perf.p999_ns,
             perf.shed,
-            perf.deadline_misses
+            perf.deadline_misses,
+            perf.tier_decisions[0],
+            perf.tier_decisions[1],
+            perf.tier_decisions[2],
+            perf.tier_decisions[3]
         )?;
     }
     if let Some(path) = args.get("json") {
@@ -1116,10 +1121,15 @@ mod tests {
         .unwrap();
         assert!(text.contains("chaos plan SURVIVED"), "{text}");
         assert!(text.contains("perf:"), "{text}");
+        assert!(
+            text.contains("tiers fsm="),
+            "perf summary must report per-tier decision counts: {text}"
+        );
 
         let json = fs::read_to_string(&json_path).unwrap();
         assert!(json.contains("\"shard_recovered\":true"), "{json}");
         assert!(json.contains("\"reload_rejected\":true"), "{json}");
+        assert!(json.contains("\"tier_decisions\":{\"fsm\":"), "{json}");
         let rows = fs::read_to_string(&rows_path).unwrap();
         assert!(
             rows.contains("serve_throughput/decisions_per_sec"),

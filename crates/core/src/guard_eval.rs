@@ -73,7 +73,10 @@ pub const SHADOW_TIER: usize = 2;
 
 /// Builds the standard four-tier deployment ladder from saved artifacts:
 /// extracted FSM → quantized-i8 net → exact net → scenario default
-/// baseline.
+/// baseline. Rung 0 rides the compiled FSM tier whenever the machine
+/// lowers through `lahd_fsm::compile_fsm` (pipeline-extracted machines
+/// always do), falling back to the reference interpreter otherwise — the
+/// two are action- and stats-identical by the equivalence pins.
 pub fn build_ladder(
     cfg: &PipelineConfig,
     artifacts: &PipelineArtifacts,

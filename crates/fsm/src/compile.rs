@@ -1,0 +1,462 @@
+//! The lowering pass behind [`crate::CompiledFsm`]: turns an [`Fsm`] plus
+//! its observation QBN into flat, branch-free lookup structures at load
+//! time, so the per-decision hot path does no neural decode bookkeeping,
+//! no heap allocation and no hashing of owned keys.
+//!
+//! Three artifacts come out of a compile:
+//!
+//! 1. **Latent quantizer thresholds.** `QuantLevels::quantize` costs two
+//!    to three libm `tanh` calls per latent entry; but the composed map
+//!    `pre-activation → level` is a monotone step function, so its level
+//!    boundaries are *two f32 constants*. They are recovered by bisection
+//!    over the f32 bit ordering and then verified against the reference
+//!    quantizer (a dense ULP window around each boundary plus a coarse
+//!    grid); if verification fails — FP non-monotonicity in some libm —
+//!    the compile degrades to calling the reference per entry, which is
+//!    exact by definition.
+//! 2. **A packed symbol table.** Codes are ≤ 64 ternary digits, so a code
+//!    packs into a `u128` key (2 bits per digit); an open-addressing table
+//!    replaces `HashMap<Code, usize>`'s hasher + owned-key allocation with
+//!    one multiply and a probe over two flat arrays.
+//! 3. **A dense transition table.** Every `(state, symbol)` slot is filled
+//!    at compile time: observed transitions verbatim, missing transitions
+//!    resolved through the §3.2.2 nearest-neighbour fallback *once* (the
+//!    fallback is a pure function of the discrete pair — see
+//!    [`crate::FsmExecutor`]'s symbol-centroid query), dead ends as
+//!    hold-state slots. A provenance tag per slot lets the runtime keep
+//!    the interpreter's `missing_transitions`/`stuck_steps` statistics
+//!    without re-deriving anything.
+
+use lahd_qbn::{Qbn, QuantLevels};
+
+use crate::compiled::{CompiledFsm, SlotTag};
+use crate::machine::Fsm;
+use crate::matching::{CentroidIndex, Metric};
+
+/// Why a machine could not be lowered. The caller (e.g.
+/// [`crate::FsmExecutor::new`]) falls back to the interpreter, which
+/// handles every machine the compile pass rejects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The machine failed [`Fsm::validate`].
+    Invalid(String),
+    /// More states than a `u16` next-state entry can address.
+    TooManyStates(usize),
+    /// More symbols than a `u16` table entry can address.
+    TooManySymbols(usize),
+    /// The QBN's latent width exceeds the 64 digits a `u128` key packs.
+    LatentTooWide(usize),
+    /// Symbol centroids disagree on width, so the nearest-neighbour
+    /// fallback cannot be precomputed.
+    CentroidWidthMismatch {
+        /// Width of symbol 0's centroid.
+        expected: usize,
+        /// First differing width found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Invalid(msg) => write!(f, "inconsistent machine: {msg}"),
+            CompileError::TooManyStates(n) => write!(f, "{n} states exceed the u16 table range"),
+            CompileError::TooManySymbols(n) => write!(f, "{n} symbols exceed the u16 table range"),
+            CompileError::LatentTooWide(l) => {
+                write!(f, "latent width {l} exceeds the 64-digit packed-key limit")
+            }
+            CompileError::CentroidWidthMismatch { expected, found } => {
+                write!(f, "symbol centroid widths disagree ({expected} vs {found})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// How the compiled tier maps latent pre-activations to discrete levels.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum LatentQuantizer {
+    /// Two compares: `x >= plus_min → +1`, `x <= minus_max → −1`, else 0.
+    /// For binary levels the two constants are adjacent floats, so the
+    /// middle band is empty.
+    Thresholds {
+        /// Smallest f32 the reference quantizer maps to `+1`.
+        plus_min: f32,
+        /// Largest f32 the reference quantizer maps to `−1`.
+        minus_max: f32,
+    },
+    /// Verification found a boundary disagreement: call the reference
+    /// quantizer per entry (exact by definition, a few libm calls slower).
+    Scalar(QuantLevels),
+}
+
+impl LatentQuantizer {
+    /// Quantizes one pre-activation value; identical output to
+    /// `QuantLevels::quantize` for every finite input (the property the
+    /// derivation verifies before choosing the threshold form).
+    #[inline]
+    pub(crate) fn quantize(self, x: f32) -> i8 {
+        match self {
+            LatentQuantizer::Thresholds {
+                plus_min,
+                minus_max,
+            } => {
+                // Branchless on the match path: two compares, two casts.
+                (x >= plus_min) as i8 - (x <= minus_max) as i8
+            }
+            LatentQuantizer::Scalar(levels) => levels.quantize(x),
+        }
+    }
+}
+
+/// Monotone bijection f32 → u32 (IEEE-754 total order over finite values):
+/// flips negative patterns so integer comparison matches float comparison.
+fn to_ordered(x: f32) -> u32 {
+    let b = x.to_bits();
+    if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b | 0x8000_0000
+    }
+}
+
+/// Inverse of [`to_ordered`].
+fn from_ordered(o: u32) -> f32 {
+    if o & 0x8000_0000 != 0 {
+        f32::from_bits(o & 0x7FFF_FFFF)
+    } else {
+        f32::from_bits(!o)
+    }
+}
+
+/// Smallest ordered key in `(lo, hi]` where `pred` holds, assuming `pred`
+/// is monotone (false below the boundary, true at and above it).
+fn lowest_ordered_with(pred: impl Fn(f32) -> bool, mut lo: u32, mut hi: u32) -> u32 {
+    debug_assert!(!pred(from_ordered(lo)) && pred(from_ordered(hi)));
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if pred(from_ordered(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Half-width of the dense ULP verification window around each boundary.
+const ULP_WINDOW: u32 = 4096;
+
+/// Coarse-grid verification points across the active range.
+const GRID_POINTS: usize = 50_000;
+
+/// Derives the threshold form of `levels` and verifies it against the
+/// reference quantizer; falls back to the scalar form on any disagreement.
+fn derive_quantizer(levels: QuantLevels) -> LatentQuantizer {
+    // The quantizer saturates far inside ±64 (tanh is ±1 to the last ULP
+    // by ±20); if even the rails disagree, something is deeply odd — use
+    // the scalar form.
+    let (rail_lo, rail_hi) = (-64.0f32, 64.0f32);
+    if levels.quantize(rail_hi) != 1 || levels.quantize(rail_lo) != -1 {
+        return LatentQuantizer::Scalar(levels);
+    }
+    let plus_min_ord = lowest_ordered_with(
+        |x| levels.quantize(x) == 1,
+        to_ordered(rail_lo),
+        to_ordered(rail_hi),
+    );
+    let minus_max_ord = lowest_ordered_with(
+        |x| levels.quantize(x) > -1,
+        to_ordered(rail_lo),
+        to_ordered(rail_hi),
+    ) - 1;
+    let candidate = LatentQuantizer::Thresholds {
+        plus_min: from_ordered(plus_min_ord),
+        minus_max: from_ordered(minus_max_ord),
+    };
+
+    // Dense ULP windows around both boundaries: the only region where an
+    // FP-non-monotone libm could misclassify by a hair.
+    for center in [plus_min_ord, minus_max_ord] {
+        let lo = center.saturating_sub(ULP_WINDOW);
+        let hi = center.saturating_add(ULP_WINDOW);
+        for o in lo..=hi {
+            let x = from_ordered(o);
+            if candidate.quantize(x) != levels.quantize(x) {
+                return LatentQuantizer::Scalar(levels);
+            }
+        }
+    }
+    // Coarse grid across the active range, plus the rails.
+    for i in 0..=GRID_POINTS {
+        let x = -8.0 + 16.0 * i as f32 / GRID_POINTS as f32;
+        if candidate.quantize(x) != levels.quantize(x) {
+            return LatentQuantizer::Scalar(levels);
+        }
+    }
+    for x in [rail_lo, -32.0, -16.0, 16.0, 32.0, rail_hi, 0.0, -0.0] {
+        if candidate.quantize(x) != levels.quantize(x) {
+            return LatentQuantizer::Scalar(levels);
+        }
+    }
+    candidate
+}
+
+/// Derivation + verification runs once per process per level family; every
+/// compile after that reads the cached constants.
+pub(crate) fn quantizer_for(levels: QuantLevels) -> LatentQuantizer {
+    use std::sync::OnceLock;
+    static TWO: OnceLock<LatentQuantizer> = OnceLock::new();
+    static THREE: OnceLock<LatentQuantizer> = OnceLock::new();
+    match levels {
+        QuantLevels::Two => *TWO.get_or_init(|| derive_quantizer(levels)),
+        QuantLevels::Three => *THREE.get_or_init(|| derive_quantizer(levels)),
+    }
+}
+
+/// Open-addressing map from packed code keys to symbol ids: two flat
+/// arrays, one multiply-shift hash, linear probing. Capacity is a power of
+/// two at least twice the symbol count, so probes terminate fast.
+#[derive(Clone, Debug)]
+pub(crate) struct SymbolTable {
+    mask: usize,
+    keys: Vec<u128>,
+    vals: Vec<u16>,
+}
+
+/// Unreachable key sentinel: with ≤ 64 digits each packed as `level + 1 ∈
+/// {0, 1, 2}`, no 2-bit field is ever `0b11`, so an all-ones key cannot be
+/// produced by [`SymbolTable::pack`].
+const EMPTY_KEY: u128 = u128::MAX;
+
+impl SymbolTable {
+    /// Packs quantized digits (each in `{−1, 0, 1}`) into a key; `None`
+    /// for digits outside the packed range or widths over 64 (such codes
+    /// can never be emitted by the quantizer, so they are unmatchable).
+    #[inline]
+    pub(crate) fn pack(digits: &[i8]) -> Option<u128> {
+        if digits.len() > 64 {
+            return None;
+        }
+        let mut key: u128 = 0;
+        let mut ok = true;
+        for (i, &d) in digits.iter().enumerate() {
+            ok &= (-1..=1).contains(&d);
+            key |= (((d as i32 + 1) as u128) & 0b11) << (2 * i);
+        }
+        ok.then_some(key)
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u128) -> usize {
+        let folded = (key as u64) ^ ((key >> 64) as u64) ^ (key as u64).rotate_left(32);
+        (folded.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Builds the table over the symbol codes, in id order. Duplicate
+    /// codes keep the *later* id — the same tie-break as collecting the
+    /// codes into a `HashMap`, which is what the interpreter's index does.
+    fn build(fsm: &Fsm, latent_dim: usize) -> Self {
+        let cap = (fsm.symbols.len().max(1) * 2).next_power_of_two().max(8);
+        let mut table = Self {
+            mask: cap - 1,
+            keys: vec![EMPTY_KEY; cap],
+            vals: vec![0; cap],
+        };
+        for (id, sym) in fsm.symbols.iter().enumerate() {
+            if sym.code.len() != latent_dim {
+                continue; // quantizer output width never matches
+            }
+            let Some(key) = Self::pack(&sym.code.0) else {
+                continue; // out-of-range digits are unmatchable
+            };
+            let mut slot = table.slot_of(key);
+            loop {
+                if table.keys[slot] == EMPTY_KEY || table.keys[slot] == key {
+                    table.keys[slot] = key;
+                    table.vals[slot] = id as u16;
+                    break;
+                }
+                slot = (slot + 1) & table.mask;
+            }
+        }
+        table
+    }
+
+    /// Symbol id for an exact quantizer output, or `None` (unseen code).
+    /// Reference form of the probe: the runtime packs inline and calls
+    /// [`SymbolTable::lookup_key`]; the table tests compare against this.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub(crate) fn lookup(&self, digits: &[i8]) -> Option<u16> {
+        let key = Self::pack(digits)?;
+        self.lookup_key(key)
+    }
+
+    /// Probe by pre-packed key — the hot-path entry for codes packed
+    /// inline during quantization (see `CompiledFsm::quantize_key`), which
+    /// are in-range by construction and skip [`SymbolTable::pack`]'s
+    /// validation.
+    #[inline]
+    pub(crate) fn lookup_key(&self, key: u128) -> Option<u16> {
+        let mut slot = self.slot_of(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Some(self.vals[slot]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+/// Lowers `fsm` + `obs_qbn` into a [`CompiledFsm`] under `metric` /
+/// `nn_matching` (the same knobs the interpreter takes — the compiled
+/// machine is action- and stats-identical to an interpreter configured the
+/// same way).
+///
+/// # Errors
+/// Returns a [`CompileError`] for machines outside the compiled tier's
+/// envelope (too many states/symbols for `u16`, latent width over 64,
+/// inconsistent structure); the interpreter handles those.
+pub fn compile_fsm(
+    fsm: &Fsm,
+    obs_qbn: &Qbn,
+    metric: Metric,
+    nn_matching: bool,
+) -> Result<CompiledFsm, CompileError> {
+    fsm.validate().map_err(CompileError::Invalid)?;
+    let num_states = fsm.num_states();
+    let num_symbols = fsm.num_symbols();
+    if num_states > u16::MAX as usize {
+        return Err(CompileError::TooManyStates(num_states));
+    }
+    if num_symbols > u16::MAX as usize {
+        return Err(CompileError::TooManySymbols(num_symbols));
+    }
+    let latent_dim = obs_qbn.config().latent_dim;
+    if latent_dim > 64 {
+        return Err(CompileError::LatentTooWide(latent_dim));
+    }
+    if let Some(first) = fsm.symbols.first() {
+        let expected = first.centroid.len();
+        if let Some(bad) = fsm.symbols.iter().find(|s| s.centroid.len() != expected) {
+            return Err(CompileError::CentroidWidthMismatch {
+                expected,
+                found: bad.centroid.len(),
+            });
+        }
+    }
+
+    let index = fsm.index();
+    let centroids = CentroidIndex::new(metric, fsm.symbols.iter().map(|s| s.centroid.as_slice()));
+    let sym_table = SymbolTable::build(fsm, latent_dim);
+    let quantizer = quantizer_for(obs_qbn.config().levels);
+
+    // Dense tables: every (state, symbol) slot resolved now. The fallback
+    // query is the resolved symbol's centroid — a pure function of the
+    // discrete pair, matching the interpreter's missing-transition path.
+    let mut next = vec![0u16; num_states * num_symbols];
+    let mut tags = vec![SlotTag::Stuck as u8; num_states * num_symbols];
+    for s in 0..num_states {
+        let outgoing = index.symbols_from(s);
+        for o in 0..num_symbols {
+            let slot = s * num_symbols + o;
+            if let Some(dst) = fsm.next_state(s, o) {
+                next[slot] = dst as u16;
+                tags[slot] = SlotTag::Observed as u8;
+            } else if nn_matching && !outgoing.is_empty() {
+                let fallback = centroids
+                    .closest_among(&fsm.symbols[o].centroid, outgoing)
+                    .expect("outgoing symbol set is non-empty");
+                next[slot] = fsm
+                    .next_state(s, fallback)
+                    .expect("fallback symbol has a transition") as u16;
+                tags[slot] = SlotTag::Missing as u8;
+            } else {
+                next[slot] = s as u16; // hold state (stuck)
+            }
+        }
+    }
+
+    let actions = fsm.states.iter().map(|st| st.action as u16).collect();
+    Ok(CompiledFsm::from_parts(
+        obs_qbn.clone(),
+        quantizer,
+        sym_table,
+        centroids,
+        next,
+        tags,
+        actions,
+        num_symbols,
+        fsm.initial_state as u16,
+        nn_matching,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_qbn::Code;
+
+    #[test]
+    fn derived_thresholds_match_reference_quantizer() {
+        for levels in [QuantLevels::Two, QuantLevels::Three] {
+            let q = quantizer_for(levels);
+            assert!(
+                matches!(q, LatentQuantizer::Thresholds { .. }),
+                "{levels:?} should lower to thresholds on this libm"
+            );
+            // Dense sweep well past the window the derivation checked.
+            for i in 0..200_001 {
+                let x = -10.0 + 20.0 * i as f32 / 200_000.0;
+                assert_eq!(q.quantize(x), levels.quantize(x), "at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_is_injective_over_valid_digits() {
+        let mut seen = std::collections::HashSet::new();
+        // All 3^5 five-digit codes pack to distinct keys.
+        for n in 0..243 {
+            let digits: Vec<i8> = (0..5)
+                .map(|i| ((n / 3_usize.pow(i)) % 3) as i8 - 1)
+                .collect();
+            assert!(seen.insert(SymbolTable::pack(&digits).unwrap()));
+        }
+        assert_eq!(SymbolTable::pack(&[2]), None, "out-of-range digit");
+        assert_eq!(SymbolTable::pack(&[0; 65]), None, "too wide");
+        assert_ne!(SymbolTable::pack(&[1; 64]).unwrap(), EMPTY_KEY);
+    }
+
+    #[test]
+    fn symbol_table_agrees_with_hashmap_probe() {
+        use crate::machine::testutil::two_state_fsm;
+        let mut fsm = two_state_fsm();
+        fsm.symbols[0].code = Code(vec![1, 0, -1]);
+        fsm.symbols[1].code = Code(vec![-1, -1, 1]);
+        let table = SymbolTable::build(&fsm, 3);
+        assert_eq!(table.lookup(&[1, 0, -1]), Some(0));
+        assert_eq!(table.lookup(&[-1, -1, 1]), Some(1));
+        assert_eq!(table.lookup(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn duplicate_codes_keep_the_later_id_like_the_interpreter() {
+        use crate::machine::testutil::two_state_fsm;
+        let mut fsm = two_state_fsm();
+        fsm.symbols[0].code = Code(vec![1, 1]);
+        fsm.symbols[1].code = Code(vec![1, 1]);
+        let table = SymbolTable::build(&fsm, 2);
+        let index = fsm.index();
+        assert_eq!(
+            table.lookup(&[1, 1]).map(usize::from),
+            index.symbol_by_digits(&[1, 1])
+        );
+    }
+}

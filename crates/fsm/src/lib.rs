@@ -18,9 +18,15 @@
 //! * [`interpret_states`] / [`history_window`] — the fan-in/fan-out and
 //!   history analyses of §3.3 (Figures 5 and 6);
 //! * [`to_dot`] — Graphviz export; [`write_fsm`]/[`read_fsm`] — the
-//!   human-reviewable text persistence format.
+//!   human-reviewable text persistence format;
+//! * [`compile_fsm`] / [`CompiledFsm`] — the load-time lowering pass and
+//!   its flat-table runtime: threshold quantization, packed symbol lookup
+//!   and a dense transition table with §3.2.2 fallbacks precomputed into
+//!   every slot, plus an SoA batch evaluator for the serving tier.
 
 mod baselines;
+mod compile;
+mod compiled;
 mod dot;
 mod extract;
 mod interpret;
@@ -31,13 +37,22 @@ mod persist;
 mod policy;
 
 pub use baselines::{ConstantPolicy, DefaultPolicy, HandcraftedFsm};
+pub use compile::{compile_fsm, CompileError};
+pub use compiled::{
+    BatchScratch, CompiledCursor, CompiledFsm, CompiledScratch, SlotTag, StepOutcome,
+};
 pub use dot::to_dot;
 pub use extract::extract_fsm;
 pub use interpret::{
     edge_profiles, history_window, interpret_states, EdgeProfile, StateInterpretation,
 };
-pub use machine::{Fsm, FsmState, ObsSymbol};
-pub use matching::Metric;
+pub use machine::{Fsm, FsmIndex, FsmState, ObsSymbol};
+pub use matching::{CentroidIndex, Metric};
 pub use minimize::{merge_compatible, minimize};
 pub use persist::{read_fsm, write_fsm, FsmPersistError};
 pub use policy::{FsmExecutor, FsmPolicy, FsmRunStats, Policy, TrajStep, Trajectory, VecPolicy};
+
+// Re-exported so downstream crates that build executors (the serving
+// daemon, eval harnesses) can name the observation encoder's type without
+// depending on lahd-qbn directly.
+pub use lahd_qbn::Qbn;

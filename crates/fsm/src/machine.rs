@@ -71,17 +71,49 @@ impl Fsm {
     }
 
     /// Looks up a symbol id by its quantized code.
+    ///
+    /// One-shot convenience (linear scan). Anything that resolves codes in
+    /// a loop — execution, extraction consistency checks, the compile pass
+    /// — should build an [`FsmIndex`] once via [`Fsm::index`] and query
+    /// that instead.
     pub fn symbol_by_code(&self, code: &Code) -> Option<usize> {
         self.symbols.iter().position(|s| &s.code == code)
     }
 
     /// Symbols that have an outgoing transition from `state`.
+    ///
+    /// One-shot convenience (scans every transition). Per-state queries in
+    /// a loop should go through [`FsmIndex::symbols_from`], which
+    /// partitions the transition keys once.
     pub fn symbols_from(&self, state: usize) -> Vec<usize> {
         self.transitions
             .keys()
             .filter(|&&(s, _)| s == state)
             .map(|&(_, sym)| sym)
             .collect()
+    }
+
+    /// Builds the reusable lookup index over this machine's current
+    /// contents. The fields of [`Fsm`] are public and mutable, so the index
+    /// is a snapshot: rebuild it after structural edits.
+    pub fn index(&self) -> FsmIndex {
+        let by_code = self
+            .symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.code.clone(), i))
+            .collect();
+        let mut state_symbols = vec![Vec::new(); self.states.len()];
+        for &(s, o) in self.transitions.keys() {
+            state_symbols[s].push(o);
+        }
+        for syms in &mut state_symbols {
+            syms.sort_unstable();
+        }
+        FsmIndex {
+            by_code,
+            state_symbols,
+        }
     }
 
     /// Total observed transition count (dataset size it was built from).
@@ -109,6 +141,41 @@ impl Fsm {
             }
         }
         Ok(())
+    }
+}
+
+/// Index-once lookup structures over an [`Fsm`]: symbol id by quantized
+/// code and the sorted outgoing-symbol list per state. Replaces the
+/// per-call linear scans of [`Fsm::symbol_by_code`] /
+/// [`Fsm::symbols_from`] everywhere those queries run in a loop (the
+/// executor, the compile pass, eval tooling).
+#[derive(Clone, Debug, Default)]
+pub struct FsmIndex {
+    by_code: HashMap<Code, usize>,
+    state_symbols: Vec<Vec<usize>>,
+}
+
+impl FsmIndex {
+    /// Symbol id for an exact quantized code.
+    pub fn symbol_by_code(&self, code: &Code) -> Option<usize> {
+        self.by_code.get(code).copied()
+    }
+
+    /// Symbol id for an exact code given as a raw digit slice — the
+    /// zero-allocation probe the executor hot path uses (`Code` borrows as
+    /// `[i8]`, so hashing is identical).
+    pub fn symbol_by_digits(&self, digits: &[i8]) -> Option<usize> {
+        self.by_code.get(digits).copied()
+    }
+
+    /// Symbols with an outgoing transition from `state`, ascending.
+    pub fn symbols_from(&self, state: usize) -> &[usize] {
+        &self.state_symbols[state]
+    }
+
+    /// Number of states the index was built over.
+    pub fn num_states(&self) -> usize {
+        self.state_symbols.len()
     }
 }
 
@@ -197,6 +264,24 @@ mod tests {
         let mut syms = fsm.symbols_from(0);
         syms.sort_unstable();
         assert_eq!(syms, vec![0, 1]);
+    }
+
+    #[test]
+    fn index_agrees_with_linear_scans() {
+        let fsm = two_state_fsm();
+        let idx = fsm.index();
+        for (i, s) in fsm.symbols.iter().enumerate() {
+            assert_eq!(idx.symbol_by_code(&s.code), Some(i));
+            assert_eq!(idx.symbol_by_digits(&s.code.0), Some(i));
+            assert_eq!(fsm.symbol_by_code(&s.code), Some(i));
+        }
+        assert_eq!(idx.symbol_by_code(&Code(vec![0])), None);
+        for s in 0..fsm.num_states() {
+            let mut scan = fsm.symbols_from(s);
+            scan.sort_unstable();
+            assert_eq!(idx.symbols_from(s), scan.as_slice());
+        }
+        assert_eq!(idx.num_states(), 2);
     }
 
     #[test]

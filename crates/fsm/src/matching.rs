@@ -56,6 +56,82 @@ impl Metric {
     }
 }
 
+/// Symbol centroids in one contiguous row-major matrix (SoA layout), with
+/// nearest-centroid queries under a fixed [`Metric`].
+///
+/// This is the *single* nearest-neighbour implementation behind both the
+/// interpreted executor and the compiled tier: both resolve fallbacks
+/// through the same scan over the same memory, so their argmin (including
+/// tie-breaks toward the lower index, inherited from [`Metric::closest`]'s
+/// strict `<`) is identical by construction — the property the compiled ≡
+/// interpreted equivalence pins lean on. The contiguous layout also makes
+/// the scan cache-friendly next to the `Vec<Vec<f32>>` it replaces.
+#[derive(Clone, Debug)]
+pub struct CentroidIndex {
+    metric: Metric,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl CentroidIndex {
+    /// Packs `centroids` (one slice per symbol id, all equally wide) under
+    /// `metric`.
+    ///
+    /// # Panics
+    /// Panics if the centroids disagree on width.
+    pub fn new<'a>(metric: Metric, centroids: impl IntoIterator<Item = &'a [f32]>) -> Self {
+        let mut data = Vec::new();
+        let mut dim = 0;
+        let mut count = 0;
+        for c in centroids {
+            if count == 0 {
+                dim = c.len();
+            }
+            assert_eq!(c.len(), dim, "centroid width mismatch");
+            data.extend_from_slice(c);
+            count += 1;
+        }
+        Self { metric, dim, data }
+    }
+
+    /// Number of centroids.
+    pub fn len(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.data.len() / self.dim
+        }
+    }
+
+    /// Whether the index holds no centroids.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The metric queries run under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Centroid `i` as a slice.
+    pub fn centroid(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Closest centroid to `query` over all entries; `None` when empty.
+    pub fn closest(&self, query: &[f32]) -> Option<usize> {
+        self.metric
+            .closest(query, (0..self.len()).map(|i| (i, self.centroid(i))))
+    }
+
+    /// Closest centroid to `query` among the ids in `among` (ties break
+    /// toward the id listed first); `None` when `among` is empty.
+    pub fn closest_among(&self, query: &[f32], among: &[usize]) -> Option<usize> {
+        self.metric
+            .closest(query, among.iter().map(|&i| (i, self.centroid(i))))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +174,36 @@ mod tests {
     #[test]
     fn empty_candidates_give_none() {
         assert_eq!(Metric::Euclidean.closest(&[1.0], std::iter::empty()), None);
+    }
+
+    #[test]
+    fn centroid_index_matches_direct_closest() {
+        let cands = [
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.4, 0.4],
+            vec![5.0, -1.0],
+        ];
+        for metric in [Metric::Euclidean, Metric::Cosine] {
+            let idx = CentroidIndex::new(metric, cands.iter().map(Vec::as_slice));
+            assert_eq!(idx.len(), 4);
+            for q in [[0.5, 0.5], [4.0, -0.5], [-1.0, 2.0]] {
+                let direct =
+                    metric.closest(&q, cands.iter().enumerate().map(|(i, v)| (i, v.as_slice())));
+                assert_eq!(idx.closest(&q), direct, "{metric:?} {q:?}");
+                let among = [2usize, 0, 3];
+                let direct_sub =
+                    metric.closest(&q, among.iter().map(|&i| (i, cands[i].as_slice())));
+                assert_eq!(idx.closest_among(&q, &among), direct_sub);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_centroid_index_is_quiet() {
+        let idx = CentroidIndex::new(Metric::Euclidean, std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.closest(&[]), None);
     }
 
     #[test]

@@ -13,13 +13,15 @@
 //! [`FsmExecutor`] is the scenario-generic machine executor;
 //! [`FsmPolicy`] wraps it with the Dorado observation normalisation.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use lahd_qbn::{Code, Qbn};
+use lahd_qbn::{EncodeScratch, Qbn};
 use lahd_sim::{Action, Observation, SimConfig};
 
-use crate::machine::Fsm;
-use crate::matching::Metric;
+use crate::compile::compile_fsm;
+use crate::compiled::{CompiledFsm, CompiledScratch};
+use crate::machine::{Fsm, FsmIndex};
+use crate::matching::{CentroidIndex, Metric};
 
 /// A controller for the Dorado storage simulator: one action per interval.
 pub trait Policy {
@@ -69,7 +71,7 @@ pub struct Trajectory {
 }
 
 /// Execution statistics of an FSM run (generalisation diagnostics).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FsmRunStats {
     /// Steps taken.
     pub steps: usize,
@@ -87,6 +89,21 @@ pub struct FsmRunStats {
 /// nearest-neighbour fallback for unseen observations. Scenario-agnostic:
 /// the vectors must simply use the normalisation the machine was extracted
 /// under.
+///
+/// Two execution paths coexist behind [`FsmExecutor::step_vec`]:
+///
+/// * the **compiled fast path** — when the machine lowered cleanly through
+///   [`compile_fsm`] and no trajectory is being recorded, each step runs
+///   the flat-table [`CompiledFsm`] (threshold quantizer, packed symbol
+///   probe, dense transition table);
+/// * the **interpreter** — the reference semantics, also used whenever a
+///   trajectory is recorded (the compiled tables don't track *which*
+///   symbol a fallback resolved to, only the outcome).
+///
+/// The two are action- and stats-identical by construction (shared QBN
+/// GEMVs, verified quantizer thresholds, shared [`CentroidIndex`] argmin,
+/// fallbacks precomputed from the same queries); the
+/// `compiled_equivalence` suite pins that property.
 pub struct FsmExecutor {
     fsm: Fsm,
     obs_qbn: Qbn,
@@ -94,8 +111,12 @@ pub struct FsmExecutor {
     nn_matching: bool,
     name: String,
     // Caches.
-    symbol_index: HashMap<Code, usize>,
-    state_symbols: Vec<Vec<usize>>,
+    index: FsmIndex,
+    centroids: CentroidIndex,
+    compiled: Option<Arc<CompiledFsm>>,
+    compiled_scratch: Option<CompiledScratch>,
+    enc_scratch: EncodeScratch,
+    code_buf: Vec<i8>,
     // Episode state.
     state: usize,
     t: usize,
@@ -107,41 +128,69 @@ pub struct FsmExecutor {
 }
 
 impl FsmExecutor {
-    /// Wraps an extracted machine with its observation quantizer.
+    /// Wraps an extracted machine with its observation quantizer, lowering
+    /// it through the compile pass when possible (machines outside the
+    /// compiled envelope silently run interpreted).
     ///
     /// `nn_matching` toggles the paper's nearest-neighbour generalisation
     /// (§3.2.2); with it off the machine holds its state on unseen input
     /// (ablation baseline).
     pub fn new(fsm: Fsm, obs_qbn: Qbn, metric: Metric, nn_matching: bool) -> Self {
+        let compiled = compile_fsm(&fsm, &obs_qbn, metric, nn_matching)
+            .ok()
+            .map(Arc::new);
+        Self::with_compiled(fsm, obs_qbn, metric, nn_matching, compiled)
+    }
+
+    /// Like [`FsmExecutor::new`], but never compiles: every step runs the
+    /// reference interpreter. Used by the equivalence pins and available as
+    /// a diagnostic escape hatch.
+    pub fn interpreted(fsm: Fsm, obs_qbn: Qbn, metric: Metric, nn_matching: bool) -> Self {
+        Self::with_compiled(fsm, obs_qbn, metric, nn_matching, None)
+    }
+
+    /// Like [`FsmExecutor::new`], but reuses an already-compiled machine
+    /// (e.g. one `Arc<CompiledFsm>` shared across serving streams) instead
+    /// of lowering again.
+    pub fn with_compiled(
+        fsm: Fsm,
+        obs_qbn: Qbn,
+        metric: Metric,
+        nn_matching: bool,
+        compiled: Option<Arc<CompiledFsm>>,
+    ) -> Self {
         fsm.validate().expect("extracted FSM must be consistent");
-        let symbol_index: HashMap<Code, usize> = fsm
-            .symbols
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.code.clone(), i))
-            .collect();
-        let mut state_symbols = vec![Vec::new(); fsm.num_states()];
-        for &(s, o) in fsm.transitions.keys() {
-            state_symbols[s].push(o);
-        }
-        for syms in &mut state_symbols {
-            syms.sort_unstable();
-        }
+        let index = fsm.index();
+        let centroids =
+            CentroidIndex::new(metric, fsm.symbols.iter().map(|s| s.centroid.as_slice()));
         let state = fsm.initial_state;
+        let enc_scratch = obs_qbn.make_encode_scratch();
+        let code_buf = vec![0; obs_qbn.config().latent_dim];
+        let compiled_scratch = compiled.as_deref().map(CompiledFsm::make_scratch);
         Self {
             fsm,
             obs_qbn,
             metric,
             nn_matching,
             name: "extracted-fsm".to_string(),
-            symbol_index,
-            state_symbols,
+            index,
+            centroids,
+            compiled,
+            compiled_scratch,
+            enc_scratch,
+            code_buf,
             state,
             t: 0,
             stats: FsmRunStats::default(),
             trajectory: None,
             unseen_total: 0,
         }
+    }
+
+    /// The compiled lowering of this machine, when it compiled cleanly —
+    /// shareable across other executors or the serving tier.
+    pub fn compiled(&self) -> Option<&Arc<CompiledFsm>> {
+        self.compiled.as_ref()
     }
 
     /// Enables trajectory recording (needed for interpretation).
@@ -185,11 +234,19 @@ impl FsmExecutor {
         self.state
     }
 
+    /// The similarity metric the nearest-neighbour fallbacks run under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// Resolves an observation vector to a symbol id, using exact code
     /// lookup first and nearest-neighbour on the centroids otherwise.
+    /// Allocation-free: encodes through the executor-owned scratch and
+    /// probes the index by raw digit slice.
     fn resolve_symbol(&mut self, v: &[f32]) -> Option<usize> {
-        let code = self.obs_qbn.encode(v);
-        if let Some(&sym) = self.symbol_index.get(&code) {
+        self.obs_qbn
+            .encode_into(v, &mut self.enc_scratch, &mut self.code_buf);
+        if let Some(sym) = self.index.symbol_by_digits(&self.code_buf) {
             return Some(sym);
         }
         self.stats.unseen_observations += 1;
@@ -197,34 +254,32 @@ impl FsmExecutor {
         if !self.nn_matching {
             return None;
         }
-        self.metric.closest(
-            v,
-            self.fsm
-                .symbols
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (i, s.centroid.as_slice())),
-        )
+        self.centroids.closest(v)
     }
 
-    /// One step of the machine: consumes the observation vector, fires a
-    /// transition (with the §3.2.2 fallbacks) and returns the action index
-    /// of the resulting state.
-    pub fn step_vec(&mut self, v: &[f32]) -> usize {
+    /// One step of the reference interpreter (see the type-level docs for
+    /// when this runs instead of the compiled fast path).
+    fn step_interpreted(&mut self, v: &[f32]) -> usize {
         let mut symbol = self.resolve_symbol(v);
 
         // If the exact/NN-matched symbol has no transition from the current
         // state, fall back to the nearest symbol that does (§3.2.2: the
-        // unseen observation "can therefore trigger a transition").
+        // unseen observation "can therefore trigger a transition"). The
+        // query point is the resolved symbol's *centroid*: a pure function
+        // of the discrete `(state, symbol)` pair, which is what lets the
+        // compile pass burn this fallback into the dense table.
         let mut next = symbol.and_then(|sym| self.fsm.next_state(self.state, sym));
-        if next.is_none() && self.nn_matching && !self.state_symbols[self.state].is_empty() {
-            self.stats.missing_transitions += 1;
-            let candidates = self.state_symbols[self.state]
-                .iter()
-                .map(|&i| (i, self.fsm.symbols[i].centroid.as_slice()));
-            if let Some(sym) = self.metric.closest(v, candidates) {
-                symbol = Some(sym);
-                next = self.fsm.next_state(self.state, sym);
+        if next.is_none() && self.nn_matching {
+            if let Some(sym) = symbol {
+                let outgoing = self.index.symbols_from(self.state);
+                if !outgoing.is_empty() {
+                    self.stats.missing_transitions += 1;
+                    let query = self.centroids.centroid(sym);
+                    if let Some(fallback) = self.centroids.closest_among(query, outgoing) {
+                        symbol = Some(fallback);
+                        next = self.fsm.next_state(self.state, fallback);
+                    }
+                }
             }
         }
         let to_state = match next {
@@ -250,6 +305,36 @@ impl FsmExecutor {
         self.t += 1;
         self.stats.steps += 1;
         action_idx
+    }
+
+    /// One step of the machine: consumes the observation vector, fires a
+    /// transition (with the §3.2.2 fallbacks) and returns the action index
+    /// of the resulting state. Dispatches to the compiled fast path when
+    /// available and no trajectory is being recorded.
+    pub fn step_vec(&mut self, v: &[f32]) -> usize {
+        if self.trajectory.is_none() {
+            // Split borrows: the compiled machine and its scratch are
+            // disjoint fields.
+            if let (Some(compiled), Some(scratch)) =
+                (self.compiled.as_deref(), self.compiled_scratch.as_mut())
+            {
+                let outcome = compiled.step(v, self.state as u16, scratch);
+                self.stats.steps += 1;
+                if outcome.unseen {
+                    self.stats.unseen_observations += 1;
+                    self.unseen_total += 1;
+                }
+                match outcome.tag {
+                    crate::compiled::SlotTag::Observed => {}
+                    crate::compiled::SlotTag::Missing => self.stats.missing_transitions += 1,
+                    crate::compiled::SlotTag::Stuck => self.stats.stuck_steps += 1,
+                }
+                self.state = outcome.next_state as usize;
+                self.t += 1;
+                return outcome.action as usize;
+            }
+        }
+        self.step_interpreted(v)
     }
 }
 

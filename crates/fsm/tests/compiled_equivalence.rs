@@ -1,0 +1,186 @@
+//! Property pins: the compiled FSM tier is action- AND stats-identical to
+//! the reference interpreter over randomly generated machines, QBNs,
+//! metrics, NN-matching settings and precisions — including machines with
+//! duplicate symbol codes, missing transitions and codes the encoder can
+//! never emit.
+
+use std::collections::HashMap;
+
+use lahd_fsm::{CompiledCursor, Fsm, FsmExecutor, FsmState, Metric, ObsSymbol, SlotTag, VecPolicy};
+use lahd_qbn::{Code, Precision, Qbn, QbnConfig, QuantLevels};
+use proptest::prelude::*;
+use proptest::{collection, option};
+
+/// Everything one equivalence case needs.
+struct Case {
+    fsm: Fsm,
+    qbn: Qbn,
+    metric: Metric,
+    nn: bool,
+    obs: Vec<Vec<f32>>,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        1usize..=5, // states
+        0usize..=6, // symbols
+        2usize..=5, // observation width
+        1usize..=3, // latent width
+        0u64..512,  // QBN seed
+        0usize..16, // knob bits: levels / precision / metric / nn
+    )
+        .prop_flat_map(|(ns, no, input_dim, latent_dim, seed, knobs)| {
+            let structure = (
+                collection::vec(0usize..4, ns),
+                // Digit 2 is outside the encoder's range: exercises the
+                // unmatchable-code handling on both paths.
+                collection::vec(collection::vec(-1i8..=2, latent_dim), no),
+                collection::vec(collection::vec(-1.0f32..1.0, input_dim), no),
+            );
+            let run = (
+                collection::vec(option::of(0usize..ns), ns * no.max(1)),
+                0usize..ns,
+                collection::vec(collection::vec(-1.5f32..1.5, input_dim), 1..24),
+            );
+            (structure, run).prop_map(
+                move |((actions, codes, centroids), (edges, initial, obs))| {
+                    let states = actions
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &action)| FsmState {
+                            code: Code(vec![i as i8]),
+                            action,
+                            support: 1,
+                        })
+                        .collect();
+                    let symbols = codes
+                        .into_iter()
+                        .zip(centroids)
+                        .map(|(code, centroid)| ObsSymbol {
+                            code: Code(code),
+                            centroid,
+                            support: 1,
+                        })
+                        .collect();
+                    let mut transitions = HashMap::new();
+                    if no > 0 {
+                        for (slot, dst) in edges.iter().enumerate() {
+                            if let Some(dst) = dst {
+                                transitions.insert((slot / no, slot % no), (*dst, 1));
+                            }
+                        }
+                    }
+                    let fsm = Fsm {
+                        states,
+                        symbols,
+                        transitions,
+                        initial_state: initial,
+                    };
+                    let mut cfg = QbnConfig::with_dims(input_dim, latent_dim);
+                    cfg.levels = if knobs & 1 == 0 {
+                        QuantLevels::Three
+                    } else {
+                        QuantLevels::Two
+                    };
+                    let mut qbn = Qbn::new(cfg, seed);
+                    if knobs & 2 != 0 {
+                        qbn.set_precision(Precision::QuantizedFast);
+                    }
+                    let metric = if knobs & 4 == 0 {
+                        Metric::Euclidean
+                    } else {
+                        Metric::Cosine
+                    };
+                    Case {
+                        fsm,
+                        qbn,
+                        metric,
+                        nn: knobs & 8 != 0,
+                        obs,
+                    }
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compiled executor ≡ interpreted executor: identical actions,
+    /// per-episode stats and lifetime unseen counts, across resets.
+    #[test]
+    fn compiled_executor_matches_interpreter(case in case_strategy()) {
+        let Case { fsm, qbn, metric, nn, obs } = case;
+        let mut fast = FsmExecutor::new(fsm.clone(), qbn.clone(), metric, nn);
+        let mut reference = FsmExecutor::interpreted(fsm, qbn, metric, nn);
+        prop_assert!(fast.compiled().is_some(), "small machines always lower");
+        for episode in 0..2 {
+            for (i, v) in obs.iter().enumerate() {
+                let a = fast.act_vec(v);
+                let b = reference.act_vec(v);
+                prop_assert_eq!(a, b, "action diverged at episode {} step {}", episode, i);
+                prop_assert_eq!(
+                    fast.current_state(),
+                    reference.current_state(),
+                    "state diverged at episode {} step {}",
+                    episode,
+                    i
+                );
+            }
+            prop_assert_eq!(fast.stats(), reference.stats());
+            prop_assert_eq!(fast.unseen_count(), reference.unseen_count());
+            VecPolicy::reset(&mut fast);
+            VecPolicy::reset(&mut reference);
+        }
+        prop_assert_eq!(fast.stats(), reference.stats(), "stats cleared on reset");
+        prop_assert_eq!(fast.unseen_count(), reference.unseen_count());
+    }
+
+    /// The SoA batch evaluator ≡ scalar compiled steps ≡ the interpreter,
+    /// with the cursor reconstructing identical stats.
+    #[test]
+    fn batch_evaluator_matches_scalar_and_interpreter(case in case_strategy()) {
+        let Case { fsm, qbn, metric, nn, obs } = case;
+        let mut reference = FsmExecutor::interpreted(fsm.clone(), qbn.clone(), metric, nn);
+        let compiled = lahd_fsm::compile_fsm(&fsm, &qbn, metric, nn).unwrap();
+
+        // Drive a sequential episode through the cursor to collect the
+        // per-step input states, then replay the same (obs, state) pairs
+        // through the batch evaluator.
+        let mut scratch = compiled.make_scratch();
+        let mut cursor = CompiledCursor::new(&compiled);
+        let mut states = Vec::new();
+        let mut scalar_actions = Vec::new();
+        for v in &obs {
+            states.push(cursor.state());
+            let outcome = compiled.step(v, cursor.state(), &mut scratch);
+            scalar_actions.push(cursor.apply(outcome));
+        }
+
+        let mut batch_scratch = compiled.make_batch_scratch();
+        let mut outcomes = Vec::new();
+        compiled.step_batch(
+            obs.iter().map(Vec::as_slice),
+            &states,
+            &mut batch_scratch,
+            &mut outcomes,
+        );
+        prop_assert_eq!(outcomes.len(), obs.len());
+
+        let mut replay = CompiledCursor::new(&compiled);
+        for (i, (v, outcome)) in obs.iter().zip(&outcomes).enumerate() {
+            let action = replay.apply(*outcome);
+            prop_assert_eq!(action, scalar_actions[i], "batch action diverged at {}", i);
+            let b = reference.act_vec(v);
+            prop_assert_eq!(action, b, "batch vs interpreter at {}", i);
+            // Provenance tags are one of the three valid kinds.
+            prop_assert!(matches!(
+                outcome.tag,
+                SlotTag::Observed | SlotTag::Missing | SlotTag::Stuck
+            ));
+        }
+        prop_assert_eq!(replay.stats(), reference.stats());
+        prop_assert_eq!(replay.stats(), cursor.stats());
+        prop_assert_eq!(replay.unseen_count(), reference.unseen_count());
+    }
+}

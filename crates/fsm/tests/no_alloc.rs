@@ -1,0 +1,191 @@
+//! Steady-state allocation pins for the FSM decision paths.
+//!
+//! Both FSM execution paths sit on per-decision serving latency budgets:
+//! the compiled tier by design, and the interpreter as its reference (and
+//! fallback for machines outside the compiled envelope). After this PR,
+//! neither touches the allocator in steady state — encode goes through
+//! executor-owned scratches, symbol lookup probes by borrowed digit slice
+//! (no owned `Code` per step), and fallbacks scan the flat centroid index.
+//! A counting global allocator turns that into an assertion.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lahd_fsm::{CompiledCursor, Fsm, FsmExecutor, FsmState, Metric, ObsSymbol, VecPolicy};
+use lahd_qbn::{Code, Precision, Qbn, QbnConfig};
+
+/// Counts allocations while forwarding to the system allocator.
+///
+/// The workspace denies `unsafe_code`; this is an audited test-only
+/// exception — `GlobalAlloc` is unsafe by signature, and the impl only
+/// forwards to [`System`] unchanged.
+#[allow(unsafe_code)]
+mod counting {
+    use super::*;
+
+    pub static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: counting::CountingAllocator = counting::CountingAllocator;
+
+const INPUT_DIM: usize = 6;
+const LATENT_DIM: usize = 4;
+
+/// A machine whose runs hit all three resolution outcomes: one aligned
+/// code (exact match), other inputs unseen (NN fallback), and a sparse
+/// transition table (missing-transition fallback).
+fn test_fsm(qbn: &Qbn) -> Fsm {
+    let states = (0..3)
+        .map(|i| FsmState {
+            code: Code(vec![i as i8]),
+            action: i % 2,
+            support: 1,
+        })
+        .collect();
+    let symbols = (0..4)
+        .map(|i| ObsSymbol {
+            code: if i == 0 {
+                qbn.encode(&obs_row(0))
+            } else {
+                Code(vec![[1, -1, 0, 1][i]; LATENT_DIM])
+            },
+            centroid: (0..INPUT_DIM)
+                .map(|j| (i * 7 + j) as f32 * 0.1 - 1.0)
+                .collect(),
+            support: 1,
+        })
+        .collect();
+    let mut transitions = std::collections::HashMap::new();
+    transitions.insert((0, 0), (1, 1));
+    transitions.insert((1, 1), (2, 1));
+    transitions.insert((2, 0), (0, 1));
+    transitions.insert((2, 3), (1, 1));
+    Fsm {
+        states,
+        symbols,
+        transitions,
+        initial_state: 0,
+    }
+}
+
+fn obs_row(i: usize) -> Vec<f32> {
+    (0..INPUT_DIM)
+        .map(|j| ((i * INPUT_DIM + j) as f32 * 0.37).sin())
+        .collect()
+}
+
+fn assert_executor_is_allocation_free(compiled: bool, precision: Precision) {
+    let mut cfg = QbnConfig::with_dims(INPUT_DIM, LATENT_DIM);
+    cfg.levels = lahd_qbn::QuantLevels::Three;
+    let mut qbn = Qbn::new(cfg, 7);
+    qbn.set_precision(precision);
+    let fsm = test_fsm(&qbn);
+    let mut exec = if compiled {
+        let e = FsmExecutor::new(fsm, qbn, Metric::Euclidean, true);
+        assert!(e.compiled().is_some(), "test machine must lower");
+        e
+    } else {
+        FsmExecutor::interpreted(fsm, qbn, Metric::Euclidean, true)
+    };
+    let rows: Vec<Vec<f32>> = (0..8).map(obs_row).collect();
+
+    // Warm-up (construction and first steps may allocate).
+    for v in &rows {
+        exec.act_vec(v);
+    }
+
+    let before = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        for v in &rows {
+            exec.act_vec(v);
+        }
+    }
+    let after = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "{} executor ({precision:?}) allocated {} time(s) in steady state",
+        if compiled { "compiled" } else { "interpreted" },
+        after - before
+    );
+    // The runs above exercised more than the exact-match path.
+    assert!(exec.stats().unseen_observations > 0, "unseen path covered");
+}
+
+#[test]
+fn compiled_executor_steps_are_allocation_free() {
+    assert_executor_is_allocation_free(true, Precision::Exact);
+    assert_executor_is_allocation_free(true, Precision::QuantizedFast);
+}
+
+#[test]
+fn interpreted_executor_steps_are_allocation_free() {
+    assert_executor_is_allocation_free(false, Precision::Exact);
+    assert_executor_is_allocation_free(false, Precision::QuantizedFast);
+}
+
+/// The batch evaluator must also stay off the allocator once the caller's
+/// outcome buffer has grown to the batch size.
+#[test]
+fn batch_evaluator_is_allocation_free_in_steady_state() {
+    let qbn = Qbn::new(QbnConfig::with_dims(INPUT_DIM, LATENT_DIM), 7);
+    let fsm = test_fsm(&qbn);
+    let compiled = lahd_fsm::compile_fsm(&fsm, &qbn, Metric::Euclidean, true).unwrap();
+    let mut scratch = compiled.make_batch_scratch();
+    let mut cursors: Vec<CompiledCursor> =
+        (0..13).map(|_| CompiledCursor::new(&compiled)).collect();
+    let rows: Vec<Vec<f32>> = (0..13).map(obs_row).collect();
+    let mut states: Vec<u16> = Vec::new();
+    let mut outcomes = Vec::new();
+
+    let mut run_batch = |states: &mut Vec<u16>,
+                         outcomes: &mut Vec<lahd_fsm::StepOutcome>,
+                         cursors: &mut Vec<CompiledCursor>| {
+        states.clear();
+        states.extend(cursors.iter().map(CompiledCursor::state));
+        outcomes.clear();
+        compiled.step_batch(
+            rows.iter().map(Vec::as_slice),
+            states,
+            &mut scratch,
+            outcomes,
+        );
+        for (c, &o) in cursors.iter_mut().zip(outcomes.iter()) {
+            c.apply(o);
+        }
+    };
+
+    for _ in 0..3 {
+        run_batch(&mut states, &mut outcomes, &mut cursors);
+    }
+    let before = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        run_batch(&mut states, &mut outcomes, &mut cursors);
+    }
+    let after = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "batch evaluator allocated {} time(s) in steady state",
+        after - before
+    );
+}

@@ -80,6 +80,10 @@ pub struct PackedLinear {
     weights: PackedGemvWeights,
     /// Populated in [`Precision::QuantizedFast`] mode.
     weights_i8: PackedGemvWeightsI8,
+    /// The bias row copied out of the store at pack time (always exact
+    /// f32), so the single-row path folds it without touching the store's
+    /// matrix plumbing per call.
+    bias: Vec<f32>,
     precision: Precision,
     version: u64,
 }
@@ -97,6 +101,7 @@ impl PackedLinear {
             layer: layer.clone(),
             weights: PackedGemvWeights::default(),
             weights_i8: PackedGemvWeightsI8::default(),
+            bias: Vec::new(),
             precision,
             version: 0,
         };
@@ -112,6 +117,9 @@ impl PackedLinear {
             Precision::Exact => self.weights.repack(store.value(self.layer.w)),
             Precision::QuantizedFast => self.weights_i8.repack(store.value(self.layer.w)),
         }
+        self.bias.clear();
+        self.bias
+            .extend_from_slice(store.value(self.layer.b).row(0));
         self.version = store.version();
     }
 
@@ -155,6 +163,42 @@ impl PackedLinear {
             }
         }
         out.add_row_broadcast(store.value(self.layer.b));
+    }
+
+    /// Single-row counterpart of [`PackedLinear::infer_into`] on bare
+    /// slices: the same GEMV kernels and the same elementwise bias fold
+    /// (so results are bit-identical to a one-row `infer_into`), without
+    /// staging the input through a `Matrix`. This is the per-decision
+    /// latency path — the compiled-FSM tier's encode budget is tight
+    /// enough that the row-copy and shape plumbing of the matrix wrapper
+    /// are measurable.
+    ///
+    /// # Panics
+    /// Panics on width mismatches or if the store's values changed since
+    /// the last `repack`.
+    #[inline]
+    pub fn infer_row_into(&self, store: &ParamStore, x: &[f32], out: &mut [f32]) {
+        assert_fresh("PackedLinear", self.version, store);
+        assert_eq!(
+            x.len(),
+            self.layer.in_dim(),
+            "packed linear input width mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.layer.out_dim(),
+            "packed linear output width mismatch"
+        );
+        match self.precision {
+            Precision::Exact => self.weights.gemv_into(x, out),
+            Precision::QuantizedFast => self.weights_i8.gemv_into(x, out),
+        }
+        // Same elementwise `+=` fold as `add_row_broadcast`, from the copy
+        // of the bias stamped at pack time (identical values — freshness is
+        // asserted above).
+        for (o, b) in out.iter_mut().zip(&self.bias) {
+            *o += *b;
+        }
     }
 
     /// Allocating convenience wrapper over [`PackedLinear::infer_into`].

@@ -28,8 +28,12 @@ impl QuantLevels {
         }
     }
 
-    /// Quantizes one pre-activation value.
-    fn quantize(self, x: f32) -> i8 {
+    /// Quantizes one latent pre-activation value to a discrete level.
+    ///
+    /// Public because the compiled-FSM lowering pass (`lahd-fsm`) derives
+    /// per-level pre-activation thresholds from this exact function and
+    /// must be able to verify them against it value-for-value.
+    pub fn quantize(self, x: f32) -> i8 {
         match self {
             QuantLevels::Two => {
                 if x.tanh() >= 0.0 {
@@ -97,6 +101,17 @@ impl Default for QbnTrainConfig {
             seed: 0,
         }
     }
+}
+
+/// Caller-owned staging buffers for the zero-allocation encode path
+/// ([`Qbn::latent_preact_into`] / [`Qbn::encode_into`]): the hidden
+/// activation row and the latent pre-activation row, as bare vectors (the
+/// single-row path never needs matrix shape plumbing). Build one with
+/// [`Qbn::make_encode_scratch`] and reuse it across steps.
+#[derive(Clone, Debug)]
+pub struct EncodeScratch {
+    h: Vec<f32>,
+    pre: Vec<f32>,
 }
 
 /// A quantized bottleneck autoencoder.
@@ -227,11 +242,79 @@ impl Qbn {
         }
     }
 
+    /// Slice form of [`Qbn::hidden_activation`] for the single-row fast
+    /// path — identical arithmetic per element, so the two stay
+    /// bit-identical.
+    #[inline]
+    fn hidden_activation_slice(&self, h: &mut [f32]) {
+        match self.precision {
+            Precision::Exact => {
+                for v in h.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+            Precision::QuantizedFast => lahd_nn::tanh_slice(h),
+        }
+    }
+
     /// Pre-quantization latent activations for a batch (rows = samples).
     fn latent_preact(&self, x: &Matrix) -> Matrix {
         let mut h = self.packed_enc_in.infer(&self.store, x);
         self.hidden_activation(&mut h);
         self.packed_enc_lat.infer(&self.store, &h)
+    }
+
+    /// A scratch sized for this QBN's encoder, for the zero-allocation
+    /// [`Qbn::latent_preact_into`] / [`Qbn::encode_into`] paths.
+    pub fn make_encode_scratch(&self) -> EncodeScratch {
+        EncodeScratch {
+            h: vec![0.0; self.cfg.hidden_dim],
+            pre: vec![0.0; self.cfg.latent_dim],
+        }
+    }
+
+    /// Pre-quantization latent activations for one sample, staged through a
+    /// caller-owned scratch — same values as [`Qbn::encode`]'s internal
+    /// pre-activations, with no allocation. Returns the `latent_dim`-wide
+    /// pre-activation row (borrowed from the scratch).
+    ///
+    /// # Panics
+    /// Panics on input-width mismatch or a scratch built for another
+    /// architecture.
+    #[inline]
+    pub fn latent_preact_into<'s>(&self, x: &[f32], scratch: &'s mut EncodeScratch) -> &'s [f32] {
+        assert_eq!(x.len(), self.cfg.input_dim, "QBN input width mismatch");
+        // Bare-slice GEMVs straight from the caller's row: same kernels and
+        // fold order as the matrix-staged path (bit-identical), minus the
+        // input copy and shape plumbing — the compiled FSM tier spends its
+        // whole budget here, so the wrapper overhead is measurable.
+        self.packed_enc_in
+            .infer_row_into(&self.store, x, &mut scratch.h);
+        self.hidden_activation_slice(&mut scratch.h);
+        self.packed_enc_lat
+            .infer_row_into(&self.store, &scratch.h, &mut scratch.pre);
+        &scratch.pre
+    }
+
+    /// Latent pre-activations for a small row batch, staged through
+    /// caller-owned matrices — the compiled-FSM batch evaluator's encode
+    /// kernel. Each row gets the same per-row GEMV treatment as
+    /// [`Qbn::latent_preact_into`], so results are bit-identical row-for-row
+    /// with the scalar path.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches, or if `x` has enough rows to hit the
+    /// blocked-GEMM fallback (which would break the bit-identity contract);
+    /// callers chunk below `lahd_tensor::gemm::BLOCK_MIN_ROWS`.
+    pub fn latent_preact_rows_into(&self, x: &Matrix, h: &mut Matrix, pre: &mut Matrix) {
+        assert!(
+            x.rows() < lahd_tensor::gemm::BLOCK_MIN_ROWS,
+            "latent_preact_rows_into batches must stay below the blocked-GEMM cutoff"
+        );
+        assert_eq!(x.cols(), self.cfg.input_dim, "QBN input width mismatch");
+        self.packed_enc_in.infer_into(&self.store, x, h);
+        self.hidden_activation(h);
+        self.packed_enc_lat.infer_into(&self.store, h, pre);
     }
 
     /// Encodes an input into its discrete latent code.
@@ -244,6 +327,19 @@ impl Qbn {
                 .map(|&v| self.cfg.levels.quantize(v))
                 .collect(),
         )
+    }
+
+    /// Quantizes an input into a caller-owned code buffer — the same digits
+    /// as [`Qbn::encode`] with zero allocations.
+    ///
+    /// # Panics
+    /// Panics on input-width mismatch or if `out` is not `latent_dim` wide.
+    pub fn encode_into(&self, x: &[f32], scratch: &mut EncodeScratch, out: &mut [i8]) {
+        assert_eq!(out.len(), self.cfg.latent_dim, "QBN code width mismatch");
+        self.latent_preact_into(x, scratch);
+        for (o, &v) in out.iter_mut().zip(&scratch.pre) {
+            *o = self.cfg.levels.quantize(v);
+        }
     }
 
     /// Decodes a discrete code back to input space.
@@ -509,6 +605,34 @@ mod tests {
         toggled.set_precision(Precision::QuantizedFast);
         toggled.set_precision(Precision::Exact);
         assert_eq!(toggled.encode(&x), want);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for precision in [Precision::Exact, Precision::QuantizedFast] {
+            let mut qbn = Qbn::new(QbnConfig::with_dims(6, 8), 9);
+            qbn.set_precision(precision);
+            let mut scratch = qbn.make_encode_scratch();
+            let mut buf = vec![0i8; 8];
+            for seed in 0..20 {
+                let x: Vec<f32> = (0..6)
+                    .map(|j| ((seed * 6 + j) as f32 * 0.37).sin())
+                    .collect();
+                qbn.encode_into(&x, &mut scratch, &mut buf);
+                assert_eq!(buf, qbn.encode(&x).0, "precision {precision:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn latent_preact_into_is_bitwise_stable() {
+        let qbn = Qbn::new(QbnConfig::with_dims(5, 4), 3);
+        let mut scratch = qbn.make_encode_scratch();
+        let x = [0.3, -0.1, 0.7, 0.0, -0.9];
+        let a: Vec<f32> = qbn.latent_preact_into(&x, &mut scratch).to_vec();
+        let b: Vec<f32> = qbn.latent_preact_into(&x, &mut scratch).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Quantized latent codes and code books.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -53,6 +54,17 @@ impl Code {
             });
         }
         Ok(Code(v))
+    }
+}
+
+/// Lets a `HashMap<Code, _>` be probed with a plain digit slice — the
+/// zero-allocation symbol lookup in `lahd-fsm`'s executor hot path. Sound
+/// because `Code`'s derived `Hash`/`Eq` delegate to its single `Vec<i8>`
+/// field, and `Vec<T>` hashes identically to `[T]` (length prefix plus
+/// elements), so `hash(code) == hash(code.borrow())` as `Borrow` requires.
+impl Borrow<[i8]> for Code {
+    fn borrow(&self) -> &[i8] {
+        &self.0
     }
 }
 
@@ -146,6 +158,16 @@ mod tests {
         assert_eq!(book.get(&Code(vec![1])), None);
         book.intern(Code(vec![1]));
         assert_eq!(book.get(&Code(vec![1])), Some(0));
+    }
+
+    #[test]
+    fn slice_probe_finds_code_keys() {
+        let mut map: HashMap<Code, usize> = HashMap::new();
+        map.insert(Code(vec![1, 0, -1]), 7);
+        let probe: &[i8] = &[1, 0, -1];
+        assert_eq!(map.get(probe), Some(&7));
+        let miss: &[i8] = &[1, 0, 0];
+        assert_eq!(map.get(miss), None);
     }
 
     #[test]

@@ -34,6 +34,9 @@ mod autoencoder;
 mod codes;
 mod dataset;
 
-pub use autoencoder::{Qbn, QbnConfig, QbnTrainConfig, QuantLevels};
+pub use autoencoder::{EncodeScratch, Qbn, QbnConfig, QbnTrainConfig, QuantLevels};
 pub use codes::{Code, CodeBook};
 pub use dataset::{TransitionDataset, TransitionRow};
+// Re-exported so downstream consumers of Qbn::set_precision (the serving
+// and compiled-FSM tiers) don't need a direct lahd-nn dependency.
+pub use lahd_nn::Precision;

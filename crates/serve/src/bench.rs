@@ -211,6 +211,12 @@ pub struct PerfOutcome {
     pub shed: u64,
     /// Requests answered from the deadline fallback during the phase.
     pub deadline_misses: u64,
+    /// Decisions answered by each ladder tier, indexed `[fsm, quant,
+    /// exact, baseline]` — tallied client-side from the `tier` byte on
+    /// every [`Response::Decision`], so it reflects what the daemon
+    /// actually served (the compiled FSM tier should dominate under
+    /// healthy traffic).
+    pub tier_decisions: [u64; 4],
 }
 
 impl PerfOutcome {
@@ -219,7 +225,8 @@ impl PerfOutcome {
         format!(
             concat!(
                 "{{\"requests\":{},\"decisions_per_sec\":{:.1},\"p50_ns\":{},",
-                "\"p99_ns\":{},\"p999_ns\":{},\"shed\":{},\"deadline_misses\":{}}}"
+                "\"p99_ns\":{},\"p999_ns\":{},\"shed\":{},\"deadline_misses\":{},",
+                "\"tier_decisions\":{{\"fsm\":{},\"quant\":{},\"exact\":{},\"baseline\":{}}}}}"
             ),
             self.requests,
             self.decisions_per_sec,
@@ -227,7 +234,11 @@ impl PerfOutcome {
             self.p99_ns,
             self.p999_ns,
             self.shed,
-            self.deadline_misses
+            self.deadline_misses,
+            self.tier_decisions[0],
+            self.tier_decisions[1],
+            self.tier_decisions[2],
+            self.tier_decisions[3]
         )
     }
 }
@@ -593,20 +604,29 @@ fn perf_phase(
     let outcome = std::thread::scope(|scope| -> Result<PerfOutcome, String> {
         let sent_ref = &sent;
         let collector = scope.spawn(
-            move || -> Result<(LatencyHistogram, u64, u64, Instant), String> {
+            move || -> Result<(LatencyHistogram, u64, u64, [u64; 4], Instant), String> {
                 let mut reader = std::io::BufReader::new(stream);
                 let mut hist = LatencyHistogram::default();
                 let (mut shed, mut deadline) = (0u64, 0u64);
+                let mut tiers = [0u64; 4];
                 let mut got = 0u64;
                 while got < total {
                     let frame = read_frame(&mut reader)
                         .map_err(|e| format!("perf receive failed: {e}"))?
                         .ok_or("daemon closed connection mid-bench")?;
                     match Response::decode(&frame) {
-                        Ok(Response::Decision { req_id, source, .. }) => {
+                        Ok(Response::Decision {
+                            req_id,
+                            tier,
+                            source,
+                            ..
+                        }) => {
                             got += 1;
                             if let Some(at) = sent_ref.lock().unwrap().remove(&req_id) {
                                 hist.record(at.elapsed().as_nanos() as u64);
+                            }
+                            if let Some(slot) = tiers.get_mut(tier as usize) {
+                                *slot += 1;
                             }
                             if source == Source::Shed as u8 {
                                 shed += 1;
@@ -618,7 +638,7 @@ fn perf_phase(
                         Err(e) => return Err(format!("perf decode failed: {e}")),
                     }
                 }
-                Ok((hist, shed, deadline, Instant::now()))
+                Ok((hist, shed, deadline, tiers, Instant::now()))
             },
         );
 
@@ -644,7 +664,7 @@ fn perf_phase(
             write_frame(&mut writer, &req.encode())
                 .map_err(|e| format!("perf send failed: {e}"))?;
         }
-        let (hist, shed, deadline, done_at) = collector
+        let (hist, shed, deadline, tiers, done_at) = collector
             .join()
             .map_err(|_| "perf collector panicked".to_string())??;
         let elapsed = (done_at - start).as_secs_f64().max(1e-9);
@@ -656,6 +676,7 @@ fn perf_phase(
             p999_ns: hist.quantile(0.999),
             shed,
             deadline_misses: deadline,
+            tier_decisions: tiers,
         })
     })?;
     Ok(outcome)
@@ -730,6 +751,7 @@ mod tests {
                 p999_ns: 8192,
                 shed: 0,
                 deadline_misses: 0,
+                tier_decisions: [90, 6, 3, 1],
             }),
         };
         let rows = summary.bench_rows();
@@ -739,5 +761,10 @@ mod tests {
         for row in &rows {
             assert!(row.starts_with("{\"bench\":\"") && row.ends_with('}'));
         }
+        let json = summary.perf.as_ref().unwrap().to_json();
+        assert!(
+            json.contains("\"tier_decisions\":{\"fsm\":90,\"quant\":6,\"exact\":3,\"baseline\":1}"),
+            "per-tier counts missing from the perf summary: {json}"
+        );
     }
 }

@@ -10,11 +10,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::Arc;
 
 use lahd_core::{
     load_artifacts_checked, resolve_baseline, PipelineArtifacts, PipelineConfig, Scenario,
 };
-use lahd_fsm::VecPolicy;
+use lahd_fsm::{compile_fsm, CompiledCursor, CompiledFsm, FsmExecutor, VecPolicy};
 use lahd_guard::BaselineProfile;
 use lahd_rl::{InferEngine, InferScratch, Precision};
 use lahd_tensor::Matrix;
@@ -32,6 +33,27 @@ pub struct ServeBundle {
     /// Drift baseline for the per-stream guards (the stamped profile, or
     /// one recomputed from a clean rollout for pre-guard artifacts).
     pub baseline: BaselineProfile,
+    /// The FSM lowered once at load time and shared by every stream's
+    /// rung-0 tier (and the shard's batched FSM path). `None` when the
+    /// machine is outside the compiled envelope — streams then run the
+    /// reference interpreter, scalar only.
+    ///
+    /// Like the net fast tier, the serving FSM tier encodes observations
+    /// through the *quantized-fast* obs QBN (i8 packed weights, polynomial
+    /// activations) rather than the exact one: the encoder's scalar libm
+    /// `tanh` chain dominates the compiled step otherwise (~2× latency),
+    /// and the same measured-accuracy contract applies — borderline latent
+    /// digits may flip, which the symbol table resolves like any other
+    /// near-centroid code, and the exact net stays the shadow reference.
+    pub compiled: Option<Arc<CompiledFsm>>,
+}
+
+/// The obs QBN as the serving FSM tier runs it: switched onto the
+/// quantized fast-inference path (see [`ServeBundle::compiled`]).
+fn obs_qbn_fast(artifacts: &PipelineArtifacts) -> lahd_fsm::Qbn {
+    let mut qbn = artifacts.obs_qbn.clone();
+    qbn.set_precision(Precision::QuantizedFast);
+    qbn
 }
 
 impl ServeBundle {
@@ -54,15 +76,38 @@ impl ServeBundle {
         let quant = InferEngine::with_precision(&artifacts.agent, Precision::QuantizedFast);
         let exact = InferEngine::with_precision(&artifacts.agent, Precision::Exact);
         let baseline = resolve_baseline(&cfg, &artifacts, &artifacts.real_traces);
+        let compiled = compile_fsm(
+            &artifacts.fsm,
+            &obs_qbn_fast(&artifacts),
+            cfg.metric,
+            cfg.nn_matching,
+        )
+        .ok()
+        .map(Arc::new);
         let bundle = Self {
             cfg,
             artifacts,
             quant,
             exact,
             baseline,
+            compiled,
         };
         bundle.probe()?;
         Ok(bundle)
+    }
+
+    /// A fresh rung-0 FSM executor sharing this bundle's compiled machine
+    /// (no per-stream recompilation). The embedded QBN matches the
+    /// compiled machine's quantized-fast encode, so the interpreter
+    /// fallback stays action-identical to the compiled path.
+    pub fn fsm_executor(&self) -> FsmExecutor {
+        FsmExecutor::with_compiled(
+            self.artifacts.fsm.clone(),
+            obs_qbn_fast(&self.artifacts),
+            self.cfg.metric,
+            self.cfg.nn_matching,
+            self.compiled.clone(),
+        )
     }
 
     /// The scenario the bundle serves.
@@ -133,9 +178,7 @@ impl ServeBundle {
                 return Err(format!("{name} engine scalar path non-finite"));
             }
         }
-        let mut fsm = self
-            .artifacts
-            .fsm_executor(self.cfg.metric, self.cfg.nn_matching);
+        let mut fsm = self.fsm_executor();
         let mut last_resort = self
             .scenario()
             .baselines(&self.cfg.sim)
@@ -148,6 +191,27 @@ impl ServeBundle {
                 let action = policy.act_vec(obs.row(r));
                 if action >= self.num_actions() {
                     return Err(format!("{} action {action} out of range", policy.name()));
+                }
+            }
+        }
+        // The shard's batched FSM path, when the machine lowered: same
+        // probe rows, one cursor per row.
+        if let Some(compiled) = &self.compiled {
+            let mut scratch = compiled.make_batch_scratch();
+            let mut cursors: Vec<CompiledCursor> =
+                (0..rows).map(|_| CompiledCursor::new(compiled)).collect();
+            let states: Vec<u16> = cursors.iter().map(CompiledCursor::state).collect();
+            let mut outcomes = Vec::new();
+            compiled.step_batch(
+                (0..rows).map(|r| obs.row(r)),
+                &states,
+                &mut scratch,
+                &mut outcomes,
+            );
+            for (cursor, &outcome) in cursors.iter_mut().zip(&outcomes) {
+                let action = cursor.apply(outcome);
+                if action >= self.num_actions() {
+                    return Err(format!("compiled FSM batch action {action} out of range"));
                 }
             }
         }
@@ -181,6 +245,17 @@ mod tests {
         assert!(bundle.obs_dim() > 0);
         assert!(bundle.num_actions() > 1);
         assert_eq!(bundle.baseline.dim(), bundle.obs_dim());
+        // Pipeline-extracted machines sit well inside the compiled
+        // envelope, so the load must produce the shared compiled tier and
+        // executors must pick it up.
+        let compiled = bundle.compiled.as_ref().expect("tiny FSM must lower");
+        let exec = bundle.fsm_executor();
+        assert!(
+            exec.compiled()
+                .is_some_and(|c| Arc::ptr_eq(c, bundle.compiled.as_ref().unwrap())),
+            "executors must share the bundle's compiled machine"
+        );
+        assert_eq!(compiled.input_dim(), bundle.obs_dim());
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //!
 //! Each shard owns the per-stream state for the streams hashed to it — a
 //! [`GuardedPolicy`] ladder per stream, with the two net tiers sharing the
-//! shard's packed engines and keeping their recurrent state in cells the
+//! shard's packed engines and the FSM tier sharing the bundle's one
+//! compiled machine, all keeping their per-stream state in cells the
 //! worker can batch over. A drained queue batch is partitioned by active
 //! tier: streams currently served by a net tier go through one
-//! `infer_batch_into` call (their guards informed via
+//! `infer_batch_into` call, FSM-tier streams through one compiled
+//! `step_batch` call (their guards informed via
 //! `GuardedPolicy::record_served`), everything else takes the scalar
 //! `act_vec` path. Batches are capped *below* the blocked-GEMM row cutoff,
-//! where the packed layers run one GEMV per row — so an action never
-//! depends on which other streams happened to share its batch, and chaos
-//! summaries stay bit-reproducible.
+//! where the packed layers run one GEMV per row (the FSM evaluator chunks
+//! its encode the same way internally) — so an action never depends on
+//! which other streams happened to share its batch, and chaos summaries
+//! stay bit-reproducible.
 //!
 //! Robustness: the worker body runs under `catch_unwind`; a panic (a bug,
 //! or an injected [`ShardMsg::Crash`]) is counted, the thread restarts
@@ -32,7 +35,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lahd_core::SHADOW_TIER;
-use lahd_fsm::VecPolicy;
+use lahd_fsm::{
+    BatchScratch, CompiledCursor, CompiledFsm, CompiledScratch, StepOutcome, VecPolicy,
+};
 use lahd_guard::{GuardConfig, GuardedPolicy};
 use lahd_rl::InferScratch;
 use lahd_tensor::Matrix;
@@ -137,16 +142,67 @@ impl VecPolicy for EnginePolicy {
     }
 }
 
+/// Cursor + scratch one stream keeps on the compiled FSM tier, shared
+/// between the rung-0 [`VecPolicy`] wrapper and the shard's batched FSM
+/// path — the FSM analogue of [`NetState`].
+struct FsmCell {
+    cursor: CompiledCursor,
+    scratch: CompiledScratch,
+}
+
+/// Rung-0 scalar [`VecPolicy`] over the bundle's shared compiled machine.
+/// The guard's fallback ladder drives this on the scalar path; the shard's
+/// batched FSM path advances the same cell directly.
+struct FsmTierPolicy {
+    compiled: Arc<CompiledFsm>,
+    cell: Rc<RefCell<FsmCell>>,
+}
+
+impl VecPolicy for FsmTierPolicy {
+    fn reset(&mut self) {
+        self.cell.borrow_mut().cursor.reset(&self.compiled);
+    }
+
+    fn act_vec(&mut self, obs: &[f32]) -> usize {
+        let cell = &mut *self.cell.borrow_mut();
+        let outcome = self
+            .compiled
+            .step(obs, cell.cursor.state(), &mut cell.scratch);
+        cell.cursor.apply(outcome)
+    }
+
+    fn name(&self) -> &str {
+        "extracted-fsm"
+    }
+}
+
 /// Everything the shard keeps for one stream.
 struct StreamState {
     guard: GuardedPolicy,
     /// Shared recurrent cells for [`TIER_QUANT`] and [`TIER_EXACT`].
     cells: [Rc<RefCell<NetState>>; 2],
+    /// Shared compiled-FSM cursor for [`TIER_FSM`]; `None` when the
+    /// bundle's machine didn't lower (rung 0 then runs the interpreter,
+    /// scalar only).
+    fsm_cell: Option<Rc<RefCell<FsmCell>>>,
 }
 
 fn make_stream(bundle: &Arc<ServeBundle>, stream: u64) -> StreamState {
     let quant_cell = Rc::new(RefCell::new(NetState::new(bundle)));
     let exact_cell = Rc::new(RefCell::new(NetState::new(bundle)));
+    let fsm_cell = bundle.compiled.as_ref().map(|compiled| {
+        Rc::new(RefCell::new(FsmCell {
+            cursor: CompiledCursor::new(compiled),
+            scratch: compiled.make_scratch(),
+        }))
+    });
+    let rung0: Box<dyn VecPolicy> = match (&bundle.compiled, &fsm_cell) {
+        (Some(compiled), Some(cell)) => Box::new(FsmTierPolicy {
+            compiled: compiled.clone(),
+            cell: cell.clone(),
+        }),
+        _ => Box::new(bundle.fsm_executor()),
+    };
     let last_resort = bundle
         .scenario()
         .baselines(&bundle.cfg.sim)
@@ -154,11 +210,7 @@ fn make_stream(bundle: &Arc<ServeBundle>, stream: u64) -> StreamState {
         .next()
         .expect("every scenario registers at least one baseline");
     let tiers: Vec<Box<dyn VecPolicy>> = vec![
-        Box::new(
-            bundle
-                .artifacts
-                .fsm_executor(bundle.cfg.metric, bundle.cfg.nn_matching),
-        ),
+        rung0,
         Box::new(EnginePolicy {
             bundle: bundle.clone(),
             quant: true,
@@ -181,6 +233,7 @@ fn make_stream(bundle: &Arc<ServeBundle>, stream: u64) -> StreamState {
     StreamState {
         guard: GuardedPolicy::new(tiers, SHADOW_TIER, bundle.baseline.clone(), guard_cfg),
         cells: [quant_cell, exact_cell],
+        fsm_cell,
     }
 }
 
@@ -194,6 +247,11 @@ struct ShardState {
     /// streams (the scenario baseline, same policy as [`TIER_BASELINE`]).
     fallback: Box<dyn VecPolicy>,
     batch_scratch: InferScratch,
+    /// SoA staging for the batched FSM tier (`None` when the bundle's
+    /// machine didn't lower), plus reusable per-batch buffers.
+    fsm_scratch: Option<BatchScratch>,
+    fsm_states: Vec<u16>,
+    fsm_outcomes: Vec<StepOutcome>,
 }
 
 impl ShardState {
@@ -206,12 +264,19 @@ impl ShardState {
             .into_iter()
             .next()
             .expect("every scenario registers at least one baseline");
+        let fsm_scratch = bundle
+            .compiled
+            .as_deref()
+            .map(CompiledFsm::make_batch_scratch);
         Self {
             bundle,
             generation,
             streams: HashMap::new(),
             fallback,
             batch_scratch: InferScratch::default(),
+            fsm_scratch,
+            fsm_states: Vec::new(),
+            fsm_outcomes: Vec::new(),
         }
     }
 
@@ -270,8 +335,11 @@ impl ShardState {
             live.push(req);
         }
 
-        // Partition by active tier; first request per net-tier stream goes
-        // to that tier's batch, the rest stay scalar.
+        // Partition by active tier; first request per batchable-tier
+        // stream goes to that tier's batch (FSM tier included, when the
+        // machine lowered), the rest stay scalar.
+        let fsm_batchable = self.fsm_scratch.is_some();
+        let mut fsm_batch: Vec<usize> = Vec::new();
         let mut net_batches: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
         let mut scalar: Vec<usize> = Vec::new();
         let mut batched_streams: Vec<u64> = Vec::new();
@@ -288,12 +356,64 @@ impl ShardState {
                 continue;
             };
             let tier = state.guard.active_tier();
-            if (tier == TIER_QUANT || tier == TIER_EXACT) && !batched_streams.contains(&req.stream)
-            {
+            let first = !batched_streams.contains(&req.stream);
+            if tier == TIER_FSM && first && fsm_batchable && state.fsm_cell.is_some() {
+                batched_streams.push(req.stream);
+                fsm_batch.push(i);
+            } else if (tier == TIER_QUANT || tier == TIER_EXACT) && first {
                 batched_streams.push(req.stream);
                 net_batches[tier - TIER_QUANT].push(i);
             } else {
                 scalar.push(i);
+            }
+        }
+
+        // Batched FSM tier: one SoA step_batch call over all FSM-tier
+        // streams, each row against its own cursor state. Bit-identical to
+        // the scalar rung-0 path, so guard bookkeeping (via
+        // `record_served`) and chaos summaries are unchanged.
+        if !fsm_batch.is_empty() {
+            let compiled = self
+                .bundle
+                .compiled
+                .clone()
+                .expect("FSM batch only built when the machine lowered");
+            let scratch = self
+                .fsm_scratch
+                .as_mut()
+                .expect("FSM batch only built with a scratch");
+            self.fsm_states.clear();
+            for &i in &fsm_batch {
+                let state = &self.streams[&live[i].stream];
+                let cell = state.fsm_cell.as_ref().expect("partition checked the cell");
+                self.fsm_states.push(cell.borrow().cursor.state());
+            }
+            self.fsm_outcomes.clear();
+            compiled.step_batch(
+                fsm_batch.iter().map(|&i| live[i].obs.as_slice()),
+                &self.fsm_states,
+                scratch,
+                &mut self.fsm_outcomes,
+            );
+            for (r, &i) in fsm_batch.iter().enumerate() {
+                let req = &live[i];
+                let outcome = self.fsm_outcomes[r];
+                let state = self.streams.get_mut(&req.stream).expect("stream exists");
+                let action = state
+                    .fsm_cell
+                    .as_ref()
+                    .expect("partition checked the cell")
+                    .borrow_mut()
+                    .cursor
+                    .apply(outcome);
+                state.guard.record_served(&req.obs, action);
+                metrics.record_served(TIER_FSM);
+                let _ = req.reply.send(Response::Decision {
+                    req_id: req.req_id,
+                    action: action as u16,
+                    tier: TIER_FSM as u8,
+                    source: Source::Guarded as u8,
+                });
             }
         }
 

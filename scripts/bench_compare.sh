@@ -22,9 +22,15 @@
 #
 # serve_latency/* rows are end-to-end wall-clock quantiles of a live
 # daemon (scheduler wakeups, socket queueing) — far noisier than ns/iter
-# medians, with observed same-box swings up to ~2.5x. They are gated at
-# 4x the threshold so only an order-of-magnitude change (a lost batching
-# path, an accidental sleep on the decision path) fails the check.
+# medians. The p50 row is robust run-to-run (the paced phase is ~1 s,
+# see bench_snapshot.sh) and is gated at 4x the threshold so only an
+# order-of-magnitude change (a lost batching path, an accidental sleep
+# on the decision path) fails the check. The p99/p999 rows are
+# INFORMATIONAL only (tabulated, never fail): on a shared single-vCPU
+# box a noisy neighbour stealing the core for a few ms lands squarely
+# in the tail quantiles — observed same-baseline swings reach 10x with
+# every other row quiet — so any threshold on them either flakes or is
+# vacuous. They stay in the snapshots as trajectory data.
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
@@ -60,11 +66,19 @@ BEGIN {
     # Rate rows regress downward; everything else (ns/iter) upward.
     higher_is_better = (name ~ /per_sec|throughput/)
     severity = higher_is_better ? -delta : delta
-    # Wall-clock daemon quantiles get 4x headroom (see header).
+    # Wall-clock daemon quantiles get 4x headroom; tail quantiles are
+    # informational only (see header).
     row_thr = (name ~ /serve_latency/) ? thr * 4 : thr
+    informational = (name ~ /serve_latency\/p9/)
     mark = ""
-    if (severity > row_thr) { mark = "  REGRESSION"; failures++ }
-    if (severity / row_thr > worst) worst = severity / row_thr
+    if (severity > row_thr) {
+        if (informational) {
+            mark = "  (tail, informational)"
+        } else {
+            mark = "  REGRESSION"; failures++
+        }
+    }
+    if (!informational && severity / row_thr > worst) worst = severity / row_thr
     printf("%-48s %14.1f %14.1f %+8.1f%%%s\n", name, a, b, delta, mark)
 }
 END {

@@ -27,9 +27,10 @@
 #    verification, not just a unit suite.
 # 7. Serving gate: a self-hosted `lahd serve-bench --chaos` run over tiny
 #    artifacts (shard kill + burst + corrupt hot reload must all be
-#    survived with the old generation still serving), then an external
-#    `lahd serve` process driven over its Unix socket and shut down via a
-#    protocol request — the daemon must exit 0.
+#    survived with the old generation still serving) whose per-tier
+#    decision counts must show the compiled FSM tier serving, then an
+#    external `lahd serve` process driven over its Unix socket and shut
+#    down via a protocol request — the daemon must exit 0.
 # 8. Quick-mode bench snapshot compared against the latest committed
 #    BENCH_<n>.json with a loose 50% threshold, so a hot-path regression
 #    fails verification instead of only surfacing in the next snapshot.
@@ -99,6 +100,15 @@ serve_out="$("$lahd_bin" serve-bench --scale tiny \
     --shards 2 --queue-capacity 16)"
 if ! grep -q "chaos plan SURVIVED" <<<"$serve_out"; then
     echo "serve-bench chaos plan did not report survival:"
+    echo "$serve_out"
+    exit 1
+fi
+# Compiled-tier smoke: healthy streams ride rung 0 (the compiled FSM), so
+# the per-tier decision counts must show the fsm tier actually serving —
+# a machine that silently stops lowering (or a shard that stops routing
+# to the compiled path) fails verification here.
+if ! grep -qE "tiers fsm=[1-9][0-9]*" <<<"$serve_out"; then
+    echo "serve-bench reported no compiled-FSM-tier decisions:"
     echo "$serve_out"
     exit 1
 fi

@@ -1,0 +1,86 @@
+//! Full-stack equivalence pin for the compiled FSM tier: over complete
+//! scenario rollouts of pipeline-extracted machines (both registry
+//! scenarios, both metrics, both QBN precisions), the compiled executor
+//! must match the reference interpreter on **every** decision, and its
+//! reconstructed run statistics — unseen observations, missing-transition
+//! fallbacks, stuck steps, lifetime unseen count — must be identical too.
+//!
+//! This is the deployment-grade counterpart of the per-crate property
+//! pins in `crates/fsm/tests/compiled_equivalence.rs`: real extracted
+//! machines, real workload traces, real trajectories.
+
+mod common;
+
+use common::rollout_agreement;
+use lahd::core::{Pipeline, PipelineConfig, ScenarioId};
+use lahd::fsm::FsmExecutor;
+use lahd::qbn::Precision;
+
+fn assert_compiled_matches_interpreter(scenario: ScenarioId, precision: Precision) {
+    let mut config = PipelineConfig::tiny();
+    config.scenario = scenario;
+    let pipeline = Pipeline::new(config.clone());
+    let artifacts = pipeline.run();
+
+    for metric in [lahd::fsm::Metric::Euclidean, lahd::fsm::Metric::Cosine] {
+        let mut obs_qbn = artifacts.obs_qbn.clone();
+        obs_qbn.set_precision(precision);
+        let mut compiled = FsmExecutor::new(artifacts.fsm.clone(), obs_qbn.clone(), metric, true);
+        assert!(
+            compiled.compiled().is_some(),
+            "{scenario} machine must lower through the compile pass"
+        );
+        let mut interpreted =
+            FsmExecutor::interpreted(artifacts.fsm.clone(), obs_qbn, metric, true);
+
+        let mut total = 0;
+        for (i, trace) in artifacts.real_traces.iter().enumerate() {
+            let agreement = rollout_agreement(
+                pipeline.scenario(),
+                &config.sim,
+                trace,
+                config.seed.wrapping_add(i as u64),
+                &mut compiled,
+                &mut interpreted,
+            );
+            assert_eq!(
+                agreement.matches, agreement.total,
+                "{scenario} trace {i} ({metric:?}, {precision:?}): compiled diverged"
+            );
+            // Per-episode stats agree before the next reset wipes them.
+            assert_eq!(
+                compiled.stats(),
+                interpreted.stats(),
+                "{scenario} trace {i} ({metric:?}, {precision:?}): stats diverged"
+            );
+            total += agreement.total;
+        }
+        assert!(total > 0, "rollouts drove no steps");
+        assert_eq!(
+            compiled.unseen_count(),
+            interpreted.unseen_count(),
+            "{scenario} ({metric:?}, {precision:?}): lifetime unseen counts diverged"
+        );
+        eprintln!(
+            "{scenario} ({metric:?}, {precision:?}): {total} decisions, 100% agreement, \
+             unseen={}, stats={:?}",
+            compiled.unseen_count(),
+            compiled.stats()
+        );
+    }
+}
+
+#[test]
+fn compiled_tier_matches_interpreter_on_dorado_migration_rollouts() {
+    assert_compiled_matches_interpreter(ScenarioId::DoradoMigration, Precision::Exact);
+}
+
+#[test]
+fn compiled_tier_matches_interpreter_on_readahead_rollouts() {
+    assert_compiled_matches_interpreter(ScenarioId::Readahead, Precision::Exact);
+}
+
+#[test]
+fn compiled_tier_matches_interpreter_under_quantized_fast_qbn() {
+    assert_compiled_matches_interpreter(ScenarioId::DoradoMigration, Precision::QuantizedFast);
+}
