@@ -11,8 +11,8 @@ use lahd_core::{
 };
 use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy, VecPolicy};
 use lahd_serve::{
-    prepare_corrupt_candidate, run_bench, serve_dir, BenchConfig, ChaosPlan, Request, ServeClient,
-    ServeConfig,
+    prepare_corrupt_candidate, run_bench, run_streams_sweep, serve_dir, BenchConfig, ChaosPlan,
+    Request, ServeClient, ServeConfig,
 };
 use lahd_sim::{Fault, FaultPlan, SimConfig, StorageSim};
 use lahd_workload::{
@@ -89,12 +89,15 @@ fn usage() -> String {
      \x20            Unix socket until a shutdown request arrives\n\
      \x20            --artifacts DIR [--socket FILE] [--shards N]\n\
      \x20            [--queue-capacity N] [--batch-max N] [--max-streams N]\n\
+     \x20            [--audit-every N] [--audit-budget N] [--hibernate-after N]\n\
+     \x20            [--sweep-every N] [--max-hibernated N]\n\
      \x20            [--allow-chaos] [--scale …] [--scenario …]\n\
      \x20            [--infer-precision exact|quantized]\n\
      \x20 serve-bench deterministic load + chaos harness for the daemon\n\
      \x20            --artifacts DIR [--socket FILE (external daemon)]\n\
      \x20            [--streams N] [--rounds N] [--requests N] [--rate R]\n\
      \x20            [--deadline-us N] [--bench-seed N] [--chaos]\n\
+     \x20            [--streams-sweep N,N,… (memory-scaling sweep)]\n\
      \x20            [--json FILE] [--bench-json FILE] [--shutdown-daemon]\n\
      \x20            [--scale …]\n\
      \x20 explain    Markdown interpretation report for a saved machine\n\
@@ -449,6 +452,11 @@ fn serve_config(args: &Args) -> ServeConfig {
         batch_max: args.get_usize("batch-max", d.batch_max),
         max_streams: args.get_usize("max-streams", d.max_streams),
         allow_chaos: args.has_flag("allow-chaos"),
+        audit_every: args.get_u64("audit-every", d.audit_every),
+        audit_budget: args.get_usize("audit-budget", d.audit_budget),
+        hibernate_after: args.get_u64("hibernate-after", d.hibernate_after),
+        sweep_every: args.get_u64("sweep-every", d.sweep_every),
+        max_hibernated: args.get_usize("max-hibernated", d.max_hibernated),
         ..d
     }
 }
@@ -480,6 +488,67 @@ fn cmd_serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_serve_bench(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let cfg = scale_config(args)?;
     let dir = PathBuf::from(args.get("artifacts").unwrap_or("lahd-artifacts"));
+
+    // --streams-sweep N,N,… replaces the load/chaos phases with the
+    // memory-scaling sweep: one self-hosted daemon per size, measured
+    // bytes/stream + closed-loop decisions/sec.
+    if let Some(spec) = args.get("streams-sweep") {
+        if args.get("socket").is_some() {
+            return Err(err(
+                "--streams-sweep self-hosts one daemon per size and measures \
+                 in-process memory; it cannot target an external --socket",
+            ));
+        }
+        if args.has_flag("chaos") {
+            return Err(err(
+                "--streams-sweep runs without the chaos plan; drop --chaos \
+                 (run a separate serve-bench for it)",
+            ));
+        }
+        let mut sizes = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let n: u64 = part.parse().map_err(|_| {
+                err(format!(
+                    "--streams-sweep wants comma-separated stream counts, got {part:?}"
+                ))
+            })?;
+            sizes.push(n);
+        }
+        if sizes.is_empty() {
+            return Err(err("--streams-sweep needs at least one stream count"));
+        }
+        let seed = args.get_u64("bench-seed", BenchConfig::default().seed);
+        let sweep =
+            run_streams_sweep(&cfg, &dir, &serve_config(args), &sizes, seed).map_err(err)?;
+        for p in &sweep.points {
+            writeln!(
+                out,
+                "streams {}: admitted {}, {:.0} decisions/s, {} live B/stream \
+                 ({} rss B/stream), shed {}; tiers compact={} resident={} hibernated={}",
+                p.streams,
+                p.admitted,
+                p.decisions_per_sec,
+                p.live_bytes_per_stream,
+                p.rss_bytes_per_stream,
+                p.shed,
+                p.compact,
+                p.resident,
+                p.hibernated
+            )?;
+        }
+        if let Some(path) = args.get("json") {
+            fs::write(path, sweep.to_json())?;
+            writeln!(out, "json summary written to {path}")?;
+        }
+        if let Some(path) = args.get("bench-json") {
+            let mut rows = sweep.bench_rows().join("\n");
+            rows.push('\n');
+            fs::write(path, rows)?;
+            writeln!(out, "bench rows written to {path}")?;
+        }
+        return Ok(());
+    }
+
     let defaults = BenchConfig::default();
     let mut bench = BenchConfig {
         streams: args.get_u64("streams", defaults.streams),

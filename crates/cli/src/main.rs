@@ -1,5 +1,11 @@
 //! The `lahd` binary: learning-aided heuristics design for storage systems.
 
+// Counting allocator: lets `lahd serve-bench --streams-sweep` report
+// measured live-heap bytes per stream instead of a size_of estimate.
+// One relaxed atomic op per allocation — negligible for every command.
+#[global_allocator]
+static ALLOC: lahd_serve::CountingAllocator = lahd_serve::CountingAllocator;
+
 fn main() {
     let args = lahd_core::Args::from_env();
     match lahd_cli::run(&args, &mut std::io::stdout()) {

@@ -324,6 +324,20 @@ impl CompiledFsm {
     }
 }
 
+/// A [`CompiledCursor`] flattened to plain-old-data fields, the exact
+/// round-trippable image `save`/`restore` exchange. Everything a stream's
+/// FSM execution needs to resume is these four words — the property the
+/// serving layer's cold-stream hibernation leans on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SavedCursor {
+    /// Current state id.
+    pub state: u16,
+    /// Per-episode statistics.
+    pub stats: FsmRunStats,
+    /// Lifetime unseen-observation count.
+    pub unseen_total: u64,
+}
+
 /// Episode state over a shared [`CompiledFsm`]: current state plus the
 /// interpreter-compatible statistics, reconstructed from [`StepOutcome`]s.
 #[derive(Clone, Debug)]
@@ -365,6 +379,29 @@ impl CompiledCursor {
     /// Lifetime unseen-observation count (survives [`CompiledCursor::reset`]).
     pub fn unseen_count(&self) -> u64 {
         self.unseen_total
+    }
+
+    /// Captures the cursor as plain-old-data for external storage (a
+    /// hibernation arena, a checkpoint file). `restore` round-trips
+    /// exactly, so a saved-and-restored cursor continues the run with
+    /// byte-identical actions and statistics.
+    pub fn save(&self) -> SavedCursor {
+        SavedCursor {
+            state: self.state,
+            stats: self.stats,
+            unseen_total: self.unseen_total,
+        }
+    }
+
+    /// Rebuilds a cursor from [`CompiledCursor::save`] output. The caller
+    /// is responsible for pairing it with the same machine: state ids are
+    /// meaningless across machines (hot reload must drop saved cursors).
+    pub fn restore(saved: SavedCursor) -> Self {
+        Self {
+            state: saved.state,
+            stats: saved.stats,
+            unseen_total: saved.unseen_total,
+        }
     }
 
     /// Folds a step outcome into the cursor; returns the action index.
@@ -436,6 +473,31 @@ mod tests {
         cursor.reset(&compiled);
         assert_eq!(cursor.stats().steps, 0);
         assert_eq!(cursor.state(), compiled.initial_state());
+    }
+
+    #[test]
+    fn saved_cursor_roundtrips_and_resumes_identically() {
+        let (compiled, _qbn) = toy_compiled(true);
+        let mut scratch = compiled.make_scratch();
+        let inputs = [[0.9f32, -0.4], [0.1, 0.1], [-0.8, 0.7], [0.9, -0.4]];
+        let mut live = CompiledCursor::new(&compiled);
+        for v in &inputs[..2] {
+            let out = compiled.step(v, live.state(), &mut scratch);
+            live.apply(out);
+        }
+        // Park the cursor mid-run, then resume the restored copy alongside
+        // the live one: actions, stats, and lifetime counters must match
+        // at every remaining step.
+        let mut restored = CompiledCursor::restore(live.save());
+        assert_eq!(restored.save(), live.save());
+        for v in &inputs[2..] {
+            let a = compiled.step(v, live.state(), &mut scratch);
+            let b = compiled.step(v, restored.state(), &mut scratch);
+            assert_eq!(live.apply(a), restored.apply(b));
+        }
+        assert_eq!(restored.save(), live.save());
+        assert_eq!(restored.stats(), live.stats());
+        assert_eq!(restored.unseen_count(), live.unseen_count());
     }
 
     #[test]

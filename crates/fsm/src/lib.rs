@@ -39,7 +39,7 @@ mod policy;
 pub use baselines::{ConstantPolicy, DefaultPolicy, HandcraftedFsm};
 pub use compile::{compile_fsm, CompileError};
 pub use compiled::{
-    BatchScratch, CompiledCursor, CompiledFsm, CompiledScratch, SlotTag, StepOutcome,
+    BatchScratch, CompiledCursor, CompiledFsm, CompiledScratch, SavedCursor, SlotTag, StepOutcome,
 };
 pub use dot::to_dot;
 pub use extract::extract_fsm;

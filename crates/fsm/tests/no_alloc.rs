@@ -9,12 +9,19 @@
 //! A counting global allocator turns that into an assertion.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 use lahd_fsm::{CompiledCursor, Fsm, FsmExecutor, FsmState, Metric, ObsSymbol, VecPolicy};
 use lahd_qbn::{Code, Precision, Qbn, QbnConfig};
 
-/// Counts allocations while forwarding to the system allocator.
+/// Counts allocations per thread while forwarding to the system allocator.
+///
+/// The counter must be thread-local: the libtest harness runs tests and
+/// its own bookkeeping (result channels, output formatting) on parallel
+/// threads, so a process-wide counter picks up their allocations inside a
+/// pin's measured window and fails it spuriously. A const-initialized
+/// `Cell` has no destructor and no lazy init, so reading it from inside
+/// the allocator neither allocates nor recurses.
 ///
 /// The workspace denies `unsafe_code`; this is an audited test-only
 /// exception — `GlobalAlloc` is unsafe by signature, and the impl only
@@ -23,13 +30,25 @@ use lahd_qbn::{Code, Precision, Qbn, QbnConfig};
 mod counting {
     use super::*;
 
-    pub static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// Allocations made by the calling thread so far.
+    pub fn on_this_thread() -> usize {
+        ALLOCATIONS.with(Cell::get)
+    }
+
+    fn bump() {
+        // `try_with` so allocations during TLS teardown stay infallible.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    }
 
     pub struct CountingAllocator;
 
     unsafe impl GlobalAlloc for CountingAllocator {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            bump();
             System.alloc(layout)
         }
 
@@ -38,7 +57,7 @@ mod counting {
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            bump();
             System.realloc(ptr, layout, new_size)
         }
     }
@@ -113,13 +132,13 @@ fn assert_executor_is_allocation_free(compiled: bool, precision: Precision) {
         exec.act_vec(v);
     }
 
-    let before = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    let before = counting::on_this_thread();
     for _ in 0..50 {
         for v in &rows {
             exec.act_vec(v);
         }
     }
-    let after = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    let after = counting::on_this_thread();
     assert_eq!(
         after - before,
         0,
@@ -177,11 +196,11 @@ fn batch_evaluator_is_allocation_free_in_steady_state() {
     for _ in 0..3 {
         run_batch(&mut states, &mut outcomes, &mut cursors);
     }
-    let before = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    let before = counting::on_this_thread();
     for _ in 0..50 {
         run_batch(&mut states, &mut outcomes, &mut cursors);
     }
-    let after = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    let after = counting::on_this_thread();
     assert_eq!(
         after - before,
         0,

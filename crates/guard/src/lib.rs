@@ -21,6 +21,11 @@
 //! Everything is deterministic under fixed seeds and every transition is
 //! recorded; [`IncidentReport`] renders the evidence as Markdown or JSON.
 //!
+//! For deployments with very many streams, [`MicroHealth`] is the compact
+//! triage tier in front of all of the above: ~20 bytes of per-stream
+//! counters that decide *when* the full guarded ladder is worth
+//! materializing at all (see the serving layer's tiered stream state).
+//!
 //! The crate is policy-agnostic: it depends only on the [`VecPolicy`]
 //! trait, so any scenario's ladder (FSM → quantized net → exact net →
 //! constant baseline) can be guarded. `lahd-core` wires it to real
@@ -30,12 +35,14 @@
 
 mod drift;
 mod guard;
+mod micro;
 mod report;
 mod shadow;
 mod stats;
 
 pub use drift::{DriftDetector, DriftScore};
 pub use guard::{GuardConfig, GuardSnapshot, GuardedPolicy, HealthState, TransitionRecord};
+pub use micro::{obs_hash, out_of_band, MicroConfig, MicroHealth, MicroVerdict};
 pub use report::{CounterfactualScore, EpisodeOutcome, IncidentReport};
 pub use shadow::{ShadowSample, ShadowTracker};
 pub use stats::{

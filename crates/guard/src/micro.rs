@@ -1,0 +1,289 @@
+//! A compact per-stream health summary for tiered serving state.
+//!
+//! [`crate::GuardedPolicy`] is thorough — shadow replay, P² drift windows,
+//! hysteresis — but it costs kilobytes per stream. A serving layer that
+//! wants millions of mostly-healthy streams needs a *triage* tier first:
+//! a few counters that are cheap to keep, cheap to hibernate, and good
+//! enough to decide *when the full guard is worth materializing*. That is
+//! [`MicroHealth`]: ~20 bytes tracking three demotion precursors the full
+//! guard would also catch, each a pure function of the observation stream
+//! (no cross-stream state), so promotion decisions are deterministic and
+//! hibernation round-trips exactly.
+//!
+//! The three signals mirror the full guard's evidence, coarsened:
+//!
+//! - **stuck input** — a run of bit-identical observations (the
+//!   [`crate::DriftDetector`]'s `stuck_run`, tracked by hash instead of by
+//!   stored vector);
+//! - **unseen rate** — quantized codes the FSM never saw at extraction
+//!   time, counted over a sliding window (the shadow tracker would see
+//!   these as divergence risk);
+//! - **out-of-band rate** — observations outside the baseline profile's
+//!   Tukey fences (the drift detector's median-shift signal, reduced to a
+//!   precomputed per-dimension interval test).
+
+use crate::stats::BaselineProfile;
+
+/// Thresholds for [`MicroHealth::observe`]. The defaults are deliberately
+/// *more sensitive* than [`crate::GuardConfig`]'s trip points: the micro
+/// tier's failure mode is a false promotion (cost: one guard
+/// materialization, released again once the full guard stays healthy),
+/// which is far cheaper than a false pass (cost: an unguarded degrading
+/// stream until its next periodic audit).
+#[derive(Clone, Copy, Debug)]
+pub struct MicroConfig {
+    /// Consecutive identical observations before promotion
+    /// (cf. `GuardConfig::stuck_after`).
+    pub stuck_after: u32,
+    /// Sliding-window length, observations.
+    pub window: u16,
+    /// Unseen-code count within one window that trips promotion.
+    pub max_unseen_per_window: u16,
+    /// Out-of-band count within one window that trips promotion.
+    pub max_oob_per_window: u16,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        Self {
+            stuck_after: 48,
+            window: 64,
+            max_unseen_per_window: 16,
+            max_oob_per_window: 16,
+        }
+    }
+}
+
+/// Why [`MicroHealth::observe`] asked for the full guard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MicroVerdict {
+    /// Nothing suspicious; keep serving from compact state.
+    Healthy,
+    /// Materialize the full ladder; the payload names the tripped signal.
+    Promote(&'static str),
+}
+
+/// The compact health state itself: 20 bytes, `Copy`, exhaustively
+/// reconstructible from [`MicroHealth::to_parts`] — see the module docs.
+///
+/// Window semantics are *tumbling*, not sliding: counters reset every
+/// `window` observations. That admits a rate just under the threshold
+/// straddling two windows undetected — acceptable for a triage tier whose
+/// backstop is the periodic full-guard audit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MicroHealth {
+    last_hash: u64,
+    stuck_run: u32,
+    unseen_recent: u16,
+    oob_recent: u16,
+    pos: u16,
+}
+
+impl MicroHealth {
+    /// Fresh state (no history).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one served observation in. `obs_hash` is [`obs_hash`] of the
+    /// raw observation; `unseen` comes from the FSM step outcome;
+    /// `out_of_band` from a [`BaselineProfile::tukey_band`] test.
+    pub fn observe(
+        &mut self,
+        cfg: &MicroConfig,
+        obs_hash: u64,
+        unseen: bool,
+        oob: bool,
+    ) -> MicroVerdict {
+        if obs_hash == self.last_hash {
+            self.stuck_run = self.stuck_run.saturating_add(1);
+        } else {
+            self.last_hash = obs_hash;
+            self.stuck_run = 0;
+        }
+        self.unseen_recent += unseen as u16;
+        self.oob_recent += oob as u16;
+        self.pos += 1;
+        let verdict = if self.stuck_run >= cfg.stuck_after {
+            MicroVerdict::Promote("stuck-input")
+        } else if self.unseen_recent > cfg.max_unseen_per_window {
+            MicroVerdict::Promote("unseen-rate")
+        } else if self.oob_recent > cfg.max_oob_per_window {
+            MicroVerdict::Promote("out-of-band")
+        } else {
+            MicroVerdict::Healthy
+        };
+        if self.pos >= cfg.window {
+            self.pos = 0;
+            self.unseen_recent = 0;
+            self.oob_recent = 0;
+        }
+        verdict
+    }
+
+    /// Flattens to plain words for external storage; inverse of
+    /// [`MicroHealth::from_parts`].
+    pub fn to_parts(&self) -> (u64, u32, u16, u16, u16) {
+        (
+            self.last_hash,
+            self.stuck_run,
+            self.unseen_recent,
+            self.oob_recent,
+            self.pos,
+        )
+    }
+
+    /// Rebuilds from [`MicroHealth::to_parts`] output, exactly.
+    pub fn from_parts(parts: (u64, u32, u16, u16, u16)) -> Self {
+        Self {
+            last_hash: parts.0,
+            stuck_run: parts.1,
+            unseen_recent: parts.2,
+            oob_recent: parts.3,
+            pos: parts.4,
+        }
+    }
+}
+
+/// FNV-1a over the observation's raw bit patterns — the identity test
+/// behind the stuck-input signal. Bitwise, not numeric: `-0.0` and `0.0`
+/// hash differently, NaNs hash stably, matching the drift detector's
+/// exact-repetition (`to_bits`) semantics.
+pub fn obs_hash(obs: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in obs {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+impl BaselineProfile {
+    /// Per-dimension Tukey fences `[p25 - k·IQR, p75 + k·IQR]`, the
+    /// precomputed intervals behind [`MicroHealth`]'s out-of-band test.
+    /// Degenerate dimensions (zero IQR) widen by the drift denominator so
+    /// float jitter around a constant doesn't trip the fence.
+    pub fn tukey_band(&self, k: f64) -> Vec<(f32, f32)> {
+        self.dims
+            .iter()
+            .map(|d| {
+                let iqr = (d.p75 - d.p25).max(d.denom());
+                ((d.p25 - k * iqr) as f32, (d.p75 + k * iqr) as f32)
+            })
+            .collect()
+    }
+}
+
+/// Whether any dimension of `obs` falls outside its `band` interval.
+pub fn out_of_band(obs: &[f32], band: &[(f32, f32)]) -> bool {
+    obs.iter()
+        .zip(band)
+        .any(|(v, (lo, hi))| !(*v >= *lo && *v <= *hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StreamingProfile;
+
+    #[test]
+    fn stuck_input_promotes_after_threshold() {
+        let cfg = MicroConfig {
+            stuck_after: 3,
+            ..MicroConfig::default()
+        };
+        let mut h = MicroHealth::new();
+        let hash = obs_hash(&[1.0, 2.0]);
+        assert_eq!(h.observe(&cfg, hash, false, false), MicroVerdict::Healthy);
+        assert_eq!(h.observe(&cfg, hash, false, false), MicroVerdict::Healthy);
+        assert_eq!(h.observe(&cfg, hash, false, false), MicroVerdict::Healthy);
+        assert_eq!(
+            h.observe(&cfg, hash, false, false),
+            MicroVerdict::Promote("stuck-input")
+        );
+        // A different observation clears the run.
+        let mut h2 = h;
+        assert_eq!(
+            h2.observe(&cfg, obs_hash(&[9.0]), false, false),
+            MicroVerdict::Healthy
+        );
+    }
+
+    #[test]
+    fn windowed_rates_promote_and_reset() {
+        let cfg = MicroConfig {
+            window: 8,
+            max_unseen_per_window: 2,
+            max_oob_per_window: 2,
+            ..MicroConfig::default()
+        };
+        let mut h = MicroHealth::new();
+        for i in 0..2 {
+            assert_eq!(
+                h.observe(&cfg, i, true, false),
+                MicroVerdict::Healthy,
+                "under threshold"
+            );
+        }
+        assert_eq!(
+            h.observe(&cfg, 99, true, false),
+            MicroVerdict::Promote("unseen-rate")
+        );
+        // A full healthy window clears the tally.
+        for i in 100..100 + 8 {
+            h.observe(&cfg, i, false, false);
+        }
+        assert_eq!(h.observe(&cfg, 7, true, false), MicroVerdict::Healthy);
+        // Same shape for out-of-band.
+        let mut h = MicroHealth::new();
+        for i in 0..2 {
+            h.observe(&cfg, i, false, true);
+        }
+        assert_eq!(
+            h.observe(&cfg, 99, false, true),
+            MicroVerdict::Promote("out-of-band")
+        );
+    }
+
+    #[test]
+    fn parts_roundtrip_exactly() {
+        let cfg = MicroConfig::default();
+        let mut h = MicroHealth::new();
+        for i in 0..37u64 {
+            h.observe(&cfg, obs_hash(&[i as f32]), i % 5 == 0, i % 7 == 0);
+        }
+        let copy = MicroHealth::from_parts(h.to_parts());
+        assert_eq!(copy, h);
+        // And the copy continues identically.
+        let mut a = h;
+        let mut b = copy;
+        for i in 0..200u64 {
+            assert_eq!(
+                a.observe(&cfg, i, i % 3 == 0, false),
+                b.observe(&cfg, i, i % 3 == 0, false)
+            );
+        }
+    }
+
+    #[test]
+    fn tukey_band_brackets_the_iqr_and_flags_outliers() {
+        let mut sp = StreamingProfile::new(2);
+        for i in 0..200 {
+            sp.push(&[i as f32 * 0.01, 5.0]);
+        }
+        let profile = sp.profile();
+        let band = profile.tukey_band(3.0);
+        assert_eq!(band.len(), 2);
+        for (d, (lo, hi)) in profile.dims.iter().zip(&band) {
+            assert!((*lo as f64) < d.p25 && (*hi as f64) > d.p75);
+        }
+        // In-band median passes; a gross outlier does not.
+        let mid = [profile.dims[0].p50 as f32, 5.0];
+        assert!(!out_of_band(&mid, &band));
+        assert!(out_of_band(&[1e6, 5.0], &band));
+        // NaN is never inside any band.
+        assert!(out_of_band(&[f32::NAN, 5.0], &band));
+    }
+}

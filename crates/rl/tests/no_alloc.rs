@@ -9,11 +9,18 @@
 //! assertion instead of a claim.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 use lahd_rl::{InferEngine, InferScratch, Precision, RecurrentActorCritic};
 
-/// Counts allocations while forwarding to the system allocator.
+/// Counts allocations per thread while forwarding to the system allocator.
+///
+/// The counter must be thread-local: the libtest harness runs tests and
+/// its own bookkeeping (result channels, output formatting) on parallel
+/// threads, so a process-wide counter picks up their allocations inside a
+/// pin's measured window and fails it spuriously. A const-initialized
+/// `Cell` has no destructor and no lazy init, so reading it from inside
+/// the allocator neither allocates nor recurses.
 ///
 /// The workspace denies `unsafe_code`; this is an audited test-only
 /// exception — `GlobalAlloc` is unsafe by signature, and the impl only
@@ -22,13 +29,25 @@ use lahd_rl::{InferEngine, InferScratch, Precision, RecurrentActorCritic};
 mod counting {
     use super::*;
 
-    pub static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// Allocations made by the calling thread so far.
+    pub fn on_this_thread() -> usize {
+        ALLOCATIONS.with(Cell::get)
+    }
+
+    fn bump() {
+        // `try_with` so allocations during TLS teardown stay infallible.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    }
 
     pub struct CountingAllocator;
 
     unsafe impl GlobalAlloc for CountingAllocator {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            bump();
             System.alloc(layout)
         }
 
@@ -37,7 +56,7 @@ mod counting {
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            bump();
             System.realloc(ptr, layout, new_size)
         }
     }
@@ -58,11 +77,11 @@ fn assert_no_allocs_in_steady_state(precision: Precision) {
         engine.infer_into(&agent, &obs, &hidden, &mut scratch);
     }
 
-    let before = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    let before = counting::on_this_thread();
     for _ in 0..200 {
         engine.infer_into(&agent, &obs, &hidden, &mut scratch);
     }
-    let after = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    let after = counting::on_this_thread();
     assert_eq!(
         after - before,
         0,
@@ -92,12 +111,12 @@ fn quantized_repack_is_allocation_free_in_steady_state() {
         agent.store.value_mut(ids[0])[(0, 0)] += 0.01 * (warm + 1) as f32;
         engine.repack(&agent);
     }
-    let before = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    let before = counting::on_this_thread();
     for round in 0..20 {
         agent.store.value_mut(ids[0])[(0, 0)] += 0.01 * (round + 1) as f32;
         engine.repack(&agent);
     }
-    let after = counting::ALLOCATIONS.load(Ordering::Relaxed);
+    let after = counting::on_this_thread();
     assert_eq!(
         after - before,
         0,

@@ -294,6 +294,221 @@ impl BenchSummary {
     }
 }
 
+/// One measured point of the streams sweep: a self-hosted daemon sized for
+/// `streams`, warmed with one decision per stream, then measured.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Requested concurrent stream count.
+    pub streams: u64,
+    /// Streams actually admitted (compact + resident + hibernated, from
+    /// the daemon's sync-barriered gauges).
+    pub admitted: u64,
+    /// Closed-loop decisions/second over the timed round.
+    pub decisions_per_sec: f64,
+    /// Measured live heap bytes per admitted stream (counting allocator;
+    /// 0 when the allocator is not installed — see [`crate::live_bytes`]).
+    pub live_bytes_per_stream: u64,
+    /// RSS growth across the warm, bytes (page-granular, informational).
+    pub rss_delta_bytes: u64,
+    /// RSS growth per admitted stream (informational).
+    pub rss_bytes_per_stream: u64,
+    /// Requests shed during the sweep (labelled answers, not errors).
+    pub shed: u64,
+    /// Gauge after warm: compact streams.
+    pub compact: u64,
+    /// Gauge after warm: resident (full-ladder) streams.
+    pub resident: u64,
+    /// Gauge after warm: hibernated streams.
+    pub hibernated: u64,
+}
+
+/// The streams sweep a `lahd serve-bench --streams-sweep …` run produced.
+#[derive(Clone, Debug, Default)]
+pub struct StreamsSweep {
+    /// One point per requested size, in request order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Human row label for a stream count (1000 → "1k", 100000 → "100k").
+fn size_label(n: u64) -> String {
+    if n >= 1_000_000 && n % 1_000_000 == 0 {
+        format!("{}m", n / 1_000_000)
+    } else if n >= 1_000 && n % 1_000 == 0 {
+        format!("{}k", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+impl StreamsSweep {
+    /// Stable-order JSON rendering.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "{{\"streams\":{},\"admitted\":{},\"decisions_per_sec\":{:.1},",
+                        "\"live_bytes_per_stream\":{},\"rss_delta_bytes\":{},",
+                        "\"rss_bytes_per_stream\":{},\"shed\":{},",
+                        "\"compact\":{},\"resident\":{},\"hibernated\":{}}}"
+                    ),
+                    p.streams,
+                    p.admitted,
+                    p.decisions_per_sec,
+                    p.live_bytes_per_stream,
+                    p.rss_delta_bytes,
+                    p.rss_bytes_per_stream,
+                    p.shed,
+                    p.compact,
+                    p.resident,
+                    p.hibernated
+                )
+            })
+            .collect();
+        format!("{{\"points\":[{}]}}", points.join(","))
+    }
+
+    /// Criterion-shim-style rows for `bench_snapshot.sh`. Rate rows carry
+    /// the `per_sec` suffix (compare gate: higher is better); bytes rows
+    /// are plain values (lower is better). Unavailable measurements
+    /// (reading 0) are omitted rather than folded as zeros.
+    pub fn bench_rows(&self) -> Vec<String> {
+        let mut rows = Vec::new();
+        for p in &self.points {
+            let label = size_label(p.streams);
+            rows.push(format!(
+                "{{\"bench\":\"serve_streams/{label}_per_sec\",\"median_ns\":{:.1}}}",
+                p.decisions_per_sec
+            ));
+            if p.live_bytes_per_stream > 0 {
+                rows.push(format!(
+                    "{{\"bench\":\"serve_streams/{label}_live_bytes_per_stream\",\"median_ns\":{}}}",
+                    p.live_bytes_per_stream
+                ));
+            }
+            if p.rss_bytes_per_stream > 0 {
+                rows.push(format!(
+                    "{{\"bench\":\"serve_streams/{label}_rss_bytes_per_stream\",\"median_ns\":{}}}",
+                    p.rss_bytes_per_stream
+                ));
+            }
+        }
+        rows
+    }
+}
+
+/// Drives one closed-loop round: one decision per stream, at most `window`
+/// outstanding (backpressure instead of queue sheds). Returns the round's
+/// wall time and how many answers came back shed-labelled.
+fn closed_loop_round(
+    client: &mut ServeClient,
+    profile: &BaselineProfile,
+    seed: u64,
+    streams: u64,
+    round: u64,
+    window: u64,
+) -> Result<(Duration, u64), String> {
+    let base = 1u64 << 61;
+    let start = Instant::now();
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let mut shed = 0u64;
+    while received < streams {
+        while sent < streams && sent - received < window {
+            client
+                .send(&Request::Decide {
+                    req_id: base | (round << 40) | sent,
+                    stream: sent,
+                    deadline_us: 0,
+                    obs: synth_obs(profile, seed, sent, round),
+                })
+                .map_err(|e| format!("sweep send failed: {e}"))?;
+            sent += 1;
+        }
+        match client.recv() {
+            Ok(Response::Decision { source, .. }) => {
+                received += 1;
+                if source == Source::Shed as u8 {
+                    shed += 1;
+                }
+            }
+            Ok(other) => return Err(format!("unexpected sweep response {other:?}")),
+            Err(e) => return Err(format!("sweep receive failed: {e}")),
+        }
+    }
+    Ok((start.elapsed(), shed))
+}
+
+/// Runs the streams sweep: for each size, self-host a daemon sized for it
+/// (hibernation off, so the measurement reflects the live compact tier),
+/// admit every stream with a closed-loop warm round, read the memory
+/// deltas, time a second closed-loop round for decisions/sec, and shut
+/// down. Memory numbers are process-wide deltas, so the sweep must run
+/// with no other daemon in-process.
+pub fn run_streams_sweep(
+    pipeline_cfg: &lahd_core::PipelineConfig,
+    artifacts: &Path,
+    base: &crate::ServeConfig,
+    sizes: &[u64],
+    seed: u64,
+) -> Result<StreamsSweep, String> {
+    let profile = load_profile(artifacts)?;
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let n = n.max(1);
+        let mut cfg = base.clone();
+        // Sized so hash imbalance across shards cannot shed, and with the
+        // cold tier disabled: every admitted stream stays live in its
+        // table, which is the bytes/stream story the sweep reports.
+        cfg.max_streams = n as usize;
+        cfg.hibernate_after = 0;
+        cfg.allow_chaos = false;
+        let socket =
+            std::env::temp_dir().join(format!("lahd-sweep-{}-{n}.sock", std::process::id()));
+        let handle = crate::daemon::serve_dir(pipeline_cfg, artifacts, cfg.clone(), &socket)?;
+        let result = (|| -> Result<SweepPoint, String> {
+            let mut control = ServeClient::connect_retry(&socket, Duration::from_secs(5))
+                .map_err(|e| format!("sweep connect failed: {e}"))?;
+            let mut load = ServeClient::connect_retry(&socket, Duration::from_secs(5))
+                .map_err(|e| format!("sweep connect failed: {e}"))?;
+            let _ = stats(&mut control)?; // settle: daemon + sidecar up
+            let live0 = crate::live_bytes();
+            let rss0 = crate::rss_bytes();
+            let window = (cfg.queue_capacity as u64).clamp(16, 256);
+            let (_, shed_warm) = closed_loop_round(&mut load, &profile, seed, n, 0, window)?;
+            let (snap, _) = stats(&mut control)?; // sync barrier: exact gauges
+            let live1 = crate::live_bytes();
+            let rss1 = crate::rss_bytes();
+            let (elapsed, shed_timed) = closed_loop_round(&mut load, &profile, seed, n, 1, window)?;
+            let admitted = snap.streams_total().max(1);
+            let live_delta = live1.saturating_sub(live0);
+            let rss_delta = rss1.saturating_sub(rss0);
+            Ok(SweepPoint {
+                streams: n,
+                admitted: snap.streams_total(),
+                decisions_per_sec: n as f64 / elapsed.as_secs_f64().max(1e-9),
+                live_bytes_per_stream: live_delta / admitted,
+                rss_delta_bytes: rss_delta,
+                rss_bytes_per_stream: rss_delta / admitted,
+                shed: shed_warm + shed_timed,
+                compact: snap.streams_compact,
+                resident: snap.streams_resident,
+                hibernated: snap.streams_hibernated,
+            })
+        })();
+        // Always shut the daemon down, even on a failed measurement, so
+        // the next size starts from a clean process-wide memory baseline.
+        if let Ok(mut c) = ServeClient::connect_retry(&socket, Duration::from_secs(1)) {
+            let _ = c.call(&Request::Shutdown);
+        }
+        handle.wait();
+        points.push(result?);
+    }
+    Ok(StreamsSweep { points })
+}
+
 /// Copies the artifact directory to `out` and flips one bit in the middle
 /// of `agent.params` — the hot-reload candidate that must be rejected.
 pub fn prepare_corrupt_candidate(artifacts: &Path, out: &Path) -> std::io::Result<()> {

@@ -33,6 +33,10 @@ pub struct ServeBundle {
     /// Drift baseline for the per-stream guards (the stamped profile, or
     /// one recomputed from a clean rollout for pre-guard artifacts).
     pub baseline: BaselineProfile,
+    /// Per-dimension Tukey fences precomputed from `baseline` — the
+    /// compact tier's out-of-band test is an interval check per served
+    /// observation, so the fences are derived once per bundle generation.
+    pub band: Vec<(f32, f32)>,
     /// The FSM lowered once at load time and shared by every stream's
     /// rung-0 tier (and the shard's batched FSM path). `None` when the
     /// machine is outside the compiled envelope — streams then run the
@@ -76,6 +80,7 @@ impl ServeBundle {
         let quant = InferEngine::with_precision(&artifacts.agent, Precision::QuantizedFast);
         let exact = InferEngine::with_precision(&artifacts.agent, Precision::Exact);
         let baseline = resolve_baseline(&cfg, &artifacts, &artifacts.real_traces);
+        let band = baseline.tukey_band(3.0);
         let compiled = compile_fsm(
             &artifacts.fsm,
             &obs_qbn_fast(&artifacts),
@@ -90,6 +95,7 @@ impl ServeBundle {
             quant,
             exact,
             baseline,
+            band,
             compiled,
         };
         bundle.probe()?;

@@ -1,0 +1,356 @@
+//! Compact per-stream serving state and the cold-stream hibernation arena.
+//!
+//! The tiered stream-state story (see [`crate::shard`]) keeps a healthy
+//! FSM-tier stream as a [`CompactStream`]: the compiled cursor, a
+//! [`MicroHealth`] triage summary, and three scheduling words — ~96 bytes
+//! of plain data, no heap edges. Because it is pointer-free it also
+//! *hibernates* exactly: [`CompactStream::serialize_into`] flattens it to
+//! a fixed-width little-endian record in a slab arena, and
+//! [`CompactStream::deserialize`] rebuilds a bit-identical copy, which is
+//! what makes the hibernate/wake action-equivalence guarantee a
+//! round-trip property instead of a best-effort one.
+//!
+//! The arena is deliberately dumb: fixed-size records in a `Vec<u8>` slab
+//! with a free list, indexed by stream key, evicting in hibernate order
+//! (FIFO) once over capacity. Evicting a record forgets the stream — it
+//! re-admits fresh on return, exactly like a stream the daemon never saw
+//! — so the arena is a bounded cache of continuations, not a durability
+//! promise.
+
+use lahd_fsm::{CompiledCursor, FsmRunStats, SavedCursor};
+use lahd_guard::MicroHealth;
+
+use crate::stream_table::StreamTable;
+
+/// Everything a healthy FSM-tier stream keeps while compact.
+#[derive(Clone, Debug)]
+pub struct CompactStream {
+    /// The compiled-FSM execution state (state id + run statistics).
+    pub cursor: CompiledCursor,
+    /// Triage health counters (stuck input, unseen rate, band violations).
+    pub health: MicroHealth,
+    /// Decisions this stream has served (compact + resident combined).
+    pub decisions: u64,
+    /// Decision count at which the next full-guard audit is due.
+    pub next_audit: u64,
+    /// Shard tick of the last served decision (hibernation idleness).
+    pub last_tick: u64,
+}
+
+/// Serialized record width: 8 (key) + 2+6pad (state) + 4×8 (stats) +
+/// 8 (unseen_total) + 8+4+2+2+2+6pad (health) + 8 (decisions) +
+/// 8 (next_audit). `last_tick` is deliberately not persisted — a woken
+/// stream's idle clock restarts.
+pub const REC_BYTES: usize = 96;
+
+impl CompactStream {
+    /// A fresh stream at the machine's start state.
+    pub fn new(cursor: CompiledCursor, first_audit: u64) -> Self {
+        Self {
+            cursor,
+            health: MicroHealth::new(),
+            decisions: 0,
+            next_audit: first_audit,
+            last_tick: 0,
+        }
+    }
+
+    /// Flattens into exactly [`REC_BYTES`] at `out` (little-endian).
+    pub fn serialize_into(&self, key: u64, out: &mut [u8]) {
+        assert_eq!(out.len(), REC_BYTES);
+        let saved = self.cursor.save();
+        let (last_hash, stuck_run, unseen_recent, oob_recent, pos) = self.health.to_parts();
+        let mut w = Writer { out, at: 0 };
+        w.u64(key);
+        w.u64(saved.state as u64);
+        w.u64(saved.stats.steps as u64);
+        w.u64(saved.stats.unseen_observations as u64);
+        w.u64(saved.stats.missing_transitions as u64);
+        w.u64(saved.stats.stuck_steps as u64);
+        w.u64(saved.unseen_total);
+        w.u64(last_hash);
+        w.u64(stuck_run as u64);
+        w.u64(((unseen_recent as u64) << 32) | ((oob_recent as u64) << 16) | pos as u64);
+        w.u64(self.decisions);
+        w.u64(self.next_audit);
+        debug_assert_eq!(w.at, REC_BYTES);
+    }
+
+    /// Rebuilds from [`CompactStream::serialize_into`] output; returns the
+    /// stream key alongside the state.
+    pub fn deserialize(rec: &[u8]) -> (u64, Self) {
+        assert_eq!(rec.len(), REC_BYTES);
+        let mut r = Reader { rec, at: 0 };
+        let key = r.u64();
+        let state = r.u64() as u16;
+        let stats = FsmRunStats {
+            steps: r.u64() as usize,
+            unseen_observations: r.u64() as usize,
+            missing_transitions: r.u64() as usize,
+            stuck_steps: r.u64() as usize,
+        };
+        let unseen_total = r.u64();
+        let last_hash = r.u64();
+        let stuck_run = r.u64() as u32;
+        let packed = r.u64();
+        let health = MicroHealth::from_parts((
+            last_hash,
+            stuck_run,
+            (packed >> 32) as u16,
+            (packed >> 16) as u16,
+            packed as u16,
+        ));
+        let decisions = r.u64();
+        let next_audit = r.u64();
+        (
+            key,
+            Self {
+                cursor: CompiledCursor::restore(SavedCursor {
+                    state,
+                    stats,
+                    unseen_total,
+                }),
+                health,
+                decisions,
+                next_audit,
+                last_tick: 0,
+            },
+        )
+    }
+}
+
+struct Writer<'a> {
+    out: &'a mut [u8],
+    at: usize,
+}
+
+impl Writer<'_> {
+    fn u64(&mut self, v: u64) {
+        self.out[self.at..self.at + 8].copy_from_slice(&v.to_le_bytes());
+        self.at += 8;
+    }
+}
+
+struct Reader<'a> {
+    rec: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.rec[self.at..self.at + 8].try_into().unwrap());
+        self.at += 8;
+        v
+    }
+}
+
+/// The serialized arena hibernated streams park in. Record slots are
+/// tracked through the same generation-stamped [`StreamTable`] machinery
+/// as live streams, but the payload here is a slab offset, not a boxed
+/// ladder — a hibernated stream costs `REC_BYTES` + table overhead.
+pub struct HibernationArena {
+    data: Vec<u8>,
+    /// stream key -> record slot (index into `data` / REC_BYTES).
+    index: StreamTable<u32>,
+    free: Vec<u32>,
+    /// Hibernate-order queue for FIFO eviction; entries may be stale
+    /// (woken streams) and are skipped by checking the index.
+    order: std::collections::VecDeque<u64>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl HibernationArena {
+    /// An arena bounded at `capacity` hibernated streams.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            index: StreamTable::with_capacity(64),
+            free: Vec::new(),
+            order: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Hibernated stream count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the arena holds no streams.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Arena slab bytes currently allocated.
+    pub fn arena_bytes(&self) -> u64 {
+        self.data.capacity() as u64
+    }
+
+    /// Streams forgotten to keep the arena under capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Whether `key` is hibernating here.
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.lookup(key).is_some()
+    }
+
+    /// Parks a compact stream. Overwrites a prior record for the same key
+    /// (can happen when a stream hibernates, wakes, and hibernates again
+    /// before its stale order entry cycles out).
+    pub fn hibernate(&mut self, key: u64, stream: &CompactStream) {
+        if let Some(r) = self.index.lookup(key) {
+            let slot = *self.index.get(r).expect("fresh handle");
+            let at = slot as usize * REC_BYTES;
+            stream.serialize_into(key, &mut self.data[at..at + REC_BYTES]);
+            return;
+        }
+        while self.index.len() >= self.capacity {
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(slot) = self.index.remove(victim) {
+                self.free.push(slot);
+                self.evicted += 1;
+            }
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = (self.data.len() / REC_BYTES) as u32;
+                self.data.resize(self.data.len() + REC_BYTES, 0);
+                s
+            }
+        };
+        let at = slot as usize * REC_BYTES;
+        stream.serialize_into(key, &mut self.data[at..at + REC_BYTES]);
+        self.index.insert(key, slot);
+        self.order.push_back(key);
+    }
+
+    /// Wakes `key`, removing and rebuilding its record.
+    pub fn wake(&mut self, key: u64) -> Option<CompactStream> {
+        let slot = self.index.remove(key)?;
+        let at = slot as usize * REC_BYTES;
+        let (rec_key, stream) = CompactStream::deserialize(&self.data[at..at + REC_BYTES]);
+        debug_assert_eq!(rec_key, key, "arena slot/key mismatch");
+        self.free.push(slot);
+        Some(stream)
+    }
+
+    /// Drops everything (bundle swap invalidates saved state ids).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.index.clear();
+        self.free.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lahd_guard::{obs_hash, MicroConfig};
+
+    fn sample(decisions: u64) -> CompactStream {
+        let mut s = CompactStream {
+            cursor: CompiledCursor::restore(SavedCursor {
+                state: 7,
+                stats: FsmRunStats {
+                    steps: 40,
+                    unseen_observations: 3,
+                    missing_transitions: 2,
+                    stuck_steps: 1,
+                },
+                unseen_total: 9,
+            }),
+            health: MicroHealth::new(),
+            decisions,
+            next_audit: decisions + 4096,
+            last_tick: 55,
+        };
+        let cfg = MicroConfig::default();
+        for i in 0..13u64 {
+            s.health
+                .observe(&cfg, obs_hash(&[i as f32]), i % 3 == 0, i % 5 == 0);
+        }
+        s
+    }
+
+    #[test]
+    fn serialize_roundtrips_bit_exactly() {
+        let s = sample(123);
+        let mut rec = [0u8; REC_BYTES];
+        s.serialize_into(42, &mut rec);
+        let (key, back) = CompactStream::deserialize(&rec);
+        assert_eq!(key, 42);
+        assert_eq!(back.cursor.save(), s.cursor.save());
+        assert_eq!(back.health, s.health);
+        assert_eq!(back.decisions, s.decisions);
+        assert_eq!(back.next_audit, s.next_audit);
+        assert_eq!(back.last_tick, 0, "idle clock restarts on wake");
+    }
+
+    #[test]
+    fn compact_stream_stays_under_the_size_budget() {
+        // The tentpole's target: healthy FSM-tier streams ≤256 B. The
+        // in-memory record must leave room for slab + index overhead
+        // (~32 B measured in PERF.md).
+        assert!(
+            std::mem::size_of::<CompactStream>() <= 128,
+            "CompactStream grew to {} B",
+            std::mem::size_of::<CompactStream>()
+        );
+        assert_eq!(REC_BYTES % 8, 0);
+    }
+
+    #[test]
+    fn arena_parks_wakes_and_reuses_slots() {
+        let mut arena = HibernationArena::new(64);
+        arena.hibernate(1, &sample(10));
+        arena.hibernate(2, &sample(20));
+        assert_eq!(arena.len(), 2);
+        assert!(arena.contains(1));
+        let woken = arena.wake(1).expect("parked");
+        assert_eq!(woken.decisions, 10);
+        assert!(!arena.contains(1));
+        assert!(arena.wake(1).is_none());
+        // The freed slot is reused, not grown.
+        let bytes = arena.arena_bytes();
+        arena.hibernate(3, &sample(30));
+        assert_eq!(arena.arena_bytes(), bytes);
+        assert_eq!(arena.wake(3).expect("parked").decisions, 30);
+    }
+
+    #[test]
+    fn over_capacity_evicts_oldest_first() {
+        let mut arena = HibernationArena::new(2);
+        arena.hibernate(1, &sample(1));
+        arena.hibernate(2, &sample(2));
+        arena.hibernate(3, &sample(3));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.evicted(), 1);
+        assert!(!arena.contains(1), "oldest evicted");
+        assert!(arena.contains(2) && arena.contains(3));
+        // A woken stream's stale order entry is skipped, not evicted.
+        arena.wake(2).expect("parked");
+        arena.hibernate(4, &sample(4));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.evicted(), 1, "no eviction needed after wake");
+        arena.hibernate(5, &sample(5));
+        assert!(!arena.contains(3), "3 is now oldest");
+        assert!(arena.contains(4) && arena.contains(5));
+    }
+
+    #[test]
+    fn rehibernating_a_key_overwrites_in_place() {
+        let mut arena = HibernationArena::new(8);
+        arena.hibernate(9, &sample(1));
+        arena.hibernate(9, &sample(99));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.wake(9).expect("parked").decisions, 99);
+    }
+}

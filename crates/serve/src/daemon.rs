@@ -34,9 +34,10 @@ use lahd_core::PipelineConfig;
 use lahd_fsm::VecPolicy;
 
 use crate::bundle::ServeBundle;
-use crate::metrics::ServeMetrics;
+use crate::metrics::{render_stats_json, ServeMetrics};
 use crate::protocol::{read_frame, write_frame, Request, Response, Source};
 use crate::shard::{run_shard, ShardMsg, TIER_BASELINE};
+use crate::telemetry::{run_aggregator, telemetry_channel, TelemetryHub};
 
 /// Daemon tuning knobs.
 #[derive(Clone, Debug)]
@@ -61,6 +62,20 @@ pub struct ServeConfig {
     pub restart_backoff_ms: u64,
     /// Restart backoff ceiling, milliseconds.
     pub restart_backoff_cap_ms: u64,
+    /// Decisions between periodic full-guard audits of a compact stream
+    /// (staggered per stream; 0 disables audits).
+    pub audit_every: u64,
+    /// Maximum concurrently materialized audits per shard; further due
+    /// audits are deferred, not skipped.
+    pub audit_budget: usize,
+    /// Idle shard ticks (batches or 20 ms idle intervals) before a compact
+    /// stream hibernates into the arena (0 disables hibernation).
+    pub hibernate_after: u64,
+    /// Shard ticks between clock-sweep invocations.
+    pub sweep_every: u64,
+    /// Hibernation-arena capacity per shard; FIFO eviction beyond (an
+    /// evicted stream re-admits fresh).
+    pub max_hibernated: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +90,11 @@ impl Default for ServeConfig {
             allow_chaos: false,
             restart_backoff_ms: 10,
             restart_backoff_cap_ms: 500,
+            audit_every: 4096,
+            audit_budget: 8,
+            hibernate_after: 512,
+            sweep_every: 32,
+            max_hibernated: 1 << 20,
         }
     }
 }
@@ -89,6 +109,9 @@ impl ServeConfig {
         // keeps every batch on the per-row GEMV path (bit-stable rows).
         self.batch_max = self.batch_max.clamp(1, 15);
         self.max_streams = self.max_streams.max(1);
+        self.sweep_every = self.sweep_every.max(1);
+        self.max_hibernated = self.max_hibernated.max(1);
+        self.audit_budget = self.audit_budget.max(1);
         self
     }
 }
@@ -103,10 +126,15 @@ pub struct SharedState {
     pub bundle: Mutex<Arc<ServeBundle>>,
     /// Bundle generation; bumps on every accepted reload.
     pub generation: AtomicU64,
-    /// Daemon-wide counters.
+    /// Daemon-wide off-path counters (decision-path counters travel
+    /// through `telemetry`).
     pub metrics: ServeMetrics,
-    /// Set once; every loop drains and exits.
-    pub shutdown: AtomicBool,
+    /// The telemetry sidecar's shard-facing half: shards flush deltas
+    /// through it, the stats endpoint syncs snapshots from it.
+    pub telemetry: TelemetryHub,
+    /// Set once; every loop drains and exits. (`Arc` so the aggregator
+    /// thread can hold it past the daemon's lifetime edge cases.)
+    pub shutdown: Arc<AtomicBool>,
 }
 
 /// Hashes a stream id to its shard (FNV-1a over the id bytes).
@@ -125,6 +153,7 @@ pub struct ServeHandle {
     socket: PathBuf,
     acceptor: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<()>>,
+    aggregator: Option<JoinHandle<()>>,
 }
 
 impl ServeHandle {
@@ -144,14 +173,20 @@ impl ServeHandle {
         self.shared.shutdown.store(true, Ordering::Release);
     }
 
-    /// Blocks until the acceptor and every shard worker have exited, then
-    /// removes the socket file.
+    /// Blocks until the acceptor, every shard worker, and the telemetry
+    /// aggregator have exited, then removes the socket file.
     pub fn wait(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
         for handle in self.shards.drain(..) {
             let _ = handle.join();
+        }
+        // Shards are gone, so no more deltas; let the aggregator see the
+        // flag on its next idle interval.
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(aggregator) = self.aggregator.take() {
+            let _ = aggregator.join();
         }
         let _ = std::fs::remove_file(&self.socket);
     }
@@ -169,14 +204,27 @@ pub fn serve(
     let listener = UnixListener::bind(socket)?;
     listener.set_nonblocking(true)?;
 
+    // Sidecar channel sized a few deltas per shard: shards defer (never
+    // block, never drop) on transient fullness.
+    let (telemetry, telemetry_rx) = telemetry_channel(cfg.shards * 4);
+    let shutdown = Arc::new(AtomicBool::new(false));
     let shared = Arc::new(SharedState {
         cfg: cfg.clone(),
         pipeline_cfg,
         bundle: Mutex::new(Arc::new(bundle)),
         generation: AtomicU64::new(1),
         metrics: ServeMetrics::default(),
-        shutdown: AtomicBool::new(false),
+        telemetry: telemetry.clone(),
+        shutdown: shutdown.clone(),
     });
+
+    let aggregator = {
+        let hub = telemetry.clone();
+        let shards = cfg.shards;
+        std::thread::Builder::new()
+            .name("lahd-telemetry".to_string())
+            .spawn(move || run_aggregator(telemetry_rx, hub, shards, shutdown))?
+    };
 
     let mut senders = Vec::with_capacity(cfg.shards);
     let mut shards = Vec::with_capacity(cfg.shards);
@@ -187,7 +235,7 @@ pub fn serve(
         shards.push(
             std::thread::Builder::new()
                 .name(format!("lahd-shard-{i}"))
-                .spawn(move || run_shard(rx, shared))?,
+                .spawn(move || run_shard(i, rx, shared))?,
         );
     }
 
@@ -204,6 +252,7 @@ pub fn serve(
         socket: socket.to_path_buf(),
         acceptor: Some(acceptor),
         shards,
+        aggregator: Some(aggregator),
     })
 }
 
@@ -294,10 +343,16 @@ fn handle_conn(stream: UnixStream, shared: Arc<SharedState>, senders: Vec<SyncSe
                 obs,
             ),
             Request::Stats => {
+                // The sync is a read barrier: every delta a shard flushed
+                // before any reply this client has seen is merged first.
+                let snap = shared.telemetry.sync();
                 let gen = shared.generation.load(Ordering::Acquire);
-                let _ = tx_resp.send(Response::StatsJson(
-                    shared.metrics.to_json(gen, shared.cfg.shards),
-                ));
+                let _ = tx_resp.send(Response::StatsJson(render_stats_json(
+                    gen,
+                    shared.cfg.shards,
+                    &shared.metrics,
+                    &snap,
+                )));
             }
             Request::Reload { dir } => {
                 match ServeBundle::load(&shared.pipeline_cfg, Path::new(&dir)) {
@@ -364,11 +419,13 @@ fn route_decide(
     obs: Vec<f32>,
 ) {
     let shard = shard_of(stream_id, senders.len());
-    let deadline = (deadline_us > 0).then(|| Instant::now() + Duration::from_micros(deadline_us));
+    let enqueued = Instant::now();
+    let deadline = (deadline_us > 0).then(|| enqueued + Duration::from_micros(deadline_us));
     let mut msg = ShardMsg::Decide {
         req_id,
         stream: stream_id,
         deadline,
+        enqueued,
         obs,
         reply: tx_resp.clone(),
     };

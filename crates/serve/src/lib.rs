@@ -33,23 +33,34 @@
 //! `lahd serve-bench` (kill a shard, burst 10× load, offer a corrupt
 //! reload), whose chaos summary is byte-reproducible under a fixed seed.
 
+mod alloc;
 mod bench;
 mod bundle;
 mod client;
+mod compact;
 mod daemon;
 mod metrics;
 mod protocol;
 mod shard;
+mod stream_table;
+mod telemetry;
 
+pub use alloc::{live_bytes, rss_bytes, CountingAllocator};
 pub use bench::{
-    load_profile, prepare_corrupt_candidate, run_bench, BenchConfig, BenchSummary, ChaosOutcome,
-    ChaosPlan, PerfOutcome,
+    load_profile, prepare_corrupt_candidate, run_bench, run_streams_sweep, BenchConfig,
+    BenchSummary, ChaosOutcome, ChaosPlan, PerfOutcome, StreamsSweep, SweepPoint,
 };
 pub use bundle::ServeBundle;
 pub use client::ServeClient;
+pub use compact::{CompactStream, HibernationArena, REC_BYTES};
 pub use daemon::{serve, serve_dir, shard_of, ServeConfig, ServeHandle, SharedState};
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use metrics::{render_stats_json, LatencyHistogram, MetricsSnapshot, ServeMetrics};
 pub use protocol::{
     read_frame, write_frame, ProtoError, Request, Response, Source, MAGIC, MAX_FRAME,
 };
 pub use shard::{ShardMsg, TIER_BASELINE, TIER_EXACT, TIER_FSM, TIER_QUANT};
+pub use stream_table::{StreamRef, StreamSet, StreamTable};
+pub use telemetry::{
+    run_aggregator, telemetry_channel, ShardTelemetry, TelemetryHub, TelemetryMsg,
+    TelemetrySnapshot,
+};

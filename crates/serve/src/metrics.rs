@@ -1,26 +1,30 @@
 //! Daemon-wide counters and the latency histogram.
 //!
-//! Counters are relaxed atomics: they are operator telemetry, not
-//! synchronisation, and the serving hot path must not contend on them.
-//! The histogram is log-bucketed (powers of two in nanoseconds), which
-//! bounds quantile error at 2× — plenty for p50/p99/p999 rows whose
-//! regressions of interest are order-of-magnitude.
+//! Since the telemetry sidecar landed (see [`crate::telemetry`]), the
+//! atomics here cover only *off-path* events — connection-thread sheds,
+//! panics, restarts, reloads, queue-full observations. Everything the
+//! decision path itself counts (served, per-tier decisions, deadline
+//! misses, latency) accumulates shard-locally and arrives through the
+//! sidecar; [`render_stats_json`] merges both halves into the one stats
+//! document clients read. The histogram is log-bucketed with four
+//! sub-buckets per octave, bounding quantile error at ≤25%.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::telemetry::TelemetrySnapshot;
 
 /// Number of ladder tiers accounted separately (FSM, quant net, exact net,
 /// scenario baseline — the ladder `lahd_core::build_ladder` produces).
 pub const TIERS: usize = 4;
 
-/// Daemon-wide counters; every field is monotonically increasing.
+/// Off-path daemon counters; every field is monotonically increasing.
+/// Decision-path counters live in [`crate::telemetry::ShardTelemetry`].
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
-    /// Decisions answered on the normal guarded path.
-    pub served: AtomicU64,
-    /// Decisions shed by admission control to the daemon fallback.
+    /// Decisions shed by *admission control* on connection threads (queue
+    /// persistently full). Shard-side sheds (stream-table capacity) are
+    /// counted in shard telemetry; the stats document sums both.
     pub shed: AtomicU64,
-    /// Decisions whose deadline expired in the queue.
-    pub deadline_misses: AtomicU64,
     /// Shard worker panics caught.
     pub panics: AtomicU64,
     /// Shard worker restarts completed.
@@ -31,8 +35,6 @@ pub struct ServeMetrics {
     pub reloads_rejected: AtomicU64,
     /// Enqueue attempts that found a shard queue full (before retries).
     pub queue_full: AtomicU64,
-    /// Guarded decisions served per ladder tier.
-    pub tier_decisions: [AtomicU64; TIERS],
 }
 
 impl ServeMetrics {
@@ -40,43 +42,60 @@ impl ServeMetrics {
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+}
 
-    /// Records one guarded decision served by `tier`.
-    pub fn record_served(&self, tier: usize) {
-        Self::bump(&self.served);
-        if let Some(c) = self.tier_decisions.get(tier) {
-            Self::bump(c);
-        }
-    }
-
-    /// Renders the snapshot as one JSON object (stable key order).
-    pub fn to_json(&self, generation: u64, shards: usize) -> String {
-        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let tiers: Vec<String> = self
-            .tier_decisions
-            .iter()
-            .map(|c| g(c).to_string())
-            .collect();
-        format!(
-            concat!(
-                "{{\"generation\":{},\"shards\":{},\"served\":{},\"shed\":{},",
-                "\"deadline_misses\":{},\"panics\":{},\"restarts\":{},",
-                "\"reloads_ok\":{},\"reloads_rejected\":{},\"queue_full\":{},",
-                "\"tier_decisions\":[{}]}}"
-            ),
-            generation,
-            shards,
-            g(&self.served),
-            g(&self.shed),
-            g(&self.deadline_misses),
-            g(&self.panics),
-            g(&self.restarts),
-            g(&self.reloads_ok),
-            g(&self.reloads_rejected),
-            g(&self.queue_full),
-            tiers.join(",")
-        )
-    }
+/// Renders the merged stats document (stable key order). The legacy keys
+/// keep their meaning — `served`, `deadline_misses`, `tier_decisions` now
+/// come from the sidecar, `shed` sums the connection- and shard-side
+/// counts — and the tiered-stream-state keys (`streams`, `lifecycle`,
+/// `latency`) extend the document; [`MetricsSnapshot::from_json`] ignores
+/// what it doesn't know, so old readers keep working.
+pub fn render_stats_json(
+    generation: u64,
+    shards: usize,
+    metrics: &ServeMetrics,
+    snap: &TelemetrySnapshot,
+) -> String {
+    let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let t = &snap.totals;
+    let tiers: Vec<String> = t.tier_decisions.iter().map(u64::to_string).collect();
+    format!(
+        concat!(
+            "{{\"generation\":{},\"shards\":{},\"served\":{},\"shed\":{},",
+            "\"deadline_misses\":{},\"panics\":{},\"restarts\":{},",
+            "\"reloads_ok\":{},\"reloads_rejected\":{},\"queue_full\":{},",
+            "\"tier_decisions\":[{}],",
+            "\"streams\":{{\"compact\":{},\"resident\":{},\"hibernated\":{}}},",
+            "\"lifecycle\":{{\"materializations\":{},\"releases\":{},\"audits\":{},",
+            "\"hibernates\":{},\"wakes\":{},\"evictions\":{}}},",
+            "\"arena_bytes\":{},",
+            "\"latency\":{{\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}}}"
+        ),
+        generation,
+        shards,
+        t.served,
+        g(&metrics.shed) + t.shed,
+        t.deadline_misses,
+        g(&metrics.panics),
+        g(&metrics.restarts),
+        g(&metrics.reloads_ok),
+        g(&metrics.reloads_rejected),
+        g(&metrics.queue_full),
+        tiers.join(","),
+        t.compact,
+        t.resident,
+        t.hibernated,
+        t.materializations,
+        t.releases,
+        t.audits,
+        t.hibernates,
+        t.wakes,
+        t.evictions,
+        t.arena_bytes,
+        t.latency.quantile(0.5),
+        t.latency.quantile(0.99),
+        t.latency.quantile(0.999),
+    )
 }
 
 /// A tiny snapshot of the counters, parsed back out of the JSON the daemon
@@ -87,7 +106,7 @@ pub struct MetricsSnapshot {
     pub generation: u64,
     /// Decisions served on the guarded path.
     pub served: u64,
-    /// Decisions shed by admission control.
+    /// Decisions shed by admission control (connection + shard side).
     pub shed: u64,
     /// Deadline misses answered from the fallback tier.
     pub deadline_misses: u64,
@@ -99,10 +118,24 @@ pub struct MetricsSnapshot {
     pub reloads_ok: u64,
     /// Reloads rejected.
     pub reloads_rejected: u64,
+    /// Gauge: compact streams resident in stream tables.
+    pub streams_compact: u64,
+    /// Gauge: streams holding a materialized full ladder.
+    pub streams_resident: u64,
+    /// Gauge: streams parked in hibernation arenas.
+    pub streams_hibernated: u64,
+    /// Streams parked into arenas, cumulative.
+    pub hibernates: u64,
+    /// Streams woken from arenas, cumulative.
+    pub wakes: u64,
+    /// Compact streams promoted to a full ladder, cumulative.
+    pub materializations: u64,
+    /// Full ladders released back to compact records, cumulative.
+    pub releases: u64,
 }
 
 impl MetricsSnapshot {
-    /// Parses the fields this struct carries out of [`ServeMetrics::to_json`]
+    /// Parses the fields this struct carries out of [`render_stats_json`]
     /// output. Unknown keys are ignored; missing keys default to zero.
     pub fn from_json(json: &str) -> Self {
         let field = |name: &str| -> u64 {
@@ -127,7 +160,20 @@ impl MetricsSnapshot {
             restarts: field("restarts"),
             reloads_ok: field("reloads_ok"),
             reloads_rejected: field("reloads_rejected"),
+            streams_compact: field("compact"),
+            streams_resident: field("resident"),
+            streams_hibernated: field("hibernated"),
+            hibernates: field("hibernates"),
+            wakes: field("wakes"),
+            materializations: field("materializations"),
+            releases: field("releases"),
         }
+    }
+
+    /// Live streams across tiers (the denominator serve-bench's
+    /// bytes/stream measurement divides by).
+    pub fn streams_total(&self) -> u64 {
+        self.streams_compact + self.streams_resident + self.streams_hibernated
     }
 }
 
@@ -143,8 +189,8 @@ const OCTAVES: usize = 40;
 /// Number of log-linear latency buckets.
 const BUCKETS: usize = OCTAVES * SUBS;
 
-/// Log-linear (HDR-style) latency histogram (single-threaded; the bench
-/// harness owns one per run).
+/// Log-linear (HDR-style) latency histogram (single-threaded; shards and
+/// the bench harness own one each, merged off-path by the aggregator).
 #[derive(Clone, Debug)]
 pub struct LatencyHistogram {
     counts: [u64; BUCKETS],
@@ -165,6 +211,14 @@ impl LatencyHistogram {
     pub fn record(&mut self, ns: u64) {
         self.counts[Self::bucket(ns)] += 1;
         self.total += 1;
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; exact).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
     }
 
     /// Bucket index: octave (floor log2) plus the next two mantissa bits.
@@ -222,22 +276,60 @@ impl LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::ShardTelemetry;
 
     #[test]
     fn metrics_json_roundtrips_through_snapshot() {
         let m = ServeMetrics::default();
-        m.record_served(0);
-        m.record_served(2);
         ServeMetrics::bump(&m.shed);
         ServeMetrics::bump(&m.panics);
         ServeMetrics::bump(&m.restarts);
-        let snap = MetricsSnapshot::from_json(&m.to_json(3, 2));
-        assert_eq!(snap.generation, 3);
-        assert_eq!(snap.served, 2);
-        assert_eq!(snap.shed, 1);
-        assert_eq!(snap.panics, 1);
-        assert_eq!(snap.restarts, 1);
-        assert_eq!(snap.reloads_rejected, 0);
+        let mut t = ShardTelemetry::default();
+        t.record_served(0, 500);
+        t.record_served(2, 900);
+        t.shed = 2;
+        t.compact = 4;
+        t.resident = 1;
+        t.hibernated = 6;
+        t.hibernates = 7;
+        t.wakes = 5;
+        t.materializations = 3;
+        t.releases = 2;
+        let snap = TelemetrySnapshot { totals: t };
+        let json = render_stats_json(3, 2, &m, &snap);
+        let parsed = MetricsSnapshot::from_json(&json);
+        assert_eq!(parsed.generation, 3);
+        assert_eq!(parsed.served, 2);
+        assert_eq!(parsed.shed, 3, "conn-side + shard-side sheds sum");
+        assert_eq!(parsed.panics, 1);
+        assert_eq!(parsed.restarts, 1);
+        assert_eq!(parsed.reloads_rejected, 0);
+        assert_eq!(parsed.streams_compact, 4);
+        assert_eq!(parsed.streams_resident, 1);
+        assert_eq!(parsed.streams_hibernated, 6);
+        assert_eq!(parsed.streams_total(), 11);
+        assert_eq!(parsed.hibernates, 7);
+        assert_eq!(parsed.wakes, 5);
+        assert_eq!(parsed.materializations, 3);
+        assert_eq!(parsed.releases, 2);
+        assert!(json.contains("\"tier_decisions\":[1,0,1,0]"));
+        assert!(json.contains("\"latency\":{\"p50_ns\":"));
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut whole = LatencyHistogram::default();
+        for (i, ns) in [100u64, 200, 400, 800, 100_000].iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*ns);
+            whole.record(*ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), whole.len());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
     }
 
     #[test]

@@ -1,32 +1,53 @@
-//! Shard workers: per-core serving threads with panic isolation.
+//! Shard workers: per-core serving threads with tiered per-stream state.
 //!
-//! Each shard owns the per-stream state for the streams hashed to it — a
-//! [`GuardedPolicy`] ladder per stream, with the two net tiers sharing the
-//! shard's packed engines and the FSM tier sharing the bundle's one
-//! compiled machine, all keeping their per-stream state in cells the
-//! worker can batch over. A drained queue batch is partitioned by active
-//! tier: streams currently served by a net tier go through one
-//! `infer_batch_into` call, FSM-tier streams through one compiled
-//! `step_batch` call (their guards informed via
-//! `GuardedPolicy::record_served`), everything else takes the scalar
-//! `act_vec` path. Batches are capped *below* the blocked-GEMM row cutoff,
-//! where the packed layers run one GEMV per row (the FSM evaluator chunks
-//! its encode the same way internally) — so an action never depends on
-//! which other streams happened to share its batch, and chaos summaries
-//! stay bit-reproducible.
+//! Each shard owns the streams hashed to it, kept in a generation-stamped
+//! [`StreamTable`] in one of two representations:
+//!
+//! - **Compact** ([`CompactStream`], ~96 B): a healthy FSM-tier stream
+//!   stores only its compiled cursor plus [`MicroHealth`] triage counters.
+//!   Decisions run through the shared compiled machine (batched SoA
+//!   `step_batch`, bit-identical to the scalar path); a tripped triage
+//!   signal or a periodic audit *materializes* the full ladder.
+//! - **Resident** (boxed, kB-scale): the full [`GuardedPolicy`] ladder —
+//!   shadow replay, drift windows, hysteresis — exactly the pre-tiered
+//!   per-stream state. A resident stream that serves healthily from the
+//!   FSM tier long enough is *released* back to a compact record
+//!   (discarding up to `flush_every` pending shadow comparisons — the
+//!   stream just proved itself healthy, so the trade is deliberate).
+//!
+//! Cold streams go a tier further down: a clock sweep hibernates compact
+//! streams idle past a threshold into the shard's serialized
+//! [`HibernationArena`]; they rehydrate bit-identically on their next
+//! request (the round-trip property [`CompactStream`] pins).
+//!
+//! Telemetry is off-path: the shard accumulates counters in a plain
+//! [`ShardTelemetry`] and flushes deltas to the sidecar aggregator at
+//! batch boundaries, *before* sending the batch's replies — so any
+//! response a client observes is preceded by its delta in the channel
+//! (see [`crate::telemetry`] for why that makes stats reads exact).
+//!
+//! Batches are capped *below* the blocked-GEMM row cutoff, where the
+//! packed layers run one GEMV per row (the FSM evaluator chunks its
+//! encode the same way internally) — so an action never depends on which
+//! other streams happened to share its batch, and chaos summaries stay
+//! bit-reproducible. Batch membership is deduplicated through a reusable
+//! [`StreamSet`] (open addressing, O(1) per request) instead of probing a
+//! `Vec` per request.
 //!
 //! Robustness: the worker body runs under `catch_unwind`; a panic (a bug,
 //! or an injected [`ShardMsg::Crash`]) is counted, the thread restarts
 //! with exponential backoff, and the shard's streams are re-admitted with
-//! reset state. The queue lives *outside* the restart loop, so requests
-//! enqueued while the worker was down are served after recovery instead of
-//! being dropped. Expired deadlines are answered from the shard's fallback
-//! policy at dequeue time. Hot reload is observed at batch boundaries: the
-//! worker compares the daemon's bundle generation and atomically swaps its
-//! local `Arc<ServeBundle>` (rebuilding stream state) between batches.
+//! reset state (telemetry accumulated since the last flush is lost — the
+//! chaos harness asserts exact totals on pre-chaos rounds only). The
+//! queue lives *outside* the restart loop, so requests enqueued while the
+//! worker was down are served after recovery instead of being dropped.
+//! Expired deadlines are answered from the shard's fallback policy at
+//! dequeue time. Hot reload is observed at batch boundaries: the worker
+//! compares the daemon's bundle generation and rebuilds everything —
+//! table *and* arena, since saved state ids are meaningless across
+//! machines — between batches.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::Ordering;
@@ -38,14 +59,19 @@ use lahd_core::SHADOW_TIER;
 use lahd_fsm::{
     BatchScratch, CompiledCursor, CompiledFsm, CompiledScratch, StepOutcome, VecPolicy,
 };
-use lahd_guard::{GuardConfig, GuardedPolicy};
+use lahd_guard::{
+    obs_hash, out_of_band, GuardConfig, GuardedPolicy, HealthState, MicroConfig, MicroVerdict,
+};
 use lahd_rl::InferScratch;
 use lahd_tensor::Matrix;
 
 use crate::bundle::ServeBundle;
+use crate::compact::{CompactStream, HibernationArena};
 use crate::daemon::SharedState;
 use crate::metrics::ServeMetrics;
 use crate::protocol::{Response, Source};
+use crate::stream_table::{StreamRef, StreamSet, StreamTable};
+use crate::telemetry::ShardTelemetry;
 
 /// Ladder tier indices, matching `lahd_core::build_ladder`.
 pub const TIER_FSM: usize = 0;
@@ -55,6 +81,14 @@ pub const TIER_QUANT: usize = 1;
 pub const TIER_EXACT: usize = 2;
 /// Scenario-baseline last resort (also the shed/deadline fallback).
 pub const TIER_BASELINE: usize = 3;
+
+/// Healthy FSM-tier decisions a resident stream must serve before it is
+/// released back to a compact record.
+const RELEASE_AFTER: u64 = 64;
+
+/// Slots the clock sweep examines per invocation (bounds sweep latency at
+/// large tables; the hand wraps, so coverage is eventual and fair).
+const SWEEP_CHUNK: usize = 1024;
 
 /// A message on a shard's queue.
 pub enum ShardMsg {
@@ -66,6 +100,8 @@ pub enum ShardMsg {
         stream: u64,
         /// Absolute deadline; expired work is answered from the fallback.
         deadline: Option<Instant>,
+        /// When admission accepted the request (latency histogram origin).
+        enqueued: Instant,
         /// The observation.
         obs: Vec<f32>,
         /// Where to send the [`Response::Decision`].
@@ -142,9 +178,10 @@ impl VecPolicy for EnginePolicy {
     }
 }
 
-/// Cursor + scratch one stream keeps on the compiled FSM tier, shared
-/// between the rung-0 [`VecPolicy`] wrapper and the shard's batched FSM
-/// path — the FSM analogue of [`NetState`].
+/// Cursor + scratch one *resident* stream keeps on the compiled FSM tier,
+/// shared between the rung-0 [`VecPolicy`] wrapper and the shard's batched
+/// FSM path — the FSM analogue of [`NetState`]. (Compact streams hold a
+/// bare cursor instead and share the shard-wide scratch.)
 struct FsmCell {
     cursor: CompiledCursor,
     scratch: CompiledScratch,
@@ -176,23 +213,46 @@ impl VecPolicy for FsmTierPolicy {
     }
 }
 
-/// Everything the shard keeps for one stream.
-struct StreamState {
+/// A stream holding the full materialized ladder.
+struct ResidentStream {
     guard: GuardedPolicy,
     /// Shared recurrent cells for [`TIER_QUANT`] and [`TIER_EXACT`].
     cells: [Rc<RefCell<NetState>>; 2],
     /// Shared compiled-FSM cursor for [`TIER_FSM`]; `None` when the
     /// bundle's machine didn't lower (rung 0 then runs the interpreter,
-    /// scalar only).
+    /// scalar only — and no stream is ever compact).
     fsm_cell: Option<Rc<RefCell<FsmCell>>>,
+    /// Lifetime decisions (carried across compact ⇄ resident).
+    decisions: u64,
+    /// Decisions served since this materialization.
+    resident_decisions: u64,
+    /// Shard tick of the last served decision.
+    last_tick: u64,
+    /// Whether this materialization was a periodic audit (holds one slot
+    /// of the shard's audit budget until release).
+    is_audit: bool,
 }
 
-fn make_stream(bundle: &Arc<ServeBundle>, stream: u64) -> StreamState {
+/// One stream's table entry: compact record or full ladder.
+enum StreamEntry {
+    Compact(CompactStream),
+    Resident(Box<ResidentStream>),
+}
+
+/// Builds a full ladder; `cursor` seeds the FSM tier mid-run when a
+/// compact stream materializes (so rung 0 continues the same trajectory).
+fn make_resident(
+    bundle: &Arc<ServeBundle>,
+    stream: u64,
+    cursor: Option<CompiledCursor>,
+) -> ResidentStream {
     let quant_cell = Rc::new(RefCell::new(NetState::new(bundle)));
     let exact_cell = Rc::new(RefCell::new(NetState::new(bundle)));
     let fsm_cell = bundle.compiled.as_ref().map(|compiled| {
         Rc::new(RefCell::new(FsmCell {
-            cursor: CompiledCursor::new(compiled),
+            cursor: cursor
+                .clone()
+                .unwrap_or_else(|| CompiledCursor::new(compiled)),
             scratch: compiled.make_scratch(),
         }))
     });
@@ -230,19 +290,44 @@ fn make_stream(bundle: &Arc<ServeBundle>, stream: u64) -> StreamState {
             .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         ..GuardConfig::default()
     };
-    StreamState {
+    ResidentStream {
         guard: GuardedPolicy::new(tiers, SHADOW_TIER, bundle.baseline.clone(), guard_cfg),
         cells: [quant_cell, exact_cell],
         fsm_cell,
+        decisions: 0,
+        resident_decisions: 0,
+        last_tick: 0,
+        is_audit: false,
     }
+}
+
+/// A reply staged until the batch's telemetry delta is flushed.
+struct Reply {
+    to: Sender<Response>,
+    resp: Response,
+    /// `(tier, enqueued)` for served decisions (feeds the latency
+    /// histogram); `None` for errors/deadline/shed answers.
+    served: Option<(usize, Instant)>,
+}
+
+/// First-audit schedule: staggered per stream so a cohort admitted
+/// together doesn't audit together (a synchronized audit wave would blow
+/// the audit budget and defer most of the cohort).
+fn first_audit(audit_every: u64, key: u64) -> u64 {
+    if audit_every == 0 {
+        return u64::MAX;
+    }
+    audit_every / 2 + (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % audit_every
 }
 
 /// One shard's mutable serving state; rebuilt from scratch after a panic
 /// restart or a bundle swap.
 struct ShardState {
+    shard_index: usize,
     bundle: Arc<ServeBundle>,
     generation: u64,
-    streams: HashMap<u64, StreamState>,
+    streams: StreamTable<StreamEntry>,
+    arena: HibernationArena,
     /// Shard-local fallback for expired deadlines and over-capacity
     /// streams (the scenario baseline, same policy as [`TIER_BASELINE`]).
     fallback: Box<dyn VecPolicy>,
@@ -250,12 +335,35 @@ struct ShardState {
     /// SoA staging for the batched FSM tier (`None` when the bundle's
     /// machine didn't lower), plus reusable per-batch buffers.
     fsm_scratch: Option<BatchScratch>,
+    /// Scalar compiled-step scratch for compact streams off the batch path
+    /// (repeat requests for a stream already in the batch).
+    fsm_scalar: Option<CompiledScratch>,
     fsm_states: Vec<u16>,
     fsm_outcomes: Vec<StepOutcome>,
+    /// Per-drain batch-membership set (cleared each batch, O(1) insert).
+    batched: StreamSet,
+    micro_cfg: MicroConfig,
+    /// Shard-local logical clock: one tick per drained batch or idle
+    /// interval. Hibernation idleness is measured in ticks.
+    tick: u64,
+    /// Clock-sweep hand over the table's slot span.
+    clock_hand: usize,
+    /// Materialized audits currently holding a budget slot.
+    audits_active: usize,
+    /// Gauge: compact entries in the table.
+    compact_count: u64,
+    /// Gauge: resident entries in the table.
+    resident_count: u64,
+    /// Off-path telemetry accumulator (flushed at batch boundaries).
+    telemetry: ShardTelemetry,
+    /// Replies staged during the batch, sent after the telemetry flush.
+    replies: Vec<Reply>,
+    /// Whether gauges changed since the last successful flush.
+    gauges_dirty: bool,
 }
 
 impl ShardState {
-    fn fresh(shared: &SharedState) -> Self {
+    fn fresh(shard_index: usize, shared: &SharedState) -> Self {
         let bundle = shared.bundle.lock().unwrap().clone();
         let generation = shared.generation.load(Ordering::Acquire);
         let fallback = bundle
@@ -268,155 +376,375 @@ impl ShardState {
             .compiled
             .as_deref()
             .map(CompiledFsm::make_batch_scratch);
+        let fsm_scalar = bundle.compiled.as_deref().map(CompiledFsm::make_scratch);
         Self {
+            shard_index,
             bundle,
             generation,
-            streams: HashMap::new(),
+            streams: StreamTable::with_capacity(1024),
+            arena: HibernationArena::new(shared.cfg.max_hibernated),
             fallback,
             batch_scratch: InferScratch::default(),
             fsm_scratch,
+            fsm_scalar,
             fsm_states: Vec::new(),
             fsm_outcomes: Vec::new(),
+            batched: StreamSet::with_capacity(shared.cfg.batch_max),
+            micro_cfg: MicroConfig::default(),
+            tick: 0,
+            clock_hand: 0,
+            audits_active: 0,
+            compact_count: 0,
+            resident_count: 0,
+            telemetry: ShardTelemetry::default(),
+            replies: Vec::new(),
+            gauges_dirty: true,
         }
     }
 
     /// Batch-boundary reload check: when the daemon has published a newer
     /// bundle generation, swap to it atomically (from this shard's point
-    /// of view) and re-admit streams with reset state.
+    /// of view) and re-admit streams with reset state. The hibernation
+    /// arena drops too — saved cursors are meaningless against the new
+    /// machine's state ids.
     fn maybe_swap_bundle(&mut self, shared: &SharedState) {
         let gen = shared.generation.load(Ordering::Acquire);
         if gen == self.generation {
             return;
         }
-        *self = Self::fresh(shared);
+        *self = Self::fresh(self.shard_index, shared);
     }
 
-    fn stream_mut(&mut self, stream: u64, max_streams: usize) -> Option<&mut StreamState> {
-        if !self.streams.contains_key(&stream) {
-            if self.streams.len() >= max_streams {
-                return None;
-            }
-            let state = make_stream(&self.bundle, stream);
-            self.streams.insert(stream, state);
+    /// Resolves `stream` to a live table entry, admitting it if needed:
+    /// wake from the arena first, else a fresh compact record (when the
+    /// machine lowered) or a fresh full ladder. `None` means the table is
+    /// at capacity and the request must shed. Hibernated streams do not
+    /// count against `max_streams`.
+    fn admit(&mut self, shared: &SharedState, stream: u64) -> Option<StreamRef> {
+        if let Some(r) = self.streams.lookup(stream) {
+            return Some(r);
         }
-        self.streams.get_mut(&stream)
+        if self.streams.len() >= shared.cfg.max_streams {
+            return None;
+        }
+        self.gauges_dirty = true;
+        if let Some(compact) = self.arena.wake(stream) {
+            self.telemetry.wakes += 1;
+            self.compact_count += 1;
+            return Some(self.streams.insert(stream, StreamEntry::Compact(compact)));
+        }
+        if self.fsm_scratch.is_some() {
+            let compiled = self
+                .bundle
+                .compiled
+                .as_ref()
+                .expect("batch scratch implies a compiled machine");
+            let compact = CompactStream::new(
+                CompiledCursor::new(compiled),
+                first_audit(shared.cfg.audit_every, stream),
+            );
+            self.compact_count += 1;
+            Some(self.streams.insert(stream, StreamEntry::Compact(compact)))
+        } else {
+            self.resident_count += 1;
+            let resident = make_resident(&self.bundle, stream, None);
+            Some(
+                self.streams
+                    .insert(stream, StreamEntry::Resident(Box::new(resident))),
+            )
+        }
     }
 
-    /// Serves one drained batch. Streams actively served by a net tier are
-    /// answered through one batched inference call per tier; everything
-    /// else (FSM/baseline tiers, repeat requests for a stream already in
-    /// the batch, expired deadlines) takes the scalar path, in arrival
-    /// order per stream.
+    /// Promotes a compact stream to the full ladder, seeding the new
+    /// guard's bookkeeping with the decision just served. In-place entry
+    /// replacement: the slot generation is untouched, so handles minted
+    /// this batch stay valid.
+    fn materialize(&mut self, r: StreamRef, obs: &[f32], served_action: usize, is_audit: bool) {
+        let Some(key) = self.streams.key_of(r) else {
+            return;
+        };
+        let Some(entry) = self.streams.get_mut(r) else {
+            return;
+        };
+        let StreamEntry::Compact(compact) = entry else {
+            return;
+        };
+        let cursor = compact.cursor.clone();
+        let decisions = compact.decisions;
+        let last_tick = compact.last_tick;
+        let mut resident = make_resident(&self.bundle, key, Some(cursor));
+        resident.decisions = decisions;
+        resident.last_tick = last_tick;
+        resident.is_audit = is_audit;
+        resident.guard.record_served(obs, served_action);
+        *entry = StreamEntry::Resident(Box::new(resident));
+        self.compact_count -= 1;
+        self.resident_count += 1;
+        self.telemetry.materializations += 1;
+        if is_audit {
+            self.telemetry.audits += 1;
+            self.audits_active += 1;
+        }
+        self.gauges_dirty = true;
+    }
+
+    /// Releases a resident stream back to a compact record when it has
+    /// proven healthy on the FSM tier — `min_decisions` served since
+    /// materialization (0 for the idle sweep), guard fully healthy, rung 0
+    /// active. Up to `flush_every` pending shadow comparisons are
+    /// discarded with the ladder (see module docs).
+    fn try_release(&mut self, shared: &SharedState, r: StreamRef, min_decisions: u64) {
+        let Some(entry) = self.streams.get_mut(r) else {
+            return;
+        };
+        let StreamEntry::Resident(resident) = entry else {
+            return;
+        };
+        if resident.resident_decisions < min_decisions
+            || resident.guard.state() != HealthState::Healthy
+            || resident.guard.active_tier() != TIER_FSM
+        {
+            return;
+        }
+        let Some(cell) = &resident.fsm_cell else {
+            return;
+        };
+        let cursor = cell.borrow().cursor.clone();
+        let was_audit = resident.is_audit;
+        let decisions = resident.decisions;
+        let last_tick = resident.last_tick;
+        let next_audit = if shared.cfg.audit_every == 0 {
+            u64::MAX
+        } else {
+            decisions + shared.cfg.audit_every
+        };
+        let mut compact = CompactStream::new(cursor, next_audit);
+        compact.decisions = decisions;
+        compact.last_tick = last_tick;
+        *entry = StreamEntry::Compact(compact);
+        self.resident_count -= 1;
+        self.compact_count += 1;
+        if was_audit {
+            self.audits_active = self.audits_active.saturating_sub(1);
+        }
+        self.telemetry.releases += 1;
+        self.gauges_dirty = true;
+    }
+
+    /// Finishes one FSM-tier decision (batched or scalar): applies the
+    /// outcome, stages the reply, and runs the per-kind bookkeeping —
+    /// triage + audit scheduling for compact streams, guard feeding +
+    /// release check for resident ones.
+    fn serve_fsm_row(
+        &mut self,
+        shared: &SharedState,
+        req: &DecideReq,
+        r: StreamRef,
+        outcome: StepOutcome,
+    ) {
+        let tick = self.tick;
+        let Some(entry) = self.streams.get_mut(r) else {
+            return;
+        };
+        match entry {
+            StreamEntry::Compact(compact) => {
+                let action = compact.cursor.apply(outcome);
+                compact.decisions += 1;
+                compact.last_tick = tick;
+                let oob = out_of_band(&req.obs, &self.bundle.band);
+                let verdict = compact.health.observe(
+                    &self.micro_cfg,
+                    obs_hash(&req.obs),
+                    outcome.unseen,
+                    oob,
+                );
+                let decisions = compact.decisions;
+                let audit_due = decisions >= compact.next_audit;
+                self.replies.push(Reply {
+                    to: req.reply.clone(),
+                    resp: Response::Decision {
+                        req_id: req.req_id,
+                        action: action as u16,
+                        tier: TIER_FSM as u8,
+                        source: Source::Guarded as u8,
+                    },
+                    served: Some((TIER_FSM, req.enqueued)),
+                });
+                match verdict {
+                    MicroVerdict::Promote(_reason) => {
+                        self.materialize(r, &req.obs, action, false);
+                    }
+                    MicroVerdict::Healthy if audit_due => {
+                        if self.audits_active < shared.cfg.audit_budget {
+                            self.materialize(r, &req.obs, action, true);
+                        } else if let Some(StreamEntry::Compact(compact)) = self.streams.get_mut(r)
+                        {
+                            // Budget exhausted: defer rather than skip, so
+                            // the audit still happens soon.
+                            compact.next_audit = decisions + shared.cfg.audit_every / 4 + 1;
+                        }
+                    }
+                    MicroVerdict::Healthy => {}
+                }
+            }
+            StreamEntry::Resident(resident) => {
+                let action = resident
+                    .fsm_cell
+                    .as_ref()
+                    .expect("FSM rows only routed with a cell")
+                    .borrow_mut()
+                    .cursor
+                    .apply(outcome);
+                resident.guard.record_served(&req.obs, action);
+                resident.decisions += 1;
+                resident.resident_decisions += 1;
+                resident.last_tick = tick;
+                self.replies.push(Reply {
+                    to: req.reply.clone(),
+                    resp: Response::Decision {
+                        req_id: req.req_id,
+                        action: action as u16,
+                        tier: TIER_FSM as u8,
+                        source: Source::Guarded as u8,
+                    },
+                    served: Some((TIER_FSM, req.enqueued)),
+                });
+                self.try_release(shared, r, RELEASE_AFTER);
+            }
+        }
+    }
+
+    /// Serves one drained batch. Compact streams and resident FSM-tier
+    /// streams share one SoA `step_batch` call; resident net-tier streams
+    /// go through one batched inference call per tier; everything else
+    /// (demoted tiers, repeat requests for a stream already in the batch,
+    /// expired deadlines) takes the scalar path, in arrival order per
+    /// stream. Replies are staged and sent only after the batch's
+    /// telemetry delta is flushed.
     fn process_batch(&mut self, shared: &SharedState, batch: Vec<DecideReq>) {
         let now = Instant::now();
         let obs_dim = self.bundle.obs_dim();
-        let metrics = &shared.metrics;
+        self.replies.clear();
 
         let mut live: Vec<DecideReq> = Vec::with_capacity(batch.len());
         for req in batch {
             if req.obs.len() != obs_dim {
-                let _ = req.reply.send(Response::Err(format!(
-                    "observation width {} does not match bundle {obs_dim}",
-                    req.obs.len()
-                )));
+                self.replies.push(Reply {
+                    to: req.reply.clone(),
+                    resp: Response::Err(format!(
+                        "observation width {} does not match bundle {obs_dim}",
+                        req.obs.len()
+                    )),
+                    served: None,
+                });
                 continue;
             }
             if req.deadline.is_some_and(|d| now > d) {
                 let action = self.fallback.act_vec(&req.obs) as u16;
-                ServeMetrics::bump(&metrics.deadline_misses);
-                let _ = req.reply.send(Response::Decision {
-                    req_id: req.req_id,
-                    action,
-                    tier: TIER_BASELINE as u8,
-                    source: Source::Deadline as u8,
+                self.telemetry.deadline_misses += 1;
+                self.replies.push(Reply {
+                    to: req.reply.clone(),
+                    resp: Response::Decision {
+                        req_id: req.req_id,
+                        action,
+                        tier: TIER_BASELINE as u8,
+                        source: Source::Deadline as u8,
+                    },
+                    served: None,
                 });
                 continue;
             }
             live.push(req);
         }
 
-        // Partition by active tier; first request per batchable-tier
-        // stream goes to that tier's batch (FSM tier included, when the
-        // machine lowered), the rest stay scalar.
+        // Partition by entry kind and active tier; first request per
+        // batchable stream goes to that tier's batch, the rest stay
+        // scalar. `batched` dedups in O(1) per request.
+        self.batched.clear();
         let fsm_batchable = self.fsm_scratch.is_some();
-        let mut fsm_batch: Vec<usize> = Vec::new();
-        let mut net_batches: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
-        let mut scalar: Vec<usize> = Vec::new();
-        let mut batched_streams: Vec<u64> = Vec::new();
+        let mut fsm_rows: Vec<(usize, StreamRef)> = Vec::new();
+        let mut net_batches: [Vec<(usize, StreamRef)>; 2] = [Vec::new(), Vec::new()];
+        let mut scalar: Vec<(usize, StreamRef)> = Vec::new();
         for (i, req) in live.iter().enumerate() {
-            let Some(state) = self.stream_mut(req.stream, shared.cfg.max_streams) else {
+            let Some(r) = self.admit(shared, req.stream) else {
                 let action = self.fallback.act_vec(&req.obs) as u16;
-                ServeMetrics::bump(&metrics.shed);
-                let _ = req.reply.send(Response::Decision {
-                    req_id: req.req_id,
-                    action,
-                    tier: TIER_BASELINE as u8,
-                    source: Source::Shed as u8,
+                self.telemetry.shed += 1;
+                self.replies.push(Reply {
+                    to: req.reply.clone(),
+                    resp: Response::Decision {
+                        req_id: req.req_id,
+                        action,
+                        tier: TIER_BASELINE as u8,
+                        source: Source::Shed as u8,
+                    },
+                    served: None,
                 });
                 continue;
             };
-            let tier = state.guard.active_tier();
-            let first = !batched_streams.contains(&req.stream);
-            if tier == TIER_FSM && first && fsm_batchable && state.fsm_cell.is_some() {
-                batched_streams.push(req.stream);
-                fsm_batch.push(i);
-            } else if (tier == TIER_QUANT || tier == TIER_EXACT) && first {
-                batched_streams.push(req.stream);
-                net_batches[tier - TIER_QUANT].push(i);
-            } else {
-                scalar.push(i);
+            let first = self.batched.insert(req.stream);
+            match self.streams.get(r).expect("freshly admitted handle") {
+                StreamEntry::Compact(_) => {
+                    if first && fsm_batchable {
+                        fsm_rows.push((i, r));
+                    } else {
+                        scalar.push((i, r));
+                    }
+                }
+                StreamEntry::Resident(resident) => {
+                    let tier = resident.guard.active_tier();
+                    if tier == TIER_FSM && first && fsm_batchable && resident.fsm_cell.is_some() {
+                        fsm_rows.push((i, r));
+                    } else if (tier == TIER_QUANT || tier == TIER_EXACT) && first {
+                        net_batches[tier - TIER_QUANT].push((i, r));
+                    } else {
+                        scalar.push((i, r));
+                    }
+                }
             }
         }
 
         // Batched FSM tier: one SoA step_batch call over all FSM-tier
-        // streams, each row against its own cursor state. Bit-identical to
-        // the scalar rung-0 path, so guard bookkeeping (via
-        // `record_served`) and chaos summaries are unchanged.
-        if !fsm_batch.is_empty() {
+        // rows — compact and resident mixed, each row against its own
+        // cursor state. Bit-identical to the scalar rung-0 path, so guard
+        // bookkeeping and chaos summaries are unchanged.
+        if !fsm_rows.is_empty() {
             let compiled = self
                 .bundle
                 .compiled
                 .clone()
                 .expect("FSM batch only built when the machine lowered");
+            self.fsm_states.clear();
+            for &(_, r) in &fsm_rows {
+                let state = match self.streams.get(r).expect("routed handle") {
+                    StreamEntry::Compact(compact) => compact.cursor.state(),
+                    StreamEntry::Resident(resident) => resident
+                        .fsm_cell
+                        .as_ref()
+                        .expect("FSM rows only routed with a cell")
+                        .borrow()
+                        .cursor
+                        .state(),
+                };
+                self.fsm_states.push(state);
+            }
+            self.fsm_outcomes.clear();
             let scratch = self
                 .fsm_scratch
                 .as_mut()
                 .expect("FSM batch only built with a scratch");
-            self.fsm_states.clear();
-            for &i in &fsm_batch {
-                let state = &self.streams[&live[i].stream];
-                let cell = state.fsm_cell.as_ref().expect("partition checked the cell");
-                self.fsm_states.push(cell.borrow().cursor.state());
-            }
-            self.fsm_outcomes.clear();
             compiled.step_batch(
-                fsm_batch.iter().map(|&i| live[i].obs.as_slice()),
+                fsm_rows.iter().map(|&(i, _)| live[i].obs.as_slice()),
                 &self.fsm_states,
                 scratch,
                 &mut self.fsm_outcomes,
             );
-            for (r, &i) in fsm_batch.iter().enumerate() {
-                let req = &live[i];
-                let outcome = self.fsm_outcomes[r];
-                let state = self.streams.get_mut(&req.stream).expect("stream exists");
-                let action = state
-                    .fsm_cell
-                    .as_ref()
-                    .expect("partition checked the cell")
-                    .borrow_mut()
-                    .cursor
-                    .apply(outcome);
-                state.guard.record_served(&req.obs, action);
-                metrics.record_served(TIER_FSM);
-                let _ = req.reply.send(Response::Decision {
-                    req_id: req.req_id,
-                    action: action as u16,
-                    tier: TIER_FSM as u8,
-                    source: Source::Guarded as u8,
-                });
+            for (row, &(i, r)) in fsm_rows.iter().enumerate() {
+                let outcome = self.fsm_outcomes[row];
+                self.serve_fsm_row(shared, &live[i], r, outcome);
             }
         }
 
+        let tick = self.tick;
         for (which, idxs) in net_batches.iter().enumerate() {
             if idxs.is_empty() {
                 continue;
@@ -426,12 +754,15 @@ impl ShardState {
             let rows = idxs.len();
             let mut obs_m = Matrix::zeros(rows, obs_dim);
             let mut hidden_m = Matrix::zeros(rows, agent.hidden_dim());
-            for (r, &i) in idxs.iter().enumerate() {
-                let req = &live[i];
-                obs_m.row_mut(r).copy_from_slice(&req.obs);
-                let state = &self.streams[&req.stream];
-                let cell = state.cells[which].borrow();
-                hidden_m.row_mut(r).copy_from_slice(cell.hidden.row(0));
+            for (row, &(i, r)) in idxs.iter().enumerate() {
+                obs_m.row_mut(row).copy_from_slice(&live[i].obs);
+                let StreamEntry::Resident(resident) = self.streams.get(r).expect("routed handle")
+                else {
+                    unreachable!("net batches only route resident streams");
+                };
+                hidden_m
+                    .row_mut(row)
+                    .copy_from_slice(resident.cells[which].borrow().hidden.row(0));
             }
             let engine = if tier == TIER_QUANT {
                 &self.bundle.quant
@@ -439,39 +770,169 @@ impl ShardState {
                 &self.bundle.exact
             };
             engine.infer_batch_into(agent, &obs_m, &hidden_m, &mut self.batch_scratch);
-            for (r, &i) in idxs.iter().enumerate() {
+            for (row, &(i, r)) in idxs.iter().enumerate() {
                 let req = &live[i];
-                let action = self.batch_scratch.logits.argmax_row(r);
-                let state = self.streams.get_mut(&req.stream).expect("stream exists");
-                state.cells[which]
+                let action = self.batch_scratch.logits.argmax_row(row);
+                let StreamEntry::Resident(resident) =
+                    self.streams.get_mut(r).expect("routed handle")
+                else {
+                    unreachable!("net batches only route resident streams");
+                };
+                resident.cells[which]
                     .borrow_mut()
                     .hidden
                     .row_mut(0)
-                    .copy_from_slice(self.batch_scratch.hidden.row(r));
-                state.guard.record_served(&req.obs, action);
-                metrics.record_served(tier);
-                let _ = req.reply.send(Response::Decision {
-                    req_id: req.req_id,
-                    action: action as u16,
-                    tier: tier as u8,
-                    source: Source::Guarded as u8,
+                    .copy_from_slice(self.batch_scratch.hidden.row(row));
+                resident.guard.record_served(&req.obs, action);
+                resident.decisions += 1;
+                resident.resident_decisions += 1;
+                resident.last_tick = tick;
+                self.replies.push(Reply {
+                    to: req.reply.clone(),
+                    resp: Response::Decision {
+                        req_id: req.req_id,
+                        action: action as u16,
+                        tier: tier as u8,
+                        source: Source::Guarded as u8,
+                    },
+                    served: Some((tier, req.enqueued)),
                 });
             }
         }
 
-        for &i in &scalar {
+        for &(i, r) in &scalar {
             let req = &live[i];
-            let state = self.streams.get_mut(&req.stream).expect("stream exists");
-            let tier = state.guard.active_tier();
-            let action = state.guard.act_vec(&req.obs) as u16;
-            metrics.record_served(tier);
-            let _ = req.reply.send(Response::Decision {
-                req_id: req.req_id,
-                action,
-                tier: tier as u8,
-                source: Source::Guarded as u8,
+            // Re-match the entry kind now: an earlier row of this batch may
+            // have materialized (or released) this stream.
+            let is_compact = matches!(self.streams.get(r), Some(StreamEntry::Compact(_)));
+            if is_compact {
+                let compiled = self
+                    .bundle
+                    .compiled
+                    .clone()
+                    .expect("compact entries only exist with a compiled machine");
+                let state = {
+                    let Some(StreamEntry::Compact(compact)) = self.streams.get(r) else {
+                        continue;
+                    };
+                    compact.cursor.state()
+                };
+                let scratch = self
+                    .fsm_scalar
+                    .as_mut()
+                    .expect("compact entries only exist with a scalar scratch");
+                let outcome = compiled.step(&req.obs, state, scratch);
+                self.serve_fsm_row(shared, req, r, outcome);
+                continue;
+            }
+            let Some(StreamEntry::Resident(resident)) = self.streams.get_mut(r) else {
+                continue;
+            };
+            let tier = resident.guard.active_tier();
+            let action = resident.guard.act_vec(&req.obs) as u16;
+            resident.decisions += 1;
+            resident.resident_decisions += 1;
+            resident.last_tick = tick;
+            self.replies.push(Reply {
+                to: req.reply.clone(),
+                resp: Response::Decision {
+                    req_id: req.req_id,
+                    action,
+                    tier: tier as u8,
+                    source: Source::Guarded as u8,
+                },
+                served: Some((tier, req.enqueued)),
             });
+            if tier == TIER_FSM {
+                self.try_release(shared, r, RELEASE_AFTER);
+            }
         }
+
+        self.finish_replies(shared);
+    }
+
+    /// Records latencies, flushes the telemetry delta, and only then sends
+    /// the staged replies — the flush-before-reply ordering the sidecar's
+    /// exactness argument rests on.
+    fn finish_replies(&mut self, shared: &SharedState) {
+        let end = Instant::now();
+        for reply in &self.replies {
+            if let Some((tier, enqueued)) = reply.served {
+                self.telemetry
+                    .record_served(tier, end.duration_since(enqueued).as_nanos() as u64);
+            }
+        }
+        self.flush_telemetry(shared);
+        for reply in self.replies.drain(..) {
+            let _ = reply.to.send(reply.resp);
+        }
+    }
+
+    /// Stamps current gauges and attempts a sidecar flush. Gauges are
+    /// absolute levels the aggregator replaces per shard, so they must be
+    /// fresh on *every* delta; `gauges_dirty` only forces a flush when the
+    /// counters alone would not (gauge-only changes, e.g. a sweep).
+    fn flush_telemetry(&mut self, shared: &SharedState) {
+        self.telemetry.compact = self.compact_count;
+        self.telemetry.resident = self.resident_count;
+        self.telemetry.hibernated = self.arena.len() as u64;
+        self.telemetry.arena_bytes = self.arena.arena_bytes();
+        if shared
+            .telemetry
+            .flush(self.shard_index, &mut self.telemetry, self.gauges_dirty)
+        {
+            self.gauges_dirty = false;
+        }
+    }
+
+    /// Clock sweep: examine up to [`SWEEP_CHUNK`] slots and push idle
+    /// streams down the state ladder — resident → compact (idle release),
+    /// compact → arena (hibernate). Two sweep passes therefore take a
+    /// long-idle resident stream all the way to the arena.
+    fn sweep(&mut self, shared: &SharedState) {
+        if shared.cfg.hibernate_after == 0 {
+            return;
+        }
+        let span = self.streams.slot_span();
+        if span == 0 {
+            return;
+        }
+        for _ in 0..SWEEP_CHUNK.min(span) {
+            let pos = self.clock_hand % span;
+            self.clock_hand = self.clock_hand.wrapping_add(1);
+            let Some(key) = self.streams.key_at_clock(pos) else {
+                continue;
+            };
+            let Some(r) = self.streams.lookup(key) else {
+                continue;
+            };
+            match self.streams.get(r) {
+                Some(StreamEntry::Compact(compact)) => {
+                    if self.tick.saturating_sub(compact.last_tick) >= shared.cfg.hibernate_after {
+                        self.hibernate_stream(key);
+                    }
+                }
+                Some(StreamEntry::Resident(resident)) => {
+                    if self.tick.saturating_sub(resident.last_tick) >= shared.cfg.hibernate_after {
+                        self.try_release(shared, r, 0);
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Moves a compact stream from the table into the arena.
+    fn hibernate_stream(&mut self, key: u64) {
+        let Some(StreamEntry::Compact(compact)) = self.streams.remove(key) else {
+            return;
+        };
+        let evicted_before = self.arena.evicted();
+        self.arena.hibernate(key, &compact);
+        self.telemetry.hibernates += 1;
+        self.telemetry.evictions += self.arena.evicted() - evicted_before;
+        self.compact_count -= 1;
+        self.gauges_dirty = true;
     }
 }
 
@@ -480,6 +941,7 @@ struct DecideReq {
     req_id: u64,
     stream: u64,
     deadline: Option<Instant>,
+    enqueued: Instant,
     obs: Vec<f32>,
     reply: Sender<Response>,
 }
@@ -487,10 +949,10 @@ struct DecideReq {
 /// The shard thread body: serve until shutdown, restarting the serving
 /// loop with exponential backoff whenever it panics. The queue receiver
 /// outlives the panic, so in-flight requests survive worker crashes.
-pub fn run_shard(rx: Receiver<ShardMsg>, shared: Arc<SharedState>) {
+pub fn run_shard(index: usize, rx: Receiver<ShardMsg>, shared: Arc<SharedState>) {
     let mut backoff_ms = shared.cfg.restart_backoff_ms.max(1);
     loop {
-        let outcome = catch_unwind(AssertUnwindSafe(|| serve_loop(&rx, &shared)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_loop(index, &rx, &shared)));
         match outcome {
             Ok(()) => return,
             Err(_) => {
@@ -506,9 +968,10 @@ pub fn run_shard(rx: Receiver<ShardMsg>, shared: Arc<SharedState>) {
     }
 }
 
-fn serve_loop(rx: &Receiver<ShardMsg>, shared: &SharedState) {
-    let mut state = ShardState::fresh(shared);
+fn serve_loop(index: usize, rx: &Receiver<ShardMsg>, shared: &SharedState) {
+    let mut state = ShardState::fresh(index, shared);
     let batch_max = shared.cfg.batch_max;
+    let sweep_every = shared.cfg.sweep_every.max(1);
     loop {
         state.maybe_swap_bundle(shared);
         let first = match rx.recv_timeout(Duration::from_millis(20)) {
@@ -517,6 +980,13 @@ fn serve_loop(rx: &Receiver<ShardMsg>, shared: &SharedState) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // Idle interval: advance the clock, sweep, and retry any
+                // deferred/gauge-only telemetry.
+                state.tick += 1;
+                if state.tick % sweep_every == 0 {
+                    state.sweep(shared);
+                }
+                state.flush_telemetry(shared);
                 continue;
             }
             Err(RecvTimeoutError::Disconnected) => return,
@@ -528,12 +998,14 @@ fn serve_loop(rx: &Receiver<ShardMsg>, shared: &SharedState) {
                 req_id,
                 stream,
                 deadline,
+                enqueued,
                 obs,
                 reply,
             } => batch.push(DecideReq {
                 req_id,
                 stream,
                 deadline,
+                enqueued,
                 obs,
                 reply,
             }),
@@ -545,12 +1017,14 @@ fn serve_loop(rx: &Receiver<ShardMsg>, shared: &SharedState) {
                     req_id,
                     stream,
                     deadline,
+                    enqueued,
                     obs,
                     reply,
                 }) => batch.push(DecideReq {
                     req_id,
                     stream,
                     deadline,
+                    enqueued,
                     obs,
                     reply,
                 }),
@@ -559,7 +1033,11 @@ fn serve_loop(rx: &Receiver<ShardMsg>, shared: &SharedState) {
             }
         }
         if !batch.is_empty() {
+            state.tick += 1;
             state.process_batch(shared, batch);
+            if state.tick % sweep_every == 0 {
+                state.sweep(shared);
+            }
         }
         match control {
             Some(ShardMsg::Shutdown) => return,

@@ -1,0 +1,318 @@
+//! The off-path telemetry sidecar: shard-local accumulation, a bounded
+//! channel, one aggregator thread.
+//!
+//! The decision path used to bump shared atomics per decision
+//! (`served`, `tier_decisions[...]`) — harmless at 2 shards, a cache-line
+//! ping-pong machine at 16. Now every shard owns a plain
+//! [`ShardTelemetry`] (no atomics, no sharing) and flushes *deltas* over
+//! a bounded channel at batch boundaries; a dedicated aggregator thread
+//! merges them and publishes an immutable [`TelemetrySnapshot`] the stats
+//! endpoint reads. Decision-path cost: plain integer adds, one `try_send`
+//! per batch.
+//!
+//! Consistency: the chaos tests assert exact totals (`served ==
+//! requests`) immediately after a run, so "eventually consistent" is not
+//! good enough. Two mechanisms close the gap deterministically:
+//!
+//! - **flush-before-reply** — a shard enqueues its telemetry delta
+//!   *before* sending the batch's replies, so any observable response is
+//!   preceded by its delta in the channel;
+//! - **sync barrier** — a stats request posts [`TelemetryMsg::Sync`]
+//!   through the same FIFO channel and waits for the aggregator's ack;
+//!   by FIFO, every delta flushed before the request is merged when the
+//!   snapshot is taken.
+//!
+//! If the channel is full at flush time the shard *keeps accumulating*
+//! and retries at the next boundary — deltas are never dropped, only
+//! deferred (the one exception: a worker panic loses the counters since
+//! its last flush, which the chaos tests tolerate by asserting on
+//! pre-chaos rounds only).
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::metrics::{LatencyHistogram, TIERS};
+
+/// Per-shard counters and gauges, accumulated without synchronisation.
+/// All counter fields are monotonic within one flush interval; gauges
+/// (`compact`, `resident`, `hibernated`, `arena_bytes`) are absolute
+/// levels the aggregator replaces per shard instead of summing.
+#[derive(Clone, Debug, Default)]
+pub struct ShardTelemetry {
+    /// Decisions answered on the guarded/compact path.
+    pub served: u64,
+    /// Decisions shed in the shard (stream-table capacity).
+    pub shed: u64,
+    /// Decisions whose deadline expired in the queue.
+    pub deadline_misses: u64,
+    /// Decisions per ladder tier.
+    pub tier_decisions: [u64; TIERS],
+    /// Queue-to-reply latency histogram.
+    pub latency: LatencyHistogram,
+    /// Compact streams promoted to the full resident ladder.
+    pub materializations: u64,
+    /// Resident streams released back to compact records.
+    pub releases: u64,
+    /// Periodic full-guard audits started.
+    pub audits: u64,
+    /// Streams parked into the hibernation arena.
+    pub hibernates: u64,
+    /// Streams woken from the arena.
+    pub wakes: u64,
+    /// Hibernated streams forgotten by arena eviction.
+    pub evictions: u64,
+    /// Gauge: compact streams resident in the table.
+    pub compact: u64,
+    /// Gauge: streams holding a full materialized ladder.
+    pub resident: u64,
+    /// Gauge: streams parked in the arena.
+    pub hibernated: u64,
+    /// Gauge: arena slab bytes.
+    pub arena_bytes: u64,
+}
+
+impl ShardTelemetry {
+    /// Records one served decision.
+    pub fn record_served(&mut self, tier: usize, latency_ns: u64) {
+        self.served += 1;
+        if let Some(c) = self.tier_decisions.get_mut(tier) {
+            *c += 1;
+        }
+        self.latency.record(latency_ns);
+    }
+
+    /// Whether a flush would carry any information.
+    fn is_quiet(&self) -> bool {
+        self.served == 0
+            && self.shed == 0
+            && self.deadline_misses == 0
+            && self.materializations == 0
+            && self.releases == 0
+            && self.audits == 0
+            && self.hibernates == 0
+            && self.wakes == 0
+            && self.evictions == 0
+    }
+}
+
+/// What travels over the sidecar channel.
+pub enum TelemetryMsg {
+    /// A shard's accumulated delta (counters) + current gauges.
+    Delta {
+        /// Originating shard index (gauges replace per shard).
+        shard: usize,
+        /// The accumulated telemetry since the last successful flush.
+        delta: Box<ShardTelemetry>,
+    },
+    /// Merge everything queued ahead of this message, publish a snapshot,
+    /// then ack — the stats endpoint's read barrier.
+    Sync(SyncSender<()>),
+}
+
+/// An immutable merged view the stats endpoint renders from.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Summed counters across shards (gauges summed over latest-per-shard).
+    pub totals: ShardTelemetry,
+}
+
+/// The shard-facing half: a sender plus the published snapshot cell.
+#[derive(Clone)]
+pub struct TelemetryHub {
+    /// Bounded channel into the aggregator.
+    pub tx: SyncSender<TelemetryMsg>,
+    snapshot: Arc<Mutex<Arc<TelemetrySnapshot>>>,
+}
+
+impl TelemetryHub {
+    /// Attempts to flush `local` as a delta from `shard`; returns whether
+    /// the delta actually left. On success the accumulator is reset
+    /// (gauges are re-stamped by the caller each flush); on a full channel
+    /// the accumulator is left intact for the next boundary. Quiet
+    /// accumulators are skipped unless `force` (gauge-only changes ride a
+    /// forced flush).
+    pub fn flush(&self, shard: usize, local: &mut ShardTelemetry, force: bool) -> bool {
+        if local.is_quiet() && !force {
+            return false;
+        }
+        let delta = Box::new(std::mem::take(local));
+        match self.tx.try_send(TelemetryMsg::Delta { shard, delta }) {
+            Ok(()) => true,
+            Err(TrySendError::Full(TelemetryMsg::Delta { delta, .. })) => {
+                // Put the accumulator back; retry next boundary.
+                *local = *delta;
+                false
+            }
+            Err(_) => true, // aggregator gone (shutdown); nothing to retry for
+        }
+    }
+
+    /// The latest published snapshot (no barrier; see [`TelemetryHub::sync`]).
+    pub fn snapshot(&self) -> Arc<TelemetrySnapshot> {
+        self.snapshot.lock().unwrap().clone()
+    }
+
+    /// Read barrier: waits (bounded) until every delta queued before this
+    /// call is merged, then returns the fresh snapshot. Falls back to the
+    /// stale snapshot if the aggregator is gone (shutdown races).
+    pub fn sync(&self) -> Arc<TelemetrySnapshot> {
+        let (ack_tx, ack_rx) = std::sync::mpsc::sync_channel(1);
+        if self.tx.send(TelemetryMsg::Sync(ack_tx)).is_ok() {
+            let _ = ack_rx.recv_timeout(Duration::from_secs(2));
+        }
+        self.snapshot()
+    }
+}
+
+/// Builds the hub + aggregator state pair. `capacity` bounds the channel
+/// (shards block nothing on overflow — they defer, see module docs).
+pub fn telemetry_channel(capacity: usize) -> (TelemetryHub, Receiver<TelemetryMsg>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+    (
+        TelemetryHub {
+            tx,
+            snapshot: Arc::new(Mutex::new(Arc::new(TelemetrySnapshot::default()))),
+        },
+        rx,
+    )
+}
+
+/// The aggregator thread body: drain deltas, merge, publish. Exits when
+/// every sender hangs up or `shutdown` reads true on an idle interval.
+pub fn run_aggregator(
+    rx: Receiver<TelemetryMsg>,
+    hub: TelemetryHub,
+    shards: usize,
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+) {
+    let mut counters = ShardTelemetry::default();
+    let mut gauges: Vec<(u64, u64, u64, u64)> = vec![(0, 0, 0, 0); shards];
+    loop {
+        let msg = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(std::sync::atomic::Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        match msg {
+            TelemetryMsg::Delta { shard, delta } => {
+                counters.served += delta.served;
+                counters.shed += delta.shed;
+                counters.deadline_misses += delta.deadline_misses;
+                for (a, b) in counters
+                    .tier_decisions
+                    .iter_mut()
+                    .zip(&delta.tier_decisions)
+                {
+                    *a += b;
+                }
+                counters.latency.merge(&delta.latency);
+                counters.materializations += delta.materializations;
+                counters.releases += delta.releases;
+                counters.audits += delta.audits;
+                counters.hibernates += delta.hibernates;
+                counters.wakes += delta.wakes;
+                counters.evictions += delta.evictions;
+                if let Some(g) = gauges.get_mut(shard) {
+                    *g = (
+                        delta.compact,
+                        delta.resident,
+                        delta.hibernated,
+                        delta.arena_bytes,
+                    );
+                }
+                publish(&hub, &counters, &gauges);
+            }
+            TelemetryMsg::Sync(ack) => {
+                publish(&hub, &counters, &gauges);
+                let _ = ack.try_send(());
+            }
+        }
+    }
+}
+
+fn publish(hub: &TelemetryHub, counters: &ShardTelemetry, gauges: &[(u64, u64, u64, u64)]) {
+    let mut totals = counters.clone();
+    for &(c, r, h, a) in gauges {
+        totals.compact += c;
+        totals.resident += r;
+        totals.hibernated += h;
+        totals.arena_bytes += a;
+    }
+    *hub.snapshot.lock().unwrap() = Arc::new(TelemetrySnapshot { totals });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn deltas_merge_and_sync_is_a_read_barrier() {
+        let (hub, rx) = telemetry_channel(16);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let agg = {
+            let hub = hub.clone();
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || run_aggregator(rx, hub, 2, shutdown))
+        };
+        let mut a = ShardTelemetry::default();
+        a.record_served(0, 1000);
+        a.record_served(1, 2000);
+        a.compact = 5;
+        let mut b = ShardTelemetry::default();
+        b.record_served(0, 1500);
+        b.shed = 2;
+        b.compact = 7;
+        b.hibernated = 3;
+        hub.flush(0, &mut a, false);
+        hub.flush(1, &mut b, false);
+        assert_eq!(a.served, 0, "flush takes the accumulator");
+        let snap = hub.sync();
+        assert_eq!(snap.totals.served, 3);
+        assert_eq!(snap.totals.shed, 2);
+        assert_eq!(snap.totals.tier_decisions[0], 2);
+        assert_eq!(snap.totals.tier_decisions[1], 1);
+        assert_eq!(snap.totals.compact, 12, "gauges sum across shards");
+        assert_eq!(snap.totals.hibernated, 3);
+        assert_eq!(snap.totals.latency.len(), 3);
+        // Gauges replace per shard: a later flush from shard 1 updates,
+        // not doubles.
+        let mut b2 = ShardTelemetry::default();
+        b2.record_served(0, 100);
+        b2.compact = 1;
+        hub.flush(1, &mut b2, false);
+        let snap = hub.sync();
+        assert_eq!(snap.totals.compact, 6);
+        assert_eq!(snap.totals.served, 4);
+        shutdown.store(true, std::sync::atomic::Ordering::Release);
+        drop(hub);
+        agg.join().unwrap();
+    }
+
+    #[test]
+    fn full_channel_defers_instead_of_dropping() {
+        let (hub, rx) = telemetry_channel(1);
+        let mut t = ShardTelemetry::default();
+        t.record_served(0, 10);
+        hub.flush(0, &mut t, false);
+        // Channel now full; the second flush must put the delta back.
+        let mut t2 = ShardTelemetry::default();
+        t2.record_served(2, 20);
+        t2.shed = 1;
+        hub.flush(0, &mut t2, false);
+        assert_eq!(t2.served, 1, "deferred, not dropped");
+        assert_eq!(t2.shed, 1);
+        // Quiet accumulators are skipped without touching the channel.
+        let mut quiet = ShardTelemetry::default();
+        quiet.compact = 9;
+        hub.flush(0, &mut quiet, false);
+        assert_eq!(quiet.compact, 9, "quiet flush skipped");
+        drop(rx);
+    }
+}

@@ -31,6 +31,13 @@
 # in the tail quantiles — observed same-baseline swings reach 10x with
 # every other row quiet — so any threshold on them either flakes or is
 # vacuous. They stay in the snapshots as trajectory data.
+#
+# serve_streams/* splits the same way: the *_per_sec rate rows are gated
+# (higher is better, like serve_throughput), while the
+# *_bytes_per_stream rows are INFORMATIONAL — at the small sweep sizes
+# the per-stream delta is dominated by table preallocation slack (the 1k
+# row reads single-digit bytes), so relative thresholds on them flake;
+# the absolute ≤256 B/stream budget is enforced by verify.sh instead.
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
@@ -69,7 +76,7 @@ BEGIN {
     # Wall-clock daemon quantiles get 4x headroom; tail quantiles are
     # informational only (see header).
     row_thr = (name ~ /serve_latency/) ? thr * 4 : thr
-    informational = (name ~ /serve_latency\/p9/)
+    informational = (name ~ /serve_latency\/p9/ || name ~ /bytes_per_stream/)
     mark = ""
     if (severity > row_thr) {
         if (informational) {

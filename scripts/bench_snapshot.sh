@@ -71,6 +71,17 @@ target/release/lahd serve-bench --scale tiny --artifacts "$serve_dir" \
     --bench-json "$serve_dir/rows.json" >/dev/null
 grep "serve_latency" "$serve_dir/rows.json" >> "$tmp"
 
+# Memory-scaling rows (serve_streams/*): the streams sweep self-hosts one
+# daemon per size, admits every stream with a closed-loop warm round, and
+# reports closed-loop decisions/sec plus measured bytes/stream (counting
+# allocator + VmRSS). Rate rows are gated higher-is-better by
+# bench_compare.sh; the bytes rows are informational trajectory data —
+# the hard ≤256 B/stream budget is verify.sh's absolute gate.
+target/release/lahd serve-bench --scale tiny --artifacts "$serve_dir" \
+    --streams-sweep 1000,10000,100000 --shards 2 \
+    --bench-json "$serve_dir/rows.json" >/dev/null
+grep "serve_streams" "$serve_dir/rows.json" >> "$tmp"
+
 awk 'BEGIN { print "{"; first = 1 }
 /"bench"/ {
     line = $0

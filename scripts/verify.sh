@@ -28,9 +28,12 @@
 # 7. Serving gate: a self-hosted `lahd serve-bench --chaos` run over tiny
 #    artifacts (shard kill + burst + corrupt hot reload must all be
 #    survived with the old generation still serving) whose per-tier
-#    decision counts must show the compiled FSM tier serving, then an
-#    external `lahd serve` process driven over its Unix socket and shut
-#    down via a protocol request — the daemon must exit 0.
+#    decision counts must show the compiled FSM tier serving; a
+#    100k-stream sweep that must admit ≥99% of streams within the
+#    ≤256 B/stream live-heap budget (LAHD_SWEEP_BYTES_BUDGET) and a
+#    coarse RSS ceiling (LAHD_SWEEP_RSS_MB); then an external
+#    `lahd serve` process driven over its Unix socket and shut down via
+#    a protocol request — the daemon must exit 0.
 # 8. Quick-mode bench snapshot compared against the latest committed
 #    BENCH_<n>.json with a loose 50% threshold, so a hot-path regression
 #    fails verification instead of only surfacing in the next snapshot.
@@ -110,6 +113,41 @@ fi
 if ! grep -qE "tiers fsm=[1-9][0-9]*" <<<"$serve_out"; then
     echo "serve-bench reported no compiled-FSM-tier decisions:"
     echo "$serve_out"
+    exit 1
+fi
+
+echo "== serving gate: 100k-stream sweep under the per-stream memory budget"
+# The tiered stream-state acceptance: a self-hosted daemon must admit
+# 100k concurrent streams, keep healthy FSM-tier streams within the
+# compact budget (measured live-heap bytes/stream via the CLI's counting
+# allocator; override with LAHD_SWEEP_BYTES_BUDGET), stay under a coarse
+# RSS-growth ceiling, and answer overload with labelled sheds rather
+# than errors (a shed response is a success exit here — only a protocol
+# error or a missed budget fails).
+sweep_json="$smoke_dir/sweep.json"
+"$lahd_bin" serve-bench --scale tiny --artifacts "$smoke_dir/dorado-migration" \
+    --streams-sweep 100000 --shards 2 --json "$sweep_json" >/dev/null
+sweep_field() {
+    sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p" "$sweep_json" | head -n1
+}
+admitted="$(sweep_field admitted)"
+live_bps="$(sweep_field live_bytes_per_stream)"
+rss_delta="$(sweep_field rss_delta_bytes)"
+bytes_budget="${LAHD_SWEEP_BYTES_BUDGET:-256}"
+rss_budget_mb="${LAHD_SWEEP_RSS_MB:-256}"
+if [ "${admitted:-0}" -lt 99000 ]; then
+    echo "streams sweep admitted only ${admitted:-0}/100000 streams:"
+    cat "$sweep_json"
+    exit 1
+fi
+if [ "${live_bps:-9999}" -gt "$bytes_budget" ]; then
+    echo "streams sweep measured ${live_bps:-?} live B/stream (budget ${bytes_budget}):"
+    cat "$sweep_json"
+    exit 1
+fi
+if [ "${rss_delta:-0}" -gt $((rss_budget_mb * 1024 * 1024)) ]; then
+    echo "streams sweep grew RSS by ${rss_delta:-?} B (budget ${rss_budget_mb} MB):"
+    cat "$sweep_json"
     exit 1
 fi
 
