@@ -1,0 +1,81 @@
+//! Criterion micro-benchmark: durable serving-state persistence.
+//!
+//! Pins the checkpoint cost model from PERF.md: writing one full shard
+//! checkpoint at the 100k-stream scale the sweep gate serves (108 B per
+//! record on disk: a 12 B length+checksum frame around the 96 B compact
+//! record), the recovery scan over the same segment (decode + checksum
+//! validation, the restart-latency term), and the per-event journal
+//! append+flush that runs between checkpoints. The `serve-drill` harness
+//! measures the same paths end-to-end through real daemon processes;
+//! these rows isolate the I/O layer so a format change that bloats the
+//! write or scan cost shows up in the trajectory directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lahd_serve::persist::{self, ShardPersist};
+use lahd_serve::REC_BYTES;
+
+const STREAMS: usize = 100_000;
+
+/// Deterministic record-patterned table image, `n` compact records.
+fn synth_table(n: usize) -> Vec<u8> {
+    let mut table = vec![0u8; n * REC_BYTES];
+    for (i, chunk) in table.chunks_exact_mut(REC_BYTES).enumerate() {
+        for (j, b) in chunk.iter_mut().enumerate() {
+            *b = ((i * 31 + j * 7) & 0xFF) as u8;
+        }
+    }
+    table
+}
+
+fn bench_persist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_persist");
+    let dir = std::env::temp_dir().join(format!("lahd-micro-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let table = synth_table(STREAMS);
+
+    // Full checkpoint rotation at 100k streams: encode + frame + tmp
+    // write + fsync + rename + journal reset — what one durability tick
+    // costs the shard thread.
+    group.bench_function("checkpoint_write_100k_streams", |b| {
+        let mut p = ShardPersist::create(&dir, 0).expect("shard persist");
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 1;
+            p.write_checkpoint(tick, &table, &[])
+                .expect("write checkpoint");
+        })
+    });
+
+    // Recovery scan over the same segment: read + frame walk + per-record
+    // checksum validation — the restart-latency term.
+    {
+        let mut p = ShardPersist::create(&dir, 1).expect("shard persist");
+        p.write_checkpoint(1, &table, &[]).expect("seed checkpoint");
+    }
+    group.bench_function("recover_scan_100k_streams", |b| {
+        b.iter(|| {
+            let rec = persist::recover_shard(&dir, 1);
+            assert_eq!(rec.recovered, STREAMS as u64, "scan must stay lossless");
+            rec.table.len()
+        })
+    });
+
+    // One journalled admission (17 B record) flushed to the WAL — the
+    // steady-state durability cost between checkpoints.
+    group.bench_function("wal_append_flush", |b| {
+        let mut p = ShardPersist::create(&dir, 2).expect("shard persist");
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            p.log_admit(key);
+            p.flush_wal().expect("flush");
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_persist);
+criterion_main!(benches);

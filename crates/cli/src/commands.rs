@@ -11,10 +11,10 @@ use lahd_core::{
 };
 use lahd_fsm::{DefaultPolicy, HandcraftedFsm, Policy, VecPolicy};
 use lahd_serve::{
-    prepare_corrupt_candidate, run_bench, run_streams_sweep, serve_dir, BenchConfig, ChaosPlan,
-    Request, ServeClient, ServeConfig,
+    persist, prepare_corrupt_candidate, run_bench, run_restart_drill, run_streams_sweep, serve_dir,
+    BenchConfig, ChaosPlan, DrillConfig, Request, ServeClient, ServeConfig, REC_BYTES,
 };
-use lahd_sim::{Fault, FaultPlan, SimConfig, StorageSim};
+use lahd_sim::{DiskFault, Fault, FaultPlan, SimConfig, StorageSim};
 use lahd_workload::{
     read_trace, real_trace_set, standard_trace_set, summarize, write_trace, WorkloadTrace,
 };
@@ -49,6 +49,7 @@ pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         Some("guard-eval") => cmd_guard_eval(args, out),
         Some("serve") => cmd_serve(args, out),
         Some("serve-bench") => cmd_serve_bench(args, out),
+        Some("serve-drill") => cmd_serve_drill(args, out),
         Some("explain") => cmd_explain(args, out),
         Some("traces") => cmd_traces(args, out),
         Some("simulate") => cmd_simulate(args, out),
@@ -91,6 +92,8 @@ fn usage() -> String {
      \x20            [--queue-capacity N] [--batch-max N] [--max-streams N]\n\
      \x20            [--audit-every N] [--audit-budget N] [--hibernate-after N]\n\
      \x20            [--sweep-every N] [--max-hibernated N]\n\
+     \x20            [--state-dir DIR (durable checkpoints + journal)]\n\
+     \x20            [--checkpoint-every N (ticks; 0 = drain-only)] [--recover]\n\
      \x20            [--allow-chaos] [--scale …] [--scenario …]\n\
      \x20            [--infer-precision exact|quantized]\n\
      \x20 serve-bench deterministic load + chaos harness for the daemon\n\
@@ -100,6 +103,13 @@ fn usage() -> String {
      \x20            [--streams-sweep N,N,… (memory-scaling sweep)]\n\
      \x20            [--json FILE] [--bench-json FILE] [--shutdown-daemon]\n\
      \x20            [--scale …]\n\
+     \x20 serve-drill crash-restart drill: SIGKILL a durable daemon mid-load,\n\
+     \x20            restart it with --recover, and compare actions against\n\
+     \x20            an uninterrupted reference daemon\n\
+     \x20            --artifacts DIR [--streams N] [--rounds-before N]\n\
+     \x20            [--rounds-after N] [--drill-seed N] [--shards N]\n\
+     \x20            [--corrupt (inject seeded disk faults before restart)]\n\
+     \x20            [--work-dir DIR] [--json FILE] [--scale …]\n\
      \x20 explain    Markdown interpretation report for a saved machine\n\
      \x20            --artifacts DIR [--out FILE] [--scale …]\n\
      \x20 traces     summarise the synthetic workloads\n\
@@ -457,6 +467,9 @@ fn serve_config(args: &Args) -> ServeConfig {
         hibernate_after: args.get_u64("hibernate-after", d.hibernate_after),
         sweep_every: args.get_u64("sweep-every", d.sweep_every),
         max_hibernated: args.get_usize("max-hibernated", d.max_hibernated),
+        state_dir: args.get("state-dir").map(PathBuf::from),
+        checkpoint_every: args.get_u64("checkpoint-every", d.checkpoint_every),
+        recover: args.has_flag("recover"),
         ..d
     }
 }
@@ -657,6 +670,152 @@ fn cmd_serve_bench(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Damages a killed daemon's state directory with seeded disk faults:
+/// a torn tail on the most populated checkpoint (provably loses its last
+/// record), a bit flip inside another checkpoint's first record payload,
+/// and a duplicated journal record (which replay must absorb
+/// idempotently). Returns a deterministic description of what was done.
+fn inject_disk_faults(state_dir: &Path, seed: u64) -> Result<String, String> {
+    let infos = persist::inspect(state_dir);
+    let target = infos
+        .iter()
+        .max_by_key(|c| (c.records, std::cmp::Reverse(c.shard)))
+        .filter(|c| c.records > 0)
+        .ok_or("no populated checkpoint to corrupt")?;
+    let frame = persist::FRAME_OVERHEAD + REC_BYTES;
+    let mut applied = Vec::new();
+
+    let ckpt = persist::ckpt_path(state_dir, target.shard);
+    let len = fs::metadata(&ckpt)
+        .map_err(|e| format!("stat {} failed: {e}", ckpt.display()))?
+        .len() as usize;
+    let torn = DiskFault::TornWrite {
+        keep: len - 1 - (seed as usize % (frame / 2)),
+    };
+    torn.apply_to_file(&ckpt)
+        .map_err(|e| format!("torn write failed: {e}"))?;
+    applied.push(format!("shard-{}.ckpt {}", target.shard, torn.describe()));
+
+    if let Some(other) = infos
+        .iter()
+        .filter(|c| c.records > 0 && c.shard != target.shard)
+        .max_by_key(|c| c.records)
+    {
+        let path = persist::ckpt_path(state_dir, other.shard);
+        let flip = DiskFault::BitFlip {
+            at: persist::CKPT_HEADER_BYTES + persist::FRAME_OVERHEAD + (seed as usize % REC_BYTES),
+            mask: 0x40,
+        };
+        flip.apply_to_file(&path)
+            .map_err(|e| format!("bit flip failed: {e}"))?;
+        applied.push(format!("shard-{}.ckpt {}", other.shard, flip.describe()));
+    }
+
+    // Journal: append one evict for a key that cannot exist (replaying it
+    // is a no-op) and duplicate it — the duplicate-record fault proper.
+    let wal = persist::wal_path(state_dir, target.shard);
+    let rec = persist::encode_wal_record(persist::WAL_EVICT, (1u64 << 60) | seed);
+    let mut bytes = fs::read(&wal).map_err(|e| format!("read {} failed: {e}", wal.display()))?;
+    let at = bytes.len();
+    bytes.extend_from_slice(&rec);
+    fs::write(&wal, bytes).map_err(|e| format!("extend journal failed: {e}"))?;
+    let dup = DiskFault::DuplicateRecord {
+        at,
+        len: persist::WAL_REC_BYTES,
+    };
+    dup.apply_to_file(&wal)
+        .map_err(|e| format!("journal duplication failed: {e}"))?;
+    applied.push(format!("shard-{}.wal {}", target.shard, dup.describe()));
+
+    Ok(applied.join("; "))
+}
+
+fn cmd_serve_drill(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let cfg = scale_config(args)?;
+    let dir = PathBuf::from(args.get("artifacts").unwrap_or("lahd-artifacts"));
+    load_artifacts(&cfg, &dir).ok_or_else(|| {
+        err(format!(
+            "no artifacts for this configuration in {} — run `lahd pipeline` first",
+            dir.display()
+        ))
+    })?;
+    let exe =
+        std::env::current_exe().map_err(|e| err(format!("cannot locate the lahd binary: {e}")))?;
+    let work = args.get("work-dir").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("lahd-serve-drill-{}", std::process::id()))
+    });
+    fs::create_dir_all(&work)?;
+
+    // The child daemons re-parse the artifact configuration, so every
+    // identity flag is forwarded verbatim. Audits stay off: resident
+    // ladders are not persisted, and the drill pins bit-identical resume.
+    let mut serve_args: Vec<String> = vec![
+        "--artifacts".into(),
+        dir.display().to_string(),
+        "--audit-every".into(),
+        "0".into(),
+    ];
+    for flag in ["scale", "scenario", "infer-precision", "shards"] {
+        if let Some(v) = args.get(flag) {
+            serve_args.push(format!("--{flag}"));
+            serve_args.push(v.to_string());
+        }
+    }
+    let d = DrillConfig::default();
+    let drill = DrillConfig {
+        streams: args.get_u64("streams", d.streams),
+        rounds_before: args.get_u64("rounds-before", d.rounds_before),
+        rounds_after: args.get_u64("rounds-after", d.rounds_after),
+        seed: args.get_u64("drill-seed", d.seed),
+        serve_args,
+    };
+    let with_faults = args.has_flag("corrupt");
+    let seed = drill.seed;
+    let inject = move |state: &Path| inject_disk_faults(state, seed);
+    let hook: Option<&dyn Fn(&Path) -> Result<String, String>> =
+        if with_faults { Some(&inject) } else { None };
+
+    let outcome = run_restart_drill(&exe, &dir, &work, &drill, hook).map_err(err)?;
+    writeln!(out, "drill: {}", outcome.to_json())?;
+    if let Some(path) = args.get("json") {
+        fs::write(path, outcome.to_json())?;
+        writeln!(out, "json summary written to {path}")?;
+    }
+    if args.get("work-dir").is_none() {
+        let _ = fs::remove_dir_all(&work);
+    }
+    // Gates: the clean drill must resume everything bit-identically; the
+    // corrupt drill must quarantine the damage and still exit cleanly
+    // (losing the damaged streams' cursors is expected, lockstep is not).
+    if with_faults {
+        if outcome.quarantined == 0 || !outcome.clean_exit {
+            return Err(err(format!(
+                "corrupt drill FAILED: quarantined={} clean_exit={} (want quarantined>0 \
+                 and a clean exit)",
+                outcome.quarantined, outcome.clean_exit
+            )));
+        }
+        writeln!(
+            out,
+            "corrupt drill SURVIVED: quarantined {} record(s), resumed {}/{} streams",
+            outcome.quarantined, outcome.recovered, outcome.admitted
+        )?;
+    } else {
+        if !outcome.all_good() {
+            return Err(err(format!(
+                "clean drill FAILED: resumed_pct={} lockstep={} clean_exit={}",
+                outcome.resumed_pct, outcome.lockstep, outcome.clean_exit
+            )));
+        }
+        writeln!(
+            out,
+            "clean drill SURVIVED: resumed {}/{} streams, action checksums identical",
+            outcome.recovered, outcome.admitted
+        )?;
+    }
+    Ok(())
+}
+
 fn cmd_explain(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let (cfg, artifacts) = load(args)?;
     if cfg.scenario != ScenarioId::DoradoMigration {
@@ -829,6 +988,7 @@ mod tests {
             "guard-eval",
             "serve",
             "serve-bench",
+            "serve-drill",
             "explain",
             "traces",
             "simulate",

@@ -1,0 +1,113 @@
+//! End-to-end crash-restart drill through the real `lahd` binary.
+//!
+//! This is the SIGKILL half of the recovery pin (the graceful-restart
+//! half lives in the serve crate's lifecycle tests): a durable daemon is
+//! killed mid-load as a real child process, restarted with `--recover`,
+//! and must serve the post-crash window action-checksum-identically to an
+//! uninterrupted reference daemon. The corrupt variant injects seeded
+//! disk faults (torn tail, bit flip, duplicated journal record) between
+//! kill and restart and must quarantine the damage without panicking.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_lahd"))
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lahd-drill-e2e-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_drill(artifacts: &PathBuf, work: &PathBuf, json: &PathBuf, corrupt: bool) -> (bool, String) {
+    let mut cmd = Command::new(exe());
+    cmd.args([
+        "serve-drill",
+        "--scale",
+        "tiny",
+        "--streams",
+        "16",
+        "--rounds-before",
+        "4",
+        "--rounds-after",
+        "4",
+        "--shards",
+        "2",
+    ])
+    .arg("--artifacts")
+    .arg(artifacts)
+    .arg("--work-dir")
+    .arg(work)
+    .arg("--json")
+    .arg(json);
+    if corrupt {
+        cmd.arg("--corrupt");
+    }
+    let out = cmd.output().expect("spawn lahd serve-drill");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn sigkill_recovery_drill_end_to_end() {
+    let artifacts = fresh_dir("artifacts");
+    let trained = Command::new(exe())
+        .args(["pipeline", "--scale", "tiny", "--out"])
+        .arg(&artifacts)
+        .output()
+        .expect("spawn lahd pipeline");
+    assert!(
+        trained.status.success(),
+        "pipeline failed: {}",
+        String::from_utf8_lossy(&trained.stderr)
+    );
+
+    // Clean drill, twice: it must pass its gate and its JSON summary must
+    // be byte-reproducible across runs.
+    let mut summaries = Vec::new();
+    for run in 0..2 {
+        let work = fresh_dir(&format!("clean-{run}"));
+        let json = work.join("outcome.json");
+        let (ok, text) = run_drill(&artifacts, &work, &json, false);
+        assert!(ok, "clean drill {run} failed:\n{text}");
+        assert!(text.contains("clean drill SURVIVED"), "{text}");
+        summaries.push(std::fs::read_to_string(&json).unwrap());
+    }
+    assert_eq!(
+        summaries[0], summaries[1],
+        "same-seed drill JSON must be byte-identical"
+    );
+    assert!(
+        summaries[0].contains("\"lockstep\":true")
+            && summaries[0].contains("\"resumed_pct\":100")
+            && summaries[0].contains("\"quarantined\":0")
+            && summaries[0].contains("\"clean_exit\":true"),
+        "{}",
+        summaries[0]
+    );
+
+    // Corrupt drill: seeded disk faults land between kill and restart;
+    // recovery must quarantine the damaged records and exit cleanly.
+    let work = fresh_dir("corrupt");
+    let json = work.join("outcome.json");
+    let (ok, text) = run_drill(&artifacts, &work, &json, true);
+    assert!(ok, "corrupt drill failed:\n{text}");
+    assert!(text.contains("corrupt drill SURVIVED"), "{text}");
+    let summary = std::fs::read_to_string(&json).unwrap();
+    assert!(
+        !summary.contains("\"quarantined\":0,"),
+        "faults must quarantine at least one record: {summary}"
+    );
+    assert!(
+        summary.contains("\"faults\":\"shard-") && summary.contains("torn-write"),
+        "fault description missing: {summary}"
+    );
+    assert!(summary.contains("\"clean_exit\":true"), "{summary}");
+}

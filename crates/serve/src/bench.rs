@@ -33,6 +33,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::client::ServeClient;
 use crate::metrics::{LatencyHistogram, MetricsSnapshot};
+use crate::persist;
 use crate::protocol::{Request, Response, Source};
 
 /// When chaos events fire, relative to the lockstep round counter.
@@ -897,6 +898,368 @@ fn perf_phase(
     Ok(outcome)
 }
 
+/// Parameters of the supervisor-style crash-restart drill.
+#[derive(Clone, Debug)]
+pub struct DrillConfig {
+    /// Concurrent streams admitted during the warm phase.
+    pub streams: u64,
+    /// Lockstep rounds driven before the SIGKILL.
+    pub rounds_before: u64,
+    /// Lockstep rounds driven after recovery — the checksummed window
+    /// compared against the uninterrupted reference daemon.
+    pub rounds_after: u64,
+    /// Seed for observation synthesis (shared by both daemons).
+    pub seed: u64,
+    /// Arguments appended verbatim to every `<exe> serve` spawn (scale,
+    /// artifact dir, shard count, audit cadence, …). The drill adds its
+    /// own `--socket`, `--state-dir`, `--checkpoint-every` and
+    /// `--recover`.
+    pub serve_args: Vec<String>,
+}
+
+impl Default for DrillConfig {
+    fn default() -> Self {
+        Self {
+            streams: 32,
+            rounds_before: 6,
+            rounds_after: 6,
+            seed: 7,
+            serve_args: Vec::new(),
+        }
+    }
+}
+
+/// What one crash-restart drill produced. Every field is a pure function
+/// of the drill parameters and the injected faults, so
+/// [`DrillOutcome::to_json`] is byte-reproducible across same-seed runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DrillOutcome {
+    /// Echo of the drill seed.
+    pub seed: u64,
+    /// Echo of the stream count.
+    pub streams: u64,
+    /// Echo of the pre-kill round count.
+    pub rounds_before: u64,
+    /// Echo of the post-recovery round count.
+    pub rounds_after: u64,
+    /// Description of the disk faults injected between kill and restart
+    /// ("none" for the clean drill).
+    pub faults: String,
+    /// Streams admitted before the kill.
+    pub admitted: u64,
+    /// Streams the restarted daemon resumed from durable state.
+    pub recovered: u64,
+    /// Records recovery had to quarantine (checksum failures + torn-tail
+    /// losses) — zero on the clean drill, positive under injected faults.
+    pub quarantined: u64,
+    /// Journal operations replayed over the checkpoint at recovery.
+    pub journal_ops: u64,
+    /// `recovered * 100 / admitted`, integer percent.
+    pub resumed_pct: u64,
+    /// FNV-1a over every post-window `(round, stream, action)` of the
+    /// uninterrupted reference daemon.
+    pub baseline_checksum: u64,
+    /// The same fold over the killed-and-recovered daemon's answers.
+    pub recovered_checksum: u64,
+    /// The two checksums agree — recovery was action-identical.
+    pub lockstep: bool,
+    /// Both daemons (reference, and the recovered one after its drill
+    /// window) drained and exited with status 0.
+    pub clean_exit: bool,
+}
+
+impl DrillOutcome {
+    /// Stable-order JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seed\":{},\"streams\":{},\"rounds_before\":{},\"rounds_after\":{},",
+                "\"faults\":\"{}\",\"admitted\":{},\"recovered\":{},\"quarantined\":{},",
+                "\"journal_ops\":{},\"resumed_pct\":{},",
+                "\"baseline_checksum\":\"{:#018x}\",\"recovered_checksum\":\"{:#018x}\",",
+                "\"lockstep\":{},\"clean_exit\":{}}}"
+            ),
+            self.seed,
+            self.streams,
+            self.rounds_before,
+            self.rounds_after,
+            self.faults,
+            self.admitted,
+            self.recovered,
+            self.quarantined,
+            self.journal_ops,
+            self.resumed_pct,
+            self.baseline_checksum,
+            self.recovered_checksum,
+            self.lockstep,
+            self.clean_exit
+        )
+    }
+
+    /// The clean-drill gate: ≥99% of streams resumed, bit-identical
+    /// post-recovery actions, graceful exits throughout.
+    pub fn all_good(&self) -> bool {
+        self.resumed_pct >= 99 && self.lockstep && self.clean_exit
+    }
+}
+
+/// A spawned `serve` child that is SIGKILLed on drop, so a failed drill
+/// never leaks daemons.
+struct DrillDaemon {
+    child: std::process::Child,
+}
+
+impl DrillDaemon {
+    fn spawn(
+        exe: &Path,
+        serve_args: &[String],
+        socket: &Path,
+        state_dir: &Path,
+        recover: bool,
+    ) -> Result<Self, String> {
+        let mut cmd = std::process::Command::new(exe);
+        cmd.arg("serve")
+            .args(serve_args)
+            .arg("--socket")
+            .arg(socket)
+            .arg("--state-dir")
+            .arg(state_dir)
+            .arg("--checkpoint-every")
+            .arg("1")
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        if recover {
+            cmd.arg("--recover");
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("failed to spawn {}: {e}", exe.display()))?;
+        Ok(Self { child })
+    }
+
+    /// SIGKILL — no drain, no flush; the crash the drill is about.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Reaps a daemon that was asked to shut down; true on exit status 0.
+    fn wait_clean(mut self) -> Result<bool, String> {
+        self.child
+            .wait()
+            .map(|status| status.success())
+            .map_err(|e| format!("wait failed: {e}"))
+    }
+}
+
+impl Drop for DrillDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Drives `rounds` lockstep rounds (one decision per stream), optionally
+/// folding every `(round, stream, action)` into a checksum in
+/// deterministic order.
+fn drill_rounds(
+    client: &mut ServeClient,
+    profile: &BaselineProfile,
+    seed: u64,
+    streams: u64,
+    rounds: std::ops::Range<u64>,
+    mut checksum: Option<&mut u64>,
+) -> Result<(), String> {
+    let req_id = |round: u64, stream: u64| (round << 24) | stream;
+    for round in rounds {
+        for stream in 0..streams {
+            client
+                .send(&Request::Decide {
+                    req_id: req_id(round, stream),
+                    stream,
+                    deadline_us: 0,
+                    obs: synth_obs(profile, seed, stream, round),
+                })
+                .map_err(|e| format!("drill send failed: {e}"))?;
+        }
+        let got = expect_decisions(client, streams as usize)?;
+        if let Some(sum) = checksum.as_deref_mut() {
+            for stream in 0..streams {
+                let Some(&(action, _, _)) = got.get(&req_id(round, stream)) else {
+                    return Err(format!("drill round {round} lost stream {stream}"));
+                };
+                *sum = fnv_fold(*sum, round);
+                *sum = fnv_fold(*sum, stream);
+                *sum = fnv_fold(*sum, action as u64);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Blocks until every shard has written a checkpoint strictly newer than
+/// its tick at entry. Called after the last reply of the warm phase, any
+/// such checkpoint postdates that reply's batch, so it holds every
+/// stream's final cursor — the precondition for a lossless SIGKILL.
+fn await_quiescent_checkpoint(state_dir: &Path, shards: usize) -> Result<(), String> {
+    let t0: HashMap<usize, u64> = persist::inspect(state_dir)
+        .into_iter()
+        .map(|c| (c.shard, c.tick))
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let infos = persist::inspect(state_dir);
+        if infos.len() >= shards
+            && infos
+                .iter()
+                .all(|c| c.tick > t0.get(&c.shard).copied().unwrap_or(0))
+        {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err("timed out waiting for a quiescent checkpoint".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The supervisor-style crash-restart drill behind `lahd serve-drill`.
+///
+/// Two daemon lineages run the same seeded lockstep load:
+///
+/// 1. A **reference** daemon serves every round uninterrupted; its
+///    post-window actions are checksummed.
+/// 2. A **victim** daemon serves the warm rounds, is held until a
+///    quiescent checkpoint lands, then is SIGKILLed mid-flight. An
+///    optional `corrupt` hook damages the state directory (the CLI wires
+///    seeded [`lahd-sim` disk faults](DrillOutcome::faults) through it).
+///    A third spawn restarts on the damaged directory with `--recover`
+///    and serves the same post-window rounds.
+///
+/// Daemons are spawned as real child processes of `exe` (the `lahd`
+/// binary), so the kill is a genuine `SIGKILL` against a separate address
+/// space — no in-process shortcuts. The returned [`DrillOutcome`] is
+/// byte-reproducible for fixed parameters and faults.
+pub fn run_restart_drill(
+    exe: &Path,
+    artifacts: &Path,
+    work_dir: &Path,
+    cfg: &DrillConfig,
+    corrupt: Option<&dyn Fn(&Path) -> Result<String, String>>,
+) -> Result<DrillOutcome, String> {
+    let profile = load_profile(artifacts)?;
+    let total = cfg.rounds_before + cfg.rounds_after;
+    let pid = std::process::id();
+    // Stale state from an earlier drill would poison both recovery and
+    // the quiesce poll (old checkpoints carry ticks a fresh daemon never
+    // reaches), so each lineage starts from an empty directory.
+    let mkdir = |p: &Path| {
+        let _ = std::fs::remove_dir_all(p);
+        std::fs::create_dir_all(p).map_err(|e| format!("create {} failed: {e}", p.display()))
+    };
+    let connect = |socket: &Path| {
+        ServeClient::connect_retry(socket, Duration::from_secs(10))
+            .map_err(|e| format!("drill connect failed: {e}"))
+    };
+    let fnv_basis = 0xcbf2_9ce4_8422_2325u64;
+
+    // Reference lineage: never interrupted.
+    let base_state = work_dir.join("baseline-state");
+    let base_sock = work_dir.join(format!("drill-base-{pid}.sock"));
+    mkdir(&base_state)?;
+    let base = DrillDaemon::spawn(exe, &cfg.serve_args, &base_sock, &base_state, false)?;
+    let mut baseline_checksum = fnv_basis;
+    {
+        let mut client = connect(&base_sock)?;
+        drill_rounds(
+            &mut client,
+            &profile,
+            cfg.seed,
+            cfg.streams,
+            0..cfg.rounds_before,
+            None,
+        )?;
+        drill_rounds(
+            &mut client,
+            &profile,
+            cfg.seed,
+            cfg.streams,
+            cfg.rounds_before..total,
+            Some(&mut baseline_checksum),
+        )?;
+        client
+            .call(&Request::Shutdown)
+            .map_err(|e| format!("reference shutdown failed: {e}"))?;
+    }
+    let base_clean = base.wait_clean()?;
+
+    // Victim lineage: warm, quiesce, SIGKILL.
+    let crash_state = work_dir.join("crash-state");
+    let crash_sock = work_dir.join(format!("drill-crash-{pid}.sock"));
+    mkdir(&crash_state)?;
+    let mut victim = DrillDaemon::spawn(exe, &cfg.serve_args, &crash_sock, &crash_state, false)?;
+    let shards = {
+        let mut client = connect(&crash_sock)?;
+        let (_, shards) = stats(&mut client)?;
+        drill_rounds(
+            &mut client,
+            &profile,
+            cfg.seed,
+            cfg.streams,
+            0..cfg.rounds_before,
+            None,
+        )?;
+        shards
+    };
+    await_quiescent_checkpoint(&crash_state, shards)?;
+    victim.kill();
+
+    let faults = match corrupt {
+        Some(inject) => inject(&crash_state)?,
+        None => "none".to_string(),
+    };
+
+    // Recovery lineage: restart on the (possibly damaged) state directory.
+    let revived = DrillDaemon::spawn(exe, &cfg.serve_args, &crash_sock, &crash_state, true)?;
+    let mut recovered_checksum = fnv_basis;
+    let snap = {
+        let mut client = connect(&crash_sock)?;
+        drill_rounds(
+            &mut client,
+            &profile,
+            cfg.seed,
+            cfg.streams,
+            cfg.rounds_before..total,
+            Some(&mut recovered_checksum),
+        )?;
+        let (snap, _) = stats(&mut client)?;
+        client
+            .call(&Request::Shutdown)
+            .map_err(|e| format!("recovered shutdown failed: {e}"))?;
+        snap
+    };
+    let revived_clean = revived.wait_clean()?;
+
+    let admitted = cfg.streams;
+    Ok(DrillOutcome {
+        seed: cfg.seed,
+        streams: cfg.streams,
+        rounds_before: cfg.rounds_before,
+        rounds_after: cfg.rounds_after,
+        faults,
+        admitted,
+        recovered: snap.recovered_streams,
+        quarantined: snap.quarantined_records,
+        journal_ops: snap.journal_ops,
+        resumed_pct: snap.recovered_streams * 100 / admitted.max(1),
+        baseline_checksum,
+        recovered_checksum,
+        lockstep: recovered_checksum == baseline_checksum,
+        clean_exit: base_clean && revived_clean,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -943,6 +1306,41 @@ mod tests {
         assert!(outcome
             .to_json()
             .contains("\"prechaos_checksum\":\"0x00000000deadbeef\""));
+    }
+
+    #[test]
+    fn drill_outcome_json_is_stable_and_gates_correctly() {
+        let outcome = DrillOutcome {
+            seed: 7,
+            streams: 32,
+            rounds_before: 6,
+            rounds_after: 6,
+            faults: "none".to_string(),
+            admitted: 32,
+            recovered: 32,
+            quarantined: 0,
+            journal_ops: 0,
+            resumed_pct: 100,
+            baseline_checksum: 0xdead_beef,
+            recovered_checksum: 0xdead_beef,
+            lockstep: true,
+            clean_exit: true,
+        };
+        assert_eq!(outcome.to_json(), outcome.clone().to_json());
+        assert!(outcome.all_good());
+        let json = outcome.to_json();
+        assert!(json.contains("\"baseline_checksum\":\"0x00000000deadbeef\""));
+        assert!(json.contains("\"resumed_pct\":100"));
+        let torn = DrillOutcome {
+            recovered: 20,
+            resumed_pct: 62,
+            quarantined: 12,
+            lockstep: false,
+            recovered_checksum: 0xbad,
+            faults: "torn-write keep=100".to_string(),
+            ..outcome
+        };
+        assert!(!torn.all_good(), "lossy recovery must fail the clean gate");
     }
 
     #[test]

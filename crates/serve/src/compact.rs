@@ -11,11 +11,15 @@
 //! round-trip property instead of a best-effort one.
 //!
 //! The arena is deliberately dumb: fixed-size records in a `Vec<u8>` slab
-//! with a free list, indexed by stream key, evicting in hibernate order
-//! (FIFO) once over capacity. Evicting a record forgets the stream — it
+//! with a free list, indexed by stream key. Once over capacity it evicts
+//! with a clock/second-chance policy over *wake frequency*: each slot
+//! carries a small counter seeded from the record's capped wake count,
+//! and the clock hand decrements counters until it finds a zero — so a
+//! stream that keeps getting woken (and re-parked) outlives one that went
+//! cold and never came back. Evicting a record forgets the stream — it
 //! re-admits fresh on return, exactly like a stream the daemon never saw
 //! — so the arena is a bounded cache of continuations, not a durability
-//! promise.
+//! promise (that is [`crate::persist`]'s job).
 
 use lahd_fsm::{CompiledCursor, FsmRunStats, SavedCursor};
 use lahd_guard::MicroHealth;
@@ -35,12 +39,16 @@ pub struct CompactStream {
     pub next_audit: u64,
     /// Shard tick of the last served decision (hibernation idleness).
     pub last_tick: u64,
+    /// Times this stream has been woken from the arena (drives the clock
+    /// eviction policy; persisted so recovered streams keep their heat).
+    pub wakes: u32,
 }
 
 /// Serialized record width: 8 (key) + 2+6pad (state) + 4×8 (stats) +
-/// 8 (unseen_total) + 8+4+2+2+2+6pad (health) + 8 (decisions) +
-/// 8 (next_audit). `last_tick` is deliberately not persisted — a woken
-/// stream's idle clock restarts.
+/// 8 (unseen_total) + 8+4+2+2+2+6pad (health, with `wakes` packed into
+/// the stuck-run word's high half) + 8 (decisions) + 8 (next_audit).
+/// `last_tick` is deliberately not persisted — a woken stream's idle
+/// clock restarts.
 pub const REC_BYTES: usize = 96;
 
 impl CompactStream {
@@ -52,6 +60,7 @@ impl CompactStream {
             decisions: 0,
             next_audit: first_audit,
             last_tick: 0,
+            wakes: 0,
         }
     }
 
@@ -69,7 +78,7 @@ impl CompactStream {
         w.u64(saved.stats.stuck_steps as u64);
         w.u64(saved.unseen_total);
         w.u64(last_hash);
-        w.u64(stuck_run as u64);
+        w.u64((stuck_run as u64) | ((self.wakes as u64) << 32));
         w.u64(((unseen_recent as u64) << 32) | ((oob_recent as u64) << 16) | pos as u64);
         w.u64(self.decisions);
         w.u64(self.next_audit);
@@ -91,7 +100,9 @@ impl CompactStream {
         };
         let unseen_total = r.u64();
         let last_hash = r.u64();
-        let stuck_run = r.u64() as u32;
+        let stuck_word = r.u64();
+        let stuck_run = stuck_word as u32;
+        let wakes = (stuck_word >> 32) as u32;
         let packed = r.u64();
         let health = MicroHealth::from_parts((
             last_hash,
@@ -114,6 +125,7 @@ impl CompactStream {
                 decisions,
                 next_audit,
                 last_tick: 0,
+                wakes,
             },
         )
     }
@@ -144,6 +156,10 @@ impl Reader<'_> {
     }
 }
 
+/// Ceiling on a slot's second-chance counter: a very hot stream still
+/// yields within a few clock laps, so eviction latency stays bounded.
+const CLOCK_MAX: u8 = 3;
+
 /// The serialized arena hibernated streams park in. Record slots are
 /// tracked through the same generation-stamped [`StreamTable`] machinery
 /// as live streams, but the payload here is a slab offset, not a boxed
@@ -153,11 +169,16 @@ pub struct HibernationArena {
     /// stream key -> record slot (index into `data` / REC_BYTES).
     index: StreamTable<u32>,
     free: Vec<u32>,
-    /// Hibernate-order queue for FIFO eviction; entries may be stale
-    /// (woken streams) and are skipped by checking the index.
-    order: std::collections::VecDeque<u64>,
+    /// Per-slot second-chance counters, seeded from the parked record's
+    /// capped wake count and decremented as the clock hand passes.
+    meta: Vec<u8>,
+    /// Clock hand over the slot span.
+    hand: usize,
     capacity: usize,
     evicted: u64,
+    /// Keys evicted since the last [`HibernationArena::drain_evicted`]
+    /// call — the write-ahead journal's eviction feed.
+    evicted_keys: Vec<u64>,
 }
 
 impl HibernationArena {
@@ -167,9 +188,11 @@ impl HibernationArena {
             data: Vec::new(),
             index: StreamTable::with_capacity(64),
             free: Vec::new(),
-            order: std::collections::VecDeque::new(),
+            meta: Vec::new(),
+            hand: 0,
             capacity: capacity.max(1),
             evicted: 0,
+            evicted_keys: Vec::new(),
         }
     }
 
@@ -199,46 +222,78 @@ impl HibernationArena {
     }
 
     /// Parks a compact stream. Overwrites a prior record for the same key
-    /// (can happen when a stream hibernates, wakes, and hibernates again
-    /// before its stale order entry cycles out).
+    /// (can happen when a stream hibernates, wakes, and hibernates again).
     pub fn hibernate(&mut self, key: u64, stream: &CompactStream) {
         if let Some(r) = self.index.lookup(key) {
             let slot = *self.index.get(r).expect("fresh handle");
-            let at = slot as usize * REC_BYTES;
-            stream.serialize_into(key, &mut self.data[at..at + REC_BYTES]);
+            self.write_slot(slot, key, stream);
             return;
         }
-        while self.index.len() >= self.capacity {
-            let Some(victim) = self.order.pop_front() else {
-                break;
-            };
-            if let Some(slot) = self.index.remove(victim) {
-                self.free.push(slot);
-                self.evicted += 1;
-            }
-        }
-        let slot = match self.free.pop() {
-            Some(s) => s,
-            None => {
-                let s = (self.data.len() / REC_BYTES) as u32;
-                self.data.resize(self.data.len() + REC_BYTES, 0);
-                s
-            }
-        };
-        let at = slot as usize * REC_BYTES;
-        stream.serialize_into(key, &mut self.data[at..at + REC_BYTES]);
+        while self.index.len() >= self.capacity && self.evict_one() {}
+        let slot = self.alloc_slot();
+        self.write_slot(slot, key, stream);
         self.index.insert(key, slot);
-        self.order.push_back(key);
     }
 
-    /// Wakes `key`, removing and rebuilding its record.
+    /// Wakes `key`, removing and rebuilding its record. The wake count
+    /// bumps — the heat the clock policy protects on the next hibernate.
     pub fn wake(&mut self, key: u64) -> Option<CompactStream> {
         let slot = self.index.remove(key)?;
         let at = slot as usize * REC_BYTES;
-        let (rec_key, stream) = CompactStream::deserialize(&self.data[at..at + REC_BYTES]);
+        let (rec_key, mut stream) = CompactStream::deserialize(&self.data[at..at + REC_BYTES]);
         debug_assert_eq!(rec_key, key, "arena slot/key mismatch");
+        stream.wakes = stream.wakes.saturating_add(1);
         self.free.push(slot);
         Some(stream)
+    }
+
+    /// Appends every live record ([`REC_BYTES`] each, slot order) to
+    /// `out` — the checkpoint writer's view of the arena.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        for slot in 0..(self.data.len() / REC_BYTES) as u32 {
+            if self.slot_key(slot).is_some() {
+                let at = slot as usize * REC_BYTES;
+                out.extend_from_slice(&self.data[at..at + REC_BYTES]);
+            }
+        }
+    }
+
+    /// Re-parks a serialized record byte-identically (the recovery path —
+    /// no deserialize/serialize round trip, though one would be exact).
+    /// Returns the record's stream key.
+    pub fn restore_record(&mut self, rec: &[u8]) -> u64 {
+        assert_eq!(rec.len(), REC_BYTES);
+        let key = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+        let wakes = u32::from_le_bytes(rec[68..72].try_into().unwrap());
+        let slot = match self.index.lookup(key) {
+            Some(r) => *self.index.get(r).expect("fresh handle"),
+            None => {
+                while self.index.len() >= self.capacity && self.evict_one() {}
+                let slot = self.alloc_slot();
+                self.index.insert(key, slot);
+                slot
+            }
+        };
+        let at = slot as usize * REC_BYTES;
+        self.data[at..at + REC_BYTES].copy_from_slice(rec);
+        self.meta[slot as usize] = wakes.min(CLOCK_MAX as u32) as u8;
+        key
+    }
+
+    /// Drops `key`'s record without waking it (journal-eviction replay).
+    pub fn forget(&mut self, key: u64) -> bool {
+        match self.index.remove(key) {
+            Some(slot) => {
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Keys evicted under capacity pressure since the last drain.
+    pub fn drain_evicted(&mut self) -> std::vec::Drain<'_, u64> {
+        self.evicted_keys.drain(..)
     }
 
     /// Drops everything (bundle swap invalidates saved state ids).
@@ -246,7 +301,68 @@ impl HibernationArena {
         self.data.clear();
         self.index.clear();
         self.free.clear();
-        self.order.clear();
+        self.meta.clear();
+        self.hand = 0;
+        self.evicted_keys.clear();
+    }
+
+    /// A free slot, growing the slab (and its clock metadata) if needed.
+    fn alloc_slot(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = (self.data.len() / REC_BYTES) as u32;
+                self.data.resize(self.data.len() + REC_BYTES, 0);
+                self.meta.push(0);
+                s
+            }
+        }
+    }
+
+    /// Serializes `stream` into `slot` and seeds its second-chance counter
+    /// from the stream's capped wake count.
+    fn write_slot(&mut self, slot: u32, key: u64, stream: &CompactStream) {
+        let at = slot as usize * REC_BYTES;
+        stream.serialize_into(key, &mut self.data[at..at + REC_BYTES]);
+        self.meta[slot as usize] = stream.wakes.min(CLOCK_MAX as u32) as u8;
+    }
+
+    /// The key occupying `slot`, if any: the slab record's leading key
+    /// must map back to this slot through the index (a freed slot's stale
+    /// bytes fail that round trip).
+    fn slot_key(&self, slot: u32) -> Option<u64> {
+        let at = slot as usize * REC_BYTES;
+        let key = u64::from_le_bytes(self.data[at..at + 8].try_into().unwrap());
+        let r = self.index.lookup(key)?;
+        (*self.index.get(r)? == slot).then_some(key)
+    }
+
+    /// Clock sweep: advance the hand, decrementing non-zero counters,
+    /// until a zero-counter victim is found and evicted. Bounded — each
+    /// full lap decrements every live counter, so a victim appears within
+    /// `CLOCK_MAX + 1` laps.
+    fn evict_one(&mut self) -> bool {
+        let slots = self.data.len() / REC_BYTES;
+        if slots == 0 || self.index.is_empty() {
+            return false;
+        }
+        for _ in 0..slots * (CLOCK_MAX as usize + 2) {
+            let slot = self.hand % slots;
+            self.hand = self.hand.wrapping_add(1);
+            let Some(key) = self.slot_key(slot as u32) else {
+                continue;
+            };
+            if self.meta[slot] > 0 {
+                self.meta[slot] -= 1;
+                continue;
+            }
+            self.index.remove(key);
+            self.free.push(slot as u32);
+            self.evicted += 1;
+            self.evicted_keys.push(key);
+            return true;
+        }
+        false
     }
 }
 
@@ -271,6 +387,7 @@ mod tests {
             decisions,
             next_audit: decisions + 4096,
             last_tick: 55,
+            wakes: 2,
         };
         let cfg = MicroConfig::default();
         for i in 0..13u64 {
@@ -292,6 +409,7 @@ mod tests {
         assert_eq!(back.decisions, s.decisions);
         assert_eq!(back.next_audit, s.next_audit);
         assert_eq!(back.last_tick, 0, "idle clock restarts on wake");
+        assert_eq!(back.wakes, s.wakes, "heat survives the round trip");
     }
 
     #[test]
@@ -325,24 +443,90 @@ mod tests {
         assert_eq!(arena.wake(3).expect("parked").decisions, 30);
     }
 
+    /// A never-woken stream (all clock counters zero).
+    fn cold(decisions: u64) -> CompactStream {
+        let mut s = sample(decisions);
+        s.wakes = 0;
+        s
+    }
+
     #[test]
-    fn over_capacity_evicts_oldest_first() {
+    fn over_capacity_evicts_cold_streams() {
         let mut arena = HibernationArena::new(2);
-        arena.hibernate(1, &sample(1));
-        arena.hibernate(2, &sample(2));
-        arena.hibernate(3, &sample(3));
+        arena.hibernate(1, &cold(1));
+        arena.hibernate(2, &cold(2));
+        arena.hibernate(3, &cold(3));
         assert_eq!(arena.len(), 2);
         assert_eq!(arena.evicted(), 1);
-        assert!(!arena.contains(1), "oldest evicted");
+        assert!(
+            !arena.contains(1),
+            "all counters zero: the hand evicts the first slot it scans"
+        );
         assert!(arena.contains(2) && arena.contains(3));
-        // A woken stream's stale order entry is skipped, not evicted.
+        assert_eq!(arena.drain_evicted().collect::<Vec<_>>(), vec![1]);
+        // A woken stream frees its slot; re-parking needs no eviction.
         arena.wake(2).expect("parked");
-        arena.hibernate(4, &sample(4));
+        arena.hibernate(4, &cold(4));
         assert_eq!(arena.len(), 2);
         assert_eq!(arena.evicted(), 1, "no eviction needed after wake");
-        arena.hibernate(5, &sample(5));
-        assert!(!arena.contains(3), "3 is now oldest");
-        assert!(arena.contains(4) && arena.contains(5));
+    }
+
+    #[test]
+    fn frequently_woken_streams_outlive_cold_ones_under_pressure() {
+        let mut arena = HibernationArena::new(4);
+        // Park four streams, then heat stream 1 with repeated wake/park
+        // cycles (each wake bumps its count, reseeding its counter).
+        for key in 1..=4u64 {
+            arena.hibernate(key, &cold(key));
+        }
+        for _ in 0..3 {
+            let hot = arena.wake(1).expect("parked");
+            arena.hibernate(1, &hot);
+        }
+        // Now push three fresh cold streams through a full arena: every
+        // eviction scan must sacrifice cold streams and spare the hot one.
+        for key in 10..13u64 {
+            arena.hibernate(key, &cold(key));
+        }
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.evicted(), 3);
+        assert!(
+            arena.contains(1),
+            "the frequently-woken stream survived the pressure"
+        );
+        let evicted: Vec<u64> = arena.drain_evicted().collect();
+        assert!(!evicted.contains(&1), "evicted: {evicted:?}");
+        let woken = arena.wake(1).expect("still parked");
+        assert_eq!(woken.wakes, 4, "3 reheat cycles + this wake");
+    }
+
+    #[test]
+    fn snapshot_and_restore_are_byte_identical() {
+        let mut arena = HibernationArena::new(8);
+        arena.hibernate(5, &sample(50));
+        arena.hibernate(6, &cold(60));
+        arena.wake(5).expect("parked");
+        arena.hibernate(7, &sample(70));
+        let mut snap = Vec::new();
+        arena.snapshot_into(&mut snap);
+        assert_eq!(snap.len(), 2 * REC_BYTES, "only live records captured");
+
+        let mut back = HibernationArena::new(8);
+        for rec in snap.chunks_exact(REC_BYTES) {
+            back.restore_record(rec);
+        }
+        assert_eq!(back.len(), 2);
+        let mut resnap = Vec::new();
+        back.snapshot_into(&mut resnap);
+        let mut a: Vec<&[u8]> = snap.chunks_exact(REC_BYTES).collect();
+        let mut b: Vec<&[u8]> = resnap.chunks_exact(REC_BYTES).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "restored arena re-snapshots byte-identically");
+        assert_eq!(back.wake(6).expect("restored").decisions, 60);
+        assert!(back.forget(7), "journal replay can drop a record");
+        assert!(!back.forget(7));
+        assert!(back.is_empty());
     }
 
     #[test]

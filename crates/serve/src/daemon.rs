@@ -73,9 +73,18 @@ pub struct ServeConfig {
     pub hibernate_after: u64,
     /// Shard ticks between clock-sweep invocations.
     pub sweep_every: u64,
-    /// Hibernation-arena capacity per shard; FIFO eviction beyond (an
-    /// evicted stream re-admits fresh).
+    /// Hibernation-arena capacity per shard; clock/second-chance eviction
+    /// beyond (an evicted stream re-admits fresh).
     pub max_hibernated: usize,
+    /// Directory for durable per-shard state (checkpoints + journals);
+    /// `None` disables persistence entirely.
+    pub state_dir: Option<PathBuf>,
+    /// Shard ticks between periodic checkpoints (0 = checkpoint only on
+    /// graceful drain). Ignored without a `state_dir`.
+    pub checkpoint_every: u64,
+    /// Whether shards load their checkpoint + journal on first boot (a
+    /// one-shot latch: panic restarts and bundle swaps never reload).
+    pub recover: bool,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +104,9 @@ impl Default for ServeConfig {
             hibernate_after: 512,
             sweep_every: 32,
             max_hibernated: 1 << 20,
+            state_dir: None,
+            checkpoint_every: 0,
+            recover: false,
         }
     }
 }
@@ -135,6 +147,21 @@ pub struct SharedState {
     /// Set once; every loop drains and exits. (`Arc` so the aggregator
     /// thread can hold it past the daemon's lifetime edge cases.)
     pub shutdown: Arc<AtomicBool>,
+    /// Per-shard one-shot recovery latches: `true` until the shard's first
+    /// boot consumes it via [`SharedState::take_recover`].
+    pub recover_shards: Vec<AtomicBool>,
+}
+
+impl SharedState {
+    /// Consumes shard `i`'s recovery latch. Returns `true` exactly once
+    /// per daemon lifetime — a panic restart or bundle swap rebuilds the
+    /// shard fresh instead of resurrecting a checkpoint that is now stale
+    /// against the live daemon's state.
+    pub fn take_recover(&self, shard: usize) -> bool {
+        self.recover_shards
+            .get(shard)
+            .is_some_and(|latch| latch.swap(false, Ordering::AcqRel))
+    }
 }
 
 /// Hashes a stream id to its shard (FNV-1a over the id bytes).
@@ -208,7 +235,9 @@ pub fn serve(
     // block, never drop) on transient fullness.
     let (telemetry, telemetry_rx) = telemetry_channel(cfg.shards * 4);
     let shutdown = Arc::new(AtomicBool::new(false));
+    let recover = cfg.recover && cfg.state_dir.is_some();
     let shared = Arc::new(SharedState {
+        recover_shards: (0..cfg.shards).map(|_| AtomicBool::new(recover)).collect(),
         cfg: cfg.clone(),
         pipeline_cfg,
         bundle: Mutex::new(Arc::new(bundle)),
@@ -370,6 +399,11 @@ fn handle_conn(stream: UnixStream, shared: Arc<SharedState>, senders: Vec<SyncSe
             }
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::Release);
+                let _ = tx_resp.send(Response::Ok);
+            }
+            Request::Ping => {
+                // Liveness probe: answered inline on the connection thread,
+                // so it works even while every shard queue is saturated.
                 let _ = tx_resp.send(Response::Ok);
             }
             Request::Crash { shard } => {

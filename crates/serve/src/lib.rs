@@ -28,10 +28,19 @@
 //!   bundle off-path (checked parsing + an inference probe) and only then
 //!   publishes it; shards swap at batch boundaries; a corrupt candidate is
 //!   rejected with the old bundle still serving.
+//! - **durable state** — with a state directory configured, each shard
+//!   checkpoints its compact streams + hibernation arena into checksummed
+//!   segment files (atomic tmp+rename) and journals admits/evictions in
+//!   between ([`persist`]); `--recover` resumes surviving streams
+//!   bit-identically after a crash, truncating torn tails and
+//!   quarantining corrupt records instead of panicking.
 //!
 //! [`run_bench`] is the deterministic load + chaos harness behind
 //! `lahd serve-bench` (kill a shard, burst 10× load, offer a corrupt
-//! reload), whose chaos summary is byte-reproducible under a fixed seed.
+//! reload), whose chaos summary is byte-reproducible under a fixed seed;
+//! [`run_restart_drill`] is the supervisor-style crash-restart drill
+//! behind `lahd serve-drill` (SIGKILL mid-load → restart with recovery →
+//! action-checksum lockstep against an uninterrupted daemon).
 
 mod alloc;
 mod bench;
@@ -40,6 +49,7 @@ mod client;
 mod compact;
 mod daemon;
 mod metrics;
+pub mod persist;
 mod protocol;
 mod shard;
 mod stream_table;
@@ -47,11 +57,12 @@ mod telemetry;
 
 pub use alloc::{live_bytes, rss_bytes, CountingAllocator};
 pub use bench::{
-    load_profile, prepare_corrupt_candidate, run_bench, run_streams_sweep, BenchConfig,
-    BenchSummary, ChaosOutcome, ChaosPlan, PerfOutcome, StreamsSweep, SweepPoint,
+    load_profile, prepare_corrupt_candidate, run_bench, run_restart_drill, run_streams_sweep,
+    BenchConfig, BenchSummary, ChaosOutcome, ChaosPlan, DrillConfig, DrillOutcome, PerfOutcome,
+    StreamsSweep, SweepPoint,
 };
 pub use bundle::ServeBundle;
-pub use client::ServeClient;
+pub use client::{ClientError, RetryPolicy, ServeClient};
 pub use compact::{CompactStream, HibernationArena, REC_BYTES};
 pub use daemon::{serve, serve_dir, shard_of, ServeConfig, ServeHandle, SharedState};
 pub use metrics::{render_stats_json, LatencyHistogram, MetricsSnapshot, ServeMetrics};

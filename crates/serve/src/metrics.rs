@@ -35,6 +35,17 @@ pub struct ServeMetrics {
     pub reloads_rejected: AtomicU64,
     /// Enqueue attempts that found a shard queue full (before retries).
     pub queue_full: AtomicU64,
+    /// Checkpoint segments written (periodic + drain + post-swap).
+    pub checkpoints: AtomicU64,
+    /// Durable-state I/O failures (checkpoint/journal writes, state-dir
+    /// creation). The daemon keeps serving; persistence degrades.
+    pub persist_errors: AtomicU64,
+    /// Streams resumed from checkpoint + journal at recovery.
+    pub recovered_streams: AtomicU64,
+    /// Corrupt records quarantined during recovery (checkpoint + journal).
+    pub quarantined_records: AtomicU64,
+    /// Journal operations replayed during recovery.
+    pub journal_ops: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -69,6 +80,9 @@ pub fn render_stats_json(
             "\"lifecycle\":{{\"materializations\":{},\"releases\":{},\"audits\":{},",
             "\"hibernates\":{},\"wakes\":{},\"evictions\":{}}},",
             "\"arena_bytes\":{},",
+            "\"persist\":{{\"checkpoints\":{},\"persist_errors\":{},",
+            "\"recovered_streams\":{},\"quarantined_records\":{},",
+            "\"journal_ops\":{}}},",
             "\"latency\":{{\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}}}"
         ),
         generation,
@@ -92,6 +106,11 @@ pub fn render_stats_json(
         t.wakes,
         t.evictions,
         t.arena_bytes,
+        g(&metrics.checkpoints),
+        g(&metrics.persist_errors),
+        g(&metrics.recovered_streams),
+        g(&metrics.quarantined_records),
+        g(&metrics.journal_ops),
         t.latency.quantile(0.5),
         t.latency.quantile(0.99),
         t.latency.quantile(0.999),
@@ -132,6 +151,16 @@ pub struct MetricsSnapshot {
     pub materializations: u64,
     /// Full ladders released back to compact records, cumulative.
     pub releases: u64,
+    /// Checkpoint segments written.
+    pub checkpoints: u64,
+    /// Durable-state I/O failures.
+    pub persist_errors: u64,
+    /// Streams resumed from durable state at recovery.
+    pub recovered_streams: u64,
+    /// Corrupt records quarantined during recovery.
+    pub quarantined_records: u64,
+    /// Journal operations replayed during recovery.
+    pub journal_ops: u64,
 }
 
 impl MetricsSnapshot {
@@ -167,6 +196,11 @@ impl MetricsSnapshot {
             wakes: field("wakes"),
             materializations: field("materializations"),
             releases: field("releases"),
+            checkpoints: field("checkpoints"),
+            persist_errors: field("persist_errors"),
+            recovered_streams: field("recovered_streams"),
+            quarantined_records: field("quarantined_records"),
+            journal_ops: field("journal_ops"),
         }
     }
 
@@ -284,6 +318,10 @@ mod tests {
         ServeMetrics::bump(&m.shed);
         ServeMetrics::bump(&m.panics);
         ServeMetrics::bump(&m.restarts);
+        ServeMetrics::bump(&m.checkpoints);
+        ServeMetrics::bump(&m.checkpoints);
+        ServeMetrics::bump(&m.recovered_streams);
+        ServeMetrics::bump(&m.journal_ops);
         let mut t = ShardTelemetry::default();
         t.record_served(0, 500);
         t.record_served(2, 900);
@@ -312,6 +350,12 @@ mod tests {
         assert_eq!(parsed.wakes, 5);
         assert_eq!(parsed.materializations, 3);
         assert_eq!(parsed.releases, 2);
+        assert_eq!(parsed.checkpoints, 2);
+        assert_eq!(parsed.persist_errors, 0);
+        assert_eq!(parsed.recovered_streams, 1);
+        assert_eq!(parsed.quarantined_records, 0);
+        assert_eq!(parsed.journal_ops, 1);
+        assert!(json.contains("\"persist\":{\"checkpoints\":2,"));
         assert!(json.contains("\"tier_decisions\":[1,0,1,0]"));
         assert!(json.contains("\"latency\":{\"p50_ns\":"));
     }

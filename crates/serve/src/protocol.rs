@@ -90,6 +90,10 @@ pub enum Request {
         /// Sleep duration in milliseconds.
         ms: u32,
     },
+    /// Liveness probe: answered [`Response::Ok`] inline on the connection
+    /// thread, without touching any shard queue — so a health check
+    /// succeeds even under full admission-control backpressure.
+    Ping,
 }
 
 /// A daemon → client message.
@@ -259,6 +263,7 @@ impl Request {
                 out.extend_from_slice(&shard.to_le_bytes());
                 out.extend_from_slice(&ms.to_le_bytes());
             }
+            Request::Ping => out.push(7),
         }
         out
     }
@@ -296,6 +301,7 @@ impl Request {
                 shard: c.u32()?,
                 ms: c.u32()?,
             },
+            7 => Request::Ping,
             t => return Err(ProtoError::BadTag(t)),
         };
         c.done()?;
@@ -390,6 +396,7 @@ mod tests {
             Request::Shutdown,
             Request::Crash { shard: 3 },
             Request::Hold { shard: 1, ms: 25 },
+            Request::Ping,
         ]
     }
 

@@ -66,9 +66,10 @@ use lahd_rl::InferScratch;
 use lahd_tensor::Matrix;
 
 use crate::bundle::ServeBundle;
-use crate::compact::{CompactStream, HibernationArena};
+use crate::compact::{CompactStream, HibernationArena, REC_BYTES};
 use crate::daemon::SharedState;
 use crate::metrics::ServeMetrics;
+use crate::persist::{self, ShardPersist};
 use crate::protocol::{Response, Source};
 use crate::stream_table::{StreamRef, StreamSet, StreamTable};
 use crate::telemetry::ShardTelemetry;
@@ -360,6 +361,9 @@ struct ShardState {
     replies: Vec<Reply>,
     /// Whether gauges changed since the last successful flush.
     gauges_dirty: bool,
+    /// Durable-state writer (checkpoints + journal); `None` when the
+    /// daemon runs without a state directory or its creation failed.
+    persist: Option<ShardPersist>,
 }
 
 impl ShardState {
@@ -377,7 +381,16 @@ impl ShardState {
             .as_deref()
             .map(CompiledFsm::make_batch_scratch);
         let fsm_scalar = bundle.compiled.as_deref().map(CompiledFsm::make_scratch);
-        Self {
+        let persist = shared.cfg.state_dir.as_deref().and_then(|dir| {
+            match ShardPersist::create(dir, shard_index) {
+                Ok(p) => Some(p),
+                Err(_) => {
+                    ServeMetrics::bump(&shared.metrics.persist_errors);
+                    None
+                }
+            }
+        });
+        let mut state = Self {
             shard_index,
             bundle,
             generation,
@@ -399,7 +412,80 @@ impl ShardState {
             telemetry: ShardTelemetry::default(),
             replies: Vec::new(),
             gauges_dirty: true,
+            persist,
+        };
+        // One-shot recovery latch: only the first boot with `--recover`
+        // loads the checkpoint — a panic restart or bundle swap must NOT
+        // resurrect durable state that is stale against the live daemon.
+        if state.persist.is_some() && shared.take_recover(shard_index) {
+            state.recover(shared);
         }
+        state
+    }
+
+    /// Rebuilds this shard's streams from the latest checkpoint segment +
+    /// journal tail. Checkpointed records come back bit-identically (same
+    /// cursor, same health triage); journal-only admits come back as
+    /// deterministic fresh compact streams (membership survives, cursor
+    /// state does not — the journal records membership, not trajectories).
+    fn recover(&mut self, shared: &SharedState) {
+        let Some(dir) = shared.cfg.state_dir.as_deref() else {
+            return;
+        };
+        let rec = persist::recover_shard(dir, self.shard_index);
+        for chunk in rec.table.chunks_exact(REC_BYTES) {
+            let (key, stream) = CompactStream::deserialize(chunk);
+            if self.streams.lookup(key).is_some() {
+                continue;
+            }
+            self.streams.insert(key, StreamEntry::Compact(stream));
+            self.compact_count += 1;
+        }
+        for chunk in rec.arena.chunks_exact(REC_BYTES) {
+            self.arena.restore_record(chunk);
+        }
+        let mut journal_ops = 0u64;
+        for &(op, key) in &rec.wal_ops {
+            journal_ops += 1;
+            match op {
+                persist::WAL_ADMIT => {
+                    let Some(compiled) = self.bundle.compiled.as_ref() else {
+                        continue;
+                    };
+                    if self.streams.lookup(key).is_some() || self.arena.contains(key) {
+                        continue;
+                    }
+                    let compact = CompactStream::new(
+                        CompiledCursor::new(compiled),
+                        first_audit(shared.cfg.audit_every, key),
+                    );
+                    self.streams.insert(key, StreamEntry::Compact(compact));
+                    self.compact_count += 1;
+                }
+                persist::WAL_EVICT => {
+                    if let Some(r) = self.streams.lookup(key) {
+                        if matches!(self.streams.get(r), Some(StreamEntry::Compact(_))) {
+                            self.streams.remove(key);
+                            self.compact_count -= 1;
+                        }
+                    } else {
+                        self.arena.forget(key);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Recovery-internal evictions (capacity trims) are not journal
+        // events; drop them so the next load's journal stays clean.
+        self.arena.drain_evicted();
+        let resumed = self.streams.len() as u64 + self.arena.len() as u64;
+        let add = |c: &std::sync::atomic::AtomicU64, v: u64| {
+            c.fetch_add(v, Ordering::Relaxed);
+        };
+        add(&shared.metrics.recovered_streams, resumed);
+        add(&shared.metrics.quarantined_records, rec.quarantined);
+        add(&shared.metrics.journal_ops, journal_ops);
+        self.gauges_dirty = true;
     }
 
     /// Batch-boundary reload check: when the daemon has published a newer
@@ -413,6 +499,10 @@ impl ShardState {
             return;
         }
         *self = Self::fresh(self.shard_index, shared);
+        // The old checkpoint's cursor state ids are meaningless against
+        // the new machine: replace it with the (empty) post-swap truth so
+        // a later `--recover` cannot resurrect cross-bundle state.
+        self.checkpoint(shared);
     }
 
     /// Resolves `stream` to a live table entry, admitting it if needed:
@@ -444,9 +534,15 @@ impl ShardState {
                 first_audit(shared.cfg.audit_every, stream),
             );
             self.compact_count += 1;
+            if let Some(p) = &mut self.persist {
+                p.log_admit(stream);
+            }
             Some(self.streams.insert(stream, StreamEntry::Compact(compact)))
         } else {
             self.resident_count += 1;
+            if let Some(p) = &mut self.persist {
+                p.log_admit(stream);
+            }
             let resident = make_resident(&self.bundle, stream, None);
             Some(
                 self.streams
@@ -863,6 +959,9 @@ impl ShardState {
             }
         }
         self.flush_telemetry(shared);
+        // Same ordering argument for durability: admits/evictions in this
+        // batch hit the journal before any of its replies are observable.
+        self.flush_persist(shared);
         for reply in self.replies.drain(..) {
             let _ = reply.to.send(reply.resp);
         }
@@ -931,8 +1030,63 @@ impl ShardState {
         self.arena.hibernate(key, &compact);
         self.telemetry.hibernates += 1;
         self.telemetry.evictions += self.arena.evicted() - evicted_before;
+        for victim in self.arena.drain_evicted() {
+            if let Some(p) = &mut self.persist {
+                p.log_evict(victim);
+            }
+        }
         self.compact_count -= 1;
         self.gauges_dirty = true;
+    }
+
+    /// Flushes buffered journal records to disk (batch boundaries and
+    /// idle ticks — the durability analogue of the telemetry flush).
+    fn flush_persist(&mut self, shared: &SharedState) {
+        if let Some(p) = &mut self.persist {
+            if p.flush_wal().is_err() {
+                ServeMetrics::bump(&shared.metrics.persist_errors);
+            }
+        }
+    }
+
+    /// Serializes the compact table + arena into this shard's checkpoint
+    /// segment (atomic tmp + rename; resets the journal). Resident
+    /// streams are deliberately not captured — their net hidden state and
+    /// guard windows are not serializable — so they re-admit fresh after
+    /// recovery, exactly like a stream the daemon never saw.
+    fn checkpoint(&mut self, shared: &SharedState) {
+        if self.persist.is_none() {
+            return;
+        }
+        let mut table = Vec::with_capacity(self.compact_count as usize * REC_BYTES);
+        let mut buf = [0u8; REC_BYTES];
+        for pos in 0..self.streams.slot_span() {
+            let Some(key) = self.streams.key_at_clock(pos) else {
+                continue;
+            };
+            let Some(r) = self.streams.lookup(key) else {
+                continue;
+            };
+            if let Some(StreamEntry::Compact(compact)) = self.streams.get(r) {
+                compact.serialize_into(key, &mut buf);
+                table.extend_from_slice(&buf);
+            }
+        }
+        let mut arena = Vec::with_capacity(self.arena.len() * REC_BYTES);
+        self.arena.snapshot_into(&mut arena);
+        let p = self.persist.as_mut().expect("checked above");
+        match p.write_checkpoint(self.tick, &table, &arena) {
+            Ok(()) => ServeMetrics::bump(&shared.metrics.checkpoints),
+            Err(_) => ServeMetrics::bump(&shared.metrics.persist_errors),
+        }
+    }
+
+    /// Graceful-drain epilogue: final telemetry flush + final checkpoint.
+    /// Runs on every clean `serve_loop` exit, so a daemon stopped by a
+    /// shutdown command leaves a complete durable image behind.
+    fn drain(&mut self, shared: &SharedState) {
+        self.flush_telemetry(shared);
+        self.checkpoint(shared);
     }
 }
 
@@ -972,24 +1126,33 @@ fn serve_loop(index: usize, rx: &Receiver<ShardMsg>, shared: &SharedState) {
     let mut state = ShardState::fresh(index, shared);
     let batch_max = shared.cfg.batch_max;
     let sweep_every = shared.cfg.sweep_every.max(1);
+    let checkpoint_every = shared.cfg.checkpoint_every;
     loop {
         state.maybe_swap_bundle(shared);
         let first = match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(msg) => msg,
             Err(RecvTimeoutError::Timeout) => {
                 if shared.shutdown.load(Ordering::Acquire) {
+                    state.drain(shared);
                     return;
                 }
                 // Idle interval: advance the clock, sweep, and retry any
-                // deferred/gauge-only telemetry.
+                // deferred/gauge-only telemetry and journal records.
                 state.tick += 1;
                 if state.tick % sweep_every == 0 {
                     state.sweep(shared);
                 }
                 state.flush_telemetry(shared);
+                state.flush_persist(shared);
+                if checkpoint_every > 0 && state.tick % checkpoint_every == 0 {
+                    state.checkpoint(shared);
+                }
                 continue;
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => {
+                state.drain(shared);
+                return;
+            }
         };
         let mut batch: Vec<DecideReq> = Vec::with_capacity(batch_max);
         let mut control: Option<ShardMsg> = None;
@@ -1038,9 +1201,15 @@ fn serve_loop(index: usize, rx: &Receiver<ShardMsg>, shared: &SharedState) {
             if state.tick % sweep_every == 0 {
                 state.sweep(shared);
             }
+            if checkpoint_every > 0 && state.tick % checkpoint_every == 0 {
+                state.checkpoint(shared);
+            }
         }
         match control {
-            Some(ShardMsg::Shutdown) => return,
+            Some(ShardMsg::Shutdown) => {
+                state.drain(shared);
+                return;
+            }
             Some(ShardMsg::Crash) => panic!("injected chaos crash"),
             Some(ShardMsg::Hold { ms }) => {
                 std::thread::sleep(Duration::from_millis(ms as u64));

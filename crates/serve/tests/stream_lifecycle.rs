@@ -16,9 +16,9 @@ use std::time::Duration;
 use lahd_core::{save_artifacts, Pipeline, PipelineConfig};
 use lahd_fsm::CompiledCursor;
 use lahd_serve::{
-    prepare_corrupt_candidate, run_bench, run_streams_sweep, serve_dir, BenchConfig, ChaosPlan,
-    CompactStream, HibernationArena, Request, Response, ServeBundle, ServeClient, ServeConfig,
-    ServeHandle,
+    load_profile, prepare_corrupt_candidate, run_bench, run_streams_sweep, serve_dir, BenchConfig,
+    ChaosPlan, CompactStream, HibernationArena, MetricsSnapshot, Request, Response, ServeBundle,
+    ServeClient, ServeConfig, ServeHandle,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -179,6 +179,131 @@ fn chaos_plan_on_hibernating_daemon_is_survived_and_reproducible() {
     assert_eq!(
         jsons[0], jsons[1],
         "same-seed chaos JSON stays byte-identical"
+    );
+}
+
+/// Graceful-restart lockstep: a durable daemon drained mid-load and
+/// restarted with `recover` must serve the remaining rounds byte-
+/// identically to a daemon that never stopped. This is the library-level
+/// half of the recovery pin; the SIGKILL half runs through the real
+/// binary in the CLI's `serve-drill` end-to-end test.
+#[test]
+fn durable_restart_resumes_streams_bit_identically() {
+    let (pcfg, dir) = artifacts();
+    let profile = load_profile(dir).unwrap();
+    let streams = 12u64;
+    let (warm_rounds, probe_rounds) = (5u64, 5u64);
+
+    // Deterministic in-band observation for `(stream, round)`.
+    let obs = |stream: u64, round: u64| -> Vec<f32> {
+        profile
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let (lo, hi) = (d.p25 as f32, d.p75 as f32);
+                let frac = ((stream * 31 + round * 17 + i as u64 * 7) % 97) as f32 / 96.0;
+                if hi > lo {
+                    lo + (hi - lo) * frac
+                } else {
+                    lo
+                }
+            })
+            .collect()
+    };
+    // One lockstep window; returns every action in (round, stream) order.
+    let drive = |client: &mut ServeClient, from: u64, to: u64| -> Vec<u16> {
+        let mut actions = Vec::new();
+        for round in from..to {
+            for stream in 0..streams {
+                client
+                    .send(&Request::Decide {
+                        req_id: (round << 24) | stream,
+                        stream,
+                        deadline_us: 0,
+                        obs: obs(stream, round),
+                    })
+                    .unwrap();
+            }
+            let mut got = std::collections::HashMap::new();
+            while got.len() < streams as usize {
+                match client.recv().unwrap() {
+                    Response::Decision { req_id, action, .. } => {
+                        got.insert(req_id, action);
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+            for stream in 0..streams {
+                actions.push(got[&((round << 24) | stream)]);
+            }
+        }
+        actions
+    };
+    let stats = |client: &mut ServeClient| -> MetricsSnapshot {
+        match client.call(&Request::Stats).unwrap() {
+            Response::StatsJson(json) => MetricsSnapshot::from_json(&json),
+            other => panic!("unexpected stats response {other:?}"),
+        }
+    };
+
+    // Reference: one daemon, no persistence, never interrupted.
+    let expected = {
+        let socket = std::env::temp_dir().join("lahd_lifecycle_durable_ref.sock");
+        let cfg = ServeConfig {
+            shards: 2,
+            audit_every: 0,
+            ..ServeConfig::default()
+        };
+        let handle = serve_dir(pcfg, dir, cfg, &socket).unwrap();
+        let mut client = ServeClient::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+        drive(&mut client, 0, warm_rounds);
+        let expected = drive(&mut client, warm_rounds, warm_rounds + probe_rounds);
+        drop(client);
+        shutdown(handle);
+        expected
+    };
+
+    // Durable daemon in drain-only mode (checkpoint_every 0): the only
+    // checkpoint is the one graceful shutdown writes.
+    let state = std::env::temp_dir().join("lahd_lifecycle_durable_state");
+    let _ = std::fs::remove_dir_all(&state);
+    std::fs::create_dir_all(&state).unwrap();
+    let durable = ServeConfig {
+        shards: 2,
+        audit_every: 0,
+        state_dir: Some(state.clone()),
+        checkpoint_every: 0,
+        ..ServeConfig::default()
+    };
+    {
+        let socket = std::env::temp_dir().join("lahd_lifecycle_durable_warm.sock");
+        let handle = serve_dir(pcfg, dir, durable.clone(), &socket).unwrap();
+        let mut client = ServeClient::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+        drive(&mut client, 0, warm_rounds);
+        drop(client);
+        shutdown(handle);
+    }
+    // Restart over the drained state and serve the probe window.
+    let socket = std::env::temp_dir().join("lahd_lifecycle_durable_recover.sock");
+    let recovering = ServeConfig {
+        recover: true,
+        ..durable
+    };
+    let handle = serve_dir(pcfg, dir, recovering, &socket).unwrap();
+    let mut client = ServeClient::connect_retry(&socket, Duration::from_secs(5)).unwrap();
+    let resumed = drive(&mut client, warm_rounds, warm_rounds + probe_rounds);
+    let snap = stats(&mut client);
+    assert_eq!(
+        snap.recovered_streams, streams,
+        "every warm stream must come back from durable state"
+    );
+    assert_eq!(snap.quarantined_records, 0, "clean shutdown, clean scan");
+    drop(client);
+    shutdown(handle);
+    assert_eq!(
+        resumed, expected,
+        "recovered streams must serve byte-identical actions"
     );
 }
 

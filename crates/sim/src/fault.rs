@@ -268,6 +268,83 @@ impl FaultPlan {
     }
 }
 
+/// One kind of durable-state corruption, applied to an on-disk byte image
+/// (a checkpoint segment or write-ahead journal) rather than to the
+/// observation stream.
+///
+/// These model the disk failure modes the serving layer's recovery path
+/// must survive: a torn write (crash mid-`write`), silent bit rot, and a
+/// journal record replayed twice (crash between append and ack). All three
+/// are pure functions of their parameters, so a drill seeded from the
+/// chaos seed injects byte-identical damage on every run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DiskFault {
+    /// Truncate the image to `keep` bytes — everything past the torn
+    /// frontier is lost, as after a crash mid-append.
+    TornWrite {
+        /// Bytes to keep; images shorter than this are left untouched.
+        keep: usize,
+    },
+    /// XOR one byte at `at` with `mask` (silent corruption; a checksummed
+    /// reader must quarantine the damaged record, not panic).
+    BitFlip {
+        /// Byte offset to flip; out-of-range offsets are a no-op.
+        at: usize,
+        /// XOR mask; a zero mask is a no-op by construction.
+        mask: u8,
+    },
+    /// Append a copy of the `len` bytes starting at `at` to the end of the
+    /// image (a journal record applied twice; replay must be idempotent).
+    DuplicateRecord {
+        /// Offset of the record to duplicate.
+        at: usize,
+        /// Record length in bytes; clamped to what the image holds.
+        len: usize,
+    },
+}
+
+impl DiskFault {
+    /// Applies the fault to an in-memory byte image.
+    pub fn apply(&self, bytes: &mut Vec<u8>) {
+        match *self {
+            DiskFault::TornWrite { keep } => {
+                if keep < bytes.len() {
+                    bytes.truncate(keep);
+                }
+            }
+            DiskFault::BitFlip { at, mask } => {
+                if let Some(b) = bytes.get_mut(at) {
+                    *b ^= mask;
+                }
+            }
+            DiskFault::DuplicateRecord { at, len } => {
+                let end = at.saturating_add(len).min(bytes.len());
+                if at < end {
+                    bytes.extend_from_within(at..end);
+                }
+            }
+        }
+    }
+
+    /// Reads `path`, applies the fault, and writes the damaged image back.
+    pub fn apply_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut bytes = std::fs::read(path)?;
+        self.apply(&mut bytes);
+        std::fs::write(path, bytes)
+    }
+
+    /// Human-readable description for drill reports.
+    pub fn describe(&self) -> String {
+        match *self {
+            DiskFault::TornWrite { keep } => format!("torn-write keep={keep}"),
+            DiskFault::BitFlip { at, mask } => format!("bit-flip at={at} mask={mask:#04x}"),
+            DiskFault::DuplicateRecord { at, len } => {
+                format!("dup-record at={at} len={len}")
+            }
+        }
+    }
+}
+
 /// A copy of `trace` with every interval's request count multiplied by
 /// `factor` — distribution shift at the workload level rather than the
 /// observation level (the simulator genuinely runs hotter, not just the
@@ -465,6 +542,65 @@ mod tests {
         let d = plan.describe();
         assert!(d.contains("delay-8@[0,5)"), "{d}");
         assert!(d.contains("drop p=0.1@[5,9)"), "{d}");
+    }
+
+    #[test]
+    fn disk_faults_damage_byte_images_deterministically() {
+        let image: Vec<u8> = (0..32u8).collect();
+
+        let mut torn = image.clone();
+        DiskFault::TornWrite { keep: 10 }.apply(&mut torn);
+        assert_eq!(torn, &image[..10]);
+        let mut untouched = image.clone();
+        DiskFault::TornWrite { keep: 100 }.apply(&mut untouched);
+        assert_eq!(untouched, image, "keep past EOF leaves the image alone");
+
+        let mut flipped = image.clone();
+        DiskFault::BitFlip { at: 3, mask: 0xFF }.apply(&mut flipped);
+        assert_eq!(flipped[3], image[3] ^ 0xFF);
+        assert_eq!(&flipped[..3], &image[..3]);
+        assert_eq!(&flipped[4..], &image[4..]);
+        let mut oob = image.clone();
+        DiskFault::BitFlip {
+            at: 999,
+            mask: 0xFF,
+        }
+        .apply(&mut oob);
+        assert_eq!(oob, image, "out-of-range flip is a no-op");
+
+        let mut duped = image.clone();
+        DiskFault::DuplicateRecord { at: 8, len: 4 }.apply(&mut duped);
+        assert_eq!(duped.len(), image.len() + 4);
+        assert_eq!(&duped[image.len()..], &image[8..12]);
+        let mut clamped = image.clone();
+        DiskFault::DuplicateRecord { at: 30, len: 10 }.apply(&mut clamped);
+        assert_eq!(&clamped[image.len()..], &image[30..32], "len clamps to EOF");
+    }
+
+    #[test]
+    fn disk_faults_round_trip_through_files_and_describe_themselves() {
+        let dir = std::env::temp_dir().join("lahd_disk_fault_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("image.bin");
+        std::fs::write(&path, (0..16u8).collect::<Vec<u8>>()).expect("seed image");
+        DiskFault::TornWrite { keep: 5 }
+            .apply_to_file(&path)
+            .expect("apply to file");
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0, 1, 2, 3, 4]);
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(
+            DiskFault::TornWrite { keep: 5 }.describe(),
+            "torn-write keep=5"
+        );
+        assert_eq!(
+            DiskFault::BitFlip { at: 7, mask: 0x80 }.describe(),
+            "bit-flip at=7 mask=0x80"
+        );
+        assert_eq!(
+            DiskFault::DuplicateRecord { at: 8, len: 17 }.describe(),
+            "dup-record at=8 len=17"
+        );
     }
 
     #[test]

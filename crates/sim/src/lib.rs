@@ -51,7 +51,7 @@ pub use action::Action;
 pub use cohort::{Cohort, CohortKind, Stage};
 pub use config::SimConfig;
 pub use engine::{StepResult, StorageSim};
-pub use fault::{rescale_trace, Fault, FaultPlan, ScheduledFault};
+pub use fault::{rescale_trace, DiskFault, Fault, FaultPlan, ScheduledFault};
 pub use io::{canonical_io_classes, max_io_size_kib, IoClass, IoKind, NUM_IO_CLASSES};
 pub use level::Level;
 pub use metrics::{EpisodeMetrics, IntervalStats};

@@ -38,6 +38,7 @@ LAHD_BENCH_QUICK=1 LAHD_BENCH_JSON="$tmp" cargo bench -p lahd-bench \
     --bench micro_inference_latency \
     --bench micro_fsm_step \
     --bench micro_serve_protocol \
+    --bench micro_persist \
     --bench micro_train_episode \
     --bench micro_qbn_encode \
     --bench micro_sim_step \

@@ -34,14 +34,22 @@
 #    coarse RSS ceiling (LAHD_SWEEP_RSS_MB); then an external
 #    `lahd serve` process driven over its Unix socket and shut down via
 #    a protocol request — the daemon must exit 0.
-# 8. Quick-mode bench snapshot compared against the latest committed
+# 8. Durability gates: a clean `lahd serve-drill` (SIGKILL a durable
+#    daemon after a quiescent checkpoint, restart with --recover, compare
+#    action checksums against an uninterrupted reference — ≥99% of streams
+#    must resume bit-identically) and a `--corrupt` drill (seeded torn
+#    tail + bit flip + duplicated journal record must be quarantined with
+#    a clean exit, never a panic).
+# 9. Quick-mode bench snapshot compared against the latest committed
 #    BENCH_<n>.json with a loose 50% threshold, so a hot-path regression
 #    fails verification instead of only surfacing in the next snapshot.
 #    Since BENCH_4.json the gate also covers the quantized rows
 #    (gemv_packed_i8_*, gru128_forward_quant*, readahead sim/inference);
 #    since BENCH_5.json also the serving rows (serve_protocol/* framing,
 #    serve_throughput/* and serve_latency/* from `lahd serve-bench` —
-#    rate rows are gated higher-is-better).
+#    rate rows are gated higher-is-better); since BENCH_8.json also the
+#    durability rows (serve_persist/* checkpoint write, recovery scan,
+#    journal append).
 #    Skip with LAHD_SKIP_BENCH_GATE=1 (e.g. on a loaded box).
 set -euo pipefail
 
@@ -161,6 +169,47 @@ serve_pid=$!
     --shutdown-daemon >/dev/null
 if ! wait "$serve_pid"; then
     echo "lahd serve did not exit cleanly after a shutdown request"
+    exit 1
+fi
+
+echo "== durability gate: clean crash-restart drill (SIGKILL -> --recover)"
+# A durable daemon is SIGKILLed mid-load after a quiescent checkpoint and
+# restarted with --recover; it must resume >=99% of streams and serve the
+# post-crash rounds action-checksum-identically to an uninterrupted
+# reference daemon (serve-drill exits non-zero otherwise).
+drill_json="$smoke_dir/drill.json"
+drill_out="$("$lahd_bin" serve-drill --scale tiny \
+    --artifacts "$smoke_dir/dorado-migration" \
+    --streams 16 --rounds-before 4 --rounds-after 4 --shards 2 \
+    --json "$drill_json")"
+if ! grep -q "clean drill SURVIVED" <<<"$drill_out"; then
+    echo "serve-drill did not report clean survival:"
+    echo "$drill_out"
+    exit 1
+fi
+resumed_pct="$(sed -n 's/.*"resumed_pct":\([0-9][0-9]*\).*/\1/p' "$drill_json")"
+if [ "${resumed_pct:-0}" -lt 99 ]; then
+    echo "crash-restart drill resumed only ${resumed_pct:-0}% of streams:"
+    cat "$drill_json"
+    exit 1
+fi
+
+echo "== durability gate: corrupt-state drill (torn tail + bit flip + dup journal)"
+# Seeded disk faults land between kill and restart; recovery must
+# quarantine the damaged records (counted, never panicking) and the
+# daemon must still drain and exit 0.
+drill_out="$("$lahd_bin" serve-drill --scale tiny \
+    --artifacts "$smoke_dir/dorado-migration" \
+    --streams 16 --rounds-before 4 --rounds-after 4 --shards 2 \
+    --corrupt --json "$drill_json")"
+if ! grep -q "corrupt drill SURVIVED" <<<"$drill_out"; then
+    echo "corrupt serve-drill did not report survival:"
+    echo "$drill_out"
+    exit 1
+fi
+if grep -q '"quarantined":0,' "$drill_json"; then
+    echo "corrupt drill quarantined no records (faults not exercised):"
+    cat "$drill_json"
     exit 1
 fi
 
